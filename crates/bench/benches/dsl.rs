@@ -1,0 +1,91 @@
+//! DSL benchmarks: parsing and symbolic graph queries (the operations a
+//! PTG runtime performs on every task completion).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ptg::dsl::DslBuilder;
+use ptg::{expr, PlainCtx, TaskKey};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const FIG1: &str = r#"
+    READ_A(L1, L2)
+    L1 = 0 .. size_L1 - 1
+    L2 = 0 .. size_L2 - 1
+    WRITE A <- input_a(L1, L2) -> A GEMM(L1, L2)
+    ; size_L1 - L1 + 5 * P
+    BODY reader
+
+    DFILL(L1)
+    L1 = 0 .. size_L1 - 1
+    WRITE C -> C GEMM(L1, 0)
+    BODY dfill
+
+    GEMM(L1, L2)
+    L1 = 0 .. size_L1 - 1
+    L2 = 0 .. size_L2 - 1
+    READ A <- A READ_A(L1, L2)
+    RW C <- (L2 == 0) ? C DFILL(L1)
+         <- (L2 != 0) ? C GEMM(L1, L2 - 1)
+         -> (L2 < size_L2 - 1) ? C GEMM(L1, L2 + 1)
+         -> (L2 == size_L2 - 1) ? C SORT(L1)
+    ; size_L1 - L1 + 1 * P
+    BODY gemm
+
+    SORT(L1)
+    L1 = 0 .. size_L1 - 1
+    READ C <- C GEMM(L1, size_L2 - 1)
+    BODY sort
+"#;
+
+fn compile() -> ptg::TaskGraph {
+    DslBuilder::new(FIG1)
+        .global("size_L1", 64)
+        .global("size_L2", 64)
+        .compile(Arc::new(PlainCtx { nodes: 4 }))
+        .unwrap()
+}
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("dsl_compile_fig1", |b| b.iter(|| black_box(compile().classes().len())));
+}
+
+fn bench_successors(c: &mut Criterion) {
+    let g = compile();
+    let gemm = g.class_id("GEMM").unwrap();
+    let ctx = g.ctx();
+    let mut out = Vec::new();
+    let n = 1_000u64;
+    let mut grp = c.benchmark_group("dsl_symbolic");
+    grp.throughput(Throughput::Elements(n));
+    grp.bench_function("successors_1k", |b| {
+        b.iter(|| {
+            for i in 0..n as i64 {
+                out.clear();
+                let key = TaskKey::new(gemm, &[i % 64, (i * 7) % 64]);
+                g.class_of(key).successors(key, ctx, &mut out);
+                black_box(out.len());
+            }
+        })
+    });
+    grp.bench_function("priority_1k", |b| {
+        b.iter(|| {
+            for i in 0..n as i64 {
+                let key = TaskKey::new(gemm, &[i % 64, (i * 7) % 64]);
+                black_box(g.class_of(key).priority(key, ctx));
+            }
+        })
+    });
+    grp.finish();
+}
+
+fn bench_expr(c: &mut Criterion) {
+    let src = "(L2 == 0) ? 100 : (size_L1 - L1 + 5 * P) * 2 - L2 % 7";
+    c.bench_function("expr_parse", |b| b.iter(|| black_box(expr::parse(src).unwrap())));
+    let e = expr::parse(src).unwrap();
+    let mut env = expr::MapEnv::new();
+    env.set("L1", 3).set("L2", 9).set("size_L1", 64).set("P", 32);
+    c.bench_function("expr_eval", |b| b.iter(|| black_box(expr::eval(&e, &env).unwrap())));
+}
+
+criterion_group!(benches, bench_compile, bench_successors, bench_expr);
+criterion_main!(benches);

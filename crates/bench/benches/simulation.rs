@@ -1,0 +1,47 @@
+//! Whole-simulation benchmarks: how fast the discrete-event engine chews
+//! through the CCSD workloads (events/second is the DES figure of merit).
+
+use ccsd::{build_graph, simulate_baseline, BaselineCfg, VariantCfg};
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsec_rt::SimEngine;
+use std::hint::black_box;
+use std::sync::Arc;
+use tce::{inspect, scale, TileSpace};
+
+fn bench_variant_sim(c: &mut Criterion) {
+    let space = TileSpace::build(&scale::medium());
+    let ins = Arc::new(inspect(&space, 8));
+    let mut g = c.benchmark_group("sim_medium_8x7");
+    g.sample_size(10);
+    for cfg in [VariantCfg::v1(), VariantCfg::v5()] {
+        g.bench_function(cfg.name, |b| {
+            b.iter(|| {
+                let graph = build_graph(ins.clone(), cfg, None);
+                black_box(SimEngine::new(8, 7).run(&graph).events)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_baseline_sim(c: &mut Criterion) {
+    let space = TileSpace::build(&scale::medium());
+    let ins = inspect(&space, 8);
+    let mut g = c.benchmark_group("sim_baseline_8x7");
+    g.sample_size(10);
+    g.bench_function("original", |b| {
+        b.iter(|| black_box(simulate_baseline(&ins, &BaselineCfg::new(8, 7)).makespan))
+    });
+    g.finish();
+}
+
+fn bench_inspection(c: &mut Criterion) {
+    let space = TileSpace::build(&scale::medium());
+    let mut g = c.benchmark_group("inspection");
+    g.sample_size(20);
+    g.bench_function("medium_32_nodes", |b| b.iter(|| black_box(inspect(&space, 32).total_gemms)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_variant_sim, bench_baseline_sim, bench_inspection);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Ablations of the design decisions discussed in Section IV.
+//!
+//! * `--sched`    scheduler policy (priority+FIFO vs FIFO/LIFO without
+//!                priorities) — Section IV-C's "importance of task
+//!                priorities";
+//! * `--prefetch` reader/GEMM priority-offset sweep — the depth of the
+//!                paper's `5*P` data-prefetching pipeline;
+//! * `--heights`  segment-height sweep between the paper's two extremes
+//!                (Section IV-A: "the height of the shorter chains can
+//!                vary");
+//! * `--levels`   number of barrier-separated work levels in the legacy
+//!                model — Section III-A's seven-level synchronization;
+//! * `--mutex`    mutex-operation cost sweep, amplifying the v3-vs-v5
+//!                critical-region trade-off of Section V;
+//! * `--nxtval`   NXTVAL service-time sweep — Section IV-D's "not a
+//!                scalable approach".
+//!
+//! Default: run all of them at `--scale medium` on 8x7 (fast); use
+//! `--scale paper --nodes 32 --cores 15` for the full-size numbers.
+
+use bench_harness::*;
+use ccsd::{simulate_baseline, BaselineCfg, VariantCfg};
+use parsec_rt::{CostModel, SchedPolicy, SimEngine};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--scale") {
+        scale_from_args(&args)
+    } else {
+        tce::scale::medium()
+    };
+    let nodes: usize = arg_value(&args, "--nodes").map(|v| v.parse().unwrap()).unwrap_or(8);
+    let cores: usize = arg_value(&args, "--cores").map(|v| v.parse().unwrap()).unwrap_or(7);
+    let all = !["--sched", "--prefetch", "--heights", "--levels", "--mutex", "--nxtval"]
+        .iter()
+        .any(|f| has_flag(&args, f));
+
+    let ins = prepare(&scale, nodes);
+    let run =
+        |cfg: VariantCfg, policy: SchedPolicy, cost: CostModel| -> f64 {
+            let graph = ccsd::build_graph(ins.clone(), cfg, None);
+            SimEngine::new(nodes, cores).policy(policy).cost(cost).run(&graph).seconds()
+        };
+
+    if all || has_flag(&args, "--sched") {
+        println!("\n## Scheduler policy (v4 graph, {nodes}x{cores})");
+        for (name, policy, cfg) in [
+            ("priority+FIFO (paper default)", SchedPolicy::PriorityFifo, VariantCfg::v4()),
+            ("priority+LIFO", SchedPolicy::PriorityLifo, VariantCfg::v4()),
+            ("chain-affinity (cache reuse)", SchedPolicy::ChainAffinity, VariantCfg::v4()),
+            ("FIFO, no priorities (v2)", SchedPolicy::Fifo, VariantCfg::v2()),
+            ("LIFO, no priorities", SchedPolicy::Lifo, VariantCfg::v2()),
+        ] {
+            println!("{name:>32}: {:.3} s", run(cfg, policy, CostModel::default()));
+        }
+    }
+
+    if all || has_flag(&args, "--prefetch") {
+        println!("\n## Reader priority offset (prefetch pipeline depth, v4 base)");
+        for reader in [0i64, 1, 2, 5, 10, 50] {
+            let cfg = VariantCfg::v4().offsets(reader, 1);
+            println!(
+                "reader offset +{reader:<3} (pipeline ~{:>3}P): {:.3} s",
+                (reader - 1).max(0),
+                run(cfg, SchedPolicy::PriorityFifo, CostModel::default())
+            );
+        }
+    }
+
+    if all || has_flag(&args, "--heights") {
+        println!("\n## Segment height between the paper's extremes (v5 back end)");
+        let max_h = ins.max_chain_len;
+        for h in [1usize, 2, 4, 8, 16, max_h] {
+            println!(
+                "height {h:>3}{}: {:.3} s",
+                if h == max_h { " (full chain)" } else { "" },
+                run(VariantCfg::height(h), SchedPolicy::PriorityFifo, CostModel::default())
+            );
+        }
+    }
+
+    if all || has_flag(&args, "--levels") {
+        println!("\n## Barrier-separated levels in the legacy model");
+        for levels in [1usize, 2, 4, 7, 14] {
+            let rep = simulate_baseline(&ins, &BaselineCfg::new(nodes, cores).levels(levels));
+            println!("{levels:>2} level(s): {:.3} s", rep.seconds());
+        }
+    }
+
+    if all || has_flag(&args, "--mutex") {
+        println!("\n## Mutex operation cost (v3 vs v5: critical-region trade-off)");
+        for mult in [1.0f64, 10.0, 50.0, 200.0] {
+            let cost = CostModel { mutex_op_us: 10.0 * mult, ..CostModel::default() };
+            let t3 = run(VariantCfg::v3(), SchedPolicy::PriorityFifo, cost.clone());
+            let t5 = run(VariantCfg::v5(), SchedPolicy::PriorityFifo, cost);
+            println!(
+                "mutex op {:>7.1} us: v3 {:.3} s, v5 {:.3} s (v3/v5 = {:.3}x)",
+                10.0 * mult,
+                t3,
+                t5,
+                t3 / t5
+            );
+        }
+    }
+
+    if all || has_flag(&args, "--nxtval") {
+        println!("\n## NXTVAL service time (legacy work stealing hot spot)");
+        for mult in [1.0f64, 25.0, 100.0, 400.0] {
+            let cost = CostModel { nxtval_service_us: 0.4 * mult, ..CostModel::default() };
+            let rep = simulate_baseline(&ins, &BaselineCfg::new(nodes, cores).cost(cost));
+            println!(
+                "service {:>6.1} us: original {:.3} s ({} acquisitions)",
+                0.4 * mult,
+                rep.seconds(),
+                rep.nxtvals
+            );
+        }
+    }
+}

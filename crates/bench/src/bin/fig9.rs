@@ -1,0 +1,91 @@
+//! Figure 9: execution time of the original code and PaRSEC variants
+//! v1..v5 on 32 nodes of the modeled cluster, sweeping cores/node.
+//!
+//! ```text
+//! cargo run --release --bin fig9 -- [--scale paper] [--nodes 32]
+//!     [--cores 1,3,7,11,15] [--csv fig9.csv]
+//! ```
+//!
+//! Prints the execution-time table, the intra-node scaling of the
+//! original code (the paper quotes 2.35x at 3 cores and 2.69x at 7), the
+//! best-variant-vs-best-original ratio (paper: 2.1x), and the
+//! fastest/slowest variant spread at the highest core count (paper:
+//! 1.73x).
+
+use bench_harness::*;
+use ccsd::VariantCfg;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let nodes: usize = arg_value(&args, "--nodes").map(|v| v.parse().unwrap()).unwrap_or(32);
+    let cores: Vec<usize> = arg_value(&args, "--cores")
+        .map(|v| v.split(',').map(|x| x.parse().unwrap()).collect())
+        .unwrap_or_else(|| vec![1, 3, 7, 11, 15]);
+
+    let ins = prepare(&scale, nodes);
+
+    let mut columns: Vec<(String, Vec<f64>)> = Vec::new();
+
+    // Original code.
+    let mut orig = Vec::new();
+    for &c in &cores {
+        let rep = run_baseline(&ins, nodes, c, false);
+        eprintln!("# original {c:>2} cores/node: {:.3} s", rep.seconds());
+        orig.push(rep.seconds());
+    }
+    columns.push(("original".into(), orig.clone()));
+
+    // PaRSEC variants.
+    for cfg in VariantCfg::all() {
+        let mut col = Vec::new();
+        for &c in &cores {
+            let rep = run_variant(&ins, cfg, nodes, c, false);
+            eprintln!("# {} {c:>2} cores/node: {:.3} s", cfg.name, rep.seconds());
+            col.push(rep.seconds());
+        }
+        columns.push((cfg.name.to_string(), col));
+    }
+
+    print_table(
+        &format!("Figure 9: icsd_t2_7 execution time (s) on {nodes} nodes"),
+        &cores,
+        &columns,
+    );
+
+    // Headline ratios.
+    let best = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let orig_1 = orig[0];
+    println!("\n## Headline ratios (paper values in parentheses)");
+    for (i, &c) in cores.iter().enumerate() {
+        if c == 3 {
+            println!("original speedup at 3 cores/node:  {:.2}x (paper: 2.35x)", orig_1 / orig[i]);
+        }
+        if c == 7 {
+            println!("original speedup at 7 cores/node:  {:.2}x (paper: 2.69x)", orig_1 / orig[i]);
+        }
+    }
+    let orig_best = best(&orig);
+    let last = cores.len() - 1;
+    let at_last: Vec<(&str, f64)> =
+        columns[1..].iter().map(|(n, v)| (n.as_str(), v[last])).collect();
+    let (fast_name, fast) =
+        at_last.iter().cloned().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+    let (slow_name, slow) =
+        at_last.iter().cloned().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+    println!(
+        "best variant ({fast_name} @ {} cores) vs best original: {:.2}x (paper: 2.1x)",
+        cores[last],
+        orig_best / fast
+    );
+    println!(
+        "fastest ({fast_name}) vs slowest ({slow_name}) variant at {} cores/node: {:.2}x (paper: 1.73x)",
+        cores[last],
+        slow / fast
+    );
+
+    if let Some(path) = arg_value(&args, "--csv") {
+        write_csv(&path, &cores, &columns).expect("csv write");
+        eprintln!("# wrote {path}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Figures 4-8 as numbers: the task-graph shapes of the five variants.
+//!
+//! Figures 4-7 of the paper are diagrams of the variant task graphs
+//! (parallel GEMMs + reduction; serialized sort / single write;
+//! parallelized sort / single write; parallelized sort and write). This
+//! harness regenerates their content as auditable structure: task counts
+//! per class, dependence counts, DAG depth and width. Figure 8 (WRITE_C
+//! instances on the Global Arrays owner nodes) is regenerated as a
+//! placement audit.
+//!
+//! ```text
+//! cargo run --release --bin graph_shapes -- [--scale small] [--nodes 4]
+//! ```
+
+use bench_harness::*;
+use ccsd::{build_graph, VariantCfg};
+use ptg::validate::audit;
+use ptg::TaskKey;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--scale") {
+        scale_from_args(&args)
+    } else {
+        tce::scale::small()
+    };
+    let nodes: usize = arg_value(&args, "--nodes").map(|v| v.parse().unwrap()).unwrap_or(4);
+    let ins = prepare(&scale, nodes);
+
+    println!("## Figures 4-7: variant task-graph shapes ({} chains, {} GEMMs)\n", ins.num_chains(), ins.total_gemms);
+    println!(
+        "{:>4} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}",
+        "var", "READ", "DFILL", "GEMM", "REDUCE", "SORT", "WRITE_C", "deps", "depth", "width"
+    );
+    for cfg in VariantCfg::all() {
+        let g = build_graph(ins.clone(), cfg, None);
+        let a = audit(&g, 10_000_000).expect("audit");
+        let n = |k: &str| a.tasks_per_class.get(k).copied().unwrap_or(0);
+        println!(
+            "{:>4} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}",
+            cfg.name,
+            n("READ_A") + n("READ_B"),
+            n("DFILL"),
+            n("GEMM"),
+            n("REDUCE"),
+            n("SORT"),
+            n("WRITE_C"),
+            a.total_deps,
+            a.depth,
+            a.max_level_width,
+        );
+    }
+
+    // The extension: intermediate segment heights.
+    println!("\n## Extension: segment-height spectrum (v5 back end)\n");
+    println!("{:>8} {:>8} {:>8} {:>7}", "height", "REDUCE", "deps", "depth");
+    let max_h = ins.max_chain_len;
+    let mut heights = vec![1usize, 2, 4, 8, max_h];
+    heights.dedup();
+    heights.retain(|&h| h <= max_h || h == max_h);
+    for h in heights {
+        let g = build_graph(ins.clone(), VariantCfg::height(h), None);
+        let a = audit(&g, 10_000_000).expect("audit");
+        println!(
+            "{:>8} {:>8} {:>8} {:>7}",
+            h,
+            a.tasks_per_class.get("REDUCE").copied().unwrap_or(0),
+            a.total_deps,
+            a.depth
+        );
+    }
+
+    // Figure 8: WRITE_C instances land on the block owners.
+    println!("\n## Figure 8: WRITE_C placement on Global Arrays owner nodes\n");
+    let g = build_graph(ins.clone(), VariantCfg::v5(), None);
+    let ctx = g.ctx();
+    let mut per_node = vec![0usize; nodes];
+    let mut split_chains = 0;
+    for (l1, chain) in ins.chains.iter().enumerate() {
+        let owners = &chain.sorts[0].owners;
+        if owners.len() > 1 {
+            split_chains += 1;
+        }
+        for (w, (node, range)) in owners.iter().enumerate() {
+            let key = TaskKey::new(ccsd::variants::WRITE, &[l1 as i64, 0, w as i64]);
+            let placed = g.class_of(key).placement(key, ctx);
+            assert_eq!(placed, *node, "WRITE_C must run on its block's owner");
+            per_node[placed] += range.len();
+        }
+    }
+    println!("chains whose C block straddles a node boundary: {split_chains} / {}", ins.num_chains());
+    for (n, elems) in per_node.iter().enumerate() {
+        println!("node {n}: accumulates {elems} elements locally");
+    }
+    println!("\nall WRITE_C instances verified to execute on their data's owner node");
+
+    let _ = Arc::strong_count(&ins);
+}

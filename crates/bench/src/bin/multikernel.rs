@@ -1,0 +1,66 @@
+//! Multi-kernel workload study: `icsd_t2_7` + `icsd_t2_2` pooled.
+//!
+//! NWChem's CC iteration runs 60+ generated subroutines whose chains are
+//! grouped into seven barrier-separated levels; the paper measures one
+//! subroutine but its Section III-A analysis is about the pooled
+//! structure. This harness runs a two-kernel mix (the particle-particle
+//! and hole-hole ladders) through both execution models:
+//!
+//! * the legacy model, with the kernels pooled in one level vs split into
+//!   levels with a barrier between them (the real NWChem structure);
+//! * the PaRSEC variants, which need no barrier at all — chains of both
+//!   kernels interleave freely in the task graph.
+//!
+//! ```text
+//! cargo run --release --bin multikernel -- [--scale medium] [--nodes 8]
+//!     [--cores 7]
+//! ```
+
+use bench_harness::*;
+use ccsd::{build_graph, simulate_baseline, BaselineCfg, VariantCfg};
+use parsec_rt::SimEngine;
+use std::sync::Arc;
+use tce::{inspect_kernels, Kernel, TileSpace};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--scale") {
+        scale_from_args(&args)
+    } else {
+        tce::scale::medium()
+    };
+    let nodes: usize = arg_value(&args, "--nodes").map(|v| v.parse().unwrap()).unwrap_or(8);
+    let cores: usize = arg_value(&args, "--cores").map(|v| v.parse().unwrap()).unwrap_or(7);
+
+    let space = TileSpace::build(&scale);
+    let ins = Arc::new(inspect_kernels(&space, nodes, &[Kernel::T2_7, Kernel::T2_2]));
+    let k7 = ins.chains.iter().filter(|c| c.kernel == Kernel::T2_7).count();
+    let k2 = ins.num_chains() - k7;
+    println!(
+        "workload: {} chains ({k7} t2_7 + {k2} t2_2), {} GEMMs, on {nodes}x{cores}",
+        ins.num_chains(),
+        ins.total_gemms
+    );
+
+    println!("\n## Legacy model: pooling vs barrier-separated levels");
+    for levels in [1usize, 2, 4, 7] {
+        let rep = simulate_baseline(&ins, &BaselineCfg::new(nodes, cores).levels(levels));
+        println!(
+            "{levels} level(s): {:>8.3} s{}",
+            rep.seconds(),
+            if levels == 1 { "  (both kernels in one NXTVAL pool)" } else { "" }
+        );
+    }
+
+    println!("\n## PaRSEC variants (no barriers: kernels interleave in the graph)");
+    for cfg in VariantCfg::all() {
+        let graph = build_graph(ins.clone(), cfg, None);
+        let policy = if cfg.priorities {
+            parsec_rt::SchedPolicy::PriorityFifo
+        } else {
+            parsec_rt::SchedPolicy::Fifo
+        };
+        let rep = SimEngine::new(nodes, cores).policy(policy).run(&graph);
+        println!("{:>2}: {:>8.3} s", cfg.name, rep.seconds());
+    }
+}

@@ -1,0 +1,56 @@
+//! Diagnostic: where does the time go? Per-class busy time, idle
+//! fraction, and comm overlap for the baseline and one variant.
+
+use bench_harness::*;
+use ccsd::VariantCfg;
+use xtrace::analyze;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let nodes: usize = arg_value(&args, "--nodes").map(|v| v.parse().unwrap()).unwrap_or(32);
+    let cores: usize = arg_value(&args, "--cores").map(|v| v.parse().unwrap()).unwrap_or(7);
+    let ins = prepare(&scale, nodes);
+
+    // Chain-length distribution.
+    let mut lens: Vec<usize> = ins.chains.iter().map(|c| c.gemms.len()).collect();
+    lens.sort_unstable();
+    let sum: usize = lens.iter().sum();
+    eprintln!(
+        "# chain gemm-count: min {} p50 {} p90 {} max {} mean {:.1}",
+        lens[0],
+        lens[lens.len() / 2],
+        lens[lens.len() * 9 / 10],
+        lens[lens.len() - 1],
+        sum as f64 / lens.len() as f64
+    );
+    let multi = ins.chains.iter().filter(|c| c.sorts.len() > 1).count();
+    eprintln!("# chains with >1 sort: {} / {}", multi, ins.num_chains());
+
+    let base = run_baseline(&ins, nodes, cores, true);
+    let st = analyze::stats(&base.trace);
+    eprintln!("\n# baseline {nodes}x{cores}: {:.3} s, idle {:.1}%", base.seconds(), 100.0 * st.idle_fraction());
+    for (name, (count, t)) in &st.per_class {
+        eprintln!("#   {name:>8}: {count:>8} spans, {:>8.3} s total, {:.1}% of busy", *t as f64 / 1e9, 100.0 * *t as f64 / st.busy as f64);
+    }
+
+    for cfg in [VariantCfg::v5(), VariantCfg::v3()] {
+        let rep = run_variant(&ins, cfg, nodes, cores, true);
+        let st = analyze::stats(&rep.trace);
+        eprintln!(
+            "\n# {} {nodes}x{cores}: {:.3} s, idle {:.1}%, msgs {}, GB {:.1}, mutex acq {}",
+            cfg.name,
+            rep.seconds(),
+            100.0 * st.idle_fraction(),
+            rep.messages,
+            rep.bytes as f64 / 1e9,
+            rep.mutex_acquisitions
+        );
+        for (name, (count, t)) in &st.per_class {
+            eprintln!("#   {name:>8}: {count:>8} spans, {:>8.3} s total, {:.1}% of busy", *t as f64 / 1e9, 100.0 * *t as f64 / st.busy as f64);
+        }
+        let ov = analyze::comm_overlap(&rep.trace);
+        let (c, o): (u64, u64) = ov.values().fold((0, 0), |(c, o), n| (c + n.comm, o + n.overlapped));
+        eprintln!("#   comm overlap: {:.1}%", 100.0 * o as f64 / c.max(1) as f64);
+    }
+}

@@ -1,0 +1,108 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+
+use ccsd::{simulate_baseline, BaselineCfg, VariantCfg};
+use parsec_rt::{SchedPolicy, SimEngine};
+use std::sync::Arc;
+use tce::{inspect, Inspection, SpaceConfig, TileSpace};
+
+/// Parse a `--scale {tiny|small|medium|paper}` argument (default paper).
+pub fn scale_from_args(args: &[String]) -> SpaceConfig {
+    match args.iter().position(|a| a == "--scale") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("tiny") => tce::scale::tiny(),
+            Some("small") => tce::scale::small(),
+            Some("medium") => tce::scale::medium(),
+            Some("paper") | None => tce::scale::paper(),
+            Some(other) => panic!("unknown scale `{other}`"),
+        },
+        None => tce::scale::paper(),
+    }
+}
+
+/// Presence of a boolean flag.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Value of a `--key value` argument.
+pub fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Run the inspection for a scale/node count, reporting workload size.
+pub fn prepare(cfg: &SpaceConfig, nodes: usize) -> Arc<Inspection> {
+    let space = TileSpace::build(cfg);
+    let ins = Arc::new(inspect(&space, nodes));
+    eprintln!(
+        "# workload: {} chains, {} GEMMs, max chain {} (o={}, v={} spin orbitals)",
+        ins.num_chains(),
+        ins.total_gemms,
+        ins.max_chain_len,
+        space.n_occ(),
+        space.n_virt(),
+    );
+    ins
+}
+
+/// Simulate one PaRSEC variant; returns seconds.
+pub fn run_variant(
+    ins: &Arc<Inspection>,
+    cfg: VariantCfg,
+    nodes: usize,
+    cores: usize,
+    trace: bool,
+) -> parsec_rt::SimReport {
+    let graph = ccsd::build_graph(ins.clone(), cfg, None);
+    let policy = if cfg.priorities { SchedPolicy::PriorityFifo } else { SchedPolicy::Fifo };
+    SimEngine::new(nodes, cores).policy(policy).collect_trace(trace).run(&graph)
+}
+
+/// Simulate the original code; returns the report.
+pub fn run_baseline(
+    ins: &Inspection,
+    nodes: usize,
+    cores: usize,
+    trace: bool,
+) -> ccsd::BaselineReport {
+    simulate_baseline(ins, &BaselineCfg::new(nodes, cores).collect_trace(trace))
+}
+
+/// Format a seconds table: rows = cores/node, columns = configurations.
+pub fn print_table(title: &str, cores: &[usize], columns: &[(String, Vec<f64>)]) {
+    println!("\n## {title}");
+    print!("{:>12}", "cores/node");
+    for (name, _) in columns {
+        print!("{name:>12}");
+    }
+    println!();
+    for (r, &c) in cores.iter().enumerate() {
+        print!("{c:>12}");
+        for (_, vals) in columns {
+            print!("{:>12.3}", vals[r]);
+        }
+        println!();
+    }
+}
+
+/// Write the same table as CSV.
+pub fn write_csv(
+    path: &str,
+    cores: &[usize],
+    columns: &[(String, Vec<f64>)],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "cores_per_node")?;
+    for (name, _) in columns {
+        write!(f, ",{name}")?;
+    }
+    writeln!(f)?;
+    for (r, &c) in cores.iter().enumerate() {
+        write!(f, "{c}")?;
+        for (_, vals) in columns {
+            write!(f, ",{:.6}", vals[r])?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! Pure-arithmetic block distribution.
+//!
+//! `Distribution` answers the ownership questions (`ga_distribution`,
+//! `owner of offset`, `split range by owner`) without allocating any data.
+//! The inspection phase and the discrete-event simulator work at
+//! paper scale (tensors of tens of gigabytes) where materializing the
+//! arrays is neither possible nor needed; they use this type directly,
+//! while [`crate::Ga`] uses it internally for its real arrays.
+
+use crate::NodeId;
+use std::ops::Range;
+
+/// GA's default regular block distribution of `len` elements over
+/// `nodes` nodes: equal chunks, remainder on the last node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Distribution {
+    len: usize,
+    starts: Vec<usize>,
+}
+
+impl Distribution {
+    /// Build the distribution.
+    pub fn new(len: usize, nodes: usize) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        let per = len.div_ceil(nodes).max(1);
+        let mut starts = Vec::with_capacity(nodes + 1);
+        let mut off = 0;
+        for _ in 0..nodes {
+            starts.push(off);
+            off += per.min(len - off);
+        }
+        starts.push(len);
+        Self { len, starts }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Global offset range owned by `node`.
+    pub fn range_of(&self, node: NodeId) -> Range<usize> {
+        self.starts[node]..self.starts[node + 1]
+    }
+
+    /// Owner of one global offset.
+    pub fn owner_of(&self, offset: usize) -> NodeId {
+        assert!(offset < self.len, "offset {offset} out of bounds ({})", self.len);
+        self.starts.partition_point(|&s| s <= offset) - 1
+    }
+
+    /// Split `[offset, offset+len)` into per-owner `(node, subrange)`.
+    pub fn owners_of(&self, offset: usize, len: usize) -> Vec<(NodeId, Range<usize>)> {
+        assert!(offset + len <= self.len, "range out of bounds");
+        let mut out = Vec::new();
+        let mut cur = offset;
+        let end = offset + len;
+        while cur < end {
+            let node = self.starts.partition_point(|&s| s <= cur) - 1;
+            let seg_end = self.starts[node + 1].min(end);
+            out.push((node, cur..seg_end));
+            cur = seg_end;
+        }
+        out
+    }
+
+    /// Start offsets per node (length `nodes + 1`, last entry == `len`).
+    pub fn starts(&self) -> &[usize] {
+        &self.starts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_with_remainder() {
+        let d = Distribution::new(10, 3);
+        assert_eq!(d.range_of(0), 0..4);
+        assert_eq!(d.range_of(1), 4..8);
+        assert_eq!(d.range_of(2), 8..10);
+        assert_eq!(d.owner_of(0), 0);
+        assert_eq!(d.owner_of(7), 1);
+        assert_eq!(d.owner_of(9), 2);
+    }
+
+    #[test]
+    fn owners_split_ranges() {
+        let d = Distribution::new(10, 3);
+        assert_eq!(d.owners_of(2, 7), vec![(0, 2..4), (1, 4..8), (2, 8..9)]);
+        assert_eq!(d.owners_of(4, 0), vec![]);
+    }
+
+    #[test]
+    fn more_nodes_than_elements() {
+        let d = Distribution::new(2, 4);
+        assert_eq!(d.owner_of(0), 0);
+        assert_eq!(d.owner_of(1), 1);
+        assert_eq!(d.range_of(2), 2..2);
+        assert_eq!(d.range_of(3), 2..2);
+    }
+
+    #[test]
+    fn huge_virtual_array_costs_nothing() {
+        // 18 GB of doubles: structural queries only.
+        let n = 2_400_000_000usize;
+        let d = Distribution::new(n, 32);
+        assert_eq!(d.nodes(), 32);
+        assert_eq!(d.owner_of(n - 1), 31);
+        assert_eq!(d.owners_of(0, n).len(), 32);
+    }
+}

@@ -1,0 +1,314 @@
+//! A Global-Arrays-like toolkit.
+//!
+//! NWChem's TCE-generated code stores every tensor as a 1-D Global Array
+//! that is block-distributed across nodes, addressed through a hash index
+//! (`GET_HASH_BLOCK` / `ADD_HASH_BLOCK`), load-balanced with a shared
+//! `NXTVAL` counter, and introspected with `ga_distribution`/`ga_access`.
+//! This crate implements those facilities for a *logical* cluster living in
+//! one process: data is real (so numerics are exact), node boundaries are
+//! real (so ownership queries drive task placement and the simulator's
+//! communication model), and every operation is counted (so executions can
+//! be audited).
+//!
+//! * [`Ga`] — the toolkit instance: create arrays, query distributions,
+//!   get/put/accumulate, `nxtval`.
+//! * [`HashIndex`] — the TCE hash map from block key to `(offset, size)`.
+//! * [`GaStats`] — operation counters.
+
+pub mod dist;
+pub mod hash;
+pub mod stats;
+
+pub use dist::Distribution;
+pub use hash::HashIndex;
+pub use stats::GaStats;
+
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Logical node index.
+pub type NodeId = usize;
+
+/// Handle to one global array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GaHandle(usize);
+
+/// One block-distributed array: node `i` owns the contiguous slice
+/// `[chunk*i, chunk*(i+1))` (last node takes the remainder), mirroring
+/// GA's default regular distribution.
+struct Array {
+    /// Ownership arithmetic, shared with the structural-only code paths.
+    dist: Distribution,
+    /// Per-node owned segments, guarded individually so that concurrent
+    /// accumulates to different nodes do not serialize (and accumulates to
+    /// the same node do, as in GA).
+    segments: Vec<Mutex<Vec<f64>>>,
+}
+
+/// The Global Arrays toolkit instance for a logical cluster of `nodes`.
+pub struct Ga {
+    nodes: usize,
+    arrays: Mutex<Vec<std::sync::Arc<Array>>>,
+    nxtval: AtomicI64,
+    stats: GaStats,
+}
+
+impl Ga {
+    /// Initialize the toolkit for a cluster of `nodes >= 1` logical nodes.
+    pub fn init(nodes: usize) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        Self { nodes, arrays: Mutex::new(Vec::new()), nxtval: AtomicI64::new(0), stats: GaStats::default() }
+    }
+
+    /// Number of logical nodes.
+    pub fn nnodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &GaStats {
+        &self.stats
+    }
+
+    /// Create a zero-initialized array of `len` elements.
+    pub fn create(&self, len: usize) -> GaHandle {
+        let dist = Distribution::new(len, self.nodes);
+        let segments = (0..self.nodes)
+            .map(|n| Mutex::new(vec![0.0; dist.range_of(n).len()]))
+            .collect();
+        let mut arrays = self.arrays.lock();
+        arrays.push(std::sync::Arc::new(Array { dist, segments }));
+        GaHandle(arrays.len() - 1)
+    }
+
+    fn array(&self, h: GaHandle) -> std::sync::Arc<Array> {
+        self.arrays.lock()[h.0].clone()
+    }
+
+    /// Total length of the array.
+    pub fn len_of(&self, h: GaHandle) -> usize {
+        self.array(h).dist.len()
+    }
+
+    /// Clone of the array's block distribution (for structural queries).
+    pub fn dist_of(&self, h: GaHandle) -> Distribution {
+        self.array(h).dist.clone()
+    }
+
+    /// `ga_distribution`: the range of global offsets owned by `node`.
+    pub fn distribution(&self, h: GaHandle, node: NodeId) -> Range<usize> {
+        self.array(h).dist.range_of(node)
+    }
+
+    /// Owner of a single global offset.
+    pub fn owner_of(&self, h: GaHandle, offset: usize) -> NodeId {
+        self.array(h).dist.owner_of(offset)
+    }
+
+    /// Split `[offset, offset+len)` into per-owner pieces
+    /// `(node, global_subrange)` — the information used to instantiate one
+    /// `WRITE_C(i)` task per owner node (paper Figure 8).
+    pub fn owners_of(&self, h: GaHandle, offset: usize, len: usize) -> Vec<(NodeId, Range<usize>)> {
+        self.array(h).dist.owners_of(offset, len)
+    }
+
+    /// Read `[offset, offset+len)` into a fresh buffer (the data-movement
+    /// half of `GET_HASH_BLOCK`).
+    pub fn get(&self, h: GaHandle, offset: usize, len: usize) -> Vec<f64> {
+        let a = self.array(h);
+        let mut out = Vec::with_capacity(len);
+        for (node, range) in a.dist.owners_of(offset, len) {
+            let seg = a.segments[node].lock();
+            let s = a.dist.range_of(node).start;
+            out.extend_from_slice(&seg[range.start - s..range.end - s]);
+        }
+        self.stats.record_get(len * 8);
+        out
+    }
+
+    /// Overwrite `[offset, offset+len)` with `data`.
+    pub fn put(&self, h: GaHandle, offset: usize, data: &[f64]) {
+        let a = self.array(h);
+        for (node, range) in a.dist.owners_of(offset, data.len()) {
+            let mut seg = a.segments[node].lock();
+            let s = a.dist.range_of(node).start;
+            let src = &data[range.start - offset..range.end - offset];
+            seg[range.start - s..range.end - s].copy_from_slice(src);
+        }
+        self.stats.record_put(data.len() * 8);
+    }
+
+    /// Atomic accumulate: `ga[offset..] += alpha * data` (the
+    /// `ADD_HASH_BLOCK` primitive). Atomicity granularity is the owner
+    /// node's segment lock, as in GA.
+    pub fn acc(&self, h: GaHandle, offset: usize, data: &[f64], alpha: f64) {
+        let a = self.array(h);
+        for (node, range) in a.dist.owners_of(offset, data.len()) {
+            let mut seg = a.segments[node].lock();
+            let s = a.dist.range_of(node).start;
+            let src = &data[range.start - offset..range.end - offset];
+            for (dst, x) in seg[range.start - s..range.end - s].iter_mut().zip(src) {
+                *dst += alpha * x;
+            }
+        }
+        self.stats.record_acc(data.len() * 8);
+    }
+
+    /// Accumulate into only the part of `[offset, offset+len)` owned by
+    /// `node` — what one `WRITE_C(i)` instance does with its slice of the
+    /// incoming `C_sorted` matrix. No-op if `node` owns none of the range.
+    pub fn acc_local(&self, h: GaHandle, node: NodeId, offset: usize, data: &[f64], alpha: f64) {
+        let a = self.array(h);
+        let r = a.dist.range_of(node);
+        let (lo, hi) = (r.start, r.end);
+        let begin = offset.max(lo);
+        let end = (offset + data.len()).min(hi);
+        if begin >= end {
+            return;
+        }
+        let mut seg = a.segments[node].lock();
+        let src = &data[begin - offset..end - offset];
+        for (dst, x) in seg[begin - lo..end - lo].iter_mut().zip(src) {
+            *dst += alpha * x;
+        }
+        self.stats.record_acc((end - begin) * 8);
+    }
+
+    /// Snapshot the full array (test/analysis helper; not a GA operation).
+    pub fn snapshot(&self, h: GaHandle) -> Vec<f64> {
+        let a = self.array(h);
+        let mut out = Vec::with_capacity(a.dist.len());
+        for seg in &a.segments {
+            out.extend_from_slice(&seg.lock());
+        }
+        out
+    }
+
+    /// Zero the array in place.
+    pub fn zero(&self, h: GaHandle) {
+        let a = self.array(h);
+        for seg in &a.segments {
+            seg.lock().fill(0.0);
+        }
+    }
+
+    /// `NXTVAL`: the shared work-stealing counter. Every call atomically
+    /// returns the next value — "each MPI rank will atomically acquire a
+    /// single unit of work each time". This is the global hot spot the
+    /// paper identifies as unscalable.
+    pub fn nxtval(&self) -> i64 {
+        self.stats.record_nxtval();
+        self.nxtval.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Reset the NXTVAL counter (done between the seven work levels).
+    pub fn nxtval_reset(&self) {
+        self.nxtval.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_covers_array_disjointly() {
+        let ga = Ga::init(3);
+        let h = ga.create(10);
+        let d: Vec<_> = (0..3).map(|n| ga.distribution(h, n)).collect();
+        assert_eq!(d[0], 0..4);
+        assert_eq!(d[1], 4..8);
+        assert_eq!(d[2], 8..10);
+    }
+
+    #[test]
+    fn owner_queries() {
+        let ga = Ga::init(3);
+        let h = ga.create(10);
+        assert_eq!(ga.owner_of(h, 0), 0);
+        assert_eq!(ga.owner_of(h, 3), 0);
+        assert_eq!(ga.owner_of(h, 4), 1);
+        assert_eq!(ga.owner_of(h, 9), 2);
+        let owners = ga.owners_of(h, 2, 7); // [2, 9)
+        assert_eq!(owners, vec![(0, 2..4), (1, 4..8), (2, 8..9)]);
+    }
+
+    #[test]
+    fn get_put_roundtrip_across_boundaries() {
+        let ga = Ga::init(4);
+        let h = ga.create(17);
+        let data: Vec<f64> = (0..9).map(|x| x as f64).collect();
+        ga.put(h, 3, &data);
+        assert_eq!(ga.get(h, 3, 9), data);
+        // Unwritten parts stay zero.
+        assert_eq!(ga.get(h, 0, 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn acc_accumulates_with_alpha() {
+        let ga = Ga::init(2);
+        let h = ga.create(6);
+        ga.acc(h, 1, &[1.0, 1.0, 1.0, 1.0], 2.0);
+        ga.acc(h, 3, &[10.0], 1.0);
+        assert_eq!(ga.snapshot(h), vec![0.0, 2.0, 2.0, 12.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn acc_local_only_touches_owned_part() {
+        let ga = Ga::init(2);
+        let h = ga.create(8); // node0: 0..4, node1: 4..8
+        let data = vec![1.0; 6]; // global [1, 7)
+        ga.acc_local(h, 0, 1, &data, 1.0);
+        assert_eq!(ga.snapshot(h), vec![0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        ga.acc_local(h, 1, 1, &data, 1.0);
+        assert_eq!(ga.snapshot(h), vec![0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0]);
+        // Sum of per-owner acc_local == one global acc.
+        let ga2 = Ga::init(2);
+        let h2 = ga2.create(8);
+        ga2.acc(h2, 1, &data, 1.0);
+        assert_eq!(ga.snapshot(h), ga2.snapshot(h2));
+    }
+
+    #[test]
+    fn nxtval_monotone() {
+        let ga = Ga::init(1);
+        assert_eq!(ga.nxtval(), 0);
+        assert_eq!(ga.nxtval(), 1);
+        ga.nxtval_reset();
+        assert_eq!(ga.nxtval(), 0);
+        assert_eq!(ga.stats().nxtvals(), 3);
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let ga = Ga::init(2);
+        let h = ga.create(10);
+        ga.get(h, 0, 5);
+        ga.acc(h, 0, &[1.0; 4], 1.0);
+        assert_eq!(ga.stats().get_bytes(), 40);
+        assert_eq!(ga.stats().acc_bytes(), 32);
+        assert_eq!(ga.stats().gets(), 1);
+    }
+
+    #[test]
+    fn concurrent_accs_are_atomic() {
+        use std::sync::Arc;
+        let ga = Arc::new(Ga::init(3));
+        let h = ga.create(32);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let ga = ga.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        ga.acc(h, 0, &vec![1.0; 32], 1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(ga.snapshot(h).iter().all(|&x| x == 1000.0));
+    }
+}

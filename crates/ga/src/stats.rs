@@ -1,0 +1,63 @@
+//! Operation counters for auditing executions (how many gets/accs/nxtvals
+//! a given execution model issued, and how many bytes moved).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe operation counters.
+#[derive(Debug, Default)]
+pub struct GaStats {
+    gets: AtomicU64,
+    get_bytes: AtomicU64,
+    puts: AtomicU64,
+    put_bytes: AtomicU64,
+    accs: AtomicU64,
+    acc_bytes: AtomicU64,
+    nxtvals: AtomicU64,
+}
+
+impl GaStats {
+    pub(crate) fn record_get(&self, bytes: usize) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.get_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn record_put(&self, bytes: usize) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.put_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn record_acc(&self, bytes: usize) {
+        self.accs.fetch_add(1, Ordering::Relaxed);
+        self.acc_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn record_nxtval(&self) {
+        self.nxtvals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of `get` operations.
+    pub fn gets(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+    /// Bytes read by `get` operations.
+    pub fn get_bytes(&self) -> u64 {
+        self.get_bytes.load(Ordering::Relaxed)
+    }
+    /// Number of `put` operations.
+    pub fn puts(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+    /// Bytes written by `put` operations.
+    pub fn put_bytes(&self) -> u64 {
+        self.put_bytes.load(Ordering::Relaxed)
+    }
+    /// Number of accumulate operations.
+    pub fn accs(&self) -> u64 {
+        self.accs.load(Ordering::Relaxed)
+    }
+    /// Bytes accumulated.
+    pub fn acc_bytes(&self) -> u64 {
+        self.acc_bytes.load(Ordering::Relaxed)
+    }
+    /// Number of NXTVAL acquisitions.
+    pub fn nxtvals(&self) -> u64 {
+        self.nxtvals.load(Ordering::Relaxed)
+    }
+}

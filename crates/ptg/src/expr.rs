@@ -1,0 +1,721 @@
+//! Expression language for the PTG DSL.
+//!
+//! The JDF snippets in the paper use integer arithmetic, comparisons,
+//! ternary guards (`(L2 == 0) ? ...`), references to parameters and
+//! globals, and calls to arbitrary C functions
+//! (`find_last_segment_owner(mtdata, 0, L2, L1)`). This module provides
+//! the equivalent: a small integer expression language with host-function
+//! calls, used for parameter ranges, dependency guards, endpoint
+//! parameters, priorities and placements.
+//!
+//! Values are `i64`; booleans are `0`/`1`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Binary operators in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Parsed expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Int(i64),
+    Var(String),
+    Call(String, Vec<Expr>),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Parse or evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExprError {
+    pub msg: String,
+    pub pos: usize,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.msg, self.pos)
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+fn err<T>(msg: impl Into<String>, pos: usize) -> Result<T, ExprError> {
+    Err(ExprError { msg: msg.into(), pos })
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Int(i64),
+    Ident(String),
+    Op(&'static str),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn next(&mut self) -> Result<(Tok, usize), ExprError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok((Tok::Eof, start));
+        }
+        let c = self.src[self.pos];
+        if c.is_ascii_digit() {
+            let mut v: i64 = 0;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                v = v
+                    .checked_mul(10)
+                    .and_then(|x| x.checked_add((self.src[self.pos] - b'0') as i64))
+                    .ok_or(ExprError { msg: "integer overflow".into(), pos: start })?;
+                self.pos += 1;
+            }
+            return Ok((Tok::Int(v), start));
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+            return Ok((Tok::Ident(s), start));
+        }
+        // Multi-char operators first.
+        const TWO: &[&str] = &["==", "!=", "<=", ">=", "&&", "||"];
+        if self.pos + 1 < self.src.len() {
+            let pair = &self.src[self.pos..self.pos + 2];
+            for &op in TWO {
+                if pair == op.as_bytes() {
+                    self.pos += 2;
+                    return Ok((Tok::Op(op), start));
+                }
+            }
+        }
+        const ONE: &[&str] = &["+", "-", "*", "/", "%", "<", ">", "!", "?", ":", "(", ")", ","];
+        for &op in ONE {
+            if c == op.as_bytes()[0] {
+                self.pos += 1;
+                return Ok((Tok::Op(op), start));
+            }
+        }
+        err(format!("unexpected character {:?}", c as char), start)
+    }
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser<'a> {
+    lex: Lexer<'a>,
+    cur: Tok,
+    cur_pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Self, ExprError> {
+        let mut lex = Lexer::new(src);
+        let (cur, cur_pos) = lex.next()?;
+        Ok(Self { lex, cur, cur_pos })
+    }
+
+    fn bump(&mut self) -> Result<(), ExprError> {
+        let (t, p) = self.lex.next()?;
+        self.cur = t;
+        self.cur_pos = p;
+        Ok(())
+    }
+
+    fn eat_op(&mut self, op: &str) -> Result<bool, ExprError> {
+        if self.cur == Tok::Op(match_op(op)) {
+            self.bump()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn expect_op(&mut self, op: &str) -> Result<(), ExprError> {
+        if !self.eat_op(op)? {
+            return err(format!("expected `{op}`, found {:?}", self.cur), self.cur_pos);
+        }
+        Ok(())
+    }
+
+    /// Full expression: ternary (right associative, lowest precedence).
+    fn expr(&mut self) -> Result<Expr, ExprError> {
+        let cond = self.or_expr()?;
+        if self.eat_op("?")? {
+            let a = self.expr()?;
+            self.expect_op(":")?;
+            let b = self.expr()?;
+            return Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)));
+        }
+        Ok(cond)
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_op("||")? {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_op("&&")? {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ExprError> {
+        let lhs = self.add_expr()?;
+        for (tok, op) in [
+            ("==", BinOp::Eq),
+            ("!=", BinOp::Ne),
+            ("<=", BinOp::Le),
+            (">=", BinOp::Ge),
+            ("<", BinOp::Lt),
+            (">", BinOp::Gt),
+        ] {
+            if self.eat_op(tok)? {
+                let rhs = self.add_expr()?;
+                return Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_op("+")? {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Binary(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("-")? {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Binary(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.eat_op("*")? {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("/")? {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary(BinOp::Div, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("%")? {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary(BinOp::Mod, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ExprError> {
+        if self.eat_op("-")? {
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)));
+        }
+        if self.eat_op("!")? {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ExprError> {
+        match self.cur.clone() {
+            Tok::Int(v) => {
+                self.bump()?;
+                Ok(Expr::Int(v))
+            }
+            Tok::Ident(name) => {
+                self.bump()?;
+                if self.eat_op("(")? {
+                    let mut args = Vec::new();
+                    if !self.eat_op(")")? {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_op(")")? {
+                                break;
+                            }
+                            self.expect_op(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Tok::Op("(") => {
+                self.bump()?;
+                let e = self.expr()?;
+                self.expect_op(")")?;
+                Ok(e)
+            }
+            t => err(format!("unexpected token {t:?}"), self.cur_pos),
+        }
+    }
+}
+
+fn match_op(op: &str) -> &'static str {
+    const ALL: &[&str] = &[
+        "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "!", "?", ":",
+        "(", ")", ",",
+    ];
+    ALL.iter().find(|&&o| o == op).copied().expect("unknown operator literal")
+}
+
+/// Parse a complete expression; trailing input is an error.
+pub fn parse(src: &str) -> Result<Expr, ExprError> {
+    let mut p = Parser::new(src)?;
+    let e = p.expr()?;
+    if p.cur != Tok::Eof {
+        return err(format!("trailing input {:?}", p.cur), p.cur_pos);
+    }
+    Ok(e)
+}
+
+// ------------------------------------------------------------ evaluation --
+
+/// Name resolution for evaluation: variables and host functions.
+pub trait Env {
+    /// Value of a variable.
+    fn var(&self, name: &str) -> Option<i64>;
+    /// Invoke a host function.
+    fn call(&self, name: &str, args: &[i64]) -> Option<i64>;
+}
+
+/// A heap-allocated host function.
+pub type HostFn = Arc<dyn Fn(&[i64]) -> i64 + Send + Sync>;
+
+/// Simple map-backed [`Env`]; supports layering via `parent`.
+#[derive(Default, Clone)]
+pub struct MapEnv {
+    vars: HashMap<String, i64>,
+    funcs: HashMap<String, HostFn>,
+}
+
+impl MapEnv {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a variable.
+    pub fn set(&mut self, name: &str, value: i64) -> &mut Self {
+        self.vars.insert(name.to_string(), value);
+        self
+    }
+
+    /// Register a host function.
+    pub fn func(&mut self, name: &str, f: HostFn) -> &mut Self {
+        self.funcs.insert(name.to_string(), f);
+        self
+    }
+}
+
+impl Env for MapEnv {
+    fn var(&self, name: &str) -> Option<i64> {
+        self.vars.get(name).copied()
+    }
+    fn call(&self, name: &str, args: &[i64]) -> Option<i64> {
+        self.funcs.get(name).map(|f| f(args))
+    }
+}
+
+/// Two-layer environment: locals (task parameters) over globals.
+pub struct Layered<'a> {
+    pub locals: &'a MapEnv,
+    pub globals: &'a MapEnv,
+}
+
+impl Env for Layered<'_> {
+    fn var(&self, name: &str) -> Option<i64> {
+        self.locals.var(name).or_else(|| self.globals.var(name))
+    }
+    fn call(&self, name: &str, args: &[i64]) -> Option<i64> {
+        self.locals.call(name, args).or_else(|| self.globals.call(name, args))
+    }
+}
+
+/// Evaluate `e` under `env`.
+pub fn eval(e: &Expr, env: &dyn Env) -> Result<i64, ExprError> {
+    match e {
+        Expr::Int(v) => Ok(*v),
+        Expr::Var(name) => {
+            env.var(name).ok_or_else(|| ExprError { msg: format!("unbound variable `{name}`"), pos: 0 })
+        }
+        Expr::Call(name, args) => {
+            let vals: Result<Vec<i64>, _> = args.iter().map(|a| eval(a, env)).collect();
+            let vals = vals?;
+            env.call(name, &vals)
+                .ok_or_else(|| ExprError { msg: format!("unknown function `{name}`"), pos: 0 })
+        }
+        Expr::Unary(op, a) => {
+            let v = eval(a, env)?;
+            Ok(match op {
+                UnOp::Neg => -v,
+                UnOp::Not => (v == 0) as i64,
+            })
+        }
+        Expr::Binary(op, a, b) => {
+            // Short-circuit logical operators.
+            match op {
+                BinOp::And => {
+                    return Ok(if eval(a, env)? != 0 && eval(b, env)? != 0 { 1 } else { 0 })
+                }
+                BinOp::Or => {
+                    return Ok(if eval(a, env)? != 0 || eval(b, env)? != 0 { 1 } else { 0 })
+                }
+                _ => {}
+            }
+            let x = eval(a, env)?;
+            let y = eval(b, env)?;
+            Ok(match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => {
+                    if y == 0 {
+                        return err("division by zero", 0);
+                    }
+                    x / y
+                }
+                BinOp::Mod => {
+                    if y == 0 {
+                        return err("modulo by zero", 0);
+                    }
+                    x % y
+                }
+                BinOp::Eq => (x == y) as i64,
+                BinOp::Ne => (x != y) as i64,
+                BinOp::Lt => (x < y) as i64,
+                BinOp::Le => (x <= y) as i64,
+                BinOp::Gt => (x > y) as i64,
+                BinOp::Ge => (x >= y) as i64,
+                BinOp::And | BinOp::Or => unreachable!(),
+            })
+        }
+        Expr::Ternary(c, a, b) => {
+            if eval(c, env)? != 0 {
+                eval(a, env)
+            } else {
+                eval(b, env)
+            }
+        }
+    }
+}
+
+/// Parse and evaluate in one step (convenience for tests).
+pub fn eval_str(src: &str, env: &dyn Env) -> Result<i64, ExprError> {
+    eval(&parse(src)?, env)
+}
+
+// --------------------------------------------------- printing / folding --
+
+impl BinOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Fully-parenthesized rendering: `parse(format!("{e}")) == e` for
+    /// every expression (the roundtrip property test relies on it).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(v) => {
+                if *v < 0 {
+                    write!(f, "({v})")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Var(n) => write!(f, "{n}"),
+            Expr::Call(n, args) => {
+                write!(f, "{n}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Unary(UnOp::Neg, a) => write!(f, "(-{a})"),
+            Expr::Unary(UnOp::Not, a) => write!(f, "(!{a})"),
+            Expr::Binary(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::Ternary(c, a, b) => write!(f, "({c} ? {a} : {b})"),
+        }
+    }
+}
+
+/// Constant-fold an expression: subtrees without free variables or calls
+/// collapse to literals, guards with constant conditions select a branch,
+/// and `&&`/`||` short-circuit on constant sides. Division/modulo by a
+/// constant zero is left unfolded (it must still error at evaluation
+/// time). The interpreted DSL classes fold their dependence expressions
+/// once at compile time, shrinking the per-task evaluation work.
+pub fn fold(e: &Expr) -> Expr {
+    match e {
+        Expr::Int(_) | Expr::Var(_) => e.clone(),
+        Expr::Call(n, args) => Expr::Call(n.clone(), args.iter().map(fold).collect()),
+        Expr::Unary(op, a) => {
+            let a = fold(a);
+            if let Expr::Int(v) = a {
+                return Expr::Int(match op {
+                    UnOp::Neg => -v,
+                    UnOp::Not => (v == 0) as i64,
+                });
+            }
+            Expr::Unary(*op, Box::new(a))
+        }
+        Expr::Binary(op, a, b) => {
+            let a = fold(a);
+            let b = fold(b);
+            match (op, &a, &b) {
+                // Full constant folding (guarding / and % against zero).
+                (_, Expr::Int(x), Expr::Int(y)) => {
+                    let v = match op {
+                        BinOp::Add => Some(x.wrapping_add(*y)),
+                        BinOp::Sub => Some(x.wrapping_sub(*y)),
+                        BinOp::Mul => Some(x.wrapping_mul(*y)),
+                        BinOp::Div => (*y != 0).then(|| x / y),
+                        BinOp::Mod => (*y != 0).then(|| x % y),
+                        BinOp::Eq => Some((x == y) as i64),
+                        BinOp::Ne => Some((x != y) as i64),
+                        BinOp::Lt => Some((x < y) as i64),
+                        BinOp::Le => Some((x <= y) as i64),
+                        BinOp::Gt => Some((x > y) as i64),
+                        BinOp::Ge => Some((x >= y) as i64),
+                        BinOp::And => Some((*x != 0 && *y != 0) as i64),
+                        BinOp::Or => Some((*x != 0 || *y != 0) as i64),
+                    };
+                    match v {
+                        Some(v) => Expr::Int(v),
+                        None => Expr::Binary(*op, Box::new(a), Box::new(b)),
+                    }
+                }
+                // Short circuits on a constant left side.
+                (BinOp::And, Expr::Int(0), _) => Expr::Int(0),
+                (BinOp::Or, Expr::Int(x), _) if *x != 0 => Expr::Int(1),
+                // Identities.
+                (BinOp::Add, Expr::Int(0), _) => b,
+                (BinOp::Add, _, Expr::Int(0)) => a,
+                (BinOp::Sub, _, Expr::Int(0)) => a,
+                (BinOp::Mul, Expr::Int(1), _) => b,
+                (BinOp::Mul, _, Expr::Int(1)) => a,
+                _ => Expr::Binary(*op, Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Ternary(c, a, b) => {
+            let c = fold(c);
+            if let Expr::Int(v) = c {
+                return if v != 0 { fold(a) } else { fold(b) };
+            }
+            Expr::Ternary(Box::new(c), Box::new(fold(a)), Box::new(fold(b)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> MapEnv {
+        let mut e = MapEnv::new();
+        e.set("L1", 3).set("L2", 0).set("size_L2", 10);
+        e.func("twice", Arc::new(|a: &[i64]| a[0] * 2));
+        e
+    }
+
+    #[test]
+    fn precedence() {
+        let e = env();
+        assert_eq!(eval_str("1 + 2 * 3", &e).unwrap(), 7);
+        assert_eq!(eval_str("(1 + 2) * 3", &e).unwrap(), 9);
+        assert_eq!(eval_str("10 - 2 - 3", &e).unwrap(), 5); // left assoc
+        assert_eq!(eval_str("10 / 3 / 2", &e).unwrap(), 1);
+        assert_eq!(eval_str("7 % 4", &e).unwrap(), 3);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let e = env();
+        assert_eq!(eval_str("L2 == 0", &e).unwrap(), 1);
+        assert_eq!(eval_str("L2 != 0", &e).unwrap(), 0);
+        assert_eq!(eval_str("L2 < size_L2 - 1", &e).unwrap(), 1);
+        assert_eq!(eval_str("L1 <= 3 && L1 >= 3", &e).unwrap(), 1);
+        assert_eq!(eval_str("0 || !0", &e).unwrap(), 1);
+        assert_eq!(eval_str("!(L1 == 3)", &e).unwrap(), 0);
+    }
+
+    #[test]
+    fn ternary_paper_style() {
+        // The Figure 1 guard shape: (L2 == 0) ? x : y.
+        let e = env();
+        assert_eq!(eval_str("(L2 == 0) ? 100 : 200", &e).unwrap(), 100);
+        assert_eq!(eval_str("(L2 != 0) ? 100 : 200", &e).unwrap(), 200);
+        // Nested / right-associative.
+        assert_eq!(eval_str("1 ? 2 : 3 ? 4 : 5", &e).unwrap(), 2);
+        assert_eq!(eval_str("0 ? 2 : 0 ? 4 : 5", &e).unwrap(), 5);
+    }
+
+    #[test]
+    fn calls_and_vars() {
+        let e = env();
+        assert_eq!(eval_str("twice(L1 + 1)", &e).unwrap(), 8);
+        assert!(eval_str("nope(1)", &e).is_err());
+        assert!(eval_str("missing_var", &e).is_err());
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = env();
+        assert_eq!(eval_str("-L1 + 1", &e).unwrap(), -2);
+        assert_eq!(eval_str("--3", &e).unwrap(), 3);
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let e = env();
+        assert!(eval_str("1 / 0", &e).is_err());
+        assert!(eval_str("1 % (L2)", &e).is_err());
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs_errors() {
+        let e = env();
+        assert_eq!(eval_str("0 && (1/0)", &e).unwrap(), 0);
+        assert_eq!(eval_str("1 || (1/0)", &e).unwrap(), 1);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("1 +").is_err());
+        assert!(parse("(1").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("@").is_err());
+        assert!(parse("f(1,").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for src in [
+            "1 + 2 * 3",
+            "(L2 == 0) ? C : (L2 != 0) ? D : E",
+            "-x + !y % 3",
+            "f(a, b + 1, (c))",
+            "a && b || !c",
+        ] {
+            let e = parse(src).unwrap();
+            let printed = format!("{e}");
+            assert_eq!(parse(&printed).unwrap(), e, "roundtrip of `{src}` via `{printed}`");
+        }
+    }
+
+    #[test]
+    fn folding_collapses_constants() {
+        let f = |s: &str| format!("{}", fold(&parse(s).unwrap()));
+        assert_eq!(f("1 + 2 * 3"), "7");
+        assert_eq!(f("(1 > 2) ? x : y"), "y");
+        assert_eq!(f("0 && f(1)"), "0");
+        assert_eq!(f("1 || f(1)"), "1");
+        assert_eq!(f("x + 0"), "x");
+        assert_eq!(f("1 * x"), "x");
+        assert_eq!(f("!(2 == 2)"), "0");
+        // Division by constant zero must NOT fold away (runtime error).
+        assert_eq!(f("1 / 0"), "(1 / 0)");
+    }
+
+    #[test]
+    fn folding_preserves_semantics() {
+        let e = env();
+        for src in [
+            "L1 * (2 - 1) + 0",
+            "(0 || 1) ? L1 + 2 * 3 : twice(L1)",
+            "twice(2 + 3) + size_L2",
+            "(L2 == 0) && (3 > 2)",
+        ] {
+            let parsed = parse(src).unwrap();
+            let folded = fold(&parsed);
+            assert_eq!(eval(&parsed, &e).unwrap(), eval(&folded, &e).unwrap(), "{src}");
+        }
+    }
+
+    #[test]
+    fn layered_env_shadows() {
+        let mut g = MapEnv::new();
+        g.set("x", 1).set("y", 10);
+        let mut l = MapEnv::new();
+        l.set("x", 2);
+        let env = Layered { locals: &l, globals: &g };
+        assert_eq!(eval_str("x + y", &env).unwrap(), 12);
+    }
+}

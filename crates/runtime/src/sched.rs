@@ -1,0 +1,223 @@
+//! Ready-queue scheduling policies.
+//!
+//! "PaRSEC includes multiple task scheduling algorithms" — the default one
+//! (used for all experiments in the paper) "takes task priorities into
+//! consideration ... between two available tasks, the one with a higher
+//! priority will execute first". Ties are broken FIFO by readiness order,
+//! which is precisely what makes the no-priority variant v2 execute all
+//! reader tasks (ready at t=0) before any GEMM, reproducing Figure 11's
+//! startup idle gap.
+
+use ptg::TaskKey;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Tie-breaking / ordering discipline of the ready queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Highest priority first; FIFO among equals (PaRSEC default).
+    #[default]
+    PriorityFifo,
+    /// Highest priority first; LIFO among equals (locality-biased).
+    PriorityLifo,
+    /// Ignore priorities entirely; FIFO by readiness.
+    Fifo,
+    /// Ignore priorities entirely; LIFO by readiness.
+    Lifo,
+    /// Cache-reuse scheduler: a worker first looks for a ready task of
+    /// the chain it last executed (its C tile is still hot), falling back
+    /// to priority+FIFO order. One of the alternative objective functions
+    /// the paper's Section IV-C attributes to PaRSEC's scheduler family.
+    ChainAffinity,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Entry {
+    sort: (i64, i64),
+    key: TaskKey,
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sort.cmp(&other.sort)
+    }
+}
+
+/// A max-queue of ready tasks under one policy.
+///
+/// For [`SchedPolicy::ChainAffinity`], the queue additionally maintains
+/// per-chain buckets (keyed by the task's first parameter). Tasks taken
+/// through a bucket are lazily skipped when the heap later surfaces them,
+/// and vice versa.
+#[derive(Debug)]
+pub struct ReadyQueue {
+    heap: BinaryHeap<Entry>,
+    policy: SchedPolicy,
+    seq: i64,
+    len: usize,
+    buckets: HashMap<i64, VecDeque<TaskKey>>,
+    taken: HashSet<TaskKey>,
+}
+
+impl ReadyQueue {
+    /// Empty queue with the given policy.
+    pub fn new(policy: SchedPolicy) -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            policy,
+            seq: 0,
+            len: 0,
+            buckets: HashMap::new(),
+            taken: HashSet::new(),
+        }
+    }
+
+    /// Insert a ready task with its priority.
+    pub fn push(&mut self, key: TaskKey, priority: i64) {
+        self.seq += 1;
+        self.len += 1;
+        let sort = match self.policy {
+            SchedPolicy::PriorityFifo | SchedPolicy::ChainAffinity => (priority, -self.seq),
+            SchedPolicy::PriorityLifo => (priority, self.seq),
+            SchedPolicy::Fifo => (0, -self.seq),
+            SchedPolicy::Lifo => (0, self.seq),
+        };
+        self.heap.push(Entry { sort, key });
+        if self.policy == SchedPolicy::ChainAffinity {
+            self.buckets.entry(key.params[0]).or_default().push_back(key);
+        }
+    }
+
+    /// Remove the best task.
+    pub fn pop(&mut self) -> Option<TaskKey> {
+        self.pop_hint(None)
+    }
+
+    /// Remove the best task for a worker whose cache last held `hint`'s
+    /// chain. Only [`SchedPolicy::ChainAffinity`] honors the hint.
+    pub fn pop_hint(&mut self, hint: Option<i64>) -> Option<TaskKey> {
+        if self.policy == SchedPolicy::ChainAffinity {
+            if let Some(chain) = hint {
+                if let Some(bucket) = self.buckets.get_mut(&chain) {
+                    while let Some(key) = bucket.pop_front() {
+                        if self.taken.remove(&key) {
+                            continue; // already handed out via the heap
+                        }
+                        self.taken.insert(key);
+                        self.len -= 1;
+                        return Some(key);
+                    }
+                }
+            }
+            // Fall back to priority order, skipping bucket-taken tasks.
+            while let Some(e) = self.heap.pop() {
+                if self.taken.remove(&e.key) {
+                    continue;
+                }
+                self.taken.insert(e.key);
+                self.len -= 1;
+                return Some(e.key);
+            }
+            return None;
+        }
+        let got = self.heap.pop().map(|e| e.key);
+        if got.is_some() {
+            self.len -= 1;
+        }
+        got
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: i64) -> TaskKey {
+        TaskKey::new(0, &[i])
+    }
+
+    #[test]
+    fn priority_fifo_orders_by_priority_then_insertion() {
+        let mut q = ReadyQueue::new(SchedPolicy::PriorityFifo);
+        q.push(k(1), 5);
+        q.push(k(2), 10);
+        q.push(k(3), 5);
+        assert_eq!(q.pop(), Some(k(2)));
+        assert_eq!(q.pop(), Some(k(1))); // FIFO among priority 5
+        assert_eq!(q.pop(), Some(k(3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_ignores_priority() {
+        let mut q = ReadyQueue::new(SchedPolicy::Fifo);
+        q.push(k(1), 0);
+        q.push(k(2), 100);
+        assert_eq!(q.pop(), Some(k(1)));
+        assert_eq!(q.pop(), Some(k(2)));
+    }
+
+    #[test]
+    fn lifo_reverses() {
+        let mut q = ReadyQueue::new(SchedPolicy::Lifo);
+        q.push(k(1), 0);
+        q.push(k(2), 0);
+        assert_eq!(q.pop(), Some(k(2)));
+        assert_eq!(q.pop(), Some(k(1)));
+    }
+
+    #[test]
+    fn chain_affinity_prefers_hot_chain() {
+        let mut q = ReadyQueue::new(SchedPolicy::ChainAffinity);
+        let t = |chain: i64, pos: i64| TaskKey::new(0, &[chain, pos]);
+        q.push(t(0, 0), 100); // highest priority
+        q.push(t(1, 0), 50);
+        q.push(t(1, 1), 50);
+        // No hint: priority order.
+        assert_eq!(q.pop_hint(None), Some(t(0, 0)));
+        // Hot chain 1: its tasks win despite lower priority order ties.
+        assert_eq!(q.pop_hint(Some(1)), Some(t(1, 0)));
+        assert_eq!(q.pop_hint(Some(1)), Some(t(1, 1)));
+        assert_eq!(q.pop_hint(Some(1)), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn chain_affinity_mixed_paths_stay_consistent() {
+        let mut q = ReadyQueue::new(SchedPolicy::ChainAffinity);
+        let t = |chain: i64, pos: i64| TaskKey::new(0, &[chain, pos]);
+        q.push(t(2, 0), 10);
+        q.push(t(3, 0), 90);
+        // Heap pop takes the chain-3 task...
+        assert_eq!(q.pop_hint(None), Some(t(3, 0)));
+        assert_eq!(q.len(), 1);
+        // ...and the bucket path must not hand it out again.
+        assert_eq!(q.pop_hint(Some(3)), Some(t(2, 0)));
+        assert_eq!(q.pop_hint(Some(2)), None);
+    }
+
+    #[test]
+    fn priority_lifo_breaks_ties_by_recency() {
+        let mut q = ReadyQueue::new(SchedPolicy::PriorityLifo);
+        q.push(k(1), 5);
+        q.push(k(2), 5);
+        q.push(k(3), 9);
+        assert_eq!(q.pop(), Some(k(3)));
+        assert_eq!(q.pop(), Some(k(2)));
+        assert_eq!(q.pop(), Some(k(1)));
+    }
+}

@@ -1,0 +1,204 @@
+//! Serially-reusable FIFO resources and the NIC model built on them.
+//!
+//! These are *arithmetic* resources: because service durations are known at
+//! request time and the discipline is FIFO, the grant/finish times can be
+//! computed immediately without posting intermediate events.
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A single-server FIFO queue (e.g. one NIC serializer, the NXTVAL
+/// counter's owner-side service loop).
+///
+/// Queue order is *call order*: requests are served in the order
+/// `acquire` is invoked, each starting no earlier than its own `now`.
+/// Callers driven by an event loop issue requests in nearly
+/// non-decreasing time order; the small reorderings introduced by
+/// arithmetic fast-forwarding (a rank computing several microseconds
+/// ahead before its next event) are an accepted approximation.
+#[derive(Debug, Clone, Default)]
+pub struct FifoServer {
+    free_at: SimTime,
+    busy: SimTime,
+    served: u64,
+}
+
+impl FifoServer {
+    /// New idle server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `dur` of service starting no earlier than `now`.
+    /// Returns `(start, end)` of the granted service interval.
+    pub fn acquire(&mut self, now: SimTime, dur: SimTime) -> (SimTime, SimTime) {
+        let start = now.max(self.free_at);
+        let end = start + dur;
+        self.free_at = end;
+        self.busy += dur;
+        self.served += 1;
+        (start, end)
+    }
+
+    /// Time at which the server next becomes idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total busy time granted so far.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+}
+
+/// A `k`-server FIFO queue: requests are granted to the earliest-available
+/// server (e.g. a pool of DMA engines, or the compute cores of the baseline
+/// model when used in aggregate).
+#[derive(Debug, Clone)]
+pub struct MultiServer {
+    free: BinaryHeap<Reverse<SimTime>>,
+    busy: SimTime,
+}
+
+impl MultiServer {
+    /// New pool of `k >= 1` idle servers.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "MultiServer needs at least one server");
+        Self { free: (0..k).map(|_| Reverse(0)).collect(), busy: 0 }
+    }
+
+    /// Request `dur` of service starting no earlier than `now` on the first
+    /// available server; returns `(start, end)`.
+    pub fn acquire(&mut self, now: SimTime, dur: SimTime) -> (SimTime, SimTime) {
+        let Reverse(avail) = self.free.pop().expect("pool is never empty");
+        let start = now.max(avail);
+        let end = start + dur;
+        self.free.push(Reverse(end));
+        self.busy += dur;
+        (start, end)
+    }
+
+    /// Total busy time across all servers.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+}
+
+/// Network interface: a FIFO byte serializer plus a constant wire latency.
+///
+/// A message of `b` bytes issued at `now` finishes serializing at
+/// `fifo(now, b/bandwidth)` and arrives at the destination one latency
+/// later. Only the *sender* side serializes — the contention this model
+/// needs to capture is many ranks pulling blocks from one Global Arrays
+/// owner node, which queues on that owner's NIC.
+#[derive(Debug, Clone)]
+pub struct Nic {
+    server: FifoServer,
+    latency: SimTime,
+    bytes_per_ns: f64,
+    bytes_sent: u64,
+}
+
+impl Nic {
+    /// `bandwidth_gbs` is in gigabytes per second; `latency` in ns.
+    pub fn new(bandwidth_gbs: f64, latency: SimTime) -> Self {
+        assert!(bandwidth_gbs > 0.0);
+        Self {
+            server: FifoServer::new(),
+            latency,
+            bytes_per_ns: bandwidth_gbs, // 1 GB/s == 1 byte/ns
+            bytes_sent: 0,
+        }
+    }
+
+    /// Serialization time for a message of `bytes`.
+    pub fn wire_time(&self, bytes: u64) -> SimTime {
+        (bytes as f64 / self.bytes_per_ns).round() as SimTime
+    }
+
+    /// Enqueue a `bytes`-sized message at `now`; returns the arrival time
+    /// at the destination.
+    pub fn send(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.bytes_sent += bytes;
+        let (_, end) = self.server.acquire(now, self.wire_time(bytes));
+        end + self.latency
+    }
+
+    /// One-way latency.
+    pub fn latency(&self) -> SimTime {
+        self.latency
+    }
+
+    /// Time when the serializer is next idle.
+    pub fn free_at(&self) -> SimTime {
+        self.server.free_at()
+    }
+
+    /// Total bytes enqueued.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total serializer busy time.
+    pub fn busy_time(&self) -> SimTime {
+        self.server.busy_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_serializes_back_to_back() {
+        let mut s = FifoServer::new();
+        assert_eq!(s.acquire(0, 10), (0, 10));
+        assert_eq!(s.acquire(0, 5), (10, 15));
+        assert_eq!(s.acquire(20, 5), (20, 25)); // idle gap
+        assert_eq!(s.busy_time(), 20);
+        assert_eq!(s.served(), 3);
+    }
+
+    #[test]
+    fn multi_server_runs_k_in_parallel() {
+        let mut m = MultiServer::new(2);
+        assert_eq!(m.acquire(0, 10), (0, 10));
+        assert_eq!(m.acquire(0, 10), (0, 10));
+        assert_eq!(m.acquire(0, 10), (10, 20)); // third waits
+        assert_eq!(m.busy_time(), 30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_servers_rejected() {
+        MultiServer::new(0);
+    }
+
+    #[test]
+    fn nic_adds_latency_after_serialization() {
+        // 1 GB/s = 1 byte/ns; 1000-byte message = 1000 ns wire time.
+        let mut n = Nic::new(1.0, 500);
+        assert_eq!(n.send(0, 1000), 1500);
+        // Second message queues behind the first.
+        assert_eq!(n.send(0, 1000), 2500);
+        assert_eq!(n.bytes_sent(), 2000);
+    }
+
+    #[test]
+    fn nic_contention_grows_linearly() {
+        // The mechanism behind the original code's scalability ceiling:
+        // k concurrent gets from one owner take k times the wire time.
+        let mut n = Nic::new(4.0, 1000);
+        let mut last = 0;
+        for _ in 0..8 {
+            last = n.send(0, 40_000); // 10_000 ns each at 4 B/ns
+        }
+        assert_eq!(last, 8 * 10_000 + 1000);
+    }
+}

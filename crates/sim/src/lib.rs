@@ -1,0 +1,63 @@
+//! Deterministic discrete-event cluster simulation substrate.
+//!
+//! The paper's evaluation ran on 32 nodes of the PNNL Cascade cluster; this
+//! repository has no cluster, so (per the substitution rule in DESIGN.md)
+//! the multi-node experiments run on a discrete-event simulator instead.
+//! This crate provides the reusable, application-agnostic pieces:
+//!
+//! * [`EventQueue`] — a deterministic time/sequence-ordered event heap and
+//!   the [`run`] driver loop;
+//! * [`FifoServer`] / [`MultiServer`] — serially-reusable resources with
+//!   FIFO queueing discipline (NIC serialization, NXTVAL counter service);
+//! * [`Nic`] — a latency + bandwidth network interface built on
+//!   [`FifoServer`];
+//! * [`PsResource`] — an exact processor-sharing resource used to model
+//!   per-node memory bandwidth shared by concurrently executing
+//!   memory-bound tasks;
+//! * [`MutexResource`] — a FIFO mutex used to model the pthread mutex that
+//!   protects the WRITE critical sections in the paper's variants.
+//!
+//! All state advances in integer nanoseconds ([`SimTime`]) and every
+//! tie is broken by insertion sequence, so simulations are bit-for-bit
+//! reproducible.
+
+pub mod fifo;
+pub mod mutex;
+pub mod ps;
+pub mod queue;
+
+pub use fifo::{FifoServer, MultiServer, Nic};
+pub use mutex::MutexResource;
+pub use ps::PsResource;
+pub use queue::{run, EventQueue, SimModel};
+
+/// Simulated time in nanoseconds.
+pub type SimTime = u64;
+
+/// Convert seconds (f64) to [`SimTime`] nanoseconds, saturating at zero.
+pub fn secs(s: f64) -> SimTime {
+    (s * 1e9).max(0.0).round() as SimTime
+}
+
+/// Convert microseconds (f64) to [`SimTime`] nanoseconds.
+pub fn micros(us: f64) -> SimTime {
+    (us * 1e3).max(0.0).round() as SimTime
+}
+
+/// Convert a [`SimTime`] to seconds.
+pub fn to_secs(t: SimTime) -> f64 {
+    t as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(secs(1.5), 1_500_000_000);
+        assert_eq!(micros(2.5), 2_500);
+        assert!((to_secs(secs(3.25)) - 3.25).abs() < 1e-12);
+        assert_eq!(secs(-1.0), 0);
+    }
+}

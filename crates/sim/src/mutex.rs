@@ -1,0 +1,116 @@
+//! FIFO mutex resource.
+//!
+//! Models the pthread mutex that protects the WRITE critical section in the
+//! paper's variants: "the work performed by the WRITE_C task is treated as
+//! a critical region that is protected by mutexes in order to run
+//! atomically". Unlike [`crate::FifoServer`], hold durations are *not*
+//! known at acquisition time (the critical section may itself contend on
+//! the memory bus), so this is an explicit state machine: `lock` either
+//! grants immediately or queues the waiter; `unlock` hands the mutex to the
+//! next waiter, whom the engine then resumes.
+
+use std::collections::VecDeque;
+
+/// Identifier chosen by the engine for a waiting entity (task id, rank id).
+pub type WaiterId = u64;
+
+/// A FIFO mutex.
+#[derive(Debug, Clone, Default)]
+pub struct MutexResource {
+    holder: Option<WaiterId>,
+    waiters: VecDeque<WaiterId>,
+    acquisitions: u64,
+    max_queue: usize,
+}
+
+impl MutexResource {
+    /// New unlocked mutex.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempt to lock for `who`. Returns `true` when the lock is granted
+    /// immediately; otherwise `who` is queued and will be returned by a
+    /// future [`MutexResource::unlock`].
+    pub fn lock(&mut self, who: WaiterId) -> bool {
+        if self.holder.is_none() {
+            self.holder = Some(who);
+            self.acquisitions += 1;
+            true
+        } else {
+            self.waiters.push_back(who);
+            self.max_queue = self.max_queue.max(self.waiters.len());
+            false
+        }
+    }
+
+    /// Unlock; the caller must be the holder (checked). Returns the next
+    /// waiter to whom the lock is granted, if any — the engine must resume
+    /// that waiter.
+    pub fn unlock(&mut self, who: WaiterId) -> Option<WaiterId> {
+        assert_eq!(self.holder, Some(who), "unlock by non-holder");
+        self.holder = self.waiters.pop_front();
+        if let Some(next) = self.holder {
+            self.acquisitions += 1;
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    /// Current holder, if locked.
+    pub fn holder(&self) -> Option<WaiterId> {
+        self.holder
+    }
+
+    /// Number of queued waiters.
+    pub fn queue_len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Total number of successful acquisitions (a proxy for the
+    /// "system wide operations required to lock and unlock the mutex"
+    /// that the paper counts against variant v3).
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Longest queue observed.
+    pub fn max_queue(&self) -> usize {
+        self.max_queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_immediately_when_free() {
+        let mut m = MutexResource::new();
+        assert!(m.lock(1));
+        assert_eq!(m.holder(), Some(1));
+    }
+
+    #[test]
+    fn queues_fifo() {
+        let mut m = MutexResource::new();
+        assert!(m.lock(1));
+        assert!(!m.lock(2));
+        assert!(!m.lock(3));
+        assert_eq!(m.queue_len(), 2);
+        assert_eq!(m.unlock(1), Some(2));
+        assert_eq!(m.unlock(2), Some(3));
+        assert_eq!(m.unlock(3), None);
+        assert_eq!(m.acquisitions(), 3);
+        assert_eq!(m.max_queue(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unlock_by_stranger_panics() {
+        let mut m = MutexResource::new();
+        m.lock(1);
+        m.unlock(2);
+    }
+}

@@ -1,0 +1,242 @@
+//! Exact processor-sharing resource.
+//!
+//! Models a per-node memory bus: when `n` memory-bound tasks execute
+//! concurrently on a node, each streams at `capacity / n`. This is the
+//! mechanism that makes SORT/WRITE-heavy variants (and the original code's
+//! many concurrent `GET`+`SORT` ranks) stop scaling as cores/node grows —
+//! the effect visible in Figure 9.
+//!
+//! Because completion times change whenever a job joins or leaves, posted
+//! completion events can go stale; every membership change bumps a
+//! generation counter and [`PsResource::tick`] ignores events carrying an
+//! old generation. The driving engine's contract is:
+//!
+//! 1. after `submit` or a non-empty `tick`, call [`PsResource::poll`] and
+//!    post a tick event at the returned time with the returned generation;
+//! 2. on that event, call `tick(now, gen)` and handle returned completions.
+
+use crate::SimTime;
+
+/// Identifier of a job inside one [`PsResource`].
+pub type PsJobId = u64;
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    id: PsJobId,
+    remaining: f64,
+}
+
+/// Exact processor-sharing server. Work units are arbitrary (bytes for a
+/// memory bus); `capacity` is work per nanosecond when a job runs alone.
+#[derive(Debug, Clone)]
+pub struct PsResource {
+    capacity: f64,
+    last: SimTime,
+    jobs: Vec<Job>,
+    next_id: PsJobId,
+    generation: u64,
+    busy: SimTime,
+    total_completed: f64,
+}
+
+impl PsResource {
+    /// New idle resource with the given full-rate capacity (work/ns).
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        Self {
+            capacity,
+            last: 0,
+            jobs: Vec::new(),
+            next_id: 0,
+            generation: 0,
+            busy: 0,
+            total_completed: 0.0,
+        }
+    }
+
+    /// Work completed per job if a nanosecond elapses with `n` jobs active.
+    fn eps(&self) -> f64 {
+        // Tolerance: half a nanosecond of full-rate service.
+        self.capacity * 0.5
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        // Jobs submitted slightly "in the past" (callers that fast-forward
+        // arithmetically between events) are clamped to the resource's
+        // clock: they start sharing from `last` onward.
+        let now = now.max(self.last);
+        let elapsed = (now - self.last) as f64;
+        if elapsed > 0.0 && !self.jobs.is_empty() {
+            let per_job = elapsed * self.capacity / self.jobs.len() as f64;
+            for j in &mut self.jobs {
+                j.remaining = (j.remaining - per_job).max(0.0);
+            }
+            self.busy += now - self.last;
+        }
+        self.last = now;
+    }
+
+    /// Add a job with `work` units at time `now`; returns its id.
+    /// Invalidates previously polled completion times.
+    pub fn submit(&mut self, now: SimTime, work: f64) -> PsJobId {
+        assert!(work >= 0.0, "negative work");
+        self.advance(now);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jobs.push(Job { id, remaining: work });
+        self.generation += 1;
+        id
+    }
+
+    /// Earliest completion `(time, generation)` under current membership,
+    /// or `None` when idle. Valid until the next membership change.
+    pub fn poll(&self) -> Option<(SimTime, u64)> {
+        let min = self.jobs.iter().map(|j| j.remaining).fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            let dt = (min * self.jobs.len() as f64 / self.capacity).ceil() as SimTime;
+            Some((self.last + dt, self.generation))
+        } else {
+            None
+        }
+    }
+
+    /// Process a completion event posted for `generation`. Returns the ids
+    /// of jobs that finished (empty when the event is stale or premature).
+    pub fn tick(&mut self, now: SimTime, generation: u64) -> Vec<PsJobId> {
+        if generation != self.generation {
+            return Vec::new();
+        }
+        self.advance(now);
+        let eps = self.eps();
+        let mut done = Vec::new();
+        self.jobs.retain(|j| {
+            if j.remaining <= eps {
+                done.push(j.id);
+                false
+            } else {
+                true
+            }
+        });
+        if !done.is_empty() {
+            self.generation += 1;
+            self.total_completed += done.len() as f64;
+        }
+        done
+    }
+
+    /// Number of active jobs.
+    pub fn active(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Time the resource has spent non-idle.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Full-rate capacity (work/ns).
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Current generation (bumped on every membership change).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a PsResource to completion with a tiny local event loop.
+    /// Returns (job id -> completion time).
+    fn drain(ps: &mut PsResource) -> Vec<(PsJobId, SimTime)> {
+        let mut out = Vec::new();
+        while let Some((t, gen)) = ps.poll() {
+            for id in ps.tick(t, gen) {
+                out.push((id, t));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_job_runs_at_full_rate() {
+        let mut ps = PsResource::new(2.0); // 2 work/ns
+        let id = ps.submit(100, 1000.0);
+        let done = drain(&mut ps);
+        assert_eq!(done, vec![(id, 600)]);
+        assert_eq!(ps.busy_time(), 500);
+    }
+
+    #[test]
+    fn two_equal_jobs_share_equally() {
+        let mut ps = PsResource::new(1.0);
+        let a = ps.submit(0, 100.0);
+        let b = ps.submit(0, 100.0);
+        let done = drain(&mut ps);
+        // Both finish together at 200 (each ran at rate 1/2).
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|&(_, t)| t == 200));
+        assert!(done.iter().any(|&(id, _)| id == a));
+        assert!(done.iter().any(|&(id, _)| id == b));
+    }
+
+    #[test]
+    fn late_joiner_slows_the_first() {
+        let mut ps = PsResource::new(1.0);
+        let a = ps.submit(0, 100.0);
+        // At t=50, a has 50 left; b joins with 200.
+        let b = ps.submit(50, 200.0);
+        let done = drain(&mut ps);
+        // a: 50 remaining at rate 1/2 -> finishes at 150.
+        // b: 200 - 50 (shared 50..150) = 150 left, alone -> 150+150=300.
+        assert_eq!(done, vec![(a, 150), (b, 300)]);
+    }
+
+    #[test]
+    fn stale_ticks_are_ignored() {
+        let mut ps = PsResource::new(1.0);
+        ps.submit(0, 100.0);
+        let (t1, g1) = ps.poll().unwrap();
+        ps.submit(10, 100.0); // membership change invalidates g1
+        assert!(ps.tick(t1, g1).is_empty());
+        assert_eq!(ps.active(), 2);
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        // Total work / capacity == busy time when the resource never idles.
+        let mut ps = PsResource::new(4.0);
+        let works = [100.0, 250.0, 30.0, 1000.0, 77.0];
+        for &w in &works {
+            ps.submit(0, w);
+        }
+        drain(&mut ps);
+        let total: f64 = works.iter().sum();
+        let ideal = total / 4.0;
+        let busy = ps.busy_time() as f64;
+        assert!((busy - ideal).abs() <= works.len() as f64, "busy={busy} ideal={ideal}");
+    }
+
+    #[test]
+    fn completion_order_matches_remaining_work() {
+        let mut ps = PsResource::new(1.0);
+        let big = ps.submit(0, 300.0);
+        let small = ps.submit(0, 10.0);
+        let done = drain(&mut ps);
+        assert_eq!(done[0].0, small);
+        assert_eq!(done[1].0, big);
+        assert!(done[0].1 < done[1].1);
+    }
+
+    #[test]
+    fn zero_work_job_completes_immediately() {
+        let mut ps = PsResource::new(1.0);
+        let id = ps.submit(5, 0.0);
+        let (t, g) = ps.poll().unwrap();
+        assert_eq!(t, 5);
+        assert_eq!(ps.tick(t, g), vec![id]);
+    }
+}

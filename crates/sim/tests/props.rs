@@ -1,0 +1,177 @@
+//! Property-based tests for the simulation substrate invariants.
+
+use dcsim::{EventQueue, FifoServer, MultiServer, MutexResource, Nic, PsResource};
+use proptest::prelude::*;
+
+/// Drain a PsResource through its poll/tick protocol; returns completions.
+fn drain(ps: &mut PsResource) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut guard = 0;
+    while let Some((t, gen)) = ps.poll() {
+        guard += 1;
+        assert!(guard < 100_000, "PS drain did not converge");
+        for id in ps.tick(t, gen) {
+            out.push((id, t));
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Every submitted PS job eventually completes, in order of remaining
+    /// work for same-time submissions, and total busy time is within one
+    /// ns/job of total_work/capacity.
+    #[test]
+    fn ps_conservation(
+        works in prop::collection::vec(0.0f64..1e6, 1..40),
+        capacity in 0.5f64..64.0,
+    ) {
+        let mut ps = PsResource::new(capacity);
+        let ids: Vec<u64> = works.iter().map(|&w| ps.submit(0, w)).collect();
+        let done = drain(&mut ps);
+        prop_assert_eq!(done.len(), ids.len());
+        // Completion times are non-decreasing in submitted work.
+        let mut finished: Vec<(f64, u64)> = done
+            .iter()
+            .map(|&(id, t)| (works[ids.iter().position(|&i| i == id).unwrap()], t))
+            .collect();
+        finished.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for pair in finished.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].1 + 1);
+        }
+        let total: f64 = works.iter().sum();
+        let ideal = total / capacity;
+        prop_assert!((ps.busy_time() as f64 - ideal).abs() <= works.len() as f64 + 1.0,
+            "busy={} ideal={}", ps.busy_time(), ideal);
+    }
+
+    /// Jobs submitted at staggered times still all complete, and no
+    /// completion precedes its submission.
+    #[test]
+    fn ps_staggered_submissions(
+        jobs in prop::collection::vec((0u64..10_000, 1.0f64..1e5), 1..30),
+    ) {
+        let mut jobs = jobs;
+        jobs.sort_by_key(|j| j.0);
+        let mut ps = PsResource::new(8.0);
+        // Interleave submissions with the drain protocol.
+        let mut completions = Vec::new();
+        for &(at, work) in &jobs {
+            // Process any completions strictly before `at`.
+            while let Some((t, gen)) = ps.poll() {
+                if t > at { break; }
+                completions.extend(ps.tick(t, gen).into_iter().map(|id| (id, t)));
+            }
+            let id = ps.submit(at, work);
+            let _ = id;
+        }
+        completions.extend(drain(&mut ps));
+        prop_assert_eq!(completions.len(), jobs.len());
+    }
+
+    /// FIFO grants are non-overlapping, ordered, and conserve busy time.
+    #[test]
+    fn fifo_is_serial(durs in prop::collection::vec(0u64..1000, 1..50)) {
+        let mut s = FifoServer::new();
+        let mut prev_end = 0;
+        let mut total = 0;
+        for &d in &durs {
+            let (b, e) = s.acquire(0, d);
+            prop_assert!(b >= prev_end);
+            prop_assert_eq!(e - b, d);
+            prev_end = e;
+            total += d;
+        }
+        prop_assert_eq!(s.busy_time(), total);
+    }
+
+    /// A k-server pool never exceeds k concurrent grants and finishes no
+    /// earlier than total/k.
+    #[test]
+    fn multiserver_respects_k(
+        durs in prop::collection::vec(1u64..1000, 1..60),
+        k in 1usize..8,
+    ) {
+        let mut m = MultiServer::new(k);
+        let mut spans = Vec::new();
+        for &d in &durs {
+            spans.push(m.acquire(0, d));
+        }
+        // Sweep concurrency.
+        let mut edges: Vec<(u64, i32)> = Vec::new();
+        for &(b, e) in &spans {
+            edges.push((b, 1));
+            edges.push((e, -1));
+        }
+        edges.sort();
+        let mut level = 0;
+        for &(_, delta) in &edges {
+            level += delta;
+            prop_assert!(level <= k as i32);
+        }
+        let total: u64 = durs.iter().sum();
+        let makespan = spans.iter().map(|s| s.1).max().unwrap();
+        prop_assert!(makespan >= total / k as u64);
+    }
+
+    /// NIC arrivals are monotone in enqueue order and at least
+    /// latency + wire time after enqueue.
+    #[test]
+    fn nic_arrival_monotonicity(
+        msgs in prop::collection::vec(1u64..1_000_000, 1..40),
+        bw in 1.0f64..16.0,
+        lat in 0u64..5_000,
+    ) {
+        let mut n = Nic::new(bw, lat);
+        let mut prev = 0;
+        for &bytes in &msgs {
+            let arr = n.send(0, bytes);
+            prop_assert!(arr >= prev);
+            prop_assert!(arr >= n.wire_time(bytes) + lat);
+            prev = arr;
+        }
+        prop_assert_eq!(n.bytes_sent(), msgs.iter().sum::<u64>());
+    }
+
+    /// Mutex: every locker eventually holds, exactly once, in FIFO order.
+    #[test]
+    fn mutex_fifo_fairness(n in 1u64..50) {
+        let mut m = MutexResource::new();
+        let mut grant_order = Vec::new();
+        for who in 0..n {
+            if m.lock(who) {
+                grant_order.push(who);
+            }
+        }
+        while let Some(holder) = m.holder() {
+            if let Some(next) = m.unlock(holder) {
+                grant_order.push(next);
+            }
+        }
+        prop_assert_eq!(grant_order, (0..n).collect::<Vec<_>>());
+        prop_assert_eq!(m.acquisitions(), n);
+    }
+
+    /// Event queue pops in (time, insertion) order regardless of input order.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.post(t, i);
+        }
+        let mut last = (0u64, 0usize);
+        let mut count = 0;
+        let mut popped_first = false;
+        while let Some((t, i)) = q.pop() {
+            prop_assert_eq!(t, times[i].max(0));
+            if popped_first {
+                // (time, seq) strictly increasing; seq == i since posts are in order.
+                prop_assert!((t, i) > last);
+            }
+            last = (t, i);
+            popped_first = true;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+}

@@ -1,0 +1,259 @@
+//! The inspection phase.
+//!
+//! "During this phase the code computes the set of iteration vectors that
+//! lead to task executions ... In addition, the code queries the Global
+//! Array library to discover the physical location of the program data on
+//! which the GEMMs will operate." The output is the meta-data arrays that
+//! parameterize the PTG: for every chain, its GEMMs (operand locations,
+//! owners, shapes) and its active SORT/WRITE branches (permutation,
+//! factor, destination ranges split by owner node — paper Figure 8).
+//!
+//! Inspection is purely structural: it works from [`TensorLayout`]s and
+//! never touches array data, so it runs at paper scale.
+
+use crate::loopnest::{walk_kernels, ChainInfo, GemmInfo, Kernel, SortInfo, T27Visitor, TensorKind};
+use crate::space::TileSpace;
+use crate::tensors::{i2_layout, t2_layout, v_layout, v_oo_layout, TensorLayout};
+use tensor_kernels::Trans;
+use global_arrays::NodeId;
+use std::ops::Range;
+use tensor_kernels::Perm4;
+
+/// Everything a GEMM task needs: operand locations and shape.
+#[derive(Debug, Clone)]
+pub struct GemmMeta {
+    /// `A` operand (`k x m`, used transposed): source tensor, packed
+    /// offset, length, owner node.
+    pub a_tensor: TensorKind,
+    pub a_offset: usize,
+    pub a_len: usize,
+    pub a_owner: NodeId,
+    /// `B` operand: source tensor, location, and transposition
+    /// (`k x n` stored for `Trans::N`, `n x k` for `Trans::T`).
+    pub b_tensor: TensorKind,
+    pub b_offset: usize,
+    pub b_len: usize,
+    pub b_owner: NodeId,
+    pub tb: Trans,
+    /// Contraction dimension.
+    pub k: usize,
+    /// Block keys (for body execution / debugging).
+    pub a_key: i64,
+    pub b_key: i64,
+}
+
+/// One active SORT/WRITE branch of a chain.
+#[derive(Debug, Clone)]
+pub struct SortMeta {
+    /// Index permutation of the `[h1, h2, p3, p4]` C tile.
+    pub perm: Perm4,
+    /// Sign factor.
+    pub factor: f64,
+    /// Destination block in `i2`: packed offset and length.
+    pub out_offset: usize,
+    pub out_len: usize,
+    /// Destination key.
+    pub out_key: i64,
+    /// Owner split of the destination range: one WRITE instance per entry.
+    pub owners: Vec<(NodeId, Range<usize>)>,
+}
+
+/// One chain's metadata.
+#[derive(Debug, Clone)]
+pub struct ChainMeta {
+    /// The generated subroutine this chain came from.
+    pub kernel: Kernel,
+    /// C tile logical dims `[dim h1, dim h2, dim p3, dim p4]`.
+    pub cdims: [usize; 4],
+    /// `C` is `m x n`.
+    pub m: usize,
+    pub n: usize,
+    /// GEMMs in chain order.
+    pub gemms: Vec<GemmMeta>,
+    /// Active SORT branches (1, 2 or 4).
+    pub sorts: Vec<SortMeta>,
+}
+
+impl ChainMeta {
+    /// Bytes of the C tile.
+    pub fn c_bytes(&self) -> u64 {
+        (self.m * self.n * 8) as u64
+    }
+}
+
+/// The meta-data arrays produced by inspection.
+#[derive(Debug, Clone)]
+pub struct Inspection {
+    /// Per-chain metadata (`L1` indexes this).
+    pub chains: Vec<ChainMeta>,
+    /// Structural layouts of the tensors.
+    pub t2: TensorLayout,
+    pub v: TensorLayout,
+    pub v_oo: TensorLayout,
+    pub i2: TensorLayout,
+    /// The kernels this workload contains, in chain order.
+    pub kernels: Vec<Kernel>,
+    /// Longest chain.
+    pub max_chain_len: usize,
+    /// Total GEMM count.
+    pub total_gemms: usize,
+}
+
+impl Inspection {
+    /// Number of chains (the PTG's `size_L1`).
+    pub fn num_chains(&self) -> usize {
+        self.chains.len()
+    }
+}
+
+struct Inspector<'a> {
+    space: &'a TileSpace,
+    t2: &'a TensorLayout,
+    v: &'a TensorLayout,
+    v_oo: &'a TensorLayout,
+    i2: &'a TensorLayout,
+    chains: Vec<ChainMeta>,
+}
+
+impl Inspector<'_> {
+    fn layout(&self, kind: TensorKind) -> &TensorLayout {
+        match kind {
+            TensorKind::T2 => self.t2,
+            TensorKind::Vvvvv => self.v,
+            TensorKind::Voooo => self.v_oo,
+        }
+    }
+}
+
+impl T27Visitor for Inspector<'_> {
+    fn chain(&mut self, c: &ChainInfo) {
+        debug_assert_eq!(c.chain, self.chains.len());
+        self.chains.push(ChainMeta {
+            kernel: c.kernel,
+            cdims: c.cdims,
+            m: c.m,
+            n: c.n,
+            gemms: Vec::with_capacity(c.len),
+            sorts: Vec::new(),
+        });
+    }
+
+    fn gemm(&mut self, _c: &ChainInfo, g: &GemmInfo) {
+        let (a_layout, b_layout) = (self.layout(g.a_tensor), self.layout(g.b_tensor));
+        let (a_offset, a_len) = a_layout.index.lookup(g.a_key).expect("A block");
+        let (b_offset, b_len) = b_layout.index.lookup(g.b_key).expect("B block");
+        // "find_last_segment_owner": the node holding the block's start.
+        let a_owner = a_layout.dist.owner_of(a_offset);
+        let b_owner = b_layout.dist.owner_of(b_offset);
+        self.chains.last_mut().unwrap().gemms.push(GemmMeta {
+            a_tensor: g.a_tensor,
+            a_offset,
+            a_len,
+            a_owner,
+            b_tensor: g.b_tensor,
+            b_offset,
+            b_len,
+            b_owner,
+            tb: g.tb,
+            k: g.k,
+            a_key: g.a_key,
+            b_key: g.b_key,
+        });
+        let _ = self.space;
+    }
+
+    fn chain_end(&mut self, _c: &ChainInfo, sorts: &[SortInfo]) {
+        let metas = sorts
+            .iter()
+            .map(|s| {
+                let (out_offset, out_len) = self.i2.index.lookup(s.out_key).expect("i2 block");
+                SortMeta {
+                    perm: s.perm,
+                    factor: s.factor,
+                    out_offset,
+                    out_len,
+                    out_key: s.out_key,
+                    owners: self.i2.dist.owners_of(out_offset, out_len),
+                }
+            })
+            .collect();
+        self.chains.last_mut().unwrap().sorts = metas;
+    }
+}
+
+/// Run the inspection of `icsd_t2_7` for an execution on `nodes` nodes.
+pub fn inspect(space: &TileSpace, nodes: usize) -> Inspection {
+    inspect_kernels(space, nodes, &[Kernel::T2_7])
+}
+
+/// Run the inspection of a multi-kernel workload.
+pub fn inspect_kernels(space: &TileSpace, nodes: usize, kernels: &[Kernel]) -> Inspection {
+    let t2 = t2_layout(space, nodes);
+    let v = v_layout(space, nodes);
+    let v_oo = v_oo_layout(space, nodes);
+    let i2 = i2_layout(space, nodes);
+    let mut ins =
+        Inspector { space, t2: &t2, v: &v, v_oo: &v_oo, i2: &i2, chains: Vec::new() };
+    walk_kernels(space, kernels, &mut ins);
+    let chains = ins.chains;
+    let max_chain_len = chains.iter().map(|c| c.gemms.len()).max().unwrap_or(0);
+    let total_gemms = chains.iter().map(|c| c.gemms.len()).sum();
+    Inspection { chains, t2, v, v_oo, i2, kernels: kernels.to_vec(), max_chain_len, total_gemms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale;
+
+    #[test]
+    fn inspection_matches_walk_counts() {
+        let s = TileSpace::build(&scale::small());
+        let ins = inspect(&s, 4);
+        assert!(ins.num_chains() > 0);
+        assert_eq!(ins.total_gemms, ins.chains.iter().map(|c| c.gemms.len()).sum::<usize>());
+        assert_eq!(ins.max_chain_len, ins.chains.iter().map(|c| c.gemms.len()).max().unwrap());
+        for c in &ins.chains {
+            assert!(!c.gemms.is_empty());
+            assert!(!c.sorts.is_empty() && c.sorts.len() <= 4);
+            for g in &c.gemms {
+                assert_eq!(g.a_len, g.k * c.m);
+                assert_eq!(g.b_len, g.k * c.n);
+                assert!(g.a_owner < 4);
+                assert!(g.b_owner < 4);
+            }
+            for s in &c.sorts {
+                assert_eq!(s.out_len, c.m * c.n);
+                assert!(!s.owners.is_empty());
+                let covered: usize = s.owners.iter().map(|(_, r)| r.len()).sum();
+                assert_eq!(covered, s.out_len);
+            }
+        }
+    }
+
+    #[test]
+    fn owners_depend_on_node_count() {
+        let s = TileSpace::build(&scale::small());
+        let one = inspect(&s, 1);
+        let many = inspect(&s, 8);
+        assert!(one.chains.iter().all(|c| c.gemms.iter().all(|g| g.a_owner == 0)));
+        let distinct: std::collections::HashSet<_> =
+            many.chains.iter().flat_map(|c| c.gemms.iter().map(|g| g.a_owner)).collect();
+        assert!(distinct.len() > 1, "blocks should spread across nodes");
+    }
+
+    #[test]
+    fn some_writes_split_across_nodes() {
+        // Figure 8: a C block can straddle node boundaries, requiring
+        // multiple WRITE_C instances.
+        let s = TileSpace::build(&scale::small());
+        let ins = inspect(&s, 8);
+        let multi = ins
+            .chains
+            .iter()
+            .flat_map(|c| &c.sorts)
+            .filter(|s| s.owners.len() > 1)
+            .count();
+        assert!(multi > 0, "expected at least one boundary-straddling block");
+    }
+}

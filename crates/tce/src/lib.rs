@@ -1,0 +1,42 @@
+//! Tensor Contraction Engine (TCE) emulation for the CCSD `icsd_t2_7`
+//! subroutine.
+//!
+//! NWChem's TCE generates Fortran for each CC term: deep loop nests over
+//! spin/spatial-symmetry tiles with `IF` guards, `GET_HASH_BLOCK` fetches,
+//! chains of `DGEMM`s sharing one output tile, up to four guarded
+//! `TCE_SORT_4` permutations, and an `ADD_HASH_BLOCK` accumulate. This
+//! crate rebuilds that structure:
+//!
+//! * [`space`] — the tiled orbital space (occupied/virtual x spin x
+//!   irrep, TCE "tilesize"-style tiles);
+//! * [`tensors`] — block layouts of `t2`, `v` and the output `i2` packed
+//!   into 1-D Global Arrays through hash indices;
+//! * [`loopnest`] — the `icsd_t2_7` loop nest as a visitor walk: the
+//!   single source of truth for which chains/GEMMs/SORTs exist, shared by
+//!   the reference executor, the inspection phase, and the tests;
+//! * [`inspect`] — the paper's inspection phase: the control-flow slice of
+//!   the subroutine that records, instead of executing, every operation
+//!   (`ChainMeta` arrays + GA placement queries);
+//! * [`reference`] — the serial "original code" execution with real
+//!   kernels (the numerical ground truth);
+//! * [`energy`] — a deterministic scalar contraction of the output tensor,
+//!   used for the "matched up to the 14th digit" agreement checks;
+//! * [`scale`] — named problem sizes, including a beta-carotene/6-31G
+//!   shaped configuration (o=148, v=324, tilesize 30, 4 irreps).
+
+pub mod energy;
+pub mod inspect;
+pub mod loopnest;
+pub mod reference;
+pub mod scale;
+pub mod space;
+pub mod tensors;
+pub mod util;
+
+pub use inspect::{inspect, inspect_kernels, ChainMeta, GemmMeta, Inspection, SortMeta};
+pub use loopnest::{walk_kernels, walk_t2_7, ChainInfo, GemmInfo, Kernel, SortInfo, T27Visitor, TensorKind};
+pub use energy::energy;
+pub use reference::{build_workspace, build_workspace_kernels, run_reference, Workspace};
+pub use scale::SpaceConfig;
+pub use space::{Spin, Tile, TileSpace};
+pub use tensors::TensorLayout;

@@ -1,0 +1,538 @@
+//! The `icsd_t2_7` loop nest as a visitor walk.
+//!
+//! This is the control-flow skeleton of the TCE-generated subroutine —
+//! the loops over output tiles `(p3b, p4b, h1b, h2b)`, the inner loop
+//! over contraction tiles `(p5b, p6b)` with its symmetry `IF` guards, and
+//! the four guarded SORT/WRITE branches at the end of every chain. The
+//! paper's inspection phase is "a slice of the original code that contains
+//! all the control flow statements but none of the subroutine calls";
+//! here the slice is literal: [`walk_t2_7`] *is* the control flow, and
+//! each consumer (reference executor, inspector, tests) supplies the
+//! subroutine calls as a [`T27Visitor`].
+
+use crate::space::TileSpace;
+use tensor_kernels::{Perm4, Trans};
+
+/// Which packed tensor an operand comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TensorKind {
+    /// `t2[p5, p6, h1, h2]` amplitudes.
+    T2,
+    /// `v[p5, p6, p3, p4]` particle-particle integrals.
+    Vvvvv,
+    /// `v[h5, h6, h1, h2]` hole-hole integrals.
+    Voooo,
+}
+
+/// A generated CC contraction term. The paper ports `icsd_t2_7` (the
+/// particle-particle ladder); `icsd_t2_2` (the hole-hole ladder) is the
+/// structurally analogous term contracting over occupied pairs — together
+/// they form a multi-kernel workload like the ones NWChem groups into its
+/// seven synchronization levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    T2_7,
+    T2_2,
+}
+
+impl Kernel {
+    /// Display name matching the generated Fortran subroutine.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::T2_7 => "icsd_t2_7",
+            Kernel::T2_2 => "icsd_t2_2",
+        }
+    }
+}
+
+/// One chain: the computation of a single output tile
+/// `i2[h1b, h2b, p3b, p4b]` by a serial sequence of GEMMs.
+#[derive(Debug, Clone)]
+pub struct ChainInfo {
+    /// The term this chain belongs to.
+    pub kernel: Kernel,
+    /// Chain number in walk order (the PTG's `L1`).
+    pub chain: usize,
+    /// Virtual tile indices of the output block (`p3b <= p4b`).
+    pub p3b: usize,
+    pub p4b: usize,
+    /// Occupied tile indices of the output block (`h1b <= h2b`).
+    pub h1b: usize,
+    pub h2b: usize,
+    /// C tile logical dims `[dim h1, dim h2, dim p3, dim p4]`.
+    pub cdims: [usize; 4],
+    /// GEMM shape: `C` is `m x n`.
+    pub m: usize,
+    pub n: usize,
+    /// Output block key in `i2`.
+    pub out_key: i64,
+    /// Number of GEMMs in this chain.
+    pub len: usize,
+}
+
+/// One GEMM of a chain (position `L2` in walk order):
+/// `C(m x n) += op(A)(m x k) * op(B)(k x n)`.
+#[derive(Debug, Clone)]
+pub struct GemmInfo {
+    /// Position within the chain (the PTG's `L2`).
+    pub pos: usize,
+    /// Contraction tile indices (`c5b <= c6b`; virtual tiles for t2_7,
+    /// occupied tiles for t2_2).
+    pub p5b: usize,
+    pub p6b: usize,
+    /// Contraction dimension `k` (product of the two contraction tiles).
+    pub k: usize,
+    /// The `A` operand: source tensor and block key. Stored `k x m`,
+    /// used transposed (`dgemm('T', ...)`).
+    pub a_tensor: TensorKind,
+    pub a_key: i64,
+    /// The `B` operand: source tensor, block key, and transposition —
+    /// stored `k x n` (`Trans::N`) or `n x k` (`Trans::T`).
+    pub b_tensor: TensorKind,
+    pub b_key: i64,
+    pub tb: Trans,
+}
+
+/// One active SORT/WRITE branch at the end of a chain.
+#[derive(Debug, Clone)]
+pub struct SortInfo {
+    /// Index permutation applied to the `[h1, h2, p3, p4]` C tile.
+    pub perm: Perm4,
+    /// Sign factor (antisymmetry under index exchange).
+    pub factor: f64,
+    /// Destination block key in `i2` (same block when tiles coincide).
+    pub out_key: i64,
+}
+
+/// Callbacks supplied by a consumer of the walk.
+pub trait T27Visitor {
+    /// A chain begins (the `DFILL` site).
+    fn chain(&mut self, c: &ChainInfo);
+    /// One GEMM of the current chain (the `GET/GET/DGEMM` site).
+    fn gemm(&mut self, c: &ChainInfo, g: &GemmInfo);
+    /// The chain ends with its active SORT/WRITE branches.
+    fn chain_end(&mut self, c: &ChainInfo, sorts: &[SortInfo]);
+}
+
+/// Walk `icsd_t2_7`. Chains with zero surviving GEMMs are skipped
+/// (TCE's generated guards never start them).
+pub fn walk_t2_7(space: &TileSpace, visitor: &mut impl T27Visitor) {
+    walk_t2_7_from(space, visitor, 0);
+}
+
+/// As [`walk_t2_7`], numbering chains from `first_chain` (multi-kernel
+/// workloads concatenate the chain spaces of several terms).
+pub fn walk_t2_7_from(
+    space: &TileSpace,
+    visitor: &mut impl T27Visitor,
+    first_chain: usize,
+) -> usize {
+    let mut chain_no = first_chain;
+    for p3b in 0..space.virt.len() {
+        for p4b in p3b..space.virt.len() {
+            for h1b in 0..space.occ.len() {
+                for h2b in h1b..space.occ.len() {
+                    let (tp3, tp4) = (&space.virt[p3b], &space.virt[p4b]);
+                    let (th1, th2) = (&space.occ[h1b], &space.occ[h2b]);
+                    if !space.quad_ok(th1, th2, tp3, tp4) {
+                        continue;
+                    }
+                    // Enumerate the chain's GEMMs (two passes: the chain
+                    // is only emitted if at least one GEMM survives the
+                    // guards).
+                    let mut gemms = Vec::new();
+                    for p5b in 0..space.virt.len() {
+                        for p6b in p5b..space.virt.len() {
+                            let (tp5, tp6) = (&space.virt[p5b], &space.virt[p6b]);
+                            if !space.quad_ok(tp5, tp6, th1, th2) {
+                                continue;
+                            }
+                            // v[p5,p6,p3,p4] exists by transitivity of the
+                            // conservation rules; assert in debug builds.
+                            debug_assert!(space.quad_ok(tp5, tp6, tp3, tp4));
+                            let a_key = space.block_key([
+                                space.virt_gid(p5b),
+                                space.virt_gid(p6b),
+                                space.occ_gid(h1b),
+                                space.occ_gid(h2b),
+                            ]);
+                            let b_key = space.block_key([
+                                space.virt_gid(p5b),
+                                space.virt_gid(p6b),
+                                space.virt_gid(p3b),
+                                space.virt_gid(p4b),
+                            ]);
+                            gemms.push(GemmInfo {
+                                pos: gemms.len(),
+                                p5b,
+                                p6b,
+                                k: tp5.size * tp6.size,
+                                a_tensor: TensorKind::T2,
+                                a_key,
+                                b_tensor: TensorKind::Vvvvv,
+                                b_key,
+                                tb: Trans::N,
+                            });
+                        }
+                    }
+                    if gemms.is_empty() {
+                        continue;
+                    }
+                    let out_key = space.block_key([
+                        space.occ_gid(h1b),
+                        space.occ_gid(h2b),
+                        space.virt_gid(p3b),
+                        space.virt_gid(p4b),
+                    ]);
+                    let c = ChainInfo {
+                        kernel: Kernel::T2_7,
+                        chain: chain_no,
+                        p3b,
+                        p4b,
+                        h1b,
+                        h2b,
+                        cdims: [th1.size, th2.size, tp3.size, tp4.size],
+                        m: th1.size * th2.size,
+                        n: tp3.size * tp4.size,
+                        out_key,
+                        len: gemms.len(),
+                    };
+                    chain_no += 1;
+                    visitor.chain(&c);
+                    for g in &gemms {
+                        visitor.gemm(&c, g);
+                    }
+                    visitor.chain_end(&c, &active_sorts(space, &c));
+                }
+            }
+        }
+    }
+    chain_no
+}
+
+/// Walk `icsd_t2_2`, the hole-hole ladder:
+/// `i2[h1,h2,p3,p4] += sum_{h5<=h6} t2[p3,p4,h5,h6] * v[h5,h6,h1,h2]`.
+/// Same output blocks and SORT/WRITE structure as t2_7; the contraction
+/// runs over occupied pairs, the `A` operand comes from the `Voooo`
+/// integrals (`k x m`), and the `B` operand is the *transposed* `t2`
+/// block (`n x k`, `dgemm('T','T')` in the generated code).
+pub fn walk_t2_2_from(
+    space: &TileSpace,
+    visitor: &mut impl T27Visitor,
+    first_chain: usize,
+) -> usize {
+    let mut chain_no = first_chain;
+    for p3b in 0..space.virt.len() {
+        for p4b in p3b..space.virt.len() {
+            for h1b in 0..space.occ.len() {
+                for h2b in h1b..space.occ.len() {
+                    let (tp3, tp4) = (&space.virt[p3b], &space.virt[p4b]);
+                    let (th1, th2) = (&space.occ[h1b], &space.occ[h2b]);
+                    if !space.quad_ok(th1, th2, tp3, tp4) {
+                        continue;
+                    }
+                    let mut gemms = Vec::new();
+                    for h5b in 0..space.occ.len() {
+                        for h6b in h5b..space.occ.len() {
+                            let (th5, th6) = (&space.occ[h5b], &space.occ[h6b]);
+                            // v[h5,h6,h1,h2] must conserve; t2[p3,p4,h5,h6]
+                            // then conserves by transitivity.
+                            if !space.quad_ok(th5, th6, th1, th2) {
+                                continue;
+                            }
+                            debug_assert!(space.quad_ok(tp3, tp4, th5, th6));
+                            let a_key = space.block_key([
+                                space.occ_gid(h5b),
+                                space.occ_gid(h6b),
+                                space.occ_gid(h1b),
+                                space.occ_gid(h2b),
+                            ]);
+                            let b_key = space.block_key([
+                                space.virt_gid(p3b),
+                                space.virt_gid(p4b),
+                                space.occ_gid(h5b),
+                                space.occ_gid(h6b),
+                            ]);
+                            gemms.push(GemmInfo {
+                                pos: gemms.len(),
+                                p5b: h5b,
+                                p6b: h6b,
+                                k: th5.size * th6.size,
+                                a_tensor: TensorKind::Voooo,
+                                a_key,
+                                b_tensor: TensorKind::T2,
+                                b_key,
+                                tb: Trans::T,
+                            });
+                        }
+                    }
+                    if gemms.is_empty() {
+                        continue;
+                    }
+                    let out_key = space.block_key([
+                        space.occ_gid(h1b),
+                        space.occ_gid(h2b),
+                        space.virt_gid(p3b),
+                        space.virt_gid(p4b),
+                    ]);
+                    let c = ChainInfo {
+                        kernel: Kernel::T2_2,
+                        chain: chain_no,
+                        p3b,
+                        p4b,
+                        h1b,
+                        h2b,
+                        cdims: [th1.size, th2.size, tp3.size, tp4.size],
+                        m: th1.size * th2.size,
+                        n: tp3.size * tp4.size,
+                        out_key,
+                        len: gemms.len(),
+                    };
+                    chain_no += 1;
+                    visitor.chain(&c);
+                    for g in &gemms {
+                        visitor.gemm(&c, g);
+                    }
+                    visitor.chain_end(&c, &active_sorts(space, &c));
+                }
+            }
+        }
+    }
+    chain_no
+}
+
+/// Walk a multi-kernel workload: the terms' chain spaces concatenate, the
+/// way NWChem's work levels pool instances of many generated subroutines.
+pub fn walk_kernels(space: &TileSpace, kernels: &[Kernel], visitor: &mut impl T27Visitor) {
+    let mut next = 0;
+    for k in kernels {
+        next = match k {
+            Kernel::T2_7 => walk_t2_7_from(space, visitor, next),
+            Kernel::T2_2 => walk_t2_2_from(space, visitor, next),
+        };
+    }
+}
+
+/// The four guarded SORT/WRITE branches of the original subroutine:
+///
+/// ```text
+/// IF ((p3b <= p4b) .and. (h1b <= h2b)) ...  ! always true here
+/// IF ((p3b <= p4b) .and. (h2b <= h1b)) ...  ! h1b == h2b
+/// IF ((p4b <= p3b) .and. (h1b <= h2b)) ...  ! p3b == p4b
+/// IF ((p4b <= p3b) .and. (h2b <= h1b)) ...  ! both equal
+/// ```
+///
+/// Because the outer loops enforce `p3b <= p4b` and `h1b <= h2b`, the
+/// later predicates fire exactly when tiles coincide — "when the variables
+/// that are being compared are equal, then multiple of these IF statements
+/// will evaluate to true". Each active branch permutes the C tile (with an
+/// antisymmetry sign) and accumulates it into `i2`.
+pub fn active_sorts(space: &TileSpace, c: &ChainInfo) -> Vec<SortInfo> {
+    let key = |h1: usize, h2: usize, p3: usize, p4: usize| {
+        space.block_key([
+            space.occ_gid(h1),
+            space.occ_gid(h2),
+            space.virt_gid(p3),
+            space.virt_gid(p4),
+        ])
+    };
+    let mut sorts = vec![SortInfo {
+        perm: [0, 1, 2, 3],
+        factor: 1.0,
+        out_key: key(c.h1b, c.h2b, c.p3b, c.p4b),
+    }];
+    if c.h2b <= c.h1b {
+        sorts.push(SortInfo {
+            perm: [1, 0, 2, 3],
+            factor: -1.0,
+            out_key: key(c.h2b, c.h1b, c.p3b, c.p4b),
+        });
+    }
+    if c.p4b <= c.p3b {
+        sorts.push(SortInfo {
+            perm: [0, 1, 3, 2],
+            factor: -1.0,
+            out_key: key(c.h1b, c.h2b, c.p4b, c.p3b),
+        });
+    }
+    if c.h2b <= c.h1b && c.p4b <= c.p3b {
+        sorts.push(SortInfo {
+            perm: [1, 0, 3, 2],
+            factor: 1.0,
+            out_key: key(c.h2b, c.h1b, c.p4b, c.p3b),
+        });
+    }
+    sorts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale;
+    use crate::space::TileSpace;
+
+    #[derive(Default)]
+    struct Collect {
+        chains: Vec<ChainInfo>,
+        gemms: usize,
+        sort_counts: Vec<usize>,
+    }
+    impl T27Visitor for Collect {
+        fn chain(&mut self, c: &ChainInfo) {
+            self.chains.push(c.clone());
+        }
+        fn gemm(&mut self, _c: &ChainInfo, _g: &GemmInfo) {
+            self.gemms += 1;
+        }
+        fn chain_end(&mut self, _c: &ChainInfo, sorts: &[SortInfo]) {
+            self.sort_counts.push(sorts.len());
+        }
+    }
+
+    #[test]
+    fn walk_produces_consistent_chains() {
+        let s = TileSpace::build(&scale::small());
+        let mut v = Collect::default();
+        walk_t2_7(&s, &mut v);
+        assert!(!v.chains.is_empty());
+        assert_eq!(v.gemms, v.chains.iter().map(|c| c.len).sum::<usize>());
+        assert_eq!(v.sort_counts.len(), v.chains.len());
+        // Chain numbers are consecutive.
+        for (i, c) in v.chains.iter().enumerate() {
+            assert_eq!(c.chain, i);
+            assert!(c.p3b <= c.p4b);
+            assert!(c.h1b <= c.h2b);
+            assert!(c.len > 0);
+        }
+    }
+
+    #[test]
+    fn sort_multiplicity_follows_tile_equalities() {
+        let s = TileSpace::build(&scale::small());
+        let mut v = Collect::default();
+        walk_t2_7(&s, &mut v);
+        for (c, &n) in v.chains.iter().zip(&v.sort_counts) {
+            let expect = match (c.h1b == c.h2b, c.p3b == c.p4b) {
+                (false, false) => 1,
+                (true, false) | (false, true) => 2,
+                (true, true) => 4,
+            };
+            assert_eq!(n, expect, "chain {c:?}");
+        }
+        // The workload exercises at least the 1- and 2-sort cases.
+        assert!(v.sort_counts.iter().any(|&n| n == 1));
+        assert!(v.sort_counts.iter().any(|&n| n >= 2));
+    }
+
+    #[test]
+    fn chain_lengths_are_heterogeneous() {
+        // The load-imbalance argument of the paper needs varied lengths.
+        // (At the `small` scale the symmetric tile layout happens to give
+        // uniform lengths; `medium` has enough tiles to differentiate.)
+        let s = TileSpace::build(&scale::medium());
+        let mut v = Collect::default();
+        walk_t2_7(&s, &mut v);
+        let min = v.chains.iter().map(|c| c.len).min().unwrap();
+        let max = v.chains.iter().map(|c| c.len).max().unwrap();
+        assert!(max > min, "chain lengths all equal ({min})");
+    }
+
+    #[test]
+    fn all_blocks_exist_in_layouts() {
+        use crate::tensors;
+        let s = TileSpace::build(&scale::small());
+        let t2 = tensors::t2_layout(&s, 1);
+        let vv = tensors::v_layout(&s, 1);
+        let i2 = tensors::i2_layout(&s, 1);
+        struct Check<'a> {
+            t2: &'a tensors::TensorLayout,
+            v: &'a tensors::TensorLayout,
+            i2: &'a tensors::TensorLayout,
+        }
+        impl T27Visitor for Check<'_> {
+            fn chain(&mut self, c: &ChainInfo) {
+                assert!(self.i2.index.contains(c.out_key));
+            }
+            fn gemm(&mut self, c: &ChainInfo, g: &GemmInfo) {
+                let (_, asz) = self.t2.index.lookup(g.a_key).expect("t2 block");
+                let (_, bsz) = self.v.index.lookup(g.b_key).expect("v block");
+                assert_eq!(asz, g.k * c.m);
+                assert_eq!(bsz, g.k * c.n);
+            }
+            fn chain_end(&mut self, c: &ChainInfo, sorts: &[SortInfo]) {
+                for s in sorts {
+                    let (_, sz) = self.i2.index.lookup(s.out_key).expect("i2 block");
+                    assert_eq!(sz, c.m * c.n);
+                }
+            }
+        }
+        walk_t2_7(&s, &mut Check { t2: &t2, v: &vv, i2: &i2 });
+    }
+
+    #[test]
+    fn t2_2_walk_is_consistent() {
+        let s = TileSpace::build(&scale::small());
+        let mut v = Collect::default();
+        walk_t2_2_from(&s, &mut v, 0);
+        assert!(!v.chains.is_empty());
+        for c in &v.chains {
+            assert_eq!(c.kernel, Kernel::T2_2);
+            assert!(c.len > 0);
+        }
+        assert_eq!(v.gemms, v.chains.iter().map(|c| c.len).sum::<usize>());
+    }
+
+    #[test]
+    fn multikernel_walk_concatenates_chain_numbers() {
+        let s = TileSpace::build(&scale::small());
+        let mut v = Collect::default();
+        walk_kernels(&s, &[Kernel::T2_7, Kernel::T2_2], &mut v);
+        for (i, c) in v.chains.iter().enumerate() {
+            assert_eq!(c.chain, i, "chain numbering must be contiguous across kernels");
+        }
+        let k7 = v.chains.iter().filter(|c| c.kernel == Kernel::T2_7).count();
+        let k2 = v.chains.iter().filter(|c| c.kernel == Kernel::T2_2).count();
+        assert!(k7 > 0 && k2 > 0);
+        // t2_7 chains come first.
+        assert!(v.chains[..k7].iter().all(|c| c.kernel == Kernel::T2_7));
+        assert!(v.chains[k7..].iter().all(|c| c.kernel == Kernel::T2_2));
+    }
+
+    #[test]
+    fn t2_2_blocks_exist_in_layouts() {
+        use crate::tensors;
+        let s = TileSpace::build(&scale::small());
+        let t2 = tensors::t2_layout(&s, 1);
+        let voo = tensors::v_oo_layout(&s, 1);
+        struct Check<'a> {
+            t2: &'a tensors::TensorLayout,
+            voo: &'a tensors::TensorLayout,
+        }
+        impl T27Visitor for Check<'_> {
+            fn chain(&mut self, _c: &ChainInfo) {}
+            fn gemm(&mut self, c: &ChainInfo, g: &GemmInfo) {
+                // A = v_oooo (k x m), B = t2 transposed (n x k).
+                let (_, asz) = self.voo.index.lookup(g.a_key).expect("voo block");
+                let (_, bsz) = self.t2.index.lookup(g.b_key).expect("t2 block");
+                assert_eq!(asz, g.k * c.m);
+                assert_eq!(bsz, c.n * g.k);
+                assert_eq!(g.tb, Trans::T);
+            }
+            fn chain_end(&mut self, _c: &ChainInfo, _s: &[SortInfo]) {}
+        }
+        walk_t2_2_from(&s, &mut Check { t2: &t2, voo: &voo }, 0);
+    }
+
+    #[test]
+    fn paper_scale_counts() {
+        let s = TileSpace::build(&scale::paper());
+        let mut v = Collect::default();
+        walk_t2_7(&s, &mut v);
+        // Thousands of chains, tens-of-thousands of GEMMs (Section V runs
+        // on 472 basis functions with tens of thousands of tasks).
+        assert!(v.chains.len() > 1_000, "{} chains", v.chains.len());
+        assert!(v.gemms > 20_000, "{} gemms", v.gemms);
+        let max_len = v.chains.iter().map(|c| c.len).max().unwrap();
+        assert!(max_len > 20, "max chain length {max_len}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Named problem scales.
+//!
+//! `paper()` matches the evaluation workload's shape: beta-carotene in
+//! 6-31G has 472 basis functions — 148 doubly-occupied and 324 virtual
+//! spatial orbitals — tiled by TCE at tilesize ~30 per spin, with the
+//! molecule's near-C2h symmetry approximated by 4 abelian irreps. The
+//! smaller scales keep the same structure at sizes where real numerics
+//! (and exhaustive graph audits) are fast.
+
+/// Configuration of a [`crate::TileSpace`].
+#[derive(Debug, Clone)]
+pub struct SpaceConfig {
+    /// Occupied tiles per spin.
+    pub occ_tiles_per_spin: usize,
+    /// Virtual tiles per spin.
+    pub virt_tiles_per_spin: usize,
+    /// Nominal orbitals per tile.
+    pub tile_size: usize,
+    /// Tile sizes vary in `[tile_size - spread, tile_size + spread]`.
+    pub size_spread: usize,
+    /// Number of abelian irreps (power of two).
+    pub irreps: u8,
+    /// Seed for all deterministic randomness (sizes, fills, weights).
+    pub seed: u64,
+}
+
+/// Minimal space: a handful of chains; exhaustive graph audits are cheap.
+pub fn tiny() -> SpaceConfig {
+    SpaceConfig {
+        occ_tiles_per_spin: 1,
+        virt_tiles_per_spin: 2,
+        tile_size: 2,
+        size_spread: 1,
+        irreps: 1,
+        seed: 0xC0FFEE,
+    }
+}
+
+/// Test scale: tens of chains, real numerics in milliseconds.
+pub fn small() -> SpaceConfig {
+    SpaceConfig {
+        occ_tiles_per_spin: 2,
+        virt_tiles_per_spin: 3,
+        tile_size: 3,
+        size_spread: 1,
+        irreps: 2,
+        seed: 0xC0FFEE,
+    }
+}
+
+/// Quick simulation scale: hundreds of chains; structural only in tests,
+/// numerics still feasible for examples.
+pub fn medium() -> SpaceConfig {
+    SpaceConfig {
+        occ_tiles_per_spin: 3,
+        virt_tiles_per_spin: 6,
+        tile_size: 8,
+        size_spread: 2,
+        irreps: 2,
+        seed: 0xC0FFEE,
+    }
+}
+
+/// Beta-carotene / 6-31G shaped workload (o=148, v=324, tilesize ~30,
+/// 4 irreps): thousands of heterogeneous chains, hundreds of thousands of
+/// GEMMs. Structural/simulated use only — the tensors would be tens of
+/// gigabytes.
+pub fn paper() -> SpaceConfig {
+    SpaceConfig {
+        occ_tiles_per_spin: 5,
+        virt_tiles_per_spin: 11,
+        tile_size: 30,
+        size_spread: 7,
+        irreps: 4,
+        seed: 0xBE7A,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::TileSpace;
+
+    #[test]
+    fn paper_scale_matches_molecule() {
+        let s = TileSpace::build(&paper());
+        // o=148, v=324 per spin, within tiling granularity.
+        let o = s.n_occ() / 2; // per spin
+        let v = s.n_virt() / 2;
+        assert!((130..=170).contains(&o), "occupied per spin: {o}");
+        assert!((290..=360).contains(&v), "virtual per spin: {v}");
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let t = TileSpace::build(&tiny());
+        let s = TileSpace::build(&small());
+        let m = TileSpace::build(&medium());
+        let p = TileSpace::build(&paper());
+        assert!(t.num_tiles() <= s.num_tiles());
+        assert!(s.num_tiles() <= m.num_tiles());
+        assert!(m.num_tiles() <= p.num_tiles());
+    }
+}

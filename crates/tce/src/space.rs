@@ -1,0 +1,212 @@
+//! The tiled spin-orbital space.
+//!
+//! TCE partitions the occupied and virtual orbitals into tiles of
+//! ~`tilesize` orbitals sharing spin and spatial-symmetry (irrep) labels;
+//! every tensor block is indexed by tiles, and every contraction is
+//! guarded by spin conservation and irrep product rules. Those guards are
+//! what give the generated code its branchy structure ("each GEMM executes
+//! only if the conditions of the branches that enclose it evaluate to
+//! true") and what make chain lengths heterogeneous.
+
+use crate::scale::SpaceConfig;
+use crate::util::{splitmix64, unit_f64};
+
+/// Electron spin label of a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Spin {
+    Alpha,
+    Beta,
+}
+
+impl Spin {
+    fn as_i64(self) -> i64 {
+        match self {
+            Spin::Alpha => 0,
+            Spin::Beta => 1,
+        }
+    }
+}
+
+/// One orbital tile.
+#[derive(Debug, Clone, Copy)]
+pub struct Tile {
+    /// Number of orbitals in the tile.
+    pub size: usize,
+    /// Spin label.
+    pub spin: Spin,
+    /// Irreducible representation label (abelian group, product = XOR).
+    pub irrep: u8,
+}
+
+/// The partitioned orbital space: occupied tiles then virtual tiles.
+#[derive(Debug, Clone)]
+pub struct TileSpace {
+    /// Occupied (hole) tiles.
+    pub occ: Vec<Tile>,
+    /// Virtual (particle) tiles.
+    pub virt: Vec<Tile>,
+    /// Number of irreps (power of two; labels combine by XOR).
+    pub irreps: u8,
+}
+
+impl TileSpace {
+    /// Deterministically build a space from a configuration: per spin,
+    /// `occ_tiles_per_spin` occupied and `virt_tiles_per_spin` virtual
+    /// tiles with sizes in `[tile_size - spread, tile_size + spread]` and
+    /// cyclically assigned irreps.
+    pub fn build(cfg: &SpaceConfig) -> Self {
+        assert!(cfg.irreps.is_power_of_two(), "irreps must be a power of two");
+        assert!(cfg.tile_size > cfg.size_spread, "spread would allow empty tiles");
+        let mk = |count: usize, salt: u64| -> Vec<Tile> {
+            let mut tiles = Vec::new();
+            for spin in [Spin::Alpha, Spin::Beta] {
+                for i in 0..count {
+                    let h = splitmix64(cfg.seed ^ salt ^ ((spin.as_i64() as u64) << 32) ^ i as u64);
+                    let jitter = ((unit_f64(h) + 0.5) * (2 * cfg.size_spread + 1) as f64) as usize;
+                    let size = cfg.tile_size - cfg.size_spread + jitter.min(2 * cfg.size_spread);
+                    let irrep = (h >> 17) as u8 % cfg.irreps;
+                    tiles.push(Tile { size, spin, irrep });
+                }
+            }
+            tiles
+        };
+        Self { occ: mk(cfg.occ_tiles_per_spin, 0xA11CE), virt: mk(cfg.virt_tiles_per_spin, 0xB0B), irreps: cfg.irreps }
+    }
+
+    /// Global tile id: occupied tiles first, then virtual.
+    pub fn occ_gid(&self, i: usize) -> usize {
+        debug_assert!(i < self.occ.len());
+        i
+    }
+
+    /// Global tile id of a virtual tile.
+    pub fn virt_gid(&self, j: usize) -> usize {
+        debug_assert!(j < self.virt.len());
+        self.occ.len() + j
+    }
+
+    /// Total number of tiles (the base of block-key encoding).
+    pub fn num_tiles(&self) -> usize {
+        self.occ.len() + self.virt.len()
+    }
+
+    /// Tile by global id.
+    pub fn tile(&self, gid: usize) -> &Tile {
+        if gid < self.occ.len() {
+            &self.occ[gid]
+        } else {
+            &self.virt[gid - self.occ.len()]
+        }
+    }
+
+    /// Spin + irrep conservation for a `(a, b | c, d)` tensor block:
+    /// the block is non-zero only when total spin matches and the irrep
+    /// product is the totally symmetric representation.
+    pub fn quad_ok(&self, a: &Tile, b: &Tile, c: &Tile, d: &Tile) -> bool {
+        let spin_ok = a.spin.as_i64() + b.spin.as_i64() == c.spin.as_i64() + d.spin.as_i64();
+        let irrep_ok = (a.irrep ^ b.irrep ^ c.irrep ^ d.irrep) == 0;
+        spin_ok && irrep_ok
+    }
+
+    /// Pack four global tile ids into a block key.
+    pub fn block_key(&self, gids: [usize; 4]) -> i64 {
+        let n = self.num_tiles() as i64;
+        let mut k = 0i64;
+        for g in gids {
+            debug_assert!(g < self.num_tiles());
+            k = k * n + g as i64;
+        }
+        k
+    }
+
+    /// Decode a block key back into its four global tile ids
+    /// (inverse of [`TileSpace::block_key`]).
+    pub fn decode_key(&self, key: i64) -> [usize; 4] {
+        let n = self.num_tiles() as i64;
+        let mut k = key;
+        let mut gids = [0usize; 4];
+        for slot in (0..4).rev() {
+            gids[slot] = (k % n) as usize;
+            k /= n;
+        }
+        debug_assert_eq!(k, 0, "key out of range");
+        gids
+    }
+
+    /// Total occupied orbitals.
+    pub fn n_occ(&self) -> usize {
+        self.occ.iter().map(|t| t.size).sum()
+    }
+
+    /// Total virtual orbitals.
+    pub fn n_virt(&self) -> usize {
+        self.virt.iter().map(|t| t.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale;
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = TileSpace::build(&scale::small());
+        let b = TileSpace::build(&scale::small());
+        assert_eq!(a.occ.len(), b.occ.len());
+        for (x, y) in a.occ.iter().zip(&b.occ) {
+            assert_eq!(x.size, y.size);
+            assert_eq!(x.irrep, y.irrep);
+        }
+    }
+
+    #[test]
+    fn both_spins_present() {
+        let s = TileSpace::build(&scale::small());
+        assert!(s.occ.iter().any(|t| t.spin == Spin::Alpha));
+        assert!(s.occ.iter().any(|t| t.spin == Spin::Beta));
+        assert_eq!(s.num_tiles(), s.occ.len() + s.virt.len());
+    }
+
+    #[test]
+    fn quad_guard_conserves_spin_and_irrep() {
+        let s = TileSpace::build(&scale::small());
+        let aa = Tile { size: 2, spin: Spin::Alpha, irrep: 0 };
+        let bb = Tile { size: 2, spin: Spin::Beta, irrep: 0 };
+        let a1 = Tile { size: 2, spin: Spin::Alpha, irrep: 1 };
+        assert!(s.quad_ok(&aa, &bb, &bb, &aa));
+        assert!(!s.quad_ok(&aa, &aa, &aa, &bb)); // spin violation
+        assert!(!s.quad_ok(&a1, &aa, &aa, &aa)); // irrep violation
+        assert!(s.quad_ok(&a1, &a1, &aa, &aa)); // irreps cancel
+    }
+
+    #[test]
+    fn block_keys_injective() {
+        let s = TileSpace::build(&scale::tiny());
+        let n = s.num_tiles();
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..n {
+            for b in 0..n {
+                assert!(seen.insert(s.block_key([a, b, 0, 1])));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_inverts_block_key() {
+        let s = TileSpace::build(&scale::small());
+        let gids = [1, 3, 0, s.num_tiles() - 1];
+        assert_eq!(s.decode_key(s.block_key(gids)), gids);
+    }
+
+    #[test]
+    fn sizes_respect_spread() {
+        let cfg = scale::paper();
+        let s = TileSpace::build(&cfg);
+        for t in s.occ.iter().chain(&s.virt) {
+            assert!(t.size >= cfg.tile_size - cfg.size_spread);
+            assert!(t.size <= cfg.tile_size + cfg.size_spread);
+            assert!(t.irrep < cfg.irreps);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Packed tensor layouts for `icsd_t2_7`.
+//!
+//! Each tensor is a block-sparse 4-index array packed into a 1-D Global
+//! Array: blocks in deterministic loop order, located through a
+//! [`HashIndex`]. Layouts are *structural* — index plus block
+//! [`Distribution`] — so that paper-scale simulations can query placement
+//! without allocating tens of gigabytes; [`materialize`] creates and fills
+//! the real array for scales where numerics run.
+//!
+//! Block conventions (column-major within a block, first index fastest):
+//!
+//! * `t2[p5, p6, h1, h2]` for `p5 <= p6`, `h1 <= h2`, spin/irrep
+//!   conserving — a `(dim p5 * dim p6) x (dim h1 * dim h2)` matrix;
+//! * `v[p5, p6, p3, p4]`  for `p5 <= p6`, `p3 <= p4`, conserving —
+//!   a `(dim p5 * dim p6) x (dim p3 * dim p4)` matrix;
+//! * `i2[h1, h2, p3, p4]` for `h1 <= h2`, `p3 <= p4`, conserving —
+//!   the output residual blocks.
+//!
+//! With these layouts every chain GEMM is exactly the Figure 1 body:
+//! `C(m x n) += A^T(k x m) * B(k x n)`, `dgemm('T','N', ...)`.
+
+use crate::space::TileSpace;
+use crate::util::block_element;
+use global_arrays::{Distribution, Ga, GaHandle, HashIndex};
+
+/// Structural description of one packed tensor.
+#[derive(Debug, Clone)]
+pub struct TensorLayout {
+    /// Block key -> (offset, size).
+    pub index: HashIndex,
+    /// Node ownership of the packed 1-D array.
+    pub dist: Distribution,
+    /// Name for diagnostics.
+    pub name: &'static str,
+}
+
+impl TensorLayout {
+    /// Packed length.
+    pub fn len(&self) -> usize {
+        self.index.total_len()
+    }
+
+    /// True when the tensor has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// `t2` amplitudes: blocks `[p5, p6, h1, h2]`.
+pub fn t2_layout(space: &TileSpace, nodes: usize) -> TensorLayout {
+    let mut index = HashIndex::new();
+    for p5 in 0..space.virt.len() {
+        for p6 in p5..space.virt.len() {
+            for h1 in 0..space.occ.len() {
+                for h2 in h1..space.occ.len() {
+                    let (tp5, tp6) = (&space.virt[p5], &space.virt[p6]);
+                    let (th1, th2) = (&space.occ[h1], &space.occ[h2]);
+                    if !space.quad_ok(tp5, tp6, th1, th2) {
+                        continue;
+                    }
+                    let key = space.block_key([
+                        space.virt_gid(p5),
+                        space.virt_gid(p6),
+                        space.occ_gid(h1),
+                        space.occ_gid(h2),
+                    ]);
+                    index.insert(key, tp5.size * tp6.size * th1.size * th2.size);
+                }
+            }
+        }
+    }
+    let dist = Distribution::new(index.total_len(), nodes);
+    TensorLayout { index, dist, name: "t2" }
+}
+
+/// Two-electron integrals `v`: blocks `[p5, p6, p3, p4]`.
+pub fn v_layout(space: &TileSpace, nodes: usize) -> TensorLayout {
+    let mut index = HashIndex::new();
+    for p5 in 0..space.virt.len() {
+        for p6 in p5..space.virt.len() {
+            for p3 in 0..space.virt.len() {
+                for p4 in p3..space.virt.len() {
+                    let (tp5, tp6) = (&space.virt[p5], &space.virt[p6]);
+                    let (tp3, tp4) = (&space.virt[p3], &space.virt[p4]);
+                    if !space.quad_ok(tp5, tp6, tp3, tp4) {
+                        continue;
+                    }
+                    let key = space.block_key([
+                        space.virt_gid(p5),
+                        space.virt_gid(p6),
+                        space.virt_gid(p3),
+                        space.virt_gid(p4),
+                    ]);
+                    index.insert(key, tp5.size * tp6.size * tp3.size * tp4.size);
+                }
+            }
+        }
+    }
+    let dist = Distribution::new(index.total_len(), nodes);
+    TensorLayout { index, dist, name: "v" }
+}
+
+/// Hole-hole integrals `v_oooo`: blocks `[h5, h6, h1, h2]` for
+/// `h5 <= h6`, `h1 <= h2`, conserving — the `A` operand of `icsd_t2_2`.
+pub fn v_oo_layout(space: &TileSpace, nodes: usize) -> TensorLayout {
+    let mut index = HashIndex::new();
+    for h5 in 0..space.occ.len() {
+        for h6 in h5..space.occ.len() {
+            for h1 in 0..space.occ.len() {
+                for h2 in h1..space.occ.len() {
+                    let (th5, th6) = (&space.occ[h5], &space.occ[h6]);
+                    let (th1, th2) = (&space.occ[h1], &space.occ[h2]);
+                    if !space.quad_ok(th5, th6, th1, th2) {
+                        continue;
+                    }
+                    let key = space.block_key([
+                        space.occ_gid(h5),
+                        space.occ_gid(h6),
+                        space.occ_gid(h1),
+                        space.occ_gid(h2),
+                    ]);
+                    index.insert(key, th5.size * th6.size * th1.size * th2.size);
+                }
+            }
+        }
+    }
+    let dist = Distribution::new(index.total_len(), nodes);
+    TensorLayout { index, dist, name: "v_oooo" }
+}
+
+/// Output residual `i2`: blocks `[h1, h2, p3, p4]`.
+pub fn i2_layout(space: &TileSpace, nodes: usize) -> TensorLayout {
+    let mut index = HashIndex::new();
+    for h1 in 0..space.occ.len() {
+        for h2 in h1..space.occ.len() {
+            for p3 in 0..space.virt.len() {
+                for p4 in p3..space.virt.len() {
+                    let (th1, th2) = (&space.occ[h1], &space.occ[h2]);
+                    let (tp3, tp4) = (&space.virt[p3], &space.virt[p4]);
+                    if !space.quad_ok(th1, th2, tp3, tp4) {
+                        continue;
+                    }
+                    let key = space.block_key([
+                        space.occ_gid(h1),
+                        space.occ_gid(h2),
+                        space.virt_gid(p3),
+                        space.virt_gid(p4),
+                    ]);
+                    index.insert(key, th1.size * th2.size * tp3.size * tp4.size);
+                }
+            }
+        }
+    }
+    let dist = Distribution::new(index.total_len(), nodes);
+    TensorLayout { index, dist, name: "i2" }
+}
+
+/// Create the real Global Array for a layout, optionally filled with the
+/// deterministic pseudo-random content for `seed` (pass `None` to leave
+/// it zeroed, as for the output tensor).
+pub fn materialize(ga: &Ga, layout: &TensorLayout, seed: Option<u64>) -> GaHandle {
+    assert_eq!(ga.nnodes(), layout.dist.nodes(), "node count mismatch");
+    let h = ga.create(layout.len());
+    if let Some(seed) = seed {
+        for (key, offset, size) in layout.index.iter() {
+            let data: Vec<f64> = (0..size).map(|e| block_element(seed, key, e)).collect();
+            ga.put(h, offset, &data);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale;
+
+    #[test]
+    fn layouts_respect_guards() {
+        let s = TileSpace::build(&scale::small());
+        let t2 = t2_layout(&s, 2);
+        let v = v_layout(&s, 2);
+        let i2 = i2_layout(&s, 2);
+        assert!(t2.index.num_blocks() > 0);
+        assert!(v.index.num_blocks() > 0);
+        assert!(i2.index.num_blocks() > 0);
+        // Every stored block satisfies the guard (spot-check via key
+        // decode: blocks were only inserted when quad_ok held; check
+        // total sizes are the sum of block sizes).
+        let total: usize = t2.index.iter().map(|(_, _, s)| s).sum();
+        assert_eq!(total, t2.len());
+    }
+
+    #[test]
+    fn materialize_fills_deterministically() {
+        let s = TileSpace::build(&scale::tiny());
+        let layout = t2_layout(&s, 2);
+        let ga = Ga::init(2);
+        let h1 = materialize(&ga, &layout, Some(7));
+        let h2 = materialize(&ga, &layout, Some(7));
+        assert_eq!(ga.snapshot(h1), ga.snapshot(h2));
+        let h3 = materialize(&ga, &layout, Some(8));
+        assert_ne!(ga.snapshot(h1), ga.snapshot(h3));
+        let hz = materialize(&ga, &layout, None);
+        assert!(ga.snapshot(hz).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn paper_scale_layout_is_structural_only() {
+        // Builds the index without allocating the (multi-GB) data.
+        let s = TileSpace::build(&scale::paper());
+        let t2 = t2_layout(&s, 32);
+        assert!(t2.len() > 100_000_000, "t2 has {} elements", t2.len());
+        assert_eq!(t2.dist.nodes(), 32);
+    }
+}

@@ -1,0 +1,260 @@
+//! Column-major `DGEMM`: `C = alpha * op(A) * op(B) + beta * C`.
+//!
+//! The TCE-generated chains call `dgemm('T', 'N', ...)` (Figure 1's task
+//! body), so the `T x N` case is the hot path and gets a layout-friendly
+//! loop ordering; the other combinations are provided for completeness and
+//! exercised by tests.
+
+use crate::cm;
+
+/// Transposition flag for one GEMM operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    N,
+    /// Use the transpose of the stored operand.
+    T,
+}
+
+impl Trans {
+    /// Parse a Fortran character flag (`'N'`/`'T'`, case-insensitive).
+    pub fn from_char(c: char) -> Option<Self> {
+        match c.to_ascii_uppercase() {
+            'N' => Some(Trans::N),
+            'T' => Some(Trans::T),
+            _ => None,
+        }
+    }
+}
+
+/// `C(m x n) = alpha * op(A) * op(B) + beta * C`.
+///
+/// * `op(A)` is `m x k`: `A` is stored `m x k` when `ta == N`, `k x m`
+///   when `ta == T`;
+/// * `op(B)` is `k x n`: `B` is stored `k x n` when `tb == N`, `n x k`
+///   when `tb == T`.
+///
+/// All matrices are dense column-major with no leading-dimension padding.
+/// Panics if slice lengths do not match the shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm(
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    assert_eq!(a.len(), m * k, "A has wrong size");
+    assert_eq!(b.len(), k * n, "B has wrong size");
+    assert_eq!(c.len(), m * n, "C has wrong size");
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill(0.0);
+        } else {
+            for x in c.iter_mut() {
+                *x *= beta;
+            }
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 {
+        return;
+    }
+
+    match (ta, tb) {
+        // Hot path: C[i,j] += alpha * sum_l A[l,i] * B[l,j].
+        // Columns of A and B are contiguous: pure dot products.
+        (Trans::T, Trans::N) => {
+            for j in 0..n {
+                let bj = &b[j * k..(j + 1) * k];
+                for i in 0..m {
+                    let ai = &a[i * k..(i + 1) * k];
+                    let mut acc = 0.0;
+                    for l in 0..k {
+                        acc += ai[l] * bj[l];
+                    }
+                    c[cm(i, j, m)] += alpha * acc;
+                }
+            }
+        }
+        // C[i,j] += alpha * sum_l A[i,l] * B[l,j]; iterate l outer so the
+        // A column and C column are streamed contiguously.
+        (Trans::N, Trans::N) => {
+            for j in 0..n {
+                let cj = &mut c[j * m..(j + 1) * m];
+                for l in 0..k {
+                    let blj = alpha * b[cm(l, j, k)];
+                    if blj == 0.0 {
+                        continue;
+                    }
+                    let al = &a[l * m..(l + 1) * m];
+                    for i in 0..m {
+                        cj[i] += al[i] * blj;
+                    }
+                }
+            }
+        }
+        // C[i,j] += alpha * sum_l A[i,l] * B[j,l].
+        (Trans::N, Trans::T) => {
+            for l in 0..k {
+                let al = &a[l * m..(l + 1) * m];
+                for j in 0..n {
+                    let bjl = alpha * b[cm(j, l, n)];
+                    if bjl == 0.0 {
+                        continue;
+                    }
+                    let cj = &mut c[j * m..(j + 1) * m];
+                    for i in 0..m {
+                        cj[i] += al[i] * bjl;
+                    }
+                }
+            }
+        }
+        // C[i,j] += alpha * sum_l A[l,i] * B[j,l].
+        (Trans::T, Trans::T) => {
+            for j in 0..n {
+                for i in 0..m {
+                    let ai = &a[i * k..(i + 1) * k];
+                    let mut acc = 0.0;
+                    for l in 0..k {
+                        acc += ai[l] * b[cm(j, l, n)];
+                    }
+                    c[cm(i, j, m)] += alpha * acc;
+                }
+            }
+        }
+    }
+}
+
+/// Textbook reference implementation (element addressing only), used as the
+/// oracle in property tests.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_naive(
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    let at = |i: usize, l: usize| match ta {
+        Trans::N => a[cm(i, l, m)],
+        Trans::T => a[cm(l, i, k)],
+    };
+    let bt = |l: usize, j: usize| match tb {
+        Trans::N => b[cm(l, j, k)],
+        Trans::T => b[cm(j, l, n)],
+    };
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += at(i, l) * bt(l, j);
+            }
+            c[cm(i, j, m)] = alpha * acc + beta * c[cm(i, j, m)];
+        }
+    }
+}
+
+/// Floating-point operation count of one GEMM (the usual `2*m*n*k`).
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i + 1) as f64).collect()
+    }
+
+    #[test]
+    fn identity_times_matrix() {
+        // A = I (2x2), B = [[1,3],[2,4]] column-major.
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let mut c = vec![0.0; 4];
+        dgemm(Trans::N, Trans::N, 2, 2, 2, 1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn known_2x2_product() {
+        // A=[[1,3],[2,4]], B=[[5,7],[6,8]] (column-major lists).
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![0.0; 4];
+        dgemm(Trans::N, Trans::N, 2, 2, 2, 1.0, &a, &b, 0.0, &mut c);
+        // C = [[1*5+3*6, 1*7+3*8],[2*5+4*6, 2*7+4*8]] = [[23,31],[34,46]]
+        assert_eq!(c, vec![23.0, 34.0, 31.0, 46.0]);
+    }
+
+    #[test]
+    fn transpose_flags_agree_with_naive() {
+        let (m, n, k) = (3, 4, 5);
+        for &ta in &[Trans::N, Trans::T] {
+            for &tb in &[Trans::N, Trans::T] {
+                let a = seq(m * k);
+                let b = seq(k * n);
+                let mut c1 = seq(m * n);
+                let mut c2 = c1.clone();
+                dgemm(ta, tb, m, n, k, 1.5, &a, &b, 0.5, &mut c1);
+                dgemm_naive(ta, tb, m, n, k, 1.5, &a, &b, 0.5, &mut c2);
+                for (x, y) in c1.iter().zip(&c2) {
+                    assert!((x - y).abs() < 1e-9, "{ta:?}{tb:?}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        // beta == 0 must not propagate garbage from C.
+        let a = vec![1.0];
+        let b = vec![2.0];
+        let mut c = vec![f64::NAN];
+        dgemm(Trans::N, Trans::N, 1, 1, 1, 1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c[0], 2.0);
+    }
+
+    #[test]
+    fn alpha_zero_is_scaling_only() {
+        let a = vec![1.0];
+        let b = vec![2.0];
+        let mut c = vec![3.0];
+        dgemm(Trans::N, Trans::N, 1, 1, 1, 0.0, &a, &b, 2.0, &mut c);
+        assert_eq!(c[0], 6.0);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        let mut c: Vec<f64> = vec![];
+        dgemm(Trans::T, Trans::N, 0, 0, 3, 1.0, &[], &[], 0.0, &mut c);
+        // k == 0: product is zero matrix.
+        let mut c2 = vec![7.0; 4];
+        dgemm(Trans::N, Trans::N, 2, 2, 0, 1.0, &[], &[], 1.0, &mut c2);
+        assert_eq!(c2, vec![7.0; 4]);
+    }
+
+    #[test]
+    fn trans_from_char() {
+        assert_eq!(Trans::from_char('t'), Some(Trans::T));
+        assert_eq!(Trans::from_char('N'), Some(Trans::N));
+        assert_eq!(Trans::from_char('x'), None);
+    }
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(gemm_flops(10, 20, 30), 12_000);
+    }
+}

@@ -1,0 +1,178 @@
+//! `TCE_SORT_4`: 4-index permutation remap with scale factor.
+//!
+//! In the original code, after the last GEMM of a chain, up to four guarded
+//! `SORT_4` calls remap the chain's output tile `C` into the Global Array's
+//! index order (with a permutational-symmetry sign factor) before
+//! `ADD_HASH_BLOCK` accumulates it. The paper is explicit that this is a
+//! data *remapping*, not a sort.
+
+/// A permutation of the four tensor indices, as in the Fortran call
+/// `tce_sort_4(un, srt, d1, d2, d3, d4, p1, p2, p3, p4, factor)`:
+/// output index `o` at position `q` equals input index at position
+/// `perm[q]`.
+pub type Perm4 = [usize; 4];
+
+/// Identity permutation.
+pub const IDENT: Perm4 = [0, 1, 2, 3];
+
+/// Validate that `p` is a permutation of `{0,1,2,3}`.
+pub fn is_perm(p: &Perm4) -> bool {
+    let mut seen = [false; 4];
+    for &x in p {
+        if x >= 4 || seen[x] {
+            return false;
+        }
+        seen[x] = true;
+    }
+    true
+}
+
+/// Invert a permutation: `invert_perm(p)[p[i]] == i`.
+pub fn invert_perm(p: &Perm4) -> Perm4 {
+    assert!(is_perm(p), "not a permutation: {p:?}");
+    let mut inv = [0; 4];
+    for i in 0..4 {
+        inv[p[i]] = i;
+    }
+    inv
+}
+
+/// Remap `src` (a dense column-major 4-index tile of shape `dims`) into a
+/// freshly defined layout where the output's `q`-th index is the input's
+/// `perm[q]`-th index, scaling by `factor`. `dst` must have the same total
+/// length and is fully overwritten.
+///
+/// Column-major: input element `(i0,i1,i2,i3)` lives at
+/// `i0 + d0*(i1 + d1*(i2 + d2*i3))`.
+pub fn sort_4(src: &[f64], dst: &mut [f64], dims: [usize; 4], perm: Perm4, factor: f64) {
+    assert!(is_perm(&perm), "not a permutation: {perm:?}");
+    let total = dims.iter().product::<usize>();
+    assert_eq!(src.len(), total, "src size mismatch");
+    assert_eq!(dst.len(), total, "dst size mismatch");
+
+    // Output dims: odims[q] = dims[perm[q]].
+    let odims = [dims[perm[0]], dims[perm[1]], dims[perm[2]], dims[perm[3]]];
+    // Output strides (column-major).
+    let ostride = [1, odims[0], odims[0] * odims[1], odims[0] * odims[1] * odims[2]];
+    // For input index position p, which output position carries it?
+    let inv = invert_perm(&perm);
+    // Walking the input linearly with index (i0,i1,i2,i3), the output
+    // offset advances by ostride[inv[p]] when i_p increments.
+    let step = [ostride[inv[0]], ostride[inv[1]], ostride[inv[2]], ostride[inv[3]]];
+
+    let mut src_it = src.iter();
+    for i3 in 0..dims[3] {
+        for i2 in 0..dims[2] {
+            for i1 in 0..dims[1] {
+                let base = i1 * step[1] + i2 * step[2] + i3 * step[3];
+                for i0 in 0..dims[0] {
+                    dst[base + i0 * step[0]] = factor * src_it.next().unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// Naive reference remap (explicit 4-tuple addressing), the oracle for
+/// property tests.
+pub fn sort_4_naive(src: &[f64], dst: &mut [f64], dims: [usize; 4], perm: Perm4, factor: f64) {
+    let odims = [dims[perm[0]], dims[perm[1]], dims[perm[2]], dims[perm[3]]];
+    let iidx = |i: [usize; 4]| i[0] + dims[0] * (i[1] + dims[1] * (i[2] + dims[2] * i[3]));
+    let oidx = |o: [usize; 4]| o[0] + odims[0] * (o[1] + odims[1] * (o[2] + odims[2] * o[3]));
+    for i3 in 0..dims[3] {
+        for i2 in 0..dims[2] {
+            for i1 in 0..dims[1] {
+                for i0 in 0..dims[0] {
+                    let i = [i0, i1, i2, i3];
+                    let o = [i[perm[0]], i[perm[1]], i[perm[2]], i[perm[3]]];
+                    dst[oidx(o)] = factor * src[iidx(i)];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_scaled_copy() {
+        let src: Vec<f64> = (0..24).map(|x| x as f64).collect();
+        let mut dst = vec![0.0; 24];
+        sort_4(&src, &mut dst, [2, 3, 2, 2], IDENT, 2.0);
+        for (i, v) in dst.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn swap_first_two_indices_is_tile_transpose() {
+        // dims (2,3,1,1): treat as a 2x3 matrix; perm [1,0,2,3] transposes.
+        let src = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // columns (1,2),(3,4),(5,6)
+        let mut dst = vec![0.0; 6];
+        sort_4(&src, &mut dst, [2, 3, 1, 1], [1, 0, 2, 3], 1.0);
+        // Output is 3x2: rows become columns.
+        assert_eq!(dst, vec![1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn matches_naive_on_all_permutations() {
+        let dims = [2, 3, 4, 2];
+        let n: usize = dims.iter().product();
+        let src: Vec<f64> = (0..n).map(|x| (x as f64).sin()).collect();
+        // All 24 permutations.
+        let mut perms = Vec::new();
+        for a in 0..4usize {
+            for b in 0..4 {
+                for c in 0..4 {
+                    for d in 0..4 {
+                        let p = [a, b, c, d];
+                        if is_perm(&p) {
+                            perms.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(perms.len(), 24);
+        for p in perms {
+            let mut d1 = vec![0.0; n];
+            let mut d2 = vec![0.0; n];
+            sort_4(&src, &mut d1, dims, p, -0.5);
+            sort_4_naive(&src, &mut d2, dims, p, -0.5);
+            assert_eq!(d1, d2, "perm {p:?}");
+        }
+    }
+
+    #[test]
+    fn applying_perm_then_inverse_roundtrips() {
+        let dims = [3, 2, 4, 2];
+        let n: usize = dims.iter().product();
+        let src: Vec<f64> = (0..n).map(|x| x as f64 + 0.25).collect();
+        let p: Perm4 = [2, 0, 3, 1];
+        let odims = [dims[p[0]], dims[p[1]], dims[p[2]], dims[p[3]]];
+        let mut mid = vec![0.0; n];
+        let mut back = vec![0.0; n];
+        sort_4(&src, &mut mid, dims, p, 1.0);
+        sort_4(&mid, &mut back, odims, invert_perm(&p), 1.0);
+        assert_eq!(src, back);
+    }
+
+    #[test]
+    fn invert_perm_property() {
+        let p: Perm4 = [3, 1, 0, 2];
+        let inv = invert_perm(&p);
+        for i in 0..4 {
+            assert_eq!(inv[p[i]], i);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_permutation() {
+        let src = vec![0.0; 16];
+        let mut dst = vec![0.0; 16];
+        sort_4(&src, &mut dst, [2, 2, 2, 2], [0, 0, 1, 2], 1.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Elementwise vector helpers (`DFILL`, `DAXPY`, `DDOT`) and comparison
+//! utilities for the "matched up to the 14th digit" agreement checks.
+
+/// `DFILL`: set every element to `value`.
+pub fn dfill(x: &mut [f64], value: f64) {
+    x.fill(value);
+}
+
+/// `DAXPY`-style accumulate: `y += alpha * x`. Panics on length mismatch.
+pub fn daxpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "daxpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product.
+pub fn ddot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "ddot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Largest absolute elementwise difference.
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+}
+
+/// Relative difference `|a - b| / max(|a|, |b|, 1)` — the metric used for
+/// the variants-match-reference assertions.
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_axpy() {
+        let mut y = vec![0.0; 4];
+        dfill(&mut y, 2.0);
+        daxpy(3.0, &[1.0, 2.0, 3.0, 4.0], &mut y);
+        assert_eq!(y, vec![5.0, 8.0, 11.0, 14.0]);
+    }
+
+    #[test]
+    fn dot() {
+        assert_eq!(ddot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn diffs() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[1.5, 5.0]), 0.5);
+        assert!(rel_diff(1e15, 1e15 * (1.0 + 1e-13)) < 1e-12);
+        assert!(rel_diff(0.0, 0.5) == 0.5);
+    }
+}

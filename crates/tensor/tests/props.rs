@@ -1,0 +1,117 @@
+//! Property tests: kernel implementations vs naive oracles.
+
+use proptest::prelude::*;
+use tensor_kernels::{
+    dgemm, dgemm_naive, invert_perm, sort_4, Perm4, Trans,
+};
+
+fn trans() -> impl Strategy<Value = Trans> {
+    prop_oneof![Just(Trans::N), Just(Trans::T)]
+}
+
+fn perm4() -> impl Strategy<Value = Perm4> {
+    Just(()).prop_perturb(|_, mut rng| {
+        let mut p = [0usize, 1, 2, 3];
+        // Fisher-Yates with the proptest rng.
+        for i in (1..4).rev() {
+            let j = (rng.next_u32() as usize) % (i + 1);
+            p.swap(i, j);
+        }
+        p
+    })
+}
+
+proptest! {
+    /// Blocked dgemm agrees with the naive oracle for all flag combinations.
+    #[test]
+    fn dgemm_matches_naive(
+        ta in trans(),
+        tb in trans(),
+        m in 0usize..12,
+        n in 0usize..12,
+        k in 0usize..12,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let gen = |len: usize, salt: u64| -> Vec<f64> {
+            (0..len).map(|i| {
+                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed ^ salt);
+                ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            }).collect()
+        };
+        let a = gen(m * k, 1);
+        let b = gen(k * n, 2);
+        let c0 = gen(m * n, 3);
+        let mut c1 = c0.clone();
+        let mut c2 = c0;
+        dgemm(ta, tb, m, n, k, alpha, &a, &b, beta, &mut c1);
+        dgemm_naive(ta, tb, m, n, k, alpha, &a, &b, beta, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+        }
+    }
+
+    /// sort_4 is a bijection: applying a permutation then its inverse (with
+    /// reciprocal factors) restores the input exactly.
+    #[test]
+    fn sort4_roundtrip(
+        p in perm4(),
+        d0 in 1usize..5,
+        d1 in 1usize..5,
+        d2 in 1usize..5,
+        d3 in 1usize..5,
+        factor in prop_oneof![Just(1.0f64), Just(-1.0), Just(2.0), Just(-0.5)],
+    ) {
+        let dims = [d0, d1, d2, d3];
+        let n: usize = dims.iter().product();
+        let src: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+        let odims = [dims[p[0]], dims[p[1]], dims[p[2]], dims[p[3]]];
+        let mut mid = vec![0.0; n];
+        let mut back = vec![0.0; n];
+        sort_4(&src, &mut mid, dims, p, factor);
+        sort_4(&mid, &mut back, odims, invert_perm(&p), 1.0 / factor);
+        for (x, y) in src.iter().zip(&back) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    /// sort_4 preserves the multiset of |values| (scaled).
+    #[test]
+    fn sort4_preserves_content(
+        p in perm4(),
+        d0 in 1usize..5,
+        d1 in 1usize..5,
+        d2 in 1usize..5,
+        d3 in 1usize..5,
+    ) {
+        let dims = [d0, d1, d2, d3];
+        let n: usize = dims.iter().product();
+        let src: Vec<f64> = (0..n).map(|i| (i * i) as f64).collect();
+        let mut dst = vec![0.0; n];
+        sort_4(&src, &mut dst, dims, p, 1.0);
+        let mut a = src.clone();
+        let mut b = dst.clone();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert_eq!(a, b);
+    }
+
+    /// dgemm is linear in alpha: gemm(2a) == 2 * gemm(a) with beta=0.
+    #[test]
+    fn dgemm_alpha_linearity(
+        m in 1usize..6,
+        n in 1usize..6,
+        k in 1usize..6,
+    ) {
+        let a: Vec<f64> = (0..m * k).map(|i| i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| 1.0 - i as f64 * 0.05).collect();
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        dgemm(Trans::T, Trans::N, m, n, k, 1.0, &a, &b, 0.0, &mut c1);
+        dgemm(Trans::T, Trans::N, m, n, k, 2.0, &a, &b, 0.0, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((2.0 * x - y).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Execution tracing and analysis.
+//!
+//! The paper generates execution traces with PaRSEC's native performance
+//! instrumentation module (Figures 10-13) and reasons about idle time and
+//! communication/computation overlap from them. This crate is the equivalent
+//! substrate: a compact trace representation ([`Trace`]), summary analyses
+//! ([`analyze`]), and a terminal Gantt renderer ([`render`]) used to
+//! regenerate those figures as text.
+//!
+//! Times are virtual or real nanoseconds (`u64`); a trace row is a
+//! `(node, worker)` pair, mirroring the paper's "each row represents a
+//! thread, each group of rows a node" layout.
+
+pub mod analyze;
+pub mod event;
+pub mod render;
+
+pub use analyze::{NodeOverlap, TraceStats};
+pub use event::{ActivityKind, ClassId, Span, Trace, WorkerId};
+
+/// Nanoseconds of (virtual or wall-clock) time.
+pub type Ns = u64;

@@ -1,0 +1,176 @@
+//! ASCII Gantt rendering of traces, the textual stand-in for the paper's
+//! trace figures. Each worker is one text row; time is bucketed into
+//! columns; every bucket shows the class that dominates it (idle is `.`).
+//!
+//! `render_range` provides the "zoomed in" view of Figure 13.
+
+use crate::event::Trace;
+use crate::Ns;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct RenderOpts {
+    /// Number of time columns.
+    pub width: usize,
+    /// Only render the first `max_rows` worker rows (0 = all).
+    pub max_rows: usize,
+    /// Print a legend mapping glyphs to class names.
+    pub legend: bool,
+}
+
+impl Default for RenderOpts {
+    fn default() -> Self {
+        Self { width: 100, max_rows: 0, legend: true }
+    }
+}
+
+/// Glyphs assigned to classes in id order.
+const GLYPHS: &[u8] = b"GRBWSDXNKAFLPQTUVYZgrbwsdxnkaflpqtuvyz0123456789";
+
+fn glyph(class: usize) -> char {
+    GLYPHS[class % GLYPHS.len()] as char
+}
+
+/// Render the full extent of the trace.
+pub fn render(trace: &Trace, opts: &RenderOpts) -> String {
+    match trace.extent() {
+        Some((b, e)) => render_range(trace, b, e, opts),
+        None => String::from("(empty trace)\n"),
+    }
+}
+
+/// Render the `[t0, t1)` window of the trace (zoomed view).
+pub fn render_range(trace: &Trace, t0: Ns, t1: Ns, opts: &RenderOpts) -> String {
+    assert!(t1 > t0, "empty render window");
+    let width = opts.width.max(1);
+    let workers = trace.workers();
+    let shown = if opts.max_rows == 0 { workers.len() } else { opts.max_rows.min(workers.len()) };
+    let span = t1 - t0;
+
+    // busy[row][col] accumulates time per class; winner-takes-bucket.
+    let mut out = String::new();
+    for &who in workers.iter().take(shown) {
+        let mut buckets: Vec<Vec<Ns>> = vec![vec![0; trace.num_classes()]; width];
+        for s in trace.spans().iter().filter(|s| s.who == who && s.end > t0 && s.begin < t1) {
+            let b = s.begin.max(t0);
+            let e = s.end.min(t1);
+            // Distribute [b, e) across buckets.
+            let first = ((b - t0) as u128 * width as u128 / span as u128) as usize;
+            let last = (((e - t0) as u128 * width as u128).div_ceil(span as u128) as usize)
+                .min(width)
+                .max(first + 1);
+            for col in first..last {
+                let cb = t0 + (span as u128 * col as u128 / width as u128) as Ns;
+                let ce = t0 + (span as u128 * (col + 1) as u128 / width as u128) as Ns;
+                let lo = b.max(cb);
+                let hi = e.min(ce);
+                if hi > lo {
+                    buckets[col][s.class as usize] += hi - lo;
+                }
+            }
+        }
+        out.push_str(&format!("n{:03}w{:02} |", who.node, who.worker));
+        for col in buckets {
+            let (best, t) =
+                col.iter().enumerate().max_by_key(|(_, &t)| t).map(|(i, &t)| (i, t)).unwrap();
+            out.push(if t == 0 { '.' } else { glyph(best) });
+        }
+        out.push_str("|\n");
+    }
+    if shown < workers.len() {
+        out.push_str(&format!("... ({} more rows)\n", workers.len() - shown));
+    }
+    if opts.legend {
+        out.push_str(&format!("time: [{} ns, {} ns)  '.'=idle", t0, t1));
+        for i in 0..trace.num_classes() {
+            out.push_str(&format!("  {}={}", glyph(i), trace.class_name(i as u16)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a utilization timeline as a one-line text sparkline
+/// (` .:-=+*#%@` from idle to fully busy).
+pub fn sparkline(utilization: &[f64]) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    utilization
+        .iter()
+        .map(|&u| {
+            let i = (u.clamp(0.0, 1.0) * (RAMP.len() - 1) as f64).round() as usize;
+            RAMP[i] as char
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ActivityKind, WorkerId};
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        let g = t.class("GEMM", ActivityKind::Compute);
+        let r = t.class("READ", ActivityKind::Communication);
+        t.push(WorkerId::new(0, 0), r, 0, 50);
+        t.push(WorkerId::new(0, 0), g, 50, 100);
+        t.push(WorkerId::new(0, 1), g, 25, 75);
+        t
+    }
+
+    #[test]
+    fn renders_rows_and_legend() {
+        let s = render(&sample(), &RenderOpts { width: 10, max_rows: 0, legend: true });
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3); // two rows + legend
+        assert!(lines[0].starts_with("n000w00 |"));
+        assert!(lines[2].contains("G=GEMM"));
+        assert!(lines[2].contains("R=READ"));
+    }
+
+    #[test]
+    fn buckets_reflect_dominant_class() {
+        let s = render(&sample(), &RenderOpts { width: 10, max_rows: 1, legend: false });
+        let row = s.lines().next().unwrap();
+        let cells: &str = &row[row.find('|').unwrap() + 1..row.rfind('|').unwrap()];
+        assert_eq!(cells.len(), 10);
+        // first half READ (R), second half GEMM (G)
+        assert!(cells.starts_with("RRRRR"));
+        assert!(cells.ends_with("GGGGG"));
+    }
+
+    #[test]
+    fn idle_buckets_are_dots() {
+        let mut t = Trace::new();
+        let g = t.class("GEMM", ActivityKind::Compute);
+        t.push(WorkerId::new(0, 0), g, 0, 10);
+        t.push(WorkerId::new(0, 0), g, 90, 100);
+        let s = render(&t, &RenderOpts { width: 10, max_rows: 0, legend: false });
+        let row = s.lines().next().unwrap();
+        assert!(row.contains("G........G"));
+    }
+
+    #[test]
+    fn zoom_window() {
+        let s = render_range(&sample(), 50, 100, &RenderOpts { width: 4, legend: false, max_rows: 1 });
+        let row = s.lines().next().unwrap();
+        let cells: &str = &row[row.find('|').unwrap() + 1..row.rfind('|').unwrap()];
+        assert_eq!(cells, "GGGG");
+    }
+
+    #[test]
+    fn sparkline_ramps() {
+        let s = sparkline(&[0.0, 0.5, 1.0, 2.0, -1.0]);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.chars().next(), Some(' '));
+        assert_eq!(s.chars().nth(2), Some('@'));
+        assert_eq!(s.chars().nth(3), Some('@')); // clamped
+        assert_eq!(s.chars().nth(4), Some(' ')); // clamped
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let t = Trace::new();
+        assert!(render(&t, &RenderOpts::default()).contains("empty"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Simulate the paper's evaluation platform: a 32-node cluster running
+//! the original code and the five PaRSEC variants at a chosen core count,
+//! with a rendered trace excerpt.
+//!
+//! ```text
+//! cargo run --release --example cluster_sim            # medium, fast
+//! cargo run --release --example cluster_sim -- paper   # full Figure 9 point
+//! ```
+
+use ccsd::{build_graph, simulate_baseline, BaselineCfg, VariantCfg};
+use parsec_rt::{SchedPolicy, SimEngine};
+use std::sync::Arc;
+use tce::{inspect, scale, TileSpace};
+use xtrace::render::{render, RenderOpts};
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "paper");
+    let cfg = if paper { scale::paper() } else { scale::medium() };
+    let (nodes, cores) = (32, 15);
+
+    let space = TileSpace::build(&cfg);
+    let ins = Arc::new(inspect(&space, nodes));
+    println!(
+        "workload: {} chains / {} GEMMs on {nodes} nodes x {cores} cores (+1 comm thread each)",
+        ins.num_chains(),
+        ins.total_gemms
+    );
+
+    let base = simulate_baseline(&ins, &BaselineCfg::new(nodes, cores));
+    println!("\noriginal NWChem model: {:>8.3} s  ({} NXTVALs, {} gets)", base.seconds(), base.nxtvals, base.gets);
+
+    let mut best = ("original", base.seconds());
+    for v in VariantCfg::all() {
+        let graph = build_graph(ins.clone(), v, None);
+        let policy = if v.priorities { SchedPolicy::PriorityFifo } else { SchedPolicy::Fifo };
+        let rep = SimEngine::new(nodes, cores).policy(policy).run(&graph);
+        println!(
+            "PaRSEC {:>2}:              {:>8.3} s  ({} tasks, {} messages, {:.1} GB moved)",
+            v.name,
+            rep.seconds(),
+            rep.tasks,
+            rep.messages,
+            rep.bytes as f64 / 1e9
+        );
+        if rep.seconds() < best.1 {
+            best = (v.name, rep.seconds());
+        }
+    }
+    println!("\nfastest: {} at {:.3} s ({:.2}x over the original)", best.0, best.1, base.seconds() / best.1);
+
+    // A peek at the winner's execution (first two nodes).
+    let graph = build_graph(ins.clone(), VariantCfg::v5(), None);
+    let rep = SimEngine::new(nodes, cores).collect_trace(true).run(&graph);
+    println!("\nv5 trace (2 of {nodes} nodes):");
+    print!("{}", render(&rep.trace, &RenderOpts { width: 100, max_rows: 2 * (cores + 1), legend: true }));
+}

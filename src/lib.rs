@@ -1,0 +1,12 @@
+//! Umbrella crate for the reproduction of "PaRSEC in Practice" (CLUSTER 2015).
+//!
+//! Re-exports every layer of the stack so examples and integration tests can
+//! use a single dependency.
+pub use ccsd;
+pub use dcsim;
+pub use global_arrays;
+pub use parsec_rt;
+pub use ptg;
+pub use tce;
+pub use tensor_kernels;
+pub use xtrace;

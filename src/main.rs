@@ -1,0 +1,222 @@
+//! `parsec-ccsd-repro` — command-line front end for the reproduction.
+//!
+//! ```text
+//! parsec-ccsd-repro inspect  [--scale S] [--nodes N] [--kernels t2_7,t2_2]
+//! parsec-ccsd-repro simulate [--scale S] [--nodes N] [--cores C]
+//!                            [--variant v1..v5|original|h<K>] [--policy P]
+//!                            [--trace FILE.{json,csv}] [--kernels ...]
+//! parsec-ccsd-repro verify   [--scale S] [--nodes N] [--kernels ...]
+//! parsec-ccsd-repro dot      [--scale S] [--nodes N] [--variant V] [-o FILE]
+//! ```
+//!
+//! `simulate --trace x.json` writes a Chrome trace-event file loadable in
+//! Perfetto / `chrome://tracing`; `.csv` writes the flat span table.
+
+use ccsd::{build_graph, simulate_baseline, verify, BaselineCfg, VariantCfg};
+use parsec_rt::{SchedPolicy, SimEngine};
+use std::process::ExitCode;
+use std::sync::Arc;
+use tce::{inspect_kernels, Kernel, SpaceConfig, TileSpace};
+
+fn arg(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn scale(args: &[String]) -> Result<SpaceConfig, String> {
+    Ok(match arg(args, "--scale").as_deref() {
+        None | Some("small") => tce::scale::small(),
+        Some("tiny") => tce::scale::tiny(),
+        Some("medium") => tce::scale::medium(),
+        Some("paper") => tce::scale::paper(),
+        Some(other) => return Err(format!("unknown scale `{other}`")),
+    })
+}
+
+fn kernels(args: &[String]) -> Result<Vec<Kernel>, String> {
+    match arg(args, "--kernels") {
+        None => Ok(vec![Kernel::T2_7]),
+        Some(list) => list
+            .split(',')
+            .map(|k| match k.trim() {
+                "t2_7" => Ok(Kernel::T2_7),
+                "t2_2" => Ok(Kernel::T2_2),
+                other => Err(format!("unknown kernel `{other}` (t2_7, t2_2)")),
+            })
+            .collect(),
+    }
+}
+
+fn variant(args: &[String]) -> Result<VariantCfg, String> {
+    let name = arg(args, "--variant").unwrap_or_else(|| "v5".into());
+    Ok(match name.as_str() {
+        "v1" => VariantCfg::v1(),
+        "v2" => VariantCfg::v2(),
+        "v3" => VariantCfg::v3(),
+        "v4" => VariantCfg::v4(),
+        "v5" => VariantCfg::v5(),
+        h if h.starts_with('h') => {
+            let k: usize =
+                h[1..].parse().map_err(|_| format!("bad segment height `{h}` (h<K>)"))?;
+            VariantCfg::height(k)
+        }
+        other => return Err(format!("unknown variant `{other}` (v1..v5, original, h<K>)")),
+    })
+}
+
+fn policy(args: &[String], cfg: &VariantCfg) -> Result<SchedPolicy, String> {
+    Ok(match arg(args, "--policy").as_deref() {
+        None => {
+            if cfg.priorities {
+                SchedPolicy::PriorityFifo
+            } else {
+                SchedPolicy::Fifo
+            }
+        }
+        Some("prio-fifo") => SchedPolicy::PriorityFifo,
+        Some("prio-lifo") => SchedPolicy::PriorityLifo,
+        Some("fifo") => SchedPolicy::Fifo,
+        Some("lifo") => SchedPolicy::Lifo,
+        Some(other) => return Err(format!("unknown policy `{other}`")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let all: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, args)) = all.split_first() else {
+        return Err("usage: parsec-ccsd-repro <inspect|simulate|verify|dot> [options]".into());
+    };
+    let nodes: usize = arg(args, "--nodes").map(|v| v.parse().unwrap_or(4)).unwrap_or(4);
+    let cores: usize = arg(args, "--cores").map(|v| v.parse().unwrap_or(3)).unwrap_or(3);
+    let space = TileSpace::build(&scale(args)?);
+    let ks = kernels(args)?;
+
+    match cmd.as_str() {
+        "inspect" => {
+            let ins = inspect_kernels(&space, nodes, &ks);
+            println!(
+                "space: {} occ + {} virt spin orbitals ({} tiles)",
+                space.n_occ(),
+                space.n_virt(),
+                space.num_tiles()
+            );
+            println!(
+                "kernels: {}",
+                ks.iter().map(|k| k.name()).collect::<Vec<_>>().join(", ")
+            );
+            println!(
+                "chains: {}   GEMMs: {}   longest chain: {}",
+                ins.num_chains(),
+                ins.total_gemms,
+                ins.max_chain_len
+            );
+            for (name, layout) in [
+                ("t2", &ins.t2),
+                ("v_vvvv", &ins.v),
+                ("v_oooo", &ins.v_oo),
+                ("i2", &ins.i2),
+            ] {
+                println!(
+                    "tensor {name:>7}: {:>12} elements in {:>6} blocks over {} nodes",
+                    layout.len(),
+                    layout.index.num_blocks(),
+                    layout.dist.nodes()
+                );
+            }
+        }
+        "simulate" => {
+            let ins = Arc::new(inspect_kernels(&space, nodes, &ks));
+            let want_trace = arg(args, "--trace");
+            if arg(args, "--variant").as_deref() == Some("original") {
+                let rep = simulate_baseline(
+                    &ins,
+                    &BaselineCfg::new(nodes, cores).collect_trace(want_trace.is_some()),
+                );
+                println!(
+                    "original: {:.4} s  ({} chains, {} gets, {} NXTVALs, {:.2} GB moved)",
+                    rep.seconds(),
+                    rep.chains,
+                    rep.gets,
+                    rep.nxtvals,
+                    rep.bytes as f64 / 1e9
+                );
+                if let Some(path) = want_trace {
+                    write_trace(&rep.trace, &path)?;
+                }
+            } else {
+                let cfg = variant(args)?;
+                let graph = build_graph(ins, cfg, None);
+                let rep = SimEngine::new(nodes, cores)
+                    .policy(policy(args, &cfg)?)
+                    .collect_trace(want_trace.is_some())
+                    .run(&graph);
+                println!(
+                    "{}: {:.4} s  ({} tasks, {} events, {} messages, {:.2} GB moved)",
+                    cfg.name,
+                    rep.seconds(),
+                    rep.tasks,
+                    rep.events,
+                    rep.messages,
+                    rep.bytes as f64 / 1e9
+                );
+                if let Some(path) = want_trace {
+                    write_trace(&rep.trace, &path)?;
+                }
+            }
+        }
+        "verify" => {
+            let (ins, ws) = verify::prepare_kernels(&space, nodes, &ks);
+            let e_ref = verify::reference_energy(&ws);
+            println!("reference energy: {e_ref:.15}");
+            let mut worst: f64 = 0.0;
+            for cfg in VariantCfg::all() {
+                let e = verify::variant_energy_native(&ins, &ws, cfg, 2);
+                let d = tensor_kernels::rel_diff(e_ref, e);
+                worst = worst.max(d);
+                println!("{:>3} native: {e:.15}  (rel diff {d:.2e})", cfg.name);
+            }
+            if worst < 1e-12 {
+                println!("OK: all variants match the reference to ~14 digits");
+            } else {
+                return Err(format!("verification FAILED: worst rel diff {worst:.2e}"));
+            }
+        }
+        "dot" => {
+            let ins = Arc::new(inspect_kernels(&space, nodes, &ks));
+            let cfg = variant(args)?;
+            let graph = build_graph(ins, cfg, None);
+            let dot = ptg::validate::to_dot(&graph, 50_000)
+                .map_err(|e| format!("graph too large or invalid: {e}"))?;
+            match arg(args, "-o") {
+                Some(path) => {
+                    std::fs::write(&path, dot).map_err(|e| e.to_string())?;
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{dot}"),
+            }
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    }
+    Ok(())
+}
+
+fn write_trace(trace: &xtrace::Trace, path: &str) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let w = std::io::BufWriter::new(f);
+    if path.ends_with(".json") {
+        trace.write_chrome_json(w).map_err(|e| e.to_string())?;
+    } else {
+        trace.write_csv(w).map_err(|e| e.to_string())?;
+    }
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

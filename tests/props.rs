@@ -1,0 +1,91 @@
+//! End-to-end property tests: randomized problem spaces through the whole
+//! stack (inspection -> variant graphs -> engines -> numerics).
+
+use ccsd::{build_graph, verify, VariantCfg};
+use proptest::prelude::*;
+use ptg::validate::audit;
+use std::sync::Arc;
+use tce::{inspect, SpaceConfig, TileSpace};
+use tensor_kernels::rel_diff;
+
+fn arb_space() -> impl Strategy<Value = SpaceConfig> {
+    (1usize..=2, 1usize..=3, 2usize..=4, 1u8..=2, 0u64..1_000).prop_map(
+        |(occ, virt, size, irrep_bits, seed)| SpaceConfig {
+            occ_tiles_per_spin: occ,
+            virt_tiles_per_spin: virt,
+            tile_size: size,
+            size_spread: 1,
+            irreps: 1 << (irrep_bits - 1),
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any randomized space: every variant graph audits clean and
+    /// reproduces the reference numerics on the native engine.
+    #[test]
+    fn random_spaces_verify(cfg in arb_space(), nodes in 1usize..4) {
+        let space = TileSpace::build(&cfg);
+        let ins = Arc::new(inspect(&space, nodes));
+        if ins.num_chains() == 0 {
+            // Fully guarded-out space: nothing to execute.
+            return Ok(());
+        }
+        for v in VariantCfg::all() {
+            let g = build_graph(ins.clone(), v, None);
+            let a = audit(&g, 2_000_000).map_err(|e| {
+                TestCaseError::fail(format!("{} audit: {e}", v.name))
+            })?;
+            prop_assert_eq!(a.tasks_per_class["GEMM"], ins.total_gemms);
+        }
+        let (ins, ws) = verify::prepare(&space, nodes);
+        let e_ref = verify::reference_energy(&ws);
+        let e_v5 = verify::variant_energy_native(&ins, &ws, VariantCfg::v5(), 2);
+        let e_v1 = verify::variant_energy_native(&ins, &ws, VariantCfg::v1(), 2);
+        prop_assert!(rel_diff(e_ref, e_v5) < 1e-12, "v5: {} vs {}", e_v5, e_ref);
+        prop_assert!(rel_diff(e_ref, e_v1) < 1e-12, "v1: {} vs {}", e_v1, e_ref);
+    }
+
+    /// Segment heights are semantics-preserving for arbitrary heights.
+    #[test]
+    fn random_heights_preserve_semantics(h in 1usize..12, seed in 0u64..100) {
+        let cfg = SpaceConfig {
+            occ_tiles_per_spin: 1,
+            virt_tiles_per_spin: 2,
+            tile_size: 3,
+            size_spread: 1,
+            irreps: 1,
+            seed,
+        };
+        let space = TileSpace::build(&cfg);
+        let (ins, ws) = verify::prepare(&space, 2);
+        if ins.num_chains() == 0 {
+            return Ok(());
+        }
+        let e_ref = verify::reference_energy(&ws);
+        let e = verify::variant_energy_native(&ins, &ws, VariantCfg::height(h), 2);
+        prop_assert!(rel_diff(e_ref, e) < 1e-12, "h={}: {} vs {}", h, e, e_ref);
+    }
+
+    /// The simulated engine completes every graph (no deadlocks) with the
+    /// exact task count, for arbitrary core/node geometry.
+    #[test]
+    fn sim_never_deadlocks(
+        cfg in arb_space(),
+        nodes in 1usize..5,
+        cores in 1usize..5,
+    ) {
+        let space = TileSpace::build(&cfg);
+        let ins = Arc::new(inspect(&space, nodes));
+        if ins.num_chains() == 0 {
+            return Ok(());
+        }
+        let g = build_graph(ins.clone(), VariantCfg::v3(), None);
+        let expected = audit(&g, 2_000_000).unwrap().total_tasks as u64;
+        let rep = parsec_rt::SimEngine::new(nodes, cores).run(&g);
+        prop_assert_eq!(rep.tasks, expected);
+    }
+}
