@@ -46,7 +46,9 @@ fn compile() -> ptg::TaskGraph {
 }
 
 fn bench_compile(c: &mut Criterion) {
-    c.bench_function("dsl_compile_fig1", |b| b.iter(|| black_box(compile().classes().len())));
+    c.bench_function("dsl_compile_fig1", |b| {
+        b.iter(|| black_box(compile().classes().len()))
+    });
 }
 
 fn bench_successors(c: &mut Criterion) {
@@ -80,11 +82,18 @@ fn bench_successors(c: &mut Criterion) {
 
 fn bench_expr(c: &mut Criterion) {
     let src = "(L2 == 0) ? 100 : (size_L1 - L1 + 5 * P) * 2 - L2 % 7";
-    c.bench_function("expr_parse", |b| b.iter(|| black_box(expr::parse(src).unwrap())));
+    c.bench_function("expr_parse", |b| {
+        b.iter(|| black_box(expr::parse(src).unwrap()))
+    });
     let e = expr::parse(src).unwrap();
     let mut env = expr::MapEnv::new();
-    env.set("L1", 3).set("L2", 9).set("size_L1", 64).set("P", 32);
-    c.bench_function("expr_eval", |b| b.iter(|| black_box(expr::eval(&e, &env).unwrap())));
+    env.set("L1", 3)
+        .set("L2", 9)
+        .set("size_L1", 64)
+        .set("P", 32);
+    c.bench_function("expr_eval", |b| {
+        b.iter(|| black_box(expr::eval(&e, &env).unwrap()))
+    });
 }
 
 criterion_group!(benches, bench_compile, bench_successors, bench_expr);

@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use tensor_kernels::{daxpy, dgemm, sort_4, Trans};
+use tensor_kernels::{daxpy, dgemm, dgemm_naive, sort_4, Trans};
 
 fn seq(n: usize) -> Vec<f64> {
     (0..n).map(|i| (i as f64).sin()).collect()
@@ -16,12 +16,71 @@ fn bench_dgemm(c: &mut Criterion) {
         let b = seq(k * n);
         let mut cc = seq(m * n);
         g.throughput(Throughput::Elements(2 * (m * n * k) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}x{k}")), &d, |bch, _| {
-            bch.iter(|| {
-                dgemm(Trans::T, Trans::N, m, n, k, 1.0, black_box(&a), black_box(&b), 1.0, &mut cc)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}x{k}")),
+            &d,
+            |bch, _| {
+                bch.iter(|| {
+                    dgemm(
+                        Trans::T,
+                        Trans::N,
+                        m,
+                        n,
+                        k,
+                        1.0,
+                        black_box(&a),
+                        black_box(&b),
+                        1.0,
+                        &mut cc,
+                    )
+                })
+            },
+        );
     }
+    g.finish();
+}
+
+/// The ISSUE acceptance measurement: 4x4-blocked `T x N` kernel vs the
+/// textbook naive loop at 64x64x64.
+fn bench_dgemm_blocked_vs_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dgemm_tn_64");
+    let (m, n, k) = (64usize, 64, 64);
+    let a = seq(m * k);
+    let b = seq(k * n);
+    let mut cc = seq(m * n);
+    g.throughput(Throughput::Elements(2 * (m * n * k) as u64));
+    g.bench_function("blocked", |bch| {
+        bch.iter(|| {
+            dgemm(
+                Trans::T,
+                Trans::N,
+                m,
+                n,
+                k,
+                1.0,
+                black_box(&a),
+                black_box(&b),
+                1.0,
+                &mut cc,
+            )
+        })
+    });
+    g.bench_function("naive", |bch| {
+        bch.iter(|| {
+            dgemm_naive(
+                Trans::T,
+                Trans::N,
+                m,
+                n,
+                k,
+                1.0,
+                black_box(&a),
+                black_box(&b),
+                1.0,
+                &mut cc,
+            )
+        })
+    });
     g.finish();
 }
 
@@ -33,9 +92,11 @@ fn bench_sort4(c: &mut Criterion) {
     let mut dst = vec![0.0; n];
     for perm in [[0usize, 1, 2, 3], [1, 0, 2, 3], [3, 2, 1, 0]] {
         g.throughput(Throughput::Bytes(16 * n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{perm:?}")), &perm, |bch, &p| {
-            bch.iter(|| sort_4(black_box(&src), &mut dst, dims, p, -1.0))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{perm:?}")),
+            &perm,
+            |bch, &p| bch.iter(|| sort_4(black_box(&src), &mut dst, dims, p, -1.0)),
+        );
     }
     g.finish();
 }
@@ -43,8 +104,16 @@ fn bench_sort4(c: &mut Criterion) {
 fn bench_daxpy(c: &mut Criterion) {
     let x = seq(1 << 16);
     let mut y = seq(1 << 16);
-    c.bench_function("daxpy_64k", |b| b.iter(|| daxpy(1.0001, black_box(&x), &mut y)));
+    c.bench_function("daxpy_64k", |b| {
+        b.iter(|| daxpy(1.0001, black_box(&x), &mut y))
+    });
 }
 
-criterion_group!(benches, bench_dgemm, bench_sort4, bench_daxpy);
+criterion_group!(
+    benches,
+    bench_dgemm,
+    bench_dgemm_blocked_vs_naive,
+    bench_sort4,
+    bench_daxpy
+);
 criterion_main!(benches);

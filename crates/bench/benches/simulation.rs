@@ -39,9 +39,16 @@ fn bench_inspection(c: &mut Criterion) {
     let space = TileSpace::build(&scale::medium());
     let mut g = c.benchmark_group("inspection");
     g.sample_size(20);
-    g.bench_function("medium_32_nodes", |b| b.iter(|| black_box(inspect(&space, 32).total_gemms)));
+    g.bench_function("medium_32_nodes", |b| {
+        b.iter(|| black_box(inspect(&space, 32).total_gemms))
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_variant_sim, bench_baseline_sim, bench_inspection);
+criterion_group!(
+    benches,
+    bench_variant_sim,
+    bench_baseline_sim,
+    bench_inspection
+);
 criterion_main!(benches);

@@ -1,19 +1,17 @@
 //! Ablations of the design decisions discussed in Section IV.
 //!
-//! * `--sched`    scheduler policy (priority+FIFO vs FIFO/LIFO without
-//!                priorities) — Section IV-C's "importance of task
-//!                priorities";
-//! * `--prefetch` reader/GEMM priority-offset sweep — the depth of the
-//!                paper's `5*P` data-prefetching pipeline;
-//! * `--heights`  segment-height sweep between the paper's two extremes
-//!                (Section IV-A: "the height of the shorter chains can
-//!                vary");
-//! * `--levels`   number of barrier-separated work levels in the legacy
-//!                model — Section III-A's seven-level synchronization;
-//! * `--mutex`    mutex-operation cost sweep, amplifying the v3-vs-v5
-//!                critical-region trade-off of Section V;
-//! * `--nxtval`   NXTVAL service-time sweep — Section IV-D's "not a
-//!                scalable approach".
+//! * `--sched` — scheduler policy (priority+FIFO vs FIFO/LIFO without
+//!   priorities), Section IV-C's "importance of task priorities";
+//! * `--prefetch` — reader/GEMM priority-offset sweep, the depth of the
+//!   paper's `5*P` data-prefetching pipeline;
+//! * `--heights` — segment-height sweep between the paper's two extremes
+//!   (Section IV-A: "the height of the shorter chains can vary");
+//! * `--levels` — number of barrier-separated work levels in the legacy
+//!   model, Section III-A's seven-level synchronization;
+//! * `--mutex` — mutex-operation cost sweep, amplifying the v3-vs-v5
+//!   critical-region trade-off of Section V;
+//! * `--nxtval` — NXTVAL service-time sweep, Section IV-D's "not a
+//!   scalable approach".
 //!
 //! Default: run all of them at `--scale medium` on 8x7 (fast); use
 //! `--scale paper --nodes 32 --cores 15` for the full-size numbers.
@@ -29,29 +27,58 @@ fn main() {
     } else {
         tce::scale::medium()
     };
-    let nodes: usize = arg_value(&args, "--nodes").map(|v| v.parse().unwrap()).unwrap_or(8);
-    let cores: usize = arg_value(&args, "--cores").map(|v| v.parse().unwrap()).unwrap_or(7);
-    let all = !["--sched", "--prefetch", "--heights", "--levels", "--mutex", "--nxtval"]
-        .iter()
-        .any(|f| has_flag(&args, f));
+    let nodes: usize = arg_value(&args, "--nodes")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(8);
+    let cores: usize = arg_value(&args, "--cores")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(7);
+    let all = ![
+        "--sched",
+        "--prefetch",
+        "--heights",
+        "--levels",
+        "--mutex",
+        "--nxtval",
+    ]
+    .iter()
+    .any(|f| has_flag(&args, f));
 
     let ins = prepare(&scale, nodes);
-    let run =
-        |cfg: VariantCfg, policy: SchedPolicy, cost: CostModel| -> f64 {
-            let graph = ccsd::build_graph(ins.clone(), cfg, None);
-            SimEngine::new(nodes, cores).policy(policy).cost(cost).run(&graph).seconds()
-        };
+    let run = |cfg: VariantCfg, policy: SchedPolicy, cost: CostModel| -> f64 {
+        let graph = ccsd::build_graph(ins.clone(), cfg, None);
+        SimEngine::new(nodes, cores)
+            .policy(policy)
+            .cost(cost)
+            .run(&graph)
+            .seconds()
+    };
 
     if all || has_flag(&args, "--sched") {
         println!("\n## Scheduler policy (v4 graph, {nodes}x{cores})");
         for (name, policy, cfg) in [
-            ("priority+FIFO (paper default)", SchedPolicy::PriorityFifo, VariantCfg::v4()),
+            (
+                "priority+FIFO (paper default)",
+                SchedPolicy::PriorityFifo,
+                VariantCfg::v4(),
+            ),
             ("priority+LIFO", SchedPolicy::PriorityLifo, VariantCfg::v4()),
-            ("chain-affinity (cache reuse)", SchedPolicy::ChainAffinity, VariantCfg::v4()),
-            ("FIFO, no priorities (v2)", SchedPolicy::Fifo, VariantCfg::v2()),
+            (
+                "chain-affinity (cache reuse)",
+                SchedPolicy::ChainAffinity,
+                VariantCfg::v4(),
+            ),
+            (
+                "FIFO, no priorities (v2)",
+                SchedPolicy::Fifo,
+                VariantCfg::v2(),
+            ),
             ("LIFO, no priorities", SchedPolicy::Lifo, VariantCfg::v2()),
         ] {
-            println!("{name:>32}: {:.3} s", run(cfg, policy, CostModel::default()));
+            println!(
+                "{name:>32}: {:.3} s",
+                run(cfg, policy, CostModel::default())
+            );
         }
     }
 
@@ -74,7 +101,11 @@ fn main() {
             println!(
                 "height {h:>3}{}: {:.3} s",
                 if h == max_h { " (full chain)" } else { "" },
-                run(VariantCfg::height(h), SchedPolicy::PriorityFifo, CostModel::default())
+                run(
+                    VariantCfg::height(h),
+                    SchedPolicy::PriorityFifo,
+                    CostModel::default()
+                )
             );
         }
     }
@@ -90,7 +121,10 @@ fn main() {
     if all || has_flag(&args, "--mutex") {
         println!("\n## Mutex operation cost (v3 vs v5: critical-region trade-off)");
         for mult in [1.0f64, 10.0, 50.0, 200.0] {
-            let cost = CostModel { mutex_op_us: 10.0 * mult, ..CostModel::default() };
+            let cost = CostModel {
+                mutex_op_us: 10.0 * mult,
+                ..CostModel::default()
+            };
             let t3 = run(VariantCfg::v3(), SchedPolicy::PriorityFifo, cost.clone());
             let t5 = run(VariantCfg::v5(), SchedPolicy::PriorityFifo, cost);
             println!(
@@ -106,7 +140,10 @@ fn main() {
     if all || has_flag(&args, "--nxtval") {
         println!("\n## NXTVAL service time (legacy work stealing hot spot)");
         for mult in [1.0f64, 25.0, 100.0, 400.0] {
-            let cost = CostModel { nxtval_service_us: 0.4 * mult, ..CostModel::default() };
+            let cost = CostModel {
+                nxtval_service_us: 0.4 * mult,
+                ..CostModel::default()
+            };
             let rep = simulate_baseline(&ins, &BaselineCfg::new(nodes, cores).cost(cost));
             println!(
                 "service {:>6.1} us: original {:.3} s ({} acquisitions)",

@@ -33,8 +33,9 @@ fn summarize(name: &str, trace: &xtrace::Trace) {
     );
     let stats = analyze::stats(trace);
     let overlap = analyze::comm_overlap(trace);
-    let (c, o): (u64, u64) =
-        overlap.values().fold((0, 0), |(c, o), n| (c + n.comm, o + n.overlapped));
+    let (c, o): (u64, u64) = overlap
+        .values()
+        .fold((0, 0), |(c, o), n| (c + n.comm, o + n.overlapped));
     let startup = analyze::startup_idle_before(trace, "GEMM").unwrap_or(0);
     let first = analyze::mean_first_start(trace, "GEMM").unwrap_or(0);
     println!(
@@ -51,13 +52,23 @@ fn summarize(name: &str, trace: &xtrace::Trace) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
-    let nodes: usize = arg_value(&args, "--nodes").map(|v| v.parse().unwrap()).unwrap_or(8);
-    let cores: usize = arg_value(&args, "--cores").map(|v| v.parse().unwrap()).unwrap_or(7);
-    let rows: usize = arg_value(&args, "--rows").map(|v| v.parse().unwrap()).unwrap_or(16);
+    let nodes: usize = arg_value(&args, "--nodes")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(8);
+    let cores: usize = arg_value(&args, "--cores")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(7);
+    let rows: usize = arg_value(&args, "--rows")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(16);
     let csv_dir = arg_value(&args, "--csv-dir");
 
     let ins = prepare(&scale, nodes);
-    let opts = RenderOpts { width: 110, max_rows: rows, legend: true };
+    let opts = RenderOpts {
+        width: 110,
+        max_rows: rows,
+        legend: true,
+    };
 
     // Figure 10: v4 (with priorities).
     let v4 = run_variant(&ins, VariantCfg::v4(), nodes, cores, true);
@@ -97,17 +108,26 @@ fn main() {
     println!("\n=== Figure 13: zoomed trace of the original code ===");
     print!(
         "{}",
-        render_range(&base.trace, mid, mid + win, &RenderOpts { width: 110, max_rows: 8, legend: true })
+        render_range(
+            &base.trace,
+            mid,
+            mid + win,
+            &RenderOpts {
+                width: 110,
+                max_rows: 8,
+                legend: true
+            }
+        )
     );
-    println!(
-        "(blocking GET/ADD rectangles comparable in length to the GEMMs, never overlapped)"
-    );
+    println!("(blocking GET/ADD rectangles comparable in length to the GEMMs, never overlapped)");
 
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(&dir).unwrap();
-        for (name, trace) in
-            [("fig10_v4", &v4.trace), ("fig11_v2", &v2.trace), ("fig12_original", &base.trace)]
-        {
+        for (name, trace) in [
+            ("fig10_v4", &v4.trace),
+            ("fig11_v2", &v2.trace),
+            ("fig12_original", &base.trace),
+        ] {
             let f = std::fs::File::create(format!("{dir}/{name}.csv")).unwrap();
             trace.write_csv(std::io::BufWriter::new(f)).unwrap();
         }

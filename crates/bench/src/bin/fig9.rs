@@ -18,7 +18,9 @@ use ccsd::VariantCfg;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
-    let nodes: usize = arg_value(&args, "--nodes").map(|v| v.parse().unwrap()).unwrap_or(32);
+    let nodes: usize = arg_value(&args, "--nodes")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(32);
     let cores: Vec<usize> = arg_value(&args, "--cores")
         .map(|v| v.split(',').map(|x| x.parse().unwrap()).collect())
         .unwrap_or_else(|| vec![1, 3, 7, 11, 15]);
@@ -59,20 +61,34 @@ fn main() {
     println!("\n## Headline ratios (paper values in parentheses)");
     for (i, &c) in cores.iter().enumerate() {
         if c == 3 {
-            println!("original speedup at 3 cores/node:  {:.2}x (paper: 2.35x)", orig_1 / orig[i]);
+            println!(
+                "original speedup at 3 cores/node:  {:.2}x (paper: 2.35x)",
+                orig_1 / orig[i]
+            );
         }
         if c == 7 {
-            println!("original speedup at 7 cores/node:  {:.2}x (paper: 2.69x)", orig_1 / orig[i]);
+            println!(
+                "original speedup at 7 cores/node:  {:.2}x (paper: 2.69x)",
+                orig_1 / orig[i]
+            );
         }
     }
     let orig_best = best(&orig);
     let last = cores.len() - 1;
-    let at_last: Vec<(&str, f64)> =
-        columns[1..].iter().map(|(n, v)| (n.as_str(), v[last])).collect();
-    let (fast_name, fast) =
-        at_last.iter().cloned().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
-    let (slow_name, slow) =
-        at_last.iter().cloned().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+    let at_last: Vec<(&str, f64)> = columns[1..]
+        .iter()
+        .map(|(n, v)| (n.as_str(), v[last]))
+        .collect();
+    let (fast_name, fast) = at_last
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    let (slow_name, slow) = at_last
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
     println!(
         "best variant ({fast_name} @ {} cores) vs best original: {:.2}x (paper: 2.1x)",
         cores[last],

@@ -25,10 +25,16 @@ fn main() {
     } else {
         tce::scale::small()
     };
-    let nodes: usize = arg_value(&args, "--nodes").map(|v| v.parse().unwrap()).unwrap_or(4);
+    let nodes: usize = arg_value(&args, "--nodes")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(4);
     let ins = prepare(&scale, nodes);
 
-    println!("## Figures 4-7: variant task-graph shapes ({} chains, {} GEMMs)\n", ins.num_chains(), ins.total_gemms);
+    println!(
+        "## Figures 4-7: variant task-graph shapes ({} chains, {} GEMMs)\n",
+        ins.num_chains(),
+        ins.total_gemms
+    );
     println!(
         "{:>4} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}",
         "var", "READ", "DFILL", "GEMM", "REDUCE", "SORT", "WRITE_C", "deps", "depth", "width"
@@ -54,7 +60,10 @@ fn main() {
 
     // The extension: intermediate segment heights.
     println!("\n## Extension: segment-height spectrum (v5 back end)\n");
-    println!("{:>8} {:>8} {:>8} {:>7}", "height", "REDUCE", "deps", "depth");
+    println!(
+        "{:>8} {:>8} {:>8} {:>7}",
+        "height", "REDUCE", "deps", "depth"
+    );
     let max_h = ins.max_chain_len;
     let mut heights = vec![1usize, 2, 4, 8, max_h];
     heights.dedup();
@@ -89,7 +98,10 @@ fn main() {
             per_node[placed] += range.len();
         }
     }
-    println!("chains whose C block straddles a node boundary: {split_chains} / {}", ins.num_chains());
+    println!(
+        "chains whose C block straddles a node boundary: {split_chains} / {}",
+        ins.num_chains()
+    );
     for (n, elems) in per_node.iter().enumerate() {
         println!("node {n}: accumulates {elems} elements locally");
     }

@@ -29,12 +29,24 @@ fn main() {
     } else {
         tce::scale::medium()
     };
-    let nodes: usize = arg_value(&args, "--nodes").map(|v| v.parse().unwrap()).unwrap_or(8);
-    let cores: usize = arg_value(&args, "--cores").map(|v| v.parse().unwrap()).unwrap_or(7);
+    let nodes: usize = arg_value(&args, "--nodes")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(8);
+    let cores: usize = arg_value(&args, "--cores")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(7);
 
     let space = TileSpace::build(&scale);
-    let ins = Arc::new(inspect_kernels(&space, nodes, &[Kernel::T2_7, Kernel::T2_2]));
-    let k7 = ins.chains.iter().filter(|c| c.kernel == Kernel::T2_7).count();
+    let ins = Arc::new(inspect_kernels(
+        &space,
+        nodes,
+        &[Kernel::T2_7, Kernel::T2_2],
+    ));
+    let k7 = ins
+        .chains
+        .iter()
+        .filter(|c| c.kernel == Kernel::T2_7)
+        .count();
     let k2 = ins.num_chains() - k7;
     println!(
         "workload: {} chains ({k7} t2_7 + {k2} t2_2), {} GEMMs, on {nodes}x{cores}",
@@ -48,7 +60,11 @@ fn main() {
         println!(
             "{levels} level(s): {:>8.3} s{}",
             rep.seconds(),
-            if levels == 1 { "  (both kernels in one NXTVAL pool)" } else { "" }
+            if levels == 1 {
+                "  (both kernels in one NXTVAL pool)"
+            } else {
+                ""
+            }
         );
     }
 

@@ -8,8 +8,12 @@ use xtrace::analyze;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
-    let nodes: usize = arg_value(&args, "--nodes").map(|v| v.parse().unwrap()).unwrap_or(32);
-    let cores: usize = arg_value(&args, "--cores").map(|v| v.parse().unwrap()).unwrap_or(7);
+    let nodes: usize = arg_value(&args, "--nodes")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(32);
+    let cores: usize = arg_value(&args, "--cores")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(7);
     let ins = prepare(&scale, nodes);
 
     // Chain-length distribution.
@@ -29,9 +33,17 @@ fn main() {
 
     let base = run_baseline(&ins, nodes, cores, true);
     let st = analyze::stats(&base.trace);
-    eprintln!("\n# baseline {nodes}x{cores}: {:.3} s, idle {:.1}%", base.seconds(), 100.0 * st.idle_fraction());
+    eprintln!(
+        "\n# baseline {nodes}x{cores}: {:.3} s, idle {:.1}%",
+        base.seconds(),
+        100.0 * st.idle_fraction()
+    );
     for (name, (count, t)) in &st.per_class {
-        eprintln!("#   {name:>8}: {count:>8} spans, {:>8.3} s total, {:.1}% of busy", *t as f64 / 1e9, 100.0 * *t as f64 / st.busy as f64);
+        eprintln!(
+            "#   {name:>8}: {count:>8} spans, {:>8.3} s total, {:.1}% of busy",
+            *t as f64 / 1e9,
+            100.0 * *t as f64 / st.busy as f64
+        );
     }
 
     for cfg in [VariantCfg::v5(), VariantCfg::v3()] {
@@ -47,10 +59,19 @@ fn main() {
             rep.mutex_acquisitions
         );
         for (name, (count, t)) in &st.per_class {
-            eprintln!("#   {name:>8}: {count:>8} spans, {:>8.3} s total, {:.1}% of busy", *t as f64 / 1e9, 100.0 * *t as f64 / st.busy as f64);
+            eprintln!(
+                "#   {name:>8}: {count:>8} spans, {:>8.3} s total, {:.1}% of busy",
+                *t as f64 / 1e9,
+                100.0 * *t as f64 / st.busy as f64
+            );
         }
         let ov = analyze::comm_overlap(&rep.trace);
-        let (c, o): (u64, u64) = ov.values().fold((0, 0), |(c, o), n| (c + n.comm, o + n.overlapped));
-        eprintln!("#   comm overlap: {:.1}%", 100.0 * o as f64 / c.max(1) as f64);
+        let (c, o): (u64, u64) = ov
+            .values()
+            .fold((0, 0), |(c, o), n| (c + n.comm, o + n.overlapped));
+        eprintln!(
+            "#   comm overlap: {:.1}%",
+            100.0 * o as f64 / c.max(1) as f64
+        );
     }
 }

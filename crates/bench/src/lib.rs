@@ -26,7 +26,10 @@ pub fn has_flag(args: &[String], flag: &str) -> bool {
 
 /// Value of a `--key value` argument.
 pub fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// Run the inspection for a scale/node count, reporting workload size.
@@ -53,8 +56,15 @@ pub fn run_variant(
     trace: bool,
 ) -> parsec_rt::SimReport {
     let graph = ccsd::build_graph(ins.clone(), cfg, None);
-    let policy = if cfg.priorities { SchedPolicy::PriorityFifo } else { SchedPolicy::Fifo };
-    SimEngine::new(nodes, cores).policy(policy).collect_trace(trace).run(&graph)
+    let policy = if cfg.priorities {
+        SchedPolicy::PriorityFifo
+    } else {
+        SchedPolicy::Fifo
+    };
+    SimEngine::new(nodes, cores)
+        .policy(policy)
+        .collect_trace(trace)
+        .run(&graph)
 }
 
 /// Simulate the original code; returns the report.

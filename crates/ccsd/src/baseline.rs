@@ -56,7 +56,13 @@ pub struct BaselineCfg {
 impl BaselineCfg {
     /// Default configuration for `nodes x cores`.
     pub fn new(nodes: usize, cores_per_node: usize) -> Self {
-        Self { nodes, cores_per_node, cost: CostModel::default(), levels: 1, collect_trace: false }
+        Self {
+            nodes,
+            cores_per_node,
+            cost: CostModel::default(),
+            levels: 1,
+            collect_trace: false,
+        }
     }
 
     /// Enable trace collection.
@@ -112,17 +118,43 @@ impl BaselineReport {
 enum RankState {
     NeedChain,
     /// Begin GEMM `i` of `chain` (issue the GET-A request).
-    Gemm { chain: usize, i: usize },
+    Gemm {
+        chain: usize,
+        i: usize,
+    },
     /// The GET-A request reached A's owner; its NIC now serializes the data.
-    FetchA { chain: usize, i: usize, get_start: SimTime },
+    FetchA {
+        chain: usize,
+        i: usize,
+        get_start: SimTime,
+    },
     /// A arrived; issue the GET-B request.
-    GetB { chain: usize, i: usize, get_start: SimTime },
+    GetB {
+        chain: usize,
+        i: usize,
+        get_start: SimTime,
+    },
     /// The GET-B request reached B's owner.
-    FetchB { chain: usize, i: usize, get_start: SimTime },
+    FetchB {
+        chain: usize,
+        i: usize,
+        get_start: SimTime,
+    },
     /// Both operands present; run the dgemm.
-    Compute { chain: usize, i: usize, get_start: SimTime },
-    SortWait { chain: usize, j: usize, start: SimTime },
-    Add { chain: usize, j: usize },
+    Compute {
+        chain: usize,
+        i: usize,
+        get_start: SimTime,
+    },
+    SortWait {
+        chain: usize,
+        j: usize,
+        start: SimTime,
+    },
+    Add {
+        chain: usize,
+        j: usize,
+    },
     Barrier,
 }
 
@@ -193,11 +225,16 @@ impl<'a> B<'a> {
             state = tce::util::splitmix64(state);
             order.swap(i, (state % (i as u64 + 1)) as usize);
         }
-        let levels = (0..l).map(|k| order[(k * n / l)..((k + 1) * n / l)].to_vec()).collect();
-        let nics =
-            (0..cfg.nodes).map(|_| Nic::new(cfg.cost.nic_bw_gbs, cfg.cost.nic_latency())).collect();
+        let levels = (0..l)
+            .map(|k| order[(k * n / l)..((k + 1) * n / l)].to_vec())
+            .collect();
+        let nics = (0..cfg.nodes)
+            .map(|_| Nic::new(cfg.cost.nic_bw_gbs, cfg.cost.nic_latency()))
+            .collect();
         let servers = (0..cfg.nodes).map(|_| FifoServer::new()).collect();
-        let buses = (0..cfg.nodes).map(|_| PsResource::new(cfg.cost.mem_capacity())).collect();
+        let buses = (0..cfg.nodes)
+            .map(|_| PsResource::new(cfg.cost.mem_capacity()))
+            .collect();
         Self {
             ins,
             cfg,
@@ -248,10 +285,24 @@ impl<'a> B<'a> {
             let done = t0 + (bytes as f64 / self.cfg.cost.mem_capacity()).round() as SimTime;
             // Skip the owner-NIC state: data is already here.
             let next = match landed {
-                RankState::FetchA { chain, i, get_start } => RankState::GetB { chain, i, get_start },
-                RankState::FetchB { chain, i, get_start } => {
-                    RankState::Compute { chain, i, get_start }
-                }
+                RankState::FetchA {
+                    chain,
+                    i,
+                    get_start,
+                } => RankState::GetB {
+                    chain,
+                    i,
+                    get_start,
+                },
+                RankState::FetchB {
+                    chain,
+                    i,
+                    get_start,
+                } => RankState::Compute {
+                    chain,
+                    i,
+                    get_start,
+                },
                 other => other,
             };
             self.ranks[rank].state = next;
@@ -267,7 +318,10 @@ impl<'a> B<'a> {
     /// One one-sided GA transfer serviced at the owner's data server,
     /// then delivered over the wire.
     fn serve_get(&mut self, owner: usize, bytes: u64, now: SimTime) -> SimTime {
-        let (_, served) = self.servers[owner].acquire(now, self.cfg.cost.ga_server_time(bytes, self.cfg.cores_per_node));
+        let (_, served) = self.servers[owner].acquire(
+            now,
+            self.cfg.cost.ga_server_time(bytes, self.cfg.cores_per_node),
+        );
         self.bytes += bytes;
         served + self.cfg.cost.nic_latency()
     }
@@ -303,7 +357,10 @@ impl<'a> B<'a> {
                         self.advance_level(q);
                     }
                 } else {
-                    self.ranks[rank].state = RankState::Gemm { chain: level[idx], i: 0 };
+                    self.ranks[rank].state = RankState::Gemm {
+                        chain: level[idx],
+                        i: 0,
+                    };
                     q.post(back, BEv::Resume { rank });
                 }
             }
@@ -312,33 +369,65 @@ impl<'a> B<'a> {
                 if i < c.gemms.len() {
                     let g = &c.gemms[i];
                     self.gets += 1;
-                    let next = |s| RankState::FetchA { chain, i, get_start: s };
+                    let next = |s| RankState::FetchA {
+                        chain,
+                        i,
+                        get_start: s,
+                    };
                     self.issue_get(rank, g.a_owner, (g.a_len * 8) as u64, now, next(now), q);
                 } else {
                     // Chain finished computing; start the first SORT.
                     self.start_sort(rank, chain, 0, now, q);
                 }
             }
-            RankState::FetchA { chain, i, get_start } => {
+            RankState::FetchA {
+                chain,
+                i,
+                get_start,
+            } => {
                 // Request arrived at the owner: its data server services it.
                 let g = &self.ins.chains[chain].gemms[i];
                 let a_arr = self.serve_get(g.a_owner, (g.a_len * 8) as u64, now);
-                self.ranks[rank].state = RankState::GetB { chain, i, get_start };
+                self.ranks[rank].state = RankState::GetB {
+                    chain,
+                    i,
+                    get_start,
+                };
                 q.post(a_arr, BEv::Resume { rank });
             }
-            RankState::GetB { chain, i, get_start } => {
+            RankState::GetB {
+                chain,
+                i,
+                get_start,
+            } => {
                 let g = &self.ins.chains[chain].gemms[i];
                 self.gets += 1;
-                let next = RankState::FetchB { chain, i, get_start };
+                let next = RankState::FetchB {
+                    chain,
+                    i,
+                    get_start,
+                };
                 self.issue_get(rank, g.b_owner, (g.b_len * 8) as u64, now, next, q);
             }
-            RankState::FetchB { chain, i, get_start } => {
+            RankState::FetchB {
+                chain,
+                i,
+                get_start,
+            } => {
                 let g = &self.ins.chains[chain].gemms[i];
                 let b_arr = self.serve_get(g.b_owner, (g.b_len * 8) as u64, now);
-                self.ranks[rank].state = RankState::Compute { chain, i, get_start };
+                self.ranks[rank].state = RankState::Compute {
+                    chain,
+                    i,
+                    get_start,
+                };
                 q.post(b_arr, BEv::Resume { rank });
             }
-            RankState::Compute { chain, i, get_start } => {
+            RankState::Compute {
+                chain,
+                i,
+                get_start,
+            } => {
                 let c = &self.ins.chains[chain];
                 let g = &c.gemms[i];
                 self.span(rank, 1, get_start, now);
@@ -365,9 +454,10 @@ impl<'a> B<'a> {
                     } else {
                         // One-sided accumulate: data server applies the
                         // read-modify-write at the owner, then acks.
-                        let (_, served) = self
-                            .servers[*owner]
-                            .acquire(t, cm.ga_server_time(ACC_RMW_FACTOR * bytes, self.cfg.cores_per_node));
+                        let (_, served) = self.servers[*owner].acquire(
+                            t,
+                            cm.ga_server_time(ACC_RMW_FACTOR * bytes, self.cfg.cores_per_node),
+                        );
                         self.bytes += bytes;
                         t = served + cm.nic_latency();
                     }
@@ -385,12 +475,23 @@ impl<'a> B<'a> {
         }
     }
 
-    fn start_sort(&mut self, rank: usize, chain: usize, j: usize, now: SimTime, q: &mut EventQueue<BEv>) {
+    fn start_sort(
+        &mut self,
+        rank: usize,
+        chain: usize,
+        j: usize,
+        now: SimTime,
+        q: &mut EventQueue<BEv>,
+    ) {
         let node = self.ranks[rank].node;
         let bytes = 2 * self.ins.chains[chain].c_bytes() * SORT_STRIDE_FACTOR;
         let id = self.buses[node].submit(now, self.cfg.cost.mem_work(bytes));
         self.psmap.insert((node, id), rank);
-        self.ranks[rank].state = RankState::SortWait { chain, j, start: now };
+        self.ranks[rank].state = RankState::SortWait {
+            chain,
+            j,
+            start: now,
+        };
         self.poll_bus(node, q);
     }
 
@@ -438,8 +539,15 @@ pub fn simulate_baseline(ins: &Inspection, cfg: &BaselineCfg) -> BaselineReport 
         q.post(0, BEv::Resume { rank: r });
     }
     dcsim::run(&mut b, &mut q);
-    assert_eq!(b.cur_level, b.cfg.levels, "baseline did not finish all levels");
-    assert_eq!(b.chains_done as usize, ins.num_chains(), "not all chains executed");
+    assert_eq!(
+        b.cur_level, b.cfg.levels,
+        "baseline did not finish all levels"
+    );
+    assert_eq!(
+        b.chains_done as usize,
+        ins.num_chains(),
+        "not all chains executed"
+    );
     BaselineReport {
         makespan: q.now(),
         nxtvals: b.nxtvals,
@@ -493,7 +601,10 @@ mod tests {
         let ins = ins(1);
         let rep = simulate_baseline(&ins, &BaselineCfg::new(1, 1).collect_trace(true));
         let overlap = xtrace::analyze::comm_overlap(&rep.trace);
-        assert_eq!(overlap[&0].overlapped, 0, "blocking gets cannot overlap compute");
+        assert_eq!(
+            overlap[&0].overlapped, 0,
+            "blocking gets cannot overlap compute"
+        );
         assert!(overlap[&0].comm > 0);
     }
 

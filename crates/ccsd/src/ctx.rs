@@ -53,23 +53,68 @@ pub struct VariantCfg {
 impl VariantCfg {
     /// v1: serial GEMM chain, parallel SORTs and WRITEs, priorities.
     pub fn v1() -> Self {
-        Self { name: "v1", chained_gemms: true, segment_height: 1, parallel_sort: true, parallel_write: true, priorities: true, reader_offset: 5, gemm_offset: 1 }
+        Self {
+            name: "v1",
+            chained_gemms: true,
+            segment_height: 1,
+            parallel_sort: true,
+            parallel_write: true,
+            priorities: true,
+            reader_offset: 5,
+            gemm_offset: 1,
+        }
     }
     /// v2: parallel GEMMs and SORTs, single WRITE, **no priorities**.
     pub fn v2() -> Self {
-        Self { name: "v2", chained_gemms: false, segment_height: 1, parallel_sort: true, parallel_write: false, priorities: false, reader_offset: 5, gemm_offset: 1 }
+        Self {
+            name: "v2",
+            chained_gemms: false,
+            segment_height: 1,
+            parallel_sort: true,
+            parallel_write: false,
+            priorities: false,
+            reader_offset: 5,
+            gemm_offset: 1,
+        }
     }
     /// v3: everything parallel (GEMMs, SORTs, WRITEs), priorities.
     pub fn v3() -> Self {
-        Self { name: "v3", chained_gemms: false, segment_height: 1, parallel_sort: true, parallel_write: true, priorities: true, reader_offset: 5, gemm_offset: 1 }
+        Self {
+            name: "v3",
+            chained_gemms: false,
+            segment_height: 1,
+            parallel_sort: true,
+            parallel_write: true,
+            priorities: true,
+            reader_offset: 5,
+            gemm_offset: 1,
+        }
     }
     /// v4: parallel GEMMs and SORTs, single WRITE, priorities.
     pub fn v4() -> Self {
-        Self { name: "v4", chained_gemms: false, segment_height: 1, parallel_sort: true, parallel_write: false, priorities: true, reader_offset: 5, gemm_offset: 1 }
+        Self {
+            name: "v4",
+            chained_gemms: false,
+            segment_height: 1,
+            parallel_sort: true,
+            parallel_write: false,
+            priorities: true,
+            reader_offset: 5,
+            gemm_offset: 1,
+        }
     }
     /// v5: parallel GEMMs, one SORT, one WRITE, priorities (the winner).
     pub fn v5() -> Self {
-        Self { name: "v5", chained_gemms: false, segment_height: 1, parallel_sort: false, parallel_write: false, priorities: true, reader_offset: 5, gemm_offset: 1 }
+        Self {
+            name: "v5",
+            chained_gemms: false,
+            segment_height: 1,
+            parallel_sort: false,
+            parallel_write: false,
+            priorities: true,
+            reader_offset: 5,
+            gemm_offset: 1,
+        }
     }
 
     /// Override the reader/GEMM priority offsets (prefetch-depth study).
@@ -83,7 +128,16 @@ impl VariantCfg {
     /// GEMMs): the spectrum between the paper's two extremes.
     pub fn height(h: usize) -> Self {
         assert!(h >= 1, "segment height must be at least 1");
-        Self { name: "vh", chained_gemms: false, segment_height: h, parallel_sort: false, parallel_write: false, priorities: true, reader_offset: 5, gemm_offset: 1 }
+        Self {
+            name: "vh",
+            chained_gemms: false,
+            segment_height: h,
+            parallel_sort: false,
+            parallel_write: false,
+            priorities: true,
+            reader_offset: 5,
+            gemm_offset: 1,
+        }
     }
     /// All five, in paper order.
     pub fn all() -> [Self; 5] {
@@ -189,10 +243,18 @@ mod tests {
         let space = tce::TileSpace::build(&tce::scale::tiny());
         let ins = Arc::new(tce::inspect(&space, 4));
         let n = ins.num_chains() as i64;
-        let ctx = CcsdCtx { ins, cfg: VariantCfg::v4(), nodes: 4, ws: None };
+        let ctx = CcsdCtx {
+            ins,
+            cfg: VariantCfg::v4(),
+            nodes: 4,
+            ws: None,
+        };
         assert_eq!(ctx.prio(0, 5), n + 20);
         assert_eq!(ctx.prio(3, 0), n - 3);
-        let ctx2 = CcsdCtx { cfg: VariantCfg::v2(), ..ctx };
+        let ctx2 = CcsdCtx {
+            cfg: VariantCfg::v2(),
+            ..ctx
+        };
         assert_eq!(ctx2.prio(0, 5), 0, "v2 disables priorities");
     }
 

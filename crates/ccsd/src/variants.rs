@@ -34,7 +34,9 @@ pub const SORT: u32 = 5;
 pub const WRITE: u32 = 6;
 
 fn cc(ctx: &dyn GraphCtx) -> &CcsdCtx {
-    ctx.as_any().downcast_ref::<CcsdCtx>().expect("CCSD graph requires CcsdCtx")
+    ctx.as_any()
+        .downcast_ref::<CcsdCtx>()
+        .expect("CCSD graph requires CcsdCtx")
 }
 
 /// Take ownership of a payload buffer (clone only if shared).
@@ -46,10 +48,18 @@ fn own(p: Payload) -> Vec<f64> {
 fn c_to_sorts(c: &CcsdCtx, l1: i64, src_flow: u32, out: &mut Vec<Dep>) {
     if c.cfg.parallel_sort {
         for i in 0..c.chain(l1).sorts.len() {
-            out.push(Dep { src_flow, dst: TaskKey::new(SORT, &[l1, i as i64]), dst_flow: 0 });
+            out.push(Dep {
+                src_flow,
+                dst: TaskKey::new(SORT, &[l1, i as i64]),
+                dst_flow: 0,
+            });
         }
     } else {
-        out.push(Dep { src_flow, dst: TaskKey::new(SORT, &[l1, 0]), dst_flow: 0 });
+        out.push(Dep {
+            src_flow,
+            dst: TaskKey::new(SORT, &[l1, 0]),
+            dst_flow: 0,
+        });
     }
 }
 
@@ -111,8 +121,14 @@ impl TaskClass for Reader {
         let c = cc(ctx);
         let g = &c.chain(key.params[0]).gemms[key.params[1] as usize];
         match self.0 {
-            Operand::A => TaskCost::Fetch { from: g.a_owner, bytes: (g.a_len * 8) as u64 },
-            Operand::B => TaskCost::Fetch { from: g.b_owner, bytes: (g.b_len * 8) as u64 },
+            Operand::A => TaskCost::Fetch {
+                from: g.a_owner,
+                bytes: (g.a_len * 8) as u64,
+            },
+            Operand::B => TaskCost::Fetch {
+                from: g.b_owner,
+                bytes: (g.b_len * 8) as u64,
+            },
         }
     }
     fn activity(&self) -> Activity {
@@ -159,7 +175,11 @@ impl TaskClass for Dfill {
         0
     }
     fn successors(&self, key: TaskKey, _ctx: &dyn GraphCtx, out: &mut Vec<Dep>) {
-        out.push(Dep { src_flow: 0, dst: TaskKey::new(GEMM, &[key.params[0], 0]), dst_flow: 2 });
+        out.push(Dep {
+            src_flow: 0,
+            dst: TaskKey::new(GEMM, &[key.params[0], 0]),
+            dst_flow: 2,
+        });
     }
     fn priority(&self, key: TaskKey, ctx: &dyn GraphCtx) -> i64 {
         cc(ctx).prio(key.params[0], 0)
@@ -168,7 +188,9 @@ impl TaskClass for Dfill {
         cc(ctx).chain_node(key.params[0])
     }
     fn cost(&self, key: TaskKey, ctx: &dyn GraphCtx) -> TaskCost {
-        TaskCost::Memory { bytes: cc(ctx).chain(key.params[0]).c_bytes() }
+        TaskCost::Memory {
+            bytes: cc(ctx).chain(key.params[0]).c_bytes(),
+        }
     }
     fn execute(
         &self,
@@ -218,7 +240,11 @@ impl TaskClass for Gemm {
         let len = c.chain(l1).gemms.len() as i64;
         if c.cfg.chained_gemms {
             if l2 + 1 < len {
-                out.push(Dep { src_flow: 2, dst: TaskKey::new(GEMM, &[l1, l2 + 1]), dst_flow: 2 });
+                out.push(Dep {
+                    src_flow: 2,
+                    dst: TaskKey::new(GEMM, &[l1, l2 + 1]),
+                    dst_flow: 2,
+                });
             } else {
                 c_to_sorts(c, l1, 2, out);
             }
@@ -231,7 +257,11 @@ impl TaskClass for Gemm {
                 if nseg == 1 {
                     // Single segment: straight to the reduction
                     // pass-through level so the SORT fan-out stays uniform.
-                    out.push(Dep { src_flow: 2, dst: TaskKey::new(REDUCE, &[l1, 1, 0]), dst_flow: 0 });
+                    out.push(Dep {
+                        src_flow: 2,
+                        dst: TaskKey::new(REDUCE, &[l1, 1, 0]),
+                        dst_flow: 0,
+                    });
                 } else {
                     out.push(Dep {
                         src_flow: 2,
@@ -240,7 +270,11 @@ impl TaskClass for Gemm {
                     });
                 }
             } else {
-                out.push(Dep { src_flow: 2, dst: TaskKey::new(GEMM, &[l1, l2 + 1]), dst_flow: 2 });
+                out.push(Dep {
+                    src_flow: 2,
+                    dst: TaskKey::new(GEMM, &[l1, l2 + 1]),
+                    dst_flow: 2,
+                });
             }
         }
     }
@@ -255,7 +289,9 @@ impl TaskClass for Gemm {
         let c = cc(ctx);
         let chain = c.chain(key.params[0]);
         let k = chain.gemms[key.params[1] as usize].k;
-        TaskCost::Cpu { flops: 2 * (chain.m * chain.n * k) as u64 }
+        TaskCost::Cpu {
+            flops: 2 * (chain.m * chain.n * k) as u64,
+        }
     }
     fn flow_bytes(&self, key: TaskKey, _flow: u32, _dst: TaskKey, ctx: &dyn GraphCtx) -> u64 {
         cc(ctx).chain(key.params[0]).c_bytes()
@@ -274,14 +310,24 @@ impl TaskClass for Gemm {
         let g = &chain.gemms[key.params[1] as usize];
         let a = inputs[0].take().expect("A operand");
         let b = inputs[1].take().expect("B operand");
-        let segment_head =
-            !c.cfg.chained_gemms && key.params[1] % c.cfg.segment_height as i64 == 0;
+        let segment_head = !c.cfg.chained_gemms && key.params[1] % c.cfg.segment_height as i64 == 0;
         let mut cbuf = if c.cfg.chained_gemms || !segment_head {
             own(inputs[2].take().expect("C from predecessor"))
         } else {
             vec![0.0; chain.m * chain.n]
         };
-        dgemm(Trans::T, g.tb, chain.m, chain.n, g.k, 1.0, &a, &b, 1.0, &mut cbuf);
+        dgemm(
+            Trans::T,
+            g.tb,
+            chain.m,
+            chain.n,
+            g.k,
+            1.0,
+            &a,
+            &b,
+            1.0,
+            &mut cbuf,
+        );
         vec![None, None, Some(Arc::new(cbuf))]
     }
 }
@@ -327,7 +373,9 @@ impl TaskClass for Reduce {
     }
     fn cost(&self, key: TaskKey, ctx: &dyn GraphCtx) -> TaskCost {
         let arity = self.num_inputs(key, ctx) as u64;
-        TaskCost::Memory { bytes: (arity + 1) * cc(ctx).chain(key.params[0]).c_bytes() }
+        TaskCost::Memory {
+            bytes: (arity + 1) * cc(ctx).chain(key.params[0]).c_bytes(),
+        }
     }
     fn flow_bytes(&self, key: TaskKey, _flow: u32, _dst: TaskKey, ctx: &dyn GraphCtx) -> u64 {
         cc(ctx).chain(key.params[0]).c_bytes()
@@ -406,11 +454,15 @@ impl TaskClass for Sort {
         let b = chain.c_bytes();
         if c.cfg.parallel_sort {
             // One remap: read C, write sorted_i (strided).
-            TaskCost::Memory { bytes: 2 * b * SORT_STRIDE_FACTOR }
+            TaskCost::Memory {
+                bytes: 2 * b * SORT_STRIDE_FACTOR,
+            }
         } else {
             // All remaps serially with C and the accumulator cache-hot:
             // read C once, then one strided pass per active branch.
-            TaskCost::Memory { bytes: (1 + chain.sorts.len() as u64) * b * SORT_STRIDE_FACTOR }
+            TaskCost::Memory {
+                bytes: (1 + chain.sorts.len() as u64) * b * SORT_STRIDE_FACTOR,
+            }
         }
     }
     fn flow_bytes(&self, key: TaskKey, _flow: u32, dst: TaskKey, ctx: &dyn GraphCtx) -> u64 {
@@ -490,12 +542,16 @@ impl TaskClass for Write {
     fn cost(&self, key: TaskKey, ctx: &dyn GraphCtx) -> TaskCost {
         let c = cc(ctx);
         let chain = c.chain(key.params[0]);
-        let range =
-            chain.sorts[key.params[1] as usize].owners[key.params[2] as usize].1.len() as u64 * 8;
+        let range = chain.sorts[key.params[1] as usize].owners[key.params[2] as usize]
+            .1
+            .len() as u64
+            * 8;
         // Read each incoming slice, read-modify-write the GA segment
         // through the (slow) accumulate path, all inside the mutex.
         let n = Self::n_matrices(c, key.params[0]) as u64;
-        TaskCost::Critical { bytes: (n + ACC_RMW_FACTOR) * range * ACC_CRITICAL_SLOWDOWN }
+        TaskCost::Critical {
+            bytes: (n + ACC_RMW_FACTOR) * range * ACC_CRITICAL_SLOWDOWN,
+        }
     }
     fn execute(
         &self,
@@ -504,7 +560,9 @@ impl TaskClass for Write {
         inputs: &mut [Option<Payload>],
     ) -> Vec<Option<Payload>> {
         let c = cc(ctx);
-        let Some(ws) = &c.ws else { return vec![None; 4] };
+        let Some(ws) = &c.ws else {
+            return vec![None; 4];
+        };
         let chain = c.chain(key.params[0]);
         let w = key.params[2] as usize;
         for (flow, input) in inputs.iter_mut().enumerate() {
@@ -539,7 +597,12 @@ pub fn build_graph(
     if let Some(ws) = &ws {
         assert_eq!(ws.ga.nnodes(), nodes, "workspace/inspection node mismatch");
     }
-    let ctx = Arc::new(CcsdCtx { ins, cfg, nodes, ws });
+    let ctx = Arc::new(CcsdCtx {
+        ins,
+        cfg,
+        nodes,
+        ws,
+    });
     TaskGraph::new(
         vec![
             Arc::new(Reader(Operand::A)),
@@ -636,7 +699,10 @@ mod tests {
         let a4 = audit(&build_graph(ins, VariantCfg::v4(), None), 1_000_000).unwrap();
         assert_eq!(a5.tasks_per_class["SORT"], nchains);
         assert_eq!(a4.tasks_per_class["SORT"], total_sort_branches);
-        assert!(total_sort_branches > nchains, "workload must exercise multi-sort chains");
+        assert!(
+            total_sort_branches > nchains,
+            "workload must exercise multi-sort chains"
+        );
     }
 
     #[test]
@@ -682,8 +748,16 @@ mod tests {
             assert_eq!(a.tasks_per_class["GEMM"], ins.total_gemms, "h={h}");
         }
         // Larger heights -> fewer reduction tasks, deeper graphs.
-        let a1 = audit(&build_graph(ins.clone(), VariantCfg::height(1), None), 1_000_000).unwrap();
-        let ah = audit(&build_graph(ins.clone(), VariantCfg::height(max_len), None), 1_000_000).unwrap();
+        let a1 = audit(
+            &build_graph(ins.clone(), VariantCfg::height(1), None),
+            1_000_000,
+        )
+        .unwrap();
+        let ah = audit(
+            &build_graph(ins.clone(), VariantCfg::height(max_len), None),
+            1_000_000,
+        )
+        .unwrap();
         assert!(ah.tasks_per_class["REDUCE"] < a1.tasks_per_class["REDUCE"]);
         assert!(ah.depth > a1.depth);
     }

@@ -44,7 +44,11 @@ pub fn variant_energy_native(
 ) -> f64 {
     ws.reset_output();
     let graph = build_graph(ins.clone(), cfg, Some(ws.clone()));
-    let policy = if cfg.priorities { SchedPolicy::PriorityFifo } else { SchedPolicy::Fifo };
+    let policy = if cfg.priorities {
+        SchedPolicy::PriorityFifo
+    } else {
+        SchedPolicy::Fifo
+    };
     NativeRuntime::new(threads).policy(policy).run(&graph);
     energy::energy(ws)
 }
@@ -59,8 +63,15 @@ pub fn variant_energy_sim(
 ) -> f64 {
     ws.reset_output();
     let graph = build_graph(ins.clone(), cfg, Some(ws.clone()));
-    let policy = if cfg.priorities { SchedPolicy::PriorityFifo } else { SchedPolicy::Fifo };
-    SimEngine::new(ws.ga.nnodes(), cores).policy(policy).execute_bodies(true).run(&graph);
+    let policy = if cfg.priorities {
+        SchedPolicy::PriorityFifo
+    } else {
+        SchedPolicy::Fifo
+    };
+    SimEngine::new(ws.ga.nnodes(), cores)
+        .policy(policy)
+        .execute_bodies(true)
+        .run(&graph);
     energy::energy(ws)
 }
 
@@ -101,7 +112,10 @@ mod tests {
         use tce::Kernel;
         let space = TileSpace::build(&scale::tiny());
         let (ins, ws) = prepare_kernels(&space, 3, &[Kernel::T2_7, Kernel::T2_2]);
-        assert!(ins.chains.iter().any(|c| c.kernel == Kernel::T2_2), "t2_2 chains present");
+        assert!(
+            ins.chains.iter().any(|c| c.kernel == Kernel::T2_2),
+            "t2_2 chains present"
+        );
         let e_ref = reference_energy(&ws);
         for cfg in [VariantCfg::v1(), VariantCfg::v2(), VariantCfg::v5()] {
             let e = variant_energy_native(&ins, &ws, cfg, 3);
@@ -112,11 +126,17 @@ mod tests {
             );
         }
         let e = variant_energy_sim(&ins, &ws, VariantCfg::v3(), 2);
-        assert!(tensor_kernels::rel_diff(e_ref, e) < 1e-12, "v3 sim multikernel");
+        assert!(
+            tensor_kernels::rel_diff(e_ref, e) < 1e-12,
+            "v3 sim multikernel"
+        );
         // The t2_2 term must actually change the result (vs t2_7 alone).
         let (_, ws7) = prepare(&space, 3);
         let e7 = reference_energy(&ws7);
-        assert!((e_ref - e7).abs() > 1e-9, "t2_2 must contribute: {e_ref} vs {e7}");
+        assert!(
+            (e_ref - e7).abs() > 1e-9,
+            "t2_2 must contribute: {e_ref} vs {e7}"
+        );
     }
 
     /// Intermediate segment heights (the extension between the paper's two

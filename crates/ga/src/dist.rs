@@ -55,7 +55,11 @@ impl Distribution {
 
     /// Owner of one global offset.
     pub fn owner_of(&self, offset: usize) -> NodeId {
-        assert!(offset < self.len, "offset {offset} out of bounds ({})", self.len);
+        assert!(
+            offset < self.len,
+            "offset {offset} out of bounds ({})",
+            self.len
+        );
         self.starts.partition_point(|&s| s <= offset) - 1
     }
 

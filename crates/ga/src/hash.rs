@@ -59,7 +59,9 @@ impl HashIndex {
 
 /// `GET_HASH_BLOCK`: resolve and fetch one block.
 pub fn get_hash_block(ga: &crate::Ga, h: crate::GaHandle, idx: &HashIndex, key: i64) -> Vec<f64> {
-    let (offset, size) = idx.lookup(key).unwrap_or_else(|| panic!("no block for key {key}"));
+    let (offset, size) = idx
+        .lookup(key)
+        .unwrap_or_else(|| panic!("no block for key {key}"));
     ga.get(h, offset, size)
 }
 
@@ -72,7 +74,9 @@ pub fn add_hash_block(
     data: &[f64],
     alpha: f64,
 ) {
-    let (offset, size) = idx.lookup(key).unwrap_or_else(|| panic!("no block for key {key}"));
+    let (offset, size) = idx
+        .lookup(key)
+        .unwrap_or_else(|| panic!("no block for key {key}"));
     assert_eq!(data.len(), size, "block size mismatch for key {key}");
     ga.acc(h, offset, data, alpha);
 }

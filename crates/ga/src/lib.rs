@@ -58,7 +58,12 @@ impl Ga {
     /// Initialize the toolkit for a cluster of `nodes >= 1` logical nodes.
     pub fn init(nodes: usize) -> Self {
         assert!(nodes >= 1, "need at least one node");
-        Self { nodes, arrays: Mutex::new(Vec::new()), nxtval: AtomicI64::new(0), stats: GaStats::default() }
+        Self {
+            nodes,
+            arrays: Mutex::new(Vec::new()),
+            nxtval: AtomicI64::new(0),
+            stats: GaStats::default(),
+        }
     }
 
     /// Number of logical nodes.

@@ -58,7 +58,10 @@ impl std::fmt::Display for DslError {
 impl std::error::Error for DslError {}
 
 fn derr<T>(line: usize, msg: impl Into<String>) -> Result<T, DslError> {
-    Err(DslError { line, msg: msg.into() })
+    Err(DslError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 // ------------------------------------------------------------------- AST --
@@ -67,7 +70,11 @@ fn derr<T>(line: usize, msg: impl Into<String>) -> Result<T, DslError> {
 #[derive(Debug, Clone)]
 enum DepTarget {
     /// `FLOW CLASS(args)`: another task instance.
-    Task { remote_flow: String, class: String, args: Vec<Expr> },
+    Task {
+        remote_flow: String,
+        class: String,
+        args: Vec<Expr>,
+    },
     /// `name(args)`: host-provided data (memory reference).
     Memory { name: String, args: Vec<Expr> },
 }
@@ -154,11 +161,16 @@ fn parse_clause(src: &str, line: usize) -> Result<DepClause, DslError> {
                 }
             }
         }
-        let close = close.ok_or(DslError { line, msg: "unbalanced parentheses".into() })?;
+        let close = close.ok_or(DslError {
+            line,
+            msg: "unbalanced parentheses".into(),
+        })?;
         let after = src[close + 1..].trim_start();
         if let Some(stripped) = after.strip_prefix('?') {
-            let g = expr::parse(&src[1..close])
-                .map_err(|e| DslError { line, msg: format!("bad guard: {e}") })?;
+            let g = expr::parse(&src[1..close]).map_err(|e| DslError {
+                line,
+                msg: format!("bad guard: {e}"),
+            })?;
             (Some(g), stripped.trim_start())
         } else {
             (None, src)
@@ -172,19 +184,26 @@ fn parse_clause(src: &str, line: usize) -> Result<DepClause, DslError> {
         .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
         .unwrap_or(rest.len());
     if ident_end == 0 {
-        return derr(line, format!("expected identifier in dependency clause `{rest}`"));
+        return derr(
+            line,
+            format!("expected identifier in dependency clause `{rest}`"),
+        );
     }
     let first = &rest[..ident_end];
     let after = rest[ident_end..].trim_start();
     if let Some(args_src) = after.strip_prefix('(') {
         // Memory reference: first(args).
-        let args_src = args_src
-            .strip_suffix(')')
-            .ok_or(DslError { line, msg: "missing `)` in clause".into() })?;
+        let args_src = args_src.strip_suffix(')').ok_or(DslError {
+            line,
+            msg: "missing `)` in clause".into(),
+        })?;
         let args = parse_args(args_src, line)?;
         return Ok(DepClause {
             guard,
-            target: DepTarget::Memory { name: first.to_string(), args },
+            target: DepTarget::Memory {
+                name: first.to_string(),
+                args,
+            },
         });
     }
     // Task reference: FLOW CLASS(args).
@@ -192,14 +211,20 @@ fn parse_clause(src: &str, line: usize) -> Result<DepClause, DslError> {
         .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
         .unwrap_or(after.len());
     if ident2_end == 0 {
-        return derr(line, format!("expected `FLOW CLASS(args)` or `data(args)` in `{rest}`"));
+        return derr(
+            line,
+            format!("expected `FLOW CLASS(args)` or `data(args)` in `{rest}`"),
+        );
     }
     let class = &after[..ident2_end];
     let tail = after[ident2_end..].trim_start();
     let args_src = tail
         .strip_prefix('(')
         .and_then(|t| t.strip_suffix(')'))
-        .ok_or(DslError { line, msg: format!("expected `(args)` after task name `{class}`") })?;
+        .ok_or(DslError {
+            line,
+            msg: format!("expected `(args)` after task name `{class}`"),
+        })?;
     let args = parse_args(args_src, line)?;
     Ok(DepClause {
         guard,
@@ -234,7 +259,12 @@ fn parse_args(src: &str, line: usize) -> Result<Vec<Expr>, DslError> {
     }
     args.push(&src[start..]);
     args.into_iter()
-        .map(|a| expr::parse(a).map_err(|e| DslError { line, msg: format!("bad argument: {e}") }))
+        .map(|a| {
+            expr::parse(a).map_err(|e| DslError {
+                line,
+                msg: format!("bad argument: {e}"),
+            })
+        })
         .collect()
 }
 
@@ -252,17 +282,18 @@ fn parse_program(src: &str) -> Result<Vec<ClassDef>, DslError> {
         match &mut cur {
             None => {
                 // Expect a class header: NAME(p1, p2).
-                let open = text
-                    .find('(')
-                    .ok_or(DslError { line, msg: format!("expected class header, got `{text}`") })?;
+                let open = text.find('(').ok_or(DslError {
+                    line,
+                    msg: format!("expected class header, got `{text}`"),
+                })?;
                 let name = text[..open].trim();
-                if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-                {
+                if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
                     return derr(line, format!("bad class name `{name}`"));
                 }
-                let close = text
-                    .rfind(')')
-                    .ok_or(DslError { line, msg: "missing `)` in class header".into() })?;
+                let close = text.rfind(')').ok_or(DslError {
+                    line,
+                    msg: "missing `)` in class header".into(),
+                })?;
                 let params: Vec<String> = text[open + 1..close]
                     .split(',')
                     .map(|p| p.trim().to_string())
@@ -300,19 +331,23 @@ fn parse_program(src: &str) -> Result<Vec<ClassDef>, DslError> {
                     }
                     classes.push(cur.take().unwrap());
                 } else if let Some(rest) = text.strip_prefix(':') {
-                    let e = expr::parse(rest)
-                        .map_err(|e| DslError { line, msg: format!("bad placement: {e}") })?;
+                    let e = expr::parse(rest).map_err(|e| DslError {
+                        line,
+                        msg: format!("bad placement: {e}"),
+                    })?;
                     def.placement = Some(e);
                 } else if let Some(rest) = text.strip_prefix(';') {
-                    let e = expr::parse(rest)
-                        .map_err(|e| DslError { line, msg: format!("bad priority: {e}") })?;
+                    let e = expr::parse(rest).map_err(|e| DslError {
+                        line,
+                        msg: format!("bad priority: {e}"),
+                    })?;
                     def.priority = Some(e);
                 } else if text.starts_with("<-") || text.starts_with("->") {
                     // Continuation of the last flow.
-                    let flow = def
-                        .flows
-                        .last_mut()
-                        .ok_or(DslError { line, msg: "dependency before any flow".into() })?;
+                    let flow = def.flows.last_mut().ok_or(DslError {
+                        line,
+                        msg: "dependency before any flow".into(),
+                    })?;
                     parse_flow_deps(text, flow, line)?;
                 } else if let Some(rest) = keyword(text, "READ") {
                     def.flows.push(new_flow(rest, FlowMode::Read, line)?);
@@ -324,9 +359,10 @@ fn parse_program(src: &str) -> Result<Vec<ClassDef>, DslError> {
                     && text.starts_with(&def.params[def.ranges.len()])
                 {
                     // Range line: PARAM = lo .. hi.
-                    let eq = text
-                        .find('=')
-                        .ok_or(DslError { line, msg: "expected `=` in range".into() })?;
+                    let eq = text.find('=').ok_or(DslError {
+                        line,
+                        msg: "expected `=` in range".into(),
+                    })?;
                     let lhs = text[..eq].trim();
                     if lhs != def.params[def.ranges.len()] {
                         return derr(
@@ -337,12 +373,18 @@ fn parse_program(src: &str) -> Result<Vec<ClassDef>, DslError> {
                             ),
                         );
                     }
-                    let (lo, hi) = split_range(&text[eq + 1..])
-                        .ok_or(DslError { line, msg: "expected `lo .. hi`".into() })?;
-                    let lo = expr::parse(lo)
-                        .map_err(|e| DslError { line, msg: format!("bad range: {e}") })?;
-                    let hi = expr::parse(hi)
-                        .map_err(|e| DslError { line, msg: format!("bad range: {e}") })?;
+                    let (lo, hi) = split_range(&text[eq + 1..]).ok_or(DslError {
+                        line,
+                        msg: "expected `lo .. hi`".into(),
+                    })?;
+                    let lo = expr::parse(lo).map_err(|e| DslError {
+                        line,
+                        msg: format!("bad range: {e}"),
+                    })?;
+                    let hi = expr::parse(hi).map_err(|e| DslError {
+                        line,
+                        msg: format!("bad range: {e}"),
+                    })?;
                     def.ranges.push((lo, hi));
                 } else {
                     return derr(line, format!("unrecognized line `{text}`"));
@@ -413,7 +455,10 @@ fn parse_flow_deps(src: &str, flow: &mut FlowDef, line: usize) -> Result<(), Dsl
             // WRITE flows own fresh data; they may be seeded from memory
             // (a data reference) but not from another task.
             if flow.mode == FlowMode::Write && matches!(clause.target, DepTarget::Task { .. }) {
-                return derr(line, format!("WRITE flow {} cannot have task inputs", flow.name));
+                return derr(
+                    line,
+                    format!("WRITE flow {} cannot have task inputs", flow.name),
+                );
             }
             flow.ins.push(clause);
         } else {
@@ -479,7 +524,11 @@ struct Program {
 
 impl Program {
     fn flow_index(&self, class: usize, flow: &str) -> Option<u32> {
-        self.classes[class].flows.iter().position(|f| f.name == flow).map(|i| i as u32)
+        self.classes[class]
+            .flows
+            .iter()
+            .position(|f| f.name == flow)
+            .map(|i| i as u32)
     }
 
     fn bind(&self, class: usize, key: TaskKey, nodes: usize) -> MapEnv {
@@ -505,14 +554,20 @@ impl InterpClass {
     }
 
     fn eval(&self, e: &Expr, locals: &MapEnv) -> i64 {
-        let env = Layered { locals, globals: &self.prog.globals };
+        let env = Layered {
+            locals,
+            globals: &self.prog.globals,
+        };
         expr::eval(e, &env).unwrap_or_else(|err| {
             panic!("evaluating expression for class {}: {err}", self.def().name)
         })
     }
 
     fn guard_holds(&self, c: &DepClause, locals: &MapEnv) -> bool {
-        c.guard.as_ref().map(|g| self.eval(g, locals) != 0).unwrap_or(true)
+        c.guard
+            .as_ref()
+            .map(|g| self.eval(g, locals) != 0)
+            .unwrap_or(true)
     }
 
     /// The active input clause of each flow (first satisfied).
@@ -592,16 +647,20 @@ impl TaskClass for InterpClass {
                     continue;
                 }
                 match &c.target {
-                    DepTarget::Task { remote_flow, class, args } => {
-                        let tgt_idx = *self
-                            .prog
-                            .by_name
-                            .get(class)
-                            .unwrap_or_else(|| panic!("unknown class `{class}` in deps of {}", self.name()));
-                        let dst_flow = self
-                            .prog
-                            .flow_index(tgt_idx, remote_flow)
-                            .unwrap_or_else(|| panic!("class `{class}` has no flow `{remote_flow}`"));
+                    DepTarget::Task {
+                        remote_flow,
+                        class,
+                        args,
+                    } => {
+                        let tgt_idx = *self.prog.by_name.get(class).unwrap_or_else(|| {
+                            panic!("unknown class `{class}` in deps of {}", self.name())
+                        });
+                        let dst_flow =
+                            self.prog
+                                .flow_index(tgt_idx, remote_flow)
+                                .unwrap_or_else(|| {
+                                    panic!("class `{class}` has no flow `{remote_flow}`")
+                                });
                         let vals: Vec<i64> = args.iter().map(|a| self.eval(a, &locals)).collect();
                         out.push(Dep {
                             src_flow: fi as u32,
@@ -646,7 +705,11 @@ impl TaskClass for InterpClass {
     }
 
     fn activity(&self) -> Activity {
-        self.prog.activities.get(&self.def().name).copied().unwrap_or(Activity::Compute)
+        self.prog
+            .activities
+            .get(&self.def().name)
+            .copied()
+            .unwrap_or(Activity::Compute)
     }
 
     fn execute(
@@ -726,13 +789,21 @@ impl DslBuilder {
     }
 
     /// Register a data provider for memory inputs.
-    pub fn data(mut self, name: &str, f: impl Fn(&[i64]) -> Payload + Send + Sync + 'static) -> Self {
+    pub fn data(
+        mut self,
+        name: &str,
+        f: impl Fn(&[i64]) -> Payload + Send + Sync + 'static,
+    ) -> Self {
         self.data.insert(name.to_string(), Arc::new(f));
         self
     }
 
     /// Register a cost hook for a class (simulated engine).
-    pub fn cost(mut self, class: &str, f: impl Fn(TaskKey) -> TaskCost + Send + Sync + 'static) -> Self {
+    pub fn cost(
+        mut self,
+        class: &str,
+        f: impl Fn(TaskKey) -> TaskCost + Send + Sync + 'static,
+    ) -> Self {
         self.costs.insert(class.to_string(), Arc::new(f));
         self
     }
@@ -756,7 +827,12 @@ impl DslBuilder {
         for c in &classes {
             for f in &c.flows {
                 for clause in f.ins.iter().chain(&f.outs) {
-                    if let DepTarget::Task { class, remote_flow, args } = &clause.target {
+                    if let DepTarget::Task {
+                        class,
+                        remote_flow,
+                        args,
+                    } = &clause.target
+                    {
                         let Some(&ti) = by_name.get(class) else {
                             return derr(0, format!("{}: unknown class `{class}`", c.name));
                         };
@@ -795,7 +871,12 @@ impl DslBuilder {
         });
         let n = prog.classes.len();
         let classes: Vec<Arc<dyn TaskClass>> = (0..n)
-            .map(|idx| Arc::new(InterpClass { prog: prog.clone(), idx }) as Arc<dyn TaskClass>)
+            .map(|idx| {
+                Arc::new(InterpClass {
+                    prog: prog.clone(),
+                    idx,
+                }) as Arc<dyn TaskClass>
+            })
             .collect();
         Ok(TaskGraph::new(classes, ctx))
     }
@@ -897,7 +978,10 @@ mod tests {
         // Readers get the +5*P offset: reader of chain j beats GEMM of
         // chain i only while j < i + 4*P.
         let pr = g.class_of(k(ra, &[2, 0])).priority(k(ra, &[2, 0]), ctx);
-        assert!(pr > p0, "reader of a later chain outranks early GEMMs within the pipeline depth");
+        assert!(
+            pr > p0,
+            "reader of a later chain outranks early GEMMs within the pipeline depth"
+        );
     }
 
     #[test]
@@ -905,8 +989,10 @@ mod tests {
         let g = fig1_graph(5, 2, 2);
         let ctx = g.ctx();
         let gemm = g.class_id("GEMM").unwrap();
-        let place =
-            |l1: i64| g.class_of(TaskKey::new(gemm, &[l1, 0])).placement(TaskKey::new(gemm, &[l1, 0]), ctx);
+        let place = |l1: i64| {
+            g.class_of(TaskKey::new(gemm, &[l1, 0]))
+                .placement(TaskKey::new(gemm, &[l1, 0]), ctx)
+        };
         assert_eq!(place(0), 0);
         assert_eq!(place(1), 1);
         assert_eq!(place(2), 0);
@@ -980,8 +1066,11 @@ mod tests {
         let gemm_id = g.class_id("GEMM").unwrap();
         let key = TaskKey::new(gemm_id, &[0, 1]);
         let class = g.class_of(key);
-        let mut inputs: Vec<Option<Payload>> =
-            vec![Some(Arc::new(vec![1.0])), Some(Arc::new(vec![2.0])), Some(Arc::new(vec![3.0]))];
+        let mut inputs: Vec<Option<Payload>> = vec![
+            Some(Arc::new(vec![1.0])),
+            Some(Arc::new(vec![2.0])),
+            Some(Arc::new(vec![3.0])),
+        ];
         let out = class.execute(key, ctx, &mut inputs);
         // Default body forwards flow C (index 2).
         assert_eq!(out.len(), 3);
@@ -1018,12 +1107,16 @@ mod tests {
 
     #[test]
     fn parse_errors_are_reported_with_lines() {
-        assert!(DslBuilder::new("JUNK").compile(Arc::new(PlainCtx { nodes: 1 })).is_err());
+        assert!(DslBuilder::new("JUNK")
+            .compile(Arc::new(PlainCtx { nodes: 1 }))
+            .is_err());
         let e = DslBuilder::new("A(I)\nI = 0 .. 1\nREAD X <- X NOPE(I)\nBODY b")
             .compile(Arc::new(PlainCtx { nodes: 1 }))
             .unwrap_err();
         assert!(e.msg.contains("unknown class"), "{e}");
-        let e = DslBuilder::new("A(I)\nBODY b").compile(Arc::new(PlainCtx { nodes: 1 })).unwrap_err();
+        let e = DslBuilder::new("A(I)\nBODY b")
+            .compile(Arc::new(PlainCtx { nodes: 1 }))
+            .unwrap_err();
         assert!(e.msg.contains("ranges"), "{e}");
     }
 
@@ -1052,7 +1145,9 @@ mod tests {
             READ X <- X A(I)
             BODY b
         ";
-        let g = DslBuilder::new(src).compile(Arc::new(PlainCtx { nodes: 1 })).unwrap();
+        let g = DslBuilder::new(src)
+            .compile(Arc::new(PlainCtx { nodes: 1 }))
+            .unwrap();
         assert_eq!(g.classes().len(), 2);
         assert_eq!(g.roots().len(), 3);
     }
@@ -1065,7 +1160,9 @@ I = 0 .. 9
 WRITE X -> X A(I)
 BODY a";
         // (self-edge is nonsense but placement is queried without walking)
-        let g = DslBuilder::new(src).compile(Arc::new(PlainCtx { nodes: 4 })).unwrap();
+        let g = DslBuilder::new(src)
+            .compile(Arc::new(PlainCtx { nodes: 4 }))
+            .unwrap();
         let ctx = g.ctx();
         let k = |i: i64| TaskKey::new(0, &[i]);
         // -5 wraps via rem_euclid.
@@ -1081,7 +1178,9 @@ I = 0 .. 0
 WRITE X -> X A(I)
 ; P * 10
 BODY a";
-        let g = DslBuilder::new(src).compile(Arc::new(PlainCtx { nodes: 7 })).unwrap();
+        let g = DslBuilder::new(src)
+            .compile(Arc::new(PlainCtx { nodes: 7 }))
+            .unwrap();
         let k = TaskKey::new(0, &[0]);
         assert_eq!(g.class_of(k).priority(k, g.ctx()), 70);
     }
@@ -1094,7 +1193,9 @@ I = 0 .. 3
 J = 0 .. I
 WRITE X -> X A(I, J)
 BODY a";
-        let g = DslBuilder::new(src).compile(Arc::new(PlainCtx { nodes: 1 })).unwrap();
+        let g = DslBuilder::new(src)
+            .compile(Arc::new(PlainCtx { nodes: 1 }))
+            .unwrap();
         // roots = all (I, J) with J <= I: 1+2+3+4 = 10... but every task
         // also has a self-output making none of them sinks; roots counts
         // keys with num_inputs == 0 which is all of them (no task inputs).
@@ -1116,7 +1217,9 @@ BODY a";
                  <- (I <= 0) ? X S(0)
             BODY t
         "#;
-        let g = DslBuilder::new(src).compile(Arc::new(PlainCtx { nodes: 1 })).unwrap();
+        let g = DslBuilder::new(src)
+            .compile(Arc::new(PlainCtx { nodes: 1 }))
+            .unwrap();
         let t = TaskKey::new(1, &[0]);
         assert_eq!(g.class_of(t).num_inputs(t, g.ctx()), 1);
     }

@@ -67,7 +67,10 @@ impl fmt::Display for ExprError {
 impl std::error::Error for ExprError {}
 
 fn err<T>(msg: impl Into<String>, pos: usize) -> Result<T, ExprError> {
-    Err(ExprError { msg: msg.into(), pos })
+    Err(ExprError {
+        msg: msg.into(),
+        pos,
+    })
 }
 
 // ---------------------------------------------------------------- lexer --
@@ -87,7 +90,10 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Self { src: src.as_bytes(), pos: 0 }
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -109,7 +115,10 @@ impl<'a> Lexer<'a> {
                 v = v
                     .checked_mul(10)
                     .and_then(|x| x.checked_add((self.src[self.pos] - b'0') as i64))
-                    .ok_or(ExprError { msg: "integer overflow".into(), pos: start })?;
+                    .ok_or(ExprError {
+                        msg: "integer overflow".into(),
+                        pos: start,
+                    })?;
                 self.pos += 1;
             }
             return Ok((Tok::Int(v), start));
@@ -120,7 +129,9 @@ impl<'a> Lexer<'a> {
             {
                 self.pos += 1;
             }
-            let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+            let s = std::str::from_utf8(&self.src[start..self.pos])
+                .unwrap()
+                .to_string();
             return Ok((Tok::Ident(s), start));
         }
         // Multi-char operators first.
@@ -134,7 +145,9 @@ impl<'a> Lexer<'a> {
                 }
             }
         }
-        const ONE: &[&str] = &["+", "-", "*", "/", "%", "<", ">", "!", "?", ":", "(", ")", ","];
+        const ONE: &[&str] = &[
+            "+", "-", "*", "/", "%", "<", ">", "!", "?", ":", "(", ")", ",",
+        ];
         for &op in ONE {
             if c == op.as_bytes()[0] {
                 self.pos += 1;
@@ -178,7 +191,10 @@ impl<'a> Parser<'a> {
 
     fn expect_op(&mut self, op: &str) -> Result<(), ExprError> {
         if !self.eat_op(op)? {
-            return err(format!("expected `{op}`, found {:?}", self.cur), self.cur_pos);
+            return err(
+                format!("expected `{op}`, found {:?}", self.cur),
+                self.cur_pos,
+            );
         }
         Ok(())
     }
@@ -311,10 +327,13 @@ impl<'a> Parser<'a> {
 
 fn match_op(op: &str) -> &'static str {
     const ALL: &[&str] = &[
-        "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "!", "?", ":",
-        "(", ")", ",",
+        "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "!", "?", ":", "(",
+        ")", ",",
     ];
-    ALL.iter().find(|&&o| o == op).copied().expect("unknown operator literal")
+    ALL.iter()
+        .find(|&&o| o == op)
+        .copied()
+        .expect("unknown operator literal")
 }
 
 /// Parse a complete expression; trailing input is an error.
@@ -386,7 +405,9 @@ impl Env for Layered<'_> {
         self.locals.var(name).or_else(|| self.globals.var(name))
     }
     fn call(&self, name: &str, args: &[i64]) -> Option<i64> {
-        self.locals.call(name, args).or_else(|| self.globals.call(name, args))
+        self.locals
+            .call(name, args)
+            .or_else(|| self.globals.call(name, args))
     }
 }
 
@@ -394,14 +415,17 @@ impl Env for Layered<'_> {
 pub fn eval(e: &Expr, env: &dyn Env) -> Result<i64, ExprError> {
     match e {
         Expr::Int(v) => Ok(*v),
-        Expr::Var(name) => {
-            env.var(name).ok_or_else(|| ExprError { msg: format!("unbound variable `{name}`"), pos: 0 })
-        }
+        Expr::Var(name) => env.var(name).ok_or_else(|| ExprError {
+            msg: format!("unbound variable `{name}`"),
+            pos: 0,
+        }),
         Expr::Call(name, args) => {
             let vals: Result<Vec<i64>, _> = args.iter().map(|a| eval(a, env)).collect();
             let vals = vals?;
-            env.call(name, &vals)
-                .ok_or_else(|| ExprError { msg: format!("unknown function `{name}`"), pos: 0 })
+            env.call(name, &vals).ok_or_else(|| ExprError {
+                msg: format!("unknown function `{name}`"),
+                pos: 0,
+            })
         }
         Expr::Unary(op, a) => {
             let v = eval(a, env)?;
@@ -414,10 +438,18 @@ pub fn eval(e: &Expr, env: &dyn Env) -> Result<i64, ExprError> {
             // Short-circuit logical operators.
             match op {
                 BinOp::And => {
-                    return Ok(if eval(a, env)? != 0 && eval(b, env)? != 0 { 1 } else { 0 })
+                    return Ok(if eval(a, env)? != 0 && eval(b, env)? != 0 {
+                        1
+                    } else {
+                        0
+                    })
                 }
                 BinOp::Or => {
-                    return Ok(if eval(a, env)? != 0 || eval(b, env)? != 0 { 1 } else { 0 })
+                    return Ok(if eval(a, env)? != 0 || eval(b, env)? != 0 {
+                        1
+                    } else {
+                        0
+                    })
                 }
                 _ => {}
             }
@@ -676,7 +708,11 @@ mod tests {
         ] {
             let e = parse(src).unwrap();
             let printed = format!("{e}");
-            assert_eq!(parse(&printed).unwrap(), e, "roundtrip of `{src}` via `{printed}`");
+            assert_eq!(
+                parse(&printed).unwrap(),
+                e,
+                "roundtrip of `{src}` via `{printed}`"
+            );
         }
     }
 
@@ -705,7 +741,11 @@ mod tests {
         ] {
             let parsed = parse(src).unwrap();
             let folded = fold(&parsed);
-            assert_eq!(eval(&parsed, &e).unwrap(), eval(&folded, &e).unwrap(), "{src}");
+            assert_eq!(
+                eval(&parsed, &e).unwrap(),
+                eval(&folded, &e).unwrap(),
+                "{src}"
+            );
         }
     }
 
@@ -715,7 +755,10 @@ mod tests {
         g.set("x", 1).set("y", 10);
         let mut l = MapEnv::new();
         l.set("x", 2);
-        let env = Layered { locals: &l, globals: &g };
+        let env = Layered {
+            locals: &l,
+            globals: &g,
+        };
         assert_eq!(eval_str("x + y", &env).unwrap(), 12);
     }
 }

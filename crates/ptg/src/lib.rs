@@ -191,7 +191,9 @@ pub struct TaskGraph {
 impl std::fmt::Debug for TaskGraph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.classes.iter().map(|c| c.name()).collect();
-        f.debug_struct("TaskGraph").field("classes", &names).finish()
+        f.debug_struct("TaskGraph")
+            .field("classes", &names)
+            .finish()
     }
 }
 
@@ -225,7 +227,10 @@ impl TaskGraph {
 
     /// Look up a class id by name.
     pub fn class_id(&self, name: &str) -> Option<ClassId> {
-        self.classes.iter().position(|c| c.name() == name).map(|i| i as ClassId)
+        self.classes
+            .iter()
+            .position(|c| c.name() == name)
+            .map(|i| i as ClassId)
     }
 
     /// All root tasks of all classes.

@@ -16,7 +16,11 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 pub enum AuditError {
     /// A task's declared `num_inputs` does not match the number of deps
     /// that actually target it.
-    InDegreeMismatch { task: String, declared: usize, actual: usize },
+    InDegreeMismatch {
+        task: String,
+        declared: usize,
+        actual: usize,
+    },
     /// The graph contains a cycle involving the named task.
     Cycle { task: String },
     /// More than `limit` tasks were discovered.
@@ -28,8 +32,15 @@ pub enum AuditError {
 impl std::fmt::Display for AuditError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AuditError::InDegreeMismatch { task, declared, actual } => {
-                write!(f, "{task}: declares {declared} inputs but receives {actual}")
+            AuditError::InDegreeMismatch {
+                task,
+                declared,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "{task}: declares {declared} inputs but receives {actual}"
+                )
             }
             AuditError::Cycle { task } => write!(f, "cycle through {task}"),
             AuditError::LimitExceeded { limit } => write!(f, "more than {limit} tasks"),
@@ -94,11 +105,17 @@ pub fn audit(graph: &TaskGraph, limit: usize) -> Result<GraphAudit, AuditError> 
         for d in &deps_buf {
             let src_flows = graph.class_of(t).num_flows() as u32;
             if d.src_flow >= src_flows {
-                return Err(AuditError::BadFlow { task: graph.display(t), flow: d.src_flow });
+                return Err(AuditError::BadFlow {
+                    task: graph.display(t),
+                    flow: d.src_flow,
+                });
             }
             let dst_flows = graph.class_of(d.dst).num_flows() as u32;
             if d.dst_flow >= dst_flows {
-                return Err(AuditError::BadFlow { task: graph.display(d.dst), flow: d.dst_flow });
+                return Err(AuditError::BadFlow {
+                    task: graph.display(d.dst),
+                    flow: d.dst_flow,
+                });
             }
             edges.push((t, d.dst));
             *indeg.entry(d.dst).or_insert(0) += 1;
@@ -128,8 +145,7 @@ pub fn audit(graph: &TaskGraph, limit: usize) -> Result<GraphAudit, AuditError> 
     for &(a, b) in &edges {
         adj.entry(a).or_default().push(b);
     }
-    let mut ready: VecDeque<TaskKey> =
-        seen.keys().filter(|t| remaining[t] == 0).copied().collect();
+    let mut ready: VecDeque<TaskKey> = seen.keys().filter(|t| remaining[t] == 0).copied().collect();
     for &t in &ready {
         level.insert(t, 0);
     }
@@ -150,8 +166,14 @@ pub fn audit(graph: &TaskGraph, limit: usize) -> Result<GraphAudit, AuditError> 
         }
     }
     if processed != seen.len() {
-        let stuck = remaining.iter().find(|(_, &r)| r > 0).map(|(t, _)| *t).unwrap();
-        return Err(AuditError::Cycle { task: graph.display(stuck) });
+        let stuck = remaining
+            .iter()
+            .find(|(_, &r)| r > 0)
+            .map(|(t, _)| *t)
+            .unwrap();
+        return Err(AuditError::Cycle {
+            task: graph.display(stuck),
+        });
     }
 
     let depth = level.values().copied().max().unwrap_or(0);
@@ -174,7 +196,10 @@ pub fn audit(graph: &TaskGraph, limit: usize) -> Result<GraphAudit, AuditError> 
         total_tasks: seen.len(),
         total_deps: edges.len(),
         roots: seen.keys().filter(|t| indeg[t] == 0).count(),
-        sinks: seen.keys().filter(|t| outdeg.get(t).copied().unwrap_or(0) == 0).count(),
+        sinks: seen
+            .keys()
+            .filter(|t| outdeg.get(t).copied().unwrap_or(0) == 0)
+            .count(),
         depth,
         max_level_width: width.values().copied().max().unwrap_or(0),
         class_levels,
@@ -192,8 +217,8 @@ pub fn to_dot(graph: &TaskGraph, limit: usize) -> Result<String, AuditError> {
     let mut edges: Vec<(TaskKey, TaskKey)> = Vec::new();
     let mut queue: VecDeque<TaskKey> = VecDeque::new();
     for r in graph.roots() {
-        if !set.contains_key(&r) {
-            set.insert(r, seen.len());
+        if let std::collections::hash_map::Entry::Vacant(e) = set.entry(r) {
+            e.insert(seen.len());
             seen.push(r);
             queue.push_back(r);
         }
@@ -207,20 +232,29 @@ pub fn to_dot(graph: &TaskGraph, limit: usize) -> Result<String, AuditError> {
         graph.class_of(t).successors(t, ctx, &mut deps);
         for d in &deps {
             edges.push((t, d.dst));
-            if !set.contains_key(&d.dst) {
-                set.insert(d.dst, seen.len());
+            if let std::collections::hash_map::Entry::Vacant(e) = set.entry(d.dst) {
+                e.insert(seen.len());
                 seen.push(d.dst);
                 queue.push_back(d.dst);
             }
         }
     }
     const PALETTE: &[&str] = &[
-        "lightblue", "salmon", "palegreen", "gold", "plum", "lightgrey", "orange", "cyan",
+        "lightblue",
+        "salmon",
+        "palegreen",
+        "gold",
+        "plum",
+        "lightgrey",
+        "orange",
+        "cyan",
     ];
-    let mut out = String::from("digraph ptg {
+    let mut out = String::from(
+        "digraph ptg {
   rankdir=LR;
   node [style=filled];
-");
+",
+    );
     for &t in &seen {
         let _ = writeln!(
             out,
@@ -233,8 +267,10 @@ pub fn to_dot(graph: &TaskGraph, limit: usize) -> Result<String, AuditError> {
     for (a, b) in &edges {
         let _ = writeln!(out, "  n{} -> n{};", set[a], set[b]);
     }
-    out.push_str("}
-");
+    out.push_str(
+        "}
+",
+    );
     Ok(out)
 }
 
@@ -288,7 +324,10 @@ mod tests {
     }
 
     fn graph(n: i64, lie: bool) -> TaskGraph {
-        TaskGraph::new(vec![Arc::new(Chain { n, lie })], Arc::new(PlainCtx { nodes: 1 }))
+        TaskGraph::new(
+            vec![Arc::new(Chain { n, lie })],
+            Arc::new(PlainCtx { nodes: 1 }),
+        )
     }
 
     #[test]
@@ -335,7 +374,11 @@ mod tests {
         }
         fn successors(&self, key: TaskKey, _ctx: &dyn GraphCtx, out: &mut Vec<Dep>) {
             let next = 1 - key.params[0];
-            out.push(Dep { src_flow: 0, dst: TaskKey::new(0, &[next]), dst_flow: 0 });
+            out.push(Dep {
+                src_flow: 0,
+                dst: TaskKey::new(0, &[next]),
+                dst_flow: 0,
+            });
         }
         fn execute(
             &self,

@@ -32,8 +32,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), any::<bool>()).prop_map(|(a, neg)| {
                 Expr::Unary(if neg { UnOp::Neg } else { UnOp::Not }, Box::new(a))
             }),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| Expr::Ternary(Box::new(c), Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, a, b)| Expr::Ternary(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
             (inner.clone(), inner).prop_map(|(a, b)| Expr::Call("f".into(), vec![a, b])),
         ]
     })
@@ -42,7 +45,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 fn env() -> MapEnv {
     let mut e = MapEnv::new();
     e.set("x", 7).set("y", -3).set("L1", 11);
-    e.func("f", std::sync::Arc::new(|a: &[i64]| a[0].wrapping_add(a[1])));
+    e.func(
+        "f",
+        std::sync::Arc::new(|a: &[i64]| a[0].wrapping_add(a[1])),
+    );
     e
 }
 

@@ -1,0 +1,260 @@
+//! The original coarse-locked native engine, kept as a baseline.
+//!
+//! One mutex guards queue + tracker + data store; workers sleep on a
+//! single condvar. This was [`crate::native::NativeRuntime`] before the
+//! dispatch path was sharded — it is retained (a) as the measurement
+//! baseline for the dispatch-throughput benchmark, reproducing the
+//! paper's "count the mutex operations" methodology for v3 vs v5, and
+//! (b) as an intelligible reference implementation of the dispatch
+//! semantics the work-stealing engine must preserve.
+
+use crate::native::{build_report, NativeReport};
+use crate::sched::{ReadyQueue, SchedPolicy};
+use crate::tracker::Tracker;
+use parking_lot::{Condvar, Mutex};
+use ptg::{Payload, TaskGraph, TaskKey};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Configuration for the coarse-locked baseline engine.
+#[derive(Debug, Clone)]
+pub struct CoarseRuntime {
+    threads: usize,
+    policy: SchedPolicy,
+}
+
+struct Inner {
+    queue: ReadyQueue,
+    tracker: Tracker,
+    store: HashMap<(TaskKey, u32), Payload>,
+    shutdown: bool,
+    executed: u64,
+}
+
+struct Shared<'g> {
+    graph: &'g TaskGraph,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    t0: Instant,
+}
+
+impl CoarseRuntime {
+    /// Engine with `threads >= 1` workers and the default (priority+FIFO)
+    /// policy.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker");
+        Self {
+            threads,
+            policy: SchedPolicy::PriorityFifo,
+        }
+    }
+
+    /// Override the scheduling policy.
+    pub fn policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Execute `graph` to quiescence. Panics if the graph deadlocks
+    /// (declared inputs that no task delivers).
+    pub fn run(&self, graph: &TaskGraph) -> NativeReport {
+        let mut inner = Inner {
+            queue: ReadyQueue::new(self.policy),
+            tracker: Tracker::new(),
+            store: HashMap::new(),
+            shutdown: false,
+            executed: 0,
+        };
+        let ctx = graph.ctx();
+        let roots = graph.roots();
+        for r in &roots {
+            inner.tracker.add_root(*r);
+            let prio = graph.class_of(*r).priority(*r, ctx);
+            inner.queue.push(*r, prio);
+        }
+        if roots.is_empty() {
+            inner.shutdown = true;
+        }
+        let shared = Shared {
+            graph,
+            inner: Mutex::new(inner),
+            cv: Condvar::new(),
+            t0: Instant::now(),
+        };
+
+        let span_sets: Vec<Vec<(u32, u64, u64)>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..self.threads {
+                handles.push(scope.spawn(|| worker(&shared)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+        let wall = shared.t0.elapsed();
+        let inner = shared.inner.into_inner();
+        assert!(
+            inner.tracker.is_quiescent(),
+            "deadlock: {} task(s) still waiting for inputs",
+            inner.tracker.starved()
+        );
+        build_report(graph, &span_sets, inner.executed, wall)
+    }
+}
+
+/// One worker: pop, execute, release successors; record spans.
+fn worker(shared: &Shared<'_>) -> Vec<(u32, u64, u64)> {
+    let graph = shared.graph;
+    let ctx = graph.ctx();
+    let mut spans = Vec::new();
+    let mut deps = Vec::new();
+    let mut last_chain: Option<i64> = None;
+    loop {
+        // Acquire a task (or exit at shutdown).
+        let key = {
+            let mut g = shared.inner.lock();
+            loop {
+                if let Some(k) = g.queue.pop_hint(last_chain) {
+                    break k;
+                }
+                if g.shutdown {
+                    return spans;
+                }
+                shared.cv.wait(&mut g);
+            }
+        };
+        last_chain = Some(key.params[0]);
+        let class = graph.class_of(key);
+
+        // Gather inputs.
+        let nflows = class.num_flows();
+        let mut inputs: Vec<Option<Payload>> = {
+            let mut g = shared.inner.lock();
+            (0..nflows as u32)
+                .map(|f| g.store.remove(&(key, f)))
+                .collect()
+        };
+
+        // Execute the body (unlocked: this is the expensive part).
+        let b = shared.t0.elapsed().as_nanos() as u64;
+        let outputs = class.execute(key, ctx, &mut inputs);
+        let e = shared.t0.elapsed().as_nanos() as u64;
+        assert_eq!(
+            outputs.len(),
+            nflows,
+            "{}: body returned wrong flow count",
+            graph.display(key)
+        );
+        spans.push((key.class, b, e));
+
+        // Release successors.
+        deps.clear();
+        class.successors(key, ctx, &mut deps);
+        let mut g = shared.inner.lock();
+        for d in &deps {
+            if let Some(p) = &outputs[d.src_flow as usize] {
+                g.store.insert((d.dst, d.dst_flow), p.clone());
+            }
+            if let Some(ready) = g.tracker.deliver(graph, d.dst) {
+                let prio = graph.class_of(ready).priority(ready, ctx);
+                g.queue.push(ready, prio);
+                shared.cv.notify_one();
+            }
+        }
+        g.executed += 1;
+        g.tracker.complete(key);
+        if g.tracker.is_quiescent() {
+            g.shutdown = true;
+            shared.cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptg::{Dep, GraphCtx, PlainCtx};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// SUM(i): i in 0..n leaves produce i; the sink fans them all in.
+    struct Reduce {
+        n: i64,
+        total: Arc<AtomicU64>,
+    }
+    impl ptg::TaskClass for Reduce {
+        fn name(&self) -> &str {
+            "REDUCE"
+        }
+        fn num_flows(&self) -> usize {
+            1
+        }
+        fn roots(&self, _ctx: &dyn GraphCtx, out: &mut Vec<TaskKey>) {
+            for i in 0..self.n {
+                out.push(TaskKey::new(0, &[0, i]));
+            }
+        }
+        fn num_inputs(&self, key: TaskKey, _ctx: &dyn GraphCtx) -> usize {
+            if key.params[0] == 0 {
+                0
+            } else {
+                self.n as usize
+            }
+        }
+        fn successors(&self, key: TaskKey, _ctx: &dyn GraphCtx, out: &mut Vec<Dep>) {
+            if key.params[0] == 0 {
+                out.push(Dep {
+                    src_flow: 0,
+                    dst: TaskKey::new(0, &[1, 0]),
+                    dst_flow: 0,
+                });
+            }
+        }
+        fn execute(
+            &self,
+            key: TaskKey,
+            _ctx: &dyn GraphCtx,
+            _inputs: &mut [Option<Payload>],
+        ) -> Vec<Option<Payload>> {
+            if key.params[0] == 0 {
+                self.total
+                    .fetch_add(key.params[1] as u64, Ordering::Relaxed);
+                vec![Some(Arc::new(vec![key.params[1] as f64]))]
+            } else {
+                vec![None]
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_executes_fan_in_graph() {
+        let total = Arc::new(AtomicU64::new(0));
+        let g = TaskGraph::new(
+            vec![Arc::new(Reduce {
+                n: 10,
+                total: total.clone(),
+            })],
+            Arc::new(PlainCtx { nodes: 1 }),
+        );
+        let rep = CoarseRuntime::new(4).run(&g);
+        assert_eq!(rep.tasks, 11);
+        assert_eq!(total.load(Ordering::Relaxed), 45);
+        assert!(rep.trace.find_overlap().is_none());
+    }
+
+    #[test]
+    fn coarse_single_thread_works() {
+        let total = Arc::new(AtomicU64::new(0));
+        let g = TaskGraph::new(
+            vec![Arc::new(Reduce {
+                n: 3,
+                total: total.clone(),
+            })],
+            Arc::new(PlainCtx { nodes: 1 }),
+        );
+        let rep = CoarseRuntime::new(1).policy(SchedPolicy::Fifo).run(&g);
+        assert_eq!(rep.tasks, 4);
+    }
+}

@@ -1,23 +1,35 @@
 //! Native threaded engine: real execution of a PTG on one shared-memory
 //! node.
 //!
-//! Worker threads pull from a shared priority queue ([`ReadyQueue`]),
-//! execute real task bodies, and release successors through the symbolic
-//! [`Tracker`]. In PaRSEC "tasks do not migrate between threads after they
-//! have started executing" — same here: a task runs to completion on the
-//! worker that popped it. Placement is ignored (one node); the simulated
-//! engine is the multi-node story.
+//! The dispatch path is sharded and work-stealing, in the image of
+//! PaRSEC's shared-memory scheduler. Each worker owns a ready deque
+//! (crossbeam `Worker`/`Stealer`); tasks released by a completion go to
+//! the releasing worker's own deque (data is hot in its cache), idle
+//! workers steal — batched from the shared root [`Injector`], singly and
+//! in randomized victim order from peers. As in PaRSEC, "tasks do not
+//! migrate between threads after they have started executing": stealing
+//! moves only *ready* tasks, never running ones. Dependency counting and
+//! the `(task, flow) -> payload` store live in sharded tables
+//! ([`crate::shard`]), so two completions touching different tasks touch
+//! different locks; quiescence is one atomic counter. Idle workers park
+//! through an eventcount ([`crate::shard::IdleGate`]): a push is an
+//! epoch bump plus a wakeup only when somebody actually sleeps, instead
+//! of a condvar broadcast under a global mutex.
 //!
-//! The dispatch path is intentionally coarse-locked (one mutex guards
-//! queue + tracker + data store): tile-sized CCSD tasks are milliseconds
-//! of dgemm, so dispatch cost is noise. The paper's scalability argument
-//! is about inter-node behavior, which the DES engine models.
+//! The price of sharding is that a [`SchedPolicy`]'s ordering becomes a
+//! *local* discipline (each worker orders its own deque; steals are
+//! oldest-first) rather than a total order over all ready tasks — the
+//! same approximation PaRSEC's default scheduler makes, and invisible to
+//! numerics because task graphs order all value-carrying dependencies
+//! explicitly. The previous globally-ordered, coarse-locked engine
+//! survives as [`crate::coarse::CoarseRuntime`] for benchmarking and as
+//! a semantic reference.
 
-use crate::sched::{ReadyQueue, SchedPolicy};
-use crate::tracker::Tracker;
-use parking_lot::{Condvar, Mutex};
+use crate::sched::SchedPolicy;
+use crate::shard::{IdleGate, ShardMap, ShardedTracker};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use ptg::{Activity, Payload, TaskGraph, TaskKey};
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 use xtrace::{ActivityKind, Trace, WorkerId};
 
@@ -32,6 +44,35 @@ pub struct NativeReport {
     pub wall: std::time::Duration,
 }
 
+/// Assemble a [`NativeReport`] from per-worker span sets. Shared with the
+/// coarse baseline engine so both report identically.
+pub(crate) fn build_report(
+    graph: &TaskGraph,
+    span_sets: &[Vec<(u32, u64, u64)>],
+    tasks: u64,
+    wall: std::time::Duration,
+) -> NativeReport {
+    let mut trace = Trace::new();
+    let class_ids: Vec<u16> = graph
+        .classes()
+        .iter()
+        .map(|c| {
+            let kind = match c.activity() {
+                Activity::Compute => ActivityKind::Compute,
+                Activity::Communication => ActivityKind::Communication,
+                Activity::Runtime => ActivityKind::Runtime,
+            };
+            trace.class(c.name(), kind)
+        })
+        .collect();
+    for (w, spans) in span_sets.iter().enumerate() {
+        for &(class, b, e) in spans {
+            trace.push(WorkerId::new(0, w as u32), class_ids[class as usize], b, e);
+        }
+    }
+    NativeReport { trace, tasks, wall }
+}
+
 /// Configuration for the native engine.
 #[derive(Debug, Clone)]
 pub struct NativeRuntime {
@@ -39,18 +80,18 @@ pub struct NativeRuntime {
     policy: SchedPolicy,
 }
 
-struct Inner {
-    queue: ReadyQueue,
-    tracker: Tracker,
-    store: HashMap<(TaskKey, u32), Payload>,
-    shutdown: bool,
-    executed: u64,
-}
-
 struct Shared<'g> {
     graph: &'g TaskGraph,
-    inner: Mutex<Inner>,
-    cv: Condvar,
+    policy: SchedPolicy,
+    threads: usize,
+    tracker: ShardedTracker,
+    store: ShardMap<(TaskKey, u32), Payload>,
+    injector: Injector<TaskKey>,
+    stealers: Vec<Stealer<TaskKey>>,
+    gate: IdleGate,
+    shutdown: AtomicBool,
+    idle: AtomicU64,
+    executed: AtomicU64,
     t0: Instant,
 }
 
@@ -59,7 +100,10 @@ impl NativeRuntime {
     /// policy.
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "need at least one worker");
-        Self { threads, policy: SchedPolicy::PriorityFifo }
+        Self {
+            threads,
+            policy: SchedPolicy::PriorityFifo,
+        }
     }
 
     /// Override the scheduling policy.
@@ -68,125 +112,295 @@ impl NativeRuntime {
         self
     }
 
+    /// Owner-pop discipline for a worker's deque under `policy`.
+    fn new_deque(policy: SchedPolicy) -> Worker<TaskKey> {
+        match policy {
+            SchedPolicy::PriorityFifo | SchedPolicy::Fifo => Worker::new_fifo(),
+            SchedPolicy::PriorityLifo | SchedPolicy::Lifo | SchedPolicy::ChainAffinity => {
+                Worker::new_lifo()
+            }
+        }
+    }
+
     /// Execute `graph` to quiescence. Panics if the graph deadlocks
     /// (declared inputs that no task delivers).
     pub fn run(&self, graph: &TaskGraph) -> NativeReport {
-        let mut inner = Inner {
-            queue: ReadyQueue::new(self.policy),
-            tracker: Tracker::new(),
-            store: HashMap::new(),
-            shutdown: false,
-            executed: 0,
-        };
         let ctx = graph.ctx();
-        let roots = graph.roots();
-        for r in &roots {
-            inner.tracker.add_root(*r);
-            let prio = graph.class_of(*r).priority(*r, ctx);
-            inner.queue.push(*r, prio);
+        let mut roots: Vec<(TaskKey, i64)> = graph
+            .roots()
+            .iter()
+            .map(|&r| (r, graph.class_of(r).priority(r, ctx)))
+            .collect();
+        // The injector is stolen oldest-first: order the roots so steals
+        // respect the policy (stable sort keeps readiness order on ties).
+        match self.policy {
+            SchedPolicy::PriorityFifo | SchedPolicy::PriorityLifo | SchedPolicy::ChainAffinity => {
+                roots.sort_by_key(|&(_, p)| std::cmp::Reverse(p));
+            }
+            SchedPolicy::Fifo => {}
+            SchedPolicy::Lifo => roots.reverse(),
         }
-        if roots.is_empty() {
-            inner.shutdown = true;
+
+        let shards = (self.threads * 4).clamp(8, 64);
+        let tracker = ShardedTracker::new(shards);
+        let injector = Injector::new();
+        for &(r, _) in &roots {
+            tracker.add_root(r);
+            injector.push(r);
         }
-        let shared = Shared { graph, inner: Mutex::new(inner), cv: Condvar::new(), t0: Instant::now() };
+        let locals: Vec<Worker<TaskKey>> = (0..self.threads)
+            .map(|_| Self::new_deque(self.policy))
+            .collect();
+        let stealers: Vec<Stealer<TaskKey>> = locals.iter().map(|w| w.stealer()).collect();
+        let shared = Shared {
+            graph,
+            policy: self.policy,
+            threads: self.threads,
+            tracker,
+            store: ShardMap::new(shards),
+            injector,
+            stealers,
+            gate: IdleGate::new(),
+            shutdown: AtomicBool::new(roots.is_empty()),
+            idle: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            t0: Instant::now(),
+        };
 
         let span_sets: Vec<Vec<(u32, u64, u64)>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for _ in 0..self.threads {
-                handles.push(scope.spawn(|| worker(&shared)));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            let handles: Vec<_> = locals
+                .into_iter()
+                .enumerate()
+                .map(|(i, local)| {
+                    let shared = &shared;
+                    scope.spawn(move || worker(shared, local, i))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
 
         let wall = shared.t0.elapsed();
-        let inner = shared.inner.into_inner();
         assert!(
-            inner.tracker.is_quiescent(),
+            shared.tracker.is_quiescent(),
             "deadlock: {} task(s) still waiting for inputs",
-            inner.tracker.starved()
+            shared.tracker.starved()
         );
-
-        // Build the trace.
-        let mut trace = Trace::new();
-        let class_ids: Vec<u16> = graph
-            .classes()
-            .iter()
-            .map(|c| {
-                let kind = match c.activity() {
-                    Activity::Compute => ActivityKind::Compute,
-                    Activity::Communication => ActivityKind::Communication,
-                    Activity::Runtime => ActivityKind::Runtime,
-                };
-                trace.class(c.name(), kind)
-            })
-            .collect();
-        for (w, spans) in span_sets.iter().enumerate() {
-            for &(class, b, e) in spans {
-                trace.push(WorkerId::new(0, w as u32), class_ids[class as usize], b, e);
-            }
-        }
-        NativeReport { trace, tasks: inner.executed, wall }
+        build_report(
+            graph,
+            &span_sets,
+            shared.executed.load(Ordering::SeqCst),
+            wall,
+        )
     }
 }
 
-/// One worker: pop, execute, release successors; record spans.
-fn worker(shared: &Shared<'_>) -> Vec<(u32, u64, u64)> {
-    let graph = shared.graph;
-    let ctx = graph.ctx();
+/// xorshift64*: cheap per-worker victim randomization.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Look for a ready task: own deque, then a batch from the injector, then
+/// randomized single steals from peers (absorbing `Retry` for one extra
+/// round).
+fn find_task(
+    shared: &Shared<'_>,
+    local: &Worker<TaskKey>,
+    index: usize,
+    rng: &mut u64,
+) -> Option<TaskKey> {
+    if let Some(k) = local.pop() {
+        return Some(k);
+    }
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            Steal::Success(k) => {
+                // We grabbed a batch; if roots remain, let someone else in.
+                if !shared.injector.is_empty() {
+                    shared.gate.notify_one();
+                }
+                return Some(k);
+            }
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    let n = shared.stealers.len();
+    if n > 1 {
+        for _round in 0..2 {
+            let mut saw_retry = false;
+            let start = (next_rand(rng) % n as u64) as usize;
+            for off in 0..n {
+                let victim = (start + off) % n;
+                if victim == index {
+                    continue;
+                }
+                match shared.stealers[victim].steal() {
+                    Steal::Success(k) => return Some(k),
+                    Steal::Retry => saw_retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !saw_retry {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// All ready queues observed empty (meaningful only while every worker is
+/// idle — then no push can be in flight and the scan is conclusive).
+fn queues_empty(shared: &Shared<'_>) -> bool {
+    shared.injector.is_empty() && shared.stealers.iter().all(|s| s.is_empty())
+}
+
+/// One worker: find a task (own deque / injector / steal), execute it,
+/// release successors into the own deque; park through the idle gate when
+/// no work is visible. Records spans.
+fn worker(shared: &Shared<'_>, local: Worker<TaskKey>, index: usize) -> Vec<(u32, u64, u64)> {
     let mut spans = Vec::new();
     let mut deps = Vec::new();
+    let mut ready: Vec<(TaskKey, i64)> = Vec::new();
     let mut last_chain: Option<i64> = None;
+    let mut rng: u64 = 0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(index as u64 + 1) | 1;
+
     loop {
-        // Acquire a task (or exit at shutdown).
-        let key = {
-            let mut g = shared.inner.lock();
-            loop {
-                if let Some(k) = g.queue.pop_hint(last_chain) {
-                    break k;
-                }
-                if g.shutdown {
-                    return spans;
-                }
-                shared.cv.wait(&mut g);
-            }
-        };
-        last_chain = Some(key.params[0]);
-        let class = graph.class_of(key);
-
-        // Gather inputs.
-        let nflows = class.num_flows();
-        let mut inputs: Vec<Option<Payload>> = {
-            let mut g = shared.inner.lock();
-            (0..nflows as u32).map(|f| g.store.remove(&(key, f))).collect()
-        };
-
-        // Execute the body (unlocked: this is the expensive part).
-        let b = shared.t0.elapsed().as_nanos() as u64;
-        let outputs = class.execute(key, ctx, &mut inputs);
-        let e = shared.t0.elapsed().as_nanos() as u64;
-        assert_eq!(outputs.len(), nflows, "{}: body returned wrong flow count", graph.display(key));
-        spans.push((key.class, b, e));
-
-        // Release successors.
-        deps.clear();
-        class.successors(key, ctx, &mut deps);
-        let mut g = shared.inner.lock();
-        for d in &deps {
-            if let Some(p) = &outputs[d.src_flow as usize] {
-                g.store.insert((d.dst, d.dst_flow), p.clone());
-            }
-            if let Some(ready) = g.tracker.deliver(graph, d.dst) {
-                let prio = graph.class_of(ready).priority(ready, ctx);
-                g.queue.push(ready, prio);
-                shared.cv.notify_one();
-            }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return spans;
         }
-        g.executed += 1;
-        g.tracker.complete(key);
-        if g.tracker.is_quiescent() {
-            g.shutdown = true;
-            shared.cv.notify_all();
+        if let Some(key) = find_task(shared, &local, index, &mut rng) {
+            run_task(
+                shared,
+                &local,
+                key,
+                &mut spans,
+                &mut deps,
+                &mut ready,
+                &mut last_chain,
+            );
+            continue;
         }
+
+        // Two-phase park: snapshot the epoch, re-check every source, and
+        // only then sleep — a push between snapshot and wait() advances
+        // the epoch and wait() returns immediately (no lost wakeup).
+        let ticket = shared.gate.prepare();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return spans;
+        }
+        if let Some(key) = find_task(shared, &local, index, &mut rng) {
+            run_task(
+                shared,
+                &local,
+                key,
+                &mut spans,
+                &mut deps,
+                &mut ready,
+                &mut last_chain,
+            );
+            continue;
+        }
+        let idle_now = shared.idle.fetch_add(1, Ordering::SeqCst) + 1;
+        if idle_now as usize == shared.threads
+            && !shared.tracker.is_quiescent()
+            && queues_empty(shared)
+        {
+            // Every worker is idle, so no push is in flight: empty queues
+            // mean the remaining live tasks can never receive inputs.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.gate.notify_all();
+            shared.idle.fetch_sub(1, Ordering::SeqCst);
+            return spans;
+        }
+        shared.gate.wait(ticket);
+        shared.idle.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Execute one task and release its successors.
+#[allow(clippy::too_many_arguments)]
+fn run_task(
+    shared: &Shared<'_>,
+    local: &Worker<TaskKey>,
+    key: TaskKey,
+    spans: &mut Vec<(u32, u64, u64)>,
+    deps: &mut Vec<ptg::Dep>,
+    ready: &mut Vec<(TaskKey, i64)>,
+    last_chain: &mut Option<i64>,
+) {
+    let graph = shared.graph;
+    let ctx = graph.ctx();
+    let class = graph.class_of(key);
+    *last_chain = Some(key.params[0]);
+
+    // Gather inputs (each flow hits only its own store shard).
+    let nflows = class.num_flows();
+    let mut inputs: Vec<Option<Payload>> = (0..nflows as u32)
+        .map(|f| shared.store.remove(&(key, f)))
+        .collect();
+
+    // Execute the body (no lock anywhere near this).
+    let b = shared.t0.elapsed().as_nanos() as u64;
+    let outputs = class.execute(key, ctx, &mut inputs);
+    let e = shared.t0.elapsed().as_nanos() as u64;
+    assert_eq!(
+        outputs.len(),
+        nflows,
+        "{}: body returned wrong flow count",
+        graph.display(key)
+    );
+    spans.push((key.class, b, e));
+
+    // Release successors. Payload insert precedes the deliver that could
+    // publish readiness, so a thief that later pops the successor finds
+    // its inputs (visibility chains through the shard locks).
+    deps.clear();
+    ready.clear();
+    class.successors(key, ctx, deps);
+    for d in deps.iter() {
+        if let Some(p) = &outputs[d.src_flow as usize] {
+            shared.store.insert((d.dst, d.dst_flow), p.clone());
+        }
+        if let Some(now_ready) = shared.tracker.deliver(graph, d.dst) {
+            let prio = graph.class_of(now_ready).priority(now_ready, ctx);
+            ready.push((now_ready, prio));
+        }
+    }
+
+    // Order the batch for the local deque's pop end, then publish. The
+    // policy is approximate across workers (steals are oldest-first) but
+    // exact within the batch.
+    match shared.policy {
+        // FIFO deque pops oldest-first: push best first.
+        SchedPolicy::PriorityFifo => ready.sort_by_key(|&(_, p)| std::cmp::Reverse(p)),
+        // LIFO deque pops newest-first: push best last.
+        SchedPolicy::PriorityLifo => ready.sort_by_key(|&(_, p)| p),
+        SchedPolicy::Fifo | SchedPolicy::Lifo => {}
+        // Same-chain tasks (hot C tile) last, highest priority among them
+        // very last, so the owner pops them first.
+        SchedPolicy::ChainAffinity => {
+            let chain = *last_chain;
+            ready.sort_by_key(|&(k, p)| (chain == Some(k.params[0]), p));
+        }
+    }
+    for &(k, _) in ready.iter() {
+        local.push(k);
+        shared.gate.notify_one();
+    }
+
+    shared.executed.fetch_add(1, Ordering::SeqCst);
+    if shared.tracker.complete(key) {
+        // This completion reached quiescence; exactly one worker sees it.
+        shared.shutdown.store(true, Ordering::SeqCst);
+        shared.gate.notify_all();
     }
 }
 
@@ -240,7 +454,8 @@ mod tests {
             _inputs: &mut [Option<Payload>],
         ) -> Vec<Option<Payload>> {
             if key.params[0] == 0 {
-                self.total.fetch_add(key.params[1] as u64, Ordering::Relaxed);
+                self.total
+                    .fetch_add(key.params[1] as u64, Ordering::Relaxed);
                 vec![Some(Arc::new(vec![key.params[1] as f64]))]
             } else {
                 vec![None]
@@ -252,7 +467,10 @@ mod tests {
     fn executes_fan_in_graph() {
         let total = Arc::new(AtomicU64::new(0));
         let g = TaskGraph::new(
-            vec![Arc::new(Reduce { n: 10, total: total.clone() })],
+            vec![Arc::new(Reduce {
+                n: 10,
+                total: total.clone(),
+            })],
             Arc::new(PlainCtx { nodes: 1 }),
         );
         let rep = NativeRuntime::new(4).run(&g);
@@ -265,10 +483,57 @@ mod tests {
     fn single_thread_works() {
         let total = Arc::new(AtomicU64::new(0));
         let g = TaskGraph::new(
-            vec![Arc::new(Reduce { n: 3, total: total.clone() })],
+            vec![Arc::new(Reduce {
+                n: 3,
+                total: total.clone(),
+            })],
             Arc::new(PlainCtx { nodes: 1 }),
         );
         let rep = NativeRuntime::new(1).policy(SchedPolicy::Fifo).run(&g);
         assert_eq!(rep.tasks, 4);
+    }
+
+    #[test]
+    fn all_policies_execute_fan_in() {
+        for policy in [
+            SchedPolicy::PriorityFifo,
+            SchedPolicy::PriorityLifo,
+            SchedPolicy::Fifo,
+            SchedPolicy::Lifo,
+            SchedPolicy::ChainAffinity,
+        ] {
+            let total = Arc::new(AtomicU64::new(0));
+            let g = TaskGraph::new(
+                vec![Arc::new(Reduce {
+                    n: 16,
+                    total: total.clone(),
+                })],
+                Arc::new(PlainCtx { nodes: 1 }),
+            );
+            let rep = NativeRuntime::new(4).policy(policy).run(&g);
+            assert_eq!(rep.tasks, 17, "{policy:?}");
+            assert_eq!(total.load(Ordering::Relaxed), 120, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn matches_coarse_engine_counts() {
+        let run = |coarse: bool| {
+            let total = Arc::new(AtomicU64::new(0));
+            let g = TaskGraph::new(
+                vec![Arc::new(Reduce {
+                    n: 32,
+                    total: total.clone(),
+                })],
+                Arc::new(PlainCtx { nodes: 1 }),
+            );
+            let tasks = if coarse {
+                crate::coarse::CoarseRuntime::new(3).run(&g).tasks
+            } else {
+                NativeRuntime::new(3).run(&g).tasks
+            };
+            (tasks, total.load(Ordering::Relaxed))
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -50,9 +50,12 @@ impl Ord for Entry {
 /// A max-queue of ready tasks under one policy.
 ///
 /// For [`SchedPolicy::ChainAffinity`], the queue additionally maintains
-/// per-chain buckets (keyed by the task's first parameter). Tasks taken
-/// through a bucket are lazily skipped when the heap later surfaces them,
-/// and vice versa.
+/// per-chain buckets (keyed by the task's first parameter). A heap pop
+/// eagerly removes the task's bucket copy and a bucket pop leaves a
+/// tombstone in `taken` for the heap to skip; buckets are pruned from the
+/// map the moment they empty, so a long run over many chains cannot
+/// accumulate dead buckets (`taken` likewise drains to empty once the
+/// heap surfaces the tombstoned keys).
 #[derive(Debug)]
 pub struct ReadyQueue {
     heap: BinaryHeap<Entry>,
@@ -88,7 +91,10 @@ impl ReadyQueue {
         };
         self.heap.push(Entry { sort, key });
         if self.policy == SchedPolicy::ChainAffinity {
-            self.buckets.entry(key.params[0]).or_default().push_back(key);
+            self.buckets
+                .entry(key.params[0])
+                .or_default()
+                .push_back(key);
         }
     }
 
@@ -103,11 +109,14 @@ impl ReadyQueue {
         if self.policy == SchedPolicy::ChainAffinity {
             if let Some(chain) = hint {
                 if let Some(bucket) = self.buckets.get_mut(&chain) {
-                    while let Some(key) = bucket.pop_front() {
-                        if self.taken.remove(&key) {
-                            continue; // already handed out via the heap
-                        }
-                        self.taken.insert(key);
+                    // Heap pops scrub buckets eagerly, so anything still
+                    // here has not been handed out.
+                    let got = bucket.pop_front();
+                    if bucket.is_empty() {
+                        self.buckets.remove(&chain);
+                    }
+                    if let Some(key) = got {
+                        self.taken.insert(key); // tombstone for the heap copy
                         self.len -= 1;
                         return Some(key);
                     }
@@ -118,7 +127,17 @@ impl ReadyQueue {
                 if self.taken.remove(&e.key) {
                     continue;
                 }
-                self.taken.insert(e.key);
+                // Scrub the bucket copy now (and prune the bucket if that
+                // empties it) instead of leaving it to rot in the map.
+                let chain = e.key.params[0];
+                if let Some(bucket) = self.buckets.get_mut(&chain) {
+                    if let Some(pos) = bucket.iter().position(|k| *k == e.key) {
+                        bucket.remove(pos);
+                    }
+                    if bucket.is_empty() {
+                        self.buckets.remove(&chain);
+                    }
+                }
                 self.len -= 1;
                 return Some(e.key);
             }
@@ -208,6 +227,37 @@ mod tests {
         // ...and the bucket path must not hand it out again.
         assert_eq!(q.pop_hint(Some(3)), Some(t(2, 0)));
         assert_eq!(q.pop_hint(Some(2)), None);
+    }
+
+    #[test]
+    fn chain_affinity_releases_bucket_memory() {
+        // Regression: empty chain buckets used to linger in the map
+        // forever (and heap-popped keys lingered in their buckets), so a
+        // long-running queue over many chains grew without bound.
+        let mut q = ReadyQueue::new(SchedPolicy::ChainAffinity);
+        let t = |chain: i64, pos: i64| TaskKey::new(0, &[chain, pos]);
+        for round in 0..50 {
+            for chain in 0..20 {
+                q.push(t(chain, round), chain);
+            }
+            // Drain through both paths: bucket hits for even chains, heap
+            // order for the rest.
+            for chain in (0..20).step_by(2) {
+                assert!(q.pop_hint(Some(chain)).is_some());
+            }
+            while q.pop_hint(None).is_some() {}
+            assert!(q.is_empty());
+            assert!(
+                q.buckets.is_empty(),
+                "round {round}: {} dead bucket(s) retained",
+                q.buckets.len()
+            );
+            assert!(
+                q.taken.is_empty(),
+                "round {round}: {} tombstone(s) retained",
+                q.taken.len()
+            );
+        }
     }
 
     #[test]

@@ -132,7 +132,11 @@ impl SimReport {
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// A task's core-occupying part finished on (node, core).
-    TaskDone { node: usize, core: usize, key: TaskKey },
+    TaskDone {
+        node: usize,
+        core: usize,
+        key: TaskKey,
+    },
     /// A Fetch task's data arrived at its node.
     FetchArrived { key: TaskKey },
     /// A remote flow delivery arrived at `dst`'s node.
@@ -147,9 +151,17 @@ enum Ev {
 
 #[derive(Debug, Clone, Copy)]
 enum PsPurpose {
-    MemTask { node: usize, core: usize, key: TaskKey },
-    LocalFetch { key: TaskKey },
-    Critical { wid: u64 },
+    MemTask {
+        node: usize,
+        core: usize,
+        key: TaskKey,
+    },
+    LocalFetch {
+        key: TaskKey,
+    },
+    Critical {
+        wid: u64,
+    },
 }
 
 struct Running {
@@ -234,7 +246,12 @@ impl<'g> Engine<'g> {
 
     fn placement(&self, key: TaskKey) -> usize {
         let p = self.graph.class_of(key).placement(key, self.graph.ctx());
-        assert!(p < self.cfg.nodes, "placement {} out of range for {}", p, self.graph.display(key));
+        assert!(
+            p < self.cfg.nodes,
+            "placement {} out of range for {}",
+            p,
+            self.graph.display(key)
+        );
         p
     }
 
@@ -258,30 +275,46 @@ impl<'g> Engine<'g> {
                 return;
             };
             let hint = self.nodes[node].last_chain[core];
-            let Some(key) = self.nodes[node].ready.pop_hint(hint) else { return };
+            let Some(key) = self.nodes[node].ready.pop_hint(hint) else {
+                return;
+            };
             self.nodes[node].last_chain[core] = Some(key.params[0]);
             self.dispatch(now, node, core, key, q);
         }
     }
 
-    fn dispatch(&mut self, now: SimTime, node: usize, core: usize, key: TaskKey, q: &mut EventQueue<Ev>) {
+    fn dispatch(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        core: usize,
+        key: TaskKey,
+        q: &mut EventQueue<Ev>,
+    ) {
         self.nodes[node].cores[core] = Some(Running { key, since: now });
         let cm = &self.cfg.cost;
         let overhead = cm.overhead();
         match self.graph.class_of(key).cost(key, self.graph.ctx()) {
             TaskCost::Cpu { flops } => {
-                q.post(now + overhead + cm.cpu_time(flops), Ev::TaskDone { node, core, key });
+                q.post(
+                    now + overhead + cm.cpu_time(flops),
+                    Ev::TaskDone { node, core, key },
+                );
             }
             TaskCost::Fixed { ns } => {
                 q.post(now + overhead + ns, Ev::TaskDone { node, core, key });
             }
             TaskCost::Fetch { .. } => {
-                q.post(now + overhead + cm.reader_cpu(), Ev::TaskDone { node, core, key });
+                q.post(
+                    now + overhead + cm.reader_cpu(),
+                    Ev::TaskDone { node, core, key },
+                );
             }
             TaskCost::Memory { bytes } => {
                 let work = cm.mem_work(bytes) + overhead as f64 * cm.mem_capacity();
                 let id = self.nodes[node].bus.submit(now, work);
-                self.psmap.insert((node, id), PsPurpose::MemTask { node, core, key });
+                self.psmap
+                    .insert((node, id), PsPurpose::MemTask { node, core, key });
                 self.poll_bus(node, q);
             }
             TaskCost::Critical { .. } => {
@@ -304,7 +337,14 @@ impl<'g> Engine<'g> {
     }
 
     /// Record a busy span for a finished core-occupying task.
-    fn record_span(&mut self, node: usize, core: usize, key: TaskKey, since: SimTime, now: SimTime) {
+    fn record_span(
+        &mut self,
+        node: usize,
+        core: usize,
+        key: TaskKey,
+        since: SimTime,
+        now: SimTime,
+    ) {
         if self.cfg.collect_trace {
             self.trace.push(
                 WorkerId::new(node as u32, core as u32),
@@ -334,10 +374,16 @@ impl<'g> Engine<'g> {
         }
         let class = self.graph.class_of(key);
         let nflows = class.num_flows();
-        let mut inputs: Vec<Option<Payload>> =
-            (0..nflows as u32).map(|f| self.store.remove(&(key, f))).collect();
+        let mut inputs: Vec<Option<Payload>> = (0..nflows as u32)
+            .map(|f| self.store.remove(&(key, f)))
+            .collect();
         let out = class.execute(key, self.graph.ctx(), &mut inputs);
-        assert_eq!(out.len(), nflows, "{}: wrong flow count", self.graph.display(key));
+        assert_eq!(
+            out.len(),
+            nflows,
+            "{}: wrong flow count",
+            self.graph.display(key)
+        );
         Some(out)
     }
 
@@ -348,7 +394,9 @@ impl<'g> Engine<'g> {
         let src_node = self.placement(key);
         let mut deps = std::mem::take(&mut self.deps_buf);
         deps.clear();
-        self.graph.class_of(key).successors(key, self.graph.ctx(), &mut deps);
+        self.graph
+            .class_of(key)
+            .successors(key, self.graph.ctx(), &mut deps);
         for d in &deps {
             if let Some(out) = &outputs {
                 if let Some(p) = &out[d.src_flow as usize] {
@@ -362,7 +410,9 @@ impl<'g> Engine<'g> {
                 }
             } else {
                 let bytes =
-                    self.graph.class_of(key).flow_bytes(key, d.src_flow, d.dst, self.graph.ctx());
+                    self.graph
+                        .class_of(key)
+                        .flow_bytes(key, d.src_flow, d.dst, self.graph.ctx());
                 let start_free = self.nodes[src_node].nic.free_at().max(now);
                 let arrival = self.nodes[src_node].nic.send(now, bytes);
                 self.messages += 1;
@@ -414,7 +464,9 @@ impl dcsim::SimModel for Engine<'_> {
                         // materialize at arrival.
                         if from == node {
                             // Local pull: stream through the memory bus.
-                            let id = self.nodes[node].bus.submit(now, self.cfg.cost.mem_work(bytes));
+                            let id = self.nodes[node]
+                                .bus
+                                .submit(now, self.cfg.cost.mem_work(bytes));
                             self.psmap.insert((node, id), PsPurpose::LocalFetch { key });
                             self.poll_bus(node, q);
                         } else {
@@ -460,11 +512,14 @@ impl dcsim::SimModel for Engine<'_> {
             }
             Ev::CsStream { wid } => {
                 let &(node, _core, key) = self.widmap.get(&wid).expect("unknown waiter");
-                let TaskCost::Critical { bytes } = self.graph.class_of(key).cost(key, self.graph.ctx())
+                let TaskCost::Critical { bytes } =
+                    self.graph.class_of(key).cost(key, self.graph.ctx())
                 else {
                     panic!("CsStream for non-critical task");
                 };
-                let id = self.nodes[node].bus.submit(now, self.cfg.cost.mem_work(bytes));
+                let id = self.nodes[node]
+                    .bus
+                    .submit(now, self.cfg.cost.mem_work(bytes));
                 self.psmap.insert((node, id), PsPurpose::Critical { wid });
                 self.poll_bus(node, q);
             }
@@ -533,7 +588,11 @@ mod tests {
 
     fn graph(n: i64, cost: TaskCost, nodes: usize) -> TaskGraph {
         TaskGraph::new(
-            vec![Arc::new(Uniform { n, cost, prio_by_index: false })],
+            vec![Arc::new(Uniform {
+                n,
+                cost,
+                prio_by_index: false,
+            })],
             Arc::new(PlainCtx { nodes }),
         )
     }
@@ -542,7 +601,13 @@ mod tests {
     fn cpu_tasks_fill_cores() {
         // 8 tasks of 1 GFLOP on 1 node x 4 cores at 20 GFLOP/s:
         // two waves of 50 ms (+ overhead).
-        let g = graph(8, TaskCost::Cpu { flops: 1_000_000_000 }, 1);
+        let g = graph(
+            8,
+            TaskCost::Cpu {
+                flops: 1_000_000_000,
+            },
+            1,
+        );
         let rep = SimEngine::new(1, 4).run(&g);
         let expect = 2 * (50_000_000 + CostModel::default().overhead());
         assert_eq!(rep.makespan, expect);
@@ -597,7 +662,11 @@ mod tests {
             }
             fn successors(&self, key: TaskKey, _ctx: &dyn GraphCtx, out: &mut Vec<Dep>) {
                 if key.params[0] == 0 {
-                    out.push(Dep { src_flow: 0, dst: TaskKey::new(0, &[1]), dst_flow: 0 });
+                    out.push(Dep {
+                        src_flow: 0,
+                        dst: TaskKey::new(0, &[1]),
+                        dst_flow: 0,
+                    });
                 }
             }
             fn placement(&self, _key: TaskKey, _ctx: &dyn GraphCtx) -> usize {
@@ -605,7 +674,10 @@ mod tests {
             }
             fn cost(&self, key: TaskKey, _ctx: &dyn GraphCtx) -> TaskCost {
                 if key.params[0] == 0 {
-                    TaskCost::Fetch { from: 0, bytes: 5_000_000 }
+                    TaskCost::Fetch {
+                        from: 0,
+                        bytes: 5_000_000,
+                    }
                 } else {
                     TaskCost::Cpu { flops: 0 }
                 }
@@ -619,7 +691,10 @@ mod tests {
                 vec![None]
             }
         }
-        let g = TaskGraph::new(vec![Arc::new(FetchThenUse)], Arc::new(PlainCtx { nodes: 2 }));
+        let g = TaskGraph::new(
+            vec![Arc::new(FetchThenUse)],
+            Arc::new(PlainCtx { nodes: 2 }),
+        );
         let rep = SimEngine::new(2, 1).run(&g);
         let cm = CostModel::default();
         // reader cpu + wire (1 ms) + latency then the dependent task.
@@ -665,7 +740,11 @@ mod tests {
             }
             fn successors(&self, key: TaskKey, _ctx: &dyn GraphCtx, out: &mut Vec<Dep>) {
                 if key.params[0] == 0 {
-                    out.push(Dep { src_flow: 0, dst: TaskKey::new(0, &[1]), dst_flow: 0 });
+                    out.push(Dep {
+                        src_flow: 0,
+                        dst: TaskKey::new(0, &[1]),
+                        dst_flow: 0,
+                    });
                 }
             }
             fn placement(&self, key: TaskKey, _ctx: &dyn GraphCtx) -> usize {
@@ -674,7 +753,13 @@ mod tests {
             fn cost(&self, _key: TaskKey, _ctx: &dyn GraphCtx) -> TaskCost {
                 TaskCost::Fixed { ns: 10 }
             }
-            fn flow_bytes(&self, _key: TaskKey, _flow: u32, _dst: TaskKey, _ctx: &dyn GraphCtx) -> u64 {
+            fn flow_bytes(
+                &self,
+                _key: TaskKey,
+                _flow: u32,
+                _dst: TaskKey,
+                _ctx: &dyn GraphCtx,
+            ) -> u64 {
                 5_000_000
             }
             fn execute(

@@ -48,7 +48,11 @@ impl Tracker {
             self.live += 1;
             self.discovered += 1;
             let n = graph.class_of(dst).num_inputs(dst, graph.ctx());
-            debug_assert!(n > 0, "task {} received an input but declares none", graph.display(dst));
+            debug_assert!(
+                n > 0,
+                "task {} received an input but declares none",
+                graph.display(dst)
+            );
             n
         });
         debug_assert!(*entry > 0, "over-delivery to {}", graph.display(dst));
@@ -117,7 +121,11 @@ mod tests {
             }
         }
         fn successors(&self, key: TaskKey, _ctx: &dyn GraphCtx, out: &mut Vec<Dep>) {
-            let dep = |i| Dep { src_flow: 0, dst: TaskKey::new(0, &[i]), dst_flow: 0 };
+            let dep = |i| Dep {
+                src_flow: 0,
+                dst: TaskKey::new(0, &[i]),
+                dst_flow: 0,
+            };
             match key.params[0] {
                 0 => {
                     out.push(dep(1));

@@ -70,7 +70,10 @@ impl MultiServer {
     /// New pool of `k >= 1` idle servers.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "MultiServer needs at least one server");
-        Self { free: (0..k).map(|_| Reverse(0)).collect(), busy: 0 }
+        Self {
+            free: (0..k).map(|_| Reverse(0)).collect(),
+            busy: 0,
+        }
     }
 
     /// Request `dur` of service starting no earlier than `now` on the first

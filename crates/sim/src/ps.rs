@@ -83,7 +83,10 @@ impl PsResource {
         self.advance(now);
         let id = self.next_id;
         self.next_id += 1;
-        self.jobs.push(Job { id, remaining: work });
+        self.jobs.push(Job {
+            id,
+            remaining: work,
+        });
         self.generation += 1;
         id
     }
@@ -91,7 +94,11 @@ impl PsResource {
     /// Earliest completion `(time, generation)` under current membership,
     /// or `None` when idle. Valid until the next membership change.
     pub fn poll(&self) -> Option<(SimTime, u64)> {
-        let min = self.jobs.iter().map(|j| j.remaining).fold(f64::INFINITY, f64::min);
+        let min = self
+            .jobs
+            .iter()
+            .map(|j| j.remaining)
+            .fold(f64::INFINITY, f64::min);
         if min.is_finite() {
             let dt = (min * self.jobs.len() as f64 / self.capacity).ceil() as SimTime;
             Some((self.last + dt, self.generation))
@@ -217,7 +224,10 @@ mod tests {
         let total: f64 = works.iter().sum();
         let ideal = total / 4.0;
         let busy = ps.busy_time() as f64;
-        assert!((busy - ideal).abs() <= works.len() as f64, "busy={busy} ideal={ideal}");
+        assert!(
+            (busy - ideal).abs() <= works.len() as f64,
+            "busy={busy} ideal={ideal}"
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Empty queue at time zero.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, now: 0, popped: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            popped: 0,
+        }
     }
 
     /// Current simulation time (the time of the last popped event).
@@ -65,7 +70,11 @@ impl<E> EventQueue<E> {
     /// arithmetic-resource completions safe to post directly.
     pub fn post(&mut self, at: SimTime, ev: E) {
         let t = at.max(self.now);
-        self.heap.push(Reverse(Item { time: t, seq: self.seq, ev }));
+        self.heap.push(Reverse(Item {
+            time: t,
+            seq: self.seq,
+            ev,
+        }));
         self.seq += 1;
     }
 

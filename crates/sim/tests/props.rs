@@ -163,7 +163,7 @@ proptest! {
         let mut count = 0;
         let mut popped_first = false;
         while let Some((t, i)) = q.pop() {
-            prop_assert_eq!(t, times[i].max(0));
+            prop_assert_eq!(t, times[i]);
             if popped_first {
                 // (time, seq) strictly increasing; seq == i since posts are in order.
                 prop_assert!((t, i) > last);

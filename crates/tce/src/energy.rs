@@ -69,6 +69,9 @@ mod tests {
         // Perturb one element.
         ws.ga.acc(ws.i2, 3, &[1e-3], 1.0);
         let e2 = energy(&ws);
-        assert!((e1 - e2).abs() > 1e-7, "functional must see single-element changes");
+        assert!(
+            (e1 - e2).abs() > 1e-7,
+            "functional must see single-element changes"
+        );
     }
 }

@@ -11,13 +11,15 @@
 //! Inspection is purely structural: it works from [`TensorLayout`]s and
 //! never touches array data, so it runs at paper scale.
 
-use crate::loopnest::{walk_kernels, ChainInfo, GemmInfo, Kernel, SortInfo, T27Visitor, TensorKind};
+use crate::loopnest::{
+    walk_kernels, ChainInfo, GemmInfo, Kernel, SortInfo, T27Visitor, TensorKind,
+};
 use crate::space::TileSpace;
 use crate::tensors::{i2_layout, t2_layout, v_layout, v_oo_layout, TensorLayout};
-use tensor_kernels::Trans;
 use global_arrays::NodeId;
 use std::ops::Range;
 use tensor_kernels::Perm4;
+use tensor_kernels::Trans;
 
 /// Everything a GEMM task needs: operand locations and shape.
 #[derive(Debug, Clone)]
@@ -192,13 +194,28 @@ pub fn inspect_kernels(space: &TileSpace, nodes: usize, kernels: &[Kernel]) -> I
     let v = v_layout(space, nodes);
     let v_oo = v_oo_layout(space, nodes);
     let i2 = i2_layout(space, nodes);
-    let mut ins =
-        Inspector { space, t2: &t2, v: &v, v_oo: &v_oo, i2: &i2, chains: Vec::new() };
+    let mut ins = Inspector {
+        space,
+        t2: &t2,
+        v: &v,
+        v_oo: &v_oo,
+        i2: &i2,
+        chains: Vec::new(),
+    };
     walk_kernels(space, kernels, &mut ins);
     let chains = ins.chains;
     let max_chain_len = chains.iter().map(|c| c.gemms.len()).max().unwrap_or(0);
     let total_gemms = chains.iter().map(|c| c.gemms.len()).sum();
-    Inspection { chains, t2, v, v_oo, i2, kernels: kernels.to_vec(), max_chain_len, total_gemms }
+    Inspection {
+        chains,
+        t2,
+        v,
+        v_oo,
+        i2,
+        kernels: kernels.to_vec(),
+        max_chain_len,
+        total_gemms,
+    }
 }
 
 #[cfg(test)]
@@ -211,8 +228,14 @@ mod tests {
         let s = TileSpace::build(&scale::small());
         let ins = inspect(&s, 4);
         assert!(ins.num_chains() > 0);
-        assert_eq!(ins.total_gemms, ins.chains.iter().map(|c| c.gemms.len()).sum::<usize>());
-        assert_eq!(ins.max_chain_len, ins.chains.iter().map(|c| c.gemms.len()).max().unwrap());
+        assert_eq!(
+            ins.total_gemms,
+            ins.chains.iter().map(|c| c.gemms.len()).sum::<usize>()
+        );
+        assert_eq!(
+            ins.max_chain_len,
+            ins.chains.iter().map(|c| c.gemms.len()).max().unwrap()
+        );
         for c in &ins.chains {
             assert!(!c.gemms.is_empty());
             assert!(!c.sorts.is_empty() && c.sorts.len() <= 4);
@@ -236,9 +259,15 @@ mod tests {
         let s = TileSpace::build(&scale::small());
         let one = inspect(&s, 1);
         let many = inspect(&s, 8);
-        assert!(one.chains.iter().all(|c| c.gemms.iter().all(|g| g.a_owner == 0)));
-        let distinct: std::collections::HashSet<_> =
-            many.chains.iter().flat_map(|c| c.gemms.iter().map(|g| g.a_owner)).collect();
+        assert!(one
+            .chains
+            .iter()
+            .all(|c| c.gemms.iter().all(|g| g.a_owner == 0)));
+        let distinct: std::collections::HashSet<_> = many
+            .chains
+            .iter()
+            .flat_map(|c| c.gemms.iter().map(|g| g.a_owner))
+            .collect();
         assert!(distinct.len() > 1, "blocks should spread across nodes");
     }
 

@@ -33,9 +33,11 @@ pub mod space;
 pub mod tensors;
 pub mod util;
 
-pub use inspect::{inspect, inspect_kernels, ChainMeta, GemmMeta, Inspection, SortMeta};
-pub use loopnest::{walk_kernels, walk_t2_7, ChainInfo, GemmInfo, Kernel, SortInfo, T27Visitor, TensorKind};
 pub use energy::energy;
+pub use inspect::{inspect, inspect_kernels, ChainMeta, GemmMeta, Inspection, SortMeta};
+pub use loopnest::{
+    walk_kernels, walk_t2_7, ChainInfo, GemmInfo, Kernel, SortInfo, T27Visitor, TensorKind,
+};
 pub use reference::{build_workspace, build_workspace_kernels, run_reference, Workspace};
 pub use scale::SpaceConfig;
 pub use space::{Spin, Tile, TileSpace};

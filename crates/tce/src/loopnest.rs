@@ -420,7 +420,7 @@ mod tests {
             assert_eq!(n, expect, "chain {c:?}");
         }
         // The workload exercises at least the 1- and 2-sort cases.
-        assert!(v.sort_counts.iter().any(|&n| n == 1));
+        assert!(v.sort_counts.contains(&1));
         assert!(v.sort_counts.iter().any(|&n| n >= 2));
     }
 
@@ -466,7 +466,14 @@ mod tests {
                 }
             }
         }
-        walk_t2_7(&s, &mut Check { t2: &t2, v: &vv, i2: &i2 });
+        walk_t2_7(
+            &s,
+            &mut Check {
+                t2: &t2,
+                v: &vv,
+                i2: &i2,
+            },
+        );
     }
 
     #[test]
@@ -488,7 +495,10 @@ mod tests {
         let mut v = Collect::default();
         walk_kernels(&s, &[Kernel::T2_7, Kernel::T2_2], &mut v);
         for (i, c) in v.chains.iter().enumerate() {
-            assert_eq!(c.chain, i, "chain numbering must be contiguous across kernels");
+            assert_eq!(
+                c.chain, i,
+                "chain numbering must be contiguous across kernels"
+            );
         }
         let k7 = v.chains.iter().filter(|c| c.kernel == Kernel::T2_7).count();
         let k2 = v.chains.iter().filter(|c| c.kernel == Kernel::T2_2).count();

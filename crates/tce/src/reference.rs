@@ -7,7 +7,9 @@
 //! Every parallel execution model in the `ccsd` crate must reproduce this
 //! result to ~14 digits.
 
-use crate::loopnest::{walk_kernels, ChainInfo, GemmInfo, Kernel, SortInfo, T27Visitor, TensorKind};
+use crate::loopnest::{
+    walk_kernels, ChainInfo, GemmInfo, Kernel, SortInfo, T27Visitor, TensorKind,
+};
 use crate::space::TileSpace;
 use crate::tensors::{self, TensorLayout};
 use global_arrays::hash::{add_hash_block, get_hash_block};
@@ -120,7 +122,14 @@ impl T27Visitor for RefExec<'_> {
         let mut sorted = vec![0.0; c.m * c.n];
         for s in sorts {
             sort_4(&self.c, &mut sorted, c.cdims, s.perm, s.factor);
-            add_hash_block(&self.ws.ga, self.ws.i2, &self.ws.i2_layout.index, s.out_key, &sorted, 1.0);
+            add_hash_block(
+                &self.ws.ga,
+                self.ws.i2,
+                &self.ws.i2_layout.index,
+                s.out_key,
+                &sorted,
+                1.0,
+            );
         }
     }
 }
@@ -145,7 +154,10 @@ mod tests {
         ws.reset_output();
         run_reference(&ws);
         assert_eq!(first, ws.output());
-        assert!(first.iter().any(|&x| x != 0.0), "output must be non-trivial");
+        assert!(
+            first.iter().any(|&x| x != 0.0),
+            "output must be non-trivial"
+        );
     }
 
     #[test]

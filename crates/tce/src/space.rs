@@ -55,8 +55,14 @@ impl TileSpace {
     /// tiles with sizes in `[tile_size - spread, tile_size + spread]` and
     /// cyclically assigned irreps.
     pub fn build(cfg: &SpaceConfig) -> Self {
-        assert!(cfg.irreps.is_power_of_two(), "irreps must be a power of two");
-        assert!(cfg.tile_size > cfg.size_spread, "spread would allow empty tiles");
+        assert!(
+            cfg.irreps.is_power_of_two(),
+            "irreps must be a power of two"
+        );
+        assert!(
+            cfg.tile_size > cfg.size_spread,
+            "spread would allow empty tiles"
+        );
         let mk = |count: usize, salt: u64| -> Vec<Tile> {
             let mut tiles = Vec::new();
             for spin in [Spin::Alpha, Spin::Beta] {
@@ -70,7 +76,11 @@ impl TileSpace {
             }
             tiles
         };
-        Self { occ: mk(cfg.occ_tiles_per_spin, 0xA11CE), virt: mk(cfg.virt_tiles_per_spin, 0xB0B), irreps: cfg.irreps }
+        Self {
+            occ: mk(cfg.occ_tiles_per_spin, 0xA11CE),
+            virt: mk(cfg.virt_tiles_per_spin, 0xB0B),
+            irreps: cfg.irreps,
+        }
     }
 
     /// Global tile id: occupied tiles first, then virtual.
@@ -171,9 +181,21 @@ mod tests {
     #[test]
     fn quad_guard_conserves_spin_and_irrep() {
         let s = TileSpace::build(&scale::small());
-        let aa = Tile { size: 2, spin: Spin::Alpha, irrep: 0 };
-        let bb = Tile { size: 2, spin: Spin::Beta, irrep: 0 };
-        let a1 = Tile { size: 2, spin: Spin::Alpha, irrep: 1 };
+        let aa = Tile {
+            size: 2,
+            spin: Spin::Alpha,
+            irrep: 0,
+        };
+        let bb = Tile {
+            size: 2,
+            spin: Spin::Beta,
+            irrep: 0,
+        };
+        let a1 = Tile {
+            size: 2,
+            spin: Spin::Alpha,
+            irrep: 1,
+        };
         assert!(s.quad_ok(&aa, &bb, &bb, &aa));
         assert!(!s.quad_ok(&aa, &aa, &aa, &bb)); // spin violation
         assert!(!s.quad_ok(&a1, &aa, &aa, &aa)); // irrep violation

@@ -70,7 +70,11 @@ pub fn t2_layout(space: &TileSpace, nodes: usize) -> TensorLayout {
         }
     }
     let dist = Distribution::new(index.total_len(), nodes);
-    TensorLayout { index, dist, name: "t2" }
+    TensorLayout {
+        index,
+        dist,
+        name: "t2",
+    }
 }
 
 /// Two-electron integrals `v`: blocks `[p5, p6, p3, p4]`.
@@ -97,7 +101,11 @@ pub fn v_layout(space: &TileSpace, nodes: usize) -> TensorLayout {
         }
     }
     let dist = Distribution::new(index.total_len(), nodes);
-    TensorLayout { index, dist, name: "v" }
+    TensorLayout {
+        index,
+        dist,
+        name: "v",
+    }
 }
 
 /// Hole-hole integrals `v_oooo`: blocks `[h5, h6, h1, h2]` for
@@ -125,7 +133,11 @@ pub fn v_oo_layout(space: &TileSpace, nodes: usize) -> TensorLayout {
         }
     }
     let dist = Distribution::new(index.total_len(), nodes);
-    TensorLayout { index, dist, name: "v_oooo" }
+    TensorLayout {
+        index,
+        dist,
+        name: "v_oooo",
+    }
 }
 
 /// Output residual `i2`: blocks `[h1, h2, p3, p4]`.
@@ -152,7 +164,11 @@ pub fn i2_layout(space: &TileSpace, nodes: usize) -> TensorLayout {
         }
     }
     let dist = Distribution::new(index.total_len(), nodes);
-    TensorLayout { index, dist, name: "i2" }
+    TensorLayout {
+        index,
+        dist,
+        name: "i2",
+    }
 }
 
 /// Create the real Global Array for a layout, optionally filled with the

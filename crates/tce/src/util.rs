@@ -18,7 +18,9 @@ pub fn unit_f64(h: u64) -> f64 {
 
 /// Deterministic element value for `(seed, block key, element index)`.
 pub fn block_element(seed: u64, key: i64, elem: usize) -> f64 {
-    unit_f64(splitmix64(seed ^ splitmix64(key as u64).wrapping_add(elem as u64)))
+    unit_f64(splitmix64(
+        seed ^ splitmix64(key as u64).wrapping_add(elem as u64),
+    ))
 }
 
 #[cfg(test)]

@@ -53,12 +53,22 @@ pub fn sort_4(src: &[f64], dst: &mut [f64], dims: [usize; 4], perm: Perm4, facto
     // Output dims: odims[q] = dims[perm[q]].
     let odims = [dims[perm[0]], dims[perm[1]], dims[perm[2]], dims[perm[3]]];
     // Output strides (column-major).
-    let ostride = [1, odims[0], odims[0] * odims[1], odims[0] * odims[1] * odims[2]];
+    let ostride = [
+        1,
+        odims[0],
+        odims[0] * odims[1],
+        odims[0] * odims[1] * odims[2],
+    ];
     // For input index position p, which output position carries it?
     let inv = invert_perm(&perm);
     // Walking the input linearly with index (i0,i1,i2,i3), the output
     // offset advances by ostride[inv[p]] when i_p increments.
-    let step = [ostride[inv[0]], ostride[inv[1]], ostride[inv[2]], ostride[inv[3]]];
+    let step = [
+        ostride[inv[0]],
+        ostride[inv[1]],
+        ostride[inv[2]],
+        ostride[inv[3]],
+    ];
 
     let mut src_it = src.iter();
     for i3 in 0..dims[3] {

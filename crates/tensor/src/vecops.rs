@@ -23,7 +23,10 @@ pub fn ddot(x: &[f64], y: &[f64]) -> f64 {
 /// Largest absolute elementwise difference.
 pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Relative difference `|a - b| / max(|a|, |b|, 1)` — the metric used for

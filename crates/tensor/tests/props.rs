@@ -1,9 +1,7 @@
 //! Property tests: kernel implementations vs naive oracles.
 
 use proptest::prelude::*;
-use tensor_kernels::{
-    dgemm, dgemm_naive, invert_perm, sort_4, Perm4, Trans,
-};
+use tensor_kernels::{dgemm, dgemm_naive, invert_perm, sort_4, Perm4, Trans};
 
 fn trans() -> impl Strategy<Value = Trans> {
     prop_oneof![Just(Trans::N), Just(Trans::T)]
@@ -49,6 +47,46 @@ proptest! {
         dgemm_naive(ta, tb, m, n, k, alpha, &a, &b, beta, &mut c2);
         for (x, y) in c1.iter().zip(&c2) {
             prop_assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+        }
+    }
+
+    /// The 4x4-blocked kernel has edge paths wherever a dimension is not
+    /// a multiple of the block: exercise them with odd and prime sizes
+    /// (1x1, 1xk, prime dims), all four transpose combinations per case.
+    #[test]
+    fn dgemm_odd_sizes_all_transposes(
+        mi in 0usize..8,
+        ni in 0usize..8,
+        ki in 0usize..8,
+        alpha in prop_oneof![Just(1.0f64), Just(-0.5), Just(2.0)],
+        beta in prop_oneof![Just(0.0f64), Just(1.0), Just(-1.5)],
+        seed in 0u64..1000,
+    ) {
+        // 1 and the primes straddling the 4-wide block boundary.
+        const ODD: [usize; 8] = [1, 2, 3, 5, 7, 11, 13, 17];
+        let (m, n, k) = (ODD[mi], ODD[ni], ODD[ki]);
+        let gen = |len: usize, salt: u64| -> Vec<f64> {
+            (0..len).map(|i| {
+                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed ^ salt);
+                ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            }).collect()
+        };
+        let a = gen(m * k, 11);
+        let b = gen(k * n, 12);
+        let c0 = gen(m * n, 13);
+        for ta in [Trans::N, Trans::T] {
+            for tb in [Trans::N, Trans::T] {
+                let mut c1 = c0.clone();
+                let mut c2 = c0.clone();
+                dgemm(ta, tb, m, n, k, alpha, &a, &b, beta, &mut c1);
+                dgemm_naive(ta, tb, m, n, k, alpha, &a, &b, beta, &mut c2);
+                for (x, y) in c1.iter().zip(&c2) {
+                    prop_assert!(
+                        (x - y).abs() < 1e-10,
+                        "{ta:?}{tb:?} {m}x{n}x{k}: {x} vs {y}"
+                    );
+                }
+            }
         }
     }
 

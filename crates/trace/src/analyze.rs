@@ -47,13 +47,22 @@ pub fn stats(trace: &Trace) -> TraceStats {
     let mut per_class: BTreeMap<String, (u64, Ns)> = BTreeMap::new();
     for s in trace.spans() {
         busy += s.len();
-        let e = per_class.entry(trace.class_name(s.class).to_string()).or_insert((0, 0));
+        let e = per_class
+            .entry(trace.class_name(s.class).to_string())
+            .or_insert((0, 0));
         e.0 += 1;
         e.1 += s.len();
     }
     let span = end - begin;
     let idle = span * workers.len() as Ns - busy;
-    TraceStats { begin, end, workers: workers.len(), busy, idle, per_class }
+    TraceStats {
+        begin,
+        end,
+        workers: workers.len(),
+        busy,
+        idle,
+        per_class,
+    }
 }
 
 /// Idle time of every worker before its first span of class `class_name`
@@ -161,7 +170,10 @@ pub fn comm_overlap(trace: &Trace) -> BTreeMap<u32, NodeOverlap> {
             continue;
         }
         match trace.class_kind(s.class) {
-            ActivityKind::Compute => compute.entry(s.who.node).or_default().push((s.begin, s.end)),
+            ActivityKind::Compute => compute
+                .entry(s.who.node)
+                .or_default()
+                .push((s.begin, s.end)),
             ActivityKind::Communication => {
                 comm.entry(s.who.node).or_default().push((s.begin, s.end))
             }
@@ -211,7 +223,9 @@ pub fn comm_share_of_busy(trace: &Trace) -> f64 {
 /// textual complement of the Gantt chart — `fig10_13` uses it to show the
 /// legacy model's barrier troughs vs the variants' steady ramps.
 pub fn utilization_timeline(trace: &Trace, buckets: usize) -> Vec<f64> {
-    let Some((t0, t1)) = trace.extent() else { return vec![0.0; buckets] };
+    let Some((t0, t1)) = trace.extent() else {
+        return vec![0.0; buckets];
+    };
     let buckets = buckets.max(1);
     let span = (t1 - t0).max(1);
     let workers = trace.workers().len().max(1) as f64;
@@ -390,7 +404,7 @@ mod tests {
         let g = t.class("GEMM", ActivityKind::Compute);
         t.push(w(0, 0), g, 10, 20); // 10 idle
         t.push(w(0, 1), g, 30, 40); // 20 idle relative to t0=10
-        // t0 is the global extent start = 10, so worker0 idle 0, worker1 idle 20.
+                                    // t0 is the global extent start = 10, so worker0 idle 0, worker1 idle 20.
         assert_eq!(startup_idle_before(&t, "GEMM"), Some(10));
     }
 }

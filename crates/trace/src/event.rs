@@ -86,7 +86,10 @@ impl Trace {
 
     /// Look up a class id by name, if it has been interned.
     pub fn class_id(&self, name: &str) -> Option<ClassId> {
-        self.class_names.iter().position(|n| n == name).map(|i| i as ClassId)
+        self.class_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as ClassId)
     }
 
     /// Name of a class id.
@@ -107,7 +110,12 @@ impl Trace {
     /// Record one busy interval. Panics if `end < begin`.
     pub fn push(&mut self, who: WorkerId, class: ClassId, begin: Ns, end: Ns) {
         assert!(end >= begin, "span ends before it begins");
-        self.spans.push(Span { who, class, begin, end });
+        self.spans.push(Span {
+            who,
+            class,
+            begin,
+            end,
+        });
     }
 
     /// All recorded spans, in insertion order.
@@ -121,7 +129,10 @@ impl Trace {
             .map(|i| self.class(&other.class_names[i], other.class_kinds[i]))
             .collect();
         for s in &other.spans {
-            self.spans.push(Span { class: map[s.class as usize], ..*s });
+            self.spans.push(Span {
+                class: map[s.class as usize],
+                ..*s
+            });
         }
     }
 

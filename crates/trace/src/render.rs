@@ -20,7 +20,11 @@ pub struct RenderOpts {
 
 impl Default for RenderOpts {
     fn default() -> Self {
-        Self { width: 100, max_rows: 0, legend: true }
+        Self {
+            width: 100,
+            max_rows: 0,
+            legend: true,
+        }
     }
 }
 
@@ -44,14 +48,22 @@ pub fn render_range(trace: &Trace, t0: Ns, t1: Ns, opts: &RenderOpts) -> String 
     assert!(t1 > t0, "empty render window");
     let width = opts.width.max(1);
     let workers = trace.workers();
-    let shown = if opts.max_rows == 0 { workers.len() } else { opts.max_rows.min(workers.len()) };
+    let shown = if opts.max_rows == 0 {
+        workers.len()
+    } else {
+        opts.max_rows.min(workers.len())
+    };
     let span = t1 - t0;
 
     // busy[row][col] accumulates time per class; winner-takes-bucket.
     let mut out = String::new();
     for &who in workers.iter().take(shown) {
         let mut buckets: Vec<Vec<Ns>> = vec![vec![0; trace.num_classes()]; width];
-        for s in trace.spans().iter().filter(|s| s.who == who && s.end > t0 && s.begin < t1) {
+        for s in trace
+            .spans()
+            .iter()
+            .filter(|s| s.who == who && s.end > t0 && s.begin < t1)
+        {
             let b = s.begin.max(t0);
             let e = s.end.min(t1);
             // Distribute [b, e) across buckets.
@@ -59,20 +71,24 @@ pub fn render_range(trace: &Trace, t0: Ns, t1: Ns, opts: &RenderOpts) -> String 
             let last = (((e - t0) as u128 * width as u128).div_ceil(span as u128) as usize)
                 .min(width)
                 .max(first + 1);
-            for col in first..last {
+            for (col, bucket) in buckets.iter_mut().enumerate().take(last).skip(first) {
                 let cb = t0 + (span as u128 * col as u128 / width as u128) as Ns;
                 let ce = t0 + (span as u128 * (col + 1) as u128 / width as u128) as Ns;
                 let lo = b.max(cb);
                 let hi = e.min(ce);
                 if hi > lo {
-                    buckets[col][s.class as usize] += hi - lo;
+                    bucket[s.class as usize] += hi - lo;
                 }
             }
         }
         out.push_str(&format!("n{:03}w{:02} |", who.node, who.worker));
         for col in buckets {
-            let (best, t) =
-                col.iter().enumerate().max_by_key(|(_, &t)| t).map(|(i, &t)| (i, t)).unwrap();
+            let (best, t) = col
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &t)| t)
+                .map(|(i, &t)| (i, t))
+                .unwrap();
             out.push(if t == 0 { '.' } else { glyph(best) });
         }
         out.push_str("|\n");
@@ -120,7 +136,14 @@ mod tests {
 
     #[test]
     fn renders_rows_and_legend() {
-        let s = render(&sample(), &RenderOpts { width: 10, max_rows: 0, legend: true });
+        let s = render(
+            &sample(),
+            &RenderOpts {
+                width: 10,
+                max_rows: 0,
+                legend: true,
+            },
+        );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3); // two rows + legend
         assert!(lines[0].starts_with("n000w00 |"));
@@ -130,7 +153,14 @@ mod tests {
 
     #[test]
     fn buckets_reflect_dominant_class() {
-        let s = render(&sample(), &RenderOpts { width: 10, max_rows: 1, legend: false });
+        let s = render(
+            &sample(),
+            &RenderOpts {
+                width: 10,
+                max_rows: 1,
+                legend: false,
+            },
+        );
         let row = s.lines().next().unwrap();
         let cells: &str = &row[row.find('|').unwrap() + 1..row.rfind('|').unwrap()];
         assert_eq!(cells.len(), 10);
@@ -145,14 +175,30 @@ mod tests {
         let g = t.class("GEMM", ActivityKind::Compute);
         t.push(WorkerId::new(0, 0), g, 0, 10);
         t.push(WorkerId::new(0, 0), g, 90, 100);
-        let s = render(&t, &RenderOpts { width: 10, max_rows: 0, legend: false });
+        let s = render(
+            &t,
+            &RenderOpts {
+                width: 10,
+                max_rows: 0,
+                legend: false,
+            },
+        );
         let row = s.lines().next().unwrap();
         assert!(row.contains("G........G"));
     }
 
     #[test]
     fn zoom_window() {
-        let s = render_range(&sample(), 50, 100, &RenderOpts { width: 4, legend: false, max_rows: 1 });
+        let s = render_range(
+            &sample(),
+            50,
+            100,
+            &RenderOpts {
+                width: 4,
+                legend: false,
+                max_rows: 1,
+            },
+        );
         let row = s.lines().next().unwrap();
         let cells: &str = &row[row.find('|').unwrap() + 1..row.rfind('|').unwrap()];
         assert_eq!(cells, "GGGG");

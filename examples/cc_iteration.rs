@@ -61,8 +61,11 @@ fn main() {
             // [h1,h2,p3,p4] -> [p3,p4,h1,h2].
             sort_4(&block, &mut permuted, dims, [2, 3, 0, 1], 1.0);
             let t2_key = ws.space.block_key([gids[2], gids[3], gids[0], gids[1]]);
-            let (t2_off, t2_size) =
-                ws.t2_layout.index.lookup(t2_key).expect("matching t2 block");
+            let (t2_off, t2_size) = ws
+                .t2_layout
+                .index
+                .lookup(t2_key)
+                .expect("matching t2 block");
             assert_eq!(t2_size, size);
             let updated: Vec<f64> = t2_initial[t2_off..t2_off + size]
                 .iter()

@@ -15,7 +15,11 @@ use xtrace::render::{render, RenderOpts};
 
 fn main() {
     let paper = std::env::args().any(|a| a == "paper");
-    let cfg = if paper { scale::paper() } else { scale::medium() };
+    let cfg = if paper {
+        scale::paper()
+    } else {
+        scale::medium()
+    };
     let (nodes, cores) = (32, 15);
 
     let space = TileSpace::build(&cfg);
@@ -27,12 +31,21 @@ fn main() {
     );
 
     let base = simulate_baseline(&ins, &BaselineCfg::new(nodes, cores));
-    println!("\noriginal NWChem model: {:>8.3} s  ({} NXTVALs, {} gets)", base.seconds(), base.nxtvals, base.gets);
+    println!(
+        "\noriginal NWChem model: {:>8.3} s  ({} NXTVALs, {} gets)",
+        base.seconds(),
+        base.nxtvals,
+        base.gets
+    );
 
     let mut best = ("original", base.seconds());
     for v in VariantCfg::all() {
         let graph = build_graph(ins.clone(), v, None);
-        let policy = if v.priorities { SchedPolicy::PriorityFifo } else { SchedPolicy::Fifo };
+        let policy = if v.priorities {
+            SchedPolicy::PriorityFifo
+        } else {
+            SchedPolicy::Fifo
+        };
         let rep = SimEngine::new(nodes, cores).policy(policy).run(&graph);
         println!(
             "PaRSEC {:>2}:              {:>8.3} s  ({} tasks, {} messages, {:.1} GB moved)",
@@ -46,11 +59,26 @@ fn main() {
             best = (v.name, rep.seconds());
         }
     }
-    println!("\nfastest: {} at {:.3} s ({:.2}x over the original)", best.0, best.1, base.seconds() / best.1);
+    println!(
+        "\nfastest: {} at {:.3} s ({:.2}x over the original)",
+        best.0,
+        best.1,
+        base.seconds() / best.1
+    );
 
     // A peek at the winner's execution (first two nodes).
     let graph = build_graph(ins.clone(), VariantCfg::v5(), None);
     let rep = SimEngine::new(nodes, cores).collect_trace(true).run(&graph);
     println!("\nv5 trace (2 of {nodes} nodes):");
-    print!("{}", render(&rep.trace, &RenderOpts { width: 100, max_rows: 2 * (cores + 1), legend: true }));
+    print!(
+        "{}",
+        render(
+            &rep.trace,
+            &RenderOpts {
+                width: 100,
+                max_rows: 2 * (cores + 1),
+                legend: true
+            }
+        )
+    );
 }

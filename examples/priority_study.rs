@@ -29,7 +29,10 @@ fn main() {
         (VariantCfg::v2(), SchedPolicy::Fifo),
     ] {
         let graph = build_graph(ins.clone(), cfg, None);
-        let rep = SimEngine::new(nodes, cores).policy(policy).collect_trace(true).run(&graph);
+        let rep = SimEngine::new(nodes, cores)
+            .policy(policy)
+            .collect_trace(true)
+            .run(&graph);
         let start = analyze::mean_first_start(&rep.trace, "GEMM").unwrap();
         let idle = analyze::startup_idle_before(&rep.trace, "GEMM").unwrap();
         println!(
@@ -44,7 +47,16 @@ fn main() {
         let win = b + (e - b) / 50;
         println!(
             "{}",
-            render_range(&rep.trace, b, win, &RenderOpts { width: 100, max_rows: cores + 1, legend: true })
+            render_range(
+                &rep.trace,
+                b,
+                win,
+                &RenderOpts {
+                    width: 100,
+                    max_rows: cores + 1,
+                    legend: true
+                }
+            )
         );
         first.push(start);
     }

@@ -126,13 +126,19 @@ fn main() {
     let a1 = audit(&fig1, 100_000).expect("fig1 audits");
     println!("Figure 1 (chained GEMMs):");
     println!("  tasks {:?}", a1.tasks_per_class);
-    println!("  depth {} / GEMM stage spans levels {:?}", a1.depth, a1.class_levels["GEMM"]);
+    println!(
+        "  depth {} / GEMM stage spans levels {:?}",
+        a1.depth, a1.class_levels["GEMM"]
+    );
 
     let fig2 = build(FIG2, chains, links);
     let a2 = audit(&fig2, 100_000).expect("fig2 audits");
     println!("\nFigure 2 (parallel GEMMs + reduction):");
     println!("  tasks {:?}", a2.tasks_per_class);
-    println!("  depth {} / GEMM stage spans levels {:?}", a2.depth, a2.class_levels["GEMM"]);
+    println!(
+        "  depth {} / GEMM stage spans levels {:?}",
+        a2.depth, a2.class_levels["GEMM"]
+    );
 
     let (g1_min, g1_max) = a1.class_levels["GEMM"];
     let (g2_min, g2_max) = a2.class_levels["GEMM"];

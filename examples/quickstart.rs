@@ -65,8 +65,12 @@ fn main() {
         .global("size_L1", chains)
         .global("size_L2", links)
         // Memory inputs: 2x2 matrices whose entries depend on (L1, L2).
-        .data("input_a", |args| Arc::new(vec![1.0, 0.0, 0.0, 1.0 + args[1] as f64]))
-        .data("input_b", |args| Arc::new(vec![args[0] as f64 + 1.0, 0.5, 0.5, 1.0]))
+        .data("input_a", |args| {
+            Arc::new(vec![1.0, 0.0, 0.0, 1.0 + args[1] as f64])
+        })
+        .data("input_b", |args| {
+            Arc::new(vec![args[0] as f64 + 1.0, 0.5, 0.5, 1.0])
+        })
         .body("dfill", |_k, _inputs| vec![Some(Arc::new(vec![0.0; 4]))])
         .body("gemm", |_k, inputs| {
             let a = inputs[0].take().expect("A");
@@ -88,7 +92,10 @@ fn main() {
         })
         .body("sort", move |k, inputs| {
             let c = inputs[0].take().expect("C");
-            results_sink.lock().unwrap().push((k.params[0], c.iter().sum()));
+            results_sink
+                .lock()
+                .unwrap()
+                .push((k.params[0], c.iter().sum()));
             vec![None]
         })
         .compile(Arc::new(PlainCtx { nodes: 1 }))
@@ -98,7 +105,10 @@ fn main() {
 
     let mut sums = results.lock().unwrap().clone();
     sums.sort_by_key(|&(l1, _)| l1);
-    println!("executed {} tasks on 2 worker threads in {:?}", report.tasks, report.wall);
+    println!(
+        "executed {} tasks on 2 worker threads in {:?}",
+        report.tasks, report.wall
+    );
     for (l1, sum) in &sums {
         println!("chain {l1}: sum of accumulated C = {sum:.3}");
     }

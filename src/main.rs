@@ -19,7 +19,10 @@ use std::sync::Arc;
 use tce::{inspect_kernels, Kernel, SpaceConfig, TileSpace};
 
 fn arg(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn scale(args: &[String]) -> Result<SpaceConfig, String> {
@@ -55,11 +58,16 @@ fn variant(args: &[String]) -> Result<VariantCfg, String> {
         "v4" => VariantCfg::v4(),
         "v5" => VariantCfg::v5(),
         h if h.starts_with('h') => {
-            let k: usize =
-                h[1..].parse().map_err(|_| format!("bad segment height `{h}` (h<K>)"))?;
+            let k: usize = h[1..]
+                .parse()
+                .map_err(|_| format!("bad segment height `{h}` (h<K>)"))?;
             VariantCfg::height(k)
         }
-        other => return Err(format!("unknown variant `{other}` (v1..v5, original, h<K>)")),
+        other => {
+            return Err(format!(
+                "unknown variant `{other}` (v1..v5, original, h<K>)"
+            ))
+        }
     })
 }
 
@@ -85,8 +93,12 @@ fn run() -> Result<(), String> {
     let Some((cmd, args)) = all.split_first() else {
         return Err("usage: parsec-ccsd-repro <inspect|simulate|verify|dot> [options]".into());
     };
-    let nodes: usize = arg(args, "--nodes").map(|v| v.parse().unwrap_or(4)).unwrap_or(4);
-    let cores: usize = arg(args, "--cores").map(|v| v.parse().unwrap_or(3)).unwrap_or(3);
+    let nodes: usize = arg(args, "--nodes")
+        .map(|v| v.parse().unwrap_or(4))
+        .unwrap_or(4);
+    let cores: usize = arg(args, "--cores")
+        .map(|v| v.parse().unwrap_or(3))
+        .unwrap_or(3);
     let space = TileSpace::build(&scale(args)?);
     let ks = kernels(args)?;
 

@@ -65,7 +65,10 @@ fn figure9_shape_smoke() {
     let o1 = orig(1);
     let o3 = orig(3);
     let o7 = orig(7);
-    assert!(o3 < o1, "original must gain from 1 -> 3 cores ({o1} -> {o3})");
+    assert!(
+        o3 < o1,
+        "original must gain from 1 -> 3 cores ({o1} -> {o3})"
+    );
     assert!(o7 <= o3, "original must not regress 3 -> 7 at this scale");
 
     for cfg in VariantCfg::all() {
@@ -85,12 +88,21 @@ fn traces_are_well_formed() {
 
     let g = build_graph(ins.clone(), VariantCfg::v5(), None);
     let rep = SimEngine::new(2, 3).collect_trace(true).run(&g);
-    assert!(rep.trace.find_overlap().is_none(), "simulated trace rows must not overlap");
+    assert!(
+        rep.trace.find_overlap().is_none(),
+        "simulated trace rows must not overlap"
+    );
 
     let base = simulate_baseline(&ins, &BaselineCfg::new(2, 2).collect_trace(true));
-    assert!(base.trace.find_overlap().is_none(), "baseline trace rows must not overlap");
+    assert!(
+        base.trace.find_overlap().is_none(),
+        "baseline trace rows must not overlap"
+    );
     let share = xtrace::analyze::comm_share_of_busy(&base.trace);
-    assert!(share > 0.02, "baseline must spend visible time in blocking comm ({share})");
+    assert!(
+        share > 0.02,
+        "baseline must spend visible time in blocking comm ({share})"
+    );
 }
 
 /// A DSL-defined graph and a handwritten TaskClass graph with the same
@@ -128,7 +140,9 @@ fn dsl_and_rust_graphs_agree() {
     .compile(Arc::new(PlainCtx { nodes: 1 }))
     .unwrap();
 
-    let rep = NativeRuntime::new(3).policy(SchedPolicy::PriorityFifo).run(&graph);
+    let rep = NativeRuntime::new(3)
+        .policy(SchedPolicy::PriorityFifo)
+        .run(&graph);
     assert_eq!(rep.tasks, n as u64 + 1);
     let expected: f64 = (1..=n).sum::<i64>() as f64;
     assert_eq!(*total.lock().unwrap(), expected);
@@ -167,7 +181,9 @@ fn chain_affinity_policy_is_sound() {
 
     ws.reset_output();
     let graph = build_graph(ins.clone(), VariantCfg::v5(), Some(ws.clone()));
-    NativeRuntime::new(3).policy(SchedPolicy::ChainAffinity).run(&graph);
+    NativeRuntime::new(3)
+        .policy(SchedPolicy::ChainAffinity)
+        .run(&graph);
     let e = tce::energy::energy(&ws);
     assert!(rel_diff(e_ref, e) < 1e-12, "{e} vs {e_ref}");
 
@@ -191,7 +207,12 @@ fn node_count_invariance() {
     let mut energies = Vec::new();
     for nodes in [1, 2, 5] {
         let (ins, ws) = verify::prepare(&space, nodes);
-        energies.push(verify::variant_energy_native(&ins, &ws, VariantCfg::v3(), 2));
+        energies.push(verify::variant_energy_native(
+            &ins,
+            &ws,
+            VariantCfg::v3(),
+            2,
+        ));
     }
     assert!(rel_diff(energies[0], energies[1]) < 1e-12);
     assert!(rel_diff(energies[0], energies[2]) < 1e-12);
@@ -205,11 +226,17 @@ fn scaling_monotonicity_smoke() {
     let space = TileSpace::build(&scale::small());
     let ins4 = Arc::new(inspect(&space, 4));
     let g = |ins: &Arc<tce::Inspection>, cfg| build_graph(ins.clone(), cfg, None);
-    let t_1 = SimEngine::new(4, 1).run(&g(&ins4, VariantCfg::v5())).makespan;
-    let t_4 = SimEngine::new(4, 4).run(&g(&ins4, VariantCfg::v5())).makespan;
+    let t_1 = SimEngine::new(4, 1)
+        .run(&g(&ins4, VariantCfg::v5()))
+        .makespan;
+    let t_4 = SimEngine::new(4, 4)
+        .run(&g(&ins4, VariantCfg::v5()))
+        .makespan;
     assert!(t_4 < t_1);
 
     let ins2 = Arc::new(inspect(&space, 2));
-    let t_2n = SimEngine::new(2, 4).run(&g(&ins2, VariantCfg::v5())).makespan;
+    let t_2n = SimEngine::new(2, 4)
+        .run(&g(&ins2, VariantCfg::v5()))
+        .makespan;
     assert!(t_4 < t_2n, "4 nodes ({t_4}) should beat 2 nodes ({t_2n})");
 }

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors
+//! the call surface its benches use — `Criterion`, `benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Throughput`, `BenchmarkId`,
+//! and the `criterion_group!` / `criterion_main!` macros — over a simple
+//! adaptive wall-clock timer. There is no statistical machinery: each
+//! bench is calibrated to a target measurement window and reports mean
+//! time per iteration plus derived throughput to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement window per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Hard cap on iterations per benchmark.
+const MAX_ITERS: u64 = 50_000_000;
+
+/// Reported work per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (name or parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Timing context handed to bench closures.
+pub struct Bencher {
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time `f`, adaptively choosing an iteration count to fill the
+    /// measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + initial estimate.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let mut iters: u64 =
+            (TARGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= TARGET / 2 || iters >= MAX_ITERS {
+                self.measured = Some((iters, dt));
+                return;
+            }
+            let scale = (TARGET.as_nanos() / dt.as_nanos().max(1)).clamp(2, 1000) as u64;
+            iters = iters.saturating_mul(scale).min(MAX_ITERS);
+        }
+    }
+}
+
+fn report(
+    group: Option<&str>,
+    label: &str,
+    throughput: Option<Throughput>,
+    measured: Option<(u64, Duration)>,
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{label}"),
+        None => label.to_string(),
+    };
+    let Some((iters, dt)) = measured else {
+        println!("bench {full:<48} (no measurement)");
+        return;
+    };
+    let ns = dt.as_nanos() as f64 / iters as f64;
+    let mut line = format!("bench {full:<48} {:>14.1} ns/iter", ns);
+    if let Some(tp) = throughput {
+        let (amount, unit) = match tp {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        let rate = amount / (ns * 1e-9);
+        line.push_str(&format!("   {:>12.3e} {unit}", rate));
+    }
+    println!("{line}");
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { measured: None };
+        f(&mut b);
+        report(None, name, None, b.measured);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the per-iteration work used for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the adaptive timer ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the adaptive timer ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { measured: None };
+        f(&mut b);
+        report(Some(&self.name), &id.label, self.throughput, b.measured);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { measured: None };
+        f(&mut b, input);
+        report(Some(&self.name), &id.label, self.throughput, b.measured);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Define a function running the listed benchmarks with one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { measured: None };
+        b.iter(|| black_box(1 + 1));
+        let (iters, dt) = b.measured.unwrap();
+        assert!(iters >= 1);
+        assert!(dt.as_nanos() > 0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(10)).sample_size(5);
+        g.bench_function("noop", |b| b.iter(|| black_box(0)));
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,318 @@
+//! Work-stealing deques: `Worker` / `Stealer` / `Injector`.
+//!
+//! API-compatible subset of `crossbeam_deque`. Each queue is a
+//! `Mutex<VecDeque>`; owners block on their own (uncontended) lock, while
+//! thieves use `try_lock` and surface contention as [`Steal::Retry`],
+//! mirroring the lock-free original's CAS-failure path.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, TryLockError};
+
+/// Maximum number of tasks moved by one batch steal.
+const MAX_BATCH: usize = 32;
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race; retrying may succeed.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True if the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// True if the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+#[derive(Debug)]
+struct Buf<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> Buf<T> {
+    fn new() -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.q.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Which end the owner pops from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Fifo,
+    Lifo,
+}
+
+/// The owner's handle of a work-stealing deque: push and pop are cheap and
+/// (here) only contend with an active thief.
+#[derive(Debug)]
+pub struct Worker<T> {
+    buf: Arc<Buf<T>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// A deque whose owner pops oldest-first.
+    pub fn new_fifo() -> Self {
+        Self {
+            buf: Arc::new(Buf::new()),
+            flavor: Flavor::Fifo,
+        }
+    }
+
+    /// A deque whose owner pops newest-first (locality-biased).
+    pub fn new_lifo() -> Self {
+        Self {
+            buf: Arc::new(Buf::new()),
+            flavor: Flavor::Lifo,
+        }
+    }
+
+    /// Push a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.buf.lock().push_back(task);
+    }
+
+    /// Pop a task from the owner's end.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.buf.lock();
+        match self.flavor {
+            Flavor::Fifo => q.pop_front(),
+            Flavor::Lifo => q.pop_back(),
+        }
+    }
+
+    /// A thief handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            buf: self.buf.clone(),
+        }
+    }
+
+    /// Number of queued tasks (racy, advisory).
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// True if no tasks are queued (racy, advisory).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A thief's handle: steals oldest-first from another worker's deque.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    buf: Arc<Buf<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            buf: self.buf.clone(),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the far (oldest) end.
+    pub fn steal(&self) -> Steal<T> {
+        match self.buf.q.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(TryLockError::WouldBlock) => Steal::Retry,
+            Err(TryLockError::Poisoned(e)) => match e.into_inner().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+        }
+    }
+
+    /// Steal up to half the victim's tasks (capped) into `dest`, returning
+    /// the first stolen task.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut src = match self.buf.q.try_lock() {
+            Ok(q) => q,
+            Err(TryLockError::WouldBlock) => return Steal::Retry,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        };
+        let n = src.len();
+        if n == 0 {
+            return Steal::Empty;
+        }
+        let take = (n.div_ceil(2)).min(MAX_BATCH);
+        let first = src.pop_front().expect("non-empty");
+        if take > 1 {
+            let mut dst = dest.buf.lock();
+            for _ in 1..take {
+                match src.pop_front() {
+                    Some(t) => dst.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// Number of queued tasks (racy, advisory).
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// True if no tasks are queued (racy, advisory).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A shared FIFO injection queue (roots, overflow): any thread may push,
+/// any worker may steal.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    buf: Buf<T>,
+}
+
+impl<T> Default for Buf<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Self { buf: Buf::new() }
+    }
+
+    /// Push a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        self.buf.lock().push_back(task);
+    }
+
+    /// Steal one task from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match self.buf.q.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(TryLockError::WouldBlock) => Steal::Retry,
+            Err(TryLockError::Poisoned(e)) => match e.into_inner().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+        }
+    }
+
+    /// Steal a batch into `dest`'s deque, returning the first task.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut src = match self.buf.q.try_lock() {
+            Ok(q) => q,
+            Err(TryLockError::WouldBlock) => return Steal::Retry,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        };
+        let n = src.len();
+        if n == 0 {
+            return Steal::Empty;
+        }
+        let take = (n.div_ceil(2)).min(MAX_BATCH);
+        let first = src.pop_front().expect("non-empty");
+        if take > 1 {
+            let mut dst = dest.buf.lock();
+            for _ in 1..take {
+                match src.pop_front() {
+                    Some(t) => dst.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// Number of queued tasks (racy, advisory).
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// True if no tasks are queued (racy, advisory).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3)); // owner: newest first
+        assert_eq!(s.steal().success(), Some(1)); // thief: oldest first
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn fifo_owner_preserves_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn batch_steal_moves_half() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(0));
+        // Half of 10 = 5 taken: one returned, four in dest.
+        assert_eq!(w.len(), 4);
+        assert_eq!(inj.len(), 5);
+        assert_eq!(w.pop(), Some(1));
+    }
+
+    #[test]
+    fn injector_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal().success(), Some("a"));
+        assert_eq!(inj.steal().success(), Some("b"));
+        assert!(inj.steal().is_empty());
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors
+//! the slice of `crossbeam` it uses: the work-stealing deque API
+//! (`deque::{Worker, Stealer, Injector, Steal}`). The implementation is a
+//! per-queue small mutex rather than the upstream lock-free Chase-Lev
+//! deque; the call signatures (including `Steal::Retry` on contention,
+//! reported here when a `try_lock` fails) are kept identical so swapping
+//! the real crate back in is a one-line `Cargo.toml` change. Sharding —
+//! one queue per worker — is what removes the dispatch bottleneck; the
+//! per-shard lock is uncontended in the common case.
+
+pub mod deque;

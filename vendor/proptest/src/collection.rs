@@ -1,0 +1,42 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// The strategy returned by [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.clone().sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Vectors of `element` with a length drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let s = vec(0i64..5, 2..7);
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors
+//! the subset of proptest's API that its test suites use: the [`Strategy`]
+//! trait with `prop_map` / `prop_perturb` / `prop_recursive`, boxed and
+//! union strategies, range and tuple strategies, `collection::vec`,
+//! `any::<T>()`, and the `proptest!` / `prop_oneof!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs' values via the
+//!   assertion message and the deterministic case index instead.
+//! * **Deterministic seeding.** The RNG is seeded from the test's module
+//!   path and name, so failures reproduce exactly across runs.
+//! * Default case count is 64 (override with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module alias (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Run each `fn name(arg in strategy, ...) { body }` as a `#[test]` over
+/// `cases` deterministic random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        ::std::panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name),
+                            __case,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies sharing one `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body; failure aborts the case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {{
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}

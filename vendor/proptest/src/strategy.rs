@@ -1,0 +1,341 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A generator of random values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Transform generated values with `f`, which also receives a fork of
+    /// the RNG.
+    fn prop_perturb<O, F>(self, f: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value, TestRng) -> O,
+    {
+        Perturb { inner: self, f }
+    }
+
+    /// Build recursive structures: `grow` receives a strategy for smaller
+    /// instances and returns the strategy for one level up. `depth` bounds
+    /// the recursion; `_size` and `_items` are accepted for upstream
+    /// signature compatibility and unused.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _items: u32,
+        grow: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        Recursive {
+            leaf: self.boxed(),
+            grow: Arc::new(move |inner| grow(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_perturb`].
+#[derive(Clone)]
+pub struct Perturb<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Perturb<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value, TestRng) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        let v = self.inner.sample(rng);
+        let fork = rng.fork();
+        (self.f)(v, fork)
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    leaf: BoxedStrategy<T>,
+    grow: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Self {
+            leaf: self.leaf.clone(),
+            grow: self.grow.clone(),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        if self.depth == 0 || rng.next_u32().is_multiple_of(4) {
+            return self.leaf.sample(rng);
+        }
+        let inner = Recursive {
+            leaf: self.leaf.clone(),
+            grow: self.grow.clone(),
+            depth: self.depth - 1,
+        }
+        .boxed();
+        (self.grow)(inner).sample(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------- ranges --
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                (self.start as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128) - (lo as i128) + 1;
+                (lo as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+// u64 spans can exceed i128's comfortable rem_euclid path only in theory
+// (u64 fits i128), but keep it in the same macro family:
+int_range_strategy!(u64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (hi - lo) * frac
+    }
+}
+
+// ---------------------------------------------------------------- tuples --
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (3i64..17).sample(&mut r);
+            assert!((3..17).contains(&v));
+            let u = (1u8..=2).sample(&mut r);
+            assert!((1..=2).contains(&u));
+            let f = (-2.0f64..2.0).sample(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_union() {
+        let s = crate::prop_oneof![Just(1i64), (10i64..20).prop_map(|x| x * 2)];
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.sample(&mut r);
+            assert!(v == 1 || (20..40).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        // Returns depth while also validating every leaf payload.
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((0..10).contains(v));
+                    0
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 64, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!(depth(&s.sample(&mut r)) <= 4);
+        }
+    }
+
+    #[test]
+    fn perturb_forks_rng() {
+        let s = Just(0u32).prop_perturb(|_, mut rng| rng.next_u32());
+        let mut r = rng();
+        let a = s.sample(&mut r);
+        let b = s.sample(&mut r);
+        assert_ne!(a, b);
+    }
+}

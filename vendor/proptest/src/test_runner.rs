@@ -1,0 +1,115 @@
+//! Test-runner plumbing: configuration, error type, deterministic RNG.
+
+use std::fmt;
+
+/// Per-test configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A failed test case (no shrinking: carries the message only).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fail the current case with `reason`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+
+    /// Reject the current case (treated as failure here — filters should
+    /// be rare enough not to matter for these suites).
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic RNG (splitmix64) used to drive strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG seeded from an arbitrary string (test name), so every run of a
+    /// given test sees the same case sequence.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h | 1 }
+    }
+
+    /// RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed | 1 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// An independent child RNG (for `prop_perturb`).
+    pub fn fork(&mut self) -> TestRng {
+        TestRng {
+            state: self.next_u64() | 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = TestRng::deterministic("x::y");
+        let mut b = TestRng::deterministic("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("x::z");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fork_diverges() {
+        let mut a = TestRng::from_seed(7);
+        let mut f = a.fork();
+        assert_ne!(a.next_u64(), f.next_u64());
+    }
+}
