@@ -15,4 +15,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> bench smoke (kernels, quick mode)"
+cargo bench -q -p bench-harness --bench kernels -- --test
+
 echo "CI OK"

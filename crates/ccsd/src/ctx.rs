@@ -1,5 +1,6 @@
 //! Shared graph context and variant configuration.
 
+use parsec_rt::TilePool;
 use ptg::GraphCtx;
 use std::sync::Arc;
 use tce::{Inspection, Workspace};
@@ -155,6 +156,9 @@ pub struct CcsdCtx {
     pub nodes: usize,
     /// Real arrays for body execution (`None` for structural simulation).
     pub ws: Option<Arc<Workspace>>,
+    /// Tile buffer pool serving every task body's working memory
+    /// (operand tiles, C accumulators, sort scratch, packing panels).
+    pub pool: Arc<TilePool>,
 }
 
 impl GraphCtx for CcsdCtx {
@@ -248,6 +252,7 @@ mod tests {
             cfg: VariantCfg::v4(),
             nodes: 4,
             ws: None,
+            pool: Default::default(),
         };
         assert_eq!(ctx.prio(0, 5), n + 20);
         assert_eq!(ctx.prio(3, 0), n - 3);

@@ -24,4 +24,4 @@ pub mod verify;
 
 pub use baseline::{simulate_baseline, BaselineCfg, BaselineReport};
 pub use ctx::{CcsdCtx, VariantCfg};
-pub use variants::build_graph;
+pub use variants::{build_graph, build_graph_pooled};

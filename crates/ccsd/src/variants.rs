@@ -19,10 +19,13 @@
 //!   are parallel (v1, v3).
 
 use crate::ctx::{CcsdCtx, VariantCfg, ACC_CRITICAL_SLOWDOWN, ACC_RMW_FACTOR, SORT_STRIDE_FACTOR};
+use parsec_rt::TilePool;
 use ptg::{Activity, Dep, GraphCtx, Payload, TaskClass, TaskCost, TaskGraph, TaskKey};
 use std::sync::Arc;
 use tce::Inspection;
-use tensor_kernels::{dgemm, sort_4, Trans};
+use tensor_kernels::{
+    dgemm_blocked, dgemm_packed_with, packed_profitable, sort_4, GemmParams, Trans,
+};
 
 /// Class ids (indices into the graph's class table).
 pub const READ_A: u32 = 0;
@@ -39,9 +42,11 @@ fn cc(ctx: &dyn GraphCtx) -> &CcsdCtx {
         .expect("CCSD graph requires CcsdCtx")
 }
 
-/// Take ownership of a payload buffer (clone only if shared).
-fn own(p: Payload) -> Vec<f64> {
-    Arc::try_unwrap(p).unwrap_or_else(|a| (*a).clone())
+/// Take ownership of a payload buffer through the pool: in place when
+/// uniquely held, copy-on-write (counted, served from the pool) when
+/// still shared.
+fn own(c: &CcsdCtx, p: Payload) -> Vec<f64> {
+    c.pool.own(p)
 }
 
 /// Successor deps from a chain's final C matrix to its SORT stage.
@@ -143,10 +148,12 @@ impl TaskClass for Reader {
         let c = cc(ctx);
         let Some(ws) = &c.ws else { return vec![None] };
         let g = &c.chain(key.params[0]).gemms[key.params[1] as usize];
-        let data = match self.0 {
-            Operand::A => ws.ga.get(ws.tensor(g.a_tensor).0, g.a_offset, g.a_len),
-            Operand::B => ws.ga.get(ws.tensor(g.b_tensor).0, g.b_offset, g.b_len),
+        let (h, offset, len) = match self.0 {
+            Operand::A => (ws.tensor(g.a_tensor).0, g.a_offset, g.a_len),
+            Operand::B => (ws.tensor(g.b_tensor).0, g.b_offset, g.b_len),
         };
+        let mut data = c.pool.checkout(len);
+        ws.ga.get_into(h, offset, &mut data);
         vec![Some(Arc::new(data))]
     }
 }
@@ -203,7 +210,7 @@ impl TaskClass for Dfill {
             return vec![None];
         }
         let chain = c.chain(key.params[0]);
-        vec![Some(Arc::new(vec![0.0; chain.m * chain.n]))]
+        vec![Some(Arc::new(c.pool.checkout(chain.m * chain.n)))]
     }
 }
 
@@ -312,22 +319,40 @@ impl TaskClass for Gemm {
         let b = inputs[1].take().expect("B operand");
         let segment_head = !c.cfg.chained_gemms && key.params[1] % c.cfg.segment_height as i64 == 0;
         let mut cbuf = if c.cfg.chained_gemms || !segment_head {
-            own(inputs[2].take().expect("C from predecessor"))
+            own(c, inputs[2].take().expect("C from predecessor"))
         } else {
-            vec![0.0; chain.m * chain.n]
+            c.pool.checkout(chain.m * chain.n)
         };
-        dgemm(
-            Trans::T,
-            g.tb,
-            chain.m,
-            chain.n,
-            g.k,
-            1.0,
-            &a,
-            &b,
-            1.0,
-            &mut cbuf,
-        );
+        let (m, n, k) = (chain.m, chain.n, g.k);
+        if packed_profitable(m, n, k) {
+            // Packing scratch comes from the pool too: after warm-up a
+            // GEMM task performs no heap allocation at all.
+            let params = GemmParams::default();
+            let mut ap = c.pool.checkout(params.packed_a_len(m, k));
+            let mut bp = c.pool.checkout(params.packed_b_len(n, k));
+            dgemm_packed_with(
+                &params,
+                Trans::T,
+                g.tb,
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                &b,
+                1.0,
+                &mut cbuf,
+                &mut ap,
+                &mut bp,
+            );
+            c.pool.recycle(ap);
+            c.pool.recycle(bp);
+        } else {
+            dgemm_blocked(Trans::T, g.tb, m, n, k, 1.0, &a, &b, 1.0, &mut cbuf);
+        }
+        // Operand tiles feed exactly this GEMM: recycle their buffers.
+        c.pool.release(a);
+        c.pool.release(b);
         vec![None, None, Some(Arc::new(cbuf))]
     }
 }
@@ -386,18 +411,20 @@ impl TaskClass for Reduce {
         ctx: &dyn GraphCtx,
         inputs: &mut [Option<Payload>],
     ) -> Vec<Option<Payload>> {
-        if cc(ctx).ws.is_none() {
+        let c = cc(ctx);
+        if c.ws.is_none() {
             return vec![None, None, None];
         }
         let left = inputs[0].take();
         let right = inputs[1].take();
         let out = match (left, right) {
             (Some(l), Some(r)) => {
-                let mut acc = own(l);
+                let mut acc = own(c, l);
                 tensor_kernels::daxpy(1.0, &r, &mut acc);
+                c.pool.release(r);
                 acc
             }
-            (Some(one), None) | (None, Some(one)) => own(one),
+            (Some(one), None) | (None, Some(one)) => own(c, one),
             (None, None) => panic!("REDUCE with no inputs"),
         };
         vec![None, None, Some(Arc::new(out))]
@@ -487,20 +514,24 @@ impl TaskClass for Sort {
         let cbuf = inputs[0].take().expect("C input");
         let out = if c.cfg.parallel_sort {
             let s = &chain.sorts[key.params[1] as usize];
-            let mut sorted = vec![0.0; cbuf.len()];
+            let mut sorted = c.pool.checkout(cbuf.len());
             sort_4(&cbuf, &mut sorted, chain.cdims, s.perm, s.factor);
             sorted
         } else {
             // Serial merge: Csorted = sum_i sort_i(C). All active branches
             // target the same destination block (asserted at inspection).
-            let mut merged = vec![0.0; cbuf.len()];
-            let mut tmp = vec![0.0; cbuf.len()];
+            let mut merged = c.pool.checkout(cbuf.len());
+            let mut tmp = c.pool.checkout(cbuf.len());
             for s in &chain.sorts {
                 sort_4(&cbuf, &mut tmp, chain.cdims, s.perm, s.factor);
                 tensor_kernels::daxpy(1.0, &tmp, &mut merged);
             }
+            c.pool.recycle(tmp);
             merged
         };
+        // Parallel-sort variants share one C across branches; the last
+        // branch to finish returns the buffer.
+        c.pool.release(cbuf);
         vec![None, Some(Arc::new(out))]
     }
 }
@@ -576,6 +607,9 @@ impl TaskClass for Write {
             };
             let node = sort.owners[w].0;
             ws.ga.acc_local(ws.i2, node, sort.out_offset, &data, 1.0);
+            // Split writes share the sorted matrix across owner
+            // instances; the last one returns it to the pool.
+            c.pool.release(data);
         }
         vec![None; 4]
     }
@@ -593,6 +627,18 @@ pub fn build_graph(
     cfg: VariantCfg,
     ws: Option<Arc<tce::Workspace>>,
 ) -> TaskGraph {
+    build_graph_pooled(ins, cfg, ws, Arc::new(TilePool::default()))
+}
+
+/// As [`build_graph`], sharing a caller-owned [`TilePool`]: repeated runs
+/// (iterations of the CCSD solve) reuse the previous run's tile buffers,
+/// so only the first run pays any allocation.
+pub fn build_graph_pooled(
+    ins: Arc<Inspection>,
+    cfg: VariantCfg,
+    ws: Option<Arc<tce::Workspace>>,
+    pool: Arc<TilePool>,
+) -> TaskGraph {
     let nodes = ins.i2.dist.nodes();
     if let Some(ws) = &ws {
         assert_eq!(ws.ga.nnodes(), nodes, "workspace/inspection node mismatch");
@@ -602,6 +648,7 @@ pub fn build_graph(
         cfg,
         nodes,
         ws,
+        pool,
     });
     TaskGraph::new(
         vec![

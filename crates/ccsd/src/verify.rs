@@ -6,8 +6,8 @@
 //! energy surrogate, for comparison with the serial reference.
 
 use crate::ctx::VariantCfg;
-use crate::variants::build_graph;
-use parsec_rt::{NativeRuntime, SchedPolicy, SimEngine};
+use crate::variants::{build_graph, build_graph_pooled};
+use parsec_rt::{NativeRuntime, SchedPolicy, SimEngine, TilePool};
 use std::sync::Arc;
 use tce::{energy, reference, TileSpace, Workspace};
 
@@ -49,6 +49,23 @@ pub fn variant_energy_native(
     } else {
         SchedPolicy::Fifo
     };
+    NativeRuntime::new(threads).policy(policy).run(&graph);
+    energy::energy(ws)
+}
+
+/// As [`variant_energy_native`], sharing a caller-owned tile pool and
+/// scheduling policy — the harness for pool-reuse measurements across
+/// repeated runs.
+pub fn variant_energy_native_pooled(
+    ins: &Arc<tce::Inspection>,
+    ws: &Arc<Workspace>,
+    cfg: VariantCfg,
+    threads: usize,
+    policy: SchedPolicy,
+    pool: Arc<TilePool>,
+) -> f64 {
+    ws.reset_output();
+    let graph = build_graph_pooled(ins.clone(), cfg, Some(ws.clone()), pool);
     NativeRuntime::new(threads).policy(policy).run(&graph);
     energy::energy(ws)
 }

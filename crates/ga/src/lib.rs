@@ -132,6 +132,20 @@ impl Ga {
         out
     }
 
+    /// As [`Self::get`], but into a caller-provided buffer: the pooled
+    /// data path reuses tile buffers across tasks instead of allocating
+    /// one per call.
+    pub fn get_into(&self, h: GaHandle, offset: usize, out: &mut [f64]) {
+        let a = self.array(h);
+        for (node, range) in a.dist.owners_of(offset, out.len()) {
+            let seg = a.segments[node].lock();
+            let s = a.dist.range_of(node).start;
+            out[range.start - offset..range.end - offset]
+                .copy_from_slice(&seg[range.start - s..range.end - s]);
+        }
+        self.stats.record_get(out.len() * 8);
+    }
+
     /// Overwrite `[offset, offset+len)` with `data`.
     pub fn put(&self, h: GaHandle, offset: usize, data: &[f64]) {
         let a = self.array(h);

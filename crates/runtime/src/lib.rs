@@ -26,6 +26,7 @@
 pub mod coarse;
 pub mod cost;
 pub mod native;
+pub mod pool;
 pub mod sched;
 pub mod shard;
 pub mod simengine;
@@ -34,5 +35,6 @@ pub mod tracker;
 pub use coarse::CoarseRuntime;
 pub use cost::CostModel;
 pub use native::{NativeReport, NativeRuntime};
+pub use pool::{PoolStats, TilePool};
 pub use sched::SchedPolicy;
 pub use simengine::{SimEngine, SimReport};

@@ -359,9 +359,14 @@ fn run_task(
     );
     spans.push((key.class, b, e));
 
-    // Release successors. Payload insert precedes the deliver that could
-    // publish readiness, so a thief that later pops the successor finds
-    // its inputs (visibility chains through the shard locks).
+    // Release successors. Payload inserts precede every deliver that
+    // could publish readiness, so a thief that later pops the successor
+    // finds its inputs (visibility chains through the shard locks). The
+    // producer's own output references are dropped before the deliver
+    // loop: once a successor can run, the store entries are the only
+    // remaining references, so a single-consumer payload is uniquely
+    // held by the time its consumer takes it and can be reused in place
+    // instead of copy-on-write cloned.
     deps.clear();
     ready.clear();
     class.successors(key, ctx, deps);
@@ -369,6 +374,9 @@ fn run_task(
         if let Some(p) = &outputs[d.src_flow as usize] {
             shared.store.insert((d.dst, d.dst_flow), p.clone());
         }
+    }
+    drop(outputs);
+    for d in deps.iter() {
         if let Some(now_ready) = shared.tracker.deliver(graph, d.dst) {
             let prio = graph.class_of(now_ready).priority(now_ready, ctx);
             ready.push((now_ready, prio));

@@ -1,0 +1,350 @@
+//! Pooled tile memory for the data path.
+//!
+//! Every task body in the chain data path works on short-lived `Vec<f64>`
+//! tile buffers: operand tiles pulled from the Global Array, private C
+//! accumulators, sort scratch, GEMM packing panels. Allocating these per
+//! task puts the allocator's lock and page-zeroing on the critical path of
+//! every GEMM — the same class of overhead the paper attributes to the
+//! original code's per-call buffer management. [`TilePool`] is a sharded
+//! free-list allocator: buffers are checked out by size class, recycled on
+//! release, and after a warm-up pass the steady state serves every request
+//! from a free list — zero heap allocations per task.
+//!
+//! Sharding mirrors [`crate::shard::ShardMap`]: each shard is a small
+//! mutex around `size class -> free list`, and a thread goes to the shard
+//! its `ThreadId` hashes to, so concurrent checkouts by different workers
+//! touch different locks. A checkout that misses its home shard scans the
+//! others before allocating fresh — recycled buffers are never stranded on
+//! the shard of a thread that no longer exists, which keeps repeat runs
+//! miss-free even though worker threads (and their shard homes) change
+//! between runs.
+
+use crate::shard::FxHasher;
+use parking_lot::Mutex;
+use ptg::Payload;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Smallest pooled size class (doubles). Requests below this still round
+/// up to it; buffers whose capacity fell below it are dropped on recycle
+/// rather than pooled.
+const MIN_CLASS: usize = 8;
+
+/// Snapshot of the pool's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served from a free list.
+    pub hits: u64,
+    /// Checkouts that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned to a free list.
+    pub recycles: u64,
+    /// Copy-on-write clones taken by [`TilePool::own`] because the
+    /// payload was still shared.
+    pub cow_clones: u64,
+    /// Bytes of fresh capacity ever allocated through the pool.
+    pub bytes_allocated: u64,
+}
+
+impl PoolStats {
+    /// Fraction of checkouts served without allocating (1.0 when warm).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+type FreeLists = HashMap<usize, Vec<Vec<f64>>>;
+
+/// Sharded free-list allocator for `f64` tile buffers.
+pub struct TilePool {
+    shards: Vec<Mutex<FreeLists>>,
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycles: AtomicU64,
+    cow_clones: AtomicU64,
+    bytes_allocated: AtomicU64,
+}
+
+impl Default for TilePool {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+/// Size class of a requested length: next power of two, floored at
+/// [`MIN_CLASS`]. Every buffer in class `c`'s free list has capacity
+/// `>= c`.
+fn class_of(len: usize) -> usize {
+    len.next_power_of_two().max(MIN_CLASS)
+}
+
+impl TilePool {
+    /// Pool with at least `shards` shards (rounded up to a power of two).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: (n - 1) as u64,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recycles: AtomicU64::new(0),
+            cow_clones: AtomicU64::new(0),
+            bytes_allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// The calling thread's home shard.
+    fn home(&self) -> usize {
+        let mut h = FxHasher::default();
+        std::thread::current().id().hash(&mut h);
+        ((h.finish() >> 48) & self.mask) as usize
+    }
+
+    /// Pop a free buffer of class `class`, checking the home shard first
+    /// and then every other shard.
+    fn pop_free(&self, class: usize) -> Option<Vec<f64>> {
+        let home = self.home();
+        let n = self.shards.len();
+        for off in 0..n {
+            let idx = (home + off) % n;
+            let mut shard = self.shards[idx].lock();
+            if let Some(list) = shard.get_mut(&class) {
+                if let Some(v) = list.pop() {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Check out a zeroed buffer of exactly `len` elements (capacity is
+    /// the size class, so recycling round-trips by class).
+    pub fn checkout(&self, len: usize) -> Vec<f64> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let class = class_of(len);
+        let mut v = match self.pop_free(class) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                v
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.bytes_allocated
+                    .fetch_add((class * 8) as u64, Ordering::Relaxed);
+                Vec::with_capacity(class)
+            }
+        };
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Return a buffer to the pool. Buffers too small to pool are dropped.
+    pub fn recycle(&self, v: Vec<f64>) {
+        // Class from the capacity, rounded *down*, so everything filed
+        // under class c really has capacity >= c even for buffers the
+        // pool did not originally allocate.
+        let cap = v.capacity();
+        if cap < MIN_CLASS {
+            return;
+        }
+        let class = if cap.is_power_of_two() {
+            cap
+        } else {
+            cap.next_power_of_two() / 2
+        };
+        self.recycles.fetch_add(1, Ordering::Relaxed);
+        let home = self.home();
+        self.shards[home].lock().entry(class).or_default().push(v);
+    }
+
+    /// Recycle the buffer behind `p` if this was the last reference;
+    /// otherwise just drop the reference.
+    pub fn release(&self, p: Payload) {
+        if let Ok(v) = std::sync::Arc::try_unwrap(p) {
+            self.recycle(v);
+        }
+    }
+
+    /// Take ownership of a payload's buffer: in-place when this is the
+    /// last reference, copy-on-write through the pool when it is still
+    /// shared (counted in [`PoolStats::cow_clones`]).
+    pub fn own(&self, p: Payload) -> Vec<f64> {
+        match std::sync::Arc::try_unwrap(p) {
+            Ok(v) => v,
+            Err(shared) => {
+                self.cow_clones.fetch_add(1, Ordering::Relaxed);
+                let mut v = self.checkout(shared.len());
+                v.copy_from_slice(&shared);
+                v
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            recycles: self.recycles.load(Ordering::Relaxed),
+            cow_clones: self.cow_clones.load(Ordering::Relaxed),
+            bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Free buffers currently held, across all shards and classes.
+    pub fn free_buffers(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn checkout_recycle_roundtrip_hits() {
+        let pool = TilePool::new(4);
+        let v = pool.checkout(100);
+        assert_eq!(v.len(), 100);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(pool.stats().misses, 1);
+        pool.recycle(v);
+        // Same class (128) is served from the free list, zeroed again.
+        let mut v2 = pool.checkout(70);
+        assert_eq!(v2.len(), 70);
+        assert!(v2.iter().all(|&x| x == 0.0));
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 1);
+        v2[0] = 3.0;
+        pool.recycle(v2);
+        assert_eq!(pool.free_buffers(), 1);
+    }
+
+    #[test]
+    fn distinct_classes_do_not_mix() {
+        let pool = TilePool::new(2);
+        pool.recycle(vec![0.0; 64]); // class 64
+        let v = pool.checkout(100); // class 128: must miss
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(pool.stats().hits, 0);
+        pool.recycle(v);
+        let _ = pool.checkout(33); // class 64: hit
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn foreign_capacity_files_under_floor_class() {
+        let pool = TilePool::new(2);
+        let mut v = Vec::with_capacity(100); // not a power of two
+        v.resize(100, 1.0);
+        pool.recycle(v); // filed under class 64
+        let got = pool.checkout(60);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(got.len(), 60);
+        assert!(got.iter().all(|&x| x == 0.0), "checkout must zero");
+    }
+
+    #[test]
+    fn own_unique_reuses_shared_clones() {
+        let pool = TilePool::new(2);
+        let unique: Payload = Arc::new(vec![1.0; 32]);
+        let v = pool.own(unique);
+        assert_eq!(v, vec![1.0; 32]);
+        assert_eq!(pool.stats().cow_clones, 0);
+
+        let shared: Payload = Arc::new(vec![2.0; 32]);
+        let keep = shared.clone();
+        let w = pool.own(shared);
+        assert_eq!(w, vec![2.0; 32]);
+        assert_eq!(*keep, vec![2.0; 32]);
+        assert_eq!(pool.stats().cow_clones, 1);
+    }
+
+    #[test]
+    fn release_recycles_only_last_ref() {
+        let pool = TilePool::new(2);
+        let p: Payload = Arc::new(pool.checkout(16));
+        let q = p.clone();
+        pool.release(p);
+        assert_eq!(pool.free_buffers(), 0);
+        pool.release(q);
+        assert_eq!(pool.free_buffers(), 1);
+        assert_eq!(pool.stats().recycles, 1);
+    }
+
+    #[test]
+    fn cross_shard_fallback_finds_other_threads_buffers() {
+        // Recycle from many different threads (different home shards),
+        // then check out everything from this one: the fallback scan must
+        // find every buffer without a single miss.
+        let pool = Arc::new(TilePool::new(8));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let pool = pool.clone();
+                s.spawn(move || pool.recycle(vec![0.0; 256]));
+            }
+        });
+        let before = pool.stats().misses;
+        let got: Vec<_> = (0..8).map(|_| pool.checkout(256)).collect();
+        assert_eq!(got.len(), 8);
+        assert_eq!(pool.stats().misses, before);
+        assert_eq!(pool.stats().hits, 8);
+    }
+
+    #[test]
+    fn zero_length_checkout_is_free() {
+        let pool = TilePool::new(1);
+        let v = pool.checkout(0);
+        assert!(v.is_empty());
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+        pool.recycle(v); // capacity 0: dropped, not pooled
+        assert_eq!(pool.free_buffers(), 0);
+        assert!((s.hit_rate() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn steady_state_allocates_nothing() {
+        let pool = TilePool::new(4);
+        // Warm-up: the working set is two live buffers of each of three
+        // sizes.
+        for _ in 0..2 {
+            let a = pool.checkout(40);
+            let b = pool.checkout(40);
+            let c = pool.checkout(500);
+            let d = pool.checkout(9000);
+            pool.recycle(a);
+            pool.recycle(b);
+            pool.recycle(c);
+            pool.recycle(d);
+        }
+        let warm = pool.stats();
+        for _ in 0..100 {
+            let a = pool.checkout(40);
+            let b = pool.checkout(40);
+            let c = pool.checkout(500);
+            let d = pool.checkout(9000);
+            pool.recycle(a);
+            pool.recycle(b);
+            pool.recycle(c);
+            pool.recycle(d);
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, warm.misses, "steady state must not allocate");
+        assert_eq!(s.bytes_allocated, warm.bytes_allocated);
+        assert_eq!(s.hits, warm.hits + 400);
+    }
+}

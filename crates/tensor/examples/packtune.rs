@@ -1,0 +1,73 @@
+//! Block-size tuning probe for the packed GEMM engine: prints blocked
+//! vs packed GFLOP/s for a few `GemmParams` candidates.
+
+use std::time::Instant;
+use tensor_kernels::gemm::{dgemm_blocked, dgemm_packed_with};
+use tensor_kernels::{GemmParams, Trans};
+
+fn bench<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    for &d in &[64usize, 128, 256] {
+        let (m, n, k) = (d, d, d);
+        let a: Vec<f64> = (0..m * k).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| (i as f64).cos()).collect();
+        let mut c = vec![0.0; m * n];
+        let flops = 2.0 * (m * n * k) as f64;
+        let tb = bench(|| dgemm_blocked(Trans::T, Trans::N, m, n, k, 1.0, &a, &b, 1.0, &mut c));
+        for params in [
+            GemmParams::default(),
+            GemmParams {
+                mc: 64,
+                kc: 128,
+                nc: 2048,
+            },
+            GemmParams {
+                mc: 96,
+                kc: 192,
+                nc: 2048,
+            },
+            GemmParams {
+                mc: 256,
+                kc: 256,
+                nc: 2048,
+            },
+        ] {
+            let mut ap = vec![0.0; params.packed_a_len(m, k)];
+            let mut bp = vec![0.0; params.packed_b_len(n, k)];
+            let tp = bench(|| {
+                dgemm_packed_with(
+                    &params,
+                    Trans::T,
+                    Trans::N,
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    &a,
+                    &b,
+                    1.0,
+                    &mut c,
+                    &mut ap,
+                    &mut bp,
+                )
+            });
+            println!(
+                "{d:>4}^3 blocked {:6.2} GF/s  packed(mc={},kc={}) {:6.2} GF/s  ratio {:.2}x",
+                flops / tb / 1e9,
+                params.mc,
+                params.kc,
+                flops / tp / 1e9,
+                tb / tp
+            );
+        }
+    }
+}

@@ -1,12 +1,24 @@
 //! Column-major `DGEMM`: `C = alpha * op(A) * op(B) + beta * C`.
 //!
-//! The TCE-generated chains call `dgemm('T', 'N', ...)` (Figure 1's task
-//! body), so the `T x N` case is the hot path and gets a 4x4
-//! register-blocked microkernel ([`tn_block_4x4`]); the other
-//! combinations get layout-friendly loop orderings and are exercised by
-//! tests.
+//! Two engines, one entry point:
+//!
+//! * [`dgemm_blocked`] — the direct kernels: the TCE-generated chains
+//!   call `dgemm('T', 'N', ...)` (Figure 1's task body), so the `T x N`
+//!   case gets a 4x4 register-blocked microkernel ([`tn_block_4x4`]);
+//!   the other combinations get layout-friendly loop orderings. No
+//!   packing, no cache blocking: fast for tiles that fit in L1/L2.
+//! * [`dgemm_packed`] — the BLIS-style engine: panels of `op(A)` and
+//!   `op(B)` are packed into contiguous scratch ([`crate::pack`]),
+//!   normalizing all four transpose combinations, and an `MR x NR`
+//!   register microkernel (AVX2+FMA when the CPU has it) runs a
+//!   `MC/KC/NC`-blocked loop nest over them. Wins once the operands
+//!   outgrow cache or the wide units are worth unlocking.
+//!
+//! [`dgemm`] dispatches between them by problem volume; both are exact
+//! against [`dgemm_naive`] in the property tests.
 
 use crate::cm;
+use crate::pack::{self, microkernel, GemmParams, MR, NR};
 
 /// Transposition flag for one GEMM operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,8 +49,45 @@ impl Trans {
 ///
 /// All matrices are dense column-major with no leading-dimension padding.
 /// Panics if slice lengths do not match the shapes.
+///
+/// Dispatches to the packed cache-blocked engine ([`dgemm_packed`]) when
+/// the problem is large enough to amortize packing and the SIMD
+/// microkernel is available, and to the direct kernels
+/// ([`dgemm_blocked`]) otherwise.
 #[allow(clippy::too_many_arguments)]
 pub fn dgemm(
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    if packed_profitable(m, n, k) {
+        dgemm_packed(ta, tb, m, n, k, alpha, a, b, beta, c);
+    } else {
+        dgemm_blocked(ta, tb, m, n, k, alpha, a, b, beta, c);
+    }
+}
+
+/// Volume threshold above which the packed engine is dispatched: below
+/// this the tile fits comfortably in cache and packing is pure overhead.
+const PACKED_MIN_VOLUME: usize = 16 * 1024;
+
+/// `true` when [`dgemm`] would route an `m x n x k` product through the
+/// packed engine. Exposed so callers that manage their own packing
+/// scratch (the pooled chain executor) take the same branch.
+pub fn packed_profitable(m: usize, n: usize, k: usize) -> bool {
+    m * n * k >= PACKED_MIN_VOLUME && pack::simd_available()
+}
+
+/// The direct (non-packing) kernels; see the module docs.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_blocked(
     ta: Trans,
     tb: Trans,
     m: usize,
@@ -206,6 +255,113 @@ fn tn_block_4x4(
     }
 }
 
+/// Packed cache-blocked GEMM with default [`GemmParams`] and internally
+/// allocated packing scratch. For repeated calls, use
+/// [`dgemm_packed_with`] with reused scratch buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_packed(
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    let params = GemmParams::default();
+    let mut ap = Vec::new();
+    let mut bp = Vec::new();
+    dgemm_packed_with(
+        &params, ta, tb, m, n, k, alpha, a, b, beta, c, &mut ap, &mut bp,
+    );
+}
+
+/// Packed cache-blocked GEMM: BLIS loop nest over `params` blocks.
+///
+/// `ap`/`bp` are packing scratch; they are resized to at most
+/// [`GemmParams::packed_a_len`] / [`GemmParams::packed_b_len`] and their
+/// contents on entry are irrelevant. Passing buffers with that capacity
+/// (e.g. from a tile pool) makes the call allocation-free.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_packed_with(
+    params: &GemmParams,
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    ap: &mut Vec<f64>,
+    bp: &mut Vec<f64>,
+) {
+    params.assert_valid();
+    assert_eq!(a.len(), m * k, "A has wrong size");
+    assert_eq!(b.len(), k * n, "B has wrong size");
+    assert_eq!(c.len(), m * n, "C has wrong size");
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill(0.0);
+        } else {
+            for x in c.iter_mut() {
+                *x *= beta;
+            }
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let a_len = params.packed_a_len(m, k);
+    let b_len = params.packed_b_len(n, k);
+    if ap.len() < a_len {
+        ap.resize(a_len, 0.0);
+    }
+    if bp.len() < b_len {
+        bp.resize(b_len, 0.0);
+    }
+
+    let mut tile = [0.0f64; MR * NR];
+    for jc in (0..n).step_by(params.nc) {
+        let ncc = params.nc.min(n - jc);
+        for pc in (0..k).step_by(params.kc) {
+            let kcc = params.kc.min(k - pc);
+            pack::pack_b(tb, b, k, n, pc, kcc, jc, ncc, bp);
+            for ic in (0..m).step_by(params.mc) {
+                let mcc = params.mc.min(m - ic);
+                pack::pack_a(ta, a, m, k, ic, mcc, pc, kcc, ap);
+                for jr in 0..ncc.div_ceil(NR) {
+                    let bpanel = &bp[jr * NR * kcc..(jr + 1) * NR * kcc];
+                    let nr_eff = NR.min(ncc - jr * NR);
+                    for ir in 0..mcc.div_ceil(MR) {
+                        let apanel = &ap[ir * MR * kcc..(ir + 1) * MR * kcc];
+                        let mr_eff = MR.min(mcc - ir * MR);
+                        microkernel(kcc, apanel, bpanel, &mut tile);
+                        // Clipped writeback: the tile rows/columns past
+                        // the block edge are zero-padded products and
+                        // are simply not stored.
+                        let c0 = ic + ir * MR;
+                        for j in 0..nr_eff {
+                            let cj = &mut c[(jc + jr * NR + j) * m + c0..][..mr_eff];
+                            let tj = &tile[j * MR..j * MR + mr_eff];
+                            for (cij, &tij) in cj.iter_mut().zip(tj) {
+                                *cij += alpha * tij;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Textbook reference implementation (element addressing only), used as the
 /// oracle in property tests.
 #[allow(clippy::too_many_arguments)]
@@ -345,6 +501,107 @@ mod tests {
         let mut c2 = vec![7.0; 4];
         dgemm(Trans::N, Trans::N, 2, 2, 0, 1.0, &[], &[], 1.0, &mut c2);
         assert_eq!(c2, vec![7.0; 4]);
+    }
+
+    #[test]
+    fn packed_agrees_with_naive_all_transposes() {
+        // Sizes straddling MR=8 / NR=6 micropanels and the custom block
+        // edges; every transpose combination.
+        let params = GemmParams {
+            mc: 16,
+            kc: 8,
+            nc: 12,
+        };
+        for &(m, n, k) in &[(1, 1, 1), (8, 6, 8), (9, 7, 9), (17, 13, 11), (32, 24, 16)] {
+            let a: Vec<f64> = (0..m * k).map(|i| (i as f64 * 0.7).sin()).collect();
+            let b: Vec<f64> = (0..k * n).map(|i| (i as f64 * 0.3).cos()).collect();
+            let c0: Vec<f64> = (0..m * n).map(|i| i as f64 * 0.01 - 0.2).collect();
+            for &ta in &[Trans::N, Trans::T] {
+                for &tb in &[Trans::N, Trans::T] {
+                    let mut c1 = c0.clone();
+                    let mut c2 = c0.clone();
+                    let (mut ap, mut bp) = (Vec::new(), Vec::new());
+                    dgemm_packed_with(
+                        &params, ta, tb, m, n, k, 1.25, &a, &b, -0.5, &mut c1, &mut ap, &mut bp,
+                    );
+                    dgemm_naive(ta, tb, m, n, k, 1.25, &a, &b, -0.5, &mut c2);
+                    for (x, y) in c1.iter().zip(&c2) {
+                        assert!(
+                            (x - y).abs() < 1e-12,
+                            "{ta:?}{tb:?} {m}x{n}x{k}: {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_default_params_and_degenerate_dims() {
+        // Default blocks far larger than the matrix: single-block path.
+        let (m, n, k) = (5, 4, 3);
+        let a: Vec<f64> = (0..m * k).map(|i| i as f64 + 0.5).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| 2.0 - i as f64 * 0.25).collect();
+        let mut c1 = vec![1.0; m * n];
+        let mut c2 = vec![1.0; m * n];
+        dgemm_packed(Trans::T, Trans::N, m, n, k, 2.0, &a, &b, 1.0, &mut c1);
+        dgemm_naive(Trans::T, Trans::N, m, n, k, 2.0, &a, &b, 1.0, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        // k == 0 leaves only the beta scaling.
+        let mut c3 = vec![3.0; 4];
+        dgemm_packed(Trans::N, Trans::N, 2, 2, 0, 1.0, &[], &[], 0.5, &mut c3);
+        assert_eq!(c3, vec![1.5; 4]);
+        // Empty output.
+        let mut c4: Vec<f64> = vec![];
+        dgemm_packed(Trans::N, Trans::T, 0, 0, 2, 1.0, &[], &[], 0.0, &mut c4);
+    }
+
+    #[test]
+    fn packed_scratch_is_reused_without_realloc() {
+        let params = GemmParams::default();
+        let (m, n, k) = (40, 40, 40);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let mut c = vec![0.0; m * n];
+        let mut ap = vec![0.0; params.packed_a_len(m, k)];
+        let mut bp = vec![0.0; params.packed_b_len(n, k)];
+        let (pa, pb) = (ap.as_ptr(), bp.as_ptr());
+        dgemm_packed_with(
+            &params,
+            Trans::T,
+            Trans::N,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+            &mut ap,
+            &mut bp,
+        );
+        assert_eq!(ap.as_ptr(), pa, "A scratch reallocated");
+        assert_eq!(bp.as_ptr(), pb, "B scratch reallocated");
+    }
+
+    #[test]
+    fn dispatcher_threshold_routes_consistently() {
+        // Just below / above the volume threshold both match naive.
+        for &(m, n, k) in &[(16, 16, 16), (32, 32, 32)] {
+            let a = seq(m * k);
+            let b = seq(k * n);
+            let mut c1 = vec![0.5; m * n];
+            let mut c2 = vec![0.5; m * n];
+            dgemm(Trans::T, Trans::N, m, n, k, 1.0, &a, &b, 1.0, &mut c1);
+            dgemm_naive(Trans::T, Trans::N, m, n, k, 1.0, &a, &b, 1.0, &mut c2);
+            for (x, y) in c1.iter().zip(&c2) {
+                let scale = y.abs().max(1.0);
+                assert!((x - y).abs() / scale < 1e-12, "{m}: {x} vs {y}");
+            }
+        }
     }
 
     #[test]

@@ -10,11 +10,15 @@
 //! by the property tests.
 
 pub mod gemm;
+pub mod pack;
 pub mod sort4;
 pub mod vecops;
 
-pub use gemm::{dgemm, dgemm_naive, Trans};
-pub use sort4::{invert_perm, sort_4, Perm4};
+pub use gemm::{
+    dgemm, dgemm_blocked, dgemm_naive, dgemm_packed, dgemm_packed_with, packed_profitable, Trans,
+};
+pub use pack::GemmParams;
+pub use sort4::{invert_perm, sort_4, sort_4_naive, sort_4_tiled, Perm4};
 pub use vecops::{daxpy, ddot, dfill, max_abs_diff, rel_diff};
 
 /// Column-major linear index of `(i, j)` in an `m x _` matrix.

@@ -37,6 +37,15 @@ pub fn invert_perm(p: &Perm4) -> Perm4 {
     inv
 }
 
+/// Edge length of one cache tile of the blocked remap: a 32x32 tile of
+/// doubles is 8 KiB, so the source and destination tiles together sit in
+/// L1 while every touched cache line is fully consumed.
+const SORT_TILE: usize = 32;
+
+/// Tiles smaller than this take the linear walk — the whole remap fits
+/// in L1 and the blocked loop structure is pure overhead.
+const SORT_TILED_MIN: usize = 4096;
+
 /// Remap `src` (a dense column-major 4-index tile of shape `dims`) into a
 /// freshly defined layout where the output's `q`-th index is the input's
 /// `perm[q]`-th index, scaling by `factor`. `dst` must have the same total
@@ -44,32 +53,62 @@ pub fn invert_perm(p: &Perm4) -> Perm4 {
 ///
 /// Column-major: input element `(i0,i1,i2,i3)` lives at
 /// `i0 + d0*(i1 + d1*(i2 + d2*i3))`.
+///
+/// Large tiles whose fastest output index is not the fastest input index
+/// take a cache-tiled path ([`sort_4_tiled`]) so writes stay contiguous
+/// within blocks instead of striding a cache line per element.
 pub fn sort_4(src: &[f64], dst: &mut [f64], dims: [usize; 4], perm: Perm4, factor: f64) {
     assert!(is_perm(&perm), "not a permutation: {perm:?}");
     let total = dims.iter().product::<usize>();
     assert_eq!(src.len(), total, "src size mismatch");
     assert_eq!(dst.len(), total, "dst size mismatch");
+    if perm[0] != 0 && total >= SORT_TILED_MIN {
+        sort_4_blocked(src, dst, dims, perm, factor);
+    } else {
+        sort_4_linear(src, dst, dims, perm, factor);
+    }
+}
 
-    // Output dims: odims[q] = dims[perm[q]].
+/// The cache-tiled remap, callable directly (the dispatch in [`sort_4`]
+/// picks it automatically for large strided permutations). Falls back to
+/// the linear walk when the permutation keeps index 0 in place, since
+/// then both walks are already contiguous.
+pub fn sort_4_tiled(src: &[f64], dst: &mut [f64], dims: [usize; 4], perm: Perm4, factor: f64) {
+    assert!(is_perm(&perm), "not a permutation: {perm:?}");
+    let total = dims.iter().product::<usize>();
+    assert_eq!(src.len(), total, "src size mismatch");
+    assert_eq!(dst.len(), total, "dst size mismatch");
+    if perm[0] != 0 {
+        sort_4_blocked(src, dst, dims, perm, factor);
+    } else {
+        sort_4_linear(src, dst, dims, perm, factor);
+    }
+}
+
+/// Output strides indexed by *input* axis: walking input axis `p`
+/// advances the output offset by `step[p]`.
+fn out_steps(dims: [usize; 4], perm: Perm4) -> [usize; 4] {
     let odims = [dims[perm[0]], dims[perm[1]], dims[perm[2]], dims[perm[3]]];
-    // Output strides (column-major).
     let ostride = [
         1,
         odims[0],
         odims[0] * odims[1],
         odims[0] * odims[1] * odims[2],
     ];
-    // For input index position p, which output position carries it?
     let inv = invert_perm(&perm);
-    // Walking the input linearly with index (i0,i1,i2,i3), the output
-    // offset advances by ostride[inv[p]] when i_p increments.
-    let step = [
+    [
         ostride[inv[0]],
         ostride[inv[1]],
         ostride[inv[2]],
         ostride[inv[3]],
-    ];
+    ]
+}
 
+/// Linear walk: stream the input once; the output is written with stride
+/// `step[0]` in the inner loop. Optimal when `perm[0] == 0` (both sides
+/// contiguous) or when everything fits in L1.
+fn sort_4_linear(src: &[f64], dst: &mut [f64], dims: [usize; 4], perm: Perm4, factor: f64) {
+    let step = out_steps(dims, perm);
     let mut src_it = src.iter();
     for i3 in 0..dims[3] {
         for i2 in 0..dims[2] {
@@ -77,6 +116,45 @@ pub fn sort_4(src: &[f64], dst: &mut [f64], dims: [usize; 4], perm: Perm4, facto
                 let base = i1 * step[1] + i2 * step[2] + i3 * step[3];
                 for i0 in 0..dims[0] {
                     dst[base + i0 * step[0]] = factor * src_it.next().unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// Cache-tiled remap for `perm[0] != 0`: the DESIGN.md stride argument
+/// (`SORT_STRIDE_FACTOR`) is that the linear walk's inner loop writes one
+/// element per destination cache line. Blocking over input axis 0 (source
+/// contiguous) and input axis `perm[0]` (destination contiguous — its
+/// output stride is 1 by construction) turns the remap into a blocked
+/// 2-D transpose: within one `SORT_TILE x SORT_TILE` tile the inner loop
+/// writes `dst` with stride 1, and every source line loaded for the tile
+/// is fully consumed before eviction.
+fn sort_4_blocked(src: &[f64], dst: &mut [f64], dims: [usize; 4], perm: Perm4, factor: f64) {
+    let p0 = perm[0];
+    debug_assert_ne!(p0, 0);
+    let istride = [1, dims[0], dims[0] * dims[1], dims[0] * dims[1] * dims[2]];
+    let step = out_steps(dims, perm);
+    debug_assert_eq!(step[p0], 1);
+    // The two axes that are neither input-fastest nor output-fastest.
+    let rest: Vec<usize> = (1..4).filter(|&q| q != p0).collect();
+    let (q1, q2) = (rest[0], rest[1]);
+    let sp = istride[p0];
+    for iq2 in 0..dims[q2] {
+        for iq1 in 0..dims[q1] {
+            let sbase = iq1 * istride[q1] + iq2 * istride[q2];
+            let dbase = iq1 * step[q1] + iq2 * step[q2];
+            for jp in (0..dims[p0]).step_by(SORT_TILE) {
+                let jpe = (jp + SORT_TILE).min(dims[p0]);
+                for j0 in (0..dims[0]).step_by(SORT_TILE) {
+                    let j0e = (j0 + SORT_TILE).min(dims[0]);
+                    for i0 in j0..j0e {
+                        let s = sbase + i0;
+                        let drow = &mut dst[dbase + i0 * step[0] + jp..][..jpe - jp];
+                        for (ip, d) in (jp..jpe).zip(drow) {
+                            *d = factor * src[s + ip * sp];
+                        }
+                    }
                 }
             }
         }
@@ -152,6 +230,34 @@ mod tests {
             sort_4(&src, &mut d1, dims, p, -0.5);
             sort_4_naive(&src, &mut d2, dims, p, -0.5);
             assert_eq!(d1, d2, "perm {p:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_path_matches_naive_above_threshold() {
+        // 17*9*5*11 = 8415 elements > SORT_TILED_MIN, odd dims straddle
+        // SORT_TILE edges, and every perm with perm[0] != 0 takes the
+        // blocked path through the public dispatcher.
+        let dims = [17, 9, 5, 11];
+        let n: usize = dims.iter().product();
+        assert!(n >= SORT_TILED_MIN);
+        let src: Vec<f64> = (0..n).map(|x| (x as f64).sin()).collect();
+        for a in 0..4usize {
+            for b in 0..4 {
+                for c in 0..4 {
+                    for d in 0..4 {
+                        let p = [a, b, c, d];
+                        if !is_perm(&p) {
+                            continue;
+                        }
+                        let mut got = vec![0.0; n];
+                        let mut want = vec![0.0; n];
+                        sort_4_tiled(&src, &mut got, dims, p, -0.5);
+                        sort_4_naive(&src, &mut want, dims, p, -0.5);
+                        assert_eq!(got, want, "perm {p:?}");
+                    }
+                }
+            }
         }
     }
 

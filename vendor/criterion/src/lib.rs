@@ -18,6 +18,19 @@ const TARGET: Duration = Duration::from_millis(200);
 /// Hard cap on iterations per benchmark.
 const MAX_ITERS: u64 = 50_000_000;
 
+/// True when the harness runs as a smoke test: invoked with `--test` or
+/// `--quick` after the `--` separator (`cargo bench ... -- --test`, real
+/// criterion's test mode), or with `CRITERION_QUICK=1` in the
+/// environment. Each bench then executes a single timed iteration —
+/// enough to prove the code runs, without the measurement windows.
+pub fn quick_mode() -> bool {
+    static QUICK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *QUICK.get_or_init(|| {
+        std::env::args().any(|a| a == "--test" || a == "--quick")
+            || std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0")
+    })
+}
+
 /// Reported work per iteration, used to derive throughput.
 #[derive(Debug, Clone, Copy)]
 pub enum Throughput {
@@ -76,6 +89,10 @@ impl Bencher {
         let t0 = Instant::now();
         black_box(f());
         let once = t0.elapsed().max(Duration::from_nanos(1));
+        if quick_mode() {
+            self.measured = Some((1, once));
+            return;
+        }
         let mut iters: u64 =
             (TARGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
         loop {
