@@ -18,4 +18,7 @@ cargo fmt --check
 echo "==> bench smoke (kernels, quick mode)"
 cargo bench -q -p bench-harness --bench kernels -- --test
 
+echo "==> comm smoke (4 ranks over sockets, v1..v5 vs single-process energies)"
+cargo run -q --release -p bench-harness --bin comm_bench -- --smoke
+
 echo "CI OK"

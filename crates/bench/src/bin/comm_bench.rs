@@ -1,0 +1,433 @@
+//! Multi-process communication benchmark and smoke check.
+//!
+//! Launches `R` ranks as real OS processes (re-executing this binary)
+//! connected by the TCP mesh transport, runs CCSD variants through the
+//! distributed Global Arrays backend, and aggregates per-rank fragments
+//! into `BENCH_comm.json`: wire bytes, eager/rendezvous payload counts,
+//! get-latency percentiles, and the communication/computation overlap
+//! fraction. The two default runs are the paper's headline ablation —
+//! v5 with the priority-driven prefetch pipeline against v2 (priorities
+//! off): without priorities the in-flight caps drain reader gets in
+//! class order, so GEMMs starve while transfers run and the overlap
+//! fraction drops.
+//!
+//! ```text
+//! comm_bench [--ranks R] [--scale S] [--threads T] [--reps N] [--port P]
+//! comm_bench --smoke        # v1..v5 energies vs the in-process reference
+//! ```
+//!
+//! `--smoke` is the CI gate: every variant on the 4-rank socket mesh must
+//! reproduce the single-process reference energy to 1e-12.
+
+use bench_harness::{arg_value, has_flag};
+use ccsd::{verify, DistRank, VariantCfg};
+use comm::SocketTransport;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// One variant execution's rank-local measurements.
+struct RunOut {
+    name: String,
+    energy: Option<f64>,
+    comm_ns: u64,
+    overlapped_ns: u64,
+    eager: u64,
+    rndv: u64,
+    bytes_tx: u64,
+    bytes_rx: u64,
+    gets: u64,
+    puts: u64,
+    accs: u64,
+    ga_local: u64,
+    ga_remote: u64,
+    lat_ns: Vec<u64>,
+}
+
+fn scale_of(name: &str) -> tce::SpaceConfig {
+    match name {
+        "tiny" => tce::scale::tiny(),
+        "small" => tce::scale::small(),
+        "medium" => tce::scale::medium(),
+        "paper" => tce::scale::paper(),
+        other => panic!("unknown scale `{other}`"),
+    }
+}
+
+/// The benchmark's run list: the prefetch pipeline with priorities (v5)
+/// against the no-priority ablation (v2); smoke mode checks all five
+/// variants instead.
+fn run_list(smoke: bool) -> Vec<(String, VariantCfg, bool)> {
+    if smoke {
+        VariantCfg::all()
+            .into_iter()
+            .map(|cfg| (cfg.name.to_string(), cfg, true))
+            .collect()
+    } else {
+        vec![
+            ("v5_prefetch".into(), VariantCfg::v5(), true),
+            ("v2_noprio".into(), VariantCfg::v2(), true),
+        ]
+    }
+}
+
+/// Execute this rank's share of every run over the socket mesh. Each
+/// run is repeated `reps` times with counters summed: on a small host
+/// a single execution's overlap fraction is scheduling noise.
+fn run_rank(
+    rank: usize,
+    ranks: usize,
+    port: u16,
+    scale: &str,
+    threads: usize,
+    reps: usize,
+    smoke: bool,
+) -> Vec<RunOut> {
+    let space = tce::TileSpace::build(&scale_of(scale));
+    let transport = SocketTransport::connect(rank, ranks, port, Duration::from_secs(60))
+        .unwrap_or_else(|e| panic!("rank {rank}: mesh connect failed: {e}"));
+    // The smoke check keeps the stock configuration; the benchmark
+    // splits the eager threshold through the middle of medium-scale
+    // block sizes so both payload protocols are exercised and measured.
+    let cfg = comm::CommConfig {
+        eager_threshold: if smoke { 4096 } else { 32 * 1024 },
+        ..comm::CommConfig::default()
+    };
+    let dr = DistRank::with_config(Box::new(transport), &space, &[tce::Kernel::T2_7], cfg);
+    let mut outs = Vec::new();
+    for (name, cfg, prefetch) in run_list(smoke) {
+        let mut acc: Option<RunOut> = None;
+        for _ in 0..reps.max(1) {
+            let ep = dr.endpoint();
+            let ga_stats = dr.workspace().ga.stats();
+            // Drain cumulative state so this run measures only itself.
+            let _ = ep.take_trace();
+            let _ = ep.take_latencies();
+            let s0 = ep.stats();
+            let (l0, r0) = (ga_stats.local_bytes(), ga_stats.remote_bytes());
+
+            let run = dr.run_variant(cfg, threads, prefetch);
+
+            let s1 = ep.stats();
+            let mut trace = run.report.trace;
+            trace.absorb(&ep.take_trace());
+            let node = xtrace::analyze::comm_overlap(&trace)
+                .remove(&(rank as u32))
+                .unwrap_or_default();
+            let out = acc.get_or_insert_with(|| RunOut {
+                name: name.clone(),
+                energy: None,
+                comm_ns: 0,
+                overlapped_ns: 0,
+                eager: 0,
+                rndv: 0,
+                bytes_tx: 0,
+                bytes_rx: 0,
+                gets: 0,
+                puts: 0,
+                accs: 0,
+                ga_local: 0,
+                ga_remote: 0,
+                lat_ns: Vec::new(),
+            });
+            out.energy = run.energy;
+            out.comm_ns += node.comm;
+            out.overlapped_ns += node.overlapped;
+            out.eager += s1.eager_payloads - s0.eager_payloads;
+            out.rndv += s1.rndv_payloads - s0.rndv_payloads;
+            out.bytes_tx += s1.bytes_tx - s0.bytes_tx;
+            out.bytes_rx += s1.bytes_rx - s0.bytes_rx;
+            out.gets += s1.gets - s0.gets;
+            out.puts += s1.puts - s0.puts;
+            out.accs += s1.accs - s0.accs;
+            out.ga_local += ga_stats.local_bytes() - l0;
+            out.ga_remote += ga_stats.remote_bytes() - r0;
+            out.lat_ns.extend(ep.take_latencies());
+        }
+        outs.push(acc.expect("reps >= 1"));
+    }
+    dr.finish();
+    outs
+}
+
+/// Flat line-oriented fragment format (internal to the bench; only the
+/// aggregate is JSON).
+fn write_fragment(path: &Path, outs: &[RunOut]) {
+    let mut s = String::new();
+    for o in outs {
+        s.push_str(&format!("run {}\n", o.name));
+        if let Some(e) = o.energy {
+            s.push_str(&format!("energy {e:.17e}\n"));
+        }
+        for (k, v) in [
+            ("comm_ns", o.comm_ns),
+            ("overlapped_ns", o.overlapped_ns),
+            ("eager", o.eager),
+            ("rndv", o.rndv),
+            ("bytes_tx", o.bytes_tx),
+            ("bytes_rx", o.bytes_rx),
+            ("gets", o.gets),
+            ("puts", o.puts),
+            ("accs", o.accs),
+            ("ga_local", o.ga_local),
+            ("ga_remote", o.ga_remote),
+        ] {
+            s.push_str(&format!("{k} {v}\n"));
+        }
+        let lats: Vec<String> = o.lat_ns.iter().map(|x| x.to_string()).collect();
+        s.push_str(&format!("lat_ns {}\n", lats.join(",")));
+    }
+    std::fs::write(path, s).expect("write fragment");
+}
+
+fn parse_fragment(text: &str) -> Vec<RunOut> {
+    let mut outs: Vec<RunOut> = Vec::new();
+    for line in text.lines() {
+        let (key, val) = line.split_once(' ').unwrap_or((line, ""));
+        if key == "run" {
+            outs.push(RunOut {
+                name: val.to_string(),
+                energy: None,
+                comm_ns: 0,
+                overlapped_ns: 0,
+                eager: 0,
+                rndv: 0,
+                bytes_tx: 0,
+                bytes_rx: 0,
+                gets: 0,
+                puts: 0,
+                accs: 0,
+                ga_local: 0,
+                ga_remote: 0,
+                lat_ns: Vec::new(),
+            });
+            continue;
+        }
+        let o = outs.last_mut().expect("fragment starts with a run line");
+        match key {
+            "energy" => o.energy = Some(val.parse().unwrap()),
+            "comm_ns" => o.comm_ns = val.parse().unwrap(),
+            "overlapped_ns" => o.overlapped_ns = val.parse().unwrap(),
+            "eager" => o.eager = val.parse().unwrap(),
+            "rndv" => o.rndv = val.parse().unwrap(),
+            "bytes_tx" => o.bytes_tx = val.parse().unwrap(),
+            "bytes_rx" => o.bytes_rx = val.parse().unwrap(),
+            "gets" => o.gets = val.parse().unwrap(),
+            "puts" => o.puts = val.parse().unwrap(),
+            "accs" => o.accs = val.parse().unwrap(),
+            "ga_local" => o.ga_local = val.parse().unwrap(),
+            "ga_remote" => o.ga_remote = val.parse().unwrap(),
+            "lat_ns" => {
+                o.lat_ns = val
+                    .split(',')
+                    .filter(|t| !t.is_empty())
+                    .map(|t| t.parse().unwrap())
+                    .collect()
+            }
+            other => panic!("unknown fragment key `{other}`"),
+        }
+    }
+    outs
+}
+
+fn percentile_us(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx] as f64 / 1e3
+}
+
+fn child(rank: usize, ranks: usize, port: u16, args: &[String]) {
+    let scale = arg_value(args, "--scale").unwrap_or_else(|| "tiny".into());
+    let threads: usize = arg_value(args, "--threads")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(1);
+    let reps: usize = arg_value(args, "--reps")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(1);
+    let dir = PathBuf::from(arg_value(args, "--dir").expect("child needs --dir"));
+    let outs = run_rank(
+        rank,
+        ranks,
+        port,
+        &scale,
+        threads,
+        reps,
+        has_flag(args, "--smoke"),
+    );
+    write_fragment(&dir.join(format!("rank{rank}.txt")), &outs);
+}
+
+fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
+    let smoke = has_flag(args, "--smoke");
+    // Bench mode wants real per-chain GEMM work (medium tiles) and one
+    // worker per rank: four processes already oversubscribe small hosts,
+    // and with no compute to speak of the overlap fraction is noise.
+    let default_scale = if smoke { "tiny" } else { "medium" };
+    let scale = arg_value(args, "--scale").unwrap_or_else(|| default_scale.into());
+    let threads: usize = arg_value(args, "--threads")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(1);
+    let reps: usize = arg_value(args, "--reps")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(if smoke { 1 } else { 3 });
+
+    // In-process ground truth, before any socket work.
+    let space = tce::TileSpace::build(&scale_of(&scale));
+    let ws = tce::build_workspace(&space, 1);
+    let e_ref = verify::reference_energy(&ws);
+    eprintln!("# reference energy (single process): {e_ref:.15}");
+
+    let dir = std::env::temp_dir().join(format!("comm_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut children = Vec::new();
+    for r in 1..ranks {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args(["--rank", &r.to_string()])
+            .args(["--ranks", &ranks.to_string()])
+            .args(["--port", &port.to_string()])
+            .args(["--scale", &scale])
+            .args(["--threads", &threads.to_string()])
+            .args(["--reps", &reps.to_string()])
+            .args(["--dir", &dir.display().to_string()]);
+        if smoke {
+            cmd.arg("--smoke");
+        }
+        children.push((r, cmd.spawn().map_err(|e| format!("spawn rank {r}: {e}"))?));
+    }
+
+    // The parent is rank 0.
+    let outs0 = run_rank(0, ranks, port, &scale, threads, reps, smoke);
+
+    for (r, mut ch) in children {
+        let status = ch.wait().map_err(|e| e.to_string())?;
+        if !status.success() {
+            return Err(format!("rank {r} exited with {status}"));
+        }
+    }
+    let mut per_rank = vec![outs0];
+    for r in 1..ranks {
+        let path = dir.join(format!("rank{r}.txt"));
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        per_rank.push(parse_fragment(&text));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if smoke {
+        return check_smoke(ranks, e_ref, &per_rank[0]);
+    }
+    aggregate(ranks, &scale, threads, e_ref, &per_rank)
+}
+
+fn check_smoke(ranks: usize, e_ref: f64, rank0: &[RunOut]) -> Result<(), String> {
+    let mut worst: f64 = 0.0;
+    for o in rank0 {
+        let e = o.energy.ok_or("rank 0 must report an energy")?;
+        let d = tensor_kernels::rel_diff(e_ref, e);
+        worst = worst.max(d);
+        println!(
+            "{:>3} over {ranks}-rank sockets: {e:.15}  (rel diff {d:.2e}, {} rndv, {} eager payloads)",
+            o.name, o.rndv, o.eager
+        );
+    }
+    if worst < 1e-12 {
+        println!("SMOKE OK: all variants match the single-process reference");
+        Ok(())
+    } else {
+        Err(format!("smoke FAILED: worst rel diff {worst:.2e}"))
+    }
+}
+
+fn aggregate(
+    ranks: usize,
+    scale: &str,
+    threads: usize,
+    e_ref: f64,
+    per_rank: &[Vec<RunOut>],
+) -> Result<(), String> {
+    let nruns = per_rank[0].len();
+    let mut rows = Vec::new();
+    for i in 0..nruns {
+        let name = per_rank[0][i].name.clone();
+        let sum = |f: &dyn Fn(&RunOut) -> u64| per_rank.iter().map(|rs| f(&rs[i])).sum::<u64>();
+        let comm_ns = sum(&|o| o.comm_ns);
+        let overlapped_ns = sum(&|o| o.overlapped_ns);
+        let overlap = if comm_ns == 0 {
+            0.0
+        } else {
+            overlapped_ns as f64 / comm_ns as f64
+        };
+        let mut lats: Vec<u64> = per_rank
+            .iter()
+            .flat_map(|rs| rs[i].lat_ns.clone())
+            .collect();
+        lats.sort_unstable();
+        let energy = per_rank[0][i].energy.ok_or("rank 0 must report energy")?;
+        let d = tensor_kernels::rel_diff(e_ref, energy);
+        if d >= 1e-12 {
+            return Err(format!(
+                "{name}: energy {energy} vs reference {e_ref} ({d:.2e})"
+            ));
+        }
+        println!(
+            "{name:>12}: overlap {overlap:.3}  comm {:.2} ms  {} eager / {} rndv payloads  {:.2} MB on wire  get p50 {:.1} us p99 {:.1} us",
+            comm_ns as f64 / 1e6,
+            sum(&|o| o.eager),
+            sum(&|o| o.rndv),
+            sum(&|o| o.bytes_tx) as f64 / 1e6,
+            percentile_us(&lats, 50.0),
+            percentile_us(&lats, 99.0),
+        );
+        rows.push(format!(
+            "    {{\n      \"name\": \"{name}\",\n      \"energy_rel_diff\": {d:.3e},\n      \"overlap_fraction\": {overlap:.6},\n      \"comm_ns\": {comm_ns},\n      \"overlapped_ns\": {overlapped_ns},\n      \"eager_payloads\": {},\n      \"rndv_payloads\": {},\n      \"bytes_tx\": {},\n      \"bytes_rx\": {},\n      \"gets\": {},\n      \"puts\": {},\n      \"accs\": {},\n      \"ga_local_bytes\": {},\n      \"ga_remote_bytes\": {},\n      \"get_latency_us\": {{\"p50\": {:.2}, \"p90\": {:.2}, \"p99\": {:.2}}}\n    }}",
+            sum(&|o| o.eager),
+            sum(&|o| o.rndv),
+            sum(&|o| o.bytes_tx),
+            sum(&|o| o.bytes_rx),
+            sum(&|o| o.gets),
+            sum(&|o| o.puts),
+            sum(&|o| o.accs),
+            sum(&|o| o.ga_local),
+            sum(&|o| o.ga_remote),
+            percentile_us(&lats, 50.0),
+            percentile_us(&lats, 90.0),
+            percentile_us(&lats, 99.0),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"ranks\": {ranks},\n  \"scale\": \"{scale}\",\n  \"threads_per_rank\": {threads},\n  \"reference_energy\": {e_ref:.17e},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_comm.json");
+    let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    f.write_all(json.as_bytes()).map_err(|e| e.to_string())?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ranks: usize = arg_value(&args, "--ranks")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(4);
+    // Distinct port windows across concurrent invocations.
+    let port: u16 = arg_value(&args, "--port")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or_else(|| 24000 + (std::process::id() % 700) as u16 * 8);
+    match arg_value(&args, "--rank") {
+        Some(r) => {
+            child(r.parse().unwrap(), ranks, port, &args);
+            std::process::ExitCode::SUCCESS
+        }
+        None => match parent(ranks, port, &args) {
+            Ok(()) => std::process::ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::ExitCode::FAILURE
+            }
+        },
+    }
+}

@@ -1,0 +1,270 @@
+//! One rank of a real multi-rank CCSD execution.
+//!
+//! The simulated cluster engine models a distributed run inside one
+//! process; this module *is* a distributed run: every rank owns a shard
+//! of each Global Array (the `comm` crate's one-sided progress engine),
+//! materializes only its round-robin share of the chains, and executes
+//! them on its own native work-stealing engine. Cross-rank traffic is
+//! exactly the application's: reader gets pulled from owner shards —
+//! asynchronously, through the priority-driven prefetch pipeline, when
+//! `prefetch` is on — and `WRITE_C` accumulates pushed to owner shards.
+//!
+//! The driver is collective throughout: every rank constructs a
+//! [`DistRank`] over its transport and calls the same methods in the same
+//! order, like an SPMD MPI program.
+
+use crate::ctx::VariantCfg;
+use crate::variants::build_graph_dist;
+use comm::{CommConfig, Endpoint, Transport};
+use global_arrays::{DistStore, Ga};
+use parsec_rt::{CoarseRuntime, NativeReport, NativeRuntime, SchedPolicy, TilePool};
+use std::sync::Arc;
+use tce::{Inspection, Kernel, TileSpace, Workspace};
+
+/// Outcome of one collective variant execution on one rank.
+pub struct DistRun {
+    /// The correlation-energy surrogate, computed on rank 0 only (the
+    /// other ranks return `None`); gathered over the wire from every
+    /// rank's output shard.
+    pub energy: Option<f64>,
+    /// This rank's engine report (worker spans on the shared comm
+    /// timeline, tagged with this rank's node id).
+    pub report: NativeReport,
+}
+
+/// One rank of a distributed CCSD execution: comm endpoint, GA shards,
+/// workspace, and the tile pool reused across runs.
+pub struct DistRank {
+    ep: Arc<Endpoint>,
+    ins: Arc<Inspection>,
+    ws: Arc<Workspace>,
+    pool: Arc<TilePool>,
+}
+
+impl DistRank {
+    /// Collectively materialize the problem over `transport`'s ranks:
+    /// shard stores, the progress engine, deterministic tensor fills
+    /// (each rank writes what it owns), and the inspection metadata.
+    pub fn new(transport: Box<dyn Transport>, space: &TileSpace, kernels: &[Kernel]) -> Self {
+        Self::with_config(transport, space, kernels, CommConfig::default())
+    }
+
+    /// As [`DistRank::new`] with an explicit comm configuration (eager
+    /// threshold, in-flight get caps).
+    pub fn with_config(
+        transport: Box<dyn Transport>,
+        space: &TileSpace,
+        kernels: &[Kernel],
+        cfg: CommConfig,
+    ) -> Self {
+        let (rank, nranks) = (transport.rank(), transport.nranks());
+        let store = DistStore::new(rank, nranks);
+        let ep = Endpoint::spawn(transport, store.clone(), cfg);
+        let ga = Ga::init_dist(ep.clone(), store);
+        let ins = Arc::new(tce::inspect_kernels(space, nranks, kernels));
+        let ws = Arc::new(tce::build_workspace_on(ga, space, kernels));
+        // Fills are one-sided puts into local shards; the sync makes
+        // every tensor globally visible before anyone reads.
+        ws.ga.sync();
+        Self {
+            ep,
+            ins,
+            ws,
+            pool: Arc::new(TilePool::default()),
+        }
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+
+    /// Ranks in the job.
+    pub fn nranks(&self) -> usize {
+        self.ep.nranks()
+    }
+
+    /// The communication endpoint (stats, latencies, trace spans).
+    pub fn endpoint(&self) -> &Arc<Endpoint> {
+        &self.ep
+    }
+
+    /// The rank-local view of the shared workspace.
+    pub fn workspace(&self) -> &Arc<Workspace> {
+        &self.ws
+    }
+
+    /// The inspection metadata (identical on every rank).
+    pub fn inspection(&self) -> &Arc<Inspection> {
+        &self.ins
+    }
+
+    /// Collectively zero the output tensor (each rank clears its shard).
+    fn reset_output(&self) {
+        self.ws.reset_output();
+        self.ws.ga.sync();
+    }
+
+    /// Collectively execute one variant on the native work-stealing
+    /// engine with `threads` workers per rank. `prefetch` routes reader
+    /// bodies through the asynchronous get pipeline. Returns the energy
+    /// on rank 0.
+    pub fn run_variant(&self, cfg: VariantCfg, threads: usize, prefetch: bool) -> DistRun {
+        self.reset_output();
+        let graph = build_graph_dist(
+            self.ins.clone(),
+            cfg,
+            Some(self.ws.clone()),
+            self.pool.clone(),
+            Some(self.rank()),
+            prefetch,
+        );
+        let policy = if cfg.priorities {
+            SchedPolicy::PriorityFifo
+        } else {
+            SchedPolicy::Fifo
+        };
+        let report = NativeRuntime::new(threads)
+            .policy(policy)
+            .node(self.rank() as u32)
+            .epoch(self.ep.epoch())
+            .run(&graph);
+        self.settle(report)
+    }
+
+    /// Collectively execute one variant on the coarse-locked baseline
+    /// engine (always synchronous reader bodies: the engine predates
+    /// deferred completions).
+    pub fn run_variant_coarse(&self, cfg: VariantCfg, threads: usize) -> DistRun {
+        self.reset_output();
+        let graph = build_graph_dist(
+            self.ins.clone(),
+            cfg,
+            Some(self.ws.clone()),
+            self.pool.clone(),
+            Some(self.rank()),
+            false,
+        );
+        let policy = if cfg.priorities {
+            SchedPolicy::PriorityFifo
+        } else {
+            SchedPolicy::Fifo
+        };
+        let report = CoarseRuntime::new(threads).policy(policy).run(&graph);
+        self.settle(report)
+    }
+
+    /// Post-run collective: flush outstanding accumulates everywhere,
+    /// compute the energy on rank 0 (remote shards gathered over the
+    /// wire), and hold the other ranks back until it is read — their
+    /// next `reset_output` would otherwise clear shards mid-gather.
+    fn settle(&self, report: NativeReport) -> DistRun {
+        self.ws.ga.sync();
+        let energy = (self.rank() == 0).then(|| tce::energy(&self.ws));
+        self.ep.barrier();
+        DistRun { energy, report }
+    }
+
+    /// Collective teardown: drain remaining traffic and stop the
+    /// progress engine.
+    pub fn finish(self) {
+        self.ws.ga.sync();
+        self.ep.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce::scale;
+    use tensor_kernels::rel_diff;
+
+    /// Run `n` ranks (threads over loopback transports) through the same
+    /// collective closure; results in rank order.
+    fn run_ranks<T: Send + 'static>(
+        n: usize,
+        f: impl Fn(&DistRank) -> T + Send + Sync + 'static,
+    ) -> Vec<T> {
+        let f = Arc::new(f);
+        let handles: Vec<_> = comm::loopback(n)
+            .into_iter()
+            .map(|t| {
+                let f = f.clone();
+                std::thread::spawn(move || {
+                    let space = TileSpace::build(&scale::tiny());
+                    let rank = DistRank::new(Box::new(t), &space, &[Kernel::T2_7]);
+                    let out = f(&rank);
+                    rank.finish();
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn reference() -> f64 {
+        let space = TileSpace::build(&scale::tiny());
+        let ws = tce::build_workspace(&space, 1);
+        crate::verify::reference_energy(&ws)
+    }
+
+    #[test]
+    fn all_variants_match_reference_across_ranks() {
+        let e_ref = reference();
+        let energies = run_ranks(3, |rank| {
+            VariantCfg::all()
+                .into_iter()
+                .map(|cfg| rank.run_variant(cfg, 2, true).energy)
+                .collect::<Vec<_>>()
+        });
+        for (r, res) in energies.iter().enumerate() {
+            for (cfg, e) in VariantCfg::all().iter().zip(res) {
+                match (r, e) {
+                    (0, Some(e)) => assert!(
+                        rel_diff(e_ref, *e) < 1e-12,
+                        "{} dist: {e} vs reference {e_ref}",
+                        cfg.name
+                    ),
+                    (0, None) => panic!("rank 0 must report energy"),
+                    (_, Some(_)) => panic!("only rank 0 reports energy"),
+                    (_, None) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_off_and_coarse_engine_agree() {
+        let e_ref = reference();
+        let energies = run_ranks(2, |rank| {
+            let sync = rank.run_variant(VariantCfg::v5(), 2, false).energy;
+            let coarse = rank.run_variant_coarse(VariantCfg::v5(), 2).energy;
+            (sync, coarse)
+        });
+        let (sync, coarse) = &energies[0];
+        assert!(rel_diff(e_ref, sync.unwrap()) < 1e-12);
+        assert!(rel_diff(e_ref, coarse.unwrap()) < 1e-12);
+    }
+
+    #[test]
+    fn single_rank_dist_matches_reference() {
+        let e_ref = reference();
+        let energies = run_ranks(1, |rank| rank.run_variant(VariantCfg::v3(), 2, true).energy);
+        assert!(rel_diff(e_ref, energies[0].unwrap()) < 1e-12);
+    }
+
+    #[test]
+    fn remote_traffic_actually_flows() {
+        let stats = run_ranks(2, |rank| {
+            rank.run_variant(VariantCfg::v5(), 1, true);
+            let s = rank.endpoint().stats();
+            let ga = rank.workspace().ga.stats();
+            (s.gets, s.accs, ga.remote_bytes(), ga.local_bytes())
+        });
+        for (gets, accs, remote, local) in stats {
+            assert!(gets > 0, "cross-rank reader gets must occur");
+            assert!(accs > 0, "cross-rank write accumulates must occur");
+            assert!(remote > 0 && local > 0, "both localities exercised");
+        }
+    }
+}

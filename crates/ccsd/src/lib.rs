@@ -9,6 +9,9 @@
 //!   round-robin map, the priority scheme `max_L1 - L1 + offset * P`);
 //! * [`variants`] — the PTG task classes (READ_A/READ_B, DFILL, GEMM,
 //!   REDUCE, SORT, WRITE_C) and the five wirings v1..v5 of Section IV-A;
+//! * [`dist`] — one rank of a *real* multi-rank execution: GA shards
+//!   served by the `comm` crate's one-sided progress engine, rank-local
+//!   chain subsets, and the priority-driven prefetch pipeline;
 //! * [`baseline`] — the original NWChem Coarse-Grain-Parallelism model:
 //!   ranks, seven barrier-separated work levels, global NXTVAL work
 //!   stealing, blocking `GET_HASH_BLOCK`s (Figures 12-13), simulated on
@@ -19,9 +22,11 @@
 
 pub mod baseline;
 pub mod ctx;
+pub mod dist;
 pub mod variants;
 pub mod verify;
 
 pub use baseline::{simulate_baseline, BaselineCfg, BaselineReport};
 pub use ctx::{CcsdCtx, VariantCfg};
-pub use variants::{build_graph, build_graph_pooled};
+pub use dist::{DistRank, DistRun};
+pub use variants::{build_graph, build_graph_dist, build_graph_pooled};

@@ -96,6 +96,9 @@ impl TaskClass for Reader {
             Operand::B => READ_B,
         };
         for (l1, chain) in c.ins.chains.iter().enumerate() {
+            if !c.chain_is_ours(l1 as i64) {
+                continue;
+            }
             for l2 in 0..chain.gemms.len() {
                 out.push(TaskKey::new(class, &[l1 as i64, l2 as i64]));
             }
@@ -156,6 +159,40 @@ impl TaskClass for Reader {
         ws.ga.get_into(h, offset, &mut data);
         vec![Some(Arc::new(data))]
     }
+    fn execute_async(
+        &self,
+        key: TaskKey,
+        ctx: &dyn GraphCtx,
+        inputs: &mut [Option<Payload>],
+        done: ptg::Completion,
+    ) -> Option<Vec<Option<Payload>>> {
+        let c = cc(ctx);
+        let prefetchable = c.prefetch && c.ws.as_ref().is_some_and(|ws| ws.ga.is_dist());
+        if !prefetchable {
+            drop(done);
+            return Some(self.execute(key, ctx, inputs));
+        }
+        // Prefetch pipeline: hand the transfer to the comm layer at this
+        // reader's graph priority and free the worker immediately. The
+        // progress engine's in-flight caps + priority queue turn the
+        // pending readers into a deepest-first prefetch window; the get
+        // completion re-enters the engine through the completion sink.
+        let ws = c.ws.as_ref().unwrap();
+        let g = &c.chain(key.params[0]).gemms[key.params[1] as usize];
+        let (h, offset, len) = match self.0 {
+            Operand::A => (ws.tensor(g.a_tensor).0, g.a_offset, g.a_len),
+            Operand::B => (ws.tensor(g.b_tensor).0, g.b_offset, g.b_len),
+        };
+        let prio = c.prio(key.params[0], c.cfg.reader_offset);
+        ws.ga.get_async(
+            h,
+            offset,
+            len,
+            prio,
+            Box::new(move |data| done.finish(vec![Some(Arc::new(data))])),
+        );
+        None
+    }
 }
 
 // ------------------------------------------------------------------- dfill --
@@ -175,7 +212,9 @@ impl TaskClass for Dfill {
             return;
         }
         for l1 in 0..c.ins.num_chains() {
-            out.push(TaskKey::new(DFILL, &[l1 as i64]));
+            if c.chain_is_ours(l1 as i64) {
+                out.push(TaskKey::new(DFILL, &[l1 as i64]));
+            }
         }
     }
     fn num_inputs(&self, _key: TaskKey, _ctx: &dyn GraphCtx) -> usize {
@@ -639,9 +678,27 @@ pub fn build_graph_pooled(
     ws: Option<Arc<tce::Workspace>>,
     pool: Arc<TilePool>,
 ) -> TaskGraph {
+    build_graph_dist(ins, cfg, ws, pool, None, false)
+}
+
+/// As [`build_graph_pooled`] for one rank of a distributed execution:
+/// only the chains placed on `rank` (round-robin) are materialized, and
+/// `prefetch` routes reader bodies through the comm layer's asynchronous
+/// get pipeline instead of blocking workers.
+pub fn build_graph_dist(
+    ins: Arc<Inspection>,
+    cfg: VariantCfg,
+    ws: Option<Arc<tce::Workspace>>,
+    pool: Arc<TilePool>,
+    rank: Option<usize>,
+    prefetch: bool,
+) -> TaskGraph {
     let nodes = ins.i2.dist.nodes();
     if let Some(ws) = &ws {
         assert_eq!(ws.ga.nnodes(), nodes, "workspace/inspection node mismatch");
+    }
+    if let Some(r) = rank {
+        assert!(r < nodes, "rank {r} out of range for {nodes} nodes");
     }
     let ctx = Arc::new(CcsdCtx {
         ins,
@@ -649,6 +706,8 @@ pub fn build_graph_pooled(
         nodes,
         ws,
         pool,
+        rank,
+        prefetch,
     });
     TaskGraph::new(
         vec![

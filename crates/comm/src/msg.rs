@@ -1,0 +1,509 @@
+//! Wire messages and the length-prefixed binary codec.
+//!
+//! Every message travels as one *frame*: a little-endian `u32` byte length
+//! on the wire (added by the transport), then the body encoded here — a
+//! one-byte tag followed by fixed-width little-endian fields and, for
+//! data-bearing messages, a `u64` element count plus raw `f64` payload.
+//! Decoding is strict: truncated bodies, trailing bytes and unknown tags
+//! are all rejected, never silently tolerated.
+//!
+//! The one-sided protocol follows the classic eager/rendezvous split:
+//! payloads at most the configured threshold ride inside the request or
+//! reply (`Get` -> `GetReplyEager`, `Put`, `Acc`); larger transfers
+//! exchange control messages first (`GetReplyRndv`/`GetPull`,
+//! `PutRts`/`PutCts`, `AccRts`/`AccCts`) so the receiver paces the bulk
+//! data frames.
+
+/// Errors produced by [`Msg::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The body ended before the message was complete.
+    Truncated,
+    /// Bytes remained after a complete message.
+    TrailingBytes(usize),
+    /// The leading tag byte names no known message.
+    UnknownTag(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated frame"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after message"),
+            CodecError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// One active message. `token` matches a reply to its pending request on
+/// the issuing rank; it is opaque to the servicing rank.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// One-sided read request for `len` elements of `array` at the global
+    /// `offset` (the range must lie within the target's shard).
+    Get {
+        token: u64,
+        array: u32,
+        offset: u64,
+        len: u64,
+    },
+    /// Small read served inline.
+    GetReplyEager { token: u64, data: Vec<f64> },
+    /// Large read announced; the requester pulls when ready.
+    GetReplyRndv { token: u64, len: u64 },
+    /// Requester is ready for the announced bulk data.
+    GetPull { token: u64 },
+    /// Bulk read data (rendezvous completion).
+    GetReplyData { token: u64, data: Vec<f64> },
+    /// Small one-sided overwrite, payload inline.
+    Put {
+        token: u64,
+        array: u32,
+        offset: u64,
+        data: Vec<f64>,
+    },
+    /// Large overwrite announced (request to send).
+    PutRts {
+        token: u64,
+        array: u32,
+        offset: u64,
+        len: u64,
+    },
+    /// Target is ready for the announced put data (clear to send).
+    PutCts { token: u64 },
+    /// Bulk put data.
+    PutData {
+        token: u64,
+        array: u32,
+        offset: u64,
+        data: Vec<f64>,
+    },
+    /// Put applied to the target shard.
+    PutAck { token: u64 },
+    /// Small one-sided accumulate `shard[offset..] += alpha * data`.
+    Acc {
+        token: u64,
+        array: u32,
+        offset: u64,
+        alpha: f64,
+        data: Vec<f64>,
+    },
+    /// Large accumulate announced.
+    AccRts {
+        token: u64,
+        array: u32,
+        offset: u64,
+        len: u64,
+    },
+    /// Target ready for the announced accumulate data.
+    AccCts { token: u64 },
+    /// Bulk accumulate data.
+    AccData {
+        token: u64,
+        array: u32,
+        offset: u64,
+        alpha: f64,
+        data: Vec<f64>,
+    },
+    /// Accumulate applied to the target shard.
+    AccAck { token: u64 },
+    /// Fetch-and-add on the owner rank's NXTVAL counter.
+    NxtVal { token: u64 },
+    /// The value taken by a `NxtVal`.
+    NxtValReply { token: u64, value: i64 },
+    /// Reset the owner rank's NXTVAL counter to zero.
+    NxtValReset { token: u64 },
+    /// Reset applied.
+    ResetAck { token: u64 },
+    /// Rank `from` entered barrier `epoch` (sent to rank 0).
+    BarrierEnter { epoch: u64, from: u32 },
+    /// All ranks entered barrier `epoch` (broadcast by rank 0).
+    BarrierRelease { epoch: u64 },
+}
+
+const T_GET: u8 = 1;
+const T_GET_EAGER: u8 = 2;
+const T_GET_RNDV: u8 = 3;
+const T_GET_PULL: u8 = 4;
+const T_GET_DATA: u8 = 5;
+const T_PUT: u8 = 6;
+const T_PUT_RTS: u8 = 7;
+const T_PUT_CTS: u8 = 8;
+const T_PUT_DATA: u8 = 9;
+const T_PUT_ACK: u8 = 10;
+const T_ACC: u8 = 11;
+const T_ACC_RTS: u8 = 12;
+const T_ACC_CTS: u8 = 13;
+const T_ACC_DATA: u8 = 14;
+const T_ACC_ACK: u8 = 15;
+const T_NXTVAL: u8 = 16;
+const T_NXTVAL_REPLY: u8 = 17;
+const T_NXTVAL_RESET: u8 = 18;
+const T_RESET_ACK: u8 = 19;
+const T_BARRIER_ENTER: u8 = 20;
+const T_BARRIER_RELEASE: u8 = 21;
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn data(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn data(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.u64()? as usize;
+        // The count must be consistent with the remaining bytes before any
+        // allocation happens (a corrupt count must not OOM the decoder).
+        if self.buf.len() - self.pos < n.saturating_mul(8) {
+            return Err(CodecError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+}
+
+impl Msg {
+    /// Encode the message body (the transport adds the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::with_capacity(32));
+        match self {
+            Msg::Get {
+                token,
+                array,
+                offset,
+                len,
+            } => {
+                w.u8(T_GET);
+                w.u64(*token);
+                w.u32(*array);
+                w.u64(*offset);
+                w.u64(*len);
+            }
+            Msg::GetReplyEager { token, data } => {
+                w.u8(T_GET_EAGER);
+                w.u64(*token);
+                w.data(data);
+            }
+            Msg::GetReplyRndv { token, len } => {
+                w.u8(T_GET_RNDV);
+                w.u64(*token);
+                w.u64(*len);
+            }
+            Msg::GetPull { token } => {
+                w.u8(T_GET_PULL);
+                w.u64(*token);
+            }
+            Msg::GetReplyData { token, data } => {
+                w.u8(T_GET_DATA);
+                w.u64(*token);
+                w.data(data);
+            }
+            Msg::Put {
+                token,
+                array,
+                offset,
+                data,
+            } => {
+                w.u8(T_PUT);
+                w.u64(*token);
+                w.u32(*array);
+                w.u64(*offset);
+                w.data(data);
+            }
+            Msg::PutRts {
+                token,
+                array,
+                offset,
+                len,
+            } => {
+                w.u8(T_PUT_RTS);
+                w.u64(*token);
+                w.u32(*array);
+                w.u64(*offset);
+                w.u64(*len);
+            }
+            Msg::PutCts { token } => {
+                w.u8(T_PUT_CTS);
+                w.u64(*token);
+            }
+            Msg::PutData {
+                token,
+                array,
+                offset,
+                data,
+            } => {
+                w.u8(T_PUT_DATA);
+                w.u64(*token);
+                w.u32(*array);
+                w.u64(*offset);
+                w.data(data);
+            }
+            Msg::PutAck { token } => {
+                w.u8(T_PUT_ACK);
+                w.u64(*token);
+            }
+            Msg::Acc {
+                token,
+                array,
+                offset,
+                alpha,
+                data,
+            } => {
+                w.u8(T_ACC);
+                w.u64(*token);
+                w.u32(*array);
+                w.u64(*offset);
+                w.f64(*alpha);
+                w.data(data);
+            }
+            Msg::AccRts {
+                token,
+                array,
+                offset,
+                len,
+            } => {
+                w.u8(T_ACC_RTS);
+                w.u64(*token);
+                w.u32(*array);
+                w.u64(*offset);
+                w.u64(*len);
+            }
+            Msg::AccCts { token } => {
+                w.u8(T_ACC_CTS);
+                w.u64(*token);
+            }
+            Msg::AccData {
+                token,
+                array,
+                offset,
+                alpha,
+                data,
+            } => {
+                w.u8(T_ACC_DATA);
+                w.u64(*token);
+                w.u32(*array);
+                w.u64(*offset);
+                w.f64(*alpha);
+                w.data(data);
+            }
+            Msg::AccAck { token } => {
+                w.u8(T_ACC_ACK);
+                w.u64(*token);
+            }
+            Msg::NxtVal { token } => {
+                w.u8(T_NXTVAL);
+                w.u64(*token);
+            }
+            Msg::NxtValReply { token, value } => {
+                w.u8(T_NXTVAL_REPLY);
+                w.u64(*token);
+                w.i64(*value);
+            }
+            Msg::NxtValReset { token } => {
+                w.u8(T_NXTVAL_RESET);
+                w.u64(*token);
+            }
+            Msg::ResetAck { token } => {
+                w.u8(T_RESET_ACK);
+                w.u64(*token);
+            }
+            Msg::BarrierEnter { epoch, from } => {
+                w.u8(T_BARRIER_ENTER);
+                w.u64(*epoch);
+                w.u32(*from);
+            }
+            Msg::BarrierRelease { epoch } => {
+                w.u8(T_BARRIER_RELEASE);
+                w.u64(*epoch);
+            }
+        }
+        w.0
+    }
+
+    /// Decode one message body. Strict: the body must contain exactly one
+    /// complete message.
+    pub fn decode(body: &[u8]) -> Result<Msg, CodecError> {
+        let mut r = Reader { buf: body, pos: 0 };
+        let msg = match r.u8()? {
+            T_GET => Msg::Get {
+                token: r.u64()?,
+                array: r.u32()?,
+                offset: r.u64()?,
+                len: r.u64()?,
+            },
+            T_GET_EAGER => Msg::GetReplyEager {
+                token: r.u64()?,
+                data: r.data()?,
+            },
+            T_GET_RNDV => Msg::GetReplyRndv {
+                token: r.u64()?,
+                len: r.u64()?,
+            },
+            T_GET_PULL => Msg::GetPull { token: r.u64()? },
+            T_GET_DATA => Msg::GetReplyData {
+                token: r.u64()?,
+                data: r.data()?,
+            },
+            T_PUT => Msg::Put {
+                token: r.u64()?,
+                array: r.u32()?,
+                offset: r.u64()?,
+                data: r.data()?,
+            },
+            T_PUT_RTS => Msg::PutRts {
+                token: r.u64()?,
+                array: r.u32()?,
+                offset: r.u64()?,
+                len: r.u64()?,
+            },
+            T_PUT_CTS => Msg::PutCts { token: r.u64()? },
+            T_PUT_DATA => Msg::PutData {
+                token: r.u64()?,
+                array: r.u32()?,
+                offset: r.u64()?,
+                data: r.data()?,
+            },
+            T_PUT_ACK => Msg::PutAck { token: r.u64()? },
+            T_ACC => Msg::Acc {
+                token: r.u64()?,
+                array: r.u32()?,
+                offset: r.u64()?,
+                alpha: r.f64()?,
+                data: r.data()?,
+            },
+            T_ACC_RTS => Msg::AccRts {
+                token: r.u64()?,
+                array: r.u32()?,
+                offset: r.u64()?,
+                len: r.u64()?,
+            },
+            T_ACC_CTS => Msg::AccCts { token: r.u64()? },
+            T_ACC_DATA => Msg::AccData {
+                token: r.u64()?,
+                array: r.u32()?,
+                offset: r.u64()?,
+                alpha: r.f64()?,
+                data: r.data()?,
+            },
+            T_ACC_ACK => Msg::AccAck { token: r.u64()? },
+            T_NXTVAL => Msg::NxtVal { token: r.u64()? },
+            T_NXTVAL_REPLY => Msg::NxtValReply {
+                token: r.u64()?,
+                value: r.i64()?,
+            },
+            T_NXTVAL_RESET => Msg::NxtValReset { token: r.u64()? },
+            T_RESET_ACK => Msg::ResetAck { token: r.u64()? },
+            T_BARRIER_ENTER => Msg::BarrierEnter {
+                epoch: r.u64()?,
+                from: r.u32()?,
+            },
+            T_BARRIER_RELEASE => Msg::BarrierRelease { epoch: r.u64()? },
+            t => return Err(CodecError::UnknownTag(t)),
+        };
+        if r.pos != body.len() {
+            return Err(CodecError::TrailingBytes(body.len() - r.pos));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_control_and_data() {
+        let msgs = [
+            Msg::Get {
+                token: 7,
+                array: 2,
+                offset: 1000,
+                len: 64,
+            },
+            Msg::GetReplyEager {
+                token: 7,
+                data: vec![1.5, -2.5],
+            },
+            Msg::BarrierEnter { epoch: 3, from: 2 },
+        ];
+        for m in msgs {
+            assert_eq!(Msg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn empty_body_is_truncated() {
+        assert_eq!(Msg::decode(&[]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(Msg::decode(&[200]), Err(CodecError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn corrupt_count_does_not_allocate() {
+        // A data count far beyond the body must fail cleanly.
+        let mut body = Msg::GetReplyEager {
+            token: 1,
+            data: vec![],
+        }
+        .encode();
+        let n = body.len();
+        body[n - 8..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(Msg::decode(&body), Err(CodecError::Truncated));
+    }
+}

@@ -1,0 +1,869 @@
+//! Per-rank progress engine: one dedicated thread servicing one-sided
+//! active messages against the rank-local shard store.
+//!
+//! This mirrors the structure the paper attributes to both Global Arrays
+//! (the data server answering `GET_HASH_BLOCK`/`ADD_HASH_BLOCK`) and
+//! PaRSEC (the communication thread that lets transfers overlap with
+//! computation): application threads *post* operations and continue; the
+//! progress thread completes them, invoking completion callbacks that
+//! feed the task runtime's dependency tracker.
+//!
+//! Backpressure: asynchronous gets are capped per target rank. Excess
+//! requests queue in a priority heap ordered by the caller's task
+//! priority, so under contention the wire carries the *next needed*
+//! operand first — the transport-level half of the paper's
+//! `max_L1 - L1 + offset * P` prefetch scheme. Every completed get frees
+//! a slot and launches the best queued request toward that rank.
+
+use crate::msg::Msg;
+use crate::transport::Transport;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use xtrace::{ActivityKind, Trace, WorkerId};
+
+/// Rank-local storage the progress engine services requests against.
+/// Offsets are *global* element offsets; implementations translate to
+/// their shard and must own the whole requested range (requesters split
+/// ranges by owner before posting).
+pub trait ShardStore: Send + Sync + 'static {
+    /// Read `len` elements at global `offset`.
+    fn read(&self, array: u32, offset: usize, len: usize) -> Vec<f64>;
+    /// Overwrite with `data` at global `offset`.
+    fn write(&self, array: u32, offset: usize, data: &[f64]);
+    /// `shard[offset..] += alpha * data`, atomic w.r.t. other accumulates.
+    fn accumulate(&self, array: u32, offset: usize, data: &[f64], alpha: f64);
+}
+
+/// Progress-engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct CommConfig {
+    /// Payloads of at most this many bytes travel eagerly; larger ones
+    /// rendezvous (default 4 KiB — a few small tiles).
+    pub eager_threshold: usize,
+    /// Maximum outstanding gets per target rank; further posts queue by
+    /// priority (default 4).
+    pub max_inflight_gets: usize,
+    /// Worker row used for communication spans in traces. Kept far above
+    /// compute worker indices so merged Gantt charts show a distinct
+    /// communication row per node.
+    pub comm_worker: u32,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        Self {
+            eager_threshold: 4096,
+            max_inflight_gets: 4,
+            comm_worker: 1000,
+        }
+    }
+}
+
+/// Completion callback of an asynchronous get.
+pub type GetCallback = Box<dyn FnOnce(Vec<f64>) + Send>;
+
+/// Operation counters, all frames and payloads.
+#[derive(Debug, Default)]
+struct CommStats {
+    msgs_tx: AtomicU64,
+    msgs_rx: AtomicU64,
+    bytes_tx: AtomicU64,
+    bytes_rx: AtomicU64,
+    gets: AtomicU64,
+    puts: AtomicU64,
+    accs: AtomicU64,
+    nxtvals: AtomicU64,
+    eager_payloads: AtomicU64,
+    rndv_payloads: AtomicU64,
+}
+
+/// Point-in-time copy of a rank's communication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStatsSnap {
+    /// Frames sent / received (including control messages).
+    pub msgs_tx: u64,
+    pub msgs_rx: u64,
+    /// Encoded frame bytes sent / received.
+    pub bytes_tx: u64,
+    pub bytes_rx: u64,
+    /// One-sided operations posted by this rank.
+    pub gets: u64,
+    pub puts: u64,
+    pub accs: u64,
+    pub nxtvals: u64,
+    /// Payload transfers by protocol, counted where the choice is made
+    /// (get replies on the server, puts/accs on the sender).
+    pub eager_payloads: u64,
+    pub rndv_payloads: u64,
+}
+
+struct PendingGet {
+    peer: usize,
+    posted_ns: u64,
+    cb: GetCallback,
+}
+
+struct QueuedGet {
+    prio: i64,
+    seq: u64,
+    token: u64,
+    array: u32,
+    offset: u64,
+    len: u64,
+}
+
+impl PartialEq for QueuedGet {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for QueuedGet {}
+impl PartialOrd for QueuedGet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedGet {
+    /// Max-heap: highest priority first, FIFO (lowest sequence) on ties.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.prio.cmp(&other.prio).then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct PeerGets {
+    inflight: usize,
+    queue: BinaryHeap<QueuedGet>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AckKind {
+    Put,
+    Acc,
+    Reset,
+}
+
+struct FlagSlot {
+    mx: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl FlagSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            mx: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+    fn set(&self) {
+        *self.mx.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+    fn wait(&self) {
+        let mut done = self.mx.lock().unwrap();
+        while !*done {
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}
+
+struct AckWait {
+    kind: AckKind,
+    eager: bool,
+    posted_ns: u64,
+    waiter: Option<Arc<FlagSlot>>,
+}
+
+/// Outbound rendezvous payload parked until the target's clear-to-send.
+struct RndvOut {
+    peer: usize,
+    msg: Msg,
+}
+
+#[derive(Default)]
+struct BarrierState {
+    next: u64,
+    released: u64,
+    /// Rank 0 only: entries seen per epoch.
+    entered: HashMap<u64, usize>,
+}
+
+/// Interned communication class ids of an endpoint trace.
+struct TraceIds {
+    get: [u16; 2],
+    put: [u16; 2],
+    acc: [u16; 2],
+}
+
+fn fresh_trace() -> (Trace, TraceIds) {
+    let mut t = Trace::new();
+    let ids = TraceIds {
+        // Index 0 = rendezvous, 1 = eager.
+        get: [
+            t.class("GET_RNDV", ActivityKind::Comm { eager: false }),
+            t.class("GET_EAGER", ActivityKind::Comm { eager: true }),
+        ],
+        put: [
+            t.class("PUT_RNDV", ActivityKind::Comm { eager: false }),
+            t.class("PUT_EAGER", ActivityKind::Comm { eager: true }),
+        ],
+        acc: [
+            t.class("ACC_RNDV", ActivityKind::Comm { eager: false }),
+            t.class("ACC_EAGER", ActivityKind::Comm { eager: true }),
+        ],
+    };
+    (t, ids)
+}
+
+/// Parked `NXTVAL` caller: the progress thread deposits the counter
+/// value and signals.
+type NxtvalWait = Arc<(Mutex<Option<i64>>, Condvar)>;
+
+struct Inner {
+    transport: Box<dyn Transport>,
+    store: Arc<dyn ShardStore>,
+    cfg: CommConfig,
+    rank: usize,
+    nranks: usize,
+    t0: Instant,
+    token: AtomicU64,
+    shutdown: AtomicBool,
+    counter: AtomicI64,
+    pending_gets: Mutex<HashMap<u64, PendingGet>>,
+    get_state: Mutex<Vec<PeerGets>>,
+    rndv_out: Mutex<HashMap<u64, RndvOut>>,
+    // Keyed by (requesting rank, its token): tokens are allocated
+    // independently on every rank, so alone they collide across peers.
+    rndv_serve: Mutex<HashMap<(usize, u64), Vec<f64>>>,
+    acks: Mutex<HashMap<u64, AckWait>>,
+    vals: Mutex<HashMap<u64, NxtvalWait>>,
+    outstanding: Mutex<u64>,
+    fence_cv: Condvar,
+    barrier: Mutex<BarrierState>,
+    barrier_cv: Condvar,
+    stats: CommStats,
+    get_lat: Mutex<Vec<u64>>,
+    trace: Mutex<(Trace, TraceIds)>,
+}
+
+/// A rank's communication endpoint: posts one-sided operations, owns the
+/// progress thread, and collects statistics, latencies and trace spans.
+pub struct Endpoint {
+    inner: Arc<Inner>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Endpoint {
+    /// Start the progress engine for one rank.
+    pub fn spawn(
+        transport: Box<dyn Transport>,
+        store: Arc<dyn ShardStore>,
+        cfg: CommConfig,
+    ) -> Arc<Self> {
+        let (rank, nranks) = (transport.rank(), transport.nranks());
+        let inner = Arc::new(Inner {
+            transport,
+            store,
+            cfg,
+            rank,
+            nranks,
+            t0: Instant::now(),
+            token: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            counter: AtomicI64::new(0),
+            pending_gets: Mutex::new(HashMap::new()),
+            get_state: Mutex::new((0..nranks).map(|_| PeerGets::default()).collect()),
+            rndv_out: Mutex::new(HashMap::new()),
+            rndv_serve: Mutex::new(HashMap::new()),
+            acks: Mutex::new(HashMap::new()),
+            vals: Mutex::new(HashMap::new()),
+            outstanding: Mutex::new(0),
+            fence_cv: Condvar::new(),
+            barrier: Mutex::new(BarrierState::default()),
+            barrier_cv: Condvar::new(),
+            stats: CommStats::default(),
+            get_lat: Mutex::new(Vec::new()),
+            trace: Mutex::new(fresh_trace()),
+        });
+        let worker = inner.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("comm-progress-{rank}"))
+            .spawn(move || {
+                // A dead progress engine hangs every rank of the job
+                // without symptoms; turn protocol violations into a loud,
+                // immediate failure instead.
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.progress_loop()))
+                    .is_err()
+                {
+                    eprintln!("comm-progress-{rank}: protocol panic, aborting");
+                    std::process::abort();
+                }
+            })
+            .expect("spawn progress thread");
+        Arc::new(Self {
+            inner,
+            thread: Mutex::new(Some(thread)),
+        })
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.inner.rank
+    }
+
+    /// Total ranks in the job.
+    pub fn nranks(&self) -> usize {
+        self.inner.nranks
+    }
+
+    /// The endpoint's time origin — engines adopt it so compute spans and
+    /// communication spans share one timeline.
+    pub fn epoch(&self) -> Instant {
+        self.inner.t0
+    }
+
+    /// Post an asynchronous get of `[offset, offset+len)` of `array` on
+    /// `peer`'s shard. `prio` orders queued requests under backpressure;
+    /// `cb` runs on the progress thread when the data arrives.
+    pub fn get_async(
+        &self,
+        peer: usize,
+        array: u32,
+        offset: usize,
+        len: usize,
+        prio: i64,
+        cb: GetCallback,
+    ) {
+        let i = &self.inner;
+        i.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let token = i.token.fetch_add(1, Ordering::Relaxed);
+        i.pending_gets.lock().unwrap().insert(
+            token,
+            PendingGet {
+                peer,
+                posted_ns: i.now_ns(),
+                cb,
+            },
+        );
+        let launch = {
+            let mut gs = i.get_state.lock().unwrap();
+            let st = &mut gs[peer];
+            if st.inflight < i.cfg.max_inflight_gets {
+                st.inflight += 1;
+                true
+            } else {
+                st.queue.push(QueuedGet {
+                    prio,
+                    seq: token,
+                    token,
+                    array,
+                    offset: offset as u64,
+                    len: len as u64,
+                });
+                false
+            }
+        };
+        if launch {
+            i.post(
+                peer,
+                &Msg::Get {
+                    token,
+                    array,
+                    offset: offset as u64,
+                    len: len as u64,
+                },
+            );
+        }
+    }
+
+    /// Blocking get (the legacy `GET_HASH_BLOCK` shape).
+    pub fn get_blocking(&self, peer: usize, array: u32, offset: usize, len: usize) -> Vec<f64> {
+        let slot = Arc::new((Mutex::new(None::<Vec<f64>>), Condvar::new()));
+        let fill = slot.clone();
+        self.get_async(
+            peer,
+            array,
+            offset,
+            len,
+            i64::MAX,
+            Box::new(move |data| {
+                *fill.0.lock().unwrap() = Some(data);
+                fill.1.notify_all();
+            }),
+        );
+        let mut got = slot.0.lock().unwrap();
+        while got.is_none() {
+            got = slot.1.cv_wait(got);
+        }
+        got.take().unwrap()
+    }
+
+    /// Blocking one-sided overwrite: returns once the target applied it.
+    pub fn put(&self, peer: usize, array: u32, offset: usize, data: &[f64]) {
+        let i = &self.inner;
+        i.stats.puts.fetch_add(1, Ordering::Relaxed);
+        let token = i.token.fetch_add(1, Ordering::Relaxed);
+        let eager = data.len() * 8 <= i.cfg.eager_threshold;
+        let slot = FlagSlot::new();
+        i.begin_ack(token, AckKind::Put, eager, Some(slot.clone()));
+        if eager {
+            i.post(
+                peer,
+                &Msg::Put {
+                    token,
+                    array,
+                    offset: offset as u64,
+                    data: data.to_vec(),
+                },
+            );
+        } else {
+            i.rndv_out.lock().unwrap().insert(
+                token,
+                RndvOut {
+                    peer,
+                    msg: Msg::PutData {
+                        token,
+                        array,
+                        offset: offset as u64,
+                        data: data.to_vec(),
+                    },
+                },
+            );
+            i.post(
+                peer,
+                &Msg::PutRts {
+                    token,
+                    array,
+                    offset: offset as u64,
+                    len: data.len() as u64,
+                },
+            );
+        }
+        slot.wait();
+    }
+
+    /// Asynchronous one-sided accumulate; completion is observed through
+    /// [`Endpoint::fence`].
+    pub fn acc(&self, peer: usize, array: u32, offset: usize, data: &[f64], alpha: f64) {
+        let i = &self.inner;
+        i.stats.accs.fetch_add(1, Ordering::Relaxed);
+        let token = i.token.fetch_add(1, Ordering::Relaxed);
+        let eager = data.len() * 8 <= i.cfg.eager_threshold;
+        i.begin_ack(token, AckKind::Acc, eager, None);
+        if eager {
+            i.post(
+                peer,
+                &Msg::Acc {
+                    token,
+                    array,
+                    offset: offset as u64,
+                    alpha,
+                    data: data.to_vec(),
+                },
+            );
+        } else {
+            i.rndv_out.lock().unwrap().insert(
+                token,
+                RndvOut {
+                    peer,
+                    msg: Msg::AccData {
+                        token,
+                        array,
+                        offset: offset as u64,
+                        alpha,
+                        data: data.to_vec(),
+                    },
+                },
+            );
+            i.post(
+                peer,
+                &Msg::AccRts {
+                    token,
+                    array,
+                    offset: offset as u64,
+                    len: data.len() as u64,
+                },
+            );
+        }
+    }
+
+    /// `NXTVAL`: fetch-and-add on `owner`'s counter shard. Owner-local
+    /// calls short-circuit to the atomic.
+    pub fn nxtval(&self, owner: usize) -> i64 {
+        let i = &self.inner;
+        i.stats.nxtvals.fetch_add(1, Ordering::Relaxed);
+        if owner == i.rank {
+            return i.counter.fetch_add(1, Ordering::Relaxed);
+        }
+        let token = i.token.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new((Mutex::new(None::<i64>), Condvar::new()));
+        i.vals.lock().unwrap().insert(token, slot.clone());
+        i.post(owner, &Msg::NxtVal { token });
+        let mut got = slot.0.lock().unwrap();
+        while got.is_none() {
+            got = slot.1.cv_wait(got);
+        }
+        got.unwrap()
+    }
+
+    /// Reset `owner`'s NXTVAL counter; returns once applied. Callers
+    /// must order this against in-flight `nxtval`s themselves (the legacy
+    /// model separates work levels with barriers).
+    pub fn nxtval_reset(&self, owner: usize) {
+        let i = &self.inner;
+        if owner == i.rank {
+            i.counter.store(0, Ordering::Relaxed);
+            return;
+        }
+        let token = i.token.fetch_add(1, Ordering::Relaxed);
+        let slot = FlagSlot::new();
+        i.begin_ack(token, AckKind::Reset, true, Some(slot.clone()));
+        i.post(owner, &Msg::NxtValReset { token });
+        slot.wait();
+    }
+
+    /// Block until every put/accumulate this rank posted has been applied
+    /// and acknowledged by its target.
+    pub fn fence(&self) {
+        let i = &self.inner;
+        let mut n = i.outstanding.lock().unwrap();
+        while *n > 0 {
+            n = i.fence_cv.wait(n).unwrap();
+        }
+    }
+
+    /// Collective barrier over all ranks (counter on rank 0).
+    pub fn barrier(&self) {
+        let i = &self.inner;
+        let epoch = {
+            let mut b = i.barrier.lock().unwrap();
+            b.next += 1;
+            b.next
+        };
+        i.post(
+            0,
+            &Msg::BarrierEnter {
+                epoch,
+                from: i.rank as u32,
+            },
+        );
+        let mut b = i.barrier.lock().unwrap();
+        while b.released < epoch {
+            b = i.barrier_cv.wait(b).unwrap();
+        }
+    }
+
+    /// Fence, then barrier: on return, every rank's writes are globally
+    /// visible (the GA `sync` collective).
+    pub fn sync(&self) {
+        self.fence();
+        self.barrier();
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> CommStatsSnap {
+        let s = &self.inner.stats;
+        CommStatsSnap {
+            msgs_tx: s.msgs_tx.load(Ordering::Relaxed),
+            msgs_rx: s.msgs_rx.load(Ordering::Relaxed),
+            bytes_tx: s.bytes_tx.load(Ordering::Relaxed),
+            bytes_rx: s.bytes_rx.load(Ordering::Relaxed),
+            gets: s.gets.load(Ordering::Relaxed),
+            puts: s.puts.load(Ordering::Relaxed),
+            accs: s.accs.load(Ordering::Relaxed),
+            nxtvals: s.nxtvals.load(Ordering::Relaxed),
+            eager_payloads: s.eager_payloads.load(Ordering::Relaxed),
+            rndv_payloads: s.rndv_payloads.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drain the recorded get latencies (nanoseconds, post to data).
+    pub fn take_latencies(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.inner.get_lat.lock().unwrap())
+    }
+
+    /// Drain the communication trace (spans on this rank's comm row,
+    /// relative to [`Endpoint::epoch`]).
+    pub fn take_trace(&self) -> Trace {
+        let mut t = self.inner.trace.lock().unwrap();
+        std::mem::replace(&mut *t, fresh_trace()).0
+    }
+
+    /// Stop the progress thread. Call only when no rank still needs this
+    /// rank's shard (i.e. after a final barrier).
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.thread.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// `Condvar::wait` with the guard-passing shape used above (keeps the
+/// loops readable without `unwrap` noise at each call site).
+trait CvWait {
+    fn cv_wait<'a, T>(&self, g: std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T>;
+}
+impl CvWait for Condvar {
+    fn cv_wait<'a, T>(&self, g: std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T> {
+        self.wait(g).unwrap()
+    }
+}
+
+impl Inner {
+    fn now_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    /// Encode and send, counting frames and bytes.
+    fn post(&self, to: usize, msg: &Msg) {
+        let body = msg.encode();
+        self.stats.msgs_tx.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_tx
+            .fetch_add(body.len() as u64, Ordering::Relaxed);
+        self.transport.send(to, body);
+    }
+
+    fn begin_ack(&self, token: u64, kind: AckKind, eager: bool, waiter: Option<Arc<FlagSlot>>) {
+        self.acks.lock().unwrap().insert(
+            token,
+            AckWait {
+                kind,
+                eager,
+                posted_ns: self.now_ns(),
+                waiter,
+            },
+        );
+        if kind != AckKind::Reset {
+            *self.outstanding.lock().unwrap() += 1;
+        }
+        self.count_payload(eager);
+    }
+
+    fn count_payload(&self, eager: bool) {
+        if eager {
+            self.stats.eager_payloads.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.rndv_payloads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn progress_loop(self: Arc<Self>) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let Some((from, body)) = self.transport.recv_timeout(Duration::from_micros(200)) else {
+                continue;
+            };
+            self.stats.msgs_rx.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_rx
+                .fetch_add(body.len() as u64, Ordering::Relaxed);
+            let msg = Msg::decode(&body).expect("malformed frame");
+            self.handle(from, msg);
+        }
+    }
+
+    fn handle(&self, from: usize, msg: Msg) {
+        match msg {
+            // ---- serving side: one-sided ops against the local shard ----
+            Msg::Get {
+                token,
+                array,
+                offset,
+                len,
+            } => {
+                let data = self.store.read(array, offset as usize, len as usize);
+                if data.len() * 8 <= self.cfg.eager_threshold {
+                    self.count_payload(true);
+                    self.post(from, &Msg::GetReplyEager { token, data });
+                } else {
+                    self.count_payload(false);
+                    let len = data.len() as u64;
+                    self.rndv_serve.lock().unwrap().insert((from, token), data);
+                    self.post(from, &Msg::GetReplyRndv { token, len });
+                }
+            }
+            Msg::GetPull { token } => {
+                let data = self
+                    .rndv_serve
+                    .lock()
+                    .unwrap()
+                    .remove(&(from, token))
+                    .expect("pull for unknown rendezvous");
+                self.post(from, &Msg::GetReplyData { token, data });
+            }
+            Msg::Put {
+                token,
+                array,
+                offset,
+                data,
+            }
+            | Msg::PutData {
+                token,
+                array,
+                offset,
+                data,
+            } => {
+                self.store.write(array, offset as usize, &data);
+                self.post(from, &Msg::PutAck { token });
+            }
+            Msg::PutRts { token, .. } => self.post(from, &Msg::PutCts { token }),
+            Msg::Acc {
+                token,
+                array,
+                offset,
+                alpha,
+                data,
+            }
+            | Msg::AccData {
+                token,
+                array,
+                offset,
+                alpha,
+                data,
+            } => {
+                self.store.accumulate(array, offset as usize, &data, alpha);
+                self.post(from, &Msg::AccAck { token });
+            }
+            Msg::AccRts { token, .. } => self.post(from, &Msg::AccCts { token }),
+            Msg::NxtVal { token } => {
+                let value = self.counter.fetch_add(1, Ordering::Relaxed);
+                self.post(from, &Msg::NxtValReply { token, value });
+            }
+            Msg::NxtValReset { token } => {
+                self.counter.store(0, Ordering::Relaxed);
+                self.post(from, &Msg::ResetAck { token });
+            }
+            Msg::BarrierEnter { epoch, from: _ } => {
+                debug_assert_eq!(self.rank, 0, "barrier counter lives on rank 0");
+                let full = {
+                    let mut b = self.barrier.lock().unwrap();
+                    let n = b.entered.entry(epoch).or_insert(0);
+                    *n += 1;
+                    let full = *n == self.nranks;
+                    if full {
+                        b.entered.remove(&epoch);
+                    }
+                    full
+                };
+                if full {
+                    for r in 0..self.nranks {
+                        self.post(r, &Msg::BarrierRelease { epoch });
+                    }
+                }
+            }
+            Msg::BarrierRelease { epoch } => {
+                let mut b = self.barrier.lock().unwrap();
+                b.released = b.released.max(epoch);
+                self.barrier_cv.notify_all();
+            }
+
+            // ---- requesting side: completions of our own posts ----
+            Msg::GetReplyEager { token, data } => self.finish_get(token, data, true),
+            Msg::GetReplyRndv { token, .. } => self.post(from, &Msg::GetPull { token }),
+            Msg::GetReplyData { token, data } => self.finish_get(token, data, false),
+            Msg::PutCts { token } | Msg::AccCts { token } => {
+                let out = self
+                    .rndv_out
+                    .lock()
+                    .unwrap()
+                    .remove(&token)
+                    .expect("CTS for unknown rendezvous");
+                self.post(out.peer, &out.msg);
+            }
+            Msg::PutAck { token } | Msg::AccAck { token } | Msg::ResetAck { token } => {
+                self.finish_ack(token)
+            }
+            Msg::NxtValReply { token, value } => {
+                let slot = self
+                    .vals
+                    .lock()
+                    .unwrap()
+                    .remove(&token)
+                    .expect("reply for unknown nxtval");
+                *slot.0.lock().unwrap() = Some(value);
+                slot.1.notify_all();
+            }
+        }
+    }
+
+    fn finish_get(&self, token: u64, data: Vec<f64>, eager: bool) {
+        let pg = self
+            .pending_gets
+            .lock()
+            .unwrap()
+            .remove(&token)
+            .expect("reply for unknown get");
+        let now = self.now_ns();
+        self.get_lat.lock().unwrap().push(now - pg.posted_ns);
+        {
+            let mut t = self.trace.lock().unwrap();
+            let class = t.1.get[eager as usize];
+            let row = WorkerId::new(self.rank as u32, self.cfg.comm_worker);
+            t.0.push(row, class, pg.posted_ns, now);
+        }
+        // Free the in-flight slot and launch the best queued request.
+        let next = {
+            let mut gs = self.get_state.lock().unwrap();
+            let st = &mut gs[pg.peer];
+            st.inflight -= 1;
+            match st.queue.pop() {
+                Some(q) => {
+                    st.inflight += 1;
+                    Some(q)
+                }
+                None => None,
+            }
+        };
+        if let Some(q) = next {
+            self.post(
+                pg.peer,
+                &Msg::Get {
+                    token: q.token,
+                    array: q.array,
+                    offset: q.offset,
+                    len: q.len,
+                },
+            );
+        }
+        (pg.cb)(data);
+    }
+
+    fn finish_ack(&self, token: u64) {
+        let ack = self
+            .acks
+            .lock()
+            .unwrap()
+            .remove(&token)
+            .expect("ack for unknown op");
+        if ack.kind != AckKind::Reset {
+            let now = self.now_ns();
+            {
+                let mut t = self.trace.lock().unwrap();
+                let class = match ack.kind {
+                    AckKind::Put => t.1.put[ack.eager as usize],
+                    AckKind::Acc => t.1.acc[ack.eager as usize],
+                    AckKind::Reset => unreachable!(),
+                };
+                let row = WorkerId::new(self.rank as u32, self.cfg.comm_worker);
+                t.0.push(row, class, ack.posted_ns, now);
+            }
+            let mut n = self.outstanding.lock().unwrap();
+            *n -= 1;
+            if *n == 0 {
+                self.fence_cv.notify_all();
+            }
+        }
+        if let Some(w) = ack.waiter {
+            w.set();
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Multi-process TCP mesh transport.
+//!
+//! Rank `r` listens on `base_port + r` (loopback interface) and dials
+//! every lower rank, so the mesh forms without a rendezvous server: each
+//! pair has exactly one connection, initiated by the higher rank, which
+//! identifies itself with a 4-byte hello. Frames are length-prefixed
+//! (`u32` little-endian byte count, then the encoded body); one reader
+//! thread per peer decodes the prefix and feeds the shared inbox that
+//! `recv_timeout` drains.
+
+use crate::transport::{Inbox, Transport};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Refuse frames above this size — nothing in the protocol approaches it,
+/// so a larger prefix means a corrupt or hostile stream.
+const MAX_FRAME: u32 = 1 << 30;
+
+/// TCP mesh transport for one rank of a multi-process run.
+pub struct SocketTransport {
+    rank: usize,
+    nranks: usize,
+    inbox: Arc<Inbox>,
+    /// Write side per peer (`None` at our own index).
+    writers: Vec<Option<Mutex<TcpStream>>>,
+}
+
+fn write_frame(s: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    s.write_all(&(frame.len() as u32).to_le_bytes())?;
+    s.write_all(frame)
+}
+
+fn read_frame(s: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    s.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    s.read_exact(&mut body)?;
+    Ok(body)
+}
+
+fn spawn_reader(peer: usize, mut stream: TcpStream, inbox: Arc<Inbox>) {
+    std::thread::Builder::new()
+        .name(format!("comm-rx-{peer}"))
+        .spawn(move || {
+            // EOF or a shutdown error ends the connection; the progress
+            // engine has its own lifecycle, so the reader just stops.
+            while let Ok(body) = read_frame(&mut stream) {
+                inbox.push(peer, body);
+            }
+        })
+        .expect("spawn reader thread");
+}
+
+impl SocketTransport {
+    /// Establish the full mesh for `rank` of `nranks` on
+    /// `127.0.0.1:base_port + r`. Blocks until every pairwise connection
+    /// is up or `timeout` expires.
+    pub fn connect(
+        rank: usize,
+        nranks: usize,
+        base_port: u16,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        assert!(rank < nranks, "rank {rank} out of range for {nranks}");
+        let deadline = Instant::now() + timeout;
+        let listener = TcpListener::bind(("127.0.0.1", base_port + rank as u16))?;
+        let inbox = Arc::new(Inbox::new());
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..nranks).map(|_| None).collect();
+
+        // Dial every lower rank (their listeners bind before any dialing
+        // completes; retry covers start-up skew between processes).
+        for (peer, slot) in writers.iter_mut().enumerate().take(rank) {
+            let addr = ("127.0.0.1", base_port + peer as u16);
+            let stream = loop {
+                match TcpStream::connect(addr) {
+                    Ok(s) => break s,
+                    Err(e) if Instant::now() < deadline => {
+                        let _ = e;
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            stream.set_nodelay(true)?;
+            let mut hello = stream.try_clone()?;
+            hello.write_all(&(rank as u32).to_le_bytes())?;
+            spawn_reader(peer, stream.try_clone()?, inbox.clone());
+            *slot = Some(Mutex::new(stream));
+        }
+
+        // Accept every higher rank; the hello byte says who dialed.
+        for _ in rank + 1..nranks {
+            listener.set_nonblocking(false)?;
+            let (mut stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            let mut hello = [0u8; 4];
+            stream.read_exact(&mut hello)?;
+            let peer = u32::from_le_bytes(hello) as usize;
+            assert!(
+                peer < nranks && writers[peer].is_none() && peer > rank,
+                "unexpected hello from rank {peer}"
+            );
+            spawn_reader(peer, stream.try_clone()?, inbox.clone());
+            writers[peer] = Some(Mutex::new(stream));
+        }
+
+        Ok(Self {
+            rank,
+            nranks,
+            inbox,
+            writers,
+        })
+    }
+}
+
+impl Transport for SocketTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+    fn send(&self, to: usize, frame: Vec<u8>) {
+        if to == self.rank {
+            self.inbox.push(self.rank, frame);
+            return;
+        }
+        let mut s = self.writers[to]
+            .as_ref()
+            .expect("no connection to peer")
+            .lock()
+            .unwrap();
+        write_frame(&mut s, &frame).expect("peer connection lost");
+    }
+    fn recv_timeout(&self, timeout: Duration) -> Option<(usize, Vec<u8>)> {
+        self.inbox.pop_timeout(timeout)
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        // Shut the sockets so reader threads unblock and exit.
+        for w in self.writers.iter().flatten() {
+            let _ = w.lock().unwrap().shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two "ranks" as threads over real sockets: the mesh handshake and
+    /// frame layer work end to end.
+    #[test]
+    fn two_rank_socket_roundtrip() {
+        let base = 21000 + (std::process::id() % 500) as u16 * 8;
+        let h1 = std::thread::spawn(move || {
+            let t = SocketTransport::connect(1, 2, base, Duration::from_secs(10)).unwrap();
+            t.send(0, vec![42, 43]);
+            t.recv_timeout(Duration::from_secs(10)).unwrap()
+        });
+        let t0 = SocketTransport::connect(0, 2, base, Duration::from_secs(10)).unwrap();
+        let (from, frame) = t0.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!((from, frame), (1, vec![42, 43]));
+        t0.send(1, vec![7]);
+        assert_eq!(h1.join().unwrap(), (0, vec![7]));
+    }
+}

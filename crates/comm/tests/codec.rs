@@ -1,0 +1,122 @@
+//! Property tests for the wire codec: every message type round-trips,
+//! payload sizes straddling the eager threshold survive intact, and
+//! damaged frames (truncated or padded) are rejected rather than
+//! misparsed.
+
+use comm::msg::Msg;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Payload lengths concentrated around interesting sizes: empty, tiny,
+/// and straddling the default 4 KiB eager threshold (512 f64s).
+fn arb_payload() -> impl Strategy<Value = Vec<f64>> {
+    prop_oneof![
+        Just(Vec::new()),
+        collection::vec(-1e9..1e9f64, 1..8),
+        collection::vec(-1e9..1e9f64, 510..515),
+    ]
+}
+
+/// One random message of any of the 21 wire types.
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    (
+        (any::<u8>(), any::<u64>(), any::<u32>()),
+        (any::<u64>(), any::<u64>(), any::<f64>()),
+        (any::<i64>(), arb_payload()),
+    )
+        .prop_map(
+            |((which, token, array), (offset, len, alpha), (value, data))| match which % 21 {
+                0 => Msg::Get {
+                    token,
+                    array,
+                    offset,
+                    len,
+                },
+                1 => Msg::GetReplyEager { token, data },
+                2 => Msg::GetReplyRndv { token, len },
+                3 => Msg::GetPull { token },
+                4 => Msg::GetReplyData { token, data },
+                5 => Msg::Put {
+                    token,
+                    array,
+                    offset,
+                    data,
+                },
+                6 => Msg::PutRts {
+                    token,
+                    array,
+                    offset,
+                    len,
+                },
+                7 => Msg::PutCts { token },
+                8 => Msg::PutData {
+                    token,
+                    array,
+                    offset,
+                    data,
+                },
+                9 => Msg::PutAck { token },
+                10 => Msg::Acc {
+                    token,
+                    array,
+                    offset,
+                    alpha,
+                    data,
+                },
+                11 => Msg::AccRts {
+                    token,
+                    array,
+                    offset,
+                    len,
+                },
+                12 => Msg::AccCts { token },
+                13 => Msg::AccData {
+                    token,
+                    array,
+                    offset,
+                    alpha,
+                    data,
+                },
+                14 => Msg::AccAck { token },
+                15 => Msg::NxtVal { token },
+                16 => Msg::NxtValReply { token, value },
+                17 => Msg::NxtValReset { token },
+                18 => Msg::ResetAck { token },
+                19 => Msg::BarrierEnter {
+                    epoch: len,
+                    from: array,
+                },
+                _ => Msg::BarrierRelease { epoch: len },
+            },
+        )
+}
+
+proptest! {
+    /// encode → decode is the identity for every message type, including
+    /// zero-length and threshold-straddling payloads.
+    #[test]
+    fn roundtrip(msg in arb_msg()) {
+        let frame = msg.encode();
+        let back = Msg::decode(&frame)
+            .map_err(|e| TestCaseError::fail(format!("{msg:?}: {e}")))?;
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Any strict prefix of a valid frame is rejected, never misparsed
+    /// into some other message.
+    #[test]
+    fn truncation_is_rejected(msg in arb_msg(), cut in any::<u64>()) {
+        let frame = msg.encode();
+        let cut = (cut % frame.len() as u64) as usize;
+        prop_assert!(Msg::decode(&frame[..cut]).is_err());
+    }
+
+    /// Trailing garbage after a complete message is rejected: frames and
+    /// messages correspond one to one.
+    #[test]
+    fn trailing_bytes_are_rejected(msg in arb_msg(), junk in any::<u8>()) {
+        let mut frame = msg.encode();
+        frame.push(junk);
+        prop_assert!(Msg::decode(&frame).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! The distributed backend: rank-local shards served over the comm layer.
+//!
+//! In distributed mode each process holds only its own slice of every
+//! array (a [`DistStore`]), and the comm progress engine answers remote
+//! `Get`/`Put`/`Acc`/`NxtVal` active messages against it — the real shape
+//! of GA's data server. [`crate::Ga`] methods split every range by owner:
+//! local pieces short-circuit to memcpy, remote pieces go on the wire.
+
+use crate::dist::Distribution;
+use comm::{Endpoint, ShardStore};
+use parking_lot::Mutex;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+struct DistArray {
+    dist: Distribution,
+    /// This rank's owned slice, indexed by `global - range_of(rank).start`.
+    shard: Mutex<Vec<f64>>,
+}
+
+/// Rank-local shards of every created array. The comm progress engine
+/// holds one reference (to serve remote requests) and the owning
+/// [`crate::Ga`] another (for local fast paths).
+pub struct DistStore {
+    rank: usize,
+    nranks: usize,
+    arrays: Mutex<Vec<Arc<DistArray>>>,
+}
+
+impl DistStore {
+    /// Empty store for `rank` of `nranks`.
+    pub fn new(rank: usize, nranks: usize) -> Arc<Self> {
+        assert!(rank < nranks, "rank {rank} out of range for {nranks}");
+        Arc::new(Self {
+            rank,
+            nranks,
+            arrays: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// This store's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Allocate the local shard of a `len`-element array; returns its
+    /// index. Collective by convention: every rank creates the same
+    /// arrays in the same order.
+    pub(crate) fn create(&self, len: usize) -> usize {
+        let dist = Distribution::new(len, self.nranks);
+        let shard = Mutex::new(vec![0.0; dist.range_of(self.rank).len()]);
+        let mut arrays = self.arrays.lock();
+        arrays.push(Arc::new(DistArray { dist, shard }));
+        arrays.len() - 1
+    }
+
+    fn array(&self, h: usize) -> Arc<DistArray> {
+        self.arrays.lock()[h].clone()
+    }
+
+    pub(crate) fn dist_of(&self, h: usize) -> Distribution {
+        self.array(h).dist.clone()
+    }
+
+    /// Copy the locally-owned global range `[offset, offset+out.len())`
+    /// into `out`. The range must lie inside this rank's shard.
+    pub(crate) fn read_local(&self, h: usize, offset: usize, out: &mut [f64]) {
+        let a = self.array(h);
+        let s = a.dist.range_of(self.rank).start;
+        out.copy_from_slice(&a.shard.lock()[offset - s..offset - s + out.len()]);
+    }
+
+    pub(crate) fn write_local(&self, h: usize, offset: usize, data: &[f64]) {
+        let a = self.array(h);
+        let s = a.dist.range_of(self.rank).start;
+        a.shard.lock()[offset - s..offset - s + data.len()].copy_from_slice(data);
+    }
+
+    pub(crate) fn acc_local(&self, h: usize, offset: usize, data: &[f64], alpha: f64) {
+        let a = self.array(h);
+        let s = a.dist.range_of(self.rank).start;
+        let mut shard = a.shard.lock();
+        for (dst, x) in shard[offset - s..offset - s + data.len()]
+            .iter_mut()
+            .zip(data)
+        {
+            *dst += alpha * x;
+        }
+    }
+
+    pub(crate) fn zero_local(&self, h: usize) {
+        self.array(h).shard.lock().fill(0.0);
+    }
+}
+
+/// The progress engine's view: offsets arrive global, exactly as the
+/// requester computed them from the shared [`Distribution`].
+impl ShardStore for DistStore {
+    fn read(&self, array: u32, offset: usize, len: usize) -> Vec<f64> {
+        let mut out = vec![0.0; len];
+        self.read_local(array as usize, offset, &mut out);
+        out
+    }
+    fn write(&self, array: u32, offset: usize, data: &[f64]) {
+        self.write_local(array as usize, offset, data);
+    }
+    fn accumulate(&self, array: u32, offset: usize, data: &[f64], alpha: f64) {
+        self.acc_local(array as usize, offset, data, alpha);
+    }
+}
+
+/// Gather state of one multi-owner asynchronous get: remote pieces land
+/// out of order; the last one releases the assembled buffer to the
+/// callback (on the progress thread).
+pub(crate) struct Assembly {
+    state: StdMutex<AssemblyState>,
+}
+
+struct AssemblyState {
+    buf: Vec<f64>,
+    remaining: usize,
+    cb: Option<comm::GetCallback>,
+}
+
+impl Assembly {
+    /// `buf` holds any locally-copied pieces already; `remaining` remote
+    /// pieces are still in flight. `remaining` must be nonzero (callers
+    /// with no remote pieces invoke the callback directly).
+    pub(crate) fn new(buf: Vec<f64>, remaining: usize, cb: comm::GetCallback) -> Arc<Self> {
+        Arc::new(Self {
+            state: StdMutex::new(AssemblyState {
+                buf,
+                remaining,
+                cb: Some(cb),
+            }),
+        })
+    }
+
+    /// Deposit one remote piece at buffer position `at`.
+    pub(crate) fn fill(&self, at: usize, data: &[f64]) {
+        let finished = {
+            let mut st = self.state.lock().unwrap();
+            st.buf[at..at + data.len()].copy_from_slice(data);
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                Some((std::mem::take(&mut st.buf), st.cb.take().unwrap()))
+            } else {
+                None
+            }
+        };
+        if let Some((buf, cb)) = finished {
+            cb(buf);
+        }
+    }
+}
+
+/// Block until an async get completes (the synchronous entry points wrap
+/// the asynchronous machinery with this).
+pub(crate) struct WaitSlot {
+    state: StdMutex<Option<Vec<f64>>>,
+    cv: Condvar,
+}
+
+impl WaitSlot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: StdMutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+    pub(crate) fn callback(self: &Arc<Self>) -> comm::GetCallback {
+        let slot = self.clone();
+        Box::new(move |data| {
+            *slot.state.lock().unwrap() = Some(data);
+            slot.cv.notify_all();
+        })
+    }
+    pub(crate) fn wait(&self) -> Vec<f64> {
+        let mut got = self.state.lock().unwrap();
+        while got.is_none() {
+            got = self.cv.wait(got).unwrap();
+        }
+        got.take().unwrap()
+    }
+}
+
+/// Collective reset of the shared NXTVAL counter (owned by rank 0): a
+/// barrier brackets the owner's reset so no rank can draw a stale value
+/// on either side.
+pub(crate) fn nxtval_reset_collective(ep: &Endpoint) {
+    ep.barrier();
+    if ep.rank() == 0 {
+        ep.nxtval_reset(0);
+    }
+    ep.barrier();
+}

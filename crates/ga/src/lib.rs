@@ -14,18 +14,30 @@
 //!   get/put/accumulate, `nxtval`.
 //! * [`HashIndex`] — the TCE hash map from block key to `(offset, size)`.
 //! * [`GaStats`] — operation counters.
+//!
+//! Two backends share the `Ga` API. [`Ga::init`] keeps all logical nodes
+//! in one process (exact numerics, auditable ownership, no wire).
+//! [`Ga::init_dist`] holds only this rank's shard ([`DistStore`]) and
+//! routes remote ranges through a [`comm::Endpoint`]: local pieces
+//! short-circuit to memcpy, remote pieces become one-sided active
+//! messages, and `NXTVAL` becomes a fetch-and-add on rank 0's counter
+//! shard instead of a process-global atomic.
 
 pub mod dist;
+pub mod distga;
 pub mod hash;
 pub mod stats;
 
 pub use dist::Distribution;
+pub use distga::DistStore;
 pub use hash::HashIndex;
 pub use stats::GaStats;
 
+use distga::{Assembly, WaitSlot};
 use parking_lot::Mutex;
 use std::ops::Range;
 use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
 
 /// Logical node index.
 pub type NodeId = usize;
@@ -46,22 +58,51 @@ struct Array {
     segments: Vec<Mutex<Vec<f64>>>,
 }
 
+/// Storage strategy behind a [`Ga`] instance.
+enum Backend {
+    /// All nodes' segments live in this process.
+    Local {
+        arrays: Mutex<Vec<Arc<Array>>>,
+        nxtval: AtomicI64,
+    },
+    /// Only this rank's shards live here; other ranks are reached through
+    /// the comm endpoint, and `NXTVAL` lives on rank 0.
+    Dist {
+        ep: Arc<comm::Endpoint>,
+        store: Arc<DistStore>,
+    },
+}
+
 /// The Global Arrays toolkit instance for a logical cluster of `nodes`.
 pub struct Ga {
     nodes: usize,
-    arrays: Mutex<Vec<std::sync::Arc<Array>>>,
-    nxtval: AtomicI64,
+    backend: Backend,
     stats: GaStats,
 }
 
 impl Ga {
-    /// Initialize the toolkit for a cluster of `nodes >= 1` logical nodes.
+    /// Initialize the toolkit for a cluster of `nodes >= 1` logical nodes,
+    /// all resident in this process.
     pub fn init(nodes: usize) -> Self {
         assert!(nodes >= 1, "need at least one node");
         Self {
             nodes,
-            arrays: Mutex::new(Vec::new()),
-            nxtval: AtomicI64::new(0),
+            backend: Backend::Local {
+                arrays: Mutex::new(Vec::new()),
+                nxtval: AtomicI64::new(0),
+            },
+            stats: GaStats::default(),
+        }
+    }
+
+    /// Initialize the distributed backend for one rank. `store` must be
+    /// the same [`DistStore`] the endpoint serves (the endpoint answers
+    /// remote requests against it; `Ga` takes the local fast path).
+    pub fn init_dist(ep: Arc<comm::Endpoint>, store: Arc<DistStore>) -> Self {
+        assert_eq!(ep.rank(), store.rank(), "endpoint and store disagree");
+        Self {
+            nodes: ep.nranks(),
+            backend: Backend::Dist { ep, store },
             stats: GaStats::default(),
         }
     }
@@ -71,64 +112,96 @@ impl Ga {
         self.nodes
     }
 
+    /// This process's rank (0 in local mode, where every node is local).
+    pub fn rank(&self) -> usize {
+        match &self.backend {
+            Backend::Local { .. } => 0,
+            Backend::Dist { ep, .. } => ep.rank(),
+        }
+    }
+
+    /// True when running over the wire.
+    pub fn is_dist(&self) -> bool {
+        matches!(self.backend, Backend::Dist { .. })
+    }
+
+    /// The comm endpoint in distributed mode.
+    pub fn endpoint(&self) -> Option<&Arc<comm::Endpoint>> {
+        match &self.backend {
+            Backend::Local { .. } => None,
+            Backend::Dist { ep, .. } => Some(ep),
+        }
+    }
+
     /// Operation counters.
     pub fn stats(&self) -> &GaStats {
         &self.stats
     }
 
-    /// Create a zero-initialized array of `len` elements.
+    /// Create a zero-initialized array of `len` elements. Collective in
+    /// distributed mode: every rank must create the same arrays in the
+    /// same order.
     pub fn create(&self, len: usize) -> GaHandle {
-        let dist = Distribution::new(len, self.nodes);
-        let segments = (0..self.nodes)
-            .map(|n| Mutex::new(vec![0.0; dist.range_of(n).len()]))
-            .collect();
-        let mut arrays = self.arrays.lock();
-        arrays.push(std::sync::Arc::new(Array { dist, segments }));
-        GaHandle(arrays.len() - 1)
+        match &self.backend {
+            Backend::Local { arrays, .. } => {
+                let dist = Distribution::new(len, self.nodes);
+                let segments = (0..self.nodes)
+                    .map(|n| Mutex::new(vec![0.0; dist.range_of(n).len()]))
+                    .collect();
+                let mut arrays = arrays.lock();
+                arrays.push(Arc::new(Array { dist, segments }));
+                GaHandle(arrays.len() - 1)
+            }
+            Backend::Dist { store, .. } => GaHandle(store.create(len)),
+        }
     }
 
-    fn array(&self, h: GaHandle) -> std::sync::Arc<Array> {
-        self.arrays.lock()[h.0].clone()
+    fn array(&self, h: GaHandle) -> Arc<Array> {
+        match &self.backend {
+            Backend::Local { arrays, .. } => arrays.lock()[h.0].clone(),
+            Backend::Dist { .. } => unreachable!("local array in dist mode"),
+        }
+    }
+
+    fn dist_of_any(&self, h: GaHandle) -> Distribution {
+        match &self.backend {
+            Backend::Local { arrays, .. } => arrays.lock()[h.0].dist.clone(),
+            Backend::Dist { store, .. } => store.dist_of(h.0),
+        }
     }
 
     /// Total length of the array.
     pub fn len_of(&self, h: GaHandle) -> usize {
-        self.array(h).dist.len()
+        self.dist_of_any(h).len()
     }
 
     /// Clone of the array's block distribution (for structural queries).
     pub fn dist_of(&self, h: GaHandle) -> Distribution {
-        self.array(h).dist.clone()
+        self.dist_of_any(h)
     }
 
     /// `ga_distribution`: the range of global offsets owned by `node`.
     pub fn distribution(&self, h: GaHandle, node: NodeId) -> Range<usize> {
-        self.array(h).dist.range_of(node)
+        self.dist_of_any(h).range_of(node)
     }
 
     /// Owner of a single global offset.
     pub fn owner_of(&self, h: GaHandle, offset: usize) -> NodeId {
-        self.array(h).dist.owner_of(offset)
+        self.dist_of_any(h).owner_of(offset)
     }
 
     /// Split `[offset, offset+len)` into per-owner pieces
     /// `(node, global_subrange)` — the information used to instantiate one
     /// `WRITE_C(i)` task per owner node (paper Figure 8).
     pub fn owners_of(&self, h: GaHandle, offset: usize, len: usize) -> Vec<(NodeId, Range<usize>)> {
-        self.array(h).dist.owners_of(offset, len)
+        self.dist_of_any(h).owners_of(offset, len)
     }
 
     /// Read `[offset, offset+len)` into a fresh buffer (the data-movement
     /// half of `GET_HASH_BLOCK`).
     pub fn get(&self, h: GaHandle, offset: usize, len: usize) -> Vec<f64> {
-        let a = self.array(h);
-        let mut out = Vec::with_capacity(len);
-        for (node, range) in a.dist.owners_of(offset, len) {
-            let seg = a.segments[node].lock();
-            let s = a.dist.range_of(node).start;
-            out.extend_from_slice(&seg[range.start - s..range.end - s]);
-        }
-        self.stats.record_get(len * 8);
+        let mut out = vec![0.0; len];
+        self.get_into(h, offset, &mut out);
         out
     }
 
@@ -136,39 +209,218 @@ impl Ga {
     /// data path reuses tile buffers across tasks instead of allocating
     /// one per call.
     pub fn get_into(&self, h: GaHandle, offset: usize, out: &mut [f64]) {
-        let a = self.array(h);
-        for (node, range) in a.dist.owners_of(offset, out.len()) {
-            let seg = a.segments[node].lock();
-            let s = a.dist.range_of(node).start;
-            out[range.start - offset..range.end - offset]
-                .copy_from_slice(&seg[range.start - s..range.end - s]);
+        match &self.backend {
+            Backend::Local { .. } => {
+                let a = self.array(h);
+                for (node, range) in a.dist.owners_of(offset, out.len()) {
+                    let seg = a.segments[node].lock();
+                    let s = a.dist.range_of(node).start;
+                    out[range.start - offset..range.end - offset]
+                        .copy_from_slice(&seg[range.start - s..range.end - s]);
+                }
+                self.stats.record_locality(out.len() * 8, 0);
+            }
+            Backend::Dist { ep, store } => {
+                // Post every remote piece before waiting on any, so
+                // multi-owner reads travel concurrently.
+                let dist = store.dist_of(h.0);
+                let rank = ep.rank();
+                let (mut local_b, mut remote_b) = (0, 0);
+                let mut waits = Vec::new();
+                for (node, range) in dist.owners_of(offset, out.len()) {
+                    if node == rank {
+                        store.read_local(
+                            h.0,
+                            range.start,
+                            &mut out[range.start - offset..range.end - offset],
+                        );
+                        local_b += range.len() * 8;
+                    } else {
+                        let slot = WaitSlot::new();
+                        ep.get_async(
+                            node,
+                            h.0 as u32,
+                            range.start,
+                            range.len(),
+                            i64::MAX,
+                            slot.callback(),
+                        );
+                        remote_b += range.len() * 8;
+                        waits.push((range, slot));
+                    }
+                }
+                for (range, slot) in waits {
+                    let data = slot.wait();
+                    out[range.start - offset..range.end - offset].copy_from_slice(&data);
+                }
+                self.stats.record_locality(local_b, remote_b);
+            }
         }
         self.stats.record_get(out.len() * 8);
     }
 
+    /// Asynchronous get: assembles `[offset, offset+len)` (local pieces by
+    /// memcpy, remote pieces over the wire at priority `prio`) and hands
+    /// the buffer to `cb`. With no remote pieces `cb` runs on the calling
+    /// thread before returning; otherwise it runs on the progress thread
+    /// when the last piece lands. This is the prefetch entry point: reader
+    /// tasks post these and retire, and completions re-enter the runtime.
+    pub fn get_async(
+        &self,
+        h: GaHandle,
+        offset: usize,
+        len: usize,
+        prio: i64,
+        cb: comm::GetCallback,
+    ) {
+        self.stats.record_get(len * 8);
+        match &self.backend {
+            Backend::Local { .. } => {
+                let a = self.array(h);
+                let mut buf = vec![0.0; len];
+                for (node, range) in a.dist.owners_of(offset, len) {
+                    let seg = a.segments[node].lock();
+                    let s = a.dist.range_of(node).start;
+                    buf[range.start - offset..range.end - offset]
+                        .copy_from_slice(&seg[range.start - s..range.end - s]);
+                }
+                self.stats.record_locality(len * 8, 0);
+                cb(buf);
+            }
+            Backend::Dist { ep, store } => {
+                let dist = store.dist_of(h.0);
+                let rank = ep.rank();
+                let mut buf = vec![0.0; len];
+                let (mut local_b, mut remote_b) = (0, 0);
+                let mut remote = Vec::new();
+                for (node, range) in dist.owners_of(offset, len) {
+                    if node == rank {
+                        store.read_local(
+                            h.0,
+                            range.start,
+                            &mut buf[range.start - offset..range.end - offset],
+                        );
+                        local_b += range.len() * 8;
+                    } else {
+                        remote_b += range.len() * 8;
+                        remote.push((node, range));
+                    }
+                }
+                self.stats.record_locality(local_b, remote_b);
+                if remote.is_empty() {
+                    cb(buf);
+                    return;
+                }
+                let asm = Assembly::new(buf, remote.len(), cb);
+                for (node, range) in remote {
+                    let asm = asm.clone();
+                    let at = range.start - offset;
+                    ep.get_async(
+                        node,
+                        h.0 as u32,
+                        range.start,
+                        range.len(),
+                        prio,
+                        Box::new(move |data| asm.fill(at, &data)),
+                    );
+                }
+            }
+        }
+    }
+
     /// Overwrite `[offset, offset+len)` with `data`.
     pub fn put(&self, h: GaHandle, offset: usize, data: &[f64]) {
-        let a = self.array(h);
-        for (node, range) in a.dist.owners_of(offset, data.len()) {
-            let mut seg = a.segments[node].lock();
-            let s = a.dist.range_of(node).start;
-            let src = &data[range.start - offset..range.end - offset];
-            seg[range.start - s..range.end - s].copy_from_slice(src);
+        match &self.backend {
+            Backend::Local { .. } => {
+                let a = self.array(h);
+                for (node, range) in a.dist.owners_of(offset, data.len()) {
+                    let mut seg = a.segments[node].lock();
+                    let s = a.dist.range_of(node).start;
+                    let src = &data[range.start - offset..range.end - offset];
+                    seg[range.start - s..range.end - s].copy_from_slice(src);
+                }
+                self.stats.record_locality(data.len() * 8, 0);
+            }
+            Backend::Dist { ep, store } => {
+                let dist = store.dist_of(h.0);
+                let rank = ep.rank();
+                let (mut local_b, mut remote_b) = (0, 0);
+                for (node, range) in dist.owners_of(offset, data.len()) {
+                    let src = &data[range.start - offset..range.end - offset];
+                    if node == rank {
+                        store.write_local(h.0, range.start, src);
+                        local_b += range.len() * 8;
+                    } else {
+                        ep.put(node, h.0 as u32, range.start, src);
+                        remote_b += range.len() * 8;
+                    }
+                }
+                self.stats.record_locality(local_b, remote_b);
+            }
         }
         self.stats.record_put(data.len() * 8);
     }
 
+    /// Collective overwrite: every rank calls this with identical
+    /// arguments, and each writes only the part of the range it owns —
+    /// how the tensors are materialized without moving bytes. Equivalent
+    /// to [`Self::put`] in local mode.
+    pub fn put_collective(&self, h: GaHandle, offset: usize, data: &[f64]) {
+        match &self.backend {
+            Backend::Local { .. } => self.put(h, offset, data),
+            Backend::Dist { ep, store } => {
+                let dist = store.dist_of(h.0);
+                let rank = ep.rank();
+                let mut written = 0;
+                for (node, range) in dist.owners_of(offset, data.len()) {
+                    if node == rank {
+                        store.write_local(
+                            h.0,
+                            range.start,
+                            &data[range.start - offset..range.end - offset],
+                        );
+                        written += range.len() * 8;
+                    }
+                }
+                self.stats.record_put(written);
+                self.stats.record_locality(written, 0);
+            }
+        }
+    }
+
     /// Atomic accumulate: `ga[offset..] += alpha * data` (the
     /// `ADD_HASH_BLOCK` primitive). Atomicity granularity is the owner
-    /// node's segment lock, as in GA.
+    /// node's segment lock, as in GA. In distributed mode remote pieces
+    /// are asynchronous; completion is observed through [`Self::sync`].
     pub fn acc(&self, h: GaHandle, offset: usize, data: &[f64], alpha: f64) {
-        let a = self.array(h);
-        for (node, range) in a.dist.owners_of(offset, data.len()) {
-            let mut seg = a.segments[node].lock();
-            let s = a.dist.range_of(node).start;
-            let src = &data[range.start - offset..range.end - offset];
-            for (dst, x) in seg[range.start - s..range.end - s].iter_mut().zip(src) {
-                *dst += alpha * x;
+        match &self.backend {
+            Backend::Local { .. } => {
+                let a = self.array(h);
+                for (node, range) in a.dist.owners_of(offset, data.len()) {
+                    let mut seg = a.segments[node].lock();
+                    let s = a.dist.range_of(node).start;
+                    let src = &data[range.start - offset..range.end - offset];
+                    for (dst, x) in seg[range.start - s..range.end - s].iter_mut().zip(src) {
+                        *dst += alpha * x;
+                    }
+                }
+                self.stats.record_locality(data.len() * 8, 0);
+            }
+            Backend::Dist { ep, store } => {
+                let dist = store.dist_of(h.0);
+                let rank = ep.rank();
+                let (mut local_b, mut remote_b) = (0, 0);
+                for (node, range) in dist.owners_of(offset, data.len()) {
+                    let src = &data[range.start - offset..range.end - offset];
+                    if node == rank {
+                        store.acc_local(h.0, range.start, src, alpha);
+                        local_b += range.len() * 8;
+                    } else {
+                        ep.acc(node, h.0 as u32, range.start, src, alpha);
+                        remote_b += range.len() * 8;
+                    }
+                }
+                self.stats.record_locality(local_b, remote_b);
             }
         }
         self.stats.record_acc(data.len() * 8);
@@ -178,52 +430,99 @@ impl Ga {
     /// `node` — what one `WRITE_C(i)` instance does with its slice of the
     /// incoming `C_sorted` matrix. No-op if `node` owns none of the range.
     pub fn acc_local(&self, h: GaHandle, node: NodeId, offset: usize, data: &[f64], alpha: f64) {
-        let a = self.array(h);
-        let r = a.dist.range_of(node);
+        let dist = self.dist_of_any(h);
+        let r = dist.range_of(node);
         let (lo, hi) = (r.start, r.end);
         let begin = offset.max(lo);
         let end = (offset + data.len()).min(hi);
         if begin >= end {
             return;
         }
-        let mut seg = a.segments[node].lock();
         let src = &data[begin - offset..end - offset];
-        for (dst, x) in seg[begin - lo..end - lo].iter_mut().zip(src) {
-            *dst += alpha * x;
+        match &self.backend {
+            Backend::Local { .. } => {
+                let a = self.array(h);
+                let mut seg = a.segments[node].lock();
+                for (dst, x) in seg[begin - lo..end - lo].iter_mut().zip(src) {
+                    *dst += alpha * x;
+                }
+                self.stats.record_locality(src.len() * 8, 0);
+            }
+            Backend::Dist { ep, store } => {
+                if node == ep.rank() {
+                    store.acc_local(h.0, begin, src, alpha);
+                    self.stats.record_locality(src.len() * 8, 0);
+                } else {
+                    ep.acc(node, h.0 as u32, begin, src, alpha);
+                    self.stats.record_locality(0, src.len() * 8);
+                }
+            }
         }
         self.stats.record_acc((end - begin) * 8);
     }
 
-    /// Snapshot the full array (test/analysis helper; not a GA operation).
+    /// Snapshot the full array. In distributed mode this pulls every
+    /// remote shard (test/analysis helper; not a GA operation).
     pub fn snapshot(&self, h: GaHandle) -> Vec<f64> {
-        let a = self.array(h);
-        let mut out = Vec::with_capacity(a.dist.len());
-        for seg in &a.segments {
-            out.extend_from_slice(&seg.lock());
+        match &self.backend {
+            Backend::Local { .. } => {
+                let a = self.array(h);
+                let mut out = Vec::with_capacity(a.dist.len());
+                for seg in &a.segments {
+                    out.extend_from_slice(&seg.lock());
+                }
+                out
+            }
+            Backend::Dist { .. } => {
+                let len = self.len_of(h);
+                self.get(h, 0, len)
+            }
         }
-        out
     }
 
-    /// Zero the array in place.
+    /// Zero the array in place. Collective in distributed mode: each rank
+    /// zeroes its own shard (bracket with [`Self::sync`] as needed).
     pub fn zero(&self, h: GaHandle) {
-        let a = self.array(h);
-        for seg in &a.segments {
-            seg.lock().fill(0.0);
+        match &self.backend {
+            Backend::Local { .. } => {
+                let a = self.array(h);
+                for seg in &a.segments {
+                    seg.lock().fill(0.0);
+                }
+            }
+            Backend::Dist { store, .. } => store.zero_local(h.0),
         }
     }
 
     /// `NXTVAL`: the shared work-stealing counter. Every call atomically
     /// returns the next value — "each MPI rank will atomically acquire a
     /// single unit of work each time". This is the global hot spot the
-    /// paper identifies as unscalable.
+    /// paper identifies as unscalable; in distributed mode it is a real
+    /// one: a fetch-and-add served by rank 0's progress thread.
     pub fn nxtval(&self) -> i64 {
         self.stats.record_nxtval();
-        self.nxtval.fetch_add(1, Ordering::Relaxed)
+        match &self.backend {
+            Backend::Local { nxtval, .. } => nxtval.fetch_add(1, Ordering::Relaxed),
+            Backend::Dist { ep, .. } => ep.nxtval(0),
+        }
     }
 
     /// Reset the NXTVAL counter (done between the seven work levels).
+    /// Collective in distributed mode: barriers bracket the owner's reset
+    /// so no rank can draw a stale value on either side.
     pub fn nxtval_reset(&self) {
-        self.nxtval.store(0, Ordering::Relaxed);
+        match &self.backend {
+            Backend::Local { nxtval, .. } => nxtval.store(0, Ordering::Relaxed),
+            Backend::Dist { ep, .. } => distga::nxtval_reset_collective(ep),
+        }
+    }
+
+    /// Fence this rank's outstanding writes, then barrier — GA's `sync`.
+    /// No-op in local mode, where every operation is immediately visible.
+    pub fn sync(&self) {
+        if let Backend::Dist { ep, .. } = &self.backend {
+            ep.sync();
+        }
     }
 }
 

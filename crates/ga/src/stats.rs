@@ -13,6 +13,8 @@ pub struct GaStats {
     accs: AtomicU64,
     acc_bytes: AtomicU64,
     nxtvals: AtomicU64,
+    local_bytes: AtomicU64,
+    remote_bytes: AtomicU64,
 }
 
 impl GaStats {
@@ -30,6 +32,15 @@ impl GaStats {
     }
     pub(crate) fn record_nxtval(&self) {
         self.nxtvals.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Split the bytes of one operation by whether they stayed on the
+    /// calling rank or crossed rank boundaries. The in-process backend
+    /// counts everything as local (there is no wire); the distributed
+    /// backend splits by shard ownership.
+    pub(crate) fn record_locality(&self, local: usize, remote: usize) {
+        self.local_bytes.fetch_add(local as u64, Ordering::Relaxed);
+        self.remote_bytes
+            .fetch_add(remote as u64, Ordering::Relaxed);
     }
 
     /// Number of `get` operations.
@@ -59,5 +70,13 @@ impl GaStats {
     /// Number of NXTVAL acquisitions.
     pub fn nxtvals(&self) -> u64 {
         self.nxtvals.load(Ordering::Relaxed)
+    }
+    /// Bytes of get/put/acc traffic whose owner was the calling rank.
+    pub fn local_bytes(&self) -> u64 {
+        self.local_bytes.load(Ordering::Relaxed)
+    }
+    /// Bytes of get/put/acc traffic that crossed rank boundaries.
+    pub fn remote_bytes(&self) -> u64 {
+        self.remote_bytes.load(Ordering::Relaxed)
     }
 }

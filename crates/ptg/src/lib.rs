@@ -179,6 +179,60 @@ pub trait TaskClass: Send + Sync {
         ctx: &dyn GraphCtx,
         inputs: &mut [Option<Payload>],
     ) -> Vec<Option<Payload>>;
+
+    /// Run the body, possibly asynchronously. Returning `Some(outputs)`
+    /// means the task completed synchronously (the default: delegate to
+    /// [`TaskClass::execute`]). Returning `None` means the task only
+    /// *posted* its work — e.g. a reader task handing an async get to the
+    /// comm layer — and ownership of `done` passed to whatever will finish
+    /// it; calling [`Completion::finish`] later delivers the outputs to
+    /// the engine's dependency tracker exactly as a synchronous return
+    /// would have. The worker is free immediately: this is how transfers
+    /// overlap with computation.
+    fn execute_async(
+        &self,
+        key: TaskKey,
+        ctx: &dyn GraphCtx,
+        inputs: &mut [Option<Payload>],
+        done: Completion,
+    ) -> Option<Vec<Option<Payload>>> {
+        drop(done);
+        Some(self.execute(key, ctx, inputs))
+    }
+}
+
+/// Where deferred task completions are delivered. Engines implement this;
+/// the sink must accept completions from any thread (comm progress
+/// threads included).
+pub trait CompletionSink: Send + Sync {
+    /// Deliver the finished task's outputs (same contract as the return
+    /// value of [`TaskClass::execute`]).
+    fn complete(&self, key: TaskKey, outputs: Vec<Option<Payload>>);
+}
+
+/// A one-shot handle for finishing a task that [`TaskClass::execute_async`]
+/// deferred. Dropping it without finishing is allowed only on the
+/// synchronous path (when `execute_async` returns `Some`).
+pub struct Completion {
+    key: TaskKey,
+    sink: Arc<dyn CompletionSink>,
+}
+
+impl Completion {
+    /// Build a completion handle for `key` delivering into `sink`.
+    pub fn new(key: TaskKey, sink: Arc<dyn CompletionSink>) -> Self {
+        Self { key, sink }
+    }
+
+    /// The task this completion belongs to.
+    pub fn key(&self) -> TaskKey {
+        self.key
+    }
+
+    /// Deliver the outputs, consuming the handle.
+    pub fn finish(self, outputs: Vec<Option<Payload>>) {
+        self.sink.complete(self.key, outputs);
+    }
 }
 
 /// A complete PTG: an ordered set of classes plus the shared context.

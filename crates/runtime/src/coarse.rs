@@ -100,7 +100,7 @@ impl CoarseRuntime {
             "deadlock: {} task(s) still waiting for inputs",
             inner.tracker.starved()
         );
-        build_report(graph, &span_sets, inner.executed, wall)
+        build_report(graph, &span_sets, inner.executed, wall, 0)
     }
 }
 

@@ -28,8 +28,10 @@
 use crate::sched::SchedPolicy;
 use crate::shard::{IdleGate, ShardMap, ShardedTracker};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use ptg::{Activity, Payload, TaskGraph, TaskKey};
+use parking_lot::Mutex;
+use ptg::{Activity, Completion, CompletionSink, Payload, TaskGraph, TaskKey};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use xtrace::{ActivityKind, Trace, WorkerId};
 
@@ -51,6 +53,7 @@ pub(crate) fn build_report(
     span_sets: &[Vec<(u32, u64, u64)>],
     tasks: u64,
     wall: std::time::Duration,
+    node: u32,
 ) -> NativeReport {
     let mut trace = Trace::new();
     let class_ids: Vec<u16> = graph
@@ -67,7 +70,12 @@ pub(crate) fn build_report(
         .collect();
     for (w, spans) in span_sets.iter().enumerate() {
         for &(class, b, e) in spans {
-            trace.push(WorkerId::new(0, w as u32), class_ids[class as usize], b, e);
+            trace.push(
+                WorkerId::new(node, w as u32),
+                class_ids[class as usize],
+                b,
+                e,
+            );
         }
     }
     NativeReport { trace, tasks, wall }
@@ -78,6 +86,35 @@ pub(crate) fn build_report(
 pub struct NativeRuntime {
     threads: usize,
     policy: SchedPolicy,
+    node: u32,
+    epoch: Option<Instant>,
+}
+
+/// Deferred-completion mailbox shared with whatever finishes asynchronous
+/// tasks (comm progress threads). A task that `execute_async`-returns
+/// `None` is counted in `inflight` until its outputs arrive in `queue`;
+/// workers drain the queue exactly like tasks they ran themselves.
+pub(crate) struct Completions {
+    queue: Mutex<Vec<(TaskKey, Vec<Option<Payload>>)>>,
+    inflight: AtomicU64,
+    gate: Arc<IdleGate>,
+}
+
+impl Completions {
+    fn idle(&self) -> bool {
+        // Queue before inflight: `complete` pushes before decrementing,
+        // so observing inflight == 0 after an empty queue means no
+        // completion is still unaccounted for.
+        self.queue.lock().is_empty() && self.inflight.load(Ordering::SeqCst) == 0
+    }
+}
+
+impl CompletionSink for Completions {
+    fn complete(&self, key: TaskKey, outputs: Vec<Option<Payload>>) {
+        self.queue.lock().push((key, outputs));
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.gate.notify_all();
+    }
 }
 
 struct Shared<'g> {
@@ -88,7 +125,8 @@ struct Shared<'g> {
     store: ShardMap<(TaskKey, u32), Payload>,
     injector: Injector<TaskKey>,
     stealers: Vec<Stealer<TaskKey>>,
-    gate: IdleGate,
+    gate: Arc<IdleGate>,
+    completions: Arc<Completions>,
     shutdown: AtomicBool,
     idle: AtomicU64,
     executed: AtomicU64,
@@ -103,12 +141,28 @@ impl NativeRuntime {
         Self {
             threads,
             policy: SchedPolicy::PriorityFifo,
+            node: 0,
+            epoch: None,
         }
     }
 
     /// Override the scheduling policy.
     pub fn policy(mut self, policy: SchedPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Node index stamped on trace rows (one engine per rank in
+    /// distributed runs; defaults to 0).
+    pub fn node(mut self, node: u32) -> Self {
+        self.node = node;
+        self
+    }
+
+    /// Time origin for spans. Distributed runs pass the comm endpoint's
+    /// epoch so compute and communication spans share one timeline.
+    pub fn epoch(mut self, epoch: Instant) -> Self {
+        self.epoch = Some(epoch);
         self
     }
 
@@ -152,6 +206,7 @@ impl NativeRuntime {
             .map(|_| Self::new_deque(self.policy))
             .collect();
         let stealers: Vec<Stealer<TaskKey>> = locals.iter().map(|w| w.stealer()).collect();
+        let gate = Arc::new(IdleGate::new());
         let shared = Shared {
             graph,
             policy: self.policy,
@@ -160,13 +215,19 @@ impl NativeRuntime {
             store: ShardMap::new(shards),
             injector,
             stealers,
-            gate: IdleGate::new(),
+            completions: Arc::new(Completions {
+                queue: Mutex::new(Vec::new()),
+                inflight: AtomicU64::new(0),
+                gate: gate.clone(),
+            }),
+            gate,
             shutdown: AtomicBool::new(roots.is_empty()),
             idle: AtomicU64::new(0),
             executed: AtomicU64::new(0),
-            t0: Instant::now(),
+            t0: self.epoch.unwrap_or_else(Instant::now),
         };
 
+        let run_start = Instant::now();
         let span_sets: Vec<Vec<(u32, u64, u64)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = locals
                 .into_iter()
@@ -182,7 +243,7 @@ impl NativeRuntime {
                 .collect()
         });
 
-        let wall = shared.t0.elapsed();
+        let wall = run_start.elapsed();
         assert!(
             shared.tracker.is_quiescent(),
             "deadlock: {} task(s) still waiting for inputs",
@@ -193,6 +254,7 @@ impl NativeRuntime {
             &span_sets,
             shared.executed.load(Ordering::SeqCst),
             wall,
+            self.node,
         )
     }
 }
@@ -276,6 +338,9 @@ fn worker(shared: &Shared<'_>, local: Worker<TaskKey>, index: usize) -> Vec<(u32
         if shared.shutdown.load(Ordering::SeqCst) {
             return spans;
         }
+        if drain_completions(shared, &local, &mut deps, &mut ready, &mut last_chain) {
+            continue;
+        }
         if let Some(key) = find_task(shared, &local, index, &mut rng) {
             run_task(
                 shared,
@@ -296,6 +361,9 @@ fn worker(shared: &Shared<'_>, local: Worker<TaskKey>, index: usize) -> Vec<(u32
         if shared.shutdown.load(Ordering::SeqCst) {
             return spans;
         }
+        if drain_completions(shared, &local, &mut deps, &mut ready, &mut last_chain) {
+            continue;
+        }
         if let Some(key) = find_task(shared, &local, index, &mut rng) {
             run_task(
                 shared,
@@ -312,6 +380,7 @@ fn worker(shared: &Shared<'_>, local: Worker<TaskKey>, index: usize) -> Vec<(u32
         if idle_now as usize == shared.threads
             && !shared.tracker.is_quiescent()
             && queues_empty(shared)
+            && shared.completions.idle()
         {
             // Every worker is idle, so no push is in flight: empty queues
             // mean the remaining live tasks can never receive inputs.
@@ -325,7 +394,29 @@ fn worker(shared: &Shared<'_>, local: Worker<TaskKey>, index: usize) -> Vec<(u32
     }
 }
 
-/// Execute one task and release its successors.
+/// Drain deferred completions (tasks finished by comm progress threads)
+/// and settle each exactly as if this worker had run it. Returns true if
+/// anything was settled.
+fn drain_completions(
+    shared: &Shared<'_>,
+    local: &Worker<TaskKey>,
+    deps: &mut Vec<ptg::Dep>,
+    ready: &mut Vec<(TaskKey, i64)>,
+    last_chain: &mut Option<i64>,
+) -> bool {
+    let batch = std::mem::take(&mut *shared.completions.queue.lock());
+    if batch.is_empty() {
+        return false;
+    }
+    for (key, outputs) in batch {
+        settle(shared, local, key, outputs, deps, ready, last_chain);
+    }
+    true
+}
+
+/// Execute one task and release its successors. Tasks whose class defers
+/// (execute_async returns `None`) are settled later from the completion
+/// queue; only the posting time appears as this worker's span.
 #[allow(clippy::too_many_arguments)]
 fn run_task(
     shared: &Shared<'_>,
@@ -339,7 +430,6 @@ fn run_task(
     let graph = shared.graph;
     let ctx = graph.ctx();
     let class = graph.class_of(key);
-    *last_chain = Some(key.params[0]);
 
     // Gather inputs (each flow hits only its own store shard).
     let nflows = class.num_flows();
@@ -347,17 +437,49 @@ fn run_task(
         .map(|f| shared.store.remove(&(key, f)))
         .collect();
 
+    // Count the task in flight *before* the body runs: a deferring body
+    // hands its completion to another thread, which may finish before we
+    // return — the counter must already cover it or an all-idle scan
+    // could misread the lull as a deadlock.
+    shared.completions.inflight.fetch_add(1, Ordering::SeqCst);
+    let done = Completion::new(key, shared.completions.clone() as Arc<dyn CompletionSink>);
+
     // Execute the body (no lock anywhere near this).
     let b = shared.t0.elapsed().as_nanos() as u64;
-    let outputs = class.execute(key, ctx, &mut inputs);
+    let result = class.execute_async(key, ctx, &mut inputs, done);
     let e = shared.t0.elapsed().as_nanos() as u64;
+    spans.push((key.class, b, e));
+
+    let Some(outputs) = result else {
+        // Deferred: the completion owner settles it via the queue.
+        return;
+    };
+    shared.completions.inflight.fetch_sub(1, Ordering::SeqCst);
+    settle(shared, local, key, outputs, deps, ready, last_chain);
+}
+
+/// Post-execution bookkeeping: store outputs, deliver dependencies,
+/// publish newly-ready tasks in policy order, count the task, detect
+/// quiescence. Shared by the synchronous path and the completion drain.
+fn settle(
+    shared: &Shared<'_>,
+    local: &Worker<TaskKey>,
+    key: TaskKey,
+    outputs: Vec<Option<Payload>>,
+    deps: &mut Vec<ptg::Dep>,
+    ready: &mut Vec<(TaskKey, i64)>,
+    last_chain: &mut Option<i64>,
+) {
+    let graph = shared.graph;
+    let ctx = graph.ctx();
+    let class = graph.class_of(key);
+    *last_chain = Some(key.params[0]);
     assert_eq!(
         outputs.len(),
-        nflows,
+        class.num_flows(),
         "{}: body returned wrong flow count",
         graph.display(key)
     );
-    spans.push((key.class, b, e));
 
     // Release successors. Payload inserts precede every deliver that
     // could publish readiness, so a thief that later pops the successor
@@ -522,6 +644,87 @@ mod tests {
             assert_eq!(rep.tasks, 17, "{policy:?}");
             assert_eq!(total.load(Ordering::Relaxed), 120, "{policy:?}");
         }
+    }
+
+    /// Leaves defer their execution to a helper thread (as readers defer
+    /// to the comm layer); the sink must feed completions back into the
+    /// dependency tracker and the run must still quiesce.
+    struct AsyncReduce {
+        n: i64,
+        total: Arc<AtomicU64>,
+    }
+    impl ptg::TaskClass for AsyncReduce {
+        fn name(&self) -> &str {
+            "AREDUCE"
+        }
+        fn num_flows(&self) -> usize {
+            1
+        }
+        fn roots(&self, _ctx: &dyn GraphCtx, out: &mut Vec<TaskKey>) {
+            for i in 0..self.n {
+                out.push(TaskKey::new(0, &[0, i]));
+            }
+        }
+        fn num_inputs(&self, key: TaskKey, _ctx: &dyn GraphCtx) -> usize {
+            if key.params[0] == 0 {
+                0
+            } else {
+                self.n as usize
+            }
+        }
+        fn successors(&self, key: TaskKey, _ctx: &dyn GraphCtx, out: &mut Vec<Dep>) {
+            if key.params[0] == 0 {
+                out.push(Dep {
+                    src_flow: 0,
+                    dst: TaskKey::new(0, &[1, 0]),
+                    dst_flow: 0,
+                });
+            }
+        }
+        fn execute(
+            &self,
+            key: TaskKey,
+            _ctx: &dyn GraphCtx,
+            _inputs: &mut [Option<Payload>],
+        ) -> Vec<Option<Payload>> {
+            // Only the sink runs synchronously.
+            assert_eq!(key.params[0], 1);
+            vec![None]
+        }
+        fn execute_async(
+            &self,
+            key: TaskKey,
+            ctx: &dyn GraphCtx,
+            inputs: &mut [Option<Payload>],
+            done: ptg::Completion,
+        ) -> Option<Vec<Option<Payload>>> {
+            if key.params[0] != 0 {
+                return Some(self.execute(key, ctx, inputs));
+            }
+            let total = self.total.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                let i = done.key().params[1];
+                total.fetch_add(i as u64, Ordering::Relaxed);
+                done.finish(vec![Some(Arc::new(vec![i as f64]))]);
+            });
+            None
+        }
+    }
+
+    #[test]
+    fn deferred_completions_feed_the_tracker() {
+        let total = Arc::new(AtomicU64::new(0));
+        let g = TaskGraph::new(
+            vec![Arc::new(AsyncReduce {
+                n: 24,
+                total: total.clone(),
+            })],
+            Arc::new(PlainCtx { nodes: 1 }),
+        );
+        let rep = NativeRuntime::new(2).run(&g);
+        assert_eq!(rep.tasks, 25);
+        assert_eq!(total.load(Ordering::Relaxed), 276);
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub use inspect::{inspect, inspect_kernels, ChainMeta, GemmMeta, Inspection, Sor
 pub use loopnest::{
     walk_kernels, walk_t2_7, ChainInfo, GemmInfo, Kernel, SortInfo, T27Visitor, TensorKind,
 };
-pub use reference::{build_workspace, build_workspace_kernels, run_reference, Workspace};
+pub use reference::{
+    build_workspace, build_workspace_kernels, build_workspace_on, run_reference, Workspace,
+};
 pub use scale::SpaceConfig;
 pub use space::{Spin, Tile, TileSpace};
 pub use tensors::TensorLayout;

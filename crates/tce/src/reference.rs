@@ -51,7 +51,15 @@ pub fn build_workspace(space: &TileSpace, nodes: usize) -> Workspace {
 /// Materialize a multi-kernel problem: input tensors filled
 /// deterministically, `i2` zeroed.
 pub fn build_workspace_kernels(space: &TileSpace, nodes: usize, kernels: &[Kernel]) -> Workspace {
-    let ga = Ga::init(nodes);
+    build_workspace_on(Ga::init(nodes), space, kernels)
+}
+
+/// Materialize onto a caller-built GA toolkit (in-process or distributed).
+/// Tensor fills are *collective*: with a distributed `ga`, every rank must
+/// call this with identical arguments, and each writes only the shard it
+/// owns. Callers in distributed mode must `ga.sync()` before reading.
+pub fn build_workspace_on(ga: Ga, space: &TileSpace, kernels: &[Kernel]) -> Workspace {
+    let nodes = ga.nnodes();
     let t2_layout = tensors::t2_layout(space, nodes);
     let v_layout = tensors::v_layout(space, nodes);
     let v_oo_layout = tensors::v_oo_layout(space, nodes);

@@ -178,9 +178,12 @@ pub fn materialize(ga: &Ga, layout: &TensorLayout, seed: Option<u64>) -> GaHandl
     assert_eq!(ga.nnodes(), layout.dist.nodes(), "node count mismatch");
     let h = ga.create(layout.len());
     if let Some(seed) = seed {
+        // Collective fill: every rank computes the same deterministic
+        // blocks and writes its own intersection (a plain put in the
+        // in-process backend).
         for (key, offset, size) in layout.index.iter() {
             let data: Vec<f64> = (0..size).map(|e| block_element(seed, key, e)).collect();
-            ga.put(h, offset, &data);
+            ga.put_collective(h, offset, &data);
         }
     }
     h

@@ -174,7 +174,7 @@ pub fn comm_overlap(trace: &Trace) -> BTreeMap<u32, NodeOverlap> {
                 .entry(s.who.node)
                 .or_default()
                 .push((s.begin, s.end)),
-            ActivityKind::Communication => {
+            ActivityKind::Communication | ActivityKind::Comm { .. } => {
                 comm.entry(s.who.node).or_default().push((s.begin, s.end))
             }
             ActivityKind::Runtime => {}
@@ -207,7 +207,7 @@ pub fn comm_share_of_busy(trace: &Trace) -> f64 {
     let mut busy = 0;
     for s in trace.spans() {
         busy += s.len();
-        if trace.class_kind(s.class) == ActivityKind::Communication {
+        if trace.class_kind(s.class).is_communication() {
             comm += s.len();
         }
     }

@@ -30,8 +30,26 @@ pub enum ActivityKind {
     Compute,
     /// Data movement (GA gets/puts, runtime transfers).
     Communication,
+    /// Data movement recorded by the comm progress engine, tagged with
+    /// the protocol it used. Analyses treat this as communication; the
+    /// tag lets reports split eager from rendezvous traffic.
+    Comm {
+        /// `true` for eager payloads, `false` for rendezvous.
+        eager: bool,
+    },
     /// Runtime bookkeeping (scheduling, inspection, NXTVAL, locks).
     Runtime,
+}
+
+impl ActivityKind {
+    /// True for both the generic [`ActivityKind::Communication`] and the
+    /// protocol-tagged [`ActivityKind::Comm`] variants.
+    pub fn is_communication(self) -> bool {
+        matches!(
+            self,
+            ActivityKind::Communication | ActivityKind::Comm { .. }
+        )
+    }
 }
 
 /// One rectangle of the Gantt chart: a half-open interval `[begin, end)`
@@ -183,6 +201,8 @@ impl Trace {
             let cat = match self.class_kind(s.class) {
                 ActivityKind::Compute => "compute",
                 ActivityKind::Communication => "comm",
+                ActivityKind::Comm { eager: true } => "comm-eager",
+                ActivityKind::Comm { eager: false } => "comm-rndv",
                 ActivityKind::Runtime => "runtime",
             };
             write!(

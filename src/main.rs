@@ -186,6 +186,15 @@ fn run() -> Result<(), String> {
                 worst = worst.max(d);
                 println!("{:>3} native: {e:.15}  (rel diff {d:.2e})", cfg.name);
             }
+            let gs = ws.ga.stats();
+            println!(
+                "GA traffic: {:.2} MB rank-local, {:.2} MB remote  ({} gets, {} accs, {} nxtvals)",
+                gs.local_bytes() as f64 / 1e6,
+                gs.remote_bytes() as f64 / 1e6,
+                gs.gets(),
+                gs.accs(),
+                gs.nxtvals()
+            );
             if worst < 1e-12 {
                 println!("OK: all variants match the reference to ~14 digits");
             } else {
