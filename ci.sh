@@ -18,7 +18,23 @@ cargo fmt --check
 echo "==> bench smoke (kernels, quick mode)"
 cargo bench -q -p bench-harness --bench kernels -- --test
 
-echo "==> comm smoke (4 ranks over sockets, v1..v5 vs single-process energies)"
+echo "==> bench smoke (chain_epilogue, quick mode)"
+cargo bench -q -p bench-harness --bench chain_epilogue -- --test
+
+echo "==> BENCH_epilogue.json well-formed"
+# Quick mode writes under target/; the committed copy lives at the root.
+for f in target/BENCH_epilogue.json BENCH_epilogue.json; do
+    if [ -f "$f" ]; then
+        if command -v jq >/dev/null 2>&1; then
+            jq -e '.epilogue.speedup and .data_path_bytes.ratio' "$f" >/dev/null
+        else
+            python3 -c "import json,sys; d=json.load(open(sys.argv[1])); d['epilogue']['speedup']; d['data_path_bytes']['ratio']" "$f"
+        fi
+        echo "    $f OK"
+    fi
+done
+
+echo "==> comm smoke (4 ranks over sockets, v1..v5 + fused v5 vs single-process energies)"
 cargo run -q --release -p bench-harness --bin comm_bench -- --smoke
 
 echo "CI OK"

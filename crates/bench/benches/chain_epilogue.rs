@@ -1,0 +1,472 @@
+//! Fused chain-epilogue benchmark: the GEMM→REDUCE→SORT→WRITE data path.
+//!
+//! Measures the post-contraction epilogue of every chain in the workload
+//! twice — as four separate task-shaped memory passes (the unfused v5
+//! bodies) and as the fused single-pass writeback (`PermutedScatter` /
+//! `ScaleAccumulate` epilogues plus `sort_4_merge`). Stages run
+//! stage-major over per-chain buffers, the way the dataflow engine
+//! executes them: between a chain's GEMM, REDUCE, SORT, and WRITE tasks
+//! other chains' tasks run on the worker, so each stage re-reads its
+//! tile from beyond the private caches — the "four round trips over the
+//! same bytes" the fusion removes. The shared contraction FLOPs are
+//! measured separately (a writeback-only GEMM pass) and subtracted, so
+//! the reported speedup is on the epilogue itself. Alongside: analytic
+//! bytes-moved on the chain data path and an end-to-end v5 vs fused-v5
+//! native-engine run. Results go to `BENCH_epilogue.json` at the repo
+//! root (under `target/` in quick mode, which also drops to tiny scale
+//! so a smoke run never clobbers real measurements).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use tensor_kernels::{
+    daxpy, dfill, dgemm_packed_epilogue, dgemm_packed_with, epilogue_params, rel_diff, sort_4,
+    sort_4_merge, sort_4_strided, Epilogue, GemmParams, SortSpec, Trans,
+};
+
+/// Best-of-`reps` wall time of `f` (with one extra warmup call).
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = Duration::MAX;
+    for r in 0..=reps {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed();
+        if r > 0 && dt < best {
+            best = dt;
+        }
+    }
+    best.as_secs_f64()
+}
+
+fn seq(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.7).sin()).collect()
+}
+
+/// Per-chain regions inside the flat operand / tile arrays.
+struct Layout {
+    a0: Vec<usize>,
+    b0: Vec<usize>,
+    c0: Vec<usize>,
+    a_len: usize,
+    b_len: usize,
+    c_len: usize,
+    max_mn: usize,
+}
+
+impl Layout {
+    fn build(ins: &tce::Inspection) -> Self {
+        let mut l = Layout {
+            a0: Vec::new(),
+            b0: Vec::new(),
+            c0: Vec::new(),
+            a_len: 0,
+            b_len: 0,
+            c_len: 0,
+            max_mn: 0,
+        };
+        for chain in &ins.chains {
+            let g = chain.gemms.last().expect("chain has GEMMs");
+            l.a0.push(l.a_len);
+            l.b0.push(l.b_len);
+            l.c0.push(l.c_len);
+            l.a_len += chain.m * g.k;
+            l.b_len += g.k * chain.n;
+            l.c_len += chain.m * chain.n;
+            l.max_mn = l.max_mn.max(chain.m * chain.n);
+        }
+        l
+    }
+}
+
+/// Flat per-chain buffers shared by both paths, plus packing scratch.
+struct Bufs {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    x: Vec<f64>,
+    c: Vec<f64>,
+    tmp: Vec<f64>,
+    merged: Vec<f64>,
+    ap: Vec<f64>,
+    bp: Vec<f64>,
+}
+
+/// Stage 1 only: every chain's final contraction with a plain
+/// contiguous writeback. This is the FLOP cost common to both paths;
+/// subtracting it isolates the epilogue.
+fn run_gemm_only(ins: &tce::Inspection, l: &Layout, bufs: &mut Bufs, params: &GemmParams) {
+    for (i, chain) in ins.chains.iter().enumerate() {
+        let g = chain.gemms.last().unwrap();
+        let (m, n, k) = (chain.m, chain.n, g.k);
+        dgemm_packed_with(
+            params,
+            Trans::T,
+            g.tb,
+            m,
+            n,
+            k,
+            1.0,
+            black_box(&bufs.a[l.a0[i]..l.a0[i] + m * k]),
+            black_box(&bufs.b[l.b0[i]..l.b0[i] + k * n]),
+            0.0,
+            &mut bufs.c[l.c0[i]..l.c0[i] + m * n],
+            &mut bufs.ap,
+            &mut bufs.bp,
+        );
+    }
+}
+
+/// Unfused v5 epilogue, stage-major: GEMMs write C, the reduce roots
+/// re-read it for the daxpy, the serial SORT stages each branch through
+/// a scratch tile, and the accumulate re-reads the merged result.
+fn run_unfused(
+    ins: &tce::Inspection,
+    l: &Layout,
+    bufs: &mut Bufs,
+    ga: &mut [f64],
+    params: &GemmParams,
+) {
+    for (i, chain) in ins.chains.iter().enumerate() {
+        let g = chain.gemms.last().unwrap();
+        let (m, n, k) = (chain.m, chain.n, g.k);
+        // The unfused GEMM body checks out a zeroed C and accumulates
+        // into it (the generic segment body); mirror both passes.
+        dfill(&mut bufs.c[l.c0[i]..l.c0[i] + m * n], 0.0);
+        dgemm_packed_with(
+            params,
+            Trans::T,
+            g.tb,
+            m,
+            n,
+            k,
+            1.0,
+            black_box(&bufs.a[l.a0[i]..l.a0[i] + m * k]),
+            black_box(&bufs.b[l.b0[i]..l.b0[i] + k * n]),
+            1.0,
+            &mut bufs.c[l.c0[i]..l.c0[i] + m * n],
+            &mut bufs.ap,
+            &mut bufs.bp,
+        );
+    }
+    for (i, chain) in ins.chains.iter().enumerate() {
+        if chain.gemms.len() > 1 {
+            let mn = chain.m * chain.n;
+            daxpy(
+                1.0,
+                black_box(&bufs.x[l.c0[i]..l.c0[i] + mn]),
+                &mut bufs.c[l.c0[i]..l.c0[i] + mn],
+            );
+        }
+    }
+    for (i, chain) in ins.chains.iter().enumerate() {
+        let mn = chain.m * chain.n;
+        let merged = &mut bufs.merged[l.c0[i]..l.c0[i] + mn];
+        dfill(merged, 0.0);
+        for s in &chain.sorts {
+            sort_4(
+                &bufs.c[l.c0[i]..l.c0[i] + mn],
+                &mut bufs.tmp[..mn],
+                chain.cdims,
+                s.perm,
+                s.factor,
+            );
+            daxpy(
+                1.0,
+                &bufs.tmp[..mn],
+                &mut bufs.merged[l.c0[i]..l.c0[i] + mn],
+            );
+        }
+    }
+    for (i, chain) in ins.chains.iter().enumerate() {
+        let mn = chain.m * chain.n;
+        daxpy(
+            1.0,
+            &bufs.merged[l.c0[i]..l.c0[i] + mn],
+            &mut ga[l.c0[i]..l.c0[i] + mn],
+        );
+    }
+}
+
+/// The same epilogues fused: single-branch chains scatter the sorted
+/// tile straight out of the GEMM writeback (C is never materialized
+/// unsorted), multi-branch chains fold the reduce-root daxpy into the
+/// writeback and merge all branches in one pass over C.
+fn run_fused(
+    ins: &tce::Inspection,
+    l: &Layout,
+    bufs: &mut Bufs,
+    ga: &mut [f64],
+    params: &GemmParams,
+) {
+    for (i, chain) in ins.chains.iter().enumerate() {
+        let g = chain.gemms.last().unwrap();
+        let (m, n, k) = (chain.m, chain.n, g.k);
+        let mn = m * n;
+        let x = (chain.gemms.len() > 1).then_some(&bufs.x[l.c0[i]..l.c0[i] + mn]);
+        let (epi, out) = if chain.sorts.len() == 1 {
+            let s = &chain.sorts[0];
+            (
+                Epilogue::PermutedScatter {
+                    dims: chain.cdims,
+                    perm: s.perm,
+                    factor: s.factor,
+                    gamma: 1.0,
+                    x,
+                },
+                &mut bufs.merged[l.c0[i]..l.c0[i] + mn],
+            )
+        } else {
+            (
+                match x {
+                    Some(x) => Epilogue::ScaleAccumulate {
+                        beta: 0.0,
+                        gamma: 1.0,
+                        x,
+                    },
+                    None => Epilogue::Overwrite { beta: 0.0 },
+                },
+                &mut bufs.c[l.c0[i]..l.c0[i] + mn],
+            )
+        };
+        let ep = epilogue_params(params, &epi, k);
+        dgemm_packed_epilogue(
+            &ep,
+            Trans::T,
+            g.tb,
+            m,
+            n,
+            k,
+            1.0,
+            black_box(&bufs.a[l.a0[i]..l.a0[i] + m * k]),
+            black_box(&bufs.b[l.b0[i]..l.b0[i] + k * n]),
+            epi,
+            out,
+            &mut bufs.ap,
+            &mut bufs.bp,
+        );
+    }
+    for (i, chain) in ins.chains.iter().enumerate() {
+        if chain.sorts.len() == 1 {
+            continue;
+        }
+        let mn = chain.m * chain.n;
+        let mut specs = [SortSpec {
+            perm: [0, 1, 2, 3],
+            factor: 0.0,
+        }; 4];
+        for (d, s) in specs.iter_mut().zip(&chain.sorts) {
+            *d = SortSpec {
+                perm: s.perm,
+                factor: s.factor,
+            };
+        }
+        sort_4_merge(
+            &bufs.c[l.c0[i]..l.c0[i] + mn],
+            &mut bufs.merged[l.c0[i]..l.c0[i] + mn],
+            chain.cdims,
+            &specs[..chain.sorts.len()],
+        );
+    }
+    for (i, chain) in ins.chains.iter().enumerate() {
+        let mn = chain.m * chain.n;
+        daxpy(
+            1.0,
+            &bufs.merged[l.c0[i]..l.c0[i] + mn],
+            &mut ga[l.c0[i]..l.c0[i] + mn],
+        );
+    }
+}
+
+/// Analytic bytes on the chain data path — the stages the fusion
+/// collapses: the final C writeback, the reduce root's daxpy over it,
+/// the SORT passes, and the GA accumulate (the ISSUE's "four round
+/// trips over the same bytes per chain"). The reduce tree below the
+/// root merges leaf partials and is identical either way (one fewer
+/// leaf when fused), so it is not part of this path.
+fn chain_data_path_bytes(ins: &tce::Inspection, fused: bool) -> u64 {
+    let mut total = 0u64;
+    for chain in &ins.chains {
+        let b = chain.c_bytes();
+        let nb = chain.sorts.len() as u64;
+        let has_root = chain.gemms.len() > 1;
+        let w = |perm| {
+            if sort_4_strided(chain.cdims, perm) {
+                ccsd::SORT_STRIDE_FACTOR
+            } else {
+                1
+            }
+        };
+        total += if fused {
+            // Writeback + addend read in one pass, one-pass merge for
+            // multi-branch chains only, then the accumulate.
+            let gemm = b + if has_root { b } else { 0 };
+            let sort = if nb == 1 { 0 } else { b + 2 * nb * b };
+            gemm + sort + (1 + ccsd::ACC_RMW_FACTOR) * b
+        } else {
+            // Zero-filled checkout + read-modify-write C writeback (the
+            // generic segment body); root daxpy re-reads C (read addend
+            // + RMW C); staged serial sort (stride penalty per branch +
+            // three-pass daxpy merge); accumulate.
+            let gemm = 3 * b;
+            let root = if has_root { 3 * b } else { 0 };
+            let sort = b + chain.sorts.iter().map(|s| b * w(s.perm)).sum::<u64>() + 3 * nb * b;
+            gemm + root + sort + (1 + ccsd::ACC_RMW_FACTOR) * b
+        };
+    }
+    total
+}
+
+/// The ISSUE acceptance measurement: per-chain epilogue composite
+/// (fused vs unfused wall time and analytic bytes) over the whole
+/// workload, plus an end-to-end v5 vs fused-v5 native run.
+fn bench_chain_epilogue(_c: &mut Criterion) {
+    let quick = criterion::quick_mode();
+    let (scale_name, reps, threads) = if quick {
+        ("tiny", 1, 2)
+    } else {
+        ("medium", 7, 4)
+    };
+    let space = tce::TileSpace::build(&match scale_name {
+        "tiny" => tce::scale::tiny(),
+        _ => tce::scale::medium(),
+    });
+    let (ins, ws) = ccsd::verify::prepare(&space, 2);
+    let l = Layout::build(&ins);
+
+    // --- shared scratch; packing buffers sized for the widened-kc
+    // scatter epilogue as well as the stock parameters.
+    let params = GemmParams::default();
+    let (mut max_ap, mut max_bp) = (0usize, 0);
+    let (mut single, mut multi) = (0usize, 0usize);
+    for chain in &ins.chains {
+        let g = chain.gemms.last().unwrap();
+        let (m, n, k) = (chain.m, chain.n, g.k);
+        let wide = epilogue_params(
+            &params,
+            &Epilogue::PermutedScatter {
+                dims: chain.cdims,
+                perm: [0, 1, 2, 3],
+                factor: 1.0,
+                gamma: 1.0,
+                x: None,
+            },
+            k,
+        );
+        max_ap = max_ap
+            .max(wide.packed_a_len(m, k))
+            .max(params.packed_a_len(m, k));
+        max_bp = max_bp
+            .max(wide.packed_b_len(n, k))
+            .max(params.packed_b_len(n, k));
+        if chain.sorts.len() == 1 {
+            single += 1;
+        } else {
+            multi += 1;
+        }
+    }
+    let mut bufs = Bufs {
+        a: seq(l.a_len),
+        b: seq(l.b_len),
+        x: seq(l.c_len),
+        c: vec![0.0; l.c_len],
+        tmp: vec![0.0; l.max_mn],
+        merged: vec![0.0; l.c_len],
+        ap: vec![0.0; max_ap],
+        bp: vec![0.0; max_bp],
+    };
+    println!(
+        "bench chain_epilogue/workload  scale {scale_name}   {} chains ({single} single-branch, {multi} multi-branch)   tiles {:.1} MB",
+        ins.chains.len(),
+        l.c_len as f64 * 8.0 / 1e6,
+    );
+
+    // --- numerical agreement of the two composites (merge regroups the
+    // branch additions, so exact equality is not expected).
+    let mut ga_u = vec![0.0; l.c_len];
+    let mut ga_f = vec![0.0; l.c_len];
+    run_unfused(&ins, &l, &mut bufs, &mut ga_u, &params);
+    run_fused(&ins, &l, &mut bufs, &mut ga_f, &params);
+    let agree = ga_u
+        .iter()
+        .zip(&ga_f)
+        .map(|(&u, &f)| rel_diff(u, f))
+        .fold(0.0f64, f64::max);
+    assert!(agree < 1e-12, "fused epilogue diverged: rel {agree:e}");
+    drop(ga_u);
+    drop(ga_f);
+
+    // --- wall time: both full composites plus the writeback-only GEMM
+    // pass whose FLOPs both paths share; the difference is the epilogue.
+    let mut ga = vec![0.0; l.c_len];
+    let t_unfused = best_of(reps, || run_unfused(&ins, &l, &mut bufs, &mut ga, &params));
+    let t_fused = best_of(reps, || run_fused(&ins, &l, &mut bufs, &mut ga, &params));
+    let t_gemm = best_of(reps, || run_gemm_only(&ins, &l, &mut bufs, &params));
+    let epi_u = t_unfused - t_gemm;
+    let epi_f = (t_fused - t_gemm).max(1e-9);
+    let speedup = epi_u / epi_f;
+    println!(
+        "bench chain_epilogue/composite  unfused {:9.3} ms   fused {:9.3} ms   gemm-only {:9.3} ms",
+        t_unfused * 1e3,
+        t_fused * 1e3,
+        t_gemm * 1e3
+    );
+    println!(
+        "bench chain_epilogue/epilogue  unfused {:9.3} ms   fused {:9.3} ms   {speedup:.2}x",
+        epi_u * 1e3,
+        epi_f * 1e3
+    );
+
+    // --- analytic bytes on the chain data path.
+    let bytes_u = chain_data_path_bytes(&ins, false);
+    let bytes_f = chain_data_path_bytes(&ins, true);
+    let bytes_ratio = bytes_u as f64 / bytes_f as f64;
+    println!("bench chain_epilogue/bytes  unfused {bytes_u}   fused {bytes_f}   {bytes_ratio:.2}x");
+
+    // --- end-to-end: v5 vs fused v5 on the native engine, energies
+    // checked against each other (both are reference-checked in tests).
+    let run = |cfg| {
+        let t0 = Instant::now();
+        let e = ccsd::verify::variant_energy_native(&ins, &ws, cfg, threads);
+        (t0.elapsed().as_secs_f64(), e)
+    };
+    let (mut tv5, mut ev5) = (f64::MAX, 0.0);
+    let (mut tv5f, mut ev5f) = (f64::MAX, 0.0);
+    for _ in 0..reps.min(3) {
+        let (t, e) = run(ccsd::VariantCfg::v5());
+        if t < tv5 {
+            tv5 = t;
+        }
+        ev5 = e;
+        let (t, e) = run(ccsd::VariantCfg::v5().fused());
+        if t < tv5f {
+            tv5f = t;
+        }
+        ev5f = e;
+    }
+    let e_rel = rel_diff(ev5, ev5f);
+    assert!(e_rel < 1e-12, "v5f energy drifted: {ev5} vs {ev5f}");
+    println!(
+        "bench chain_epilogue/end_to_end_v5  unfused {:9.3} ms   fused {:9.3} ms   {:.2}x   energy rel {e_rel:.1e}",
+        tv5 * 1e3,
+        tv5f * 1e3,
+        tv5 / tv5f
+    );
+
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"scale\": \"{scale_name}\",\n  \"chains\": {},\n  \"single_branch_chains\": {single},\n  \"multi_branch_chains\": {multi},\n  \"epilogue\": {{\n    \"composite_unfused_s\": {t_unfused:.6},\n    \"composite_fused_s\": {t_fused:.6},\n    \"gemm_only_s\": {t_gemm:.6},\n    \"unfused_s\": {epi_u:.6},\n    \"fused_s\": {epi_f:.6},\n    \"speedup\": {speedup:.3}\n  }},\n  \"data_path_bytes\": {{\n    \"unfused\": {bytes_u},\n    \"fused\": {bytes_f},\n    \"ratio\": {bytes_ratio:.3}\n  }},\n  \"end_to_end_v5\": {{\n    \"threads\": {threads},\n    \"unfused_s\": {tv5:.6},\n    \"fused_s\": {tv5f:.6},\n    \"speedup\": {:.3},\n    \"energy_rel_diff\": {e_rel:.3e}\n  }}\n}}\n",
+        ins.chains.len(),
+        tv5 / tv5f,
+    );
+    let path = if quick {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_epilogue.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_epilogue.json")
+    };
+    std::fs::write(path, json).expect("write BENCH_epilogue.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_chain_epilogue);
+criterion_main!(benches);

@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! comm_bench [--ranks R] [--scale S] [--threads T] [--reps N] [--port P]
-//! comm_bench --smoke        # v1..v5 energies vs the in-process reference
+//! comm_bench --smoke        # v1..v5 + fused v5 energies vs the reference
 //! ```
 //!
 //! `--smoke` is the CI gate: every variant on the 4-rank socket mesh must
@@ -56,12 +56,14 @@ fn scale_of(name: &str) -> tce::SpaceConfig {
 
 /// The benchmark's run list: the prefetch pipeline with priorities (v5)
 /// against the no-priority ablation (v2); smoke mode checks all five
-/// variants instead.
+/// variants plus the fused-epilogue v5 instead.
 fn run_list(smoke: bool) -> Vec<(String, VariantCfg, bool)> {
     if smoke {
         VariantCfg::all()
             .into_iter()
             .map(|cfg| (cfg.name.to_string(), cfg, true))
+            // The fused chain epilogue must survive the socket mesh too.
+            .chain([("v5f".to_string(), VariantCfg::v5().fused(), true)])
             .collect()
     } else {
         vec![

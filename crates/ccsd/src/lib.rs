@@ -27,6 +27,6 @@ pub mod variants;
 pub mod verify;
 
 pub use baseline::{simulate_baseline, BaselineCfg, BaselineReport};
-pub use ctx::{CcsdCtx, VariantCfg};
+pub use ctx::{CcsdCtx, VariantCfg, ACC_RMW_FACTOR, SORT_STRIDE_FACTOR};
 pub use dist::{DistRank, DistRun};
 pub use variants::{build_graph, build_graph_dist, build_graph_pooled};

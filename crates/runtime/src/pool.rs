@@ -147,6 +147,40 @@ impl TilePool {
         v
     }
 
+    /// Check out a buffer of `len` elements with **unspecified contents**
+    /// (stale values from its previous tenant), skipping the zeroing
+    /// pass of [`checkout`]. For consumers that fully overwrite the
+    /// buffer — scatter/overwrite GEMM writebacks, `sort_4` staging
+    /// tiles — the zero fill is a wasted round trip over the tile.
+    pub fn checkout_dirty(&self, len: usize) -> Vec<f64> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let class = class_of(len);
+        match self.pop_free(class) {
+            Some(mut v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // Only elements past the previous length (still within
+                // the initialized capacity class after a recycle round
+                // trip, but possibly never written) need a defined value.
+                if v.len() < len {
+                    v.resize(len, 0.0);
+                } else {
+                    v.truncate(len);
+                }
+                v
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.bytes_allocated
+                    .fetch_add((class * 8) as u64, Ordering::Relaxed);
+                let mut v = Vec::with_capacity(class);
+                v.resize(len, 0.0);
+                v
+            }
+        }
+    }
+
     /// Return a buffer to the pool. Buffers too small to pool are dropped.
     pub fn recycle(&self, v: Vec<f64>) {
         // Class from the capacity, rounded *down*, so everything filed
@@ -231,6 +265,27 @@ mod tests {
         v2[0] = 3.0;
         pool.recycle(v2);
         assert_eq!(pool.free_buffers(), 1);
+    }
+
+    #[test]
+    fn checkout_dirty_skips_the_zero_pass() {
+        let pool = TilePool::new(2);
+        let mut v = pool.checkout(100);
+        v.iter_mut().for_each(|x| *x = 7.0);
+        pool.recycle(v);
+        // Dirty checkout from the free list: stale contents survive
+        // within the previous length, new elements are defined.
+        let d = pool.checkout_dirty(100);
+        assert_eq!(d.len(), 100);
+        assert!(d.iter().all(|&x| x == 7.0), "stale contents expected");
+        pool.recycle(d);
+        let d2 = pool.checkout_dirty(120);
+        assert_eq!(d2.len(), 120);
+        assert!(d2[100..].iter().all(|&x| x == 0.0), "growth is defined");
+        // A miss still returns a fully defined buffer.
+        let m = pool.checkout_dirty(1000);
+        assert_eq!(m.len(), 1000);
+        assert!(m.iter().all(|&x| x == 0.0));
     }
 
     #[test]

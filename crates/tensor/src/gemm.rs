@@ -19,6 +19,7 @@
 
 use crate::cm;
 use crate::pack::{self, microkernel, GemmParams, MR, NR};
+use crate::sort4::{is_perm, out_steps, sort_4, Perm4};
 
 /// Transposition flag for one GEMM operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -285,6 +286,8 @@ pub fn dgemm_packed(
 /// [`GemmParams::packed_a_len`] / [`GemmParams::packed_b_len`] and their
 /// contents on entry are irrelevant. Passing buffers with that capacity
 /// (e.g. from a tile pool) makes the call allocation-free.
+///
+/// This is the [`Epilogue::Overwrite`] case of [`dgemm_packed_epilogue`].
 #[allow(clippy::too_many_arguments)]
 pub fn dgemm_packed_with(
     params: &GemmParams,
@@ -301,23 +304,153 @@ pub fn dgemm_packed_with(
     ap: &mut Vec<f64>,
     bp: &mut Vec<f64>,
 ) {
+    dgemm_packed_epilogue(
+        params,
+        ta,
+        tb,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        b,
+        Epilogue::Overwrite { beta },
+        c,
+        ap,
+        bp,
+    );
+}
+
+/// What the packed engine does with each macro-tile of the product as it
+/// leaves the registers — the fusion point for the stages that would
+/// otherwise re-read `C` from memory (the REDUCE `daxpy`, the SORT
+/// remap).
+#[derive(Debug, Clone, Copy)]
+pub enum Epilogue<'a> {
+    /// `C = alpha * op(A)op(B) + beta * C` — the classic BLAS contract;
+    /// `beta` is folded into the first visit of each element instead of
+    /// a separate pre-scaling pass over `C`.
+    Overwrite {
+        /// Scale applied to the existing contents of `C`.
+        beta: f64,
+    },
+    /// `C = beta * C + alpha * op(A)op(B) + gamma * X` — fuses a
+    /// `daxpy`-style accumulate of `x` (e.g. a reduction-tree partial)
+    /// into the writeback while the tile is register-hot. `x` is read
+    /// once, on the first visit of each element.
+    ScaleAccumulate {
+        /// Scale applied to the existing contents of `C`.
+        beta: f64,
+        /// Scale applied to the addend `x`.
+        gamma: f64,
+        /// Addend, `m * n` column-major like `C`.
+        x: &'a [f64],
+    },
+    /// `C[perm(i)] = factor * (alpha * op(A)op(B)[i] + gamma * X[i])` —
+    /// fuses a single-branch `TCE_SORT_4` (and optionally the reduction
+    /// root's accumulate) into the writeback, so the *sorted* tile is
+    /// produced without ever materializing the unsorted product. The
+    /// `m x n` product is interpreted as the 4-index tile `dims`
+    /// (`dims[0] * dims[1] == m`, column-major) and `C` is fully
+    /// overwritten in the permuted layout.
+    ///
+    /// Requires every element to be written exactly once, so the engine
+    /// internally widens `kc` to cover all of `k` (see
+    /// [`epilogue_params`]).
+    PermutedScatter {
+        /// Input-tile shape; `dims[0] * dims[1] == m`, product `m * n`.
+        dims: [usize; 4],
+        /// Output index `q` is input index `perm[q]` (as in `sort_4`).
+        perm: Perm4,
+        /// Sign/scale factor applied after the sum.
+        factor: f64,
+        /// Scale applied to the addend `x` (ignored when `x` is `None`).
+        gamma: f64,
+        /// Optional addend in the *unsorted* layout (`m * n`
+        /// column-major).
+        x: Option<&'a [f64]>,
+    },
+}
+
+/// Effective blocking parameters of the packed engine under `epi`: the
+/// scatter epilogue needs a single pass over `k` (each destination
+/// element is written exactly once), so `kc` is clamped to cover all of
+/// it. Callers sizing their own packing scratch (pool checkouts) must
+/// use these parameters, not the raw ones.
+pub fn epilogue_params(params: &GemmParams, epi: &Epilogue<'_>, k: usize) -> GemmParams {
+    match epi {
+        Epilogue::PermutedScatter { .. } => GemmParams {
+            kc: params.kc.max(k.max(1)),
+            ..*params
+        },
+        _ => *params,
+    }
+}
+
+/// Packed cache-blocked GEMM with a pluggable macro-tile writeback; see
+/// [`Epilogue`] for the semantics of each variant and
+/// [`dgemm_packed_with`] for the scratch-buffer contract.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_packed_epilogue(
+    params: &GemmParams,
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    epi: Epilogue<'_>,
+    c: &mut [f64],
+    ap: &mut Vec<f64>,
+    bp: &mut Vec<f64>,
+) {
     params.assert_valid();
     assert_eq!(a.len(), m * k, "A has wrong size");
     assert_eq!(b.len(), k * n, "B has wrong size");
     assert_eq!(c.len(), m * n, "C has wrong size");
-
-    if beta != 1.0 {
-        if beta == 0.0 {
-            c.fill(0.0);
-        } else {
-            for x in c.iter_mut() {
-                *x *= beta;
+    match &epi {
+        Epilogue::Overwrite { .. } => {}
+        Epilogue::ScaleAccumulate { x, .. } => {
+            assert_eq!(x.len(), m * n, "epilogue addend has wrong size");
+        }
+        Epilogue::PermutedScatter { dims, perm, x, .. } => {
+            assert!(is_perm(perm), "not a permutation: {perm:?}");
+            assert_eq!(dims.iter().product::<usize>(), m * n, "dims/C mismatch");
+            assert_eq!(dims[0] * dims[1], m, "dims rows != m");
+            if let Some(x) = x {
+                assert_eq!(x.len(), m * n, "epilogue addend has wrong size");
             }
         }
     }
+    let params = epilogue_params(params, &epi, k);
+
     if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        epilogue_degenerate(&epi, c);
         return;
     }
+
+    // Output strides of the scatter, indexed by input axis (zeros
+    // otherwise; unused).
+    let step = match &epi {
+        Epilogue::PermutedScatter { dims, perm, .. } => out_steps(*dims, *perm),
+        _ => [0; 4],
+    };
+    // Scatter destination offsets, hoisted: the row and column maps are
+    // fixed for the whole call, so the writeback does two table lookups
+    // per element instead of div/mod address arithmetic.
+    let (row_off, col_off) = match &epi {
+        Epilogue::PermutedScatter { dims, .. } => (
+            (0..m)
+                .map(|r| (r % dims[0]) * step[0] + (r / dims[0]) * step[1])
+                .collect::<Vec<usize>>(),
+            (0..n)
+                .map(|q| (q % dims[2]) * step[2] + (q / dims[2]) * step[3])
+                .collect::<Vec<usize>>(),
+        ),
+        _ => (Vec::new(), Vec::new()),
+    };
 
     let a_len = params.packed_a_len(m, k);
     let b_len = params.packed_b_len(n, k);
@@ -346,19 +479,125 @@ pub fn dgemm_packed_with(
                         microkernel(kcc, apanel, bpanel, &mut tile);
                         // Clipped writeback: the tile rows/columns past
                         // the block edge are zero-padded products and
-                        // are simply not stored.
+                        // are simply not stored. Each C element's first
+                        // visit is its pc == 0 one; later kc blocks
+                        // accumulate.
                         let c0 = ic + ir * MR;
-                        for j in 0..nr_eff {
-                            let cj = &mut c[(jc + jr * NR + j) * m + c0..][..mr_eff];
-                            let tj = &tile[j * MR..j * MR + mr_eff];
-                            for (cij, &tij) in cj.iter_mut().zip(tj) {
-                                *cij += alpha * tij;
+                        match &epi {
+                            Epilogue::Overwrite { beta } => {
+                                let beta = if pc == 0 { *beta } else { 1.0 };
+                                for j in 0..nr_eff {
+                                    let cj = &mut c[(jc + jr * NR + j) * m + c0..][..mr_eff];
+                                    let tj = &tile[j * MR..j * MR + mr_eff];
+                                    if beta == 1.0 {
+                                        for (cij, &tij) in cj.iter_mut().zip(tj) {
+                                            *cij += alpha * tij;
+                                        }
+                                    } else if beta == 0.0 {
+                                        for (cij, &tij) in cj.iter_mut().zip(tj) {
+                                            *cij = alpha * tij;
+                                        }
+                                    } else {
+                                        for (cij, &tij) in cj.iter_mut().zip(tj) {
+                                            *cij = beta * *cij + alpha * tij;
+                                        }
+                                    }
+                                }
+                            }
+                            Epilogue::ScaleAccumulate { beta, gamma, x } => {
+                                for j in 0..nr_eff {
+                                    let col = (jc + jr * NR + j) * m + c0;
+                                    let cj = &mut c[col..col + mr_eff];
+                                    let tj = &tile[j * MR..j * MR + mr_eff];
+                                    if pc != 0 {
+                                        for (cij, &tij) in cj.iter_mut().zip(tj) {
+                                            *cij += alpha * tij;
+                                        }
+                                    } else {
+                                        let xj = &x[col..col + mr_eff];
+                                        if *beta == 0.0 {
+                                            for i in 0..mr_eff {
+                                                cj[i] = alpha * tj[i] + gamma * xj[i];
+                                            }
+                                        } else {
+                                            for i in 0..mr_eff {
+                                                cj[i] =
+                                                    beta * cj[i] + alpha * tj[i] + gamma * xj[i];
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            Epilogue::PermutedScatter {
+                                factor, gamma, x, ..
+                            } => {
+                                // Single visit (kc covers k): scatter the
+                                // finished elements straight to their
+                                // permuted destinations.
+                                debug_assert_eq!(pc, 0);
+                                for j in 0..nr_eff {
+                                    let q = jc + jr * NR + j;
+                                    let obase = col_off[q];
+                                    let roff = &row_off[c0..c0 + mr_eff];
+                                    let tj = &tile[j * MR..j * MR + mr_eff];
+                                    match x {
+                                        Some(x) => {
+                                            let xj = &x[q * m + c0..q * m + c0 + mr_eff];
+                                            for i in 0..mr_eff {
+                                                c[obase + roff[i]] =
+                                                    factor * (alpha * tj[i] + gamma * xj[i]);
+                                            }
+                                        }
+                                        None => {
+                                            for i in 0..mr_eff {
+                                                c[obase + roff[i]] = factor * alpha * tj[i];
+                                            }
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
                 }
             }
         }
+    }
+}
+
+/// The epilogue with a zero product contribution (`alpha == 0` or a
+/// degenerate dimension): what remains of each contract.
+fn epilogue_degenerate(epi: &Epilogue<'_>, c: &mut [f64]) {
+    match epi {
+        Epilogue::Overwrite { beta } => {
+            if *beta == 0.0 {
+                c.fill(0.0);
+            } else if *beta != 1.0 {
+                for x in c.iter_mut() {
+                    *x *= beta;
+                }
+            }
+        }
+        Epilogue::ScaleAccumulate { beta, gamma, x } => {
+            if *beta == 0.0 {
+                for (ci, &xi) in c.iter_mut().zip(*x) {
+                    *ci = gamma * xi;
+                }
+            } else {
+                for (ci, &xi) in c.iter_mut().zip(*x) {
+                    *ci = beta * *ci + gamma * xi;
+                }
+            }
+        }
+        Epilogue::PermutedScatter {
+            dims,
+            perm,
+            factor,
+            gamma,
+            x,
+        } => match x {
+            Some(x) => sort_4(x, c, *dims, *perm, factor * gamma),
+            None => c.fill(0.0),
+        },
     }
 }
 
@@ -602,6 +841,226 @@ mod tests {
                 assert!((x - y).abs() / scale < 1e-12, "{m}: {x} vs {y}");
             }
         }
+    }
+
+    #[test]
+    fn scale_accumulate_fuses_axpy_into_writeback() {
+        let params = GemmParams {
+            mc: 16,
+            kc: 8,
+            nc: 12,
+        };
+        let (m, n, k) = (17, 13, 19); // multiple kc blocks, clipped edges
+        let a: Vec<f64> = (0..m * k).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let x: Vec<f64> = (0..m * n).map(|i| i as f64 * 0.11 - 3.0).collect();
+        let c0: Vec<f64> = (0..m * n).map(|i| 0.5 - i as f64 * 0.02).collect();
+        for beta in [0.0, 1.0, -0.75] {
+            let mut got = c0.clone();
+            let (mut ap, mut bp) = (Vec::new(), Vec::new());
+            dgemm_packed_epilogue(
+                &params,
+                Trans::T,
+                Trans::N,
+                m,
+                n,
+                k,
+                1.25,
+                &a,
+                &b,
+                Epilogue::ScaleAccumulate {
+                    beta,
+                    gamma: -2.0,
+                    x: &x,
+                },
+                &mut got,
+                &mut ap,
+                &mut bp,
+            );
+            let mut want = c0.clone();
+            dgemm_naive(Trans::T, Trans::N, m, n, k, 1.25, &a, &b, beta, &mut want);
+            for (w, xi) in want.iter_mut().zip(&x) {
+                *w += -2.0 * xi;
+            }
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-12, "beta={beta}: {g} vs {w}");
+            }
+        }
+        // beta == 0 must not propagate NaN from C.
+        let mut c = vec![f64::NAN];
+        let (mut ap, mut bp) = (Vec::new(), Vec::new());
+        dgemm_packed_epilogue(
+            &params,
+            Trans::N,
+            Trans::N,
+            1,
+            1,
+            1,
+            1.0,
+            &[3.0],
+            &[2.0],
+            Epilogue::ScaleAccumulate {
+                beta: 0.0,
+                gamma: 1.0,
+                x: &[4.0],
+            },
+            &mut c,
+            &mut ap,
+            &mut bp,
+        );
+        assert_eq!(c[0], 10.0);
+    }
+
+    #[test]
+    fn permuted_scatter_fuses_sort_into_writeback() {
+        use crate::sort4::sort_4_naive;
+        let params = GemmParams {
+            mc: 16,
+            kc: 8, // will be widened internally to cover k
+            nc: 12,
+        };
+        let dims = [5, 3, 7, 2];
+        let (m, n, k) = (dims[0] * dims[1], dims[2] * dims[3], 9);
+        let a: Vec<f64> = (0..m * k).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let x: Vec<f64> = (0..m * n).map(|i| i as f64 * 0.09 - 1.0).collect();
+        for perm in [[2, 0, 3, 1], [0, 1, 3, 2], [3, 1, 2, 0]] {
+            for x_opt in [None, Some(x.as_slice())] {
+                let mut got = vec![f64::NAN; m * n]; // fully overwritten
+                let (mut ap, mut bp) = (Vec::new(), Vec::new());
+                dgemm_packed_epilogue(
+                    &params,
+                    Trans::T,
+                    Trans::N,
+                    m,
+                    n,
+                    k,
+                    1.25,
+                    &a,
+                    &b,
+                    Epilogue::PermutedScatter {
+                        dims,
+                        perm,
+                        factor: -0.5,
+                        gamma: 3.0,
+                        x: x_opt,
+                    },
+                    &mut got,
+                    &mut ap,
+                    &mut bp,
+                );
+                let mut prod = vec![0.0; m * n];
+                dgemm_naive(Trans::T, Trans::N, m, n, k, 1.25, &a, &b, 0.0, &mut prod);
+                if let Some(x) = x_opt {
+                    for (p, xi) in prod.iter_mut().zip(x) {
+                        *p += 3.0 * xi;
+                    }
+                }
+                let mut want = vec![0.0; m * n];
+                sort_4_naive(&prod, &mut want, dims, perm, -0.5);
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-12, "perm {perm:?}: {g} vs {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epilogue_params_widens_kc_for_scatter_only() {
+        let params = GemmParams {
+            mc: 16,
+            kc: 8,
+            nc: 12,
+        };
+        let scatter = Epilogue::PermutedScatter {
+            dims: [2, 2, 2, 2],
+            perm: [1, 0, 2, 3],
+            factor: 1.0,
+            gamma: 0.0,
+            x: None,
+        };
+        assert_eq!(epilogue_params(&params, &scatter, 40).kc, 40);
+        assert_eq!(epilogue_params(&params, &scatter, 4).kc, 8);
+        assert_eq!(
+            epilogue_params(&params, &Epilogue::Overwrite { beta: 0.0 }, 40).kc,
+            8
+        );
+    }
+
+    #[test]
+    fn degenerate_epilogues_keep_their_contracts() {
+        // alpha == 0 with ScaleAccumulate still applies beta and the addend.
+        let mut c = vec![2.0, 4.0];
+        let (mut ap, mut bp) = (Vec::new(), Vec::new());
+        dgemm_packed_epilogue(
+            &GemmParams::default(),
+            Trans::N,
+            Trans::N,
+            2,
+            1,
+            1,
+            0.0,
+            &[1.0, 1.0],
+            &[1.0],
+            Epilogue::ScaleAccumulate {
+                beta: 0.5,
+                gamma: 2.0,
+                x: &[10.0, 20.0],
+            },
+            &mut c,
+            &mut ap,
+            &mut bp,
+        );
+        assert_eq!(c, vec![21.0, 42.0]);
+        // k == 0 with a scatter and an addend degenerates to sort_4 of x.
+        let mut c2 = vec![0.0; 4];
+        dgemm_packed_epilogue(
+            &GemmParams::default(),
+            Trans::N,
+            Trans::N,
+            2,
+            2,
+            0,
+            1.0,
+            &[],
+            &[],
+            Epilogue::PermutedScatter {
+                dims: [2, 1, 2, 1],
+                perm: [2, 1, 0, 3],
+                factor: 2.0,
+                gamma: 0.5,
+                x: Some(&[1.0, 2.0, 3.0, 4.0]),
+            },
+            &mut c2,
+            &mut ap,
+            &mut bp,
+        );
+        // x as 2x2 [[1,3],[2,4]], transpose then scale by 2*0.5 = 1.
+        assert_eq!(c2, vec![1.0, 3.0, 2.0, 4.0]);
+        // k == 0 scatter without an addend zeroes the destination.
+        let mut c3 = vec![9.0; 4];
+        dgemm_packed_epilogue(
+            &GemmParams::default(),
+            Trans::N,
+            Trans::N,
+            2,
+            2,
+            0,
+            1.0,
+            &[],
+            &[],
+            Epilogue::PermutedScatter {
+                dims: [2, 1, 2, 1],
+                perm: [2, 1, 0, 3],
+                factor: 1.0,
+                gamma: 1.0,
+                x: None,
+            },
+            &mut c3,
+            &mut ap,
+            &mut bp,
+        );
+        assert_eq!(c3, vec![0.0; 4]);
     }
 
     #[test]

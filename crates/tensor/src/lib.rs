@@ -15,10 +15,14 @@ pub mod sort4;
 pub mod vecops;
 
 pub use gemm::{
-    dgemm, dgemm_blocked, dgemm_naive, dgemm_packed, dgemm_packed_with, packed_profitable, Trans,
+    dgemm, dgemm_blocked, dgemm_naive, dgemm_packed, dgemm_packed_epilogue, dgemm_packed_with,
+    epilogue_params, packed_profitable, Epilogue, Trans,
 };
 pub use pack::GemmParams;
-pub use sort4::{invert_perm, sort_4, sort_4_naive, sort_4_tiled, Perm4};
+pub use sort4::{
+    invert_perm, sort_4, sort_4_merge, sort_4_multi, sort_4_naive, sort_4_strided, sort_4_tiled,
+    Perm4, SortSpec,
+};
 pub use vecops::{daxpy, ddot, dfill, max_abs_diff, rel_diff};
 
 /// Column-major linear index of `(i, j)` in an `m x _` matrix.

@@ -1,15 +1,80 @@
 //! Elementwise vector helpers (`DFILL`, `DAXPY`, `DDOT`) and comparison
 //! utilities for the "matched up to the 14th digit" agreement checks.
+//!
+//! `dfill`/`daxpy` carry the same runtime AVX2+FMA dispatch as the GEMM
+//! microkernel ([`crate::pack::simd_available`]), so the accumulates that
+//! stay *unfused* (reduction-tree interior nodes, staged sorts) are not
+//! left scalar while the fused epilogues run vectorized.
 
 /// `DFILL`: set every element to `value`.
 pub fn dfill(x: &mut [f64], value: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::pack::simd_available() {
+        // Safety: AVX2 presence was just verified at runtime.
+        unsafe { dfill_avx2(x, value) };
+        return;
+    }
     x.fill(value);
 }
 
 /// `DAXPY`-style accumulate: `y += alpha * x`. Panics on length mismatch.
+///
+/// The SIMD path contracts the multiply-add with FMA, so it agrees with
+/// the scalar fallback to one rounding step per element, not bitwise —
+/// the same contract as the GEMM microkernel pair.
 pub fn daxpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "daxpy length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if crate::pack::simd_available() {
+        // Safety: AVX2+FMA presence was just verified at runtime.
+        unsafe { daxpy_avx2(alpha, x, y) };
+        return;
+    }
     for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// # Safety
+/// Caller must have verified AVX2 support (see
+/// [`crate::pack::simd_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dfill_avx2(x: &mut [f64], value: f64) {
+    use core::arch::x86_64::*;
+    let v = _mm256_set1_pd(value);
+    let mut chunks = x.chunks_exact_mut(8);
+    for c in &mut chunks {
+        let p = c.as_mut_ptr();
+        _mm256_storeu_pd(p, v);
+        _mm256_storeu_pd(p.add(4), v);
+    }
+    for e in chunks.into_remainder() {
+        *e = value;
+    }
+}
+
+/// # Safety
+/// Caller must have verified AVX2 and FMA support (see
+/// [`crate::pack::simd_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn daxpy_avx2(alpha: f64, x: &[f64], y: &mut [f64]) {
+    use core::arch::x86_64::*;
+    let va = _mm256_set1_pd(alpha);
+    let n8 = x.len() / 8 * 8;
+    let (mut px, mut py) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i < n8 {
+        let y0 = _mm256_fmadd_pd(va, _mm256_loadu_pd(px), _mm256_loadu_pd(py));
+        let y1 = _mm256_fmadd_pd(va, _mm256_loadu_pd(px.add(4)), _mm256_loadu_pd(py.add(4)));
+        _mm256_storeu_pd(py, y0);
+        _mm256_storeu_pd(py.add(4), y1);
+        px = px.add(8);
+        py = py.add(8);
+        i += 8;
+    }
+    for (yi, xi) in y[n8..].iter_mut().zip(&x[n8..]) {
         *yi += alpha * xi;
     }
 }
@@ -50,6 +115,22 @@ mod tests {
     #[test]
     fn dot() {
         assert_eq!(ddot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn fill_and_axpy_cover_simd_bodies_and_tails() {
+        // Lengths straddling the 8-wide vector body: 0..=9 plus a long one.
+        for n in (0..=9).chain([1037]) {
+            let mut y = vec![0.5; n];
+            dfill(&mut y, -3.0);
+            assert!(y.iter().all(|&v| v == -3.0), "n={n}");
+            let x: Vec<f64> = (0..n).map(|i| i as f64 + 0.25).collect();
+            daxpy(2.0, &x, &mut y);
+            for (i, &yi) in y.iter().enumerate() {
+                let want = -3.0 + 2.0 * (i as f64 + 0.25);
+                assert!((yi - want).abs() < 1e-12, "n={n} i={i}: {yi} vs {want}");
+            }
+        }
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 use tensor_kernels::{
-    dgemm, dgemm_naive, dgemm_packed_with, invert_perm, sort_4, sort_4_naive, sort_4_tiled,
-    GemmParams, Perm4, Trans,
+    daxpy, dgemm, dgemm_naive, dgemm_packed_epilogue, dgemm_packed_with, invert_perm, sort_4,
+    sort_4_merge, sort_4_multi, sort_4_naive, sort_4_tiled, Epilogue, GemmParams, Perm4, SortSpec,
+    Trans,
 };
 
 fn trans() -> impl Strategy<Value = Trans> {
@@ -212,6 +213,204 @@ proptest! {
         sort_4_tiled(&src, &mut got, dims, p, factor);
         sort_4_naive(&src, &mut want, dims, p, factor);
         prop_assert_eq!(got, want);
+    }
+
+    /// The fused ScaleAccumulate epilogue equals the staged pipeline
+    /// (packed GEMM, then a separate `daxpy` of the addend) to 1e-12,
+    /// across all four transpose combinations and odd block-straddling
+    /// sizes.
+    #[test]
+    fn fused_scale_accumulate_matches_separate(
+        mi in 0usize..8,
+        ni in 0usize..8,
+        ki in 0usize..8,
+        alpha in prop_oneof![Just(1.0f64), Just(-0.5), Just(2.0)],
+        beta in prop_oneof![Just(0.0f64), Just(1.0), Just(-0.5)],
+        gamma in prop_oneof![Just(1.0f64), Just(-1.0), Just(0.25)],
+        seed in 0u64..1000,
+    ) {
+        const ODD: [usize; 8] = [1, 5, 7, 9, 13, 17, 23, 31];
+        let params = GemmParams { mc: 16, kc: 8, nc: 12 };
+        let (m, n, k) = (ODD[mi], ODD[ni], ODD[ki]);
+        let gen = |len: usize, salt: u64| -> Vec<f64> {
+            (0..len).map(|i| {
+                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed ^ salt);
+                ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            }).collect()
+        };
+        let a = gen(m * k, 31);
+        let b = gen(k * n, 32);
+        let x = gen(m * n, 33);
+        let c0 = gen(m * n, 34);
+        let mut ap = vec![0.0; params.packed_a_len(m, k)];
+        let mut bp = vec![0.0; params.packed_b_len(n, k)];
+        for ta in [Trans::N, Trans::T] {
+            for tb in [Trans::N, Trans::T] {
+                let mut got = c0.clone();
+                dgemm_packed_epilogue(
+                    &params, ta, tb, m, n, k, alpha, &a, &b,
+                    Epilogue::ScaleAccumulate { beta, gamma, x: &x },
+                    &mut got, &mut ap, &mut bp,
+                );
+                let mut want = c0.clone();
+                dgemm_packed_with(
+                    &params, ta, tb, m, n, k, alpha, &a, &b, beta, &mut want, &mut ap, &mut bp,
+                );
+                daxpy(gamma, &x, &mut want);
+                for (g, w) in got.iter().zip(&want) {
+                    let scale = w.abs().max(1.0);
+                    prop_assert!(
+                        (g - w).abs() / scale < 1e-12,
+                        "{ta:?}{tb:?} {m}x{n}x{k}: {g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The fused PermutedScatter epilogue equals the staged pipeline
+    /// (packed GEMM + optional addend, then a separate `sort_4`) across
+    /// all 24 permutations, all four transpose combinations, and odd
+    /// tile shapes.
+    #[test]
+    fn fused_permuted_scatter_matches_separate(
+        d0 in 1usize..6,
+        d1 in 1usize..6,
+        d2 in 1usize..6,
+        d3 in 1usize..6,
+        ki in 0usize..8,
+        with_addend in any::<bool>(),
+        factor in prop_oneof![Just(1.0f64), Just(-1.0), Just(0.5)],
+        seed in 0u64..1000,
+    ) {
+        const ODD: [usize; 8] = [1, 5, 7, 9, 13, 17, 23, 31];
+        let params = GemmParams { mc: 16, kc: 8, nc: 12 };
+        let dims = [d0, d1, d2, d3];
+        let (m, n, k) = (d0 * d1, d2 * d3, ODD[ki]);
+        let gen = |len: usize, salt: u64| -> Vec<f64> {
+            (0..len).map(|i| {
+                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed ^ salt);
+                ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            }).collect()
+        };
+        let a = gen(m * k, 41);
+        let b = gen(k * n, 42);
+        let x = gen(m * n, 43);
+        let x_opt = if with_addend { Some(x.as_slice()) } else { None };
+        let mut ap = vec![0.0; params.packed_a_len(m, k)];
+        let mut bp = vec![0.0; params.packed_b_len(n, k)];
+        for pi in 0..24usize {
+            // Enumerate all 24 permutations via factorial (Lehmer) digits.
+            let mut pool = vec![0usize, 1, 2, 3];
+            let perm = [
+                pool.remove(pi / 6),
+                pool.remove((pi % 6) / 2),
+                pool.remove(pi % 2),
+                pool.remove(0),
+            ];
+            for ta in [Trans::N, Trans::T] {
+                for tb in [Trans::N, Trans::T] {
+                    let mut got = vec![f64::NAN; m * n];
+                    dgemm_packed_epilogue(
+                        &params, ta, tb, m, n, k, 1.25, &a, &b,
+                        Epilogue::PermutedScatter { dims, perm, factor, gamma: -2.0, x: x_opt },
+                        &mut got, &mut ap, &mut bp,
+                    );
+                    let mut prod = vec![0.0; m * n];
+                    dgemm_packed_with(
+                        &params, ta, tb, m, n, k, 1.25, &a, &b, 0.0, &mut prod, &mut ap, &mut bp,
+                    );
+                    if let Some(x) = x_opt {
+                        daxpy(-2.0, x, &mut prod);
+                    }
+                    let mut want = vec![0.0; m * n];
+                    sort_4(&prod, &mut want, dims, perm, factor);
+                    for (g, w) in got.iter().zip(&want) {
+                        let scale = w.abs().max(1.0);
+                        prop_assert!(
+                            (g - w).abs() / scale < 1e-12,
+                            "{ta:?}{tb:?} perm {perm:?} {m}x{n}x{k}: {g} vs {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// One-pass sort_4_multi equals one sort_4 call per branch, and
+    /// sort_4_merge equals the staged sort-into-temporary + daxpy loop.
+    #[test]
+    fn sort4_multi_and_merge_match_repeated_sort4(
+        p1 in perm4(),
+        p2 in perm4(),
+        p3 in perm4(),
+        d0 in 1usize..34,
+        d1 in 1usize..10,
+        d2 in 1usize..10,
+        d3 in 1usize..6,
+        nb in 1usize..4,
+    ) {
+        let dims = [d0, d1, d2, d3];
+        let n: usize = dims.iter().product();
+        let src: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).sin()).collect();
+        let specs: Vec<SortSpec> = [p1, p2, p3][..nb]
+            .iter()
+            .zip([1.0, -0.5, 2.0])
+            .map(|(&perm, factor)| SortSpec { perm, factor })
+            .collect();
+        // Multi: full overwrite per branch, bit-identical to sort_4.
+        let mut got: Vec<Vec<f64>> = vec![vec![f64::NAN; n]; nb];
+        {
+            let mut views: Vec<&mut [f64]> = got.iter_mut().map(|v| v.as_mut_slice()).collect();
+            sort_4_multi(&src, &mut views, dims, &specs);
+        }
+        for (g, s) in got.iter().zip(&specs) {
+            let mut want = vec![0.0; n];
+            sort_4(&src, &mut want, dims, s.perm, s.factor);
+            prop_assert_eq!(g, &want, "dims {:?} perm {:?}", dims, s.perm);
+        }
+        // Merge: sum of all branches, to rounding (branch arrival order
+        // at a given element differs from the staged loop's).
+        let mut merged = vec![f64::NAN; n];
+        sort_4_merge(&src, &mut merged, dims, &specs);
+        let mut want = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+        for s in &specs {
+            sort_4(&src, &mut tmp, dims, s.perm, s.factor);
+            daxpy(1.0, &tmp, &mut want);
+        }
+        for (g, w) in merged.iter().zip(&want) {
+            let scale = w.abs().max(1.0);
+            prop_assert!((g - w).abs() / scale < 1e-12, "{g} vs {w}");
+        }
+    }
+
+    /// Debug builds reject aliasing src/dst in every sort_4 entry point
+    /// — the fused paths make accidental in-place remaps easy to write.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn sort4_rejects_aliasing_slices(
+        p in perm4(),
+        d0 in 1usize..6,
+        d1 in 1usize..6,
+        d2 in 1usize..6,
+        d3 in 1usize..6,
+    ) {
+        let dims = [d0, d1, d2, d3];
+        let n: usize = dims.iter().product();
+        let mut buf = vec![0.0; n];
+        let ptr = buf.as_mut_ptr();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(move || {
+            // SAFETY: the overlapping views exist only to exercise the
+            // alias guard, which panics before any element is touched.
+            let src = unsafe { std::slice::from_raw_parts(ptr, n) };
+            let dst = unsafe { std::slice::from_raw_parts_mut(ptr, n) };
+            sort_4(src, dst, dims, p, 1.0);
+        });
+        std::panic::set_hook(prev);
+        prop_assert!(result.is_err(), "aliasing sort_4 did not panic");
     }
 
     /// dgemm is linear in alpha: gemm(2a) == 2 * gemm(a) with beta=0.
