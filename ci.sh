@@ -6,8 +6,8 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q (workspace: includes the loopback chaos matrices)"
+cargo test --workspace -q
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -36,5 +36,12 @@ done
 
 echo "==> comm smoke (4 ranks over sockets, v1..v5 + fused v5 vs single-process energies)"
 cargo run -q --release -p bench-harness --bin comm_bench -- --smoke
+
+echo "==> comm chaos matrix (4 ranks over sockets, every fault schedule + clean control, fixed seeds)"
+# The 4-rank loopback matrix (6 schedules x 2 variants, plus comm-level
+# chaos) already ran under `cargo test`; this adds the real-socket pass.
+# Fixed seed so a red run replays exactly; fails on energy divergence or
+# any recovery activity in the clean control.
+cargo run -q --release -p bench-harness --bin comm_bench -- --chaos --seed c0ffee00
 
 echo "CI OK"

@@ -14,19 +14,27 @@
 //! ```text
 //! comm_bench [--ranks R] [--scale S] [--threads T] [--reps N] [--port P]
 //! comm_bench --smoke        # v1..v5 + fused v5 energies vs the reference
+//! comm_bench --chaos [--seed S]   # fault-injection matrix over sockets
 //! ```
 //!
 //! `--smoke` is the CI gate: every variant on the 4-rank socket mesh must
-//! reproduce the single-process reference energy to 1e-12.
+//! reproduce the single-process reference energy to 1e-12. `--chaos`
+//! replays every named fault schedule (plus a clean control) through
+//! [`comm::FaultTransport`] over the real socket mesh with fixed seeds:
+//! each schedule must terminate and reproduce the reference energy, the
+//! clean control must show zero recovery activity, and the failure
+//! message carries the seed so a red run replays exactly.
 
 use bench_harness::{arg_value, has_flag};
 use ccsd::{verify, DistRank, VariantCfg};
+use comm::fault::{FaultPlan, FaultTransport};
 use comm::SocketTransport;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// One variant execution's rank-local measurements.
+#[derive(Default)]
 struct RunOut {
     name: String,
     energy: Option<f64>,
@@ -41,6 +49,13 @@ struct RunOut {
     accs: u64,
     ga_local: u64,
     ga_remote: u64,
+    /// Recovery activity (all zero on a healthy network — gated).
+    timeouts: u64,
+    retries: u64,
+    dup_requests: u64,
+    dup_replies: u64,
+    /// Faults injected by the local wrapper (chaos mode only).
+    injected: u64,
     lat_ns: Vec<u64>,
 }
 
@@ -118,19 +133,7 @@ fn run_rank(
                 .unwrap_or_default();
             let out = acc.get_or_insert_with(|| RunOut {
                 name: name.clone(),
-                energy: None,
-                comm_ns: 0,
-                overlapped_ns: 0,
-                eager: 0,
-                rndv: 0,
-                bytes_tx: 0,
-                bytes_rx: 0,
-                gets: 0,
-                puts: 0,
-                accs: 0,
-                ga_local: 0,
-                ga_remote: 0,
-                lat_ns: Vec::new(),
+                ..RunOut::default()
             });
             out.energy = run.energy;
             out.comm_ns += node.comm;
@@ -144,12 +147,62 @@ fn run_rank(
             out.accs += s1.accs - s0.accs;
             out.ga_local += ga_stats.local_bytes() - l0;
             out.ga_remote += ga_stats.remote_bytes() - r0;
+            out.timeouts += s1.timeouts - s0.timeouts;
+            out.retries += s1.retries - s0.retries;
+            out.dup_requests += s1.dup_requests - s0.dup_requests;
+            out.dup_replies += s1.dup_replies - s0.dup_replies;
             out.lat_ns.extend(ep.take_latencies());
         }
         outs.push(acc.expect("reps >= 1"));
     }
     dr.finish();
     outs
+}
+
+/// One rank of a chaos run: v5 at tiny scale over a fault-wrapped socket
+/// mesh with chaos-speed retry timers. The injector is disarmed after
+/// the results exist so the final collective teardown runs clean.
+fn run_rank_chaos(rank: usize, ranks: usize, port: u16, schedule: &str, seed: u64) -> RunOut {
+    let space = tce::TileSpace::build(&tce::scale::tiny());
+    let sock = SocketTransport::connect(rank, ranks, port, Duration::from_secs(60))
+        .unwrap_or_else(|e| panic!("rank {rank}: mesh connect failed: {e}"));
+    let plan = FaultPlan::named(schedule, seed.wrapping_add(rank as u64))
+        .unwrap_or_else(|| panic!("unknown chaos schedule `{schedule}`"));
+    let ft = FaultTransport::new(Box::new(sock), plan);
+    let armed = ft.armed_handle();
+    let injected = ft.counters();
+    // Fault schedules run with fast timers so injected losses recover in
+    // milliseconds. The clean control keeps the production timers — the
+    // gate there is exactly that they never fire on a healthy mesh
+    // (startup skew between real processes can exceed a 20ms timer).
+    let cfg = if schedule == "clean" {
+        comm::CommConfig {
+            eager_threshold: 1024,
+            ..comm::CommConfig::default()
+        }
+    } else {
+        comm::CommConfig {
+            eager_threshold: 1024,
+            retry_timeout: Duration::from_millis(20),
+            retry_backoff_max: Duration::from_millis(80),
+            ..comm::CommConfig::default()
+        }
+    };
+    let dr = DistRank::with_config(Box::new(ft), &space, &[tce::Kernel::T2_7], cfg);
+    let run = dr.run_variant(VariantCfg::v5(), 2, true);
+    let s = dr.endpoint().stats();
+    armed.store(false, std::sync::atomic::Ordering::SeqCst);
+    dr.finish();
+    RunOut {
+        name: schedule.to_string(),
+        energy: run.energy,
+        timeouts: s.timeouts,
+        retries: s.retries,
+        dup_requests: s.dup_requests,
+        dup_replies: s.dup_replies,
+        injected: injected.total(),
+        ..RunOut::default()
+    }
 }
 
 /// Flat line-oriented fragment format (internal to the bench; only the
@@ -173,6 +226,11 @@ fn write_fragment(path: &Path, outs: &[RunOut]) {
             ("accs", o.accs),
             ("ga_local", o.ga_local),
             ("ga_remote", o.ga_remote),
+            ("timeouts", o.timeouts),
+            ("retries", o.retries),
+            ("dup_requests", o.dup_requests),
+            ("dup_replies", o.dup_replies),
+            ("injected", o.injected),
         ] {
             s.push_str(&format!("{k} {v}\n"));
         }
@@ -189,19 +247,7 @@ fn parse_fragment(text: &str) -> Vec<RunOut> {
         if key == "run" {
             outs.push(RunOut {
                 name: val.to_string(),
-                energy: None,
-                comm_ns: 0,
-                overlapped_ns: 0,
-                eager: 0,
-                rndv: 0,
-                bytes_tx: 0,
-                bytes_rx: 0,
-                gets: 0,
-                puts: 0,
-                accs: 0,
-                ga_local: 0,
-                ga_remote: 0,
-                lat_ns: Vec::new(),
+                ..RunOut::default()
             });
             continue;
         }
@@ -219,6 +265,11 @@ fn parse_fragment(text: &str) -> Vec<RunOut> {
             "accs" => o.accs = val.parse().unwrap(),
             "ga_local" => o.ga_local = val.parse().unwrap(),
             "ga_remote" => o.ga_remote = val.parse().unwrap(),
+            "timeouts" => o.timeouts = val.parse().unwrap(),
+            "retries" => o.retries = val.parse().unwrap(),
+            "dup_requests" => o.dup_requests = val.parse().unwrap(),
+            "dup_replies" => o.dup_replies = val.parse().unwrap(),
+            "injected" => o.injected = val.parse().unwrap(),
             "lat_ns" => {
                 o.lat_ns = val
                     .split(',')
@@ -241,6 +292,16 @@ fn percentile_us(sorted: &[u64], p: f64) -> f64 {
 }
 
 fn child(rank: usize, ranks: usize, port: u16, args: &[String]) {
+    let dir = PathBuf::from(arg_value(args, "--dir").expect("child needs --dir"));
+    if let Some(schedule) = arg_value(args, "--chaos-schedule") {
+        let seed: u64 = arg_value(args, "--chaos-seed")
+            .expect("chaos child needs --chaos-seed")
+            .parse()
+            .unwrap();
+        let out = run_rank_chaos(rank, ranks, port, &schedule, seed);
+        write_fragment(&dir.join(format!("rank{rank}.txt")), &[out]);
+        return;
+    }
     let scale = arg_value(args, "--scale").unwrap_or_else(|| "tiny".into());
     let threads: usize = arg_value(args, "--threads")
         .map(|v| v.parse().unwrap())
@@ -248,7 +309,6 @@ fn child(rank: usize, ranks: usize, port: u16, args: &[String]) {
     let reps: usize = arg_value(args, "--reps")
         .map(|v| v.parse().unwrap())
         .unwrap_or(1);
-    let dir = PathBuf::from(arg_value(args, "--dir").expect("child needs --dir"));
     let outs = run_rank(
         rank,
         ranks,
@@ -324,6 +384,95 @@ fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
     aggregate(ranks, &scale, threads, e_ref, &per_rank)
 }
 
+/// The chaos matrix: every named fault schedule plus a clean control,
+/// each on its own 4-rank socket mesh (fresh port window per schedule)
+/// with per-rank seeds derived from one printed base seed. The gate is
+/// the paper's correctness claim under an unreliable network: every
+/// schedule terminates and reproduces the reference energy to 1e-12,
+/// and the clean control shows zero recovery activity.
+fn chaos(ranks: usize, args: &[String]) -> Result<(), String> {
+    let seed_base: u64 = arg_value(args, "--seed")
+        .map(|v| {
+            let v = v.trim_start_matches("0x");
+            u64::from_str_radix(v, 16).or_else(|_| v.parse()).unwrap()
+        })
+        .unwrap_or(0xC0FF_EE00);
+    // Own port range, one window of `ranks` ports per schedule: listener
+    // ports are not reused across schedules, so lingering TIME_WAIT
+    // connections from the previous mesh cannot fail the next bind.
+    let base_port: u16 = arg_value(args, "--port")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or_else(|| 36000 + (std::process::id() % 256) as u16 * 64);
+
+    let space = tce::TileSpace::build(&tce::scale::tiny());
+    let ws = tce::build_workspace(&space, 1);
+    let e_ref = verify::reference_energy(&ws);
+    eprintln!("# reference energy (single process): {e_ref:.15}");
+    eprintln!(
+        "# chaos base seed: {seed_base:#x} (replay: comm_bench --chaos --seed {seed_base:x})"
+    );
+
+    let dir = std::env::temp_dir().join(format!("comm_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+
+    let mut schedules: Vec<&str> = FaultPlan::schedule_names().to_vec();
+    schedules.push("clean");
+    for (i, schedule) in schedules.iter().enumerate() {
+        let seed = seed_base.wrapping_add((i as u64) << 8);
+        let port = base_port + (i * ranks) as u16;
+        let replay = format!("schedule `{schedule}` seed {seed:#x}");
+        let mut children = Vec::new();
+        for r in 1..ranks {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.args(["--rank", &r.to_string()])
+                .args(["--ranks", &ranks.to_string()])
+                .args(["--port", &port.to_string()])
+                .args(["--chaos-schedule", schedule])
+                .args(["--chaos-seed", &seed.to_string()])
+                .args(["--dir", &dir.display().to_string()]);
+            children.push((r, cmd.spawn().map_err(|e| format!("spawn rank {r}: {e}"))?));
+        }
+        let out0 = run_rank_chaos(0, ranks, port, schedule, seed);
+        for (r, mut ch) in children {
+            let status = ch.wait().map_err(|e| e.to_string())?;
+            if !status.success() {
+                return Err(format!("rank {r} exited with {status}; {replay}"));
+            }
+        }
+        let mut outs = vec![out0];
+        for r in 1..ranks {
+            let path = dir.join(format!("rank{r}.txt"));
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            outs.extend(parse_fragment(&text));
+        }
+        let energy = outs[0].energy.ok_or("rank 0 must report an energy")?;
+        let d = tensor_kernels::rel_diff(e_ref, energy);
+        let sum = |f: &dyn Fn(&RunOut) -> u64| outs.iter().map(f).sum::<u64>();
+        let (timeouts, retries) = (sum(&|o| o.timeouts), sum(&|o| o.retries));
+        let dups = sum(&|o| o.dup_requests + o.dup_replies);
+        let injected = sum(&|o| o.injected);
+        println!(
+            "{schedule:>10} seed {seed:#012x}: rel diff {d:.2e}  {injected} faults injected  {retries} retries  {timeouts} timeouts  {dups} dups detected"
+        );
+        if d >= 1e-12 {
+            return Err(format!(
+                "energy {energy} diverged from reference {e_ref} ({d:.2e}); {replay}"
+            ));
+        }
+        if *schedule == "clean" && timeouts + retries + dups != 0 {
+            return Err(format!(
+                "clean control must show zero recovery activity \
+                 ({timeouts} timeouts, {retries} retries, {dups} dups); {replay}"
+            ));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("CHAOS OK: every schedule reproduced the reference energy");
+    Ok(())
+}
+
 fn check_smoke(ranks: usize, e_ref: f64, rank0: &[RunOut]) -> Result<(), String> {
     let mut worst: f64 = 0.0;
     for o in rank0 {
@@ -334,6 +483,16 @@ fn check_smoke(ranks: usize, e_ref: f64, rank0: &[RunOut]) -> Result<(), String>
             "{:>3} over {ranks}-rank sockets: {e:.15}  (rel diff {d:.2e}, {} rndv, {} eager payloads)",
             o.name, o.rndv, o.eager
         );
+    }
+    let recovery: u64 = rank0
+        .iter()
+        .map(|o| o.timeouts + o.retries + o.dup_requests + o.dup_replies)
+        .sum();
+    if recovery != 0 {
+        return Err(format!(
+            "smoke FAILED: healthy mesh showed recovery activity ({recovery} events) — \
+             retry timers must never fire without faults"
+        ));
     }
     if worst < 1e-12 {
         println!("SMOKE OK: all variants match the single-process reference");
@@ -374,6 +533,15 @@ fn aggregate(
                 "{name}: energy {energy} vs reference {e_ref} ({d:.2e})"
             ));
         }
+        // The no-overhead gate: on a healthy mesh the retry/dedup
+        // machinery must be pure bookkeeping — zero events.
+        let recovery = sum(&|o| o.timeouts + o.retries + o.dup_requests + o.dup_replies);
+        if recovery != 0 {
+            return Err(format!(
+                "{name}: healthy mesh showed {recovery} recovery events — \
+                 retry timers must never fire without faults"
+            ));
+        }
         println!(
             "{name:>12}: overlap {overlap:.3}  comm {:.2} ms  {} eager / {} rndv payloads  {:.2} MB on wire  get p50 {:.1} us p99 {:.1} us",
             comm_ns as f64 / 1e6,
@@ -384,7 +552,7 @@ fn aggregate(
             percentile_us(&lats, 99.0),
         );
         rows.push(format!(
-            "    {{\n      \"name\": \"{name}\",\n      \"energy_rel_diff\": {d:.3e},\n      \"overlap_fraction\": {overlap:.6},\n      \"comm_ns\": {comm_ns},\n      \"overlapped_ns\": {overlapped_ns},\n      \"eager_payloads\": {},\n      \"rndv_payloads\": {},\n      \"bytes_tx\": {},\n      \"bytes_rx\": {},\n      \"gets\": {},\n      \"puts\": {},\n      \"accs\": {},\n      \"ga_local_bytes\": {},\n      \"ga_remote_bytes\": {},\n      \"get_latency_us\": {{\"p50\": {:.2}, \"p90\": {:.2}, \"p99\": {:.2}}}\n    }}",
+            "    {{\n      \"name\": \"{name}\",\n      \"energy_rel_diff\": {d:.3e},\n      \"overlap_fraction\": {overlap:.6},\n      \"comm_ns\": {comm_ns},\n      \"overlapped_ns\": {overlapped_ns},\n      \"eager_payloads\": {},\n      \"rndv_payloads\": {},\n      \"bytes_tx\": {},\n      \"bytes_rx\": {},\n      \"gets\": {},\n      \"puts\": {},\n      \"accs\": {},\n      \"ga_local_bytes\": {},\n      \"ga_remote_bytes\": {},\n      \"recovery\": {{\"timeouts\": {}, \"retries\": {}, \"dup_requests\": {}, \"dup_replies\": {}}},\n      \"get_latency_us\": {{\"p50\": {:.2}, \"p90\": {:.2}, \"p99\": {:.2}}}\n    }}",
             sum(&|o| o.eager),
             sum(&|o| o.rndv),
             sum(&|o| o.bytes_tx),
@@ -394,6 +562,10 @@ fn aggregate(
             sum(&|o| o.accs),
             sum(&|o| o.ga_local),
             sum(&|o| o.ga_remote),
+            sum(&|o| o.timeouts),
+            sum(&|o| o.retries),
+            sum(&|o| o.dup_requests),
+            sum(&|o| o.dup_replies),
             percentile_us(&lats, 50.0),
             percentile_us(&lats, 90.0),
             percentile_us(&lats, 99.0),
@@ -424,12 +596,19 @@ fn main() -> std::process::ExitCode {
             child(r.parse().unwrap(), ranks, port, &args);
             std::process::ExitCode::SUCCESS
         }
-        None => match parent(ranks, port, &args) {
-            Ok(()) => std::process::ExitCode::SUCCESS,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                std::process::ExitCode::FAILURE
+        None => {
+            let res = if has_flag(&args, "--chaos") {
+                chaos(ranks, &args)
+            } else {
+                parent(ranks, port, &args)
+            };
+            match res {
+                Ok(()) => std::process::ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    std::process::ExitCode::FAILURE
+                }
             }
-        },
+        }
     }
 }

@@ -1,0 +1,260 @@
+//! End-to-end chaos matrix: small-scale distributed CCSD (v2 and v5)
+//! over 4 ranks, with every rank's transport wrapped in a seeded
+//! [`FaultTransport`]. Each named fault schedule must terminate and
+//! reproduce the single-process reference energy to 1e-12 — the paper's
+//! claim that the task formulation decouples correctness from execution
+//! order, demonstrated under message loss, delay, duplication,
+//! reordering, partitions and stalls.
+//!
+//! On failure the panic message carries the schedule and seed; replay by
+//! running the test with the same constants (fault decisions are a pure
+//! function of `(seed, sender, arrival index)`).
+//!
+//! Injection covers the entire computation — fills, both variant runs,
+//! all energy gathers. Each rank disarms its injector only after its
+//! results exist, right before the final collective teardown (see
+//! `FaultTransport::armed_handle` for why shutdown itself runs clean).
+
+use ccsd::ctx::VariantCfg;
+use ccsd::dist::DistRank;
+use comm::fault::{FaultPlan, FaultTransport};
+use comm::{CommConfig, CommStatsSnap, SocketTransport, Transport};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::time::Duration;
+use tce::{scale, Kernel, TileSpace};
+use tensor_kernels::rel_diff;
+
+const RANKS: usize = 4;
+
+/// Fast retries so injected losses recover in milliseconds, and an
+/// eager threshold low enough that tiny-scale tiles exercise both the
+/// eager and rendezvous protocol paths under faults.
+fn chaos_cfg() -> CommConfig {
+    CommConfig {
+        eager_threshold: 1024,
+        retry_timeout: Duration::from_millis(20),
+        retry_backoff_max: Duration::from_millis(80),
+        ..CommConfig::default()
+    }
+}
+
+fn reference() -> f64 {
+    let space = TileSpace::build(&scale::tiny());
+    let ws = tce::build_workspace(&space, 1);
+    ccsd::verify::reference_energy(&ws)
+}
+
+struct RankResult {
+    e_v2: Option<f64>,
+    e_v5: Option<f64>,
+    stats: CommStatsSnap,
+}
+
+type FaultyRank = (
+    Box<dyn Transport>,
+    std::sync::Arc<std::sync::atomic::AtomicBool>,
+);
+
+/// Run the 4-rank v2+v5 matrix over faulty transports. Each rank
+/// disarms its own injector once its results exist, then joins the
+/// collective teardown.
+fn run_matrix(transports: Vec<FaultyRank>, replay: &str) -> Vec<RankResult> {
+    let (tx, rx) = mpsc::channel();
+    let handles: Vec<_> = transports
+        .into_iter()
+        .map(|(t, armed)| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let space = TileSpace::build(&scale::tiny());
+                let rank = DistRank::with_config(t, &space, &[Kernel::T2_7], chaos_cfg());
+                let e_v2 = rank.run_variant(VariantCfg::v2(), 2, true).energy;
+                let e_v5 = rank.run_variant(VariantCfg::v5(), 2, true).energy;
+                let stats = rank.endpoint().stats();
+                armed.store(false, Ordering::SeqCst);
+                rank.finish();
+                tx.send(()).unwrap();
+                RankResult { e_v2, e_v5, stats }
+            })
+        })
+        .collect();
+    for _ in 0..handles.len() {
+        rx.recv_timeout(Duration::from_secs(240))
+            .unwrap_or_else(|_| panic!("run did not terminate: {replay}"));
+    }
+    handles
+        .into_iter()
+        .map(|h| {
+            h.join().unwrap_or_else(|e| {
+                let msg = e
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_default();
+                panic!("rank panicked: {msg}; {replay}")
+            })
+        })
+        .collect()
+}
+
+fn faulty_loopback(name: &str, seed: u64) -> Vec<FaultyRank> {
+    comm::loopback(RANKS)
+        .into_iter()
+        .enumerate()
+        .map(|(r, t)| {
+            let plan = FaultPlan::named(name, seed.wrapping_add(r as u64))
+                .unwrap_or_else(|| panic!("unknown schedule {name}"));
+            let ft = FaultTransport::new(Box::new(t), plan);
+            let armed = ft.armed_handle();
+            (Box::new(ft) as Box<dyn Transport>, armed)
+        })
+        .collect()
+}
+
+fn assert_energies(results: &[RankResult], e_ref: f64, replay: &str) {
+    for (r, res) in results.iter().enumerate() {
+        match r {
+            0 => {
+                let e2 = res.e_v2.expect("rank 0 reports v2 energy");
+                let e5 = res.e_v5.expect("rank 0 reports v5 energy");
+                assert!(
+                    rel_diff(e_ref, e2) < 1e-12,
+                    "v2 energy {e2} vs reference {e_ref}: {replay}"
+                );
+                assert!(
+                    rel_diff(e_ref, e5) < 1e-12,
+                    "v5 energy {e5} vs reference {e_ref}: {replay}"
+                );
+            }
+            _ => assert!(
+                res.e_v2.is_none() && res.e_v5.is_none(),
+                "only rank 0 reports energies"
+            ),
+        }
+    }
+}
+
+fn chaos_schedule(name: &str, seed: u64) -> Vec<RankResult> {
+    let replay = format!(
+        "ccsd chaos schedule `{name}` seed {seed} — replay: FaultPlan::named(\"{name}\", {seed})"
+    );
+    let e_ref = reference();
+    let results = run_matrix(faulty_loopback(name, seed), &replay);
+    assert_energies(&results, e_ref, &replay);
+    results
+}
+
+#[test]
+fn dist_ccsd_survives_drop() {
+    let results = chaos_schedule("drop", 0x0D15_EA5E_0001);
+    let retries: u64 = results.iter().map(|r| r.stats.retries).sum();
+    assert!(
+        retries > 0,
+        "drops must force retries somewhere in the mesh"
+    );
+}
+
+#[test]
+fn dist_ccsd_survives_delay() {
+    chaos_schedule("delay", 0x0D15_EA5E_0002);
+}
+
+#[test]
+fn dist_ccsd_survives_duplicate() {
+    let results = chaos_schedule("duplicate", 0x0D15_EA5E_0003);
+    let dups: u64 = results
+        .iter()
+        .map(|r| r.stats.dup_requests + r.stats.dup_replies)
+        .sum();
+    assert!(dups > 0, "duplicates must be detected, not double-applied");
+}
+
+#[test]
+fn dist_ccsd_survives_reorder() {
+    chaos_schedule("reorder", 0x0D15_EA5E_0004);
+}
+
+#[test]
+fn dist_ccsd_survives_partition() {
+    chaos_schedule("partition", 0x0D15_EA5E_0005);
+}
+
+#[test]
+fn dist_ccsd_survives_stall() {
+    chaos_schedule("stall", 0x0D15_EA5E_0006);
+}
+
+/// The no-overhead gate at the application level: a clean 4-rank run
+/// through the same harness must finish with zero recovery activity.
+#[test]
+fn dist_ccsd_clean_run_has_zero_recovery_activity() {
+    let e_ref = reference();
+    let replay = "clean run".to_string();
+    let results = run_matrix(faulty_loopback("clean", 7), &replay);
+    assert_energies(&results, e_ref, &replay);
+    for (r, res) in results.iter().enumerate() {
+        let s = &res.stats;
+        assert_eq!(
+            (s.timeouts, s.retries, s.dup_requests, s.dup_replies),
+            (0, 0, 0, 0),
+            "rank {r}: clean run must show zero recovery activity: {s:?}"
+        );
+    }
+}
+
+/// TCP-backend chaos smoke: the fault wrapper composes over real
+/// sockets exactly as over loopback (4 ranks as threads in one process,
+/// drop schedule, v5 energy still 1e-12).
+#[test]
+fn dist_ccsd_socket_chaos_smoke() {
+    let seed: u64 = 0x50CC_0007;
+    let name = "drop";
+    let replay =
+        format!("socket chaos `{name}` seed {seed} — replay: FaultPlan::named(\"{name}\", {seed})");
+    let e_ref = reference();
+    let base = 34000 + (std::process::id() % 400) as u16 * 8;
+    let (tx, rx) = mpsc::channel();
+    let handles: Vec<_> = (0..RANKS)
+        .map(|r| {
+            let tx = tx.clone();
+            let replay = replay.clone();
+            std::thread::spawn(move || {
+                let sock = SocketTransport::connect(r, RANKS, base, Duration::from_secs(30))
+                    .unwrap_or_else(|e| panic!("mesh failed: {e}; {replay}"));
+                let plan = FaultPlan::named(name, seed.wrapping_add(r as u64)).unwrap();
+                let ft = FaultTransport::new(Box::new(sock), plan);
+                let armed = ft.armed_handle();
+                let space = TileSpace::build(&scale::tiny());
+                let rank =
+                    DistRank::with_config(Box::new(ft), &space, &[Kernel::T2_7], chaos_cfg());
+                let energy = rank.run_variant(VariantCfg::v5(), 2, true).energy;
+                armed.store(false, Ordering::SeqCst);
+                rank.finish();
+                tx.send(()).unwrap();
+                energy
+            })
+        })
+        .collect();
+    for _ in 0..RANKS {
+        rx.recv_timeout(Duration::from_secs(240))
+            .unwrap_or_else(|_| panic!("socket run did not terminate: {replay}"));
+    }
+    let energies: Vec<Option<f64>> = handles
+        .into_iter()
+        .map(|h| {
+            h.join().unwrap_or_else(|e| {
+                let msg = e
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_default();
+                panic!("rank panicked: {msg}; {replay}")
+            })
+        })
+        .collect();
+    let e = energies[0].expect("rank 0 energy");
+    assert!(
+        rel_diff(e_ref, e) < 1e-12,
+        "socket chaos energy {e} vs reference {e_ref}: {replay}"
+    );
+}

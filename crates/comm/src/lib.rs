@@ -18,12 +18,20 @@
 //! gets are throttled per peer and queued by task priority — the
 //! communication half of the paper's priority scheme, which keeps the
 //! wire delivering the operands the scheduler will want next.
+//!
+//! The protocol tolerates frame loss, delay, duplication and reordering:
+//! mutating operations carry per-peer sequence numbers deduplicated on
+//! the server, pending requests retry with capped exponential backoff,
+//! and [`fault::FaultTransport`] injects exactly those faults from a
+//! seeded schedule so chaos tests can prove the engine recovers.
 
+pub mod fault;
 pub mod msg;
 pub mod progress;
 pub mod socket;
 pub mod transport;
 
+pub use fault::{FaultCounters, FaultEvent, FaultPlan, FaultTransport, SplitMix64};
 pub use msg::{CodecError, Msg};
 pub use progress::{CommConfig, CommStatsSnap, Endpoint, GetCallback, ShardStore};
 pub use socket::SocketTransport;

@@ -38,7 +38,12 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// One active message. `token` matches a reply to its pending request on
-/// the issuing rank; it is opaque to the servicing rank.
+/// the issuing rank; it is opaque to the servicing rank. Mutating
+/// requests (`Put`/`PutData`, `Acc`/`AccData`, `NxtVal`, `NxtValReset`)
+/// additionally carry `seq`, a per-(sender, receiver) contiguous
+/// sequence number: the server applies each `(sender, seq)` at most once
+/// and answers retransmitted duplicates from its dedup record, which is
+/// what makes timeout-driven retry safe for non-idempotent operations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
     /// One-sided read request for `len` elements of `array` at the global
@@ -60,6 +65,7 @@ pub enum Msg {
     /// Small one-sided overwrite, payload inline.
     Put {
         token: u64,
+        seq: u64,
         array: u32,
         offset: u64,
         data: Vec<f64>,
@@ -76,6 +82,7 @@ pub enum Msg {
     /// Bulk put data.
     PutData {
         token: u64,
+        seq: u64,
         array: u32,
         offset: u64,
         data: Vec<f64>,
@@ -85,6 +92,7 @@ pub enum Msg {
     /// Small one-sided accumulate `shard[offset..] += alpha * data`.
     Acc {
         token: u64,
+        seq: u64,
         array: u32,
         offset: u64,
         alpha: f64,
@@ -102,6 +110,7 @@ pub enum Msg {
     /// Bulk accumulate data.
     AccData {
         token: u64,
+        seq: u64,
         array: u32,
         offset: u64,
         alpha: f64,
@@ -110,11 +119,11 @@ pub enum Msg {
     /// Accumulate applied to the target shard.
     AccAck { token: u64 },
     /// Fetch-and-add on the owner rank's NXTVAL counter.
-    NxtVal { token: u64 },
+    NxtVal { token: u64, seq: u64 },
     /// The value taken by a `NxtVal`.
     NxtValReply { token: u64, value: i64 },
     /// Reset the owner rank's NXTVAL counter to zero.
-    NxtValReset { token: u64 },
+    NxtValReset { token: u64, seq: u64 },
     /// Reset applied.
     ResetAck { token: u64 },
     /// Rank `from` entered barrier `epoch` (sent to rank 0).
@@ -253,12 +262,14 @@ impl Msg {
             }
             Msg::Put {
                 token,
+                seq,
                 array,
                 offset,
                 data,
             } => {
                 w.u8(T_PUT);
                 w.u64(*token);
+                w.u64(*seq);
                 w.u32(*array);
                 w.u64(*offset);
                 w.data(data);
@@ -281,12 +292,14 @@ impl Msg {
             }
             Msg::PutData {
                 token,
+                seq,
                 array,
                 offset,
                 data,
             } => {
                 w.u8(T_PUT_DATA);
                 w.u64(*token);
+                w.u64(*seq);
                 w.u32(*array);
                 w.u64(*offset);
                 w.data(data);
@@ -297,6 +310,7 @@ impl Msg {
             }
             Msg::Acc {
                 token,
+                seq,
                 array,
                 offset,
                 alpha,
@@ -304,6 +318,7 @@ impl Msg {
             } => {
                 w.u8(T_ACC);
                 w.u64(*token);
+                w.u64(*seq);
                 w.u32(*array);
                 w.u64(*offset);
                 w.f64(*alpha);
@@ -327,6 +342,7 @@ impl Msg {
             }
             Msg::AccData {
                 token,
+                seq,
                 array,
                 offset,
                 alpha,
@@ -334,6 +350,7 @@ impl Msg {
             } => {
                 w.u8(T_ACC_DATA);
                 w.u64(*token);
+                w.u64(*seq);
                 w.u32(*array);
                 w.u64(*offset);
                 w.f64(*alpha);
@@ -343,18 +360,20 @@ impl Msg {
                 w.u8(T_ACC_ACK);
                 w.u64(*token);
             }
-            Msg::NxtVal { token } => {
+            Msg::NxtVal { token, seq } => {
                 w.u8(T_NXTVAL);
                 w.u64(*token);
+                w.u64(*seq);
             }
             Msg::NxtValReply { token, value } => {
                 w.u8(T_NXTVAL_REPLY);
                 w.u64(*token);
                 w.i64(*value);
             }
-            Msg::NxtValReset { token } => {
+            Msg::NxtValReset { token, seq } => {
                 w.u8(T_NXTVAL_RESET);
                 w.u64(*token);
+                w.u64(*seq);
             }
             Msg::ResetAck { token } => {
                 w.u8(T_RESET_ACK);
@@ -399,6 +418,7 @@ impl Msg {
             },
             T_PUT => Msg::Put {
                 token: r.u64()?,
+                seq: r.u64()?,
                 array: r.u32()?,
                 offset: r.u64()?,
                 data: r.data()?,
@@ -412,6 +432,7 @@ impl Msg {
             T_PUT_CTS => Msg::PutCts { token: r.u64()? },
             T_PUT_DATA => Msg::PutData {
                 token: r.u64()?,
+                seq: r.u64()?,
                 array: r.u32()?,
                 offset: r.u64()?,
                 data: r.data()?,
@@ -419,6 +440,7 @@ impl Msg {
             T_PUT_ACK => Msg::PutAck { token: r.u64()? },
             T_ACC => Msg::Acc {
                 token: r.u64()?,
+                seq: r.u64()?,
                 array: r.u32()?,
                 offset: r.u64()?,
                 alpha: r.f64()?,
@@ -433,18 +455,25 @@ impl Msg {
             T_ACC_CTS => Msg::AccCts { token: r.u64()? },
             T_ACC_DATA => Msg::AccData {
                 token: r.u64()?,
+                seq: r.u64()?,
                 array: r.u32()?,
                 offset: r.u64()?,
                 alpha: r.f64()?,
                 data: r.data()?,
             },
             T_ACC_ACK => Msg::AccAck { token: r.u64()? },
-            T_NXTVAL => Msg::NxtVal { token: r.u64()? },
+            T_NXTVAL => Msg::NxtVal {
+                token: r.u64()?,
+                seq: r.u64()?,
+            },
             T_NXTVAL_REPLY => Msg::NxtValReply {
                 token: r.u64()?,
                 value: r.i64()?,
             },
-            T_NXTVAL_RESET => Msg::NxtValReset { token: r.u64()? },
+            T_NXTVAL_RESET => Msg::NxtValReset {
+                token: r.u64()?,
+                seq: r.u64()?,
+            },
             T_RESET_ACK => Msg::ResetAck { token: r.u64()? },
             T_BARRIER_ENTER => Msg::BarrierEnter {
                 epoch: r.u64()?,

@@ -14,10 +14,23 @@
 //! operand first — the transport-level half of the paper's
 //! `max_L1 - L1 + offset * P` prefetch scheme. Every completed get frees
 //! a slot and launches the best queued request toward that rank.
+//!
+//! Fault tolerance: the engine assumes only that the transport delivers
+//! each frame *at most once* — frames may be lost, delayed, duplicated
+//! or reordered (see [`crate::fault::FaultTransport`]). Every pending
+//! operation carries a deadline; on expiry the progress thread
+//! retransmits with capped exponential backoff (a retried get keeps its
+//! in-flight slot, so queue priority is preserved across retries).
+//! Mutating requests carry a per-(sender, receiver) contiguous sequence
+//! number and the server applies each at most once, answering duplicates
+//! from a compact dedup record — so an accumulate is never double
+//! applied even when a lost ack forces a resend. Late or duplicate
+//! completions (an eager get reply racing its own retry, a second
+//! `PutAck`) are counted no-ops, never panics.
 
 use crate::msg::Msg;
 use crate::transport::Transport;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -49,6 +62,15 @@ pub struct CommConfig {
     /// compute worker indices so merged Gantt charts show a distinct
     /// communication row per node.
     pub comm_worker: u32,
+    /// Initial per-request retransmission timeout. Far above any healthy
+    /// round trip (default 1 s), so fault-free runs never retry; chaos
+    /// tests shrink it to keep recovery fast.
+    pub retry_timeout: Duration,
+    /// Ceiling of the exponential retransmission backoff (default 4 s).
+    /// Retries continue indefinitely at this cadence — the fault model
+    /// is transient loss, and termination comes from the transport
+    /// eventually delivering, not from giving up.
+    pub retry_backoff_max: Duration,
 }
 
 impl Default for CommConfig {
@@ -57,6 +79,8 @@ impl Default for CommConfig {
             eager_threshold: 4096,
             max_inflight_gets: 4,
             comm_worker: 1000,
+            retry_timeout: Duration::from_secs(1),
+            retry_backoff_max: Duration::from_secs(4),
         }
     }
 }
@@ -77,6 +101,10 @@ struct CommStats {
     nxtvals: AtomicU64,
     eager_payloads: AtomicU64,
     rndv_payloads: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    dup_requests: AtomicU64,
+    dup_replies: AtomicU64,
 }
 
 /// Point-in-time copy of a rank's communication counters.
@@ -97,12 +125,56 @@ pub struct CommStatsSnap {
     /// (get replies on the server, puts/accs on the sender).
     pub eager_payloads: u64,
     pub rndv_payloads: u64,
+    /// Pending-operation deadlines that expired (one per retransmission
+    /// decision). Zero on a healthy network.
+    pub timeouts: u64,
+    /// Request frames retransmitted after a timeout.
+    pub retries: u64,
+    /// Duplicate requests this rank's server side detected and answered
+    /// without re-applying (the idempotency dedup at work).
+    pub dup_requests: u64,
+    /// Late or duplicate completions (replies/acks whose pending entry
+    /// was already gone) absorbed as no-ops.
+    pub dup_replies: u64,
+}
+
+/// Deadline state of one retryable in-flight request.
+struct Retry {
+    deadline: Instant,
+    backoff: Duration,
+}
+
+impl Retry {
+    fn new(cfg: &CommConfig) -> Self {
+        Self {
+            deadline: Instant::now() + cfg.retry_timeout,
+            backoff: cfg.retry_timeout,
+        }
+    }
+
+    /// If the deadline passed, double the (capped) backoff, re-arm, and
+    /// report that a retransmission is due.
+    fn due(&mut self, now: Instant, cap: Duration) -> bool {
+        if now < self.deadline {
+            return false;
+        }
+        self.backoff = (self.backoff * 2).min(cap);
+        self.deadline = now + self.backoff;
+        true
+    }
 }
 
 struct PendingGet {
     peer: usize,
     posted_ns: u64,
     cb: GetCallback,
+    array: u32,
+    offset: u64,
+    len: u64,
+    /// `None` while the request still sits in the priority queue; armed
+    /// when the request is actually launched at its peer.
+    retry: Option<Retry>,
+    retries: u32,
 }
 
 struct QueuedGet {
@@ -136,6 +208,35 @@ impl Ord for QueuedGet {
 struct PeerGets {
     inflight: usize,
     queue: BinaryHeap<QueuedGet>,
+}
+
+/// Server-side at-most-once record for one requesting peer. Sequence
+/// numbers per (sender, receiver) pair are allocated contiguously and
+/// every one is retransmitted until acknowledged, so the applied set
+/// compacts to a watermark plus the out-of-order frontier.
+#[derive(Default)]
+struct PeerDedup {
+    /// Every seq below this has been applied.
+    contig: u64,
+    /// Applied seqs at or above `contig`, compacted as the prefix fills.
+    seen: BTreeSet<u64>,
+    /// NXTVAL values by seq, retained so a duplicate request re-receives
+    /// the value its original draw took (bounded by nxtvals served).
+    vals: HashMap<u64, i64>,
+}
+
+impl PeerDedup {
+    /// Record `seq`; `false` when it was already applied (duplicate).
+    fn fresh(&mut self, seq: u64) -> bool {
+        if seq < self.contig || self.seen.contains(&seq) {
+            return false;
+        }
+        self.seen.insert(seq);
+        while self.seen.remove(&self.contig) {
+            self.contig += 1;
+        }
+        true
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -174,52 +275,99 @@ struct AckWait {
     eager: bool,
     posted_ns: u64,
     waiter: Option<Arc<FlagSlot>>,
+    peer: usize,
+    /// Frame to retransmit on timeout: the full eager message, or the
+    /// RTS for rendezvous (the parked payload re-flows via CTS).
+    resend: Msg,
+    retry: Retry,
+    retries: u32,
 }
 
 /// Outbound rendezvous payload parked until the target's clear-to-send.
+/// Retained until the final ack so a duplicated or re-triggered CTS can
+/// always be answered; [`Inner::finish_ack`] garbage-collects it.
 struct RndvOut {
     peer: usize,
     msg: Msg,
+}
+
+/// Parked `NXTVAL` caller: the progress thread deposits the counter
+/// value and signals.
+type NxtvalSlot = Arc<(Mutex<Option<i64>>, Condvar)>;
+
+struct NxtvalWait {
+    slot: NxtvalSlot,
+    peer: usize,
+    resend: Msg,
+    retry: Retry,
 }
 
 #[derive(Default)]
 struct BarrierState {
     next: u64,
     released: u64,
-    /// Rank 0 only: entries seen per epoch.
-    entered: HashMap<u64, usize>,
+    /// Local barrier entries awaiting release, with retransmit state.
+    enters: HashMap<u64, Retry>,
+    /// Rank 0 only: distinct ranks seen per pending epoch.
+    entered: HashMap<u64, HashSet<u32>>,
+    /// Rank 0 only: highest epoch already released; a late re-entry for
+    /// it means the release frame was lost — resend to that rank alone.
+    last_released: u64,
 }
 
-/// Interned communication class ids of an endpoint trace.
+/// Interned communication class ids of an endpoint trace, indexed
+/// `[retransmitted][eager]`.
 struct TraceIds {
-    get: [u16; 2],
-    put: [u16; 2],
-    acc: [u16; 2],
+    get: [[u16; 2]; 2],
+    put: [[u16; 2]; 2],
+    acc: [[u16; 2]; 2],
 }
 
 fn fresh_trace() -> (Trace, TraceIds) {
     let mut t = Trace::new();
+    let mut quad = |name: &str| {
+        [
+            [
+                t.class(
+                    &format!("{name}_RNDV"),
+                    ActivityKind::Comm {
+                        eager: false,
+                        retrans: false,
+                    },
+                ),
+                t.class(
+                    &format!("{name}_EAGER"),
+                    ActivityKind::Comm {
+                        eager: true,
+                        retrans: false,
+                    },
+                ),
+            ],
+            [
+                t.class(
+                    &format!("{name}_RNDV_RETRY"),
+                    ActivityKind::Comm {
+                        eager: false,
+                        retrans: true,
+                    },
+                ),
+                t.class(
+                    &format!("{name}_EAGER_RETRY"),
+                    ActivityKind::Comm {
+                        eager: true,
+                        retrans: true,
+                    },
+                ),
+            ],
+        ]
+    };
     let ids = TraceIds {
-        // Index 0 = rendezvous, 1 = eager.
-        get: [
-            t.class("GET_RNDV", ActivityKind::Comm { eager: false }),
-            t.class("GET_EAGER", ActivityKind::Comm { eager: true }),
-        ],
-        put: [
-            t.class("PUT_RNDV", ActivityKind::Comm { eager: false }),
-            t.class("PUT_EAGER", ActivityKind::Comm { eager: true }),
-        ],
-        acc: [
-            t.class("ACC_RNDV", ActivityKind::Comm { eager: false }),
-            t.class("ACC_EAGER", ActivityKind::Comm { eager: true }),
-        ],
+        get: quad("GET"),
+        put: quad("PUT"),
+        acc: quad("ACC"),
     };
     (t, ids)
 }
-
-/// Parked `NXTVAL` caller: the progress thread deposits the counter
-/// value and signals.
-type NxtvalWait = Arc<(Mutex<Option<i64>>, Condvar)>;
 
 struct Inner {
     transport: Box<dyn Transport>,
@@ -229,6 +377,9 @@ struct Inner {
     nranks: usize,
     t0: Instant,
     token: AtomicU64,
+    /// Next sequence number per target rank (mutating requests only);
+    /// contiguity per pair is what lets the server compact its record.
+    seq_tx: Vec<AtomicU64>,
     shutdown: AtomicBool,
     counter: AtomicI64,
     pending_gets: Mutex<HashMap<u64, PendingGet>>,
@@ -237,6 +388,8 @@ struct Inner {
     // Keyed by (requesting rank, its token): tokens are allocated
     // independently on every rank, so alone they collide across peers.
     rndv_serve: Mutex<HashMap<(usize, u64), Vec<f64>>>,
+    /// Server-side at-most-once records, one per requesting rank.
+    dedup: Mutex<Vec<PeerDedup>>,
     acks: Mutex<HashMap<u64, AckWait>>,
     vals: Mutex<HashMap<u64, NxtvalWait>>,
     outstanding: Mutex<u64>,
@@ -271,12 +424,14 @@ impl Endpoint {
             nranks,
             t0: Instant::now(),
             token: AtomicU64::new(1),
+            seq_tx: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
             shutdown: AtomicBool::new(false),
             counter: AtomicI64::new(0),
             pending_gets: Mutex::new(HashMap::new()),
             get_state: Mutex::new((0..nranks).map(|_| PeerGets::default()).collect()),
             rndv_out: Mutex::new(HashMap::new()),
             rndv_serve: Mutex::new(HashMap::new()),
+            dedup: Mutex::new((0..nranks).map(|_| PeerDedup::default()).collect()),
             acks: Mutex::new(HashMap::new()),
             vals: Mutex::new(HashMap::new()),
             outstanding: Mutex::new(0),
@@ -345,6 +500,11 @@ impl Endpoint {
                 peer,
                 posted_ns: i.now_ns(),
                 cb,
+                array,
+                offset: offset as u64,
+                len: len as u64,
+                retry: None,
+                retries: 0,
             },
         );
         let launch = {
@@ -366,15 +526,7 @@ impl Endpoint {
             }
         };
         if launch {
-            i.post(
-                peer,
-                &Msg::Get {
-                    token,
-                    array,
-                    offset: offset as u64,
-                    len: len as u64,
-                },
-            );
+            i.launch_get(peer, token, array, offset as u64, len as u64);
         }
     }
 
@@ -405,19 +557,19 @@ impl Endpoint {
         let i = &self.inner;
         i.stats.puts.fetch_add(1, Ordering::Relaxed);
         let token = i.token.fetch_add(1, Ordering::Relaxed);
+        let seq = i.seq_tx[peer].fetch_add(1, Ordering::Relaxed);
         let eager = data.len() * 8 <= i.cfg.eager_threshold;
         let slot = FlagSlot::new();
-        i.begin_ack(token, AckKind::Put, eager, Some(slot.clone()));
         if eager {
-            i.post(
-                peer,
-                &Msg::Put {
-                    token,
-                    array,
-                    offset: offset as u64,
-                    data: data.to_vec(),
-                },
-            );
+            let msg = Msg::Put {
+                token,
+                seq,
+                array,
+                offset: offset as u64,
+                data: data.to_vec(),
+            };
+            i.begin_ack(token, peer, AckKind::Put, eager, Some(slot.clone()), &msg);
+            i.post(peer, &msg);
         } else {
             i.rndv_out.lock().unwrap().insert(
                 token,
@@ -425,21 +577,21 @@ impl Endpoint {
                     peer,
                     msg: Msg::PutData {
                         token,
+                        seq,
                         array,
                         offset: offset as u64,
                         data: data.to_vec(),
                     },
                 },
             );
-            i.post(
-                peer,
-                &Msg::PutRts {
-                    token,
-                    array,
-                    offset: offset as u64,
-                    len: data.len() as u64,
-                },
-            );
+            let rts = Msg::PutRts {
+                token,
+                array,
+                offset: offset as u64,
+                len: data.len() as u64,
+            };
+            i.begin_ack(token, peer, AckKind::Put, eager, Some(slot.clone()), &rts);
+            i.post(peer, &rts);
         }
         slot.wait();
     }
@@ -450,19 +602,19 @@ impl Endpoint {
         let i = &self.inner;
         i.stats.accs.fetch_add(1, Ordering::Relaxed);
         let token = i.token.fetch_add(1, Ordering::Relaxed);
+        let seq = i.seq_tx[peer].fetch_add(1, Ordering::Relaxed);
         let eager = data.len() * 8 <= i.cfg.eager_threshold;
-        i.begin_ack(token, AckKind::Acc, eager, None);
         if eager {
-            i.post(
-                peer,
-                &Msg::Acc {
-                    token,
-                    array,
-                    offset: offset as u64,
-                    alpha,
-                    data: data.to_vec(),
-                },
-            );
+            let msg = Msg::Acc {
+                token,
+                seq,
+                array,
+                offset: offset as u64,
+                alpha,
+                data: data.to_vec(),
+            };
+            i.begin_ack(token, peer, AckKind::Acc, eager, None, &msg);
+            i.post(peer, &msg);
         } else {
             i.rndv_out.lock().unwrap().insert(
                 token,
@@ -470,6 +622,7 @@ impl Endpoint {
                     peer,
                     msg: Msg::AccData {
                         token,
+                        seq,
                         array,
                         offset: offset as u64,
                         alpha,
@@ -477,15 +630,14 @@ impl Endpoint {
                     },
                 },
             );
-            i.post(
-                peer,
-                &Msg::AccRts {
-                    token,
-                    array,
-                    offset: offset as u64,
-                    len: data.len() as u64,
-                },
-            );
+            let rts = Msg::AccRts {
+                token,
+                array,
+                offset: offset as u64,
+                len: data.len() as u64,
+            };
+            i.begin_ack(token, peer, AckKind::Acc, eager, None, &rts);
+            i.post(peer, &rts);
         }
     }
 
@@ -498,9 +650,19 @@ impl Endpoint {
             return i.counter.fetch_add(1, Ordering::Relaxed);
         }
         let token = i.token.fetch_add(1, Ordering::Relaxed);
+        let seq = i.seq_tx[owner].fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new((Mutex::new(None::<i64>), Condvar::new()));
-        i.vals.lock().unwrap().insert(token, slot.clone());
-        i.post(owner, &Msg::NxtVal { token });
+        let msg = Msg::NxtVal { token, seq };
+        i.vals.lock().unwrap().insert(
+            token,
+            NxtvalWait {
+                slot: slot.clone(),
+                peer: owner,
+                resend: msg.clone(),
+                retry: Retry::new(&i.cfg),
+            },
+        );
+        i.post(owner, &msg);
         let mut got = slot.0.lock().unwrap();
         while got.is_none() {
             got = slot.1.cv_wait(got);
@@ -518,9 +680,11 @@ impl Endpoint {
             return;
         }
         let token = i.token.fetch_add(1, Ordering::Relaxed);
+        let seq = i.seq_tx[owner].fetch_add(1, Ordering::Relaxed);
         let slot = FlagSlot::new();
-        i.begin_ack(token, AckKind::Reset, true, Some(slot.clone()));
-        i.post(owner, &Msg::NxtValReset { token });
+        let msg = Msg::NxtValReset { token, seq };
+        i.begin_ack(token, owner, AckKind::Reset, true, Some(slot.clone()), &msg);
+        i.post(owner, &msg);
         slot.wait();
     }
 
@@ -540,7 +704,9 @@ impl Endpoint {
         let epoch = {
             let mut b = i.barrier.lock().unwrap();
             b.next += 1;
-            b.next
+            let epoch = b.next;
+            b.enters.insert(epoch, Retry::new(&i.cfg));
+            epoch
         };
         i.post(
             0,
@@ -576,6 +742,10 @@ impl Endpoint {
             nxtvals: s.nxtvals.load(Ordering::Relaxed),
             eager_payloads: s.eager_payloads.load(Ordering::Relaxed),
             rndv_payloads: s.rndv_payloads.load(Ordering::Relaxed),
+            timeouts: s.timeouts.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            dup_requests: s.dup_requests.load(Ordering::Relaxed),
+            dup_replies: s.dup_replies.load(Ordering::Relaxed),
         }
     }
 
@@ -633,7 +803,33 @@ impl Inner {
         self.transport.send(to, body);
     }
 
-    fn begin_ack(&self, token: u64, kind: AckKind, eager: bool, waiter: Option<Arc<FlagSlot>>) {
+    /// Arm the retry deadline of a (possibly queued-then-launched) get
+    /// and send the request. The pending entry may already be gone if a
+    /// reply raced us — then there is nothing to launch.
+    fn launch_get(&self, peer: usize, token: u64, array: u32, offset: u64, len: u64) {
+        if let Some(pg) = self.pending_gets.lock().unwrap().get_mut(&token) {
+            pg.retry = Some(Retry::new(&self.cfg));
+        }
+        self.post(
+            peer,
+            &Msg::Get {
+                token,
+                array,
+                offset,
+                len,
+            },
+        );
+    }
+
+    fn begin_ack(
+        &self,
+        token: u64,
+        peer: usize,
+        kind: AckKind,
+        eager: bool,
+        waiter: Option<Arc<FlagSlot>>,
+        resend: &Msg,
+    ) {
         self.acks.lock().unwrap().insert(
             token,
             AckWait {
@@ -641,12 +837,16 @@ impl Inner {
                 eager,
                 posted_ns: self.now_ns(),
                 waiter,
+                peer,
+                resend: resend.clone(),
+                retry: Retry::new(&self.cfg),
+                retries: 0,
             },
         );
         if kind != AckKind::Reset {
             *self.outstanding.lock().unwrap() += 1;
+            self.count_payload(eager);
         }
-        self.count_payload(eager);
     }
 
     fn count_payload(&self, eager: bool) {
@@ -658,7 +858,16 @@ impl Inner {
     }
 
     fn progress_loop(self: Arc<Self>) {
+        // Timeout scans are throttled: with the default 1 s retry window
+        // the scan runs every 250 ms, so the fault-free fast path pays
+        // one `Instant::now` comparison per frame.
+        let scan_every = (self.cfg.retry_timeout / 4).max(Duration::from_millis(1));
+        let mut last_scan = Instant::now();
         while !self.shutdown.load(Ordering::SeqCst) {
+            if last_scan.elapsed() >= scan_every {
+                self.check_timeouts();
+                last_scan = Instant::now();
+            }
             let Some((from, body)) = self.transport.recv_timeout(Duration::from_micros(200)) else {
                 continue;
             };
@@ -671,6 +880,73 @@ impl Inner {
         }
     }
 
+    /// Retransmit every pending request whose deadline expired. Clones
+    /// are collected under each lock and sent after release, so a slow
+    /// transport write never blocks application threads posting ops.
+    fn check_timeouts(&self) {
+        let now = Instant::now();
+        let cap = self.cfg.retry_backoff_max;
+        let mut resend: Vec<(usize, Msg)> = Vec::new();
+        for (&token, pg) in self.pending_gets.lock().unwrap().iter_mut() {
+            if let Some(r) = &mut pg.retry {
+                if r.due(now, cap) {
+                    pg.retries += 1;
+                    resend.push((
+                        pg.peer,
+                        Msg::Get {
+                            token,
+                            array: pg.array,
+                            offset: pg.offset,
+                            len: pg.len,
+                        },
+                    ));
+                }
+            }
+        }
+        for ack in self.acks.lock().unwrap().values_mut() {
+            if ack.retry.due(now, cap) {
+                ack.retries += 1;
+                resend.push((ack.peer, ack.resend.clone()));
+            }
+        }
+        for nv in self.vals.lock().unwrap().values_mut() {
+            if nv.retry.due(now, cap) {
+                resend.push((nv.peer, nv.resend.clone()));
+            }
+        }
+        {
+            let mut b = self.barrier.lock().unwrap();
+            let released = b.released;
+            let from = self.rank as u32;
+            for (&epoch, r) in b.enters.iter_mut() {
+                if epoch > released && r.due(now, cap) {
+                    resend.push((0, Msg::BarrierEnter { epoch, from }));
+                }
+            }
+        }
+        if !resend.is_empty() {
+            let n = resend.len() as u64;
+            self.stats.timeouts.fetch_add(n, Ordering::Relaxed);
+            self.stats.retries.fetch_add(n, Ordering::Relaxed);
+            for (to, msg) in &resend {
+                self.post(*to, msg);
+            }
+        }
+    }
+
+    /// Record `seq` from `from` in the dedup table; `false` on duplicate.
+    fn dedup_fresh(&self, from: usize, seq: u64) -> bool {
+        let fresh = self.dedup.lock().unwrap()[from].fresh(seq);
+        if !fresh {
+            self.stats.dup_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    fn dup_reply(&self) {
+        self.stats.dup_replies.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn handle(&self, from: usize, msg: Msg) {
         match msg {
             // ---- serving side: one-sided ops against the local shard ----
@@ -680,6 +956,10 @@ impl Inner {
                 offset,
                 len,
             } => {
+                // Reads are idempotent: a retransmitted Get simply reads
+                // again. A rendezvous re-announce overwrites the parked
+                // payload under the same (peer, token) key, so retried
+                // tokens never leak server state.
                 let data = self.store.read(array, offset as usize, len as usize);
                 if data.len() * 8 <= self.cfg.eager_threshold {
                     self.count_payload(true);
@@ -692,32 +972,39 @@ impl Inner {
                 }
             }
             Msg::GetPull { token } => {
-                let data = self
-                    .rndv_serve
-                    .lock()
-                    .unwrap()
-                    .remove(&(from, token))
-                    .expect("pull for unknown rendezvous");
-                self.post(from, &Msg::GetReplyData { token, data });
+                // A duplicate pull (its payload already served) is a
+                // counted no-op; the requester's own retry machinery
+                // recovers if the served payload was the one lost.
+                match self.rndv_serve.lock().unwrap().remove(&(from, token)) {
+                    Some(data) => self.post(from, &Msg::GetReplyData { token, data }),
+                    None => {
+                        self.stats.dup_requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
             Msg::Put {
                 token,
+                seq,
                 array,
                 offset,
                 data,
             }
             | Msg::PutData {
                 token,
+                seq,
                 array,
                 offset,
                 data,
             } => {
-                self.store.write(array, offset as usize, &data);
+                if self.dedup_fresh(from, seq) {
+                    self.store.write(array, offset as usize, &data);
+                }
                 self.post(from, &Msg::PutAck { token });
             }
             Msg::PutRts { token, .. } => self.post(from, &Msg::PutCts { token }),
             Msg::Acc {
                 token,
+                seq,
                 array,
                 offset,
                 alpha,
@@ -725,32 +1012,63 @@ impl Inner {
             }
             | Msg::AccData {
                 token,
+                seq,
                 array,
                 offset,
                 alpha,
                 data,
             } => {
-                self.store.accumulate(array, offset as usize, &data, alpha);
+                // The dedup gate is what makes retry safe here: an
+                // accumulate applied twice is silent numerical corruption.
+                if self.dedup_fresh(from, seq) {
+                    self.store.accumulate(array, offset as usize, &data, alpha);
+                }
                 self.post(from, &Msg::AccAck { token });
             }
             Msg::AccRts { token, .. } => self.post(from, &Msg::AccCts { token }),
-            Msg::NxtVal { token } => {
-                let value = self.counter.fetch_add(1, Ordering::Relaxed);
+            Msg::NxtVal { token, seq } => {
+                // Each (peer, seq) draws the counter exactly once; a
+                // duplicate request re-receives the recorded value.
+                let value = {
+                    let mut dedup = self.dedup.lock().unwrap();
+                    let d = &mut dedup[from];
+                    if d.fresh(seq) {
+                        let v = self.counter.fetch_add(1, Ordering::Relaxed);
+                        d.vals.insert(seq, v);
+                        v
+                    } else {
+                        self.stats.dup_requests.fetch_add(1, Ordering::Relaxed);
+                        *d.vals.get(&seq).expect("duplicate nxtval without value")
+                    }
+                };
                 self.post(from, &Msg::NxtValReply { token, value });
             }
-            Msg::NxtValReset { token } => {
-                self.counter.store(0, Ordering::Relaxed);
+            Msg::NxtValReset { token, seq } => {
+                if self.dedup_fresh(from, seq) {
+                    self.counter.store(0, Ordering::Relaxed);
+                }
                 self.post(from, &Msg::ResetAck { token });
             }
-            Msg::BarrierEnter { epoch, from: _ } => {
+            Msg::BarrierEnter { epoch, from: who } => {
                 debug_assert_eq!(self.rank, 0, "barrier counter lives on rank 0");
                 let full = {
                     let mut b = self.barrier.lock().unwrap();
-                    let n = b.entered.entry(epoch).or_insert(0);
-                    *n += 1;
-                    let full = *n == self.nranks;
+                    if epoch <= b.last_released {
+                        // Late retransmission: the release toward `who`
+                        // was lost. Re-release to that rank alone.
+                        self.stats.dup_requests.fetch_add(1, Ordering::Relaxed);
+                        drop(b);
+                        self.post(who as usize, &Msg::BarrierRelease { epoch });
+                        return;
+                    }
+                    let set = b.entered.entry(epoch).or_default();
+                    if !set.insert(who) {
+                        self.stats.dup_requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let full = set.len() == self.nranks;
                     if full {
                         b.entered.remove(&epoch);
+                        b.last_released = b.last_released.max(epoch);
                     }
                     full
                 };
@@ -763,50 +1081,59 @@ impl Inner {
             Msg::BarrierRelease { epoch } => {
                 let mut b = self.barrier.lock().unwrap();
                 b.released = b.released.max(epoch);
+                let released = b.released;
+                b.enters.retain(|&e, _| e > released);
                 self.barrier_cv.notify_all();
             }
 
             // ---- requesting side: completions of our own posts ----
             Msg::GetReplyEager { token, data } => self.finish_get(token, data, true),
-            Msg::GetReplyRndv { token, .. } => self.post(from, &Msg::GetPull { token }),
+            Msg::GetReplyRndv { token, .. } => {
+                // Pull even when no get is pending: an announce from a
+                // retransmitted request whose first round already
+                // completed still parked a payload at the server — the
+                // pull garbage-collects it (and its data lands as a
+                // counted duplicate below).
+                if !self.pending_gets.lock().unwrap().contains_key(&token) {
+                    self.dup_reply();
+                }
+                self.post(from, &Msg::GetPull { token });
+            }
             Msg::GetReplyData { token, data } => self.finish_get(token, data, false),
             Msg::PutCts { token } | Msg::AccCts { token } => {
-                let out = self
-                    .rndv_out
-                    .lock()
-                    .unwrap()
-                    .remove(&token)
-                    .expect("CTS for unknown rendezvous");
-                self.post(out.peer, &out.msg);
+                // Entry retained until the final ack: a duplicated CTS
+                // re-sends the (dedup-protected) payload.
+                match self.rndv_out.lock().unwrap().get(&token) {
+                    Some(out) => self.post(out.peer, &out.msg),
+                    None => self.dup_reply(),
+                }
             }
             Msg::PutAck { token } | Msg::AccAck { token } | Msg::ResetAck { token } => {
                 self.finish_ack(token)
             }
-            Msg::NxtValReply { token, value } => {
-                let slot = self
-                    .vals
-                    .lock()
-                    .unwrap()
-                    .remove(&token)
-                    .expect("reply for unknown nxtval");
-                *slot.0.lock().unwrap() = Some(value);
-                slot.1.notify_all();
-            }
+            Msg::NxtValReply { token, value } => match self.vals.lock().unwrap().remove(&token) {
+                Some(nv) => {
+                    *nv.slot.0.lock().unwrap() = Some(value);
+                    nv.slot.1.notify_all();
+                }
+                None => self.dup_reply(),
+            },
         }
     }
 
     fn finish_get(&self, token: u64, data: Vec<f64>, eager: bool) {
-        let pg = self
-            .pending_gets
-            .lock()
-            .unwrap()
-            .remove(&token)
-            .expect("reply for unknown get");
+        // A late or duplicate reply (the original racing its own retry)
+        // finds no pending entry: counted, dropped, and crucially *not*
+        // double-freeing the in-flight slot.
+        let Some(pg) = self.pending_gets.lock().unwrap().remove(&token) else {
+            self.dup_reply();
+            return;
+        };
         let now = self.now_ns();
         self.get_lat.lock().unwrap().push(now - pg.posted_ns);
         {
             let mut t = self.trace.lock().unwrap();
-            let class = t.1.get[eager as usize];
+            let class = t.1.get[(pg.retries > 0) as usize][eager as usize];
             let row = WorkerId::new(self.rank as u32, self.cfg.comm_worker);
             t.0.push(row, class, pg.posted_ns, now);
         }
@@ -824,33 +1151,26 @@ impl Inner {
             }
         };
         if let Some(q) = next {
-            self.post(
-                pg.peer,
-                &Msg::Get {
-                    token: q.token,
-                    array: q.array,
-                    offset: q.offset,
-                    len: q.len,
-                },
-            );
+            self.launch_get(pg.peer, q.token, q.array, q.offset, q.len);
         }
         (pg.cb)(data);
     }
 
     fn finish_ack(&self, token: u64) {
-        let ack = self
-            .acks
-            .lock()
-            .unwrap()
-            .remove(&token)
-            .expect("ack for unknown op");
+        let Some(ack) = self.acks.lock().unwrap().remove(&token) else {
+            self.dup_reply();
+            return;
+        };
+        // Garbage-collect the parked rendezvous payload, if any.
+        self.rndv_out.lock().unwrap().remove(&token);
         if ack.kind != AckKind::Reset {
             let now = self.now_ns();
             {
                 let mut t = self.trace.lock().unwrap();
+                let retried = (ack.retries > 0) as usize;
                 let class = match ack.kind {
-                    AckKind::Put => t.1.put[ack.eager as usize],
-                    AckKind::Acc => t.1.acc[ack.eager as usize],
+                    AckKind::Put => t.1.put[retried][ack.eager as usize],
+                    AckKind::Acc => t.1.acc[retried][ack.eager as usize],
                     AckKind::Reset => unreachable!(),
                 };
                 let row = WorkerId::new(self.rank as u32, self.cfg.comm_worker);

@@ -25,6 +25,13 @@ pub struct SocketTransport {
     inbox: Arc<Inbox>,
     /// Write side per peer (`None` at our own index).
     writers: Vec<Option<Mutex<TcpStream>>>,
+    /// Peers whose connection failed on a write; frames toward them are
+    /// dropped (warned once). The progress engine treats frame loss as
+    /// recoverable, so a transient failure is retried above — while a
+    /// reply toward a peer that already finished and closed its sockets
+    /// (nothing pending on its side, by construction) dies here quietly
+    /// instead of panicking the progress thread.
+    dead: Vec<std::sync::atomic::AtomicBool>,
 }
 
 fn write_frame(s: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
@@ -77,17 +84,27 @@ impl SocketTransport {
         let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..nranks).map(|_| None).collect();
 
         // Dial every lower rank (their listeners bind before any dialing
-        // completes; retry covers start-up skew between processes).
+        // completes; retry covers start-up skew between processes). On
+        // deadline the error names the unreachable rank, so a 4-rank job
+        // with one dead process fails with "rank 2 unreachable", not a
+        // bare connection-refused.
         for (peer, slot) in writers.iter_mut().enumerate().take(rank) {
             let addr = ("127.0.0.1", base_port + peer as u16);
             let stream = loop {
                 match TcpStream::connect(addr) {
                     Ok(s) => break s,
-                    Err(e) if Instant::now() < deadline => {
-                        let _ = e;
-                        std::thread::sleep(Duration::from_millis(20));
+                    Err(e) if Instant::now() >= deadline => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!(
+                                "rank {peer} unreachable at 127.0.0.1:{} after {:.1?} \
+                                 (dialing from rank {rank}): {e}",
+                                base_port + peer as u16,
+                                timeout
+                            ),
+                        ));
                     }
-                    Err(e) => return Err(e),
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
                 }
             };
             stream.set_nodelay(true)?;
@@ -97,10 +114,35 @@ impl SocketTransport {
             *slot = Some(Mutex::new(stream));
         }
 
-        // Accept every higher rank; the hello byte says who dialed.
+        // Accept every higher rank; the hello byte says who dialed. The
+        // same deadline applies — a higher rank that never dials must not
+        // hang the mesh forever.
+        listener.set_nonblocking(true)?;
         for _ in rank + 1..nranks {
-            listener.set_nonblocking(false)?;
-            let (mut stream, _) = listener.accept()?;
+            let (mut stream, _) = loop {
+                match listener.accept() {
+                    Ok(x) => break x,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if Instant::now() >= deadline {
+                            let missing: Vec<String> = (rank + 1..nranks)
+                                .filter(|&p| writers[p].is_none())
+                                .map(|p| p.to_string())
+                                .collect();
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::TimedOut,
+                                format!(
+                                    "rank(s) {} never dialed rank {rank} within {:.1?}",
+                                    missing.join(", "),
+                                    timeout
+                                ),
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            stream.set_nonblocking(false)?;
             stream.set_nodelay(true)?;
             let mut hello = [0u8; 4];
             stream.read_exact(&mut hello)?;
@@ -118,6 +160,9 @@ impl SocketTransport {
             nranks,
             inbox,
             writers,
+            dead: (0..nranks)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
         })
     }
 }
@@ -139,7 +184,15 @@ impl Transport for SocketTransport {
             .expect("no connection to peer")
             .lock()
             .unwrap();
-        write_frame(&mut s, &frame).expect("peer connection lost");
+        if let Err(e) = write_frame(&mut s, &frame) {
+            use std::sync::atomic::Ordering;
+            if !self.dead[to].swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "comm rank {}: dropping frames to rank {to}, connection lost: {e}",
+                    self.rank
+                );
+            }
+        }
     }
     fn recv_timeout(&self, timeout: Duration) -> Option<(usize, Vec<u8>)> {
         self.inbox.pop_timeout(timeout)
@@ -174,5 +227,33 @@ mod tests {
         assert_eq!((from, frame), (1, vec![42, 43]));
         t0.send(1, vec![7]);
         assert_eq!(h1.join().unwrap(), (0, vec![7]));
+    }
+
+    /// Dialing a rank that never comes up fails at the deadline with an
+    /// error naming the unreachable rank, not a bare connection-refused.
+    #[test]
+    fn dial_deadline_names_unreachable_rank() {
+        let base = 26000 + (std::process::id() % 500) as u16 * 8;
+        let err = match SocketTransport::connect(1, 2, base, Duration::from_millis(150)) {
+            Ok(_) => panic!("connect must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        let msg = err.to_string();
+        assert!(msg.contains("rank 0 unreachable"), "got: {msg}");
+    }
+
+    /// The accept side times out too: a higher rank that never dials must
+    /// not hang the mesh, and the error says who is missing.
+    #[test]
+    fn accept_deadline_names_missing_rank() {
+        let base = 30100 + (std::process::id() % 500) as u16 * 8;
+        let err = match SocketTransport::connect(0, 2, base, Duration::from_millis(150)) {
+            Ok(_) => panic!("connect must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        let msg = err.to_string();
+        assert!(msg.contains("rank(s) 1 never dialed"), "got: {msg}");
     }
 }

@@ -1,7 +1,8 @@
 //! Property tests for the wire codec: every message type round-trips,
 //! payload sizes straddling the eager threshold survive intact, and
-//! damaged frames (truncated or padded) are rejected rather than
-//! misparsed.
+//! damaged frames (truncated, padded, bit-flipped, or outright random)
+//! are rejected with an error rather than misparsed or panicking — the
+//! decode path is what every chaos-injected frame flows through.
 
 use comm::msg::Msg;
 use proptest::collection;
@@ -22,10 +23,10 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
     (
         (any::<u8>(), any::<u64>(), any::<u32>()),
         (any::<u64>(), any::<u64>(), any::<f64>()),
-        (any::<i64>(), arb_payload()),
+        (any::<i64>(), arb_payload(), any::<u64>()),
     )
         .prop_map(
-            |((which, token, array), (offset, len, alpha), (value, data))| match which % 21 {
+            |((which, token, array), (offset, len, alpha), (value, data, seq))| match which % 21 {
                 0 => Msg::Get {
                     token,
                     array,
@@ -38,6 +39,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 4 => Msg::GetReplyData { token, data },
                 5 => Msg::Put {
                     token,
+                    seq,
                     array,
                     offset,
                     data,
@@ -51,6 +53,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 7 => Msg::PutCts { token },
                 8 => Msg::PutData {
                     token,
+                    seq,
                     array,
                     offset,
                     data,
@@ -58,6 +61,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 9 => Msg::PutAck { token },
                 10 => Msg::Acc {
                     token,
+                    seq,
                     array,
                     offset,
                     alpha,
@@ -72,15 +76,16 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 12 => Msg::AccCts { token },
                 13 => Msg::AccData {
                     token,
+                    seq,
                     array,
                     offset,
                     alpha,
                     data,
                 },
                 14 => Msg::AccAck { token },
-                15 => Msg::NxtVal { token },
+                15 => Msg::NxtVal { token, seq },
                 16 => Msg::NxtValReply { token, value },
-                17 => Msg::NxtValReset { token },
+                17 => Msg::NxtValReset { token, seq },
                 18 => Msg::ResetAck { token },
                 19 => Msg::BarrierEnter {
                     epoch: len,
@@ -117,6 +122,40 @@ proptest! {
     fn trailing_bytes_are_rejected(msg in arb_msg(), junk in any::<u8>()) {
         let mut frame = msg.encode();
         frame.push(junk);
+        prop_assert!(Msg::decode(&frame).is_err());
+    }
+
+    /// Flipping any single byte of a valid frame never panics: decode
+    /// either errors or yields some (different or equal) message — it
+    /// must not abort the progress thread. Field-value corruption can be
+    /// undetectable (there is no checksum, by design: TCP provides one),
+    /// but structural corruption (tag, counts) must fail cleanly.
+    #[test]
+    fn byte_flip_never_panics(msg in arb_msg(), pos in any::<u64>(), flip in 1..=255u8) {
+        let mut frame = msg.encode();
+        let pos = (pos % frame.len() as u64) as usize;
+        frame[pos] ^= flip;
+        let _ = Msg::decode(&frame); // must return, not panic
+    }
+
+    /// Entirely arbitrary byte strings never panic the decoder, and the
+    /// corrupt-count guard keeps it from allocating absurd buffers.
+    #[test]
+    fn random_bytes_never_panic(bytes in collection::vec(any::<u8>(), 0..256)) {
+        let _ = Msg::decode(&bytes); // must return, not panic
+    }
+
+    /// A corrupted payload count in a data-carrying frame is always an
+    /// error (the count no longer matches the bytes present).
+    #[test]
+    fn corrupt_count_is_rejected(data in arb_payload(), bogus in any::<u64>()) {
+        let msg = Msg::GetReplyEager { token: 1, data };
+        let mut frame = msg.encode();
+        // The count is the 8 bytes right after tag + token.
+        let count_at = 1 + 8;
+        let real = u64::from_le_bytes(frame[count_at..count_at + 8].try_into().unwrap());
+        let bogus = real ^ (bogus | 1); // xor with nonzero: always != real
+        frame[count_at..count_at + 8].copy_from_slice(&bogus.to_le_bytes());
         prop_assert!(Msg::decode(&frame).is_err());
     }
 }

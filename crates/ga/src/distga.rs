@@ -8,7 +8,7 @@
 
 use crate::dist::Distribution;
 use comm::{Endpoint, ShardStore};
-use parking_lot::Mutex;
+use parking_lot::{Condvar as PlCondvar, Mutex};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 struct DistArray {
@@ -24,6 +24,7 @@ pub struct DistStore {
     rank: usize,
     nranks: usize,
     arrays: Mutex<Vec<Arc<DistArray>>>,
+    created: PlCondvar,
 }
 
 impl DistStore {
@@ -34,6 +35,7 @@ impl DistStore {
             rank,
             nranks,
             arrays: Mutex::new(Vec::new()),
+            created: PlCondvar::new(),
         })
     }
 
@@ -50,11 +52,31 @@ impl DistStore {
         let shard = Mutex::new(vec![0.0; dist.range_of(self.rank).len()]);
         let mut arrays = self.arrays.lock();
         arrays.push(Arc::new(DistArray { dist, shard }));
+        self.created.notify_all();
         arrays.len() - 1
     }
 
     fn array(&self, h: usize) -> Arc<DistArray> {
-        self.arrays.lock()[h].clone()
+        let mut arrays = self.arrays.lock();
+        // Creates are collective by convention but not synchronized: a
+        // remote request can reach the progress thread before this
+        // rank's application thread has made the matching `create`.
+        // The request itself proves the create is coming, so wait for
+        // it rather than indexing past the end.
+        while arrays.len() <= h {
+            if self
+                .created
+                .wait_for(&mut arrays, std::time::Duration::from_secs(30))
+                .timed_out()
+            {
+                panic!(
+                    "array {h} never created on rank {} ({} exist)",
+                    self.rank,
+                    arrays.len()
+                );
+            }
+        }
+        arrays[h].clone()
     }
 
     pub(crate) fn dist_of(&self, h: usize) -> Distribution {

@@ -1,7 +1,8 @@
 //! The distributed backend run as real multi-rank executions (ranks as
 //! threads over the loopback transport): the full `Ga` API — collective
 //! create/materialize, cross-rank get/acc, the shared NXTVAL counter —
-//! must behave exactly like the in-process backend.
+//! must behave exactly like the in-process backend, including when the
+//! transport underneath injects faults.
 
 use global_arrays::{DistStore, Ga};
 use std::sync::Arc;
@@ -26,6 +27,50 @@ fn run_ranks<T: Send + 'static>(
                     comm::Endpoint::spawn(Box::new(t), store.clone(), comm::CommConfig::default());
                 let ga = Arc::new(Ga::init_dist(ep.clone(), store));
                 let out = f(ga.clone());
+                ga.sync();
+                ep.shutdown();
+                out
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// As [`run_ranks`], but over [`comm::FaultTransport`] with a named
+/// chaos schedule: the GA semantics must hold anyway. Ranks disarm their
+/// injectors after the workload so the final collective teardown cannot
+/// lose its own release frames.
+fn run_ranks_chaos<T: Send + 'static>(
+    n: usize,
+    name: &str,
+    seed: u64,
+    f: impl Fn(Arc<Ga>) -> T + Send + Sync + 'static,
+) -> Vec<T> {
+    use comm::fault::{FaultPlan, FaultTransport};
+    let f = Arc::new(f);
+    let handles: Vec<_> = comm::loopback(n)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, t)| {
+            let f = f.clone();
+            let plan = FaultPlan::named(name, seed.wrapping_add(rank as u64))
+                .unwrap_or_else(|| panic!("unknown schedule {name}"));
+            let ft = FaultTransport::new(Box::new(t), plan);
+            let armed = ft.armed_handle();
+            std::thread::spawn(move || {
+                let store = DistStore::new(rank, n);
+                let cfg = comm::CommConfig {
+                    // Tiny arrays: a 64-byte threshold still pushes the
+                    // assembly gets through the rendezvous path.
+                    eager_threshold: 64,
+                    retry_timeout: Duration::from_millis(20),
+                    retry_backoff_max: Duration::from_millis(80),
+                    ..comm::CommConfig::default()
+                };
+                let ep = comm::Endpoint::spawn(Box::new(ft), store.clone(), cfg);
+                let ga = Arc::new(Ga::init_dist(ep.clone(), store));
+                let out = f(ga.clone());
+                armed.store(false, std::sync::atomic::Ordering::SeqCst);
                 ga.sync();
                 ep.shutdown();
                 out
@@ -154,5 +199,42 @@ fn async_get_feeds_callback_with_assembled_range() {
     });
     for d in got {
         assert_eq!(d, vec![20.0, 30.0, 40.0, 50.0, 60.0]);
+    }
+}
+
+/// GA semantics survive a misbehaving transport: collective fills,
+/// all-rank accumulates, multi-owner assembly gets and the shared
+/// counter all land on exactly the fault-free answer under drop,
+/// duplicate and reorder schedules.
+#[test]
+fn ga_semantics_survive_faulty_transport() {
+    for (i, name) in ["drop", "duplicate", "reorder"].iter().enumerate() {
+        let seed = 0x6A00 + i as u64;
+        let replay = format!("ga chaos `{name}` seed {seed}");
+        let results = run_ranks_chaos(4, name, seed, |ga| {
+            let h = ga.create(16); // 4 elements per rank
+            let fill: Vec<f64> = (0..16).map(|x| x as f64 * 10.0).collect();
+            ga.put_collective(h, 0, &fill);
+            ga.sync();
+            // Every rank accumulates across every shard boundary.
+            ga.acc(h, 0, &[1.0; 16], 2.0);
+            ga.sync();
+            // Multi-owner assembly: one get spanning all four shards.
+            let all = ga.get(h, 0, 16);
+            let draws: Vec<i64> = (0..6).map(|_| ga.nxtval()).collect();
+            (all, draws)
+        });
+        let want: Vec<f64> = (0..16).map(|x| x as f64 * 10.0 + 2.0 * 4.0).collect();
+        let mut draws: Vec<i64> = Vec::new();
+        for (all, d) in results {
+            assert_eq!(all, want, "assembled get diverged: {replay}");
+            draws.extend(d);
+        }
+        draws.sort_unstable();
+        assert_eq!(
+            draws,
+            (0..24).collect::<Vec<i64>>(),
+            "NXTVAL handed out a value twice: {replay}"
+        );
     }
 }

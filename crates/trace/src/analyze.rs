@@ -141,6 +141,11 @@ pub struct NodeOverlap {
     /// Portion of `comm` during which at least one compute span was active
     /// on the same node.
     pub overlapped: Ns,
+    /// Portion of `comm` spent on operations that needed retransmission
+    /// (spans tagged [`ActivityKind::Comm`] with `retrans: true`) —
+    /// recovery traffic rather than useful prefetch. Zero on a healthy
+    /// network.
+    pub recovery: Ns,
 }
 
 impl NodeOverlap {
@@ -150,6 +155,16 @@ impl NodeOverlap {
             0.0
         } else {
             self.overlapped as f64 / self.comm as f64
+        }
+    }
+
+    /// Fraction of communication time that was recovery traffic, in
+    /// `[0, 1]`; zero when there is no communication.
+    pub fn recovery_ratio(&self) -> f64 {
+        if self.comm == 0 {
+            0.0
+        } else {
+            self.recovery as f64 / self.comm as f64
         }
     }
 }
@@ -164,7 +179,7 @@ pub fn comm_overlap(trace: &Trace) -> BTreeMap<u32, NodeOverlap> {
     // Collect per-node compute coverage as a sorted union of intervals, then
     // measure each comm span against it.
     let mut compute: BTreeMap<u32, Vec<(Ns, Ns)>> = BTreeMap::new();
-    let mut comm: BTreeMap<u32, Vec<(Ns, Ns)>> = BTreeMap::new();
+    let mut comm: BTreeMap<u32, Vec<(Ns, Ns, bool)>> = BTreeMap::new();
     for s in trace.spans() {
         if s.is_empty() {
             continue;
@@ -174,9 +189,14 @@ pub fn comm_overlap(trace: &Trace) -> BTreeMap<u32, NodeOverlap> {
                 .entry(s.who.node)
                 .or_default()
                 .push((s.begin, s.end)),
-            ActivityKind::Communication | ActivityKind::Comm { .. } => {
-                comm.entry(s.who.node).or_default().push((s.begin, s.end))
-            }
+            ActivityKind::Communication => comm
+                .entry(s.who.node)
+                .or_default()
+                .push((s.begin, s.end, false)),
+            ActivityKind::Comm { retrans, .. } => comm
+                .entry(s.who.node)
+                .or_default()
+                .push((s.begin, s.end, retrans)),
             ActivityKind::Runtime => {}
         }
     }
@@ -187,9 +207,12 @@ pub fn comm_overlap(trace: &Trace) -> BTreeMap<u32, NodeOverlap> {
     for (node, spans) in comm {
         let mut rep = NodeOverlap::default();
         let cover = compute.get(&node).map(Vec::as_slice).unwrap_or(&[]);
-        for (b, e) in spans {
+        for (b, e, retrans) in spans {
             rep.comm += e - b;
             rep.overlapped += intersect_len(cover, b, e);
+            if retrans {
+                rep.recovery += e - b;
+            }
         }
         out.insert(node, rep);
     }
@@ -345,6 +368,33 @@ mod tests {
         assert_eq!(rep[&0].comm, 10);
         assert_eq!(rep[&0].overlapped, 10);
         assert!((rep[&0].ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_splits_recovery_from_useful_traffic() {
+        let mut t = Trace::new();
+        let g = t.class("GEMM", ActivityKind::Compute);
+        let ok = t.class(
+            "GET_EAGER",
+            ActivityKind::Comm {
+                eager: true,
+                retrans: false,
+            },
+        );
+        let rt = t.class(
+            "GET_EAGER_RETRY",
+            ActivityKind::Comm {
+                eager: true,
+                retrans: true,
+            },
+        );
+        t.push(w(0, 0), g, 0, 30);
+        t.push(w(0, 7), ok, 0, 10);
+        t.push(w(0, 7), rt, 10, 30);
+        let rep = comm_overlap(&t);
+        assert_eq!(rep[&0].comm, 30);
+        assert_eq!(rep[&0].recovery, 20);
+        assert!((rep[&0].recovery_ratio() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

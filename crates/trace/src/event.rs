@@ -32,10 +32,14 @@ pub enum ActivityKind {
     Communication,
     /// Data movement recorded by the comm progress engine, tagged with
     /// the protocol it used. Analyses treat this as communication; the
-    /// tag lets reports split eager from rendezvous traffic.
+    /// tags let reports split eager from rendezvous traffic and useful
+    /// transfers from retransmission recovery.
     Comm {
         /// `true` for eager payloads, `false` for rendezvous.
         eager: bool,
+        /// `true` when the operation needed at least one retransmission
+        /// before completing (recovery traffic, not useful prefetch).
+        retrans: bool,
     },
     /// Runtime bookkeeping (scheduling, inspection, NXTVAL, locks).
     Runtime,
@@ -201,8 +205,9 @@ impl Trace {
             let cat = match self.class_kind(s.class) {
                 ActivityKind::Compute => "compute",
                 ActivityKind::Communication => "comm",
-                ActivityKind::Comm { eager: true } => "comm-eager",
-                ActivityKind::Comm { eager: false } => "comm-rndv",
+                ActivityKind::Comm { retrans: true, .. } => "comm-retry",
+                ActivityKind::Comm { eager: true, .. } => "comm-eager",
+                ActivityKind::Comm { eager: false, .. } => "comm-rndv",
                 ActivityKind::Runtime => "runtime",
             };
             write!(

@@ -104,6 +104,25 @@ impl Condvar {
         guard.inner = Some(g);
     }
 
+    /// As [`Condvar::wait`], but give up after `timeout`; the result says
+    /// whether the wait timed out (spurious wakeups still possible).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard invariant");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res),
+            Err(e) => {
+                let (g, res) = e.into_inner();
+                (g, res)
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     /// Wake one waiting thread.
     pub fn notify_one(&self) -> bool {
         self.inner.notify_one();
@@ -114,6 +133,17 @@ impl Condvar {
     pub fn notify_all(&self) -> usize {
         self.inner.notify_all();
         0
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because its timeout expired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -169,6 +199,29 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn wait_for_reports_timeout() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(res.timed_out());
+        drop(g);
+        let p2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                let res = cv.wait_for(&mut g, std::time::Duration::from_secs(30));
+                assert!(!res.timed_out(), "should be notified, not time out");
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        *m.lock() = true;
+        cv.notify_all();
+        h.join().unwrap();
     }
 
     #[test]
