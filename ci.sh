@@ -34,14 +34,19 @@ for f in target/BENCH_epilogue.json BENCH_epilogue.json; do
     fi
 done
 
-echo "==> comm smoke (4 ranks over sockets, v1..v5 + fused v5 vs single-process energies)"
+echo "==> comm smoke (4 ranks over sockets, v1..v5 + fused v5 vs single-process energies, verified tile cache)"
+# The smoke runs with the tile cache in paranoia mode on every rank:
+# each cache hit is re-fetched fresh from the owners and compared, and a
+# single stale read fails the gate. Also enforces the wire-accounting
+# reconciliation (GA remote get bytes == endpoint requested get bytes).
 cargo run -q --release -p bench-harness --bin comm_bench -- --smoke
 
 echo "==> comm chaos matrix (4 ranks over sockets, every fault schedule + clean control, fixed seeds)"
-# The 4-rank loopback matrix (6 schedules x 2 variants, plus comm-level
+# The 4-rank loopback matrix (7 schedules x 2 variants, plus comm-level
 # chaos) already ran under `cargo test`; this adds the real-socket pass.
-# Fixed seed so a red run replays exactly; fails on energy divergence or
-# any recovery activity in the clean control.
+# Fixed seed so a red run replays exactly; fails on energy divergence,
+# any recovery activity in the clean control, or any verified-stale
+# cached read under faults (the cache runs with verify_reads here too).
 cargo run -q --release -p bench-harness --bin comm_bench -- --chaos --seed c0ffee00
 
 echo "CI OK"

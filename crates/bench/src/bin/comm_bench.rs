@@ -56,7 +56,45 @@ struct RunOut {
     dup_replies: u64,
     /// Faults injected by the local wrapper (chaos mode only).
     injected: u64,
+    /// Tile-cache effectiveness (hits/joins never touch the wire).
+    cache_hits: u64,
+    cache_joins: u64,
+    cache_misses: u64,
+    cache_invals: u64,
+    cache_hit_bytes: u64,
+    /// Verified-stale cached reads (chaos/smoke only; gated to zero).
+    stale_reads: u64,
+    /// Request coalescing and multi-get batching on the wire side.
+    coalesced_gets: u64,
+    get_req_bytes: u64,
+    get_coal_bytes: u64,
+    get_wire_bytes: u64,
+    multi_gets: u64,
+    multi_parts: u64,
     lat_ns: Vec<u64>,
+}
+
+/// The wire-accounting invariants every rank must reconcile before its
+/// fragment is trusted: the GA layer's idea of remote read traffic must
+/// equal the endpoint's requested get bytes, and requested bytes must
+/// split exactly into coalesced (shared) and wire (transferred) bytes.
+/// A drift here means a counter lies — fail the whole benchmark loudly.
+fn assert_reconciled(rank: usize, ga: &global_arrays::GaStats, s: &comm::CommStatsSnap) {
+    assert_eq!(
+        ga.remote_get_bytes(),
+        s.get_req_bytes,
+        "rank {rank}: GA remote get bytes diverged from endpoint get_req_bytes — \
+         a read path is bypassing the accounting"
+    );
+    assert_eq!(
+        s.get_req_bytes - s.get_coal_bytes,
+        s.get_wire_bytes,
+        "rank {rank}: get_req_bytes - get_coal_bytes != get_wire_bytes — \
+         coalescing accounting leaked (req {}, coal {}, wire {})",
+        s.get_req_bytes,
+        s.get_coal_bytes,
+        s.get_wire_bytes
+    );
 }
 
 fn scale_of(name: &str) -> tce::SpaceConfig {
@@ -110,7 +148,21 @@ fn run_rank(
         eager_threshold: if smoke { 4096 } else { 32 * 1024 },
         ..comm::CommConfig::default()
     };
-    let dr = DistRank::with_config(Box::new(transport), &space, &[tce::Kernel::T2_7], cfg);
+    // The smoke gate runs the cache in paranoia mode: every hit is
+    // re-fetched fresh from the owners and compared, and any mismatch
+    // counts a stale read that fails CI. The benchmark proper keeps
+    // verification off — that is the configuration being measured.
+    let cache_cfg = global_arrays::TileCacheConfig {
+        verify_reads: smoke,
+        ..global_arrays::TileCacheConfig::default()
+    };
+    let dr = DistRank::with_configs(
+        Box::new(transport),
+        &space,
+        &[tce::Kernel::T2_7],
+        cfg,
+        cache_cfg,
+    );
     let mut outs = Vec::new();
     for (name, cfg, prefetch) in run_list(smoke) {
         let mut acc: Option<RunOut> = None;
@@ -122,6 +174,13 @@ fn run_rank(
             let _ = ep.take_latencies();
             let s0 = ep.stats();
             let (l0, r0) = (ga_stats.local_bytes(), ga_stats.remote_bytes());
+            let c0 = (
+                ga_stats.cache_hits(),
+                ga_stats.cache_joins(),
+                ga_stats.cache_misses(),
+                ga_stats.cache_invalidations(),
+                ga_stats.cache_hit_bytes(),
+            );
 
             let run = dr.run_variant(cfg, threads, prefetch);
 
@@ -151,10 +210,23 @@ fn run_rank(
             out.retries += s1.retries - s0.retries;
             out.dup_requests += s1.dup_requests - s0.dup_requests;
             out.dup_replies += s1.dup_replies - s0.dup_replies;
+            out.cache_hits += ga_stats.cache_hits() - c0.0;
+            out.cache_joins += ga_stats.cache_joins() - c0.1;
+            out.cache_misses += ga_stats.cache_misses() - c0.2;
+            out.cache_invals += ga_stats.cache_invalidations() - c0.3;
+            out.cache_hit_bytes += ga_stats.cache_hit_bytes() - c0.4;
+            out.stale_reads = ga_stats.stale_reads();
+            out.coalesced_gets += s1.coalesced_gets - s0.coalesced_gets;
+            out.get_req_bytes += s1.get_req_bytes - s0.get_req_bytes;
+            out.get_coal_bytes += s1.get_coal_bytes - s0.get_coal_bytes;
+            out.get_wire_bytes += s1.get_wire_bytes - s0.get_wire_bytes;
+            out.multi_gets += s1.multi_gets - s0.multi_gets;
+            out.multi_parts += s1.multi_parts - s0.multi_parts;
             out.lat_ns.extend(ep.take_latencies());
         }
         outs.push(acc.expect("reps >= 1"));
     }
+    assert_reconciled(rank, dr.workspace().ga.stats(), &dr.endpoint().stats());
     dr.finish();
     outs
 }
@@ -188,9 +260,29 @@ fn run_rank_chaos(rank: usize, ranks: usize, port: u16, schedule: &str, seed: u6
             ..comm::CommConfig::default()
         }
     };
-    let dr = DistRank::with_config(Box::new(ft), &space, &[tce::Kernel::T2_7], cfg);
+    // Chaos always runs the cache in paranoia mode: every hit re-fetched
+    // and compared, so an injected fault that left a stale block cached
+    // is counted — and gated to zero by the parent.
+    let cache_cfg = global_arrays::TileCacheConfig {
+        verify_reads: true,
+        ..global_arrays::TileCacheConfig::default()
+    };
+    let dr = DistRank::with_configs(Box::new(ft), &space, &[tce::Kernel::T2_7], cfg, cache_cfg);
     let run = dr.run_variant(VariantCfg::v5(), 2, true);
+    // Fill-then-hit across the faulty mesh so the verified stale gate is
+    // actually exercised (tiny-scale runs rarely re-read a block between
+    // syncs on their own).
+    let ws = dr.workspace();
+    let t2_len = ws.t2_layout.len();
+    assert_eq!(
+        ws.ga.get(ws.t2, 0, t2_len),
+        ws.ga.get(ws.t2, 0, t2_len),
+        "rank {rank}: repeated t2 read diverged under schedule `{schedule}`"
+    );
     let s = dr.endpoint().stats();
+    let gs = dr.workspace().ga.stats();
+    let (cache_hits, stale_reads) = (gs.cache_hits(), gs.stale_reads());
+    assert_reconciled(rank, gs, &s);
     armed.store(false, std::sync::atomic::Ordering::SeqCst);
     dr.finish();
     RunOut {
@@ -201,6 +293,8 @@ fn run_rank_chaos(rank: usize, ranks: usize, port: u16, schedule: &str, seed: u6
         dup_requests: s.dup_requests,
         dup_replies: s.dup_replies,
         injected: injected.total(),
+        cache_hits,
+        stale_reads,
         ..RunOut::default()
     }
 }
@@ -231,6 +325,18 @@ fn write_fragment(path: &Path, outs: &[RunOut]) {
             ("dup_requests", o.dup_requests),
             ("dup_replies", o.dup_replies),
             ("injected", o.injected),
+            ("cache_hits", o.cache_hits),
+            ("cache_joins", o.cache_joins),
+            ("cache_misses", o.cache_misses),
+            ("cache_invals", o.cache_invals),
+            ("cache_hit_bytes", o.cache_hit_bytes),
+            ("stale_reads", o.stale_reads),
+            ("coalesced_gets", o.coalesced_gets),
+            ("get_req_bytes", o.get_req_bytes),
+            ("get_coal_bytes", o.get_coal_bytes),
+            ("get_wire_bytes", o.get_wire_bytes),
+            ("multi_gets", o.multi_gets),
+            ("multi_parts", o.multi_parts),
         ] {
             s.push_str(&format!("{k} {v}\n"));
         }
@@ -270,6 +376,18 @@ fn parse_fragment(text: &str) -> Vec<RunOut> {
             "dup_requests" => o.dup_requests = val.parse().unwrap(),
             "dup_replies" => o.dup_replies = val.parse().unwrap(),
             "injected" => o.injected = val.parse().unwrap(),
+            "cache_hits" => o.cache_hits = val.parse().unwrap(),
+            "cache_joins" => o.cache_joins = val.parse().unwrap(),
+            "cache_misses" => o.cache_misses = val.parse().unwrap(),
+            "cache_invals" => o.cache_invals = val.parse().unwrap(),
+            "cache_hit_bytes" => o.cache_hit_bytes = val.parse().unwrap(),
+            "stale_reads" => o.stale_reads = val.parse().unwrap(),
+            "coalesced_gets" => o.coalesced_gets = val.parse().unwrap(),
+            "get_req_bytes" => o.get_req_bytes = val.parse().unwrap(),
+            "get_coal_bytes" => o.get_coal_bytes = val.parse().unwrap(),
+            "get_wire_bytes" => o.get_wire_bytes = val.parse().unwrap(),
+            "multi_gets" => o.multi_gets = val.parse().unwrap(),
+            "multi_parts" => o.multi_parts = val.parse().unwrap(),
             "lat_ns" => {
                 o.lat_ns = val
                     .split(',')
@@ -379,7 +497,7 @@ fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
     let _ = std::fs::remove_dir_all(&dir);
 
     if smoke {
-        return check_smoke(ranks, e_ref, &per_rank[0]);
+        return check_smoke(ranks, e_ref, &per_rank);
     }
     aggregate(ranks, &scale, threads, e_ref, &per_rank)
 }
@@ -453,9 +571,18 @@ fn chaos(ranks: usize, args: &[String]) -> Result<(), String> {
         let (timeouts, retries) = (sum(&|o| o.timeouts), sum(&|o| o.retries));
         let dups = sum(&|o| o.dup_requests + o.dup_replies);
         let injected = sum(&|o| o.injected);
+        let (hits, stale) = (sum(&|o| o.cache_hits), sum(&|o| o.stale_reads));
         println!(
-            "{schedule:>10} seed {seed:#012x}: rel diff {d:.2e}  {injected} faults injected  {retries} retries  {timeouts} timeouts  {dups} dups detected"
+            "{schedule:>10} seed {seed:#012x}: rel diff {d:.2e}  {injected} faults injected  {retries} retries  {timeouts} timeouts  {dups} dups detected  {hits} cache hits  {stale} stale reads"
         );
+        // The coherence gate: with `verify_reads` armed on every rank,
+        // each cache hit was compared against a fresh owner fetch. Any
+        // fault that left a stale block cached shows up here.
+        if stale != 0 {
+            return Err(format!(
+                "{stale} cached reads observed stale data under faults; {replay}"
+            ));
+        }
         if d >= 1e-12 {
             return Err(format!(
                 "energy {energy} diverged from reference {e_ref} ({d:.2e}); {replay}"
@@ -473,9 +600,9 @@ fn chaos(ranks: usize, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn check_smoke(ranks: usize, e_ref: f64, rank0: &[RunOut]) -> Result<(), String> {
+fn check_smoke(ranks: usize, e_ref: f64, per_rank: &[Vec<RunOut>]) -> Result<(), String> {
     let mut worst: f64 = 0.0;
-    for o in rank0 {
+    for o in &per_rank[0] {
         let e = o.energy.ok_or("rank 0 must report an energy")?;
         let d = tensor_kernels::rel_diff(e_ref, e);
         worst = worst.max(d);
@@ -484,8 +611,9 @@ fn check_smoke(ranks: usize, e_ref: f64, rank0: &[RunOut]) -> Result<(), String>
             o.name, o.rndv, o.eager
         );
     }
-    let recovery: u64 = rank0
-        .iter()
+    let all = per_rank.iter().flatten();
+    let recovery: u64 = all
+        .clone()
         .map(|o| o.timeouts + o.retries + o.dup_requests + o.dup_replies)
         .sum();
     if recovery != 0 {
@@ -494,8 +622,21 @@ fn check_smoke(ranks: usize, e_ref: f64, rank0: &[RunOut]) -> Result<(), String>
              retry timers must never fire without faults"
         ));
     }
+    // Smoke runs the cache with `verify_reads` on every rank: each hit
+    // was compared against a fresh owner fetch. Zero tolerance.
+    let (hits, stale) = all.fold((0u64, 0u64), |(h, s), o| {
+        (h + o.cache_hits, s + o.stale_reads)
+    });
+    if stale != 0 {
+        return Err(format!(
+            "smoke FAILED: {stale} cached reads observed stale data on a healthy mesh"
+        ));
+    }
     if worst < 1e-12 {
-        println!("SMOKE OK: all variants match the single-process reference");
+        println!(
+            "SMOKE OK: all variants match the single-process reference \
+             ({hits} verified cache hits, 0 stale)"
+        );
         Ok(())
     } else {
         Err(format!("smoke FAILED: worst rel diff {worst:.2e}"))
@@ -538,10 +679,40 @@ fn aggregate(
         let recovery = sum(&|o| o.timeouts + o.retries + o.dup_requests + o.dup_replies);
         if recovery != 0 {
             return Err(format!(
-                "{name}: healthy mesh showed {recovery} recovery events — \
-                 retry timers must never fire without faults"
+                "{name}: healthy mesh showed {recovery} recovery events \
+                 ({} timeouts, {} retries, {} dup_requests, {} dup_replies; \
+                 get p99 {:.1} us) — retry timers must never fire without faults",
+                sum(&|o| o.timeouts),
+                sum(&|o| o.retries),
+                sum(&|o| o.dup_requests),
+                sum(&|o| o.dup_replies),
+                percentile_us(&lats, 99.0),
             ));
         }
+        // Cache effectiveness and wire-reduction ratios for this run.
+        let (hits, joins, misses) = (
+            sum(&|o| o.cache_hits),
+            sum(&|o| o.cache_joins),
+            sum(&|o| o.cache_misses),
+        );
+        let lookups = hits + joins + misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            (hits + joins) as f64 / lookups as f64
+        };
+        let (coalesced, gets) = (sum(&|o| o.coalesced_gets), sum(&|o| o.gets));
+        let coalesce_ratio = if gets == 0 {
+            0.0
+        } else {
+            coalesced as f64 / gets as f64
+        };
+        let (multi_gets, multi_parts) = (sum(&|o| o.multi_gets), sum(&|o| o.multi_parts));
+        let occupancy = if multi_gets == 0 {
+            0.0
+        } else {
+            multi_parts as f64 / multi_gets as f64
+        };
         println!(
             "{name:>12}: overlap {overlap:.3}  comm {:.2} ms  {} eager / {} rndv payloads  {:.2} MB on wire  get p50 {:.1} us p99 {:.1} us",
             comm_ns as f64 / 1e6,
@@ -551,13 +722,17 @@ fn aggregate(
             percentile_us(&lats, 50.0),
             percentile_us(&lats, 99.0),
         );
+        println!(
+            "{:>12}  cache hit rate {hit_rate:.3} ({hits} hits / {joins} joins / {misses} misses)  coalesce ratio {coalesce_ratio:.3}  batch occupancy {occupancy:.2} ({multi_parts} gets in {multi_gets} frames)",
+            ""
+        );
         rows.push(format!(
-            "    {{\n      \"name\": \"{name}\",\n      \"energy_rel_diff\": {d:.3e},\n      \"overlap_fraction\": {overlap:.6},\n      \"comm_ns\": {comm_ns},\n      \"overlapped_ns\": {overlapped_ns},\n      \"eager_payloads\": {},\n      \"rndv_payloads\": {},\n      \"bytes_tx\": {},\n      \"bytes_rx\": {},\n      \"gets\": {},\n      \"puts\": {},\n      \"accs\": {},\n      \"ga_local_bytes\": {},\n      \"ga_remote_bytes\": {},\n      \"recovery\": {{\"timeouts\": {}, \"retries\": {}, \"dup_requests\": {}, \"dup_replies\": {}}},\n      \"get_latency_us\": {{\"p50\": {:.2}, \"p90\": {:.2}, \"p99\": {:.2}}}\n    }}",
+            "    {{\n      \"name\": \"{name}\",\n      \"energy_rel_diff\": {d:.3e},\n      \"overlap_fraction\": {overlap:.6},\n      \"comm_ns\": {comm_ns},\n      \"overlapped_ns\": {overlapped_ns},\n      \"eager_payloads\": {},\n      \"rndv_payloads\": {},\n      \"bytes_tx\": {},\n      \"bytes_rx\": {},\n      \"gets\": {},\n      \"puts\": {},\n      \"accs\": {},\n      \"ga_local_bytes\": {},\n      \"ga_remote_bytes\": {},\n      \"recovery\": {{\"timeouts\": {}, \"retries\": {}, \"dup_requests\": {}, \"dup_replies\": {}}},\n      \"cache\": {{\"hits\": {hits}, \"joins\": {joins}, \"misses\": {misses}, \"invalidations\": {}, \"hit_rate\": {hit_rate:.6}, \"hit_bytes\": {}}},\n      \"coalesce\": {{\"coalesced_gets\": {coalesced}, \"coal_bytes\": {}, \"ratio\": {coalesce_ratio:.6}}},\n      \"batch\": {{\"multi_gets\": {multi_gets}, \"multi_parts\": {multi_parts}, \"occupancy\": {occupancy:.6}, \"req_bytes\": {}, \"wire_bytes\": {}}},\n      \"get_latency_us\": {{\"p50\": {:.2}, \"p90\": {:.2}, \"p99\": {:.2}}}\n    }}",
             sum(&|o| o.eager),
             sum(&|o| o.rndv),
             sum(&|o| o.bytes_tx),
             sum(&|o| o.bytes_rx),
-            sum(&|o| o.gets),
+            gets,
             sum(&|o| o.puts),
             sum(&|o| o.accs),
             sum(&|o| o.ga_local),
@@ -566,6 +741,11 @@ fn aggregate(
             sum(&|o| o.retries),
             sum(&|o| o.dup_requests),
             sum(&|o| o.dup_replies),
+            sum(&|o| o.cache_invals),
+            sum(&|o| o.cache_hit_bytes),
+            sum(&|o| o.get_coal_bytes),
+            sum(&|o| o.get_req_bytes),
+            sum(&|o| o.get_wire_bytes),
             percentile_us(&lats, 50.0),
             percentile_us(&lats, 90.0),
             percentile_us(&lats, 99.0),

@@ -16,7 +16,7 @@
 use crate::ctx::VariantCfg;
 use crate::variants::build_graph_dist;
 use comm::{CommConfig, Endpoint, Transport};
-use global_arrays::{DistStore, Ga};
+use global_arrays::{DistStore, Ga, TileCacheConfig};
 use parsec_rt::{CoarseRuntime, NativeReport, NativeRuntime, SchedPolicy, TilePool};
 use std::sync::Arc;
 use tce::{Inspection, Kernel, TileSpace, Workspace};
@@ -50,17 +50,30 @@ impl DistRank {
     }
 
     /// As [`DistRank::new`] with an explicit comm configuration (eager
-    /// threshold, in-flight get caps).
+    /// threshold, in-flight get caps) and the default tile cache.
     pub fn with_config(
         transport: Box<dyn Transport>,
         space: &TileSpace,
         kernels: &[Kernel],
         cfg: CommConfig,
     ) -> Self {
+        Self::with_configs(transport, space, kernels, cfg, TileCacheConfig::default())
+    }
+
+    /// Fully explicit construction: comm configuration plus tile-cache
+    /// configuration (disable it, resize it, or arm `verify_reads` for
+    /// the chaos zero-stale-read gates).
+    pub fn with_configs(
+        transport: Box<dyn Transport>,
+        space: &TileSpace,
+        kernels: &[Kernel],
+        cfg: CommConfig,
+        cache_cfg: TileCacheConfig,
+    ) -> Self {
         let (rank, nranks) = (transport.rank(), transport.nranks());
         let store = DistStore::new(rank, nranks);
         let ep = Endpoint::spawn(transport, store.clone(), cfg);
-        let ga = Ga::init_dist(ep.clone(), store);
+        let ga = Ga::init_dist_cfg(ep.clone(), store, cache_cfg);
         let ins = Arc::new(tce::inspect_kernels(space, nranks, kernels));
         let ws = Arc::new(tce::build_workspace_on(ga, space, kernels));
         // Fills are one-sided puts into local shards; the sync makes

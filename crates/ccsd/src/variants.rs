@@ -198,10 +198,14 @@ impl TaskClass for Reader {
             Operand::B => (ws.tensor(g.b_tensor).0, g.b_offset, g.b_len),
         };
         let prio = c.prio(key.params[0], c.cfg.reader_offset);
-        ws.ga.get_async(
+        // Pooled destination buffer, as in the synchronous path: the
+        // async pipeline fills it in place (cache hit, coalesced join,
+        // or wire assembly) instead of allocating per read.
+        let buf = c.pool.checkout_dirty(len);
+        ws.ga.get_async_into(
             h,
             offset,
-            len,
+            buf,
             prio,
             Box::new(move |data| done.finish(vec![Some(Arc::new(data))])),
         );

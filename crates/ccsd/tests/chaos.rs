@@ -19,6 +19,7 @@ use ccsd::ctx::VariantCfg;
 use ccsd::dist::DistRank;
 use comm::fault::{FaultPlan, FaultTransport};
 use comm::{CommConfig, CommStatsSnap, SocketTransport, Transport};
+use global_arrays::TileCacheConfig;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc;
 use std::time::Duration;
@@ -39,6 +40,16 @@ fn chaos_cfg() -> CommConfig {
     }
 }
 
+/// Tile cache in paranoia mode: every cache hit refetches the block
+/// fresh from its owners and counts a `stale_read` on mismatch — the
+/// zero-stale-read gate every chaos schedule must pass.
+fn verify_cache_cfg() -> TileCacheConfig {
+    TileCacheConfig {
+        verify_reads: true,
+        ..TileCacheConfig::default()
+    }
+}
+
 fn reference() -> f64 {
     let space = TileSpace::build(&scale::tiny());
     let ws = tce::build_workspace(&space, 1);
@@ -49,6 +60,8 @@ struct RankResult {
     e_v2: Option<f64>,
     e_v5: Option<f64>,
     stats: CommStatsSnap,
+    cache_hits: u64,
+    stale_reads: u64,
 }
 
 type FaultyRank = (
@@ -67,14 +80,39 @@ fn run_matrix(transports: Vec<FaultyRank>, replay: &str) -> Vec<RankResult> {
             let tx = tx.clone();
             std::thread::spawn(move || {
                 let space = TileSpace::build(&scale::tiny());
-                let rank = DistRank::with_config(t, &space, &[Kernel::T2_7], chaos_cfg());
+                let rank = DistRank::with_configs(
+                    t,
+                    &space,
+                    &[Kernel::T2_7],
+                    chaos_cfg(),
+                    verify_cache_cfg(),
+                );
                 let e_v2 = rank.run_variant(VariantCfg::v2(), 2, true).energy;
                 let e_v5 = rank.run_variant(VariantCfg::v5(), 2, true).energy;
+                // Deterministic hit-verify exercise while faults are
+                // still armed: the first full-t2 read fills the cache
+                // over the faulty wire, the second hits — and
+                // `verify_reads` re-fetches it fresh for comparison.
+                // (At tiny scale the runs themselves rarely re-read a
+                // block between syncs, so this keeps the stale gate
+                // from passing vacuously.)
+                let ws = rank.workspace();
+                let t2_len = ws.t2_layout.len();
+                let warm = ws.ga.get(ws.t2, 0, t2_len);
+                assert_eq!(warm, ws.ga.get(ws.t2, 0, t2_len));
                 let stats = rank.endpoint().stats();
+                let gs = ws.ga.stats();
+                let (cache_hits, stale_reads) = (gs.cache_hits(), gs.stale_reads());
                 armed.store(false, Ordering::SeqCst);
                 rank.finish();
                 tx.send(()).unwrap();
-                RankResult { e_v2, e_v5, stats }
+                RankResult {
+                    e_v2,
+                    e_v5,
+                    stats,
+                    cache_hits,
+                    stale_reads,
+                }
             })
         })
         .collect();
@@ -113,6 +151,13 @@ fn faulty_loopback(name: &str, seed: u64) -> Vec<FaultyRank> {
 
 fn assert_energies(results: &[RankResult], e_ref: f64, replay: &str) {
     for (r, res) in results.iter().enumerate() {
+        // The cache coherence gate: with `verify_reads` armed, every hit
+        // was checked against the owners' live shards — any injected
+        // fault that left a stale block cached would be counted here.
+        assert_eq!(
+            res.stale_reads, 0,
+            "rank {r}: cached reads observed stale data: {replay}"
+        );
         match r {
             0 => {
                 let e2 = res.e_v2.expect("rank 0 reports v2 energy");
@@ -184,6 +229,26 @@ fn dist_ccsd_survives_stall() {
     chaos_schedule("stall", 0x0D15_EA5E_0006);
 }
 
+/// The batched-read gauntlet: drop, duplicate and reorder at once, so
+/// `MultiGet` frames and their replies are lost, repeated and swapped.
+/// The batch must retry/dedup as one unit, the cache must stay coherent
+/// (zero verified-stale reads via `assert_energies`), and the energy
+/// must still land within 1e-12.
+#[test]
+fn dist_ccsd_survives_coalesce() {
+    let results = chaos_schedule("coalesce", 0x0D15_EA5E_0007);
+    let hits: u64 = results.iter().map(|r| r.cache_hits).sum();
+    assert!(
+        hits > 0,
+        "the coalesce schedule must actually exercise cached reads"
+    );
+    let recoveries: u64 = results
+        .iter()
+        .map(|r| r.stats.retries + r.stats.dup_requests + r.stats.dup_replies)
+        .sum();
+    assert!(recoveries > 0, "schedule injected nothing observable");
+}
+
 /// The no-overhead gate at the application level: a clean 4-rank run
 /// through the same harness must finish with zero recovery activity.
 #[test]
@@ -225,13 +290,24 @@ fn dist_ccsd_socket_chaos_smoke() {
                 let ft = FaultTransport::new(Box::new(sock), plan);
                 let armed = ft.armed_handle();
                 let space = TileSpace::build(&scale::tiny());
-                let rank =
-                    DistRank::with_config(Box::new(ft), &space, &[Kernel::T2_7], chaos_cfg());
+                let rank = DistRank::with_configs(
+                    Box::new(ft),
+                    &space,
+                    &[Kernel::T2_7],
+                    chaos_cfg(),
+                    verify_cache_cfg(),
+                );
                 let energy = rank.run_variant(VariantCfg::v5(), 2, true).energy;
+                // Fill-then-hit over the faulty sockets so the verified
+                // stale gate below is exercised, not vacuous.
+                let ws = rank.workspace();
+                let t2_len = ws.t2_layout.len();
+                assert_eq!(ws.ga.get(ws.t2, 0, t2_len), ws.ga.get(ws.t2, 0, t2_len));
+                let stale = ws.ga.stats().stale_reads();
                 armed.store(false, Ordering::SeqCst);
                 rank.finish();
                 tx.send(()).unwrap();
-                energy
+                (energy, stale)
             })
         })
         .collect();
@@ -239,7 +315,7 @@ fn dist_ccsd_socket_chaos_smoke() {
         rx.recv_timeout(Duration::from_secs(240))
             .unwrap_or_else(|_| panic!("socket run did not terminate: {replay}"));
     }
-    let energies: Vec<Option<f64>> = handles
+    let outcomes: Vec<(Option<f64>, u64)> = handles
         .into_iter()
         .map(|h| {
             h.join().unwrap_or_else(|e| {
@@ -252,7 +328,13 @@ fn dist_ccsd_socket_chaos_smoke() {
             })
         })
         .collect();
-    let e = energies[0].expect("rank 0 energy");
+    for (r, (_, stale)) in outcomes.iter().enumerate() {
+        assert_eq!(
+            *stale, 0,
+            "rank {r} cached stale data over sockets: {replay}"
+        );
+    }
+    let e = outcomes[0].0.expect("rank 0 energy");
     assert!(
         rel_diff(e_ref, e) < 1e-12,
         "socket chaos energy {e} vs reference {e_ref}: {replay}"

@@ -147,6 +147,7 @@ impl FaultPlan {
             "reorder",
             "partition",
             "stall",
+            "coalesce",
         ]
     }
 
@@ -171,6 +172,17 @@ impl FaultPlan {
             },
             "reorder" => Self {
                 reorder_p: 0.15,
+                ..base
+            },
+            // Aimed at the batched read path: simultaneous loss,
+            // duplication and reordering makes retried `MultiGet` frames
+            // race their own replies, so batch retry/dedup must treat
+            // each batch as one unit and the tile cache must never serve
+            // a block a duplicated late reply would have overwritten.
+            "coalesce" => Self {
+                drop_p: 0.04,
+                dup_p: 0.10,
+                reorder_p: 0.10,
                 ..base
             },
             "partition" => Self {

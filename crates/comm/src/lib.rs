@@ -32,7 +32,7 @@ pub mod socket;
 pub mod transport;
 
 pub use fault::{FaultCounters, FaultEvent, FaultPlan, FaultTransport, SplitMix64};
-pub use msg::{CodecError, Msg};
+pub use msg::{CodecError, GetSpec, Msg, ReplyView, WireSlice};
 pub use progress::{CommConfig, CommStatsSnap, Endpoint, GetCallback, ShardStore};
 pub use socket::SocketTransport;
 pub use transport::{loopback, LoopbackTransport, Transport};
@@ -136,8 +136,9 @@ mod tests {
         h.join().unwrap();
     }
 
-    #[test]
-    fn async_gets_respect_inflight_cap_and_priority() {
+    /// Post gets to offsets 0..8 at priorities 0..8 and report completion
+    /// order (first element is the un-queued head-start launch).
+    fn drain_order(cfg: CommConfig) -> (Arc<Endpoint>, Vec<i64>) {
         let mut t = loopback(2);
         let t1 = t.pop().unwrap();
         let t0 = t.pop().unwrap();
@@ -145,17 +146,8 @@ mod tests {
         for (i, v) in s1.arrays[0].lock().unwrap().iter_mut().enumerate() {
             *v = i as f64;
         }
-        let e0 = Endpoint::spawn(
-            Box::new(t0),
-            MemStore::new(&[256]),
-            CommConfig {
-                max_inflight_gets: 1,
-                ..CommConfig::default()
-            },
-        );
+        let e0 = Endpoint::spawn(Box::new(t0), MemStore::new(&[256]), cfg);
         let _e1 = Endpoint::spawn(Box::new(t1), s1, CommConfig::default());
-        // Post many gets at ascending priorities; with a cap of 1 the
-        // queued ones must complete highest-priority-first.
         let order = Arc::new(Mutex::new(Vec::new()));
         let done = Arc::new(AtomicUsize::new(0));
         for p in 0..8i64 {
@@ -166,8 +158,8 @@ mod tests {
                 p as usize,
                 1,
                 p,
-                Box::new(move |data| {
-                    order.lock().unwrap().push(data[0] as i64);
+                Box::new(move |data: WireSlice<'_>| {
+                    order.lock().unwrap().push(data.to_vec()[0] as i64);
                     done.fetch_add(1, Ordering::SeqCst);
                 }),
             );
@@ -176,11 +168,107 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         let order = order.lock().unwrap().clone();
+        (e0, order)
+    }
+
+    #[test]
+    fn async_gets_respect_inflight_cap_and_priority() {
+        // Cap of 1, no batching, priority-only ordering: the queued gets
+        // must complete highest-priority-first.
+        let (e0, order) = drain_order(CommConfig {
+            max_inflight_gets: 1,
+            max_batch_parts: 1,
+            locality_order: false,
+            ..CommConfig::default()
+        });
         // The first completion raced the queue build-up; everything queued
         // afterwards drains in strict descending priority.
         assert_eq!(order[1..], [7, 6, 5, 4, 3, 2, 1]);
         assert_eq!(e0.take_latencies().len(), 8);
         let trace = e0.take_trace();
         assert_eq!(trace.spans().len(), 8);
+    }
+
+    #[test]
+    fn locality_order_drains_by_destination_block() {
+        // Same posts, but locality ordering: the queue drains by
+        // ascending (array, offset), priority demoted to tie-break.
+        let (e0, order) = drain_order(CommConfig {
+            max_inflight_gets: 1,
+            max_batch_parts: 1,
+            locality_order: true,
+            ..CommConfig::default()
+        });
+        assert_eq!(order[1..], [1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(e0.take_latencies().len(), 8);
+    }
+
+    #[test]
+    fn queued_gets_batch_into_multi_frames() {
+        // Cap of 1 with batching: the 7 queued gets drain as one
+        // MultiGet frame when the head-start get's slot frees.
+        let (e0, order) = drain_order(CommConfig {
+            max_inflight_gets: 1,
+            max_batch_parts: 8,
+            locality_order: true,
+            ..CommConfig::default()
+        });
+        assert_eq!(order[1..], [1, 2, 3, 4, 5, 6, 7]);
+        let s = e0.stats();
+        assert_eq!(s.multi_gets, 1, "one batch frame expected");
+        assert_eq!(s.multi_parts, 7, "all queued gets packed into it");
+        assert_eq!(e0.take_latencies().len(), 8);
+        assert_eq!(e0.take_trace().spans().len(), 8);
+    }
+
+    #[test]
+    fn identical_gets_coalesce_onto_one_transfer() {
+        let mut t = loopback(2);
+        let t1 = t.pop().unwrap();
+        let t0 = t.pop().unwrap();
+        let s1 = MemStore::new(&[256]);
+        s1.arrays[0].lock().unwrap()[5] = 55.0;
+        let e0 = Endpoint::spawn(
+            Box::new(t0),
+            MemStore::new(&[256]),
+            CommConfig {
+                max_inflight_gets: 1,
+                ..CommConfig::default()
+            },
+        );
+        let _e1 = Endpoint::spawn(Box::new(t1), s1, CommConfig::default());
+        // Occupy the only slot so the identical gets sit queued together.
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let done = done.clone();
+            e0.get_async(
+                1,
+                0,
+                5,
+                1,
+                0,
+                Box::new(move |data: WireSlice<'_>| {
+                    assert_eq!(data.to_vec(), vec![55.0]);
+                    done.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        while done.load(Ordering::SeqCst) < 4 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let s = e0.stats();
+        assert_eq!(s.gets, 4);
+        assert!(
+            s.coalesced_gets >= 2,
+            "queued identical gets must coalesce (got {})",
+            s.coalesced_gets
+        );
+        assert_eq!(s.get_req_bytes, 4 * 8);
+        assert_eq!(s.get_coal_bytes, s.coalesced_gets * 8);
+        assert_eq!(
+            s.get_wire_bytes,
+            s.get_req_bytes - s.get_coal_bytes,
+            "requested = coalesced + wire"
+        );
     }
 }

@@ -130,6 +130,23 @@ pub enum Msg {
     BarrierEnter { epoch: u64, from: u32 },
     /// All ranks entered barrier `epoch` (broadcast by rank 0).
     BarrierRelease { epoch: u64 },
+    /// Batched read: several same-destination gets packed into one frame.
+    /// `token` identifies the whole batch — it retries, dedups and
+    /// completes as a single unit; parts are matched to their requests by
+    /// position.
+    MultiGet { token: u64, parts: Vec<GetSpec> },
+    /// Reply to a [`Msg::MultiGet`]: one payload per requested part, in
+    /// request order, always inline (batching replaces the rendezvous
+    /// round trip — the batch byte cap bounds the frame instead).
+    GetReplyMulti { token: u64, parts: Vec<Vec<f64>> },
+}
+
+/// One read range inside a [`Msg::MultiGet`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetSpec {
+    pub array: u32,
+    pub offset: u64,
+    pub len: u64,
 }
 
 const T_GET: u8 = 1;
@@ -153,6 +170,79 @@ const T_NXTVAL_RESET: u8 = 18;
 const T_RESET_ACK: u8 = 19;
 const T_BARRIER_ENTER: u8 = 20;
 const T_BARRIER_RELEASE: u8 = 21;
+const T_MULTI_GET: u8 = 22;
+const T_GET_MULTI_REPLY: u8 = 23;
+
+/// A borrowed view of one payload inside a received frame: either raw
+/// little-endian `f64` bytes still sitting in the frame buffer, or an
+/// already-decoded slice. Completion callbacks copy straight from this
+/// view into their destination buffer (a pooled tile, an assembly
+/// buffer), so the reply path allocates no intermediate `Vec` per frame.
+///
+/// The wire layout puts payloads at unaligned offsets (tag byte + fixed
+/// headers), so the byte form cannot be reinterpreted as `&[f64]`;
+/// `copy_into` decodes element-wise, which the optimizer turns into a
+/// plain copy on little-endian targets.
+#[derive(Clone, Copy)]
+pub enum WireSlice<'a> {
+    /// Raw little-endian payload bytes (length a multiple of 8).
+    Bytes(&'a [u8]),
+    /// Already-materialized values.
+    F64(&'a [f64]),
+}
+
+impl WireSlice<'_> {
+    /// Number of `f64` elements in the payload.
+    pub fn len(&self) -> usize {
+        match self {
+            WireSlice::Bytes(b) => b.len() / 8,
+            WireSlice::F64(v) => v.len(),
+        }
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy the payload into `dst` (which must have exactly `len()`
+    /// elements).
+    pub fn copy_into(&self, dst: &mut [f64]) {
+        match self {
+            WireSlice::Bytes(b) => {
+                assert_eq!(b.len(), dst.len() * 8, "payload length mismatch");
+                for (d, c) in dst.iter_mut().zip(b.chunks_exact(8)) {
+                    *d = f64::from_le_bytes(c.try_into().unwrap());
+                }
+            }
+            WireSlice::F64(v) => dst.copy_from_slice(v),
+        }
+    }
+
+    /// Materialize the payload as an owned vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.len()];
+        self.copy_into(&mut out);
+        out
+    }
+}
+
+/// A validated, zero-copy decode of a data-bearing get reply. Produced
+/// by [`Msg::reply_view`] on the hot receive path so reply payloads flow
+/// from the frame buffer to their destination in one copy.
+pub enum ReplyView<'a> {
+    /// `GetReplyEager` (eager = true) or `GetReplyData` (eager = false).
+    Single {
+        token: u64,
+        eager: bool,
+        data: WireSlice<'a>,
+    },
+    /// `GetReplyMulti`: per-part payloads in request order.
+    Multi {
+        token: u64,
+        parts: Vec<WireSlice<'a>>,
+    },
+}
 
 struct Writer(Vec<u8>);
 
@@ -221,6 +311,12 @@ impl<'a> Reader<'a> {
             out.push(self.f64()?);
         }
         Ok(out)
+    }
+    /// Borrow a payload in place instead of materializing it.
+    fn data_view(&mut self) -> Result<WireSlice<'a>, CodecError> {
+        let n = self.u64()? as usize;
+        let bytes = self.take(n.saturating_mul(8))?;
+        Ok(WireSlice::Bytes(bytes))
     }
 }
 
@@ -388,6 +484,24 @@ impl Msg {
                 w.u8(T_BARRIER_RELEASE);
                 w.u64(*epoch);
             }
+            Msg::MultiGet { token, parts } => {
+                w.u8(T_MULTI_GET);
+                w.u64(*token);
+                w.u64(parts.len() as u64);
+                for p in parts {
+                    w.u32(p.array);
+                    w.u64(p.offset);
+                    w.u64(p.len);
+                }
+            }
+            Msg::GetReplyMulti { token, parts } => {
+                w.u8(T_GET_MULTI_REPLY);
+                w.u64(*token);
+                w.u64(parts.len() as u64);
+                for p in parts {
+                    w.data(p);
+                }
+            }
         }
         w.0
     }
@@ -480,12 +594,81 @@ impl Msg {
                 from: r.u32()?,
             },
             T_BARRIER_RELEASE => Msg::BarrierRelease { epoch: r.u64()? },
+            T_MULTI_GET => {
+                let token = r.u64()?;
+                let n = r.u64()? as usize;
+                // 20 bytes per spec; validate before allocating.
+                if body.len() - r.pos < n.saturating_mul(20) {
+                    return Err(CodecError::Truncated);
+                }
+                let mut parts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    parts.push(GetSpec {
+                        array: r.u32()?,
+                        offset: r.u64()?,
+                        len: r.u64()?,
+                    });
+                }
+                Msg::MultiGet { token, parts }
+            }
+            T_GET_MULTI_REPLY => {
+                let token = r.u64()?;
+                let n = r.u64()? as usize;
+                // Each part needs at least its 8-byte count.
+                if body.len() - r.pos < n.saturating_mul(8) {
+                    return Err(CodecError::Truncated);
+                }
+                let mut parts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    parts.push(r.data()?);
+                }
+                Msg::GetReplyMulti { token, parts }
+            }
             t => return Err(CodecError::UnknownTag(t)),
         };
         if r.pos != body.len() {
             return Err(CodecError::TrailingBytes(body.len() - r.pos));
         }
         Ok(msg)
+    }
+
+    /// Zero-copy fast path for data-bearing get replies: if `body` is a
+    /// `GetReplyEager`, `GetReplyData` or `GetReplyMulti` frame, return a
+    /// validated borrowed view of its payload(s); `Ok(None)` for every
+    /// other tag (which callers route through [`Msg::decode`]).
+    /// Validation is as strict as `decode`: truncated bodies and trailing
+    /// bytes are rejected, never misread.
+    pub fn reply_view(body: &[u8]) -> Result<Option<ReplyView<'_>>, CodecError> {
+        let mut r = Reader { buf: body, pos: 0 };
+        let tag = r.u8()?;
+        let view = match tag {
+            T_GET_EAGER | T_GET_DATA => {
+                let token = r.u64()?;
+                let data = r.data_view()?;
+                ReplyView::Single {
+                    token,
+                    eager: tag == T_GET_EAGER,
+                    data,
+                }
+            }
+            T_GET_MULTI_REPLY => {
+                let token = r.u64()?;
+                let n = r.u64()? as usize;
+                if body.len() - r.pos < n.saturating_mul(8) {
+                    return Err(CodecError::Truncated);
+                }
+                let mut parts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    parts.push(r.data_view()?);
+                }
+                ReplyView::Multi { token, parts }
+            }
+            _ => return Ok(None),
+        };
+        if r.pos != body.len() {
+            return Err(CodecError::TrailingBytes(body.len() - r.pos));
+        }
+        Ok(Some(view))
     }
 }
 
@@ -521,6 +704,77 @@ mod tests {
     #[test]
     fn unknown_tag_rejected() {
         assert_eq!(Msg::decode(&[200]), Err(CodecError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn multi_get_roundtrip() {
+        let m = Msg::MultiGet {
+            token: 42,
+            parts: vec![
+                GetSpec {
+                    array: 1,
+                    offset: 100,
+                    len: 8,
+                },
+                GetSpec {
+                    array: 1,
+                    offset: 200,
+                    len: 16,
+                },
+                GetSpec {
+                    array: 3,
+                    offset: 0,
+                    len: 1,
+                },
+            ],
+        };
+        assert_eq!(Msg::decode(&m.encode()).unwrap(), m);
+        let r = Msg::GetReplyMulti {
+            token: 42,
+            parts: vec![vec![1.0; 8], vec![-2.5; 16], vec![0.0]],
+        };
+        assert_eq!(Msg::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn reply_view_matches_decode() {
+        let single = Msg::GetReplyEager {
+            token: 9,
+            data: vec![1.0, 2.0, 3.0],
+        };
+        match Msg::reply_view(&single.encode()).unwrap() {
+            Some(ReplyView::Single { token, eager, data }) => {
+                assert_eq!((token, eager), (9, true));
+                assert_eq!(data.to_vec(), vec![1.0, 2.0, 3.0]);
+                let mut out = [0.0; 3];
+                data.copy_into(&mut out);
+                assert_eq!(out, [1.0, 2.0, 3.0]);
+            }
+            _ => panic!("expected single view"),
+        }
+        let multi = Msg::GetReplyMulti {
+            token: 10,
+            parts: vec![vec![4.0], vec![], vec![5.0, 6.0]],
+        };
+        match Msg::reply_view(&multi.encode()).unwrap() {
+            Some(ReplyView::Multi { token, parts }) => {
+                assert_eq!(token, 10);
+                let got: Vec<Vec<f64>> = parts.iter().map(|p| p.to_vec()).collect();
+                assert_eq!(got, vec![vec![4.0], vec![], vec![5.0, 6.0]]);
+            }
+            _ => panic!("expected multi view"),
+        }
+        // Non-reply frames pass through untouched.
+        assert!(Msg::reply_view(&Msg::GetPull { token: 1 }.encode())
+            .unwrap()
+            .is_none());
+        // Strictness matches decode: trailing bytes rejected.
+        let mut body = single.encode();
+        body.push(0);
+        assert!(Msg::reply_view(&body).is_err());
+        let mut trunc = multi.encode();
+        trunc.truncate(trunc.len() - 1);
+        assert!(Msg::reply_view(&trunc).is_err());
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! completions (an eager get reply racing its own retry, a second
 //! `PutAck`) are counted no-ops, never panics.
 
-use crate::msg::Msg;
+use crate::msg::{GetSpec, Msg, ReplyView, WireSlice};
 use crate::transport::Transport;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -71,6 +71,19 @@ pub struct CommConfig {
     /// is transient loss, and termination comes from the transport
     /// eventually delivering, not from giving up.
     pub retry_backoff_max: Duration,
+    /// Order queued gets primarily by destination block (array, offset)
+    /// rather than by priority alone (default true). Adjacent blocks
+    /// drain consecutively, so batch frames carry spatially-clustered
+    /// reads; task priority still breaks ties within a block.
+    pub locality_order: bool,
+    /// Maximum queued gets packed into one `MultiGet` frame when a freed
+    /// in-flight slot drains the queue (default 8). `1` disables
+    /// batching entirely — every request travels as a plain `Get`.
+    pub max_batch_parts: usize,
+    /// Byte ceiling on one batch's total reply payload (default 256
+    /// KiB). Batched replies are always inline — this cap bounds the
+    /// frame where the rendezvous protocol would otherwise pace it.
+    pub max_batch_bytes: usize,
 }
 
 impl Default for CommConfig {
@@ -81,12 +94,17 @@ impl Default for CommConfig {
             comm_worker: 1000,
             retry_timeout: Duration::from_secs(1),
             retry_backoff_max: Duration::from_secs(4),
+            locality_order: true,
+            max_batch_parts: 8,
+            max_batch_bytes: 256 * 1024,
         }
     }
 }
 
-/// Completion callback of an asynchronous get.
-pub type GetCallback = Box<dyn FnOnce(Vec<f64>) + Send>;
+/// Completion callback of an asynchronous get. The payload arrives as a
+/// borrowed [`WireSlice`] — usually raw bytes still in the received
+/// frame — so callbacks copy once, straight into their own buffer.
+pub type GetCallback = Box<dyn FnOnce(WireSlice<'_>) + Send>;
 
 /// Operation counters, all frames and payloads.
 #[derive(Debug, Default)]
@@ -105,6 +123,12 @@ struct CommStats {
     retries: AtomicU64,
     dup_requests: AtomicU64,
     dup_replies: AtomicU64,
+    coalesced_gets: AtomicU64,
+    get_req_bytes: AtomicU64,
+    get_coal_bytes: AtomicU64,
+    get_wire_bytes: AtomicU64,
+    multi_gets: AtomicU64,
+    multi_parts: AtomicU64,
 }
 
 /// Point-in-time copy of a rank's communication counters.
@@ -136,6 +160,21 @@ pub struct CommStatsSnap {
     /// Late or duplicate completions (replies/acks whose pending entry
     /// was already gone) absorbed as no-ops.
     pub dup_replies: u64,
+    /// Gets that registered on an already-pending identical request and
+    /// shared its wire transfer instead of posting their own.
+    pub coalesced_gets: u64,
+    /// Payload bytes requested by every posted get (coalesced or not).
+    pub get_req_bytes: u64,
+    /// Requested bytes served by piggybacking on an in-flight identical
+    /// request; `get_req_bytes - get_coal_bytes == get_wire_bytes` once
+    /// the pipeline drains.
+    pub get_coal_bytes: u64,
+    /// Unique get payload bytes actually delivered off the wire.
+    pub get_wire_bytes: u64,
+    /// `MultiGet` batch frames sent, and the gets they carried. Batch
+    /// occupancy is `multi_parts / multi_gets`.
+    pub multi_gets: u64,
+    pub multi_parts: u64,
 }
 
 /// Deadline state of one retryable in-flight request.
@@ -167,17 +206,46 @@ impl Retry {
 struct PendingGet {
     peer: usize,
     posted_ns: u64,
-    cb: GetCallback,
+    /// Every reader waiting on this transfer: the poster plus any later
+    /// identical requests that coalesced onto it. One reply completes
+    /// them all.
+    cbs: Vec<GetCallback>,
     array: u32,
     offset: u64,
     len: u64,
-    /// `None` while the request still sits in the priority queue; armed
-    /// when the request is actually launched at its peer.
+    /// Set once the request went on the wire (alone or inside a batch);
+    /// stale heap entries for launched tokens are skipped on pop.
+    launched: bool,
+    /// `None` while the request sits in the priority queue or rides a
+    /// batch (the batch owns the retry); armed when launched alone.
     retry: Option<Retry>,
     retries: u32,
 }
 
+/// Requester-side view of all gets in flight or queued: by token for
+/// completion, by `(peer, array, offset, len)` for coalescing. Both maps
+/// live under one lock so a reply removing an entry can never race a
+/// coalescing registration on it.
+#[derive(Default)]
+struct GetTable {
+    by_token: HashMap<u64, PendingGet>,
+    by_key: HashMap<(usize, u32, u64, u64), u64>,
+}
+
+/// One `MultiGet` batch in flight: the sub-request tokens it carries (in
+/// frame order) and its retry state. The batch is the retry/dedup unit —
+/// a timeout resends the whole frame, a reply completes every sub.
+struct PendingBatch {
+    peer: usize,
+    subs: Vec<u64>,
+    retry: Retry,
+    retries: u32,
+}
+
 struct QueuedGet {
+    /// Locality key: `(array, offset)` when `CommConfig::locality_order`
+    /// is set, constant otherwise (priority then decides alone).
+    block: (u32, u64),
     prio: i64,
     seq: u64,
     token: u64,
@@ -198,9 +266,15 @@ impl PartialOrd for QueuedGet {
     }
 }
 impl Ord for QueuedGet {
-    /// Max-heap: highest priority first, FIFO (lowest sequence) on ties.
+    /// Max-heap. Lowest destination block drains first (so consecutive
+    /// pops hit adjacent blocks and batch frames stay spatially dense),
+    /// then highest priority, then FIFO (lowest sequence).
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.prio.cmp(&other.prio).then(other.seq.cmp(&self.seq))
+        other
+            .block
+            .cmp(&self.block)
+            .then(self.prio.cmp(&other.prio))
+            .then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -382,7 +456,8 @@ struct Inner {
     seq_tx: Vec<AtomicU64>,
     shutdown: AtomicBool,
     counter: AtomicI64,
-    pending_gets: Mutex<HashMap<u64, PendingGet>>,
+    gets: Mutex<GetTable>,
+    batches: Mutex<HashMap<u64, PendingBatch>>,
     get_state: Mutex<Vec<PeerGets>>,
     rndv_out: Mutex<HashMap<u64, RndvOut>>,
     // Keyed by (requesting rank, its token): tokens are allocated
@@ -427,7 +502,8 @@ impl Endpoint {
             seq_tx: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
             shutdown: AtomicBool::new(false),
             counter: AtomicI64::new(0),
-            pending_gets: Mutex::new(HashMap::new()),
+            gets: Mutex::new(GetTable::default()),
+            batches: Mutex::new(HashMap::new()),
             get_state: Mutex::new((0..nranks).map(|_| PeerGets::default()).collect()),
             rndv_out: Mutex::new(HashMap::new()),
             rndv_serve: Mutex::new(HashMap::new()),
@@ -482,6 +558,10 @@ impl Endpoint {
     /// Post an asynchronous get of `[offset, offset+len)` of `array` on
     /// `peer`'s shard. `prio` orders queued requests under backpressure;
     /// `cb` runs on the progress thread when the data arrives.
+    ///
+    /// An identical request already pending (same peer, array, offset,
+    /// len) absorbs this one: the callback joins its waiter list and the
+    /// two share one wire transfer.
     pub fn get_async(
         &self,
         peer: usize,
@@ -493,41 +573,57 @@ impl Endpoint {
     ) {
         let i = &self.inner;
         i.stats.gets.fetch_add(1, Ordering::Relaxed);
-        let token = i.token.fetch_add(1, Ordering::Relaxed);
-        i.pending_gets.lock().unwrap().insert(
-            token,
-            PendingGet {
-                peer,
-                posted_ns: i.now_ns(),
-                cb,
-                array,
-                offset: offset as u64,
-                len: len as u64,
-                retry: None,
-                retries: 0,
-            },
-        );
-        let launch = {
-            let mut gs = i.get_state.lock().unwrap();
-            let st = &mut gs[peer];
-            if st.inflight < i.cfg.max_inflight_gets {
-                st.inflight += 1;
-                true
-            } else {
-                st.queue.push(QueuedGet {
-                    prio,
-                    seq: token,
-                    token,
+        i.stats
+            .get_req_bytes
+            .fetch_add(len as u64 * 8, Ordering::Relaxed);
+        let key = (peer, array, offset as u64, len as u64);
+        {
+            let mut tbl = i.gets.lock().unwrap();
+            if let Some(&t) = tbl.by_key.get(&key) {
+                // Coalesce: the pending transfer (queued, launched, or
+                // riding a batch) will complete this reader too.
+                if let Some(pg) = tbl.by_token.get_mut(&t) {
+                    pg.cbs.push(cb);
+                    i.stats.coalesced_gets.fetch_add(1, Ordering::Relaxed);
+                    i.stats
+                        .get_coal_bytes
+                        .fetch_add(len as u64 * 8, Ordering::Relaxed);
+                    return;
+                }
+                // Stale key (entry completed): fall through and repost.
+            }
+            let token = i.token.fetch_add(1, Ordering::Relaxed);
+            tbl.by_token.insert(
+                token,
+                PendingGet {
+                    peer,
+                    posted_ns: i.now_ns(),
+                    cbs: vec![cb],
                     array,
                     offset: offset as u64,
                     len: len as u64,
-                });
-                false
-            }
-        };
-        if launch {
-            i.launch_get(peer, token, array, offset as u64, len as u64);
+                    launched: false,
+                    retry: None,
+                    retries: 0,
+                },
+            );
+            tbl.by_key.insert(key, token);
+            let block = if i.cfg.locality_order {
+                (array, offset as u64)
+            } else {
+                (0, 0)
+            };
+            i.get_state.lock().unwrap()[peer].queue.push(QueuedGet {
+                block,
+                prio,
+                seq: token,
+                token,
+                array,
+                offset: offset as u64,
+                len: len as u64,
+            });
         }
+        i.pump(peer);
     }
 
     /// Blocking get (the legacy `GET_HASH_BLOCK` shape).
@@ -540,8 +636,8 @@ impl Endpoint {
             offset,
             len,
             i64::MAX,
-            Box::new(move |data| {
-                *fill.0.lock().unwrap() = Some(data);
+            Box::new(move |data: WireSlice<'_>| {
+                *fill.0.lock().unwrap() = Some(data.to_vec());
                 fill.1.notify_all();
             }),
         );
@@ -746,6 +842,12 @@ impl Endpoint {
             retries: s.retries.load(Ordering::Relaxed),
             dup_requests: s.dup_requests.load(Ordering::Relaxed),
             dup_replies: s.dup_replies.load(Ordering::Relaxed),
+            coalesced_gets: s.coalesced_gets.load(Ordering::Relaxed),
+            get_req_bytes: s.get_req_bytes.load(Ordering::Relaxed),
+            get_coal_bytes: s.get_coal_bytes.load(Ordering::Relaxed),
+            get_wire_bytes: s.get_wire_bytes.load(Ordering::Relaxed),
+            multi_gets: s.multi_gets.load(Ordering::Relaxed),
+            multi_parts: s.multi_parts.load(Ordering::Relaxed),
         }
     }
 
@@ -803,22 +905,87 @@ impl Inner {
         self.transport.send(to, body);
     }
 
-    /// Arm the retry deadline of a (possibly queued-then-launched) get
-    /// and send the request. The pending entry may already be gone if a
-    /// reply raced us — then there is nothing to launch.
-    fn launch_get(&self, peer: usize, token: u64, array: u32, offset: u64, len: u64) {
-        if let Some(pg) = self.pending_gets.lock().unwrap().get_mut(&token) {
-            pg.retry = Some(Retry::new(&self.cfg));
+    /// Drain `peer`'s get queue into its free in-flight slots. Each slot
+    /// takes one *frame*: the single best queued request, or — when the
+    /// queue has depth — up to `max_batch_parts` of them packed into one
+    /// `MultiGet`. With locality ordering on, consecutive pops are
+    /// adjacent destination blocks, so the packed frame is spatially
+    /// dense. Frames are sent after every lock is released.
+    fn pump(&self, peer: usize) {
+        let mut to_send: Vec<Msg> = Vec::new();
+        {
+            let mut tbl = self.gets.lock().unwrap();
+            let mut gs = self.get_state.lock().unwrap();
+            let st = &mut gs[peer];
+            while st.inflight < self.cfg.max_inflight_gets {
+                // Collect one frame's worth of live queued requests.
+                let mut group: Vec<QueuedGet> = Vec::new();
+                let mut bytes = 0usize;
+                while group.len() < self.cfg.max_batch_parts.max(1) {
+                    let Some(q) = st.queue.peek() else { break };
+                    let live = tbl.by_token.get(&q.token).is_some_and(|pg| !pg.launched);
+                    if !live {
+                        // Stale heap entry (completed, or re-pushed with
+                        // a different priority and already launched).
+                        st.queue.pop();
+                        continue;
+                    }
+                    let sz = q.len as usize * 8;
+                    if !group.is_empty() && bytes + sz > self.cfg.max_batch_bytes {
+                        break;
+                    }
+                    bytes += sz;
+                    group.push(st.queue.pop().unwrap());
+                }
+                if group.is_empty() {
+                    break;
+                }
+                st.inflight += 1;
+                if group.len() == 1 {
+                    let q = &group[0];
+                    let pg = tbl.by_token.get_mut(&q.token).unwrap();
+                    pg.launched = true;
+                    pg.retry = Some(Retry::new(&self.cfg));
+                    to_send.push(Msg::Get {
+                        token: q.token,
+                        array: q.array,
+                        offset: q.offset,
+                        len: q.len,
+                    });
+                } else {
+                    let btok = self.token.fetch_add(1, Ordering::Relaxed);
+                    let mut parts = Vec::with_capacity(group.len());
+                    let mut subs = Vec::with_capacity(group.len());
+                    for q in &group {
+                        let pg = tbl.by_token.get_mut(&q.token).unwrap();
+                        pg.launched = true;
+                        parts.push(GetSpec {
+                            array: q.array,
+                            offset: q.offset,
+                            len: q.len,
+                        });
+                        subs.push(q.token);
+                    }
+                    self.stats.multi_gets.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .multi_parts
+                        .fetch_add(subs.len() as u64, Ordering::Relaxed);
+                    self.batches.lock().unwrap().insert(
+                        btok,
+                        PendingBatch {
+                            peer,
+                            subs,
+                            retry: Retry::new(&self.cfg),
+                            retries: 0,
+                        },
+                    );
+                    to_send.push(Msg::MultiGet { token: btok, parts });
+                }
+            }
         }
-        self.post(
-            peer,
-            &Msg::Get {
-                token,
-                array,
-                offset,
-                len,
-            },
-        );
+        for msg in &to_send {
+            self.post(peer, msg);
+        }
     }
 
     fn begin_ack(
@@ -875,8 +1042,19 @@ impl Inner {
             self.stats
                 .bytes_rx
                 .fetch_add(body.len() as u64, Ordering::Relaxed);
-            let msg = Msg::decode(&body).expect("malformed frame");
-            self.handle(from, msg);
+            // Data-bearing get replies take the zero-copy path: the
+            // payload is delivered as a borrowed view of `body` and
+            // copied once, straight into the reader's buffer.
+            match Msg::reply_view(&body).expect("malformed frame") {
+                Some(ReplyView::Single { token, eager, data }) => {
+                    self.finish_get(token, data, eager)
+                }
+                Some(ReplyView::Multi { token, parts }) => self.finish_batch(token, &parts),
+                None => {
+                    let msg = Msg::decode(&body).expect("malformed frame");
+                    self.handle(from, msg);
+                }
+            }
         }
     }
 
@@ -887,19 +1065,44 @@ impl Inner {
         let now = Instant::now();
         let cap = self.cfg.retry_backoff_max;
         let mut resend: Vec<(usize, Msg)> = Vec::new();
-        for (&token, pg) in self.pending_gets.lock().unwrap().iter_mut() {
-            if let Some(r) = &mut pg.retry {
-                if r.due(now, cap) {
-                    pg.retries += 1;
-                    resend.push((
-                        pg.peer,
-                        Msg::Get {
-                            token,
-                            array: pg.array,
-                            offset: pg.offset,
-                            len: pg.len,
-                        },
-                    ));
+        {
+            let mut tbl = self.gets.lock().unwrap();
+            for (&token, pg) in tbl.by_token.iter_mut() {
+                if let Some(r) = &mut pg.retry {
+                    if r.due(now, cap) {
+                        pg.retries += 1;
+                        resend.push((
+                            pg.peer,
+                            Msg::Get {
+                                token,
+                                array: pg.array,
+                                offset: pg.offset,
+                                len: pg.len,
+                            },
+                        ));
+                    }
+                }
+            }
+            // A batch retries as one unit: the whole frame is rebuilt
+            // from its (still pending) sub-requests and resent. Reads
+            // are idempotent, so a duplicated batch is served again and
+            // its late reply absorbed as a counted duplicate.
+            for (&btok, b) in self.batches.lock().unwrap().iter_mut() {
+                if b.retry.due(now, cap) {
+                    b.retries += 1;
+                    let parts = b
+                        .subs
+                        .iter()
+                        .map(|t| {
+                            let pg = &tbl.by_token[t];
+                            GetSpec {
+                                array: pg.array,
+                                offset: pg.offset,
+                                len: pg.len,
+                            }
+                        })
+                        .collect();
+                    resend.push((b.peer, Msg::MultiGet { token: btok, parts }));
                 }
             }
         }
@@ -981,6 +1184,20 @@ impl Inner {
                         self.stats.dup_requests.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+            }
+            Msg::MultiGet { token, parts } => {
+                // Batched reads are served inline in one reply frame —
+                // the requester's batch byte cap bounds it, so no
+                // rendezvous pacing is needed. Idempotent like Get: a
+                // retransmitted batch is simply read and served again.
+                let data: Vec<Vec<f64>> = parts
+                    .iter()
+                    .map(|p| self.store.read(p.array, p.offset as usize, p.len as usize))
+                    .collect();
+                for _ in &data {
+                    self.count_payload(true);
+                }
+                self.post(from, &Msg::GetReplyMulti { token, parts: data });
             }
             Msg::Put {
                 token,
@@ -1087,19 +1304,30 @@ impl Inner {
             }
 
             // ---- requesting side: completions of our own posts ----
-            Msg::GetReplyEager { token, data } => self.finish_get(token, data, true),
+            // (Data-bearing get replies normally arrive through the
+            // zero-copy `reply_view` fast path in `progress_loop`; these
+            // arms keep decoded delivery correct for any other caller.)
+            Msg::GetReplyEager { token, data } => {
+                self.finish_get(token, WireSlice::F64(&data), true)
+            }
             Msg::GetReplyRndv { token, .. } => {
                 // Pull even when no get is pending: an announce from a
                 // retransmitted request whose first round already
                 // completed still parked a payload at the server — the
                 // pull garbage-collects it (and its data lands as a
                 // counted duplicate below).
-                if !self.pending_gets.lock().unwrap().contains_key(&token) {
+                if !self.gets.lock().unwrap().by_token.contains_key(&token) {
                     self.dup_reply();
                 }
                 self.post(from, &Msg::GetPull { token });
             }
-            Msg::GetReplyData { token, data } => self.finish_get(token, data, false),
+            Msg::GetReplyData { token, data } => {
+                self.finish_get(token, WireSlice::F64(&data), false)
+            }
+            Msg::GetReplyMulti { token, parts } => {
+                let views: Vec<WireSlice<'_>> = parts.iter().map(|p| WireSlice::F64(p)).collect();
+                self.finish_batch(token, &views);
+            }
             Msg::PutCts { token } | Msg::AccCts { token } => {
                 // Entry retained until the final ack: a duplicated CTS
                 // re-sends the (dedup-protected) payload.
@@ -1121,39 +1349,84 @@ impl Inner {
         }
     }
 
-    fn finish_get(&self, token: u64, data: Vec<f64>, eager: bool) {
-        // A late or duplicate reply (the original racing its own retry)
-        // finds no pending entry: counted, dropped, and crucially *not*
-        // double-freeing the in-flight slot.
-        let Some(pg) = self.pending_gets.lock().unwrap().remove(&token) else {
-            self.dup_reply();
-            return;
+    /// Remove one pending get (and its coalescing key), record latency
+    /// and a trace span. Returns the entry for callback delivery.
+    fn retire_get(&self, token: u64, eager: bool, batch_retried: bool) -> Option<PendingGet> {
+        let pg = {
+            let mut tbl = self.gets.lock().unwrap();
+            let pg = tbl.by_token.remove(&token)?;
+            let key = (pg.peer, pg.array, pg.offset, pg.len);
+            if tbl.by_key.get(&key) == Some(&token) {
+                tbl.by_key.remove(&key);
+            }
+            pg
         };
         let now = self.now_ns();
         self.get_lat.lock().unwrap().push(now - pg.posted_ns);
+        self.stats
+            .get_wire_bytes
+            .fetch_add(pg.len * 8, Ordering::Relaxed);
         {
             let mut t = self.trace.lock().unwrap();
-            let class = t.1.get[(pg.retries > 0) as usize][eager as usize];
+            let retried = pg.retries > 0 || batch_retried;
+            let class = t.1.get[retried as usize][eager as usize];
             let row = WorkerId::new(self.rank as u32, self.cfg.comm_worker);
             t.0.push(row, class, pg.posted_ns, now);
         }
-        // Free the in-flight slot and launch the best queued request.
-        let next = {
-            let mut gs = self.get_state.lock().unwrap();
-            let st = &mut gs[pg.peer];
-            st.inflight -= 1;
-            match st.queue.pop() {
-                Some(q) => {
-                    st.inflight += 1;
-                    Some(q)
-                }
-                None => None,
-            }
+        Some(pg)
+    }
+
+    /// Free one in-flight slot toward `peer` and refill it from the
+    /// queue.
+    fn release_slot(&self, peer: usize) {
+        self.get_state.lock().unwrap()[peer].inflight -= 1;
+        self.pump(peer);
+    }
+
+    fn finish_get(&self, token: u64, data: WireSlice<'_>, eager: bool) {
+        // A late or duplicate reply (the original racing its own retry)
+        // finds no pending entry: counted, dropped, and crucially *not*
+        // double-freeing the in-flight slot.
+        let Some(pg) = self.retire_get(token, eager, false) else {
+            self.dup_reply();
+            return;
         };
-        if let Some(q) = next {
-            self.launch_get(pg.peer, q.token, q.array, q.offset, q.len);
+        self.release_slot(pg.peer);
+        // Every coalesced waiter shares the one payload.
+        for cb in pg.cbs {
+            cb(data);
         }
-        (pg.cb)(data);
+    }
+
+    /// Complete every sub-request of a `MultiGet` batch from its one
+    /// reply frame; the batch held one in-flight slot.
+    fn finish_batch(&self, token: u64, parts: &[WireSlice<'_>]) {
+        let Some(batch) = self.batches.lock().unwrap().remove(&token) else {
+            self.dup_reply();
+            return;
+        };
+        assert_eq!(
+            batch.subs.len(),
+            parts.len(),
+            "multi-get reply part count mismatch"
+        );
+        let retried = batch.retries > 0;
+        let mut cbs = Vec::new();
+        for (&sub, part) in batch.subs.iter().zip(parts) {
+            // Subs complete only through their batch, so each entry must
+            // still be pending here (a duplicate reply was caught above
+            // by the batch lookup).
+            if let Some(pg) = self.retire_get(sub, true, retried) {
+                debug_assert_eq!(pg.len as usize, part.len(), "part length mismatch");
+                cbs.push((pg.cbs, *part));
+            }
+        }
+        self.release_slot(batch.peer);
+        for (list, part) in cbs {
+            for cb in list {
+                cb(part);
+            }
+        }
     }
 
     fn finish_ack(&self, token: u64) {

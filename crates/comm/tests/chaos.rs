@@ -101,8 +101,8 @@ fn workload(ep: &Endpoint, r: usize) -> (Vec<i64>, Vec<i64>) {
                 q * BIG,
                 len,
                 q as i64,
-                Box::new(move |data| {
-                    let _ = tx.send((q, eager, data));
+                Box::new(move |data: comm::WireSlice<'_>| {
+                    let _ = tx.send((q, eager, data.to_vec()));
                 }),
             );
             expected += 2;

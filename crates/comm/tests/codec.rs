@@ -4,7 +4,7 @@
 //! are rejected with an error rather than misparsed or panicking — the
 //! decode path is what every chaos-injected frame flows through.
 
-use comm::msg::Msg;
+use comm::msg::{GetSpec, Msg};
 use proptest::collection;
 use proptest::prelude::*;
 
@@ -18,7 +18,7 @@ fn arb_payload() -> impl Strategy<Value = Vec<f64>> {
     ]
 }
 
-/// One random message of any of the 21 wire types.
+/// One random message of any of the 23 wire types.
 fn arb_msg() -> impl Strategy<Value = Msg> {
     (
         (any::<u8>(), any::<u64>(), any::<u32>()),
@@ -26,7 +26,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
         (any::<i64>(), arb_payload(), any::<u64>()),
     )
         .prop_map(
-            |((which, token, array), (offset, len, alpha), (value, data, seq))| match which % 21 {
+            |((which, token, array), (offset, len, alpha), (value, data, seq))| match which % 23 {
                 0 => Msg::Get {
                     token,
                     array,
@@ -91,7 +91,32 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     epoch: len,
                     from: array,
                 },
-                _ => Msg::BarrierRelease { epoch: len },
+                20 => Msg::BarrierRelease { epoch: len },
+                // Batched frames carry 0..=4 parts, including the empty
+                // edge case the progress engine never sends but the
+                // decoder must still round-trip, not reject.
+                21 => Msg::MultiGet {
+                    token,
+                    parts: (0..seq % 5)
+                        .map(|i| GetSpec {
+                            array: array.wrapping_add(i as u32),
+                            offset: offset.wrapping_add(i * 7),
+                            len: len % 1024,
+                        })
+                        .collect(),
+                },
+                _ => Msg::GetReplyMulti {
+                    token,
+                    parts: (0..seq % 5)
+                        .map(|i| {
+                            let mut p = data.clone();
+                            if let Some(x) = p.first_mut() {
+                                *x += i as f64;
+                            }
+                            p
+                        })
+                        .collect(),
+                },
             },
         )
 }

@@ -1,0 +1,396 @@
+//! Per-rank read-through tile cache for distributed GA gets.
+//!
+//! CCSD reads are block-shaped and read-mostly: within one execution the
+//! `t2`/`v` operand tensors never change, and many chains re-fetch the
+//! same blocks. The cache keys completed gets by `(array, offset, len)`
+//! — the TCE hash-block identity — and serves repeats from local memory,
+//! turning the dominant wire cost into a memcpy.
+//!
+//! Coherence (documented in DESIGN.md §4.6) is invalidate-on-mutate plus
+//! flush-at-sync: any local Put/Acc and any *incoming* Put/Acc applied to
+//! this rank's shard drops every overlapping entry immediately (so a
+//! rank always reads its own writes, and reads of locally-owned data
+//! mutated by a peer refetch), while third-party mutations to other
+//! ranks' shards become visible exactly where GA's relaxed model makes
+//! them visible: at `sync`, which flushes the whole cache.
+//!
+//! Request coalescing lives here too: the first reader of an uncached
+//! block installs an in-flight [`Fill`] and owns the wire transfer;
+//! later readers of the same block park a [`Waiter`] on it, and the one
+//! completion serves everyone. (The comm endpoint coalesces identical
+//! per-owner *pieces* as a second line of defense; this level merges
+//! whole-block requests before they ever split by owner.)
+
+use crate::stats::GaStats;
+use crate::GaGetCallback;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Tile-cache tuning knobs.
+#[derive(Debug, Clone)]
+pub struct TileCacheConfig {
+    /// Master switch; `false` reproduces the uncached PR-5 read path.
+    pub enabled: bool,
+    /// Byte budget for cached blocks; FIFO eviction beyond it (default
+    /// 256 MiB — comfortably the working set of the bench scales).
+    pub capacity_bytes: usize,
+    /// Paranoia mode for chaos gates: every hit also fetches the block
+    /// fresh from its owners and counts a `stale_read` on mismatch.
+    pub verify_reads: bool,
+}
+
+impl Default for TileCacheConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            capacity_bytes: 256 * 1024 * 1024,
+            verify_reads: false,
+        }
+    }
+}
+
+/// Cache key: the block identity of one get.
+type Key = (usize, usize, usize); // (array, offset, len)
+
+/// A reader parked on an in-flight fill: its destination buffer and
+/// completion callback, served by the fill owner's completion.
+pub(crate) struct Waiter {
+    pub buf: Vec<f64>,
+    pub cb: GaGetCallback,
+}
+
+/// One in-flight block fetch that later identical reads coalesce onto.
+pub(crate) struct Fill {
+    key: Key,
+    waiters: Mutex<Vec<Waiter>>,
+}
+
+enum Slot {
+    Ready(Arc<Vec<f64>>),
+    Filling(Arc<Fill>),
+}
+
+struct CacheState {
+    map: HashMap<Key, Slot>,
+    /// FIFO eviction order of Ready entries.
+    order: VecDeque<Key>,
+    bytes: usize,
+}
+
+/// Outcome of a cache lookup; buffer and callback flow back to the
+/// caller on the paths where the caller still runs the transfer.
+pub(crate) enum Lookup {
+    /// Cached: copy `data` into `buf` and complete.
+    Hit {
+        data: Arc<Vec<f64>>,
+        buf: Vec<f64>,
+        cb: GaGetCallback,
+    },
+    /// Parked on an in-flight fill; the fill owner completes this reader.
+    Joined,
+    /// Miss: the caller owns the transfer and must call
+    /// [`TileCache::complete`] with this fill when the block lands.
+    Fill {
+        fill: Arc<Fill>,
+        buf: Vec<f64>,
+        cb: GaGetCallback,
+    },
+}
+
+/// The per-rank read-through cache. Shared between the owning `Ga` (read
+/// path) and its `DistStore` (invalidation on incoming mutations).
+pub struct TileCache {
+    cfg: TileCacheConfig,
+    stats: Arc<GaStats>,
+    state: Mutex<CacheState>,
+}
+
+impl TileCache {
+    pub(crate) fn new(cfg: TileCacheConfig, stats: Arc<GaStats>) -> Arc<Self> {
+        Arc::new(Self {
+            cfg,
+            stats,
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                bytes: 0,
+            }),
+        })
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    pub(crate) fn verify_reads(&self) -> bool {
+        self.cfg.verify_reads
+    }
+
+    /// Look up `key`, registering as a waiter or installing a fresh fill
+    /// on miss. Counters are recorded here; the caller acts on the
+    /// returned variant.
+    pub(crate) fn lookup(&self, key: Key, buf: Vec<f64>, cb: GaGetCallback) -> Lookup {
+        let mut st = self.state.lock();
+        match st.map.get(&key) {
+            Some(Slot::Ready(data)) => {
+                let data = data.clone();
+                drop(st);
+                self.stats.record_cache_hit(key.2 * 8);
+                Lookup::Hit { data, buf, cb }
+            }
+            Some(Slot::Filling(fill)) => {
+                fill.waiters.lock().push(Waiter { buf, cb });
+                drop(st);
+                self.stats.record_cache_join(key.2 * 8);
+                Lookup::Joined
+            }
+            None => {
+                let fill = Arc::new(Fill {
+                    key,
+                    waiters: Mutex::new(Vec::new()),
+                });
+                st.map.insert(key, Slot::Filling(fill.clone()));
+                drop(st);
+                self.stats.record_cache_miss();
+                Lookup::Fill { fill, buf, cb }
+            }
+        }
+    }
+
+    /// Deposit a completed fill's block and collect its parked waiters.
+    /// If the entry was invalidated (or replaced by a newer fill) while
+    /// in flight, the block is *not* cached — the waiters still get the
+    /// data they asked for, but no later read can hit the pre-mutation
+    /// copy.
+    pub(crate) fn complete(&self, fill: &Arc<Fill>, data: &[f64]) -> Vec<Waiter> {
+        let mut st = self.state.lock();
+        let still_ours = matches!(
+            st.map.get(&fill.key),
+            Some(Slot::Filling(f)) if Arc::ptr_eq(f, fill)
+        );
+        if still_ours {
+            st.map
+                .insert(fill.key, Slot::Ready(Arc::new(data.to_vec())));
+            st.order.push_back(fill.key);
+            st.bytes += fill.key.2 * 8;
+            // FIFO eviction; in-flight fills are never evicted.
+            while st.bytes > self.cfg.capacity_bytes {
+                let Some(old) = st.order.pop_front() else {
+                    break;
+                };
+                if matches!(st.map.get(&old), Some(Slot::Ready(_))) {
+                    st.map.remove(&old);
+                    st.bytes -= old.2 * 8;
+                }
+            }
+        }
+        // Waiters are taken under the cache lock so no new reader can
+        // register between the map update and the drain.
+        let waiters = std::mem::take(&mut *fill.waiters.lock());
+        drop(st);
+        waiters
+    }
+
+    /// Drop every entry of `array` overlapping `[offset, offset+len)` —
+    /// called on local mutations *and* on incoming Put/Acc applied to
+    /// this rank's shard. In-flight fills are detached (their completion
+    /// will not be cached).
+    pub(crate) fn invalidate_overlap(&self, array: usize, offset: usize, len: usize) {
+        if !self.cfg.enabled || len == 0 {
+            return;
+        }
+        let mut st = self.state.lock();
+        let end = offset + len;
+        let doomed: Vec<Key> = st
+            .map
+            .keys()
+            .filter(|&&(a, o, l)| a == array && o < end && offset < o + l)
+            .copied()
+            .collect();
+        let n = doomed.len() as u64;
+        for key in doomed {
+            if matches!(st.map.remove(&key), Some(Slot::Ready(_))) {
+                st.bytes -= key.2 * 8;
+            }
+        }
+        drop(st);
+        if n > 0 {
+            self.stats.record_cache_invalidations(n);
+        }
+    }
+
+    /// Drop every entry of `array` (collective `zero`).
+    pub(crate) fn invalidate_array(&self, array: usize) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let mut st = self.state.lock();
+        let doomed: Vec<Key> = st
+            .map
+            .keys()
+            .filter(|&&(a, _, _)| a == array)
+            .copied()
+            .collect();
+        let n = doomed.len() as u64;
+        for key in doomed {
+            if matches!(st.map.remove(&key), Some(Slot::Ready(_))) {
+                st.bytes -= key.2 * 8;
+            }
+        }
+        drop(st);
+        if n > 0 {
+            self.stats.record_cache_invalidations(n);
+        }
+    }
+
+    /// Drop everything — the `sync` boundary, where GA's relaxed model
+    /// makes every rank's mutations globally visible, so any cached
+    /// block may now be behind a third-party write.
+    pub(crate) fn flush(&self) {
+        let mut st = self.state.lock();
+        let n = st.map.len() as u64;
+        st.map.clear();
+        st.order.clear();
+        st.bytes = 0;
+        drop(st);
+        if n > 0 {
+            self.stats.record_cache_invalidations(n);
+        }
+    }
+
+    /// Cached bytes right now (tests).
+    #[cfg(test)]
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.state.lock().bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(cap: usize) -> Arc<TileCache> {
+        TileCache::new(
+            TileCacheConfig {
+                enabled: true,
+                capacity_bytes: cap,
+                verify_reads: false,
+            },
+            Arc::new(GaStats::default()),
+        )
+    }
+
+    fn nop_cb() -> GaGetCallback {
+        Box::new(|_| {})
+    }
+
+    #[test]
+    fn miss_fill_hit_roundtrip() {
+        let c = cache(1 << 20);
+        let key = (0, 8, 4);
+        let Lookup::Fill { fill, .. } = c.lookup(key, vec![0.0; 4], nop_cb()) else {
+            panic!("first lookup must miss");
+        };
+        // A second reader of the same block parks on the fill.
+        assert!(matches!(
+            c.lookup(key, vec![0.0; 4], nop_cb()),
+            Lookup::Joined
+        ));
+        let waiters = c.complete(&fill, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(waiters.len(), 1);
+        match c.lookup(key, vec![0.0; 4], nop_cb()) {
+            Lookup::Hit { data, .. } => assert_eq!(*data, vec![1.0, 2.0, 3.0, 4.0]),
+            _ => panic!("third lookup must hit"),
+        }
+        assert_eq!(c.stats.cache_hits(), 1);
+        assert_eq!(c.stats.cache_joins(), 1);
+        assert_eq!(c.stats.cache_misses(), 1);
+    }
+
+    #[test]
+    fn overlap_invalidation_is_range_exact() {
+        let c = cache(1 << 20);
+        for off in [0usize, 10, 20] {
+            let Lookup::Fill { fill, .. } = c.lookup((3, off, 10), vec![0.0; 10], nop_cb()) else {
+                panic!("miss expected");
+            };
+            c.complete(&fill, &[off as f64; 10]);
+        }
+        // Touches [10, 20) only.
+        c.invalidate_overlap(3, 15, 3);
+        assert!(matches!(
+            c.lookup((3, 0, 10), vec![0.0; 10], nop_cb()),
+            Lookup::Hit { .. }
+        ));
+        assert!(matches!(
+            c.lookup((3, 20, 10), vec![0.0; 10], nop_cb()),
+            Lookup::Hit { .. }
+        ));
+        assert!(matches!(
+            c.lookup((3, 10, 10), vec![0.0; 10], nop_cb()),
+            Lookup::Fill { .. }
+        ));
+        // Other arrays untouched.
+        c.invalidate_overlap(4, 0, 100);
+        assert!(matches!(
+            c.lookup((3, 0, 10), vec![0.0; 10], nop_cb()),
+            Lookup::Hit { .. }
+        ));
+        assert_eq!(c.stats.cache_invalidations(), 1);
+    }
+
+    #[test]
+    fn invalidated_fill_is_not_cached() {
+        let c = cache(1 << 20);
+        let key = (0, 0, 2);
+        let Lookup::Fill { fill, .. } = c.lookup(key, vec![0.0; 2], nop_cb()) else {
+            panic!("miss expected");
+        };
+        // Mutation lands while the fill is in flight.
+        c.invalidate_overlap(0, 1, 1);
+        let waiters = c.complete(&fill, &[9.0, 9.0]);
+        assert!(waiters.is_empty());
+        // The stale block must not have been cached.
+        assert!(matches!(
+            c.lookup(key, vec![0.0; 2], nop_cb()),
+            Lookup::Fill { .. }
+        ));
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let c = cache(3 * 10 * 8); // room for three 10-element blocks
+        for off in [0usize, 10, 20, 30] {
+            let Lookup::Fill { fill, .. } = c.lookup((0, off, 10), vec![0.0; 10], nop_cb()) else {
+                panic!("miss expected");
+            };
+            c.complete(&fill, &[0.0; 10]);
+        }
+        assert!(c.resident_bytes() <= 3 * 10 * 8);
+        // Oldest block evicted, newest resident.
+        assert!(matches!(
+            c.lookup((0, 0, 10), vec![0.0; 10], nop_cb()),
+            Lookup::Fill { .. }
+        ));
+        assert!(matches!(
+            c.lookup((0, 30, 10), vec![0.0; 10], nop_cb()),
+            Lookup::Hit { .. }
+        ));
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let c = cache(1 << 20);
+        let Lookup::Fill { fill, .. } = c.lookup((1, 0, 4), vec![0.0; 4], nop_cb()) else {
+            panic!("miss expected");
+        };
+        c.complete(&fill, &[1.0; 4]);
+        c.flush();
+        assert_eq!(c.resident_bytes(), 0);
+        assert!(matches!(
+            c.lookup((1, 0, 4), vec![0.0; 4], nop_cb()),
+            Lookup::Fill { .. }
+        ));
+    }
+}

@@ -6,10 +6,12 @@
 //! of GA's data server. [`crate::Ga`] methods split every range by owner:
 //! local pieces short-circuit to memcpy, remote pieces go on the wire.
 
+use crate::cache::TileCache;
 use crate::dist::Distribution;
-use comm::{Endpoint, ShardStore};
+use crate::GaGetCallback;
+use comm::{Endpoint, ShardStore, WireSlice};
 use parking_lot::{Condvar as PlCondvar, Mutex};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 
 struct DistArray {
     dist: Distribution,
@@ -25,6 +27,11 @@ pub struct DistStore {
     nranks: usize,
     arrays: Mutex<Vec<Arc<DistArray>>>,
     created: PlCondvar,
+    /// The owning `Ga`'s tile cache, attached at `init_dist_cfg`. Every
+    /// shard mutation — the local fast paths *and* incoming `Put`/`Acc`
+    /// active messages, which the progress engine applies through the
+    /// same methods — invalidates overlapping cached blocks here.
+    cache: OnceLock<Arc<TileCache>>,
 }
 
 impl DistStore {
@@ -36,7 +43,12 @@ impl DistStore {
             nranks,
             arrays: Mutex::new(Vec::new()),
             created: PlCondvar::new(),
+            cache: OnceLock::new(),
         })
+    }
+
+    pub(crate) fn attach_cache(&self, cache: Arc<TileCache>) {
+        let _ = self.cache.set(cache);
     }
 
     /// This store's rank.
@@ -95,22 +107,37 @@ impl DistStore {
         let a = self.array(h);
         let s = a.dist.range_of(self.rank).start;
         a.shard.lock()[offset - s..offset - s + data.len()].copy_from_slice(data);
+        // Invalidate *after* the shard holds the new value: a concurrent
+        // reader either hits the doomed entry (pre-write value, allowed
+        // before the write completes) or refetches post-write data —
+        // never caches stale data past the mutation.
+        if let Some(c) = self.cache.get() {
+            c.invalidate_overlap(h, offset, data.len());
+        }
     }
 
     pub(crate) fn acc_local(&self, h: usize, offset: usize, data: &[f64], alpha: f64) {
         let a = self.array(h);
         let s = a.dist.range_of(self.rank).start;
-        let mut shard = a.shard.lock();
-        for (dst, x) in shard[offset - s..offset - s + data.len()]
-            .iter_mut()
-            .zip(data)
         {
-            *dst += alpha * x;
+            let mut shard = a.shard.lock();
+            for (dst, x) in shard[offset - s..offset - s + data.len()]
+                .iter_mut()
+                .zip(data)
+            {
+                *dst += alpha * x;
+            }
+        }
+        if let Some(c) = self.cache.get() {
+            c.invalidate_overlap(h, offset, data.len());
         }
     }
 
     pub(crate) fn zero_local(&self, h: usize) {
         self.array(h).shard.lock().fill(0.0);
+        if let Some(c) = self.cache.get() {
+            c.invalidate_array(h);
+        }
     }
 }
 
@@ -140,14 +167,14 @@ pub(crate) struct Assembly {
 struct AssemblyState {
     buf: Vec<f64>,
     remaining: usize,
-    cb: Option<comm::GetCallback>,
+    cb: Option<GaGetCallback>,
 }
 
 impl Assembly {
     /// `buf` holds any locally-copied pieces already; `remaining` remote
     /// pieces are still in flight. `remaining` must be nonzero (callers
     /// with no remote pieces invoke the callback directly).
-    pub(crate) fn new(buf: Vec<f64>, remaining: usize, cb: comm::GetCallback) -> Arc<Self> {
+    pub(crate) fn new(buf: Vec<f64>, remaining: usize, cb: GaGetCallback) -> Arc<Self> {
         Arc::new(Self {
             state: StdMutex::new(AssemblyState {
                 buf,
@@ -157,11 +184,14 @@ impl Assembly {
         })
     }
 
-    /// Deposit one remote piece at buffer position `at`.
-    pub(crate) fn fill(&self, at: usize, data: &[f64]) {
+    /// Deposit one remote piece at buffer position `at`, decoding the
+    /// wire payload straight into the assembly buffer (no intermediate
+    /// allocation).
+    pub(crate) fn fill(&self, at: usize, data: WireSlice<'_>) {
         let finished = {
             let mut st = self.state.lock().unwrap();
-            st.buf[at..at + data.len()].copy_from_slice(data);
+            let n = data.len();
+            data.copy_into(&mut st.buf[at..at + n]);
             st.remaining -= 1;
             if st.remaining == 0 {
                 Some((std::mem::take(&mut st.buf), st.cb.take().unwrap()))
@@ -189,10 +219,20 @@ impl WaitSlot {
             cv: Condvar::new(),
         })
     }
-    pub(crate) fn callback(self: &Arc<Self>) -> comm::GetCallback {
+    /// Completion for a `Ga`-level async get (assembled block).
+    pub(crate) fn callback(self: &Arc<Self>) -> GaGetCallback {
         let slot = self.clone();
         Box::new(move |data| {
             *slot.state.lock().unwrap() = Some(data);
+            slot.cv.notify_all();
+        })
+    }
+
+    /// Completion for a raw endpoint get (one wire piece).
+    pub(crate) fn wire_callback(self: &Arc<Self>) -> comm::GetCallback {
+        let slot = self.clone();
+        Box::new(move |data: WireSlice<'_>| {
+            *slot.state.lock().unwrap() = Some(data.to_vec());
             slot.cv.notify_all();
         })
     }

@@ -22,17 +22,27 @@
 //! short-circuit to memcpy, remote pieces become one-sided active
 //! messages, and `NXTVAL` becomes a fetch-and-add on rank 0's counter
 //! shard instead of a process-global atomic.
+//!
+//! The distributed read path is fronted by a per-rank read-through
+//! [`cache::TileCache`]: completed gets are kept keyed by
+//! `(array, offset, len)`, repeats are served locally, concurrent reads
+//! of one block share a single wire transfer, and any local or incoming
+//! `Put`/`Acc` invalidates overlapping entries (coherence contract in
+//! DESIGN.md §4.6).
 
+pub mod cache;
 pub mod dist;
 pub mod distga;
 pub mod hash;
 pub mod stats;
 
+pub use cache::TileCacheConfig;
 pub use dist::Distribution;
 pub use distga::DistStore;
 pub use hash::HashIndex;
 pub use stats::GaStats;
 
+use cache::{Lookup, TileCache};
 use distga::{Assembly, WaitSlot};
 use parking_lot::Mutex;
 use std::ops::Range;
@@ -41,6 +51,11 @@ use std::sync::Arc;
 
 /// Logical node index.
 pub type NodeId = usize;
+
+/// Completion callback of an asynchronous get: receives the assembled
+/// block. Runs on the calling thread when the read is satisfied locally
+/// (cache hit or all-local range), on the progress thread otherwise.
+pub type GaGetCallback = Box<dyn FnOnce(Vec<f64>) + Send>;
 
 /// Handle to one global array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,6 +85,7 @@ enum Backend {
     Dist {
         ep: Arc<comm::Endpoint>,
         store: Arc<DistStore>,
+        cache: Arc<TileCache>,
     },
 }
 
@@ -77,7 +93,7 @@ enum Backend {
 pub struct Ga {
     nodes: usize,
     backend: Backend,
-    stats: GaStats,
+    stats: Arc<GaStats>,
 }
 
 impl Ga {
@@ -91,19 +107,34 @@ impl Ga {
                 arrays: Mutex::new(Vec::new()),
                 nxtval: AtomicI64::new(0),
             },
-            stats: GaStats::default(),
+            stats: Arc::new(GaStats::default()),
         }
     }
 
-    /// Initialize the distributed backend for one rank. `store` must be
-    /// the same [`DistStore`] the endpoint serves (the endpoint answers
-    /// remote requests against it; `Ga` takes the local fast path).
+    /// Initialize the distributed backend for one rank with the default
+    /// tile-cache configuration. `store` must be the same [`DistStore`]
+    /// the endpoint serves (the endpoint answers remote requests against
+    /// it; `Ga` takes the local fast path).
     pub fn init_dist(ep: Arc<comm::Endpoint>, store: Arc<DistStore>) -> Self {
+        Self::init_dist_cfg(ep, store, TileCacheConfig::default())
+    }
+
+    /// As [`Self::init_dist`], with explicit tile-cache configuration.
+    /// The cache is attached to `store` so incoming `Put`/`Acc` active
+    /// messages invalidate overlapping cached blocks as they are applied.
+    pub fn init_dist_cfg(
+        ep: Arc<comm::Endpoint>,
+        store: Arc<DistStore>,
+        cache_cfg: TileCacheConfig,
+    ) -> Self {
         assert_eq!(ep.rank(), store.rank(), "endpoint and store disagree");
+        let stats = Arc::new(GaStats::default());
+        let cache = TileCache::new(cache_cfg, stats.clone());
+        store.attach_cache(cache.clone());
         Self {
             nodes: ep.nranks(),
-            backend: Backend::Dist { ep, store },
-            stats: GaStats::default(),
+            backend: Backend::Dist { ep, store, cache },
+            stats,
         }
     }
 
@@ -220,40 +251,26 @@ impl Ga {
                 }
                 self.stats.record_locality(out.len() * 8, 0);
             }
-            Backend::Dist { ep, store } => {
-                // Post every remote piece before waiting on any, so
-                // multi-owner reads travel concurrently.
+            Backend::Dist { ep, store, .. } => {
                 let dist = store.dist_of(h.0);
                 let rank = ep.rank();
-                let (mut local_b, mut remote_b) = (0, 0);
-                let mut waits = Vec::new();
-                for (node, range) in dist.owners_of(offset, out.len()) {
-                    if node == rank {
+                let pieces = dist.owners_of(offset, out.len());
+                if pieces.iter().all(|(node, _)| *node == rank) {
+                    // Entirely this rank's shard: straight memcpy, no
+                    // buffer hand-off, no cache involvement.
+                    for (_, range) in &pieces {
                         store.read_local(
                             h.0,
                             range.start,
                             &mut out[range.start - offset..range.end - offset],
                         );
-                        local_b += range.len() * 8;
-                    } else {
-                        let slot = WaitSlot::new();
-                        ep.get_async(
-                            node,
-                            h.0 as u32,
-                            range.start,
-                            range.len(),
-                            i64::MAX,
-                            slot.callback(),
-                        );
-                        remote_b += range.len() * 8;
-                        waits.push((range, slot));
                     }
+                    self.stats.record_locality(out.len() * 8, 0);
+                } else {
+                    let slot = WaitSlot::new();
+                    self.dist_fetch(h, offset, vec![0.0; out.len()], i64::MAX, slot.callback());
+                    out.copy_from_slice(&slot.wait());
                 }
-                for (range, slot) in waits {
-                    let data = slot.wait();
-                    out[range.start - offset..range.end - offset].copy_from_slice(&data);
-                }
-                self.stats.record_locality(local_b, remote_b);
             }
         }
         self.stats.record_get(out.len() * 8);
@@ -261,23 +278,31 @@ impl Ga {
 
     /// Asynchronous get: assembles `[offset, offset+len)` (local pieces by
     /// memcpy, remote pieces over the wire at priority `prio`) and hands
-    /// the buffer to `cb`. With no remote pieces `cb` runs on the calling
-    /// thread before returning; otherwise it runs on the progress thread
-    /// when the last piece lands. This is the prefetch entry point: reader
-    /// tasks post these and retire, and completions re-enter the runtime.
-    pub fn get_async(
+    /// the buffer to `cb`. With no remote pieces — or a tile-cache hit —
+    /// `cb` runs on the calling thread before returning; otherwise it
+    /// runs on the progress thread when the last piece lands. This is the
+    /// prefetch entry point: reader tasks post these and retire, and
+    /// completions re-enter the runtime.
+    pub fn get_async(&self, h: GaHandle, offset: usize, len: usize, prio: i64, cb: GaGetCallback) {
+        self.get_async_into(h, offset, vec![0.0; len], prio, cb);
+    }
+
+    /// As [`Self::get_async`], reading into a caller-provided buffer
+    /// (whose length is the read length) so the pooled data path reuses
+    /// tile buffers instead of allocating one per call.
+    pub fn get_async_into(
         &self,
         h: GaHandle,
         offset: usize,
-        len: usize,
+        mut buf: Vec<f64>,
         prio: i64,
-        cb: comm::GetCallback,
+        cb: GaGetCallback,
     ) {
+        let len = buf.len();
         self.stats.record_get(len * 8);
         match &self.backend {
             Backend::Local { .. } => {
                 let a = self.array(h);
-                let mut buf = vec![0.0; len];
                 for (node, range) in a.dist.owners_of(offset, len) {
                     let seg = a.segments[node].lock();
                     let s = a.dist.range_of(node).start;
@@ -287,45 +312,179 @@ impl Ga {
                 self.stats.record_locality(len * 8, 0);
                 cb(buf);
             }
-            Backend::Dist { ep, store } => {
-                let dist = store.dist_of(h.0);
-                let rank = ep.rank();
-                let mut buf = vec![0.0; len];
-                let (mut local_b, mut remote_b) = (0, 0);
-                let mut remote = Vec::new();
-                for (node, range) in dist.owners_of(offset, len) {
-                    if node == rank {
-                        store.read_local(
-                            h.0,
-                            range.start,
-                            &mut buf[range.start - offset..range.end - offset],
-                        );
-                        local_b += range.len() * 8;
-                    } else {
-                        remote_b += range.len() * 8;
-                        remote.push((node, range));
+            Backend::Dist { .. } => self.dist_fetch(h, offset, buf, prio, cb),
+        }
+    }
+
+    /// Distributed read of `[offset, offset+buf.len())` through the tile
+    /// cache: all-local ranges short-circuit; cached blocks are served
+    /// from memory; concurrent readers of one uncached block coalesce
+    /// onto a single fill whose completion feeds every waiter.
+    fn dist_fetch(
+        &self,
+        h: GaHandle,
+        offset: usize,
+        mut buf: Vec<f64>,
+        prio: i64,
+        cb: GaGetCallback,
+    ) {
+        let Backend::Dist { ep, store, cache } = &self.backend else {
+            unreachable!("dist_fetch on local backend")
+        };
+        let len = buf.len();
+        let dist = store.dist_of(h.0);
+        let rank = ep.rank();
+        let pieces = dist.owners_of(offset, len);
+        let remote_b: usize = pieces
+            .iter()
+            .filter(|(node, _)| *node != rank)
+            .map(|(_, r)| r.len() * 8)
+            .sum();
+        if remote_b == 0 {
+            for (_, range) in &pieces {
+                store.read_local(
+                    h.0,
+                    range.start,
+                    &mut buf[range.start - offset..range.end - offset],
+                );
+            }
+            self.stats.record_locality(len * 8, 0);
+            cb(buf);
+            return;
+        }
+        if !cache.enabled() {
+            self.fetch_assemble(h, offset, buf, prio, cb, &pieces);
+            return;
+        }
+        match cache.lookup((h.0, offset, len), buf, cb) {
+            Lookup::Hit { data, mut buf, cb } => {
+                // Served from cache: no wire traffic, all bytes local.
+                self.stats.record_locality(len * 8, 0);
+                if cache.verify_reads() {
+                    // Paranoia gate: refetch fresh from the owners and
+                    // compare. Hits complete on the calling (application)
+                    // thread, so blocking here is safe.
+                    let fresh = self.fetch_fresh_blocking(h, offset, len, &pieces);
+                    if fresh != *data {
+                        self.stats.record_stale_read();
                     }
                 }
-                self.stats.record_locality(local_b, remote_b);
-                if remote.is_empty() {
-                    cb(buf);
-                    return;
-                }
-                let asm = Assembly::new(buf, remote.len(), cb);
-                for (node, range) in remote {
-                    let asm = asm.clone();
-                    let at = range.start - offset;
-                    ep.get_async(
-                        node,
-                        h.0 as u32,
-                        range.start,
-                        range.len(),
-                        prio,
-                        Box::new(move |data| asm.fill(at, &data)),
-                    );
-                }
+                buf.copy_from_slice(&data);
+                cb(buf);
+            }
+            Lookup::Joined => {
+                // Parked on an in-flight fill of the same block; its
+                // completion delivers our buffer. No wire traffic ours.
+                self.stats.record_locality(len * 8, 0);
+            }
+            Lookup::Fill { fill, buf, cb } => {
+                let cache = cache.clone();
+                let final_cb: GaGetCallback = Box::new(move |assembled: Vec<f64>| {
+                    let waiters = cache.complete(&fill, &assembled);
+                    for mut w in waiters {
+                        w.buf.copy_from_slice(&assembled);
+                        (w.cb)(w.buf);
+                    }
+                    cb(assembled);
+                });
+                self.fetch_assemble(h, offset, buf, prio, final_cb, &pieces);
             }
         }
+    }
+
+    /// Uncached read: local pieces by memcpy, each remote piece one wire
+    /// get, assembled into `buf` and handed to `cb` when the last piece
+    /// lands.
+    fn fetch_assemble(
+        &self,
+        h: GaHandle,
+        offset: usize,
+        mut buf: Vec<f64>,
+        prio: i64,
+        cb: GaGetCallback,
+        pieces: &[(NodeId, Range<usize>)],
+    ) {
+        let Backend::Dist { ep, store, .. } = &self.backend else {
+            unreachable!("fetch_assemble on local backend")
+        };
+        let rank = ep.rank();
+        let (mut local_b, mut remote_b) = (0, 0);
+        let mut remote = Vec::new();
+        for (node, range) in pieces {
+            if *node == rank {
+                store.read_local(
+                    h.0,
+                    range.start,
+                    &mut buf[range.start - offset..range.end - offset],
+                );
+                local_b += range.len() * 8;
+            } else {
+                remote_b += range.len() * 8;
+                remote.push((*node, range.clone()));
+            }
+        }
+        self.stats.record_locality(local_b, remote_b);
+        self.stats.record_remote_get_bytes(remote_b);
+        if remote.is_empty() {
+            cb(buf);
+            return;
+        }
+        let asm = Assembly::new(buf, remote.len(), cb);
+        for (node, range) in remote {
+            let asm = asm.clone();
+            let at = range.start - offset;
+            ep.get_async(
+                node,
+                h.0 as u32,
+                range.start,
+                range.len(),
+                prio,
+                Box::new(move |data| asm.fill(at, data)),
+            );
+        }
+    }
+
+    /// Blocking uncached read straight from the owners, bypassing the
+    /// cache — the `verify_reads` oracle. Wire bytes are still counted in
+    /// `remote_get_bytes` so the endpoint reconciliation holds.
+    fn fetch_fresh_blocking(
+        &self,
+        h: GaHandle,
+        offset: usize,
+        len: usize,
+        pieces: &[(NodeId, Range<usize>)],
+    ) -> Vec<f64> {
+        let Backend::Dist { ep, store, .. } = &self.backend else {
+            unreachable!("fetch_fresh_blocking on local backend")
+        };
+        let rank = ep.rank();
+        let mut out = vec![0.0; len];
+        let mut waits = Vec::new();
+        for (node, range) in pieces {
+            if *node == rank {
+                store.read_local(
+                    h.0,
+                    range.start,
+                    &mut out[range.start - offset..range.end - offset],
+                );
+            } else {
+                let slot = WaitSlot::new();
+                ep.get_async(
+                    *node,
+                    h.0 as u32,
+                    range.start,
+                    range.len(),
+                    i64::MAX,
+                    slot.wire_callback(),
+                );
+                self.stats.record_remote_get_bytes(range.len() * 8);
+                waits.push((range.clone(), slot));
+            }
+        }
+        for (range, slot) in waits {
+            out[range.start - offset..range.end - offset].copy_from_slice(&slot.wait());
+        }
+        out
     }
 
     /// Overwrite `[offset, offset+len)` with `data`.
@@ -341,7 +500,13 @@ impl Ga {
                 }
                 self.stats.record_locality(data.len() * 8, 0);
             }
-            Backend::Dist { ep, store } => {
+            Backend::Dist { ep, store, cache } => {
+                // Invalidate before the pieces go out so this rank never
+                // serves its own pre-write copy from cache again
+                // (read-your-writes; DESIGN.md §4.6). Local pieces also
+                // invalidate inside `write_local`, which is what covers
+                // *incoming* puts from other ranks.
+                cache.invalidate_overlap(h.0, offset, data.len());
                 let dist = store.dist_of(h.0);
                 let rank = ep.rank();
                 let (mut local_b, mut remote_b) = (0, 0);
@@ -368,7 +533,12 @@ impl Ga {
     pub fn put_collective(&self, h: GaHandle, offset: usize, data: &[f64]) {
         match &self.backend {
             Backend::Local { .. } => self.put(h, offset, data),
-            Backend::Dist { ep, store } => {
+            Backend::Dist { ep, store, cache } => {
+                // The collective write mutates every rank's shard, but
+                // only the local piece generates an invalidation hook —
+                // drop the whole range here so cached copies of the
+                // remotely-rewritten pieces cannot survive.
+                cache.invalidate_overlap(h.0, offset, data.len());
                 let dist = store.dist_of(h.0);
                 let rank = ep.rank();
                 let mut written = 0;
@@ -406,7 +576,8 @@ impl Ga {
                 }
                 self.stats.record_locality(data.len() * 8, 0);
             }
-            Backend::Dist { ep, store } => {
+            Backend::Dist { ep, store, cache } => {
+                cache.invalidate_overlap(h.0, offset, data.len());
                 let dist = store.dist_of(h.0);
                 let rank = ep.rank();
                 let (mut local_b, mut remote_b) = (0, 0);
@@ -448,7 +619,8 @@ impl Ga {
                 }
                 self.stats.record_locality(src.len() * 8, 0);
             }
-            Backend::Dist { ep, store } => {
+            Backend::Dist { ep, store, cache } => {
+                cache.invalidate_overlap(h.0, begin, end - begin);
                 if node == ep.rank() {
                     store.acc_local(h.0, begin, src, alpha);
                     self.stats.record_locality(src.len() * 8, 0);
@@ -490,7 +662,12 @@ impl Ga {
                     seg.lock().fill(0.0);
                 }
             }
-            Backend::Dist { store, .. } => store.zero_local(h.0),
+            Backend::Dist { store, cache, .. } => {
+                // Every rank zeroes its own shard, so no invalidation AM
+                // arrives for the remote pieces — drop the whole array.
+                cache.invalidate_array(h.0);
+                store.zero_local(h.0);
+            }
         }
     }
 
@@ -519,9 +696,12 @@ impl Ga {
 
     /// Fence this rank's outstanding writes, then barrier — GA's `sync`.
     /// No-op in local mode, where every operation is immediately visible.
+    /// The sync boundary is where GA's relaxed model makes third-party
+    /// mutations visible, so the tile cache is flushed wholesale here.
     pub fn sync(&self) {
-        if let Backend::Dist { ep, .. } = &self.backend {
+        if let Backend::Dist { ep, cache, .. } = &self.backend {
             ep.sync();
+            cache.flush();
         }
     }
 }

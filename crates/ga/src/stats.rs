@@ -15,6 +15,13 @@ pub struct GaStats {
     nxtvals: AtomicU64,
     local_bytes: AtomicU64,
     remote_bytes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_joins: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_invalidations: AtomicU64,
+    cache_hit_bytes: AtomicU64,
+    remote_get_bytes: AtomicU64,
+    stale_reads: AtomicU64,
 }
 
 impl GaStats {
@@ -78,5 +85,64 @@ impl GaStats {
     /// Bytes of get/put/acc traffic that crossed rank boundaries.
     pub fn remote_bytes(&self) -> u64 {
         self.remote_bytes.load(Ordering::Relaxed)
+    }
+
+    // ---- tile-cache counters (distributed read path) ----
+
+    pub(crate) fn record_cache_hit(&self, bytes: usize) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hit_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn record_cache_join(&self, bytes: usize) {
+        self.cache_joins.fetch_add(1, Ordering::Relaxed);
+        self.cache_hit_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_cache_invalidations(&self, n: u64) {
+        self.cache_invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn record_remote_get_bytes(&self, bytes: usize) {
+        self.remote_get_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn record_stale_read(&self) {
+        self.stale_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Gets served entirely from the local tile cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+    /// Gets that joined an in-flight fill of the same block and shared
+    /// its wire transfer.
+    pub fn cache_joins(&self) -> u64 {
+        self.cache_joins.load(Ordering::Relaxed)
+    }
+    /// Gets that missed the cache and fetched over the wire.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+    /// Cached blocks dropped because a local or incoming Put/Acc
+    /// overlapped them (or a sync flushed them).
+    pub fn cache_invalidations(&self) -> u64 {
+        self.cache_invalidations.load(Ordering::Relaxed)
+    }
+    /// Bytes served from cached blocks (hits and joins).
+    pub fn cache_hit_bytes(&self) -> u64 {
+        self.cache_hit_bytes.load(Ordering::Relaxed)
+    }
+    /// Remote bytes actually requested from the comm endpoint by the get
+    /// path — reconciles against the endpoint's `get_req_bytes`.
+    pub fn remote_get_bytes(&self) -> u64 {
+        self.remote_get_bytes.load(Ordering::Relaxed)
+    }
+    /// Verified cache hits whose cached block differed from the owner's
+    /// shard (must stay zero; counted only in `verify_reads` mode).
+    pub fn stale_reads(&self) -> u64 {
+        self.stale_reads.load(Ordering::Relaxed)
     }
 }

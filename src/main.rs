@@ -195,6 +195,21 @@ fn run() -> Result<(), String> {
                 gs.accs(),
                 gs.nxtvals()
             );
+            // The tile cache only engages on the distributed backend;
+            // a single-process verify run has nothing to report.
+            let lookups = gs.cache_hits() + gs.cache_joins() + gs.cache_misses();
+            if lookups > 0 {
+                println!(
+                    "tile cache: hit rate {:.3}  ({} hits, {} joins, {} misses, {} invalidations, {:.2} MB served locally, {} verified-stale reads)",
+                    (gs.cache_hits() + gs.cache_joins()) as f64 / lookups as f64,
+                    gs.cache_hits(),
+                    gs.cache_joins(),
+                    gs.cache_misses(),
+                    gs.cache_invalidations(),
+                    gs.cache_hit_bytes() as f64 / 1e6,
+                    gs.stale_reads()
+                );
+            }
             if worst < 1e-12 {
                 println!("OK: all variants match the reference to ~14 digits");
             } else {
