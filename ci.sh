@@ -34,14 +34,18 @@ for f in target/BENCH_epilogue.json BENCH_epilogue.json; do
     fi
 done
 
-echo "==> comm smoke (4 ranks over sockets, v1..v5 + fused v5 vs single-process energies, verified tile cache)"
-# The smoke runs with the tile cache in paranoia mode on every rank:
-# each cache hit is re-fetched fresh from the owners and compared, and a
-# single stale read fails the gate. Also enforces the wire-accounting
-# reconciliation (GA remote get bytes == endpoint requested get bytes).
-cargo run -q --release -p bench-harness --bin comm_bench -- --smoke
+echo "==> comm smoke (4 ranks x 4 workers over sockets, v1..v5 + fused v5 vs single-process energies, verified tile cache)"
+# The smoke runs every rank with 4 stealing workers beside the comm
+# progress thread (the fused-engine hot configuration) and the tile
+# cache in paranoia mode: each cache hit is re-fetched fresh from the
+# owners and compared, and a single stale read fails the gate. A healthy
+# mesh must also show zero recovery activity — any retry/timeout/dup on
+# the clean sockets fails CI. Single rep per variant keeps wall time
+# bounded. Also enforces the wire-accounting reconciliation (GA remote
+# get bytes == endpoint requested get bytes).
+cargo run -q --release -p bench-harness --bin comm_bench -- --smoke --threads 4 --reps 1
 
-echo "==> comm chaos matrix (4 ranks over sockets, every fault schedule + clean control, fixed seeds)"
+echo "==> comm chaos matrix (4 ranks x 4 workers over sockets, every fault schedule + clean control, fixed seeds)"
 # The 4-rank loopback matrix (7 schedules x 2 variants, plus comm-level
 # chaos) already ran under `cargo test`; this adds the real-socket pass.
 # Fixed seed so a red run replays exactly; fails on energy divergence,

@@ -26,18 +26,22 @@
 //! message carries the seed so a red run replays exactly.
 
 use bench_harness::{arg_value, has_flag};
-use ccsd::{verify, DistRank, VariantCfg};
+use ccsd::{verify, DistRank, StealConfig, VariantCfg};
 use comm::fault::{FaultPlan, FaultTransport};
 use comm::SocketTransport;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One variant execution's rank-local measurements.
 #[derive(Default)]
 struct RunOut {
     name: String,
     energy: Option<f64>,
+    /// Workers per rank for this row (the cores-per-node axis).
+    threads: u64,
+    /// Rank-local wall time of the run(s), collective overhead included.
+    wall_ns: u64,
     comm_ns: u64,
     overlapped_ns: u64,
     eager: u64,
@@ -71,6 +75,19 @@ struct RunOut {
     get_wire_bytes: u64,
     multi_gets: u64,
     multi_parts: u64,
+    /// Cross-rank steal activity: requests posted, chains claimed from
+    /// the local ledger, donated to thieves, received from victims, and
+    /// the migrated working-set bytes.
+    steal_reqs: u64,
+    steal_local_claimed: u64,
+    steal_donated: u64,
+    steal_donated_bytes: u64,
+    steal_stolen: u64,
+    steal_stolen_bytes: u64,
+    /// Engine-side load balancing: deque-to-deque steals within the rank
+    /// and root tasks seeded through the external ledger source.
+    engine_local_steals: u64,
+    engine_external_tasks: u64,
     lat_ns: Vec<u64>,
 }
 
@@ -126,6 +143,50 @@ fn run_list(smoke: bool) -> Vec<(String, VariantCfg, bool)> {
     }
 }
 
+/// The rows one rank executes: smoke checks every variant once at the
+/// given worker count; bench mode sweeps the cores-per-node axis
+/// (v5-vs-v2 at each step, the Fig. 9 regime) and appends a steal
+/// demonstration row — remote-first stealing at the widest setting, so
+/// chain migration fires deterministically even on a balanced mesh.
+fn job_list(
+    smoke: bool,
+    threads_list: &[usize],
+) -> Vec<(String, VariantCfg, bool, usize, StealConfig)> {
+    if smoke {
+        let t = threads_list[0];
+        return run_list(true)
+            .into_iter()
+            .map(|(name, cfg, prefetch)| (name, cfg, prefetch, t, StealConfig::default()))
+            .collect();
+    }
+    let mut jobs = Vec::new();
+    for &t in threads_list {
+        for (name, cfg, prefetch) in run_list(false) {
+            jobs.push((
+                format!("{name}_t{t}"),
+                cfg,
+                prefetch,
+                t,
+                StealConfig::default(),
+            ));
+        }
+    }
+    let t = threads_list.iter().copied().max().unwrap_or(1);
+    jobs.push((
+        format!("v5_steal_t{t}"),
+        VariantCfg::v5(),
+        true,
+        t,
+        StealConfig {
+            window: usize::MAX,
+            batch: 1,
+            limit: 2,
+            remote_first: true,
+        },
+    ));
+    jobs
+}
+
 /// Execute this rank's share of every run over the socket mesh. Each
 /// run is repeated `reps` times with counters summed: on a small host
 /// a single execution's overlap fraction is scheduling noise.
@@ -134,7 +195,7 @@ fn run_rank(
     ranks: usize,
     port: u16,
     scale: &str,
-    threads: usize,
+    threads_list: &[usize],
     reps: usize,
     smoke: bool,
 ) -> Vec<RunOut> {
@@ -164,7 +225,7 @@ fn run_rank(
         cache_cfg,
     );
     let mut outs = Vec::new();
-    for (name, cfg, prefetch) in run_list(smoke) {
+    for (name, cfg, prefetch, threads, scfg) in job_list(smoke, threads_list) {
         let mut acc: Option<RunOut> = None;
         for _ in 0..reps.max(1) {
             let ep = dr.endpoint();
@@ -182,7 +243,9 @@ fn run_rank(
                 ga_stats.cache_hit_bytes(),
             );
 
-            let run = dr.run_variant(cfg, threads, prefetch);
+            let t0 = Instant::now();
+            let run = dr.run_variant_steal(cfg, threads, prefetch, scfg);
+            let wall = t0.elapsed().as_nanos() as u64;
 
             let s1 = ep.stats();
             let mut trace = run.report.trace;
@@ -192,9 +255,19 @@ fn run_rank(
                 .unwrap_or_default();
             let out = acc.get_or_insert_with(|| RunOut {
                 name: name.clone(),
+                threads: threads as u64,
                 ..RunOut::default()
             });
             out.energy = run.energy;
+            out.wall_ns += wall;
+            out.steal_reqs += s1.steal_reqs - s0.steal_reqs;
+            out.steal_local_claimed += run.steal.local_claimed;
+            out.steal_donated += run.steal.donated_chains;
+            out.steal_donated_bytes += run.steal.donated_bytes;
+            out.steal_stolen += run.steal.stolen_chains;
+            out.steal_stolen_bytes += run.steal.stolen_bytes;
+            out.engine_local_steals += run.report.steal.local_steals;
+            out.engine_external_tasks += run.report.steal.external_tasks;
             out.comm_ns += node.comm;
             out.overlapped_ns += node.overlapped;
             out.eager += s1.eager_payloads - s0.eager_payloads;
@@ -268,7 +341,9 @@ fn run_rank_chaos(rank: usize, ranks: usize, port: u16, schedule: &str, seed: u6
         ..global_arrays::TileCacheConfig::default()
     };
     let dr = DistRank::with_configs(Box::new(ft), &space, &[tce::Kernel::T2_7], cfg, cache_cfg);
-    let run = dr.run_variant(VariantCfg::v5(), 2, true);
+    // Four workers per rank: the fused engine's multithreaded regime is
+    // part of what chaos must cover (stolen grants riding a faulty wire).
+    let run = dr.run_variant(VariantCfg::v5(), 4, true);
     // Fill-then-hit across the faulty mesh so the verified stale gate is
     // actually exercised (tiny-scale runs rarely re-read a block between
     // syncs on their own).
@@ -288,6 +363,7 @@ fn run_rank_chaos(rank: usize, ranks: usize, port: u16, schedule: &str, seed: u6
     RunOut {
         name: schedule.to_string(),
         energy: run.energy,
+        threads: 4,
         timeouts: s.timeouts,
         retries: s.retries,
         dup_requests: s.dup_requests,
@@ -295,6 +371,14 @@ fn run_rank_chaos(rank: usize, ranks: usize, port: u16, schedule: &str, seed: u6
         injected: injected.total(),
         cache_hits,
         stale_reads,
+        steal_reqs: s.steal_reqs,
+        steal_local_claimed: run.steal.local_claimed,
+        steal_donated: run.steal.donated_chains,
+        steal_donated_bytes: run.steal.donated_bytes,
+        steal_stolen: run.steal.stolen_chains,
+        steal_stolen_bytes: run.steal.stolen_bytes,
+        engine_local_steals: run.report.steal.local_steals,
+        engine_external_tasks: run.report.steal.external_tasks,
         ..RunOut::default()
     }
 }
@@ -309,6 +393,8 @@ fn write_fragment(path: &Path, outs: &[RunOut]) {
             s.push_str(&format!("energy {e:.17e}\n"));
         }
         for (k, v) in [
+            ("threads", o.threads),
+            ("wall_ns", o.wall_ns),
             ("comm_ns", o.comm_ns),
             ("overlapped_ns", o.overlapped_ns),
             ("eager", o.eager),
@@ -337,6 +423,14 @@ fn write_fragment(path: &Path, outs: &[RunOut]) {
             ("get_wire_bytes", o.get_wire_bytes),
             ("multi_gets", o.multi_gets),
             ("multi_parts", o.multi_parts),
+            ("steal_reqs", o.steal_reqs),
+            ("steal_local_claimed", o.steal_local_claimed),
+            ("steal_donated", o.steal_donated),
+            ("steal_donated_bytes", o.steal_donated_bytes),
+            ("steal_stolen", o.steal_stolen),
+            ("steal_stolen_bytes", o.steal_stolen_bytes),
+            ("engine_local_steals", o.engine_local_steals),
+            ("engine_external_tasks", o.engine_external_tasks),
         ] {
             s.push_str(&format!("{k} {v}\n"));
         }
@@ -360,6 +454,8 @@ fn parse_fragment(text: &str) -> Vec<RunOut> {
         let o = outs.last_mut().expect("fragment starts with a run line");
         match key {
             "energy" => o.energy = Some(val.parse().unwrap()),
+            "threads" => o.threads = val.parse().unwrap(),
+            "wall_ns" => o.wall_ns = val.parse().unwrap(),
             "comm_ns" => o.comm_ns = val.parse().unwrap(),
             "overlapped_ns" => o.overlapped_ns = val.parse().unwrap(),
             "eager" => o.eager = val.parse().unwrap(),
@@ -388,6 +484,14 @@ fn parse_fragment(text: &str) -> Vec<RunOut> {
             "get_wire_bytes" => o.get_wire_bytes = val.parse().unwrap(),
             "multi_gets" => o.multi_gets = val.parse().unwrap(),
             "multi_parts" => o.multi_parts = val.parse().unwrap(),
+            "steal_reqs" => o.steal_reqs = val.parse().unwrap(),
+            "steal_local_claimed" => o.steal_local_claimed = val.parse().unwrap(),
+            "steal_donated" => o.steal_donated = val.parse().unwrap(),
+            "steal_donated_bytes" => o.steal_donated_bytes = val.parse().unwrap(),
+            "steal_stolen" => o.steal_stolen = val.parse().unwrap(),
+            "steal_stolen_bytes" => o.steal_stolen_bytes = val.parse().unwrap(),
+            "engine_local_steals" => o.engine_local_steals = val.parse().unwrap(),
+            "engine_external_tasks" => o.engine_external_tasks = val.parse().unwrap(),
             "lat_ns" => {
                 o.lat_ns = val
                     .split(',')
@@ -421,9 +525,7 @@ fn child(rank: usize, ranks: usize, port: u16, args: &[String]) {
         return;
     }
     let scale = arg_value(args, "--scale").unwrap_or_else(|| "tiny".into());
-    let threads: usize = arg_value(args, "--threads")
-        .map(|v| v.parse().unwrap())
-        .unwrap_or(1);
+    let threads = parse_threads(arg_value(args, "--threads"), &[1]);
     let reps: usize = arg_value(args, "--reps")
         .map(|v| v.parse().unwrap())
         .unwrap_or(1);
@@ -432,11 +534,23 @@ fn child(rank: usize, ranks: usize, port: u16, args: &[String]) {
         ranks,
         port,
         &scale,
-        threads,
+        &threads,
         reps,
         has_flag(args, "--smoke"),
     );
     write_fragment(&dir.join(format!("rank{rank}.txt")), &outs);
+}
+
+/// `--threads` accepts one value (smoke: workers per rank) or a comma
+/// list (bench: the cores-per-node sweep axis).
+fn parse_threads(arg: Option<String>, default: &[usize]) -> Vec<usize> {
+    match arg {
+        None => default.to_vec(),
+        Some(v) => v
+            .split(',')
+            .map(|t| t.trim().parse().expect("--threads takes integers"))
+            .collect(),
+    }
 }
 
 fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
@@ -446,12 +560,14 @@ fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
     // and with no compute to speak of the overlap fraction is noise.
     let default_scale = if smoke { "tiny" } else { "medium" };
     let scale = arg_value(args, "--scale").unwrap_or_else(|| default_scale.into());
-    let threads: usize = arg_value(args, "--threads")
-        .map(|v| v.parse().unwrap())
-        .unwrap_or(1);
+    // Bench mode sweeps cores-per-node (the Fig. 9 axis) with one rep
+    // per step — the sweep itself already multiplies the run count;
+    // smoke keeps a single worker unless told otherwise.
+    let default_threads: &[usize] = if smoke { &[1] } else { &[1, 2, 4] };
+    let threads = parse_threads(arg_value(args, "--threads"), default_threads);
     let reps: usize = arg_value(args, "--reps")
         .map(|v| v.parse().unwrap())
-        .unwrap_or(if smoke { 1 } else { 3 });
+        .unwrap_or(1);
 
     // In-process ground truth, before any socket work.
     let space = tce::TileSpace::build(&scale_of(&scale));
@@ -469,7 +585,14 @@ fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
             .args(["--ranks", &ranks.to_string()])
             .args(["--port", &port.to_string()])
             .args(["--scale", &scale])
-            .args(["--threads", &threads.to_string()])
+            .args([
+                "--threads",
+                &threads
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ])
             .args(["--reps", &reps.to_string()])
             .args(["--dir", &dir.display().to_string()]);
         if smoke {
@@ -479,7 +602,7 @@ fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
     }
 
     // The parent is rank 0.
-    let outs0 = run_rank(0, ranks, port, &scale, threads, reps, smoke);
+    let outs0 = run_rank(0, ranks, port, &scale, &threads, reps, smoke);
 
     for (r, mut ch) in children {
         let status = ch.wait().map_err(|e| e.to_string())?;
@@ -499,7 +622,7 @@ fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
     if smoke {
         return check_smoke(ranks, e_ref, &per_rank);
     }
-    aggregate(ranks, &scale, threads, e_ref, &per_rank)
+    aggregate(ranks, &scale, &threads, e_ref, &per_rank)
 }
 
 /// The chaos matrix: every named fault schedule plus a clean control,
@@ -572,9 +695,19 @@ fn chaos(ranks: usize, args: &[String]) -> Result<(), String> {
         let dups = sum(&|o| o.dup_requests + o.dup_replies);
         let injected = sum(&|o| o.injected);
         let (hits, stale) = (sum(&|o| o.cache_hits), sum(&|o| o.stale_reads));
+        let (donated, stolen) = (sum(&|o| o.steal_donated), sum(&|o| o.steal_stolen));
         println!(
-            "{schedule:>10} seed {seed:#012x}: rel diff {d:.2e}  {injected} faults injected  {retries} retries  {timeouts} timeouts  {dups} dups detected  {hits} cache hits  {stale} stale reads"
+            "{schedule:>10} seed {seed:#012x}: rel diff {d:.2e}  {injected} faults injected  {retries} retries  {timeouts} timeouts  {dups} dups detected  {hits} cache hits  {stale} stale reads  {stolen} chains migrated"
         );
+        // Exactly-once chain migration under faults: a lost steal reply
+        // retransmits into the victim's *recorded* grant, so the chain
+        // count must reconcile even when the wire drops frames.
+        if donated != stolen {
+            return Err(format!(
+                "{donated} chains donated but {stolen} received under faults — \
+                 a steal grant was lost or double-applied; {replay}"
+            ));
+        }
         // The coherence gate: with `verify_reads` armed on every rank,
         // each cache hit was compared against a fresh owner fetch. Any
         // fault that left a stale block cached shows up here.
@@ -646,14 +779,20 @@ fn check_smoke(ranks: usize, e_ref: f64, per_rank: &[Vec<RunOut>]) -> Result<(),
 fn aggregate(
     ranks: usize,
     scale: &str,
-    threads: usize,
+    threads: &[usize],
     e_ref: f64,
     per_rank: &[Vec<RunOut>],
 ) -> Result<(), String> {
     let nruns = per_rank[0].len();
     let mut rows = Vec::new();
+    // (name, threads, wall_ns, overlap) per row, for the sweep summary.
+    let mut sweep_rows: Vec<(String, u64, u64, f64)> = Vec::new();
+    let mut total_stolen = 0u64;
     for i in 0..nruns {
         let name = per_rank[0][i].name.clone();
+        let row_threads = per_rank[0][i].threads;
+        // Wall time of the collective run is the slowest rank's.
+        let wall_ns = per_rank.iter().map(|rs| rs[i].wall_ns).max().unwrap_or(0);
         let sum = |f: &dyn Fn(&RunOut) -> u64| per_rank.iter().map(|rs| f(&rs[i])).sum::<u64>();
         let comm_ns = sum(&|o| o.comm_ns);
         let overlapped_ns = sum(&|o| o.overlapped_ns);
@@ -713,8 +852,20 @@ fn aggregate(
         } else {
             multi_parts as f64 / multi_gets as f64
         };
+        // Steal accounting must reconcile: every chain a victim donated
+        // landed on exactly one thief (the recorded-grant idempotency
+        // story — a drift here means chains were lost or double-run).
+        let (donated, stolen) = (sum(&|o| o.steal_donated), sum(&|o| o.steal_stolen));
+        if donated != stolen {
+            return Err(format!(
+                "{name}: {donated} chains donated but {stolen} received — \
+                 the steal protocol lost or duplicated a grant"
+            ));
+        }
+        total_stolen += stolen;
         println!(
-            "{name:>12}: overlap {overlap:.3}  comm {:.2} ms  {} eager / {} rndv payloads  {:.2} MB on wire  get p50 {:.1} us p99 {:.1} us",
+            "{name:>14}: wall {:.1} ms  overlap {overlap:.3}  comm {:.2} ms  {} eager / {} rndv payloads  {:.2} MB on wire  get p50 {:.1} us p99 {:.1} us",
+            wall_ns as f64 / 1e6,
             comm_ns as f64 / 1e6,
             sum(&|o| o.eager),
             sum(&|o| o.rndv),
@@ -723,11 +874,27 @@ fn aggregate(
             percentile_us(&lats, 99.0),
         );
         println!(
+            "{:>14}  steal: {} reqs, {stolen} chains migrated ({:.1} KB working set), {} local claims, {} deque steals, {} externally seeded tasks",
+            "",
+            sum(&|o| o.steal_reqs),
+            sum(&|o| o.steal_stolen_bytes) as f64 / 1e3,
+            sum(&|o| o.steal_local_claimed),
+            sum(&|o| o.engine_local_steals),
+            sum(&|o| o.engine_external_tasks),
+        );
+        println!(
             "{:>12}  cache hit rate {hit_rate:.3} ({hits} hits / {joins} joins / {misses} misses)  coalesce ratio {coalesce_ratio:.3}  batch occupancy {occupancy:.2} ({multi_parts} gets in {multi_gets} frames)",
             ""
         );
+        sweep_rows.push((name.clone(), row_threads, wall_ns, overlap));
         rows.push(format!(
-            "    {{\n      \"name\": \"{name}\",\n      \"energy_rel_diff\": {d:.3e},\n      \"overlap_fraction\": {overlap:.6},\n      \"comm_ns\": {comm_ns},\n      \"overlapped_ns\": {overlapped_ns},\n      \"eager_payloads\": {},\n      \"rndv_payloads\": {},\n      \"bytes_tx\": {},\n      \"bytes_rx\": {},\n      \"gets\": {},\n      \"puts\": {},\n      \"accs\": {},\n      \"ga_local_bytes\": {},\n      \"ga_remote_bytes\": {},\n      \"recovery\": {{\"timeouts\": {}, \"retries\": {}, \"dup_requests\": {}, \"dup_replies\": {}}},\n      \"cache\": {{\"hits\": {hits}, \"joins\": {joins}, \"misses\": {misses}, \"invalidations\": {}, \"hit_rate\": {hit_rate:.6}, \"hit_bytes\": {}}},\n      \"coalesce\": {{\"coalesced_gets\": {coalesced}, \"coal_bytes\": {}, \"ratio\": {coalesce_ratio:.6}}},\n      \"batch\": {{\"multi_gets\": {multi_gets}, \"multi_parts\": {multi_parts}, \"occupancy\": {occupancy:.6}, \"req_bytes\": {}, \"wire_bytes\": {}}},\n      \"get_latency_us\": {{\"p50\": {:.2}, \"p90\": {:.2}, \"p99\": {:.2}}}\n    }}",
+            "    {{\n      \"name\": \"{name}\",\n      \"threads\": {row_threads},\n      \"wall_ns\": {wall_ns},\n      \"energy_rel_diff\": {d:.3e},\n      \"overlap_fraction\": {overlap:.6},\n      \"comm_ns\": {comm_ns},\n      \"overlapped_ns\": {overlapped_ns},\n      \"steal\": {{\"requests\": {}, \"donated_chains\": {donated}, \"stolen_chains\": {stolen}, \"donated_bytes\": {}, \"stolen_bytes\": {}, \"local_claimed\": {}, \"engine_local_steals\": {}, \"engine_external_tasks\": {}}},\n      \"eager_payloads\": {},\n      \"rndv_payloads\": {},\n      \"bytes_tx\": {},\n      \"bytes_rx\": {},\n      \"gets\": {},\n      \"puts\": {},\n      \"accs\": {},\n      \"ga_local_bytes\": {},\n      \"ga_remote_bytes\": {},\n      \"recovery\": {{\"timeouts\": {}, \"retries\": {}, \"dup_requests\": {}, \"dup_replies\": {}}},\n      \"cache\": {{\"hits\": {hits}, \"joins\": {joins}, \"misses\": {misses}, \"invalidations\": {}, \"hit_rate\": {hit_rate:.6}, \"hit_bytes\": {}}},\n      \"coalesce\": {{\"coalesced_gets\": {coalesced}, \"coal_bytes\": {}, \"ratio\": {coalesce_ratio:.6}}},\n      \"batch\": {{\"multi_gets\": {multi_gets}, \"multi_parts\": {multi_parts}, \"occupancy\": {occupancy:.6}, \"req_bytes\": {}, \"wire_bytes\": {}}},\n      \"get_latency_us\": {{\"p50\": {:.2}, \"p90\": {:.2}, \"p99\": {:.2}}}\n    }}",
+            sum(&|o| o.steal_reqs),
+            sum(&|o| o.steal_donated_bytes),
+            sum(&|o| o.steal_stolen_bytes),
+            sum(&|o| o.steal_local_claimed),
+            sum(&|o| o.engine_local_steals),
+            sum(&|o| o.engine_external_tasks),
             sum(&|o| o.eager),
             sum(&|o| o.rndv),
             sum(&|o| o.bytes_tx),
@@ -751,8 +918,53 @@ fn aggregate(
             percentile_us(&lats, 99.0),
         ));
     }
+    if total_stolen == 0 {
+        return Err(
+            "steal demonstration row migrated zero chains — the cross-rank \
+             steal path must demonstrably fire"
+                .into(),
+        );
+    }
+
+    // The Fig. 9 cores-per-node sweep: v5-vs-v2 wall time and overlap at
+    // each worker count, with speedup relative to one worker per rank.
+    let wall_of = |prefix: &str, t: usize| {
+        sweep_rows
+            .iter()
+            .find(|(n, th, _, _)| n == &format!("{prefix}_t{t}") && *th == t as u64)
+            .map(|&(_, _, w, o)| (w, o))
+    };
+    let mut sweep_json = Vec::new();
+    for &t in threads {
+        let (Some((w5, o5)), Some((w2, o2))) = (wall_of("v5_prefetch", t), wall_of("v2_noprio", t))
+        else {
+            continue;
+        };
+        let base = wall_of("v5_prefetch", threads[0]).map_or(0, |(w, _)| w);
+        let speedup = if w5 == 0 {
+            0.0
+        } else {
+            base as f64 / w5 as f64
+        };
+        println!(
+            "sweep t{t}: v5 {:.1} ms (overlap {o5:.3}, {speedup:.2}x vs t{}), v2 {:.1} ms (overlap {o2:.3})",
+            w5 as f64 / 1e6,
+            threads[0],
+            w2 as f64 / 1e6,
+        );
+        sweep_json.push(format!(
+            "    {{\"threads\": {t}, \"v5_wall_ns\": {w5}, \"v2_wall_ns\": {w2}, \"v5_overlap\": {o5:.6}, \"v2_overlap\": {o2:.6}, \"v5_speedup_vs_t{}\": {speedup:.4}}}",
+            threads[0]
+        ));
+    }
     let json = format!(
-        "{{\n  \"ranks\": {ranks},\n  \"scale\": \"{scale}\",\n  \"threads_per_rank\": {threads},\n  \"reference_energy\": {e_ref:.17e},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"ranks\": {ranks},\n  \"scale\": \"{scale}\",\n  \"threads_sweep\": [{}],\n  \"reference_energy\": {e_ref:.17e},\n  \"sweep\": [\n{}\n  ],\n  \"runs\": [\n{}\n  ]\n}}\n",
+        threads
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        sweep_json.join(",\n"),
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_comm.json");

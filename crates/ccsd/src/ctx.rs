@@ -195,6 +195,12 @@ pub struct CcsdCtx {
     /// Reader tasks post asynchronous gets through the comm layer instead
     /// of blocking a worker (distributed mode only; requires a dist GA).
     pub prefetch: bool,
+    /// Root tasks arrive through an external [`parsec_rt::WorkSource`]
+    /// (the cross-rank steal ledger) instead of the classes' static
+    /// `roots()`: the graph stays able to *execute* any chain — including
+    /// chains migrated from other ranks — while materializing none until
+    /// the source seeds them.
+    pub external_roots: bool,
 }
 
 impl GraphCtx for CcsdCtx {
@@ -309,6 +315,7 @@ mod tests {
             pool: Default::default(),
             rank: None,
             prefetch: false,
+            external_roots: false,
         };
         assert_eq!(ctx.prio(0, 5), n + 20);
         assert_eq!(ctx.prio(3, 0), n - 3);
@@ -337,6 +344,7 @@ mod tests {
             pool: Default::default(),
             rank: None,
             prefetch: false,
+            external_roots: false,
         };
         assert!(mk(VariantCfg::v5().fused()).fuse_active());
         assert!(mk(VariantCfg::v2().fused()).fuse_active());

@@ -14,10 +14,12 @@
 //! order, like an SPMD MPI program.
 
 use crate::ctx::VariantCfg;
-use crate::variants::build_graph_dist;
+use crate::steal::{ChainSource, StealConfig, StealSummary};
+use crate::variants::{build_graph_dist, build_graph_external};
 use comm::{CommConfig, Endpoint, Transport};
 use global_arrays::{DistStore, Ga, TileCacheConfig};
 use parsec_rt::{CoarseRuntime, NativeReport, NativeRuntime, SchedPolicy, TilePool};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tce::{Inspection, Kernel, TileSpace, Workspace};
 
@@ -30,6 +32,9 @@ pub struct DistRun {
     /// This rank's engine report (worker spans on the shared comm
     /// timeline, tagged with this rank's node id).
     pub report: NativeReport,
+    /// Cross-rank steal activity of this run on this rank (all zero on
+    /// the coarse path, which predates the steal ledger).
+    pub steal: StealSummary,
 }
 
 /// One rank of a distributed CCSD execution: comm endpoint, GA shards,
@@ -39,6 +44,12 @@ pub struct DistRank {
     ins: Arc<Inspection>,
     ws: Arc<Workspace>,
     pool: Arc<TilePool>,
+    /// Collective run counter: every rank calls the collective methods
+    /// in the same order, so the counter agrees across ranks and tags
+    /// each native run's steal epoch (a victim still in run `N` answers
+    /// a run-`N+1` thief dry instead of donating the wrong graph's
+    /// chains).
+    run_epoch: AtomicU64,
 }
 
 impl DistRank {
@@ -84,6 +95,7 @@ impl DistRank {
             ins,
             ws,
             pool: Arc::new(TilePool::default()),
+            run_epoch: AtomicU64::new(0),
         }
     }
 
@@ -122,9 +134,26 @@ impl DistRank {
     /// engine with `threads` workers per rank. `prefetch` routes reader
     /// bodies through the asynchronous get pipeline. Returns the energy
     /// on rank 0.
+    ///
+    /// This is the fused multithreaded path: the rank's chains feed the
+    /// engine through a steal ledger, and idle workers escalate from
+    /// local deque stealing to cross-rank chain migration (default
+    /// [`StealConfig`]: steal remotely only after local work runs dry).
     pub fn run_variant(&self, cfg: VariantCfg, threads: usize, prefetch: bool) -> DistRun {
+        self.run_variant_steal(cfg, threads, prefetch, StealConfig::default())
+    }
+
+    /// As [`DistRank::run_variant`] with explicit steal tuning.
+    pub fn run_variant_steal(
+        &self,
+        cfg: VariantCfg,
+        threads: usize,
+        prefetch: bool,
+        scfg: StealConfig,
+    ) -> DistRun {
         self.reset_output();
-        let graph = build_graph_dist(
+        let epoch = self.run_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let graph = build_graph_external(
             self.ins.clone(),
             cfg,
             Some(self.ws.clone()),
@@ -132,6 +161,10 @@ impl DistRank {
             Some(self.rank()),
             prefetch,
         );
+        let source = ChainSource::new(self.ep.clone(), self.ins.clone(), cfg, scfg, epoch);
+        // The comm thread donates from the same ledger the workers claim
+        // from: thief and victim roles share one object.
+        self.ep.set_steal_handler(Some(source.clone()));
         let policy = if cfg.priorities {
             SchedPolicy::PriorityFifo
         } else {
@@ -141,8 +174,12 @@ impl DistRank {
             .policy(policy)
             .node(self.rank() as u32)
             .epoch(self.ep.epoch())
+            .source(source.clone())
             .run(&graph);
-        self.settle(report)
+        // Late thieves now get a dry reply instead of a stale donation.
+        self.ep.set_steal_handler(None);
+        let steal = source.summary();
+        self.settle(report, steal)
     }
 
     /// Collectively execute one variant on the coarse-locked baseline
@@ -164,18 +201,22 @@ impl DistRank {
             SchedPolicy::Fifo
         };
         let report = CoarseRuntime::new(threads).policy(policy).run(&graph);
-        self.settle(report)
+        self.settle(report, StealSummary::default())
     }
 
     /// Post-run collective: flush outstanding accumulates everywhere,
     /// compute the energy on rank 0 (remote shards gathered over the
     /// wire), and hold the other ranks back until it is read — their
     /// next `reset_output` would otherwise clear shards mid-gather.
-    fn settle(&self, report: NativeReport) -> DistRun {
+    fn settle(&self, report: NativeReport, steal: StealSummary) -> DistRun {
         self.ws.ga.sync();
         let energy = (self.rank() == 0).then(|| tce::energy(&self.ws));
         self.ep.barrier();
-        DistRun { energy, report }
+        DistRun {
+            energy,
+            report,
+            steal,
+        }
     }
 
     /// Collective teardown: drain remaining traffic and stop the
@@ -267,9 +308,62 @@ mod tests {
     }
 
     #[test]
+    fn cross_rank_steals_migrate_chains_and_keep_energy() {
+        let e_ref = reference();
+        // Remote-first with an unbounded stealable window: every rank
+        // asks its peers before touching its own ledger, so migration
+        // demonstrably fires even on a balanced tiny workload.
+        let scfg = StealConfig {
+            window: usize::MAX,
+            batch: 1,
+            limit: 2,
+            remote_first: true,
+        };
+        let nchains = {
+            let space = TileSpace::build(&scale::tiny());
+            tce::inspect(&space, 3).num_chains() as u64
+        };
+        let out = run_ranks(3, move |rank| {
+            let run = rank.run_variant_steal(VariantCfg::v5(), 2, true, scfg);
+            let s = rank.endpoint().stats();
+            (run.energy, run.steal, s.steal_reqs, s.steal_donated)
+        });
+        assert!(
+            rel_diff(e_ref, out[0].0.unwrap()) < 1e-12,
+            "stolen chains must execute exactly once"
+        );
+        let donated: u64 = out.iter().map(|o| o.1.donated_chains).sum();
+        let stolen: u64 = out.iter().map(|o| o.1.stolen_chains).sum();
+        let claimed: u64 = out.iter().map(|o| o.1.local_claimed).sum();
+        assert!(stolen > 0, "cross-rank migration must fire");
+        assert_eq!(donated, stolen, "every donated chain lands on a thief");
+        assert_eq!(
+            claimed + donated,
+            nchains,
+            "each chain leaves exactly one ledger"
+        );
+        assert!(
+            out.iter().any(|o| o.2 > 0),
+            "steal requests must hit the wire"
+        );
+        let wire_donated: u64 = out.iter().map(|o| o.3).sum();
+        assert_eq!(wire_donated, donated, "comm counters agree with ledgers");
+    }
+
+    #[test]
+    fn four_worker_ranks_match_reference() {
+        let e_ref = reference();
+        let energies = run_ranks(2, |rank| rank.run_variant(VariantCfg::v5(), 4, true).energy);
+        assert!(rel_diff(e_ref, energies[0].unwrap()) < 1e-12);
+    }
+
+    #[test]
     fn remote_traffic_actually_flows() {
+        // Pinned placement: with stealing on, a fast rank may take *all*
+        // of a slow peer's chains at threads=1, and the per-rank traffic
+        // assertions below assume every rank executes its own share.
         let stats = run_ranks(2, |rank| {
-            rank.run_variant(VariantCfg::v5(), 1, true);
+            rank.run_variant_steal(VariantCfg::v5(), 1, true, StealConfig::pinned());
             let s = rank.endpoint().stats();
             let ga = rank.workspace().ga.stats();
             (s.gets, s.accs, ga.remote_bytes(), ga.local_bytes())

@@ -12,6 +12,9 @@
 //! * [`dist`] — one rank of a *real* multi-rank execution: GA shards
 //!   served by the `comm` crate's one-sided progress engine, rank-local
 //!   chain subsets, and the priority-driven prefetch pipeline;
+//! * [`steal`] — locality-aware cross-rank work stealing: the per-rank
+//!   chain ledger, the `WorkSource` that feeds the fused engine, and
+//!   the `StealRequest` donation handler (DESIGN.md §4.7);
 //! * [`baseline`] — the original NWChem Coarse-Grain-Parallelism model:
 //!   ranks, seven barrier-separated work levels, global NXTVAL work
 //!   stealing, blocking `GET_HASH_BLOCK`s (Figures 12-13), simulated on
@@ -23,10 +26,12 @@
 pub mod baseline;
 pub mod ctx;
 pub mod dist;
+pub mod steal;
 pub mod variants;
 pub mod verify;
 
 pub use baseline::{simulate_baseline, BaselineCfg, BaselineReport};
 pub use ctx::{CcsdCtx, VariantCfg, ACC_RMW_FACTOR, SORT_STRIDE_FACTOR};
 pub use dist::{DistRank, DistRun};
-pub use variants::{build_graph, build_graph_dist, build_graph_pooled};
+pub use steal::{ChainLedger, ChainSource, StealConfig, StealSummary};
+pub use variants::{build_graph, build_graph_dist, build_graph_external, build_graph_pooled};

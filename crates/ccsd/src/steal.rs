@@ -1,0 +1,477 @@
+//! Locality-aware cross-rank work stealing for the distributed CCSD run.
+//!
+//! The paper pairs a *static* round-robin chain placement with *dynamic*
+//! stealing inside each node. This module extends the dynamic half across
+//! ranks: each rank's chains live in a [`ChainLedger`] instead of being
+//! materialized as graph roots, and a [`ChainSource`] feeds them to the
+//! native engine through the [`WorkSource`] hook. When every local deque
+//! *and* the ledger run dry, the source issues a `StealRequest` active
+//! message to the nearest non-dry peer on the rank ring; the victim's
+//! progress thread answers from its own ledger — preferring chains whose
+//! operands already live on the thief — and the granted chains execute on
+//! the thief exactly as they would have on the owner (task bodies are
+//! rank-agnostic: reader gets pull from owner shards, `WRITE_C`
+//! accumulates route to owner shards, so only the *compute* migrates).
+//!
+//! Exactly-once execution under the lossy transport rests on two facts:
+//! chains leave a ledger exactly once (one mutex guards local claims and
+//! donations alike), and a duplicate `StealRequest` re-receives the
+//! *recorded* grant rather than a second donation (see `comm::progress`).
+//! Requests carry the collective run's epoch so a rank still finishing
+//! run `N` answers a run-`N+1` thief dry instead of donating chains from
+//! the wrong graph.
+
+use crate::ctx::VariantCfg;
+use crate::variants::{DFILL, READ_A, READ_B};
+use comm::Endpoint;
+use parsec_rt::{IdleGate, SourcePoll, WorkSource};
+use ptg::TaskKey;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use tce::Inspection;
+
+/// Tuning knobs of the cross-rank steal protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct StealConfig {
+    /// Chains held back from the first-poll bulk claim: the stealable
+    /// tail window (lowest-priority chains) that idle peers may take.
+    pub window: usize,
+    /// Chains claimed from the local ledger per idle poll.
+    pub batch: usize,
+    /// Maximum chains requested per `StealRequest`; `0` disables
+    /// cross-rank stealing entirely (the ledger still feeds local
+    /// workers, but no requests hit the wire).
+    pub limit: u32,
+    /// Test/demo mode: ask peers *before* draining the local tail
+    /// window, so steals fire deterministically even on balanced tiny
+    /// workloads. Production mode (false) steals only when local work is
+    /// exhausted.
+    pub remote_first: bool,
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        Self {
+            window: 8,
+            batch: 2,
+            limit: 2,
+            remote_first: false,
+        }
+    }
+}
+
+impl StealConfig {
+    /// Static placement: every chain executes on its owner rank, as
+    /// before the steal ledger existed. For tests and controls that
+    /// assert on *which* rank performs the work.
+    pub fn pinned() -> Self {
+        Self {
+            limit: 0,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters describing one run's steal activity on one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealSummary {
+    /// Chains this rank claimed from its own ledger.
+    pub local_claimed: u64,
+    /// Chains this rank donated to thieves.
+    pub donated_chains: u64,
+    /// Operand + output bytes of the donated chains (the working set
+    /// that migrated with them).
+    pub donated_bytes: u64,
+    /// Chains this rank received from victims.
+    pub stolen_chains: u64,
+    /// Operand + output bytes of the received chains.
+    pub stolen_bytes: u64,
+}
+
+/// Operand + output footprint of chain `l1`: what a thief must move (or
+/// already holds) to execute it.
+fn chain_bytes(ins: &Inspection, l1: i64) -> u64 {
+    let c = &ins.chains[l1 as usize];
+    let operands: usize = c.gemms.iter().map(|g| g.a_len + g.b_len).sum();
+    (operands * 8) as u64 + c.c_bytes()
+}
+
+/// Bytes of chain `l1`'s operands already resident on `node` (owner-local
+/// to the thief): the donation score that makes stealing locality-aware.
+fn bytes_local_to(ins: &Inspection, l1: i64, node: usize) -> u64 {
+    ins.chains[l1 as usize]
+        .gemms
+        .iter()
+        .map(|g| {
+            let a = if g.a_owner == node { g.a_len } else { 0 };
+            let b = if g.b_owner == node { g.b_len } else { 0 };
+            ((a + b) * 8) as u64
+        })
+        .sum()
+}
+
+/// The rank's share of chains, claimable by local workers (front, highest
+/// priority first) and donatable to thieves (back, scored by how much of
+/// the chain's input already lives on the thief). One mutex covers both
+/// paths, so each chain leaves exactly once.
+pub struct ChainLedger {
+    /// Unclaimed chains, ascending `l1` = descending priority.
+    avail: Mutex<Vec<i64>>,
+    claimed: AtomicU64,
+    donated: AtomicU64,
+    donated_bytes: AtomicU64,
+}
+
+impl ChainLedger {
+    /// Ledger over the chains placed on `rank` (round-robin, as in
+    /// `CcsdCtx::chain_node`).
+    pub fn new(ins: &Inspection, rank: usize, nranks: usize) -> Self {
+        let avail: Vec<i64> = (0..ins.num_chains() as i64)
+            .filter(|l1| (*l1 as usize) % nranks == rank)
+            .collect();
+        Self {
+            avail: Mutex::new(avail),
+            claimed: AtomicU64::new(0),
+            donated: AtomicU64::new(0),
+            donated_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Claim up to `n` chains from the front (highest priority).
+    pub fn claim(&self, n: usize) -> Vec<i64> {
+        let mut a = self.avail.lock().unwrap();
+        let take = n.min(a.len());
+        let out: Vec<i64> = a.drain(..take).collect();
+        self.claimed.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Claim everything except the last `window` chains: the bulk seeding
+    /// of the run's first poll, which preserves the prefetch pipeline's
+    /// depth while leaving a stealable tail.
+    pub fn claim_head(&self, window: usize) -> Vec<i64> {
+        let mut a = self.avail.lock().unwrap();
+        let take = a.len().saturating_sub(window);
+        let out: Vec<i64> = a.drain(..take).collect();
+        self.claimed.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Donate up to `limit` chains to `thief`, preferring chains whose
+    /// operands are already thief-resident, breaking ties toward the
+    /// back (lowest priority — the owner keeps the urgent work).
+    pub fn donate(&self, ins: &Inspection, thief: usize, limit: usize) -> Vec<i64> {
+        let mut a = self.avail.lock().unwrap();
+        let mut out = Vec::new();
+        for _ in 0..limit {
+            let Some(best) = a
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &l1)| (bytes_local_to(ins, l1, thief), l1))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            out.push(a.remove(best));
+        }
+        self.donated.fetch_add(out.len() as u64, Ordering::Relaxed);
+        let bytes: u64 = out.iter().map(|&l1| chain_bytes(ins, l1)).sum();
+        self.donated_bytes.fetch_add(bytes, Ordering::Relaxed);
+        out
+    }
+
+    /// Chains not yet claimed or donated.
+    pub fn remaining(&self) -> usize {
+        self.avail.lock().unwrap().len()
+    }
+}
+
+/// Expand chain `l1` into the root task keys that materialize it: one
+/// READ_A/READ_B pair per GEMM, plus the chain's DFILL when the variant
+/// chains its GEMMs (v1). Mirrors `Reader::roots`/`Dfill::roots`.
+pub fn chain_roots(ins: &Inspection, cfg: &VariantCfg, l1: i64, out: &mut Vec<TaskKey>) {
+    if cfg.chained_gemms {
+        out.push(TaskKey::new(DFILL, &[l1]));
+    }
+    for l2 in 0..ins.chains[l1 as usize].gemms.len() as i64 {
+        out.push(TaskKey::new(READ_A, &[l1, l2]));
+        out.push(TaskKey::new(READ_B, &[l1, l2]));
+    }
+}
+
+struct SourceState {
+    /// Chains granted by victims, awaiting expansion into root keys.
+    granted: Vec<i64>,
+    /// A StealRequest is on the wire; poll answers `Pending` until the
+    /// reply lands (granted chains must execute before `Empty`).
+    inflight: bool,
+    /// Peers that answered dry this run. Sticky: a victim's ledger only
+    /// shrinks, so dry stays dry and termination is monotone.
+    dry: Vec<bool>,
+    /// The first poll bulk-claims the ledger head.
+    first_poll_done: bool,
+}
+
+/// Feeds one run's engine from the rank's [`ChainLedger`] and, when both
+/// deques and ledger run dry, from its peers: the [`WorkSource`] half
+/// polls (worker threads), the [`comm::StealHandler`] half donates (comm
+/// thread). One object serves both so a rank is symmetric thief/victim.
+pub struct ChainSource {
+    ep: Arc<Endpoint>,
+    ins: Arc<Inspection>,
+    cfg: VariantCfg,
+    scfg: StealConfig,
+    epoch: u64,
+    ledger: Arc<ChainLedger>,
+    state: Mutex<SourceState>,
+    gate: Mutex<Option<Arc<IdleGate>>>,
+    stolen_chains: AtomicU64,
+    stolen_bytes: AtomicU64,
+    /// Self-reference so `poll(&self)` can hand the steal callback an
+    /// owning clone (the engine holds us as `Arc<dyn WorkSource>`).
+    weak: Weak<ChainSource>,
+}
+
+impl ChainSource {
+    /// Source for one collective run at `epoch` (the per-rank run
+    /// counter; victims in a different run answer dry).
+    pub fn new(
+        ep: Arc<Endpoint>,
+        ins: Arc<Inspection>,
+        cfg: VariantCfg,
+        scfg: StealConfig,
+        epoch: u64,
+    ) -> Arc<Self> {
+        let nranks = ep.nranks();
+        let rank = ep.rank();
+        let ledger = Arc::new(ChainLedger::new(&ins, rank, nranks));
+        Arc::new_cyclic(|weak| Self {
+            ep,
+            ins,
+            cfg,
+            scfg,
+            epoch,
+            ledger,
+            state: Mutex::new(SourceState {
+                granted: Vec::new(),
+                inflight: false,
+                dry: vec![false; nranks],
+                first_poll_done: false,
+            }),
+            gate: Mutex::new(None),
+            stolen_chains: AtomicU64::new(0),
+            stolen_bytes: AtomicU64::new(0),
+            weak: weak.clone(),
+        })
+    }
+
+    /// This run's steal activity so far.
+    pub fn summary(&self) -> StealSummary {
+        StealSummary {
+            local_claimed: self.ledger.claimed.load(Ordering::Relaxed),
+            donated_chains: self.ledger.donated.load(Ordering::Relaxed),
+            donated_bytes: self.ledger.donated_bytes.load(Ordering::Relaxed),
+            stolen_chains: self.stolen_chains.load(Ordering::Relaxed),
+            stolen_bytes: self.stolen_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn expand(&self, chains: &[i64]) -> Vec<TaskKey> {
+        let mut out = Vec::new();
+        for &l1 in chains {
+            chain_roots(&self.ins, &self.cfg, l1, &mut out);
+        }
+        out
+    }
+
+    /// Nearest peer on the rank ring not yet known dry.
+    fn next_victim(&self, dry: &[bool]) -> Option<usize> {
+        let (rank, nranks) = (self.ep.rank(), self.ep.nranks());
+        (1..nranks).map(|d| (rank + d) % nranks).find(|&p| !dry[p])
+    }
+
+    /// Post a StealRequest to `victim`; the reply lands on the comm
+    /// thread, which banks the grant and wakes the parked workers.
+    fn post_steal(&self, victim: usize) {
+        let this = self.weak.upgrade().expect("source polled while alive");
+        self.ep.steal_async(
+            victim,
+            self.epoch,
+            self.scfg.limit,
+            Box::new(move |chains: Vec<u64>| {
+                let mut st = this.state.lock().unwrap();
+                st.inflight = false;
+                if chains.is_empty() {
+                    st.dry[victim] = true;
+                } else {
+                    this.stolen_chains
+                        .fetch_add(chains.len() as u64, Ordering::Relaxed);
+                    let bytes: u64 = chains
+                        .iter()
+                        .map(|&l1| chain_bytes(&this.ins, l1 as i64))
+                        .sum();
+                    this.stolen_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    st.granted.extend(chains.iter().map(|&c| c as i64));
+                }
+                drop(st);
+                if let Some(g) = this.gate.lock().unwrap().clone() {
+                    g.notify_all();
+                }
+            }),
+        );
+    }
+}
+
+impl WorkSource for ChainSource {
+    fn attach(&self, gate: Arc<IdleGate>) {
+        *self.gate.lock().unwrap() = Some(gate);
+    }
+
+    fn poll(&self) -> SourcePoll {
+        let mut st = self.state.lock().unwrap();
+        if !st.first_poll_done {
+            st.first_poll_done = true;
+            let head = self.ledger.claim_head(self.scfg.window);
+            if !head.is_empty() {
+                drop(st);
+                return SourcePoll::Tasks(self.expand(&head));
+            }
+        }
+        if !st.granted.is_empty() {
+            let chains = std::mem::take(&mut st.granted);
+            drop(st);
+            return SourcePoll::Tasks(self.expand(&chains));
+        }
+        if !self.scfg.remote_first {
+            let local = self.ledger.claim(self.scfg.batch);
+            if !local.is_empty() {
+                drop(st);
+                return SourcePoll::Tasks(self.expand(&local));
+            }
+        }
+        if st.inflight {
+            return SourcePoll::Pending;
+        }
+        if let Some(victim) = (self.scfg.limit > 0)
+            .then(|| self.next_victim(&st.dry))
+            .flatten()
+        {
+            st.inflight = true;
+            drop(st);
+            self.post_steal(victim);
+            return SourcePoll::Pending;
+        }
+        if self.scfg.remote_first {
+            let local = self.ledger.claim(self.scfg.batch);
+            if !local.is_empty() {
+                drop(st);
+                return SourcePoll::Tasks(self.expand(&local));
+            }
+        }
+        SourcePoll::Empty
+    }
+}
+
+impl comm::StealHandler for ChainSource {
+    fn donate(&self, thief: usize, epoch: u64, limit: u32) -> Vec<u64> {
+        if epoch != self.epoch {
+            return Vec::new(); // thief is in a different collective run
+        }
+        self.ledger
+            .donate(&self.ins, thief, limit as usize)
+            .into_iter()
+            .map(|l1| l1 as u64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce::{inspect, scale, TileSpace};
+
+    fn ins(nodes: usize) -> Arc<Inspection> {
+        let space = TileSpace::build(&scale::tiny());
+        Arc::new(inspect(&space, nodes))
+    }
+
+    #[test]
+    fn ledger_partitions_round_robin() {
+        let ins = ins(3);
+        let n = ins.num_chains();
+        let ledgers: Vec<ChainLedger> = (0..3).map(|r| ChainLedger::new(&ins, r, 3)).collect();
+        let total: usize = ledgers.iter().map(ChainLedger::remaining).sum();
+        assert_eq!(total, n);
+        for (r, l) in ledgers.iter().enumerate() {
+            for l1 in l.avail.lock().unwrap().iter() {
+                assert_eq!(*l1 as usize % 3, r);
+            }
+        }
+    }
+
+    #[test]
+    fn claim_and_donate_never_hand_out_a_chain_twice() {
+        let ins = ins(2);
+        let ledger = ChainLedger::new(&ins, 0, 2);
+        let n = ledger.remaining();
+        let mut seen = Vec::new();
+        seen.extend(ledger.claim_head(4));
+        seen.extend(ledger.donate(&ins, 1, 3));
+        seen.extend(ledger.claim(2));
+        while ledger.remaining() > 0 {
+            seen.extend(ledger.donate(&ins, 1, 1));
+        }
+        assert_eq!(seen.len(), n, "every chain handed out exactly once");
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), n, "no duplicates");
+        assert!(ledger.claim(8).is_empty());
+        assert!(ledger.donate(&ins, 1, 8).is_empty());
+        let s = ledger.claimed.load(Ordering::Relaxed) + ledger.donated.load(Ordering::Relaxed);
+        assert_eq!(s as usize, n);
+    }
+
+    #[test]
+    fn donation_prefers_thief_local_operands() {
+        let ins = ins(4);
+        let ledger = ChainLedger::new(&ins, 0, 4);
+        let got = ledger.donate(&ins, 2, 1);
+        assert_eq!(got.len(), 1);
+        // The donated chain maximizes thief-resident operand bytes among
+        // what the ledger held.
+        let best = got[0];
+        let score = bytes_local_to(&ins, best, 2);
+        let remaining = ledger.avail.lock().unwrap().clone();
+        for l1 in remaining {
+            assert!(bytes_local_to(&ins, l1, 2) <= score);
+        }
+    }
+
+    #[test]
+    fn chain_roots_mirror_static_roots() {
+        let ins = ins(1);
+        // Unchained: one READ pair per gemm, no DFILL.
+        let mut out = Vec::new();
+        chain_roots(&ins, &VariantCfg::v5(), 0, &mut out);
+        let gemms = ins.chains[0].gemms.len();
+        assert_eq!(out.len(), 2 * gemms);
+        assert!(out.iter().all(|k| k.class == READ_A || k.class == READ_B));
+        // Chained (v1): the DFILL root joins the pairs.
+        let mut out = Vec::new();
+        chain_roots(&ins, &VariantCfg::v1(), 0, &mut out);
+        assert_eq!(out.len(), 2 * gemms + 1);
+        assert_eq!(out.iter().filter(|k| k.class == DFILL).count(), 1);
+    }
+
+    #[test]
+    fn chain_bytes_counts_operands_and_output() {
+        let ins = ins(2);
+        let c = &ins.chains[0];
+        let operands: usize = c.gemms.iter().map(|g| g.a_len + g.b_len).sum();
+        assert_eq!(chain_bytes(&ins, 0), (operands * 8) as u64 + c.c_bytes());
+        let all: u64 = (0..ins.num_chains())
+            .map(|n| ins.chains[n].gemms.len() as u64)
+            .sum();
+        assert!(all > 0);
+    }
+}

@@ -105,6 +105,9 @@ impl TaskClass for Reader {
     }
     fn roots(&self, ctx: &dyn GraphCtx, out: &mut Vec<TaskKey>) {
         let c = cc(ctx);
+        if c.external_roots {
+            return; // seeded chain-by-chain through the steal ledger
+        }
         let class = match self.0 {
             Operand::A => READ_A,
             Operand::B => READ_B,
@@ -226,7 +229,7 @@ impl TaskClass for Dfill {
     }
     fn roots(&self, ctx: &dyn GraphCtx, out: &mut Vec<TaskKey>) {
         let c = cc(ctx);
-        if !c.cfg.chained_gemms {
+        if !c.cfg.chained_gemms || c.external_roots {
             return;
         }
         for l1 in 0..c.ins.num_chains() {
@@ -865,6 +868,35 @@ pub fn build_graph_dist(
     rank: Option<usize>,
     prefetch: bool,
 ) -> TaskGraph {
+    build_graph_inner(ins, cfg, ws, pool, rank, prefetch, false)
+}
+
+/// As [`build_graph_dist`] with **no static roots**: every task class
+/// stays executable for every chain, but nothing materializes until an
+/// external [`parsec_rt::WorkSource`] seeds chain roots into the engine.
+/// This is what lets a thief rank execute chains it does not own — the
+/// rank filter lives only in the roots, which are now the ledger's.
+pub fn build_graph_external(
+    ins: Arc<Inspection>,
+    cfg: VariantCfg,
+    ws: Option<Arc<tce::Workspace>>,
+    pool: Arc<TilePool>,
+    rank: Option<usize>,
+    prefetch: bool,
+) -> TaskGraph {
+    build_graph_inner(ins, cfg, ws, pool, rank, prefetch, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_graph_inner(
+    ins: Arc<Inspection>,
+    cfg: VariantCfg,
+    ws: Option<Arc<tce::Workspace>>,
+    pool: Arc<TilePool>,
+    rank: Option<usize>,
+    prefetch: bool,
+    external_roots: bool,
+) -> TaskGraph {
     let nodes = ins.i2.dist.nodes();
     if let Some(ws) = &ws {
         assert_eq!(ws.ga.nnodes(), nodes, "workspace/inspection node mismatch");
@@ -880,6 +912,7 @@ pub fn build_graph_dist(
         pool,
         rank,
         prefetch,
+        external_roots,
     });
     TaskGraph::new(
         vec![

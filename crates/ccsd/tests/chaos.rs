@@ -87,8 +87,11 @@ fn run_matrix(transports: Vec<FaultyRank>, replay: &str) -> Vec<RankResult> {
                     chaos_cfg(),
                     verify_cache_cfg(),
                 );
-                let e_v2 = rank.run_variant(VariantCfg::v2(), 2, true).energy;
-                let e_v5 = rank.run_variant(VariantCfg::v5(), 2, true).energy;
+                // Four workers per rank beside the progress thread: the
+                // fused engine's hot configuration, so every schedule
+                // exercises steal/park races under fault recovery.
+                let e_v2 = rank.run_variant(VariantCfg::v2(), 4, true).energy;
+                let e_v5 = rank.run_variant(VariantCfg::v5(), 4, true).energy;
                 // Deterministic hit-verify exercise while faults are
                 // still armed: the first full-t2 read fills the cache
                 // over the faulty wire, the second hits — and
@@ -297,7 +300,7 @@ fn dist_ccsd_socket_chaos_smoke() {
                     chaos_cfg(),
                     verify_cache_cfg(),
                 );
-                let energy = rank.run_variant(VariantCfg::v5(), 2, true).energy;
+                let energy = rank.run_variant(VariantCfg::v5(), 4, true).energy;
                 // Fill-then-hit over the faulty sockets so the verified
                 // stale gate below is exercised, not vacuous.
                 let ws = rank.workspace();

@@ -33,7 +33,9 @@ pub mod transport;
 
 pub use fault::{FaultCounters, FaultEvent, FaultPlan, FaultTransport, SplitMix64};
 pub use msg::{CodecError, GetSpec, Msg, ReplyView, WireSlice};
-pub use progress::{CommConfig, CommStatsSnap, Endpoint, GetCallback, ShardStore};
+pub use progress::{
+    CommConfig, CommStatsSnap, Endpoint, GetCallback, ShardStore, StealCallback, StealHandler,
+};
 pub use socket::SocketTransport;
 pub use transport::{loopback, LoopbackTransport, Transport};
 

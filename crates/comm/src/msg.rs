@@ -139,6 +139,23 @@ pub enum Msg {
     /// request order, always inline (batching replaces the rendezvous
     /// round trip — the batch byte cap bounds the frame instead).
     GetReplyMulti { token: u64, parts: Vec<Vec<f64>> },
+    /// Cross-rank work-steal request: the sender's workers ran dry and it
+    /// asks the target to donate up to `limit` ready chains. `epoch` is
+    /// the collective run ordinal — a target already in a later run
+    /// answers dry rather than donating tasks from the wrong graph.
+    /// Mutating (the grant removes chains from the target's ledger), so
+    /// it carries `seq` and dedups like Put/Acc/NxtVal.
+    StealRequest {
+        token: u64,
+        seq: u64,
+        epoch: u64,
+        limit: u32,
+    },
+    /// Grant for a [`Msg::StealRequest`]: chain indices now owned-for-
+    /// execution by the requester. Empty means the target is dry (or in a
+    /// different epoch). Retransmitted requests re-receive the recorded
+    /// grant, never a fresh one.
+    StealReply { token: u64, chains: Vec<u64> },
 }
 
 /// One read range inside a [`Msg::MultiGet`] frame.
@@ -172,6 +189,8 @@ const T_BARRIER_ENTER: u8 = 20;
 const T_BARRIER_RELEASE: u8 = 21;
 const T_MULTI_GET: u8 = 22;
 const T_GET_MULTI_REPLY: u8 = 23;
+const T_STEAL_REQ: u8 = 24;
+const T_STEAL_REPLY: u8 = 25;
 
 /// A borrowed view of one payload inside a received frame: either raw
 /// little-endian `f64` bytes still sitting in the frame buffer, or an
@@ -502,6 +521,26 @@ impl Msg {
                     w.data(p);
                 }
             }
+            Msg::StealRequest {
+                token,
+                seq,
+                epoch,
+                limit,
+            } => {
+                w.u8(T_STEAL_REQ);
+                w.u64(*token);
+                w.u64(*seq);
+                w.u64(*epoch);
+                w.u32(*limit);
+            }
+            Msg::StealReply { token, chains } => {
+                w.u8(T_STEAL_REPLY);
+                w.u64(*token);
+                w.u64(chains.len() as u64);
+                for &c in chains {
+                    w.u64(c);
+                }
+            }
         }
         w.0
     }
@@ -623,6 +662,25 @@ impl Msg {
                     parts.push(r.data()?);
                 }
                 Msg::GetReplyMulti { token, parts }
+            }
+            T_STEAL_REQ => Msg::StealRequest {
+                token: r.u64()?,
+                seq: r.u64()?,
+                epoch: r.u64()?,
+                limit: r.u32()?,
+            },
+            T_STEAL_REPLY => {
+                let token = r.u64()?;
+                let n = r.u64()? as usize;
+                // 8 bytes per chain id; validate before allocating.
+                if body.len() - r.pos < n.saturating_mul(8) {
+                    return Err(CodecError::Truncated);
+                }
+                let mut chains = Vec::with_capacity(n);
+                for _ in 0..n {
+                    chains.push(r.u64()?);
+                }
+                Msg::StealReply { token, chains }
             }
             t => return Err(CodecError::UnknownTag(t)),
         };
@@ -775,6 +833,35 @@ mod tests {
         let mut trunc = multi.encode();
         trunc.truncate(trunc.len() - 1);
         assert!(Msg::reply_view(&trunc).is_err());
+    }
+
+    #[test]
+    fn steal_roundtrip() {
+        let req = Msg::StealRequest {
+            token: 11,
+            seq: 4,
+            epoch: 2,
+            limit: 3,
+        };
+        assert_eq!(Msg::decode(&req.encode()).unwrap(), req);
+        for chains in [vec![], vec![5], vec![9, 1, 1 << 40]] {
+            let rep = Msg::StealReply { token: 11, chains };
+            assert_eq!(Msg::decode(&rep.encode()).unwrap(), rep);
+            // Steal frames are not get replies: the fast path skips them.
+            assert!(Msg::reply_view(&rep.encode()).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn corrupt_steal_count_does_not_allocate() {
+        let mut body = Msg::StealReply {
+            token: 1,
+            chains: vec![],
+        }
+        .encode();
+        let n = body.len();
+        body[n - 8..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(Msg::decode(&body), Err(CodecError::Truncated));
     }
 
     #[test]

@@ -106,6 +106,22 @@ impl Default for CommConfig {
 /// frame — so callbacks copy once, straight into their own buffer.
 pub type GetCallback = Box<dyn FnOnce(WireSlice<'_>) + Send>;
 
+/// Completion callback of a [`Endpoint::steal_async`]: the donated chain
+/// indices (empty when the victim was dry). Runs on the progress thread.
+pub type StealCallback = Box<dyn FnOnce(Vec<u64>) + Send>;
+
+/// Server side of the cross-rank steal protocol: the runtime registers
+/// one of these per run, and the progress thread calls `donate` when a
+/// `StealRequest` arrives. The grant must be transactional — chains
+/// returned here are *gone* from the local pool, because the reply (and
+/// the recorded re-reply a retransmission gets) is the thief's title to
+/// execute them.
+pub trait StealHandler: Send + Sync {
+    /// Donate up to `limit` ready chains to `thief`, or empty when dry or
+    /// when `epoch` names a different collective run than the current one.
+    fn donate(&self, thief: usize, epoch: u64, limit: u32) -> Vec<u64>;
+}
+
 /// Operation counters, all frames and payloads.
 #[derive(Debug, Default)]
 struct CommStats {
@@ -129,6 +145,10 @@ struct CommStats {
     get_wire_bytes: AtomicU64,
     multi_gets: AtomicU64,
     multi_parts: AtomicU64,
+    steal_reqs: AtomicU64,
+    steal_chains_rx: AtomicU64,
+    steal_dry_rx: AtomicU64,
+    steal_donated: AtomicU64,
 }
 
 /// Point-in-time copy of a rank's communication counters.
@@ -175,6 +195,13 @@ pub struct CommStatsSnap {
     /// occupancy is `multi_parts / multi_gets`.
     pub multi_gets: u64,
     pub multi_parts: u64,
+    /// Steal requests this rank posted (thief side).
+    pub steal_reqs: u64,
+    /// Chains received via steal replies, and dry (empty) replies.
+    pub steal_chains_rx: u64,
+    pub steal_dry_rx: u64,
+    /// Chains this rank donated to thieves (victim side).
+    pub steal_donated: u64,
 }
 
 /// Deadline state of one retryable in-flight request.
@@ -297,6 +324,10 @@ struct PeerDedup {
     /// NXTVAL values by seq, retained so a duplicate request re-receives
     /// the value its original draw took (bounded by nxtvals served).
     vals: HashMap<u64, i64>,
+    /// Steal grants by seq, same story: a retransmitted `StealRequest`
+    /// re-receives the chains its original donated, never a fresh grant
+    /// (donating twice would execute — and accumulate — a chain twice).
+    grants: HashMap<u64, Vec<u64>>,
 }
 
 impl PeerDedup {
@@ -376,6 +407,15 @@ struct NxtvalWait {
     retry: Retry,
 }
 
+/// Thief-side pending steal request, retried like any mutating AM.
+struct StealWait {
+    cb: StealCallback,
+    peer: usize,
+    posted_ns: u64,
+    resend: Msg,
+    retry: Retry,
+}
+
 #[derive(Default)]
 struct BarrierState {
     next: u64,
@@ -395,6 +435,8 @@ struct TraceIds {
     get: [[u16; 2]; 2],
     put: [[u16; 2]; 2],
     acc: [[u16; 2]; 2],
+    /// Steal round trips, indexed `[granted]`.
+    steal: [u16; 2],
 }
 
 fn fresh_trace() -> (Trace, TraceIds) {
@@ -439,6 +481,10 @@ fn fresh_trace() -> (Trace, TraceIds) {
         get: quad("GET"),
         put: quad("PUT"),
         acc: quad("ACC"),
+        steal: [
+            t.class("STEAL_DRY", ActivityKind::Steal),
+            t.class("STEAL", ActivityKind::Steal),
+        ],
     };
     (t, ids)
 }
@@ -467,6 +513,8 @@ struct Inner {
     dedup: Mutex<Vec<PeerDedup>>,
     acks: Mutex<HashMap<u64, AckWait>>,
     vals: Mutex<HashMap<u64, NxtvalWait>>,
+    steals: Mutex<HashMap<u64, StealWait>>,
+    steal_handler: Mutex<Option<Arc<dyn StealHandler>>>,
     outstanding: Mutex<u64>,
     fence_cv: Condvar,
     barrier: Mutex<BarrierState>,
@@ -510,6 +558,8 @@ impl Endpoint {
             dedup: Mutex::new((0..nranks).map(|_| PeerDedup::default()).collect()),
             acks: Mutex::new(HashMap::new()),
             vals: Mutex::new(HashMap::new()),
+            steals: Mutex::new(HashMap::new()),
+            steal_handler: Mutex::new(None),
             outstanding: Mutex::new(0),
             fence_cv: Condvar::new(),
             barrier: Mutex::new(BarrierState::default()),
@@ -784,6 +834,43 @@ impl Endpoint {
         slot.wait();
     }
 
+    /// Install (or clear) the handler that answers incoming steal
+    /// requests. Cleared between runs; requests arriving with no handler
+    /// installed are answered dry.
+    pub fn set_steal_handler(&self, h: Option<Arc<dyn StealHandler>>) {
+        *self.inner.steal_handler.lock().unwrap() = h;
+    }
+
+    /// Ask `victim` to donate up to `limit` ready chains from collective
+    /// run `epoch`. Non-blocking: `cb` runs on the progress thread with
+    /// the granted chains (empty = dry). Mutating — the grant removes
+    /// chains from the victim's ledger — so it rides the per-peer
+    /// sequence/retry/dedup machinery like Put/Acc/NxtVal.
+    pub fn steal_async(&self, victim: usize, epoch: u64, limit: u32, cb: StealCallback) {
+        let i = &self.inner;
+        assert_ne!(victim, i.rank, "steal targets a remote rank");
+        i.stats.steal_reqs.fetch_add(1, Ordering::Relaxed);
+        let token = i.token.fetch_add(1, Ordering::Relaxed);
+        let seq = i.seq_tx[victim].fetch_add(1, Ordering::Relaxed);
+        let msg = Msg::StealRequest {
+            token,
+            seq,
+            epoch,
+            limit,
+        };
+        i.steals.lock().unwrap().insert(
+            token,
+            StealWait {
+                cb,
+                peer: victim,
+                posted_ns: i.now_ns(),
+                resend: msg.clone(),
+                retry: Retry::new(&i.cfg),
+            },
+        );
+        i.post(victim, &msg);
+    }
+
     /// Block until every put/accumulate this rank posted has been applied
     /// and acknowledged by its target.
     pub fn fence(&self) {
@@ -848,6 +935,10 @@ impl Endpoint {
             get_wire_bytes: s.get_wire_bytes.load(Ordering::Relaxed),
             multi_gets: s.multi_gets.load(Ordering::Relaxed),
             multi_parts: s.multi_parts.load(Ordering::Relaxed),
+            steal_reqs: s.steal_reqs.load(Ordering::Relaxed),
+            steal_chains_rx: s.steal_chains_rx.load(Ordering::Relaxed),
+            steal_dry_rx: s.steal_dry_rx.load(Ordering::Relaxed),
+            steal_donated: s.steal_donated.load(Ordering::Relaxed),
         }
     }
 
@@ -1117,6 +1208,11 @@ impl Inner {
                 resend.push((nv.peer, nv.resend.clone()));
             }
         }
+        for sw in self.steals.lock().unwrap().values_mut() {
+            if sw.retry.due(now, cap) {
+                resend.push((sw.peer, sw.resend.clone()));
+            }
+        }
         {
             let mut b = self.barrier.lock().unwrap();
             let released = b.released;
@@ -1260,6 +1356,36 @@ impl Inner {
                 };
                 self.post(from, &Msg::NxtValReply { token, value });
             }
+            Msg::StealRequest {
+                token,
+                seq,
+                epoch,
+                limit,
+            } => {
+                // Each (peer, seq) takes a grant exactly once; a duplicate
+                // request re-receives the recorded chains — never a fresh
+                // grant, which would hand the same chain to two executors.
+                let chains = {
+                    let mut dedup = self.dedup.lock().unwrap();
+                    let d = &mut dedup[from];
+                    if d.fresh(seq) {
+                        let h = self.steal_handler.lock().unwrap().clone();
+                        let c = h.map_or_else(Vec::new, |h| h.donate(from, epoch, limit));
+                        self.stats
+                            .steal_donated
+                            .fetch_add(c.len() as u64, Ordering::Relaxed);
+                        d.grants.insert(seq, c.clone());
+                        c
+                    } else {
+                        self.stats.dup_requests.fetch_add(1, Ordering::Relaxed);
+                        d.grants
+                            .get(&seq)
+                            .expect("duplicate steal without recorded grant")
+                            .clone()
+                    }
+                };
+                self.post(from, &Msg::StealReply { token, chains });
+            }
             Msg::NxtValReset { token, seq } => {
                 if self.dedup_fresh(from, seq) {
                     self.counter.store(0, Ordering::Relaxed);
@@ -1346,6 +1472,28 @@ impl Inner {
                 }
                 None => self.dup_reply(),
             },
+            Msg::StealReply { token, chains } => {
+                let Some(sw) = self.steals.lock().unwrap().remove(&token) else {
+                    self.dup_reply();
+                    return;
+                };
+                let granted = !chains.is_empty();
+                if granted {
+                    self.stats
+                        .steal_chains_rx
+                        .fetch_add(chains.len() as u64, Ordering::Relaxed);
+                } else {
+                    self.stats.steal_dry_rx.fetch_add(1, Ordering::Relaxed);
+                }
+                let now = self.now_ns();
+                {
+                    let mut t = self.trace.lock().unwrap();
+                    let class = t.1.steal[granted as usize];
+                    let row = WorkerId::new(self.rank as u32, self.cfg.comm_worker);
+                    t.0.push(row, class, sw.posted_ns, now);
+                }
+                (sw.cb)(chains);
+            }
         }
     }
 

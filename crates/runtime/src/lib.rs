@@ -34,7 +34,8 @@ pub mod tracker;
 
 pub use coarse::CoarseRuntime;
 pub use cost::CostModel;
-pub use native::{NativeReport, NativeRuntime};
+pub use native::{NativeReport, NativeRuntime, SourcePoll, StealStats, WorkSource};
 pub use pool::{PoolStats, TilePool};
 pub use sched::SchedPolicy;
+pub use shard::IdleGate;
 pub use simengine::{SimEngine, SimReport};

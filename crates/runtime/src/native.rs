@@ -44,6 +44,48 @@ pub struct NativeReport {
     pub tasks: u64,
     /// Total wall time.
     pub wall: std::time::Duration,
+    /// Work-distribution counters (per-worker occupancy, steals).
+    pub steal: StealStats,
+}
+
+/// Work-distribution counters of one run.
+#[derive(Debug, Clone, Default)]
+pub struct StealStats {
+    /// Tasks seeded mid-run from an external [`WorkSource`] (locally
+    /// claimed chain roots and cross-rank migrations alike).
+    pub external_tasks: u64,
+    /// Successful single-task steals from peer worker deques.
+    pub local_steals: u64,
+    /// Task bodies executed per worker (occupancy; sums to `tasks`).
+    pub per_worker_tasks: Vec<u64>,
+}
+
+/// What an external [`WorkSource`] has for a starving engine.
+pub enum SourcePoll {
+    /// New root tasks to seed (each must declare zero inputs). Must be
+    /// non-empty.
+    Tasks(Vec<TaskKey>),
+    /// Nothing right now, but more may arrive asynchronously (a steal
+    /// request is in flight): park, don't conclude anything.
+    Pending,
+    /// Permanently exhausted. Must be sticky — once returned, no later
+    /// poll may return tasks, because the engine shuts down on it.
+    Empty,
+}
+
+/// A mid-run task feed, polled by workers that found nothing in any
+/// deque. This is how the distributed layer turns the engine into a peer
+/// of the comm progress thread: chain roots are claimed batch-by-batch
+/// (locally or stolen from another rank) instead of being fixed at graph
+/// build, and the engine terminates only when the graph is quiescent AND
+/// the source is [`SourcePoll::Empty`].
+pub trait WorkSource: Send + Sync {
+    /// Called once at run start; asynchronous arrivals (steal replies on
+    /// the comm thread) use the gate to unpark waiting workers.
+    fn attach(&self, gate: Arc<IdleGate>);
+    /// Called by a starved worker. May block briefly (a lock), never on
+    /// the network.
+    fn poll(&self) -> SourcePoll;
 }
 
 /// Assemble a [`NativeReport`] from per-worker span sets. Shared with the
@@ -78,40 +120,63 @@ pub(crate) fn build_report(
             );
         }
     }
-    NativeReport { trace, tasks, wall }
+    NativeReport {
+        trace,
+        tasks,
+        wall,
+        steal: StealStats::default(),
+    }
 }
 
 /// Configuration for the native engine.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct NativeRuntime {
     threads: usize,
     policy: SchedPolicy,
     node: u32,
     epoch: Option<Instant>,
+    source: Option<Arc<dyn WorkSource>>,
 }
 
-/// Deferred-completion mailbox shared with whatever finishes asynchronous
-/// tasks (comm progress threads). A task that `execute_async`-returns
-/// `None` is counted in `inflight` until its outputs arrive in `queue`;
-/// workers drain the queue exactly like tasks they ran themselves.
+/// Deferred-completion mailboxes shared with whatever finishes
+/// asynchronous tasks (comm progress threads). A task that
+/// `execute_async`-returns `None` is counted in `inflight` until its
+/// outputs arrive in a queue; workers drain their own queue first, then
+/// scan the others, and settle each completion exactly like tasks they
+/// ran themselves. Per-worker queues keep N workers and the comm thread
+/// off one hot mutex and deliver successors into the drainer's own deque.
+/// One deferred completion: the finished task and its output payloads.
+type Arrival = (TaskKey, Vec<Option<Payload>>);
+
 pub(crate) struct Completions {
-    queue: Mutex<Vec<(TaskKey, Vec<Option<Payload>>)>>,
+    queues: Vec<Mutex<Vec<Arrival>>>,
+    /// Round-robin distribution cursor for arriving completions.
+    rr: AtomicU64,
+    /// Completions pushed but not yet taken by a drainer (kept exact on
+    /// the producer side so `idle` never has to lock every queue).
+    queued: AtomicU64,
     inflight: AtomicU64,
     gate: Arc<IdleGate>,
 }
 
 impl Completions {
+    /// Conclusive only while every worker is idle: then nothing can
+    /// re-raise `inflight`, so reading it as zero first means every
+    /// completion has been pushed (push precedes the decrement), and a
+    /// zero `queued` read after that means every push was drained.
     fn idle(&self) -> bool {
-        // Queue before inflight: `complete` pushes before decrementing,
-        // so observing inflight == 0 after an empty queue means no
-        // completion is still unaccounted for.
-        self.queue.lock().is_empty() && self.inflight.load(Ordering::SeqCst) == 0
+        self.inflight.load(Ordering::SeqCst) == 0 && self.queued.load(Ordering::SeqCst) == 0
     }
 }
 
 impl CompletionSink for Completions {
     fn complete(&self, key: TaskKey, outputs: Vec<Option<Payload>>) {
-        self.queue.lock().push((key, outputs));
+        let w = self.rr.fetch_add(1, Ordering::Relaxed) as usize % self.queues.len();
+        self.queues[w].lock().push((key, outputs));
+        // Count the arrival before releasing `inflight`: between the two,
+        // the completion is visible through `queued` instead, so `idle`
+        // (which reads inflight first) never misses it.
+        self.queued.fetch_add(1, Ordering::SeqCst);
         self.inflight.fetch_sub(1, Ordering::SeqCst);
         self.gate.notify_all();
     }
@@ -127,9 +192,13 @@ struct Shared<'g> {
     stealers: Vec<Stealer<TaskKey>>,
     gate: Arc<IdleGate>,
     completions: Arc<Completions>,
+    source: Option<Arc<dyn WorkSource>>,
     shutdown: AtomicBool,
     idle: AtomicU64,
     executed: AtomicU64,
+    external_tasks: AtomicU64,
+    local_steals: AtomicU64,
+    per_worker: Vec<AtomicU64>,
     t0: Instant,
 }
 
@@ -143,6 +212,7 @@ impl NativeRuntime {
             policy: SchedPolicy::PriorityFifo,
             node: 0,
             epoch: None,
+            source: None,
         }
     }
 
@@ -163,6 +233,15 @@ impl NativeRuntime {
     /// epoch so compute and communication spans share one timeline.
     pub fn epoch(mut self, epoch: Instant) -> Self {
         self.epoch = Some(epoch);
+        self
+    }
+
+    /// Feed tasks from an external [`WorkSource`] in addition to (or
+    /// instead of) the graph's static roots. The run then terminates
+    /// only when the graph is quiescent and the source reports
+    /// [`SourcePoll::Empty`].
+    pub fn source(mut self, source: Arc<dyn WorkSource>) -> Self {
+        self.source = Some(source);
         self
     }
 
@@ -207,6 +286,9 @@ impl NativeRuntime {
             .collect();
         let stealers: Vec<Stealer<TaskKey>> = locals.iter().map(|w| w.stealer()).collect();
         let gate = Arc::new(IdleGate::new());
+        if let Some(src) = &self.source {
+            src.attach(gate.clone());
+        }
         let shared = Shared {
             graph,
             policy: self.policy,
@@ -216,14 +298,20 @@ impl NativeRuntime {
             injector,
             stealers,
             completions: Arc::new(Completions {
-                queue: Mutex::new(Vec::new()),
+                queues: (0..self.threads).map(|_| Mutex::new(Vec::new())).collect(),
+                rr: AtomicU64::new(0),
+                queued: AtomicU64::new(0),
                 inflight: AtomicU64::new(0),
                 gate: gate.clone(),
             }),
             gate,
-            shutdown: AtomicBool::new(roots.is_empty()),
+            source: self.source.clone(),
+            shutdown: AtomicBool::new(roots.is_empty() && self.source.is_none()),
             idle: AtomicU64::new(0),
             executed: AtomicU64::new(0),
+            external_tasks: AtomicU64::new(0),
+            local_steals: AtomicU64::new(0),
+            per_worker: (0..self.threads).map(|_| AtomicU64::new(0)).collect(),
             t0: self.epoch.unwrap_or_else(Instant::now),
         };
 
@@ -249,13 +337,23 @@ impl NativeRuntime {
             "deadlock: {} task(s) still waiting for inputs",
             shared.tracker.starved()
         );
-        build_report(
+        let mut report = build_report(
             graph,
             &span_sets,
             shared.executed.load(Ordering::SeqCst),
             wall,
             self.node,
-        )
+        );
+        report.steal = StealStats {
+            external_tasks: shared.external_tasks.load(Ordering::SeqCst),
+            local_steals: shared.local_steals.load(Ordering::SeqCst),
+            per_worker_tasks: shared
+                .per_worker
+                .iter()
+                .map(|c| c.load(Ordering::SeqCst))
+                .collect(),
+        };
+        report
     }
 }
 
@@ -305,7 +403,10 @@ fn find_task(
                     continue;
                 }
                 match shared.stealers[victim].steal() {
-                    Steal::Success(k) => return Some(k),
+                    Steal::Success(k) => {
+                        shared.local_steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(k);
+                    }
                     Steal::Retry => saw_retry = true,
                     Steal::Empty => {}
                 }
@@ -338,13 +439,21 @@ fn worker(shared: &Shared<'_>, local: Worker<TaskKey>, index: usize) -> Vec<(u32
         if shared.shutdown.load(Ordering::SeqCst) {
             return spans;
         }
-        if drain_completions(shared, &local, &mut deps, &mut ready, &mut last_chain) {
+        if drain_completions(
+            shared,
+            &local,
+            index,
+            &mut deps,
+            &mut ready,
+            &mut last_chain,
+        ) {
             continue;
         }
         if let Some(key) = find_task(shared, &local, index, &mut rng) {
             run_task(
                 shared,
                 &local,
+                index,
                 key,
                 &mut spans,
                 &mut deps,
@@ -361,13 +470,21 @@ fn worker(shared: &Shared<'_>, local: Worker<TaskKey>, index: usize) -> Vec<(u32
         if shared.shutdown.load(Ordering::SeqCst) {
             return spans;
         }
-        if drain_completions(shared, &local, &mut deps, &mut ready, &mut last_chain) {
+        if drain_completions(
+            shared,
+            &local,
+            index,
+            &mut deps,
+            &mut ready,
+            &mut last_chain,
+        ) {
             continue;
         }
         if let Some(key) = find_task(shared, &local, index, &mut rng) {
             run_task(
                 shared,
                 &local,
+                index,
                 key,
                 &mut spans,
                 &mut deps,
@@ -376,22 +493,70 @@ fn worker(shared: &Shared<'_>, local: Worker<TaskKey>, index: usize) -> Vec<(u32
             );
             continue;
         }
+        // Every deque is dry: ask the external source (if any) before
+        // parking. Tasks are seeded as fresh roots into the local deque;
+        // Pending means a cross-rank steal is in flight, so parking is
+        // correct and concluding anything is not.
+        let poll = match &shared.source {
+            None => SourcePoll::Empty,
+            Some(src) => src.poll(),
+        };
+        let src_empty = match poll {
+            SourcePoll::Tasks(keys) if !keys.is_empty() => {
+                seed_external(shared, &local, keys);
+                continue;
+            }
+            // An empty task batch is nothing to seed but not exhaustion.
+            SourcePoll::Tasks(_) | SourcePoll::Pending => false,
+            SourcePoll::Empty => true,
+        };
         let idle_now = shared.idle.fetch_add(1, Ordering::SeqCst) + 1;
-        if idle_now as usize == shared.threads
-            && !shared.tracker.is_quiescent()
-            && queues_empty(shared)
-            && shared.completions.idle()
-        {
-            // Every worker is idle, so no push is in flight: empty queues
-            // mean the remaining live tasks can never receive inputs.
-            shared.shutdown.store(true, Ordering::SeqCst);
-            shared.gate.notify_all();
-            shared.idle.fetch_sub(1, Ordering::SeqCst);
-            return spans;
+        if idle_now as usize == shared.threads && src_empty && queues_empty(shared) {
+            // `idle` must reach `threads` before `completions.idle()` is
+            // read: only with every worker parked is the counter pair
+            // conclusive (nothing can re-raise `inflight`).
+            let quiescent = shared.tracker.is_quiescent();
+            let finished = shared.source.is_some() && quiescent;
+            if (finished || !quiescent) && shared.completions.idle() {
+                // Source-fed run fully drained (finished), or every
+                // worker is idle with empty queues and live tasks that
+                // can never receive inputs (deadlock — the post-run
+                // quiescence assert reports it).
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.gate.notify_all();
+                shared.idle.fetch_sub(1, Ordering::SeqCst);
+                return spans;
+            }
         }
         shared.gate.wait(ticket);
         shared.idle.fetch_sub(1, Ordering::SeqCst);
     }
+}
+
+/// Seed externally-sourced tasks (chain roots claimed from the ledger or
+/// stolen from another rank) into this worker's deque, ordered for the
+/// deque's pop end like [`settle`] orders released successors.
+fn seed_external(shared: &Shared<'_>, local: &Worker<TaskKey>, keys: Vec<TaskKey>) {
+    let graph = shared.graph;
+    let ctx = graph.ctx();
+    shared
+        .external_tasks
+        .fetch_add(keys.len() as u64, Ordering::SeqCst);
+    let mut seeded: Vec<(TaskKey, i64)> = keys
+        .into_iter()
+        .map(|k| (k, graph.class_of(k).priority(k, ctx)))
+        .collect();
+    match shared.policy {
+        SchedPolicy::PriorityFifo => seeded.sort_by_key(|&(_, p)| std::cmp::Reverse(p)),
+        SchedPolicy::PriorityLifo | SchedPolicy::ChainAffinity => seeded.sort_by_key(|&(_, p)| p),
+        SchedPolicy::Fifo => {}
+        SchedPolicy::Lifo => seeded.reverse(),
+    }
+    for &(k, _) in seeded.iter() {
+        shared.tracker.add_root(k);
+        local.push(k);
+    }
+    shared.gate.notify_all();
 }
 
 /// Drain deferred completions (tasks finished by comm progress threads)
@@ -400,18 +565,35 @@ fn worker(shared: &Shared<'_>, local: Worker<TaskKey>, index: usize) -> Vec<(u32
 fn drain_completions(
     shared: &Shared<'_>,
     local: &Worker<TaskKey>,
+    index: usize,
     deps: &mut Vec<ptg::Dep>,
     ready: &mut Vec<(TaskKey, i64)>,
     last_chain: &mut Option<i64>,
 ) -> bool {
-    let batch = std::mem::take(&mut *shared.completions.queue.lock());
-    if batch.is_empty() {
+    // Own mailbox first (successors land in the own deque), then scan the
+    // others so no completion waits on a busy worker.
+    let q = &shared.completions;
+    // `queued` is exact on the producer side, so the common all-empty
+    // case costs one load instead of N mutex acquisitions per loop turn
+    // (this runs before every dispatch). A push racing this load is not
+    // lost: the producer bumps the gate after counting, so the arrival
+    // is seen on the next turn or wakes a parked worker.
+    if q.queued.load(Ordering::SeqCst) == 0 {
         return false;
     }
-    for (key, outputs) in batch {
-        settle(shared, local, key, outputs, deps, ready, last_chain);
+    let nq = q.queues.len();
+    for off in 0..nq {
+        let batch = std::mem::take(&mut *q.queues[(index + off) % nq].lock());
+        if batch.is_empty() {
+            continue;
+        }
+        q.queued.fetch_sub(batch.len() as u64, Ordering::SeqCst);
+        for (key, outputs) in batch {
+            settle(shared, local, key, outputs, deps, ready, last_chain);
+        }
+        return true;
     }
-    true
+    false
 }
 
 /// Execute one task and release its successors. Tasks whose class defers
@@ -421,6 +603,7 @@ fn drain_completions(
 fn run_task(
     shared: &Shared<'_>,
     local: &Worker<TaskKey>,
+    index: usize,
     key: TaskKey,
     spans: &mut Vec<(u32, u64, u64)>,
     deps: &mut Vec<ptg::Dep>,
@@ -430,6 +613,7 @@ fn run_task(
     let graph = shared.graph;
     let ctx = graph.ctx();
     let class = graph.class_of(key);
+    shared.per_worker[index].fetch_add(1, Ordering::Relaxed);
 
     // Gather inputs (each flow hits only its own store shard).
     let nflows = class.num_flows();
@@ -528,8 +712,14 @@ fn settle(
 
     shared.executed.fetch_add(1, Ordering::SeqCst);
     if shared.tracker.complete(key) {
-        // This completion reached quiescence; exactly one worker sees it.
-        shared.shutdown.store(true, Ordering::SeqCst);
+        // This completion reached quiescence; exactly one worker sees it
+        // (per quiescent episode — an external source can re-seed roots).
+        if shared.source.is_none() {
+            shared.shutdown.store(true, Ordering::SeqCst);
+        }
+        // With a source, termination is decided at the all-idle scan
+        // (the source may still hold or receive chains); wake everyone
+        // so the scan happens promptly.
         shared.gate.notify_all();
     }
 }
@@ -725,6 +915,123 @@ mod tests {
         let rep = NativeRuntime::new(2).run(&g);
         assert_eq!(rep.tasks, 25);
         assert_eq!(total.load(Ordering::Relaxed), 276);
+    }
+
+    /// Like `Reduce` but with no static roots: every leaf arrives through
+    /// the external [`WorkSource`].
+    struct ExtReduce {
+        n: i64,
+        total: Arc<AtomicU64>,
+    }
+    impl ptg::TaskClass for ExtReduce {
+        fn name(&self) -> &str {
+            "XREDUCE"
+        }
+        fn num_flows(&self) -> usize {
+            1
+        }
+        fn roots(&self, _ctx: &dyn GraphCtx, _out: &mut Vec<TaskKey>) {}
+        fn num_inputs(&self, key: TaskKey, _ctx: &dyn GraphCtx) -> usize {
+            if key.params[0] == 0 {
+                0
+            } else {
+                self.n as usize
+            }
+        }
+        fn successors(&self, key: TaskKey, _ctx: &dyn GraphCtx, out: &mut Vec<Dep>) {
+            if key.params[0] == 0 {
+                out.push(Dep {
+                    src_flow: 0,
+                    dst: TaskKey::new(0, &[1, 0]),
+                    dst_flow: 0,
+                });
+            }
+        }
+        fn execute(
+            &self,
+            key: TaskKey,
+            _ctx: &dyn GraphCtx,
+            _inputs: &mut [Option<Payload>],
+        ) -> Vec<Option<Payload>> {
+            if key.params[0] == 0 {
+                self.total
+                    .fetch_add(key.params[1] as u64, Ordering::Relaxed);
+                vec![Some(Arc::new(vec![key.params[1] as f64]))]
+            } else {
+                vec![None]
+            }
+        }
+    }
+
+    /// Hands out immediate batches, then goes Pending until a helper
+    /// thread (standing in for a comm-thread steal reply) delivers a late
+    /// batch through the gate, then reports Empty.
+    struct DripSource {
+        batches: Mutex<Vec<Vec<TaskKey>>>,
+        late: Mutex<Option<Vec<TaskKey>>>,
+        late_done: AtomicBool,
+        gate: Mutex<Option<Arc<IdleGate>>>,
+    }
+    impl WorkSource for DripSource {
+        fn attach(&self, gate: Arc<IdleGate>) {
+            *self.gate.lock() = Some(gate);
+        }
+        fn poll(&self) -> SourcePoll {
+            if let Some(b) = self.batches.lock().pop() {
+                return SourcePoll::Tasks(b);
+            }
+            if let Some(l) = self.late.lock().take() {
+                return SourcePoll::Tasks(l);
+            }
+            if self.late_done.load(Ordering::SeqCst) {
+                return SourcePoll::Empty;
+            }
+            SourcePoll::Pending
+        }
+    }
+
+    #[test]
+    fn external_source_feeds_and_terminates_the_run() {
+        let n = 24i64;
+        let keys: Vec<TaskKey> = (0..n).map(|i| TaskKey::new(0, &[0, i])).collect();
+        let source = Arc::new(DripSource {
+            batches: Mutex::new(keys[..18].chunks(6).map(<[TaskKey]>::to_vec).collect()),
+            late: Mutex::new(None),
+            late_done: AtomicBool::new(false),
+            gate: Mutex::new(None),
+        });
+        let feeder = {
+            let source = source.clone();
+            let late: Vec<TaskKey> = keys[18..].to_vec();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                *source.late.lock() = Some(late);
+                source.late_done.store(true, Ordering::SeqCst);
+                loop {
+                    // Attach happens at run start, well before the 5 ms
+                    // sleep elapses; the loop only covers a slow spawn.
+                    if let Some(g) = source.gate.lock().clone() {
+                        g.notify_all();
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let total = Arc::new(AtomicU64::new(0));
+        let g = TaskGraph::new(
+            vec![Arc::new(ExtReduce {
+                n,
+                total: total.clone(),
+            })],
+            Arc::new(PlainCtx { nodes: 1 }),
+        );
+        let rep = NativeRuntime::new(4).source(source).run(&g);
+        feeder.join().unwrap();
+        assert_eq!(rep.tasks, 25);
+        assert_eq!(total.load(Ordering::Relaxed), 276);
+        assert_eq!(rep.steal.external_tasks, 24);
+        assert_eq!(rep.steal.per_worker_tasks.iter().sum::<u64>(), rep.tasks);
     }
 
     #[test]

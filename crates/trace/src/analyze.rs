@@ -197,7 +197,7 @@ pub fn comm_overlap(trace: &Trace) -> BTreeMap<u32, NodeOverlap> {
                 .entry(s.who.node)
                 .or_default()
                 .push((s.begin, s.end, retrans)),
-            ActivityKind::Runtime => {}
+            ActivityKind::Steal | ActivityKind::Runtime => {}
         }
     }
     for v in compute.values_mut() {

@@ -41,6 +41,11 @@ pub enum ActivityKind {
         /// before completing (recovery traffic, not useful prefetch).
         retrans: bool,
     },
+    /// Cross-rank work-steal round trips (request posted to grant or dry
+    /// reply received). Neither compute nor useful data movement: the
+    /// overlap analyses count it as scheduling, and the spans make load-
+    /// balancing activity visible on the comm row of the Gantt chart.
+    Steal,
     /// Runtime bookkeeping (scheduling, inspection, NXTVAL, locks).
     Runtime,
 }
@@ -208,6 +213,7 @@ impl Trace {
                 ActivityKind::Comm { retrans: true, .. } => "comm-retry",
                 ActivityKind::Comm { eager: true, .. } => "comm-eager",
                 ActivityKind::Comm { eager: false, .. } => "comm-rndv",
+                ActivityKind::Steal => "steal",
                 ActivityKind::Runtime => "runtime",
             };
             write!(
