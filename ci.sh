@@ -53,4 +53,24 @@ echo "==> comm chaos matrix (4 ranks x 4 workers over sockets, every fault sched
 # cached read under faults (the cache runs with verify_reads here too).
 cargo run -q --release -p bench-harness --bin comm_bench -- --chaos --seed c0ffee00
 
+echo "==> service smoke (4-rank socket daemons, 2 tenants, 4 jobs)"
+# Persistent per-rank daemons serve a multi-tenant job stream over real
+# sockets. The binary gates on every job's energy matching the
+# single-process reference to 1e-12, plan-cache hits on repeat
+# geometries (with the measured hit-vs-miss build-time gap), per-rank
+# job counts, weighted-fair dispatch, and — on the clean mesh — zero
+# retries and zero verified-stale cached reads.
+cargo run -q --release -p bench-harness --bin service_bench -- --smoke
+
+echo "==> BENCH_service.json well-formed"
+if [ -f BENCH_service.json ]; then
+    if command -v jq >/dev/null 2>&1; then
+        jq -e '.throughput_jobs_per_sec and .plan_cache.hit_rate and (.tenants | length > 0)' \
+            BENCH_service.json >/dev/null
+    else
+        python3 -c "import json,sys; d=json.load(open(sys.argv[1])); d['throughput_jobs_per_sec']; d['plan_cache']['hit_rate']; assert d['tenants']" BENCH_service.json
+    fi
+    echo "    BENCH_service.json OK"
+fi
+
 echo "CI OK"

@@ -182,6 +182,7 @@ fn job_list(
             batch: 1,
             limit: 2,
             remote_first: true,
+            ..StealConfig::default()
         },
     ));
     jobs

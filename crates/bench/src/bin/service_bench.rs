@@ -1,0 +1,535 @@
+//! Multi-process job-service benchmark and smoke check.
+//!
+//! Launches `R` ranks as real OS processes (re-executing this binary)
+//! connected by the TCP mesh transport, brings up one [`svc::RankDaemon`]
+//! per rank, and drives sustained multi-tenant load through the rank-0
+//! gateway: two tenants (admission weights 2:1) submit their whole job
+//! mix open-loop, the admission controller dispatches weighted-fair, and
+//! every rank's executor runs the stream in collective ordinal order.
+//! The job mix repeats one primary tile geometry and ends each tenant on
+//! a shared secondary geometry, so the per-rank plan cache is exercised
+//! exactly as the service intends: two cold builds, every other job a
+//! warm hit that skips inspection, array materialization, and graph
+//! construction. Aggregates land in `BENCH_service.json`: throughput,
+//! p50/p99 job latency, queue wait, plan-cache hit rate, the measured
+//! build-time effect of a plan hit, and per-tenant fairness shares.
+//!
+//! ```text
+//! service_bench [--ranks R] [--scale S] [--jobs N] [--threads T] [--port P]
+//! service_bench --smoke     # 4 ranks, 2 tenants, 4 tiny jobs, CI gates
+//! ```
+//!
+//! `--smoke` is the CI gate: every job's energy must match the
+//! single-process reference to 1e-12, the healthy mesh must show zero
+//! recovery activity (no retries, no timeouts, no dups), the cache runs
+//! in `verify_reads` paranoia mode with zero stale reads tolerated, and
+//! the plan cache must demonstrably hit (one cold build, three warm
+//! submissions).
+
+use bench_harness::{arg_value, has_flag};
+use comm::SocketTransport;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use svc::{Client, JobSpec, RankDaemon, SvcConfig, Variant};
+use tce::SpaceConfig;
+
+/// Generous: a medium-scale job stream at 4 ranks runs minutes, and a
+/// stuck service should fail by panic, not by silent truncation.
+const WAIT: Duration = Duration::from_secs(600);
+
+fn scale_of(name: &str) -> SpaceConfig {
+    match name {
+        "tiny" => tce::scale::tiny(),
+        "small" => tce::scale::small(),
+        "medium" => tce::scale::medium(),
+        "paper" => tce::scale::paper(),
+        other => panic!("unknown scale `{other}`"),
+    }
+}
+
+fn reference(cfg: &SpaceConfig) -> f64 {
+    let space = tce::TileSpace::build(cfg);
+    let ws = tce::build_workspace(&space, 1);
+    ccsd::verify::reference_energy(&ws)
+}
+
+/// The two-tenant job mix. Tenant 1 (weight 2) and tenant 2 (weight 1)
+/// split `jobs` by weight; every job runs the primary geometry except
+/// each tenant's last, which runs the shared secondary geometry — so
+/// exactly two submissions are plan-cache misses and the rest are hits,
+/// and the second secondary submission hits a plan the *other* tenant
+/// built. Variants alternate v5/v3 per tenant to keep the graph cache
+/// honest (same plan, distinct wirings).
+fn job_mix(
+    jobs: usize,
+    primary: &SpaceConfig,
+    secondary: &SpaceConfig,
+    threads: usize,
+) -> Vec<Vec<JobSpec>> {
+    let n1 = (jobs * 2).div_ceil(3).max(1);
+    let n2 = (jobs - n1).max(1);
+    [(1u32, n1), (2u32, n2)]
+        .into_iter()
+        .map(|(tenant, n)| {
+            (0..n)
+                .map(|i| JobSpec {
+                    tenant,
+                    space: if i + 1 == n {
+                        secondary.clone()
+                    } else {
+                        primary.clone()
+                    },
+                    kernels: vec![tce::Kernel::T2_7],
+                    variant: if i % 2 == 0 { Variant::V5 } else { Variant::V3 },
+                    threads,
+                    prefetch: true,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One rank's aggregate counters, written as a flat fragment by member
+/// ranks and folded into the gates and the JSON by rank 0.
+#[derive(Default)]
+struct RankOut {
+    plan_hits: u64,
+    plan_misses: u64,
+    graph_builds: u64,
+    jobs_run: u64,
+    retries: u64,
+    timeouts: u64,
+    dups: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_retained: u64,
+    stale_reads: u64,
+    ga_remote_bytes: u64,
+}
+
+fn collect(daemon: &RankDaemon) -> RankOut {
+    let (plan_hits, plan_misses, graph_builds) = daemon.plan_stats();
+    let ga = daemon.ga_stats();
+    let s = daemon.endpoint().stats();
+    RankOut {
+        plan_hits,
+        plan_misses,
+        graph_builds,
+        jobs_run: daemon.records().len() as u64,
+        retries: s.retries,
+        timeouts: s.timeouts,
+        dups: s.dup_requests + s.dup_replies,
+        cache_hits: ga.cache_hits() + ga.cache_joins(),
+        cache_misses: ga.cache_misses(),
+        cache_retained: ga.cache_retained(),
+        stale_reads: ga.stale_reads(),
+        ga_remote_bytes: ga.remote_bytes(),
+    }
+}
+
+fn write_fragment(path: &Path, o: &RankOut) {
+    let s = format!(
+        "plan_hits {}\nplan_misses {}\ngraph_builds {}\njobs_run {}\nretries {}\ntimeouts {}\ndups {}\ncache_hits {}\ncache_misses {}\ncache_retained {}\nstale_reads {}\nga_remote_bytes {}\n",
+        o.plan_hits,
+        o.plan_misses,
+        o.graph_builds,
+        o.jobs_run,
+        o.retries,
+        o.timeouts,
+        o.dups,
+        o.cache_hits,
+        o.cache_misses,
+        o.cache_retained,
+        o.stale_reads,
+        o.ga_remote_bytes,
+    );
+    std::fs::write(path, s).expect("write fragment");
+}
+
+fn parse_fragment(text: &str) -> RankOut {
+    let mut o = RankOut::default();
+    for line in text.lines() {
+        let (key, val) = line.split_once(' ').expect("fragment line");
+        let v: u64 = val.parse().expect("fragment value");
+        match key {
+            "plan_hits" => o.plan_hits = v,
+            "plan_misses" => o.plan_misses = v,
+            "graph_builds" => o.graph_builds = v,
+            "jobs_run" => o.jobs_run = v,
+            "retries" => o.retries = v,
+            "timeouts" => o.timeouts = v,
+            "dups" => o.dups = v,
+            "cache_hits" => o.cache_hits = v,
+            "cache_misses" => o.cache_misses = v,
+            "cache_retained" => o.cache_retained = v,
+            "stale_reads" => o.stale_reads = v,
+            "ga_remote_bytes" => o.ga_remote_bytes = v,
+            other => panic!("unknown fragment key `{other}`"),
+        }
+    }
+    o
+}
+
+fn svc_config(smoke: bool) -> SvcConfig {
+    SvcConfig {
+        // Smoke runs the cache in paranoia mode: every hit re-fetched
+        // from the owners and compared; a warm plan serving stale data
+        // is exactly the failure this gate exists for. The benchmark
+        // keeps verification off — that is the configuration measured.
+        cache: global_arrays::TileCacheConfig {
+            verify_reads: smoke,
+            ..global_arrays::TileCacheConfig::default()
+        },
+        // The zero-recovery gate reads retries as evidence of frame
+        // loss, so the timers must not fire for any other reason. At
+        // bench scale, long dgemm phases on an oversubscribed box delay
+        // replies and skew barrier arrivals by whole seconds; stretch
+        // the timers far past any healthy-mesh latency (the sockets are
+        // local and reliable — a genuinely lost frame is a bug this
+        // gate should catch, not mask). Smoke jobs finish in
+        // milliseconds and keep the tight defaults.
+        comm: comm::CommConfig {
+            retry_timeout: if smoke {
+                comm::CommConfig::default().retry_timeout
+            } else {
+                Duration::from_secs(60)
+            },
+            retry_backoff_max: if smoke {
+                comm::CommConfig::default().retry_backoff_max
+            } else {
+                Duration::from_secs(120)
+            },
+            ..comm::CommConfig::default()
+        },
+        max_open: 2,
+        weights: vec![(1, 2), (2, 1)],
+        ..SvcConfig::default()
+    }
+}
+
+/// One tenant's driver thread: submit the whole mix open-loop (the
+/// admission controller owns pacing), then wait each job out. Returns
+/// `(job_id, energy, expected reference)` per job.
+fn drive_tenant(
+    client: Client,
+    specs: Vec<JobSpec>,
+    e_primary: f64,
+    e_secondary: f64,
+) -> Vec<(u64, f64, f64)> {
+    let n = specs.len();
+    let ids: Vec<(u64, f64)> = specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let e_ref = if i + 1 == n { e_secondary } else { e_primary };
+            let id = client.submit(&s).expect("gateway rejected a bench job");
+            (id, e_ref)
+        })
+        .collect();
+    ids.into_iter()
+        .map(|(id, e_ref)| (id, client.wait(id, WAIT), e_ref))
+        .collect()
+}
+
+fn child(rank: usize, ranks: usize, port: u16, args: &[String]) {
+    let dir = PathBuf::from(arg_value(args, "--dir").expect("child needs --dir"));
+    let smoke = has_flag(args, "--smoke");
+    let transport = SocketTransport::connect(rank, ranks, port, Duration::from_secs(60))
+        .unwrap_or_else(|e| panic!("rank {rank}: mesh connect failed: {e}"));
+    let daemon = RankDaemon::new(Box::new(transport), svc_config(smoke));
+    daemon.run();
+    write_fragment(&dir.join(format!("rank{rank}.txt")), &collect(&daemon));
+    daemon.finish();
+}
+
+fn percentile_ms(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx] as f64 / 1e6
+}
+
+fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
+    let smoke = has_flag(args, "--smoke");
+    let scale =
+        arg_value(args, "--scale").unwrap_or_else(|| if smoke { "tiny" } else { "medium" }.into());
+    let jobs: usize = arg_value(args, "--jobs")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(if smoke { 4 } else { 12 });
+    let threads: usize = arg_value(args, "--threads")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(2);
+    let primary = scale_of(&scale);
+    let secondary = if smoke {
+        primary.clone()
+    } else {
+        scale_of("small")
+    };
+
+    // In-process ground truth before any socket work.
+    let e_primary = reference(&primary);
+    let e_secondary = if smoke {
+        e_primary
+    } else {
+        reference(&secondary)
+    };
+    eprintln!("# reference energy ({scale}): {e_primary:.15}");
+
+    let dir = std::env::temp_dir().join(format!("service_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut children = Vec::new();
+    for r in 1..ranks {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args(["--rank", &r.to_string()])
+            .args(["--ranks", &ranks.to_string()])
+            .args(["--port", &port.to_string()])
+            .args(["--dir", &dir.display().to_string()]);
+        if smoke {
+            cmd.arg("--smoke");
+        }
+        children.push((r, cmd.spawn().map_err(|e| format!("spawn rank {r}: {e}"))?));
+    }
+
+    // Rank 0 hosts the gateway; tenant drivers run beside the executor.
+    let transport = SocketTransport::connect(0, ranks, port, Duration::from_secs(60))
+        .map_err(|e| format!("rank 0: mesh connect failed: {e}"))?;
+    let daemon = RankDaemon::new(Box::new(transport), svc_config(smoke));
+    let mix = job_mix(jobs, &primary, &secondary, threads);
+    let drivers: Vec<_> = mix
+        .into_iter()
+        .map(|specs| {
+            let client = daemon.client();
+            std::thread::spawn(move || drive_tenant(client, specs, e_primary, e_secondary))
+        })
+        .collect();
+    let halter = {
+        let client = daemon.client();
+        std::thread::spawn(move || {
+            let results: Vec<Vec<(u64, f64, f64)>> =
+                drivers.into_iter().map(|d| d.join().unwrap()).collect();
+            client.halt();
+            results
+        })
+    };
+    daemon.run();
+    let results = halter.join().map_err(|_| "tenant driver panicked")?;
+    let out0 = collect(&daemon);
+    let report = daemon.job_report();
+    let records = daemon.records();
+    let weights: Vec<(u32, u64)> = svc_config(smoke).weights;
+
+    // Collective teardown before reaping: the children block in their
+    // own `finish()` barrier until rank 0 enters it.
+    daemon.finish();
+
+    for (r, mut ch) in children {
+        let status = ch.wait().map_err(|e| e.to_string())?;
+        if !status.success() {
+            return Err(format!("rank {r} exited with {status}"));
+        }
+    }
+    let mut per_rank = vec![out0];
+    for r in 1..ranks {
+        let path = dir.join(format!("rank{r}.txt"));
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        per_rank.push(parse_fragment(&text));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- gates ----------------------------------------------------
+    let mut worst: f64 = 0.0;
+    for (id, e, e_ref) in results.iter().flatten() {
+        let d = tensor_kernels::rel_diff(*e, *e_ref);
+        worst = worst.max(d);
+        if d >= 1e-12 {
+            return Err(format!(
+                "job {id}: energy {e} vs reference {e_ref} ({d:.2e})"
+            ));
+        }
+    }
+    let sum = |f: &dyn Fn(&RankOut) -> u64| per_rank.iter().map(f).sum::<u64>();
+    let recovery = sum(&|o| o.retries + o.timeouts + o.dups);
+    if recovery != 0 {
+        return Err(format!(
+            "healthy mesh showed recovery activity ({} retries, {} timeouts, {} dups) — \
+             retry timers must never fire without faults",
+            sum(&|o| o.retries),
+            sum(&|o| o.timeouts),
+            sum(&|o| o.dups),
+        ));
+    }
+    let stale = sum(&|o| o.stale_reads);
+    if stale != 0 {
+        return Err(format!("{stale} cached reads observed stale data"));
+    }
+    for (r, o) in per_rank.iter().enumerate() {
+        if o.jobs_run != jobs as u64 {
+            return Err(format!("rank {r} executed {} of {jobs} jobs", o.jobs_run));
+        }
+        // Two geometries in the mix (one in smoke): the plan cache must
+        // build each exactly once per rank and hit everywhere else.
+        let want_misses = if smoke { 1 } else { 2 };
+        if o.plan_misses != want_misses || o.plan_hits != jobs as u64 - want_misses {
+            return Err(format!(
+                "rank {r}: plan cache {}h/{}m, expected {}h/{want_misses}m — \
+                 repeat submissions are not reusing plans",
+                o.plan_hits,
+                o.plan_misses,
+                jobs as u64 - want_misses,
+            ));
+        }
+    }
+
+    // ---- aggregates ------------------------------------------------
+    let done = |m: &svc::JobMeta| m.state == svc::JobState::Done;
+    if !report.iter().all(done) || report.len() != jobs {
+        return Err(format!("gateway closed {} of {jobs} jobs", report.len()));
+    }
+    let t_first = report.iter().map(|m| m.submitted_ns).min().unwrap_or(0);
+    let t_last = report.iter().map(|m| m.done_ns).max().unwrap_or(0);
+    let span_s = (t_last.saturating_sub(t_first)) as f64 / 1e9;
+    let jobs_per_sec = if span_s > 0.0 {
+        jobs as f64 / span_s
+    } else {
+        0.0
+    };
+    let mut lat: Vec<u64> = report.iter().map(|m| m.done_ns - m.submitted_ns).collect();
+    lat.sort_unstable();
+    let mut qwait: Vec<u64> = report
+        .iter()
+        .map(|m| m.dispatched_ns - m.submitted_ns)
+        .collect();
+    qwait.sort_unstable();
+
+    // The plan-cache effect, measured on rank 0's own records: a hit
+    // job's build phase (lookup + graph reuse) against a miss job's
+    // (inspection, array materialization, fills, graph build).
+    let build_avg = |hit: bool| {
+        let v: Vec<u64> = records
+            .iter()
+            .filter(|j| j.plan_hit == hit)
+            .map(|j| j.build_ns)
+            .collect();
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        }
+    };
+    let (miss_build, hit_build) = (build_avg(false), build_avg(true));
+    if hit_build * 5.0 >= miss_build {
+        return Err(format!(
+            "plan hits are not cheap: hit build {:.3} ms vs miss build {:.3} ms",
+            hit_build / 1e6,
+            miss_build / 1e6
+        ));
+    }
+
+    // Per-tenant shares: dispatch counts against the weighted ideal.
+    let total_w: u64 = weights.iter().map(|&(_, w)| w).sum();
+    let mut tenant_rows = Vec::new();
+    for &(tenant, weight) in &weights {
+        let mut tl: Vec<u64> = report
+            .iter()
+            .filter(|m| m.tenant == tenant)
+            .map(|m| m.done_ns - m.submitted_ns)
+            .collect();
+        tl.sort_unstable();
+        let n = tl.len();
+        let share = n as f64 / jobs as f64;
+        let ideal = weight as f64 / total_w as f64;
+        println!(
+            "tenant {tenant} (weight {weight}): {n} jobs, share {share:.3} (weighted ideal {ideal:.3}), p50 {:.1} ms, p99 {:.1} ms",
+            percentile_ms(&tl, 50.0),
+            percentile_ms(&tl, 99.0),
+        );
+        tenant_rows.push(format!(
+            "    {{\"tenant\": {tenant}, \"weight\": {weight}, \"jobs\": {n}, \"share\": {share:.6}, \"weighted_ideal\": {ideal:.6}, \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}}}}",
+            percentile_ms(&tl, 50.0),
+            percentile_ms(&tl, 99.0),
+        ));
+    }
+
+    let (hits, misses, builds) = (
+        sum(&|o| o.plan_hits),
+        sum(&|o| o.plan_misses),
+        sum(&|o| o.graph_builds),
+    );
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    println!(
+        "{jobs} jobs over {ranks} ranks: {jobs_per_sec:.2} jobs/s  latency p50 {:.1} ms p99 {:.1} ms  queue wait p50 {:.1} ms",
+        percentile_ms(&lat, 50.0),
+        percentile_ms(&lat, 99.0),
+        percentile_ms(&qwait, 50.0),
+    );
+    println!(
+        "plan cache: hit rate {hit_rate:.3} ({hits} hits / {misses} misses, {builds} graph builds)  hit build {:.2} ms vs miss build {:.2} ms ({:.0}x)",
+        hit_build / 1e6,
+        miss_build / 1e6,
+        miss_build / hit_build.max(1.0),
+    );
+    println!(
+        "warm cache: {} tile hits, {} retained across syncs, {} stale (verify {})",
+        sum(&|o| o.cache_hits),
+        sum(&|o| o.cache_retained),
+        stale,
+        smoke,
+    );
+
+    if smoke {
+        println!(
+            "SERVICE SMOKE OK: {jobs} jobs, 2 tenants, worst rel diff {worst:.2e}, \
+             0 retries, 0 stale reads, {hits} plan hits"
+        );
+        return Ok(());
+    }
+
+    let json = format!(
+        "{{\n  \"ranks\": {ranks},\n  \"scale\": \"{scale}\",\n  \"secondary_scale\": \"small\",\n  \"jobs\": {jobs},\n  \"threads_per_job\": {threads},\n  \"max_open\": 2,\n  \"reference_energy\": {e_primary:.17e},\n  \"worst_energy_rel_diff\": {worst:.3e},\n  \"throughput_jobs_per_sec\": {jobs_per_sec:.4},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}},\n  \"queue_wait_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}},\n  \"plan_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"graph_builds\": {builds}, \"hit_rate\": {hit_rate:.6}}},\n  \"plan_effect\": {{\"miss_build_ms\": {:.3}, \"hit_build_ms\": {:.3}, \"build_speedup\": {:.1}}},\n  \"tile_cache\": {{\"hits\": {}, \"misses\": {}, \"retained\": {}}},\n  \"ga_remote_bytes\": {},\n  \"recovery\": {{\"retries\": 0, \"timeouts\": 0, \"dups\": 0}},\n  \"tenants\": [\n{}\n  ]\n}}\n",
+        percentile_ms(&lat, 50.0),
+        percentile_ms(&lat, 99.0),
+        percentile_ms(&qwait, 50.0),
+        percentile_ms(&qwait, 99.0),
+        miss_build / 1e6,
+        hit_build / 1e6,
+        miss_build / hit_build.max(1.0),
+        sum(&|o| o.cache_hits),
+        sum(&|o| o.cache_misses),
+        sum(&|o| o.cache_retained),
+        sum(&|o| o.ga_remote_bytes),
+        tenant_rows.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    f.write_all(json.as_bytes()).map_err(|e| e.to_string())?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ranks: usize = arg_value(&args, "--ranks")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(4);
+    // Distinct port windows across concurrent invocations.
+    let port: u16 = arg_value(&args, "--port")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or_else(|| 30000 + (std::process::id() % 700) as u16 * 8);
+    match arg_value(&args, "--rank") {
+        Some(r) => {
+            child(r.parse().unwrap(), ranks, port, &args);
+            std::process::ExitCode::SUCCESS
+        }
+        None => match parent(ranks, port, &args) {
+            Ok(()) => std::process::ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::ExitCode::FAILURE
+            }
+        },
+    }
+}

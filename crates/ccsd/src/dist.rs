@@ -19,6 +19,7 @@ use crate::variants::{build_graph_dist, build_graph_external};
 use comm::{CommConfig, Endpoint, Transport};
 use global_arrays::{DistStore, Ga, TileCacheConfig};
 use parsec_rt::{CoarseRuntime, NativeReport, NativeRuntime, SchedPolicy, TilePool};
+use ptg::TaskGraph;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tce::{Inspection, Kernel, TileSpace, Workspace};
@@ -48,8 +49,12 @@ pub struct DistRank {
     /// in the same order, so the counter agrees across ranks and tags
     /// each native run's steal epoch (a victim still in run `N` answers
     /// a run-`N+1` thief dry instead of donating the wrong graph's
-    /// chains).
-    run_epoch: AtomicU64,
+    /// chains). Shared (`Arc`) so a daemon hosting several attached
+    /// problem instances over one endpoint draws every run — whichever
+    /// instance it executes — from a single monotone sequence; per-
+    /// instance counters would collide and let a late thief of job A's
+    /// run `N` receive chains from job B's run `N`.
+    run_epoch: Arc<AtomicU64>,
 }
 
 impl DistRank {
@@ -85,7 +90,33 @@ impl DistRank {
         let store = DistStore::new(rank, nranks);
         let ep = Endpoint::spawn(transport, store.clone(), cfg);
         let ga = Ga::init_dist_cfg(ep.clone(), store, cache_cfg);
-        let ins = Arc::new(tce::inspect_kernels(space, nranks, kernels));
+        Self::attach(
+            ep,
+            ga,
+            space,
+            kernels,
+            Arc::new(TilePool::default()),
+            Arc::new(AtomicU64::new(0)),
+        )
+    }
+
+    /// Collectively materialize *another* problem instance over an
+    /// already-running endpoint: the service layer's plan-cache path,
+    /// where one persistent daemon endpoint hosts a workspace per cached
+    /// plan. `ga` must share the endpoint's store and cache (see
+    /// [`Ga::dist_share`]); `pool` and `run_epoch` are shared across all
+    /// instances so tile buffers are reused and steal epochs stay
+    /// globally monotone. Collective: every rank must attach the same
+    /// instances in the same order (array handles are allocation-order).
+    pub fn attach(
+        ep: Arc<Endpoint>,
+        ga: Ga,
+        space: &TileSpace,
+        kernels: &[Kernel],
+        pool: Arc<TilePool>,
+        run_epoch: Arc<AtomicU64>,
+    ) -> Self {
+        let ins = Arc::new(tce::inspect_kernels(space, ep.nranks(), kernels));
         let ws = Arc::new(tce::build_workspace_on(ga, space, kernels));
         // Fills are one-sided puts into local shards; the sync makes
         // every tensor globally visible before anyone reads.
@@ -94,8 +125,8 @@ impl DistRank {
             ep,
             ins,
             ws,
-            pool: Arc::new(TilePool::default()),
-            run_epoch: AtomicU64::new(0),
+            pool,
+            run_epoch,
         }
     }
 
@@ -151,20 +182,49 @@ impl DistRank {
         prefetch: bool,
         scfg: StealConfig,
     ) -> DistRun {
-        self.reset_output();
-        let epoch = self.run_epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        let graph = build_graph_external(
+        let graph = self.build_run_graph(cfg, prefetch);
+        self.run_variant_graph(&graph, cfg, threads, scfg)
+    }
+
+    /// Build the runnable task graph of one variant over this rank's
+    /// workspace. The graph is a stateless description (per-run state
+    /// lives in the engine), so callers may build once and run many
+    /// times — the graph half of the service layer's plan cache.
+    pub fn build_run_graph(&self, cfg: VariantCfg, prefetch: bool) -> TaskGraph {
+        build_graph_external(
             self.ins.clone(),
             cfg,
             Some(self.ws.clone()),
             self.pool.clone(),
             Some(self.rank()),
             prefetch,
-        );
+        )
+    }
+
+    /// Collectively execute a prebuilt graph (see
+    /// [`DistRank::build_run_graph`]); `cfg` must be the configuration
+    /// the graph was built with (it also steers the steal source's
+    /// chain expansion and the scheduling policy).
+    pub fn run_variant_graph(
+        &self,
+        graph: &TaskGraph,
+        cfg: VariantCfg,
+        threads: usize,
+        scfg: StealConfig,
+    ) -> DistRun {
+        self.reset_output();
+        let epoch = self.run_epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let source = ChainSource::new(self.ep.clone(), self.ins.clone(), cfg, scfg, epoch);
         // The comm thread donates from the same ledger the workers claim
         // from: thief and victim roles share one object.
         self.ep.set_steal_handler(Some(source.clone()));
+        // A probe that lands before the victim installs its handler is
+        // answered dry, and dry is sticky — a full ledger would be
+        // skipped for the whole run. Barrier so every handler is live
+        // before any rank's engine starts probing. (The symmetric
+        // teardown race is benign: a rank that finished its run has a
+        // drained ledger, so its dry answer is truthful.)
+        self.ep.barrier();
         let policy = if cfg.priorities {
             SchedPolicy::PriorityFifo
         } else {
@@ -175,7 +235,7 @@ impl DistRank {
             .node(self.rank() as u32)
             .epoch(self.ep.epoch())
             .source(source.clone())
-            .run(&graph);
+            .run(graph);
         // Late thieves now get a dry reply instead of a stale donation.
         self.ep.set_steal_handler(None);
         let steal = source.summary();
@@ -318,6 +378,7 @@ mod tests {
             batch: 1,
             limit: 2,
             remote_first: true,
+            fanout: 2,
         };
         let nchains = {
             let space = TileSpace::build(&scale::tiny());
@@ -348,6 +409,14 @@ mod tests {
         );
         let wire_donated: u64 = out.iter().map(|o| o.3).sum();
         assert_eq!(wire_donated, donated, "comm counters agree with ledgers");
+        // Fan-out accounting: the engine only exits on Empty once every
+        // probe is answered, so each probe ended as a grant or a dry
+        // reply — and with chains migrating, some probe was granted.
+        let probes: u64 = out.iter().map(|o| o.1.probes_sent).sum();
+        let dry: u64 = out.iter().map(|o| o.1.dry_replies).sum();
+        assert!(probes > dry, "at least one probe must have been granted");
+        let wire_reqs: u64 = out.iter().map(|o| o.2).sum();
+        assert_eq!(probes, wire_reqs, "every probe hit the wire exactly once");
     }
 
     #[test]

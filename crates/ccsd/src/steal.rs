@@ -47,6 +47,11 @@ pub struct StealConfig {
     /// workloads. Production mode (false) steals only when local work is
     /// exhausted.
     pub remote_first: bool,
+    /// Victims probed concurrently when the rank goes idle. Sequential
+    /// probing pays one full round trip per dry victim before trying the
+    /// next; with fan-out the dry answers overlap and the first grant
+    /// wins. Values `0` and `1` both mean sequential probing.
+    pub fanout: usize,
 }
 
 impl Default for StealConfig {
@@ -56,6 +61,7 @@ impl Default for StealConfig {
             batch: 2,
             limit: 2,
             remote_first: false,
+            fanout: 2,
         }
     }
 }
@@ -86,6 +92,11 @@ pub struct StealSummary {
     pub stolen_chains: u64,
     /// Operand + output bytes of the received chains.
     pub stolen_bytes: u64,
+    /// StealRequests this rank posted (grants + dry answers).
+    pub probes_sent: u64,
+    /// Probes answered with zero chains; each marks its victim dry, so
+    /// `probes_sent - dry_replies` is the number of granted probes.
+    pub dry_replies: u64,
 }
 
 /// Operand + output footprint of chain `l1`: what a thief must move (or
@@ -202,12 +213,15 @@ pub fn chain_roots(ins: &Inspection, cfg: &VariantCfg, l1: i64, out: &mut Vec<Ta
 struct SourceState {
     /// Chains granted by victims, awaiting expansion into root keys.
     granted: Vec<i64>,
-    /// A StealRequest is on the wire; poll answers `Pending` until the
-    /// reply lands (granted chains must execute before `Empty`).
-    inflight: bool,
+    /// StealRequests on the wire; poll answers `Pending` while any are
+    /// outstanding (granted chains must execute before `Empty`).
+    inflight: usize,
     /// Peers that answered dry this run. Sticky: a victim's ledger only
     /// shrinks, so dry stays dry and termination is monotone.
     dry: Vec<bool>,
+    /// Peers with a probe currently on the wire, so fan-out never posts
+    /// two concurrent requests to one victim.
+    probing: Vec<bool>,
     /// The first poll bulk-claims the ledger head.
     first_poll_done: bool,
 }
@@ -227,6 +241,8 @@ pub struct ChainSource {
     gate: Mutex<Option<Arc<IdleGate>>>,
     stolen_chains: AtomicU64,
     stolen_bytes: AtomicU64,
+    probes_sent: AtomicU64,
+    dry_replies: AtomicU64,
     /// Self-reference so `poll(&self)` can hand the steal callback an
     /// owning clone (the engine holds us as `Arc<dyn WorkSource>`).
     weak: Weak<ChainSource>,
@@ -254,13 +270,16 @@ impl ChainSource {
             ledger,
             state: Mutex::new(SourceState {
                 granted: Vec::new(),
-                inflight: false,
+                inflight: 0,
                 dry: vec![false; nranks],
+                probing: vec![false; nranks],
                 first_poll_done: false,
             }),
             gate: Mutex::new(None),
             stolen_chains: AtomicU64::new(0),
             stolen_bytes: AtomicU64::new(0),
+            probes_sent: AtomicU64::new(0),
+            dry_replies: AtomicU64::new(0),
             weak: weak.clone(),
         })
     }
@@ -273,6 +292,8 @@ impl ChainSource {
             donated_bytes: self.ledger.donated_bytes.load(Ordering::Relaxed),
             stolen_chains: self.stolen_chains.load(Ordering::Relaxed),
             stolen_bytes: self.stolen_bytes.load(Ordering::Relaxed),
+            probes_sent: self.probes_sent.load(Ordering::Relaxed),
+            dry_replies: self.dry_replies.load(Ordering::Relaxed),
         }
     }
 
@@ -284,10 +305,13 @@ impl ChainSource {
         out
     }
 
-    /// Nearest peer on the rank ring not yet known dry.
-    fn next_victim(&self, dry: &[bool]) -> Option<usize> {
+    /// Nearest peer on the rank ring not yet known dry and not already
+    /// being probed (fan-out never doubles up on one victim).
+    fn next_victim(&self, st: &SourceState) -> Option<usize> {
         let (rank, nranks) = (self.ep.rank(), self.ep.nranks());
-        (1..nranks).map(|d| (rank + d) % nranks).find(|&p| !dry[p])
+        (1..nranks)
+            .map(|d| (rank + d) % nranks)
+            .find(|&p| !st.dry[p] && !st.probing[p])
     }
 
     /// Post a StealRequest to `victim`; the reply lands on the comm
@@ -300,9 +324,11 @@ impl ChainSource {
             self.scfg.limit,
             Box::new(move |chains: Vec<u64>| {
                 let mut st = this.state.lock().unwrap();
-                st.inflight = false;
+                st.inflight -= 1;
+                st.probing[victim] = false;
                 if chains.is_empty() {
                     st.dry[victim] = true;
+                    this.dry_replies.fetch_add(1, Ordering::Relaxed);
                 } else {
                     this.stolen_chains
                         .fetch_add(chains.len() as u64, Ordering::Relaxed);
@@ -349,16 +375,28 @@ impl WorkSource for ChainSource {
                 return SourcePoll::Tasks(self.expand(&local));
             }
         }
-        if st.inflight {
-            return SourcePoll::Pending;
+        // Top up outstanding probes to the fan-out, one per distinct
+        // victim; the first grant to land wins the wake-up, later
+        // replies are banked (grants) or mark their victim dry.
+        let mut victims = Vec::new();
+        if self.scfg.limit > 0 {
+            let fanout = self.scfg.fanout.max(1);
+            while st.inflight + victims.len() < fanout {
+                let Some(v) = self.next_victim(&st) else {
+                    break;
+                };
+                st.probing[v] = true;
+                victims.push(v);
+            }
         }
-        if let Some(victim) = (self.scfg.limit > 0)
-            .then(|| self.next_victim(&st.dry))
-            .flatten()
-        {
-            st.inflight = true;
+        if !victims.is_empty() || st.inflight > 0 {
+            st.inflight += victims.len();
             drop(st);
-            self.post_steal(victim);
+            self.probes_sent
+                .fetch_add(victims.len() as u64, Ordering::Relaxed);
+            for v in victims {
+                self.post_steal(v);
+            }
             return SourcePoll::Pending;
         }
         if self.scfg.remote_first {

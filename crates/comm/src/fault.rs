@@ -148,6 +148,7 @@ impl FaultPlan {
             "partition",
             "stall",
             "coalesce",
+            "service",
         ]
     }
 
@@ -183,6 +184,18 @@ impl FaultPlan {
                 drop_p: 0.04,
                 dup_p: 0.10,
                 reorder_p: 0.10,
+                ..base
+            },
+            // Aimed at the job service layer: loss plus heavy
+            // reordering makes `Submit` dispatch frames arrive out of
+            // ordinal order (executors must buffer the gaps), drops
+            // `JobDone` reports so completion relies on retry, and
+            // re-delivers tenant submissions so the gateway's recorded
+            // job-id replies must absorb the duplicates.
+            "service" => Self {
+                drop_p: 0.05,
+                dup_p: 0.05,
+                reorder_p: 0.20,
                 ..base
             },
             "partition" => Self {

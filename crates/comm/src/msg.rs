@@ -130,6 +130,13 @@ pub enum Msg {
     BarrierEnter { epoch: u64, from: u32 },
     /// All ranks entered barrier `epoch` (broadcast by rank 0).
     BarrierRelease { epoch: u64 },
+    /// Rank `from` confirms receipt of the release of `epoch` (sent to
+    /// rank 0). Releases are fire-and-forget on their first posting; the
+    /// counter rank keeps re-releasing to unconfirmed ranks from its
+    /// retry sweep and holds its own teardown until every rank has
+    /// acked, so a lost release cannot strand a waiter against a dead
+    /// counter (see `Endpoint::shutdown`).
+    BarrierAck { epoch: u64, from: u32 },
     /// Batched read: several same-destination gets packed into one frame.
     /// `token` identifies the whole batch — it retries, dedups and
     /// completes as a single unit; parts are matched to their requests by
@@ -156,6 +163,44 @@ pub enum Msg {
     /// different epoch). Retransmitted requests re-receive the recorded
     /// grant, never a fresh one.
     StealReply { token: u64, chains: Vec<u64> },
+    /// Job submission to the service layer. `job_id == u64::MAX` asks the
+    /// receiving rank (the gateway) to assign a fresh id; a concrete id
+    /// is a dispatch from the gateway fixing the job's collective
+    /// execution ordinal on a member rank. `spec` is an opaque
+    /// word-encoded job description owned by the `svc` layer. Mutating
+    /// (enqueues a job), so it carries `seq` and dedups like
+    /// Put/Acc/NxtVal; a retransmitted submit re-receives the recorded
+    /// id, never a second enqueue.
+    Submit {
+        token: u64,
+        seq: u64,
+        job_id: u64,
+        spec: Vec<u64>,
+    },
+    /// Ack for a [`Msg::Submit`]: the assigned (or echoed) job id.
+    SubmitReply { token: u64, job_id: u64 },
+    /// Poll a job's state on the gateway rank. Read-only and idempotent
+    /// (no seq): re-asking can only return a fresher answer.
+    JobStatus { token: u64, job_id: u64 },
+    /// Reply to a [`Msg::JobStatus`]: service-defined state code plus the
+    /// job's result bits (an `f64` energy) once it is done.
+    JobStatusReply {
+        token: u64,
+        job_id: u64,
+        state: u8,
+        result: u64,
+    },
+    /// A member rank reports local completion of `job_id` to the gateway
+    /// with its result bits. Mutating (advances the job's completion
+    /// count — a duplicate must not double-count), so seq + dedup.
+    JobDone {
+        token: u64,
+        seq: u64,
+        job_id: u64,
+        result: u64,
+    },
+    /// Ack for a [`Msg::JobDone`].
+    JobDoneAck { token: u64 },
 }
 
 /// One read range inside a [`Msg::MultiGet`] frame.
@@ -191,6 +236,13 @@ const T_MULTI_GET: u8 = 22;
 const T_GET_MULTI_REPLY: u8 = 23;
 const T_STEAL_REQ: u8 = 24;
 const T_STEAL_REPLY: u8 = 25;
+const T_SUBMIT: u8 = 26;
+const T_SUBMIT_REPLY: u8 = 27;
+const T_JOB_STATUS: u8 = 28;
+const T_JOB_STATUS_REPLY: u8 = 29;
+const T_JOB_DONE: u8 = 30;
+const T_JOB_DONE_ACK: u8 = 31;
+const T_BARRIER_ACK: u8 = 32;
 
 /// A borrowed view of one payload inside a received frame: either raw
 /// little-endian `f64` bytes still sitting in the frame buffer, or an
@@ -503,6 +555,11 @@ impl Msg {
                 w.u8(T_BARRIER_RELEASE);
                 w.u64(*epoch);
             }
+            Msg::BarrierAck { epoch, from } => {
+                w.u8(T_BARRIER_ACK);
+                w.u64(*epoch);
+                w.u32(*from);
+            }
             Msg::MultiGet { token, parts } => {
                 w.u8(T_MULTI_GET);
                 w.u64(*token);
@@ -540,6 +597,59 @@ impl Msg {
                 for &c in chains {
                     w.u64(c);
                 }
+            }
+            Msg::Submit {
+                token,
+                seq,
+                job_id,
+                spec,
+            } => {
+                w.u8(T_SUBMIT);
+                w.u64(*token);
+                w.u64(*seq);
+                w.u64(*job_id);
+                w.u64(spec.len() as u64);
+                for &s in spec {
+                    w.u64(s);
+                }
+            }
+            Msg::SubmitReply { token, job_id } => {
+                w.u8(T_SUBMIT_REPLY);
+                w.u64(*token);
+                w.u64(*job_id);
+            }
+            Msg::JobStatus { token, job_id } => {
+                w.u8(T_JOB_STATUS);
+                w.u64(*token);
+                w.u64(*job_id);
+            }
+            Msg::JobStatusReply {
+                token,
+                job_id,
+                state,
+                result,
+            } => {
+                w.u8(T_JOB_STATUS_REPLY);
+                w.u64(*token);
+                w.u64(*job_id);
+                w.u8(*state);
+                w.u64(*result);
+            }
+            Msg::JobDone {
+                token,
+                seq,
+                job_id,
+                result,
+            } => {
+                w.u8(T_JOB_DONE);
+                w.u64(*token);
+                w.u64(*seq);
+                w.u64(*job_id);
+                w.u64(*result);
+            }
+            Msg::JobDoneAck { token } => {
+                w.u8(T_JOB_DONE_ACK);
+                w.u64(*token);
             }
         }
         w.0
@@ -633,6 +743,10 @@ impl Msg {
                 from: r.u32()?,
             },
             T_BARRIER_RELEASE => Msg::BarrierRelease { epoch: r.u64()? },
+            T_BARRIER_ACK => Msg::BarrierAck {
+                epoch: r.u64()?,
+                from: r.u32()?,
+            },
             T_MULTI_GET => {
                 let token = r.u64()?;
                 let n = r.u64()? as usize;
@@ -682,6 +796,47 @@ impl Msg {
                 }
                 Msg::StealReply { token, chains }
             }
+            T_SUBMIT => {
+                let token = r.u64()?;
+                let seq = r.u64()?;
+                let job_id = r.u64()?;
+                let n = r.u64()? as usize;
+                // 8 bytes per spec word; validate before allocating.
+                if body.len() - r.pos < n.saturating_mul(8) {
+                    return Err(CodecError::Truncated);
+                }
+                let mut spec = Vec::with_capacity(n);
+                for _ in 0..n {
+                    spec.push(r.u64()?);
+                }
+                Msg::Submit {
+                    token,
+                    seq,
+                    job_id,
+                    spec,
+                }
+            }
+            T_SUBMIT_REPLY => Msg::SubmitReply {
+                token: r.u64()?,
+                job_id: r.u64()?,
+            },
+            T_JOB_STATUS => Msg::JobStatus {
+                token: r.u64()?,
+                job_id: r.u64()?,
+            },
+            T_JOB_STATUS_REPLY => Msg::JobStatusReply {
+                token: r.u64()?,
+                job_id: r.u64()?,
+                state: r.u8()?,
+                result: r.u64()?,
+            },
+            T_JOB_DONE => Msg::JobDone {
+                token: r.u64()?,
+                seq: r.u64()?,
+                job_id: r.u64()?,
+                result: r.u64()?,
+            },
+            T_JOB_DONE_ACK => Msg::JobDoneAck { token: r.u64()? },
             t => return Err(CodecError::UnknownTag(t)),
         };
         if r.pos != body.len() {
@@ -748,6 +903,8 @@ mod tests {
                 data: vec![1.5, -2.5],
             },
             Msg::BarrierEnter { epoch: 3, from: 2 },
+            Msg::BarrierRelease { epoch: 3 },
+            Msg::BarrierAck { epoch: 3, from: 2 },
         ];
         for m in msgs {
             assert_eq!(Msg::decode(&m.encode()).unwrap(), m);
@@ -850,6 +1007,62 @@ mod tests {
             // Steal frames are not get replies: the fast path skips them.
             assert!(Msg::reply_view(&rep.encode()).unwrap().is_none());
         }
+    }
+
+    #[test]
+    fn job_roundtrip() {
+        for spec in [vec![], vec![7], vec![1, 2, 3, u64::MAX]] {
+            let sub = Msg::Submit {
+                token: 13,
+                seq: 6,
+                job_id: u64::MAX,
+                spec,
+            };
+            assert_eq!(Msg::decode(&sub.encode()).unwrap(), sub);
+            // Job frames are not get replies: the fast path skips them.
+            assert!(Msg::reply_view(&sub.encode()).unwrap().is_none());
+        }
+        let msgs = [
+            Msg::SubmitReply {
+                token: 13,
+                job_id: 4,
+            },
+            Msg::JobStatus {
+                token: 14,
+                job_id: 4,
+            },
+            Msg::JobStatusReply {
+                token: 14,
+                job_id: 4,
+                state: 3,
+                result: 0x3FF0000000000000,
+            },
+            Msg::JobDone {
+                token: 15,
+                seq: 7,
+                job_id: 4,
+                result: (-1.25f64).to_bits(),
+            },
+            Msg::JobDoneAck { token: 15 },
+        ];
+        for m in msgs {
+            assert_eq!(Msg::decode(&m.encode()).unwrap(), m);
+            assert!(Msg::reply_view(&m.encode()).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn corrupt_submit_count_does_not_allocate() {
+        let mut body = Msg::Submit {
+            token: 1,
+            seq: 2,
+            job_id: 3,
+            spec: vec![],
+        }
+        .encode();
+        let n = body.len();
+        body[n - 8..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(Msg::decode(&body), Err(CodecError::Truncated));
     }
 
     #[test]

@@ -122,6 +122,40 @@ pub trait StealHandler: Send + Sync {
     fn donate(&self, thief: usize, epoch: u64, limit: u32) -> Vec<u64>;
 }
 
+/// Completion callback of an [`Endpoint::submit_async`]: the job id the
+/// gateway assigned ([`JOB_REJECTED`] when no service was listening).
+/// Runs on the progress thread.
+pub type SubmitCallback = Box<dyn FnOnce(u64) + Send>;
+
+/// Completion callback of an [`Endpoint::job_status_async`]: the
+/// service-defined state code and result bits. Runs on the progress
+/// thread.
+pub type StatusCallback = Box<dyn FnOnce(u8, u64) + Send>;
+
+/// Sentinel job id: "assign me one" in a [`Msg::Submit`] request, and
+/// "no service listening / rejected" in its reply.
+pub const JOB_REJECTED: u64 = u64::MAX;
+
+/// Server side of the job service protocol: the `svc` layer registers
+/// one of these per daemon, and the progress thread calls into it when
+/// job control AMs arrive. Like [`StealHandler::donate`], `submit` must
+/// be transactional — the id returned here is recorded against the
+/// request's sequence number, and a retransmitted submit re-receives it
+/// without a second enqueue.
+pub trait JobHandler: Send + Sync {
+    /// A job submission arrived from `from`. `job_id == JOB_REJECTED`
+    /// asks this rank (the gateway) to admit the spec and assign an id;
+    /// a concrete id is a gateway dispatch fixing the job's collective
+    /// execution ordinal on this member rank (echo it back). Returns the
+    /// id to acknowledge.
+    fn submit(&self, from: usize, job_id: u64, spec: &[u64]) -> u64;
+    /// Status poll: `(state code, result bits)` for `job_id`. Read-only.
+    fn status(&self, job_id: u64) -> (u8, u64);
+    /// Member rank `from` reports local completion of `job_id` with its
+    /// result bits. Called at most once per report (dedup-gated).
+    fn done(&self, from: usize, job_id: u64, result: u64);
+}
+
 /// Operation counters, all frames and payloads.
 #[derive(Debug, Default)]
 struct CommStats {
@@ -149,6 +183,10 @@ struct CommStats {
     steal_chains_rx: AtomicU64,
     steal_dry_rx: AtomicU64,
     steal_donated: AtomicU64,
+    job_submits: AtomicU64,
+    job_polls: AtomicU64,
+    job_dones: AtomicU64,
+    job_served: AtomicU64,
 }
 
 /// Point-in-time copy of a rank's communication counters.
@@ -202,6 +240,15 @@ pub struct CommStatsSnap {
     pub steal_dry_rx: u64,
     /// Chains this rank donated to thieves (victim side).
     pub steal_donated: u64,
+    /// Job submissions this rank posted (client side).
+    pub job_submits: u64,
+    /// Job status polls this rank posted (client side).
+    pub job_polls: u64,
+    /// Job completion reports this rank posted (member side).
+    pub job_dones: u64,
+    /// Fresh (non-duplicate) job control requests this rank's handler
+    /// served (gateway/member side).
+    pub job_served: u64,
 }
 
 /// Deadline state of one retryable in-flight request.
@@ -322,13 +369,29 @@ struct PeerDedup {
     /// Applied seqs at or above `contig`, compacted as the prefix fills.
     seen: BTreeSet<u64>,
     /// NXTVAL values by seq, retained so a duplicate request re-receives
-    /// the value its original draw took (bounded by nxtvals served).
+    /// the value its original draw took.
     vals: HashMap<u64, i64>,
     /// Steal grants by seq, same story: a retransmitted `StealRequest`
     /// re-receives the chains its original donated, never a fresh grant
     /// (donating twice would execute — and accumulate — a chain twice).
     grants: HashMap<u64, Vec<u64>>,
+    /// Job ids by submit seq: a retransmitted `Submit` re-receives the
+    /// id its original was assigned, never a second enqueue.
+    jobs: HashMap<u64, u64>,
+    /// Everything below this floor has been garbage-collected from the
+    /// recorded-reply maps above.
+    gc_floor: u64,
 }
+
+/// Recorded replies this many seqs below the contiguous watermark are
+/// garbage-collected — without this, a persistent daemon rank grows its
+/// dedup records forever. A record is only consulted by a *duplicate* of
+/// a request whose original was already applied; its sender retransmits
+/// until the reply lands, so a consult arriving after the same peer has
+/// had thousands of *later* mutating requests applied would mean a frame
+/// delivered implausibly late. Such a frame now aborts loudly (the
+/// `expect`s at the consult sites) instead of being answered wrongly.
+const RECORD_RETAIN: u64 = 4096;
 
 impl PeerDedup {
     /// Record `seq`; `false` when it was already applied (duplicate).
@@ -339,6 +402,15 @@ impl PeerDedup {
         self.seen.insert(seq);
         while self.seen.remove(&self.contig) {
             self.contig += 1;
+        }
+        let floor = self.contig.saturating_sub(RECORD_RETAIN);
+        if floor >= self.gc_floor + RECORD_RETAIN {
+            // Amortized: one O(records) sweep per RECORD_RETAIN applied
+            // seqs keeps each map bounded by ~2 retention windows.
+            self.vals.retain(|&s, _| s >= floor);
+            self.grants.retain(|&s, _| s >= floor);
+            self.jobs.retain(|&s, _| s >= floor);
+            self.gc_floor = floor;
         }
         true
     }
@@ -416,6 +488,33 @@ struct StealWait {
     retry: Retry,
 }
 
+/// Client-side pending job submission, retried like any mutating AM.
+struct SubmitWait {
+    cb: SubmitCallback,
+    peer: usize,
+    posted_ns: u64,
+    resend: Msg,
+    retry: Retry,
+}
+
+/// Client-side pending status poll. Read-only, but still retried — the
+/// request or its reply may be lost.
+struct StatusWait {
+    cb: StatusCallback,
+    peer: usize,
+    resend: Msg,
+    retry: Retry,
+}
+
+/// Member-side pending completion report: fire-and-forget, retried until
+/// the gateway's ack retires it.
+struct JobDoneWait {
+    peer: usize,
+    posted_ns: u64,
+    resend: Msg,
+    retry: Retry,
+}
+
 #[derive(Default)]
 struct BarrierState {
     next: u64,
@@ -427,6 +526,15 @@ struct BarrierState {
     /// Rank 0 only: highest epoch already released; a late re-entry for
     /// it means the release frame was lost — resend to that rank alone.
     last_released: u64,
+    /// Rank 0 only: the epoch of the newest release awaiting
+    /// confirmation, and the ranks that acked it. The sweep re-releases
+    /// to the unconfirmed rest, and shutdown drains the set before
+    /// stopping the progress thread — otherwise a lost release strands
+    /// its waiter against a counter rank that can no longer answer the
+    /// retried enters.
+    ack_epoch: u64,
+    acked: HashSet<u32>,
+    release_retry: Option<Retry>,
 }
 
 /// Interned communication class ids of an endpoint trace, indexed
@@ -437,6 +545,8 @@ struct TraceIds {
     acc: [[u16; 2]; 2],
     /// Steal round trips, indexed `[granted]`.
     steal: [u16; 2],
+    /// Job control round trips: `[submit, done-report]`.
+    job: [u16; 2],
 }
 
 fn fresh_trace() -> (Trace, TraceIds) {
@@ -485,6 +595,10 @@ fn fresh_trace() -> (Trace, TraceIds) {
             t.class("STEAL_DRY", ActivityKind::Steal),
             t.class("STEAL", ActivityKind::Steal),
         ],
+        job: [
+            t.class("JOB_SUBMIT", ActivityKind::Job),
+            t.class("JOB_DONE", ActivityKind::Job),
+        ],
     };
     (t, ids)
 }
@@ -515,6 +629,10 @@ struct Inner {
     vals: Mutex<HashMap<u64, NxtvalWait>>,
     steals: Mutex<HashMap<u64, StealWait>>,
     steal_handler: Mutex<Option<Arc<dyn StealHandler>>>,
+    submits: Mutex<HashMap<u64, SubmitWait>>,
+    statuses: Mutex<HashMap<u64, StatusWait>>,
+    job_done_waits: Mutex<HashMap<u64, JobDoneWait>>,
+    job_handler: Mutex<Option<Arc<dyn JobHandler>>>,
     outstanding: Mutex<u64>,
     fence_cv: Condvar,
     barrier: Mutex<BarrierState>,
@@ -560,6 +678,10 @@ impl Endpoint {
             vals: Mutex::new(HashMap::new()),
             steals: Mutex::new(HashMap::new()),
             steal_handler: Mutex::new(None),
+            submits: Mutex::new(HashMap::new()),
+            statuses: Mutex::new(HashMap::new()),
+            job_done_waits: Mutex::new(HashMap::new()),
+            job_handler: Mutex::new(None),
             outstanding: Mutex::new(0),
             fence_cv: Condvar::new(),
             barrier: Mutex::new(BarrierState::default()),
@@ -871,6 +993,91 @@ impl Endpoint {
         i.post(victim, &msg);
     }
 
+    /// Install (or clear) the handler that answers incoming job control
+    /// AMs. Submissions arriving with no handler installed are answered
+    /// [`JOB_REJECTED`]; status polls answer state 0.
+    pub fn set_job_handler(&self, h: Option<Arc<dyn JobHandler>>) {
+        *self.inner.job_handler.lock().unwrap() = h;
+    }
+
+    /// Submit a word-encoded job spec to `gateway`'s service. Pass
+    /// [`JOB_REJECTED`] as `job_id` to have the gateway assign one (the
+    /// tenant-facing submit), or a concrete id to dispatch an admitted
+    /// job to a member rank. Non-blocking: `cb` runs on the progress
+    /// thread with the acknowledged id. Mutating — the gateway enqueues
+    /// the job — so it rides the per-peer sequence/retry/dedup machinery
+    /// and a retransmitted submit re-receives the recorded id.
+    pub fn submit_async(&self, gateway: usize, job_id: u64, spec: Vec<u64>, cb: SubmitCallback) {
+        let i = &self.inner;
+        i.stats.job_submits.fetch_add(1, Ordering::Relaxed);
+        let token = i.token.fetch_add(1, Ordering::Relaxed);
+        let seq = i.seq_tx[gateway].fetch_add(1, Ordering::Relaxed);
+        let msg = Msg::Submit {
+            token,
+            seq,
+            job_id,
+            spec,
+        };
+        i.submits.lock().unwrap().insert(
+            token,
+            SubmitWait {
+                cb,
+                peer: gateway,
+                posted_ns: i.now_ns(),
+                resend: msg.clone(),
+                retry: Retry::new(&i.cfg),
+            },
+        );
+        i.post(gateway, &msg);
+    }
+
+    /// Poll `gateway` for the state of `job_id`. Non-blocking: `cb` runs
+    /// on the progress thread with `(state, result bits)`. Idempotent
+    /// (no sequence number), but retried like a get until the reply
+    /// lands.
+    pub fn job_status_async(&self, gateway: usize, job_id: u64, cb: StatusCallback) {
+        let i = &self.inner;
+        i.stats.job_polls.fetch_add(1, Ordering::Relaxed);
+        let token = i.token.fetch_add(1, Ordering::Relaxed);
+        let msg = Msg::JobStatus { token, job_id };
+        i.statuses.lock().unwrap().insert(
+            token,
+            StatusWait {
+                cb,
+                peer: gateway,
+                resend: msg.clone(),
+                retry: Retry::new(&i.cfg),
+            },
+        );
+        i.post(gateway, &msg);
+    }
+
+    /// Report this rank's local completion of `job_id` (with result
+    /// bits) to `gateway`. Fire-and-forget: retried until acknowledged,
+    /// dedup-gated so the gateway counts the report exactly once.
+    pub fn job_done_async(&self, gateway: usize, job_id: u64, result: u64) {
+        let i = &self.inner;
+        i.stats.job_dones.fetch_add(1, Ordering::Relaxed);
+        let token = i.token.fetch_add(1, Ordering::Relaxed);
+        let seq = i.seq_tx[gateway].fetch_add(1, Ordering::Relaxed);
+        let msg = Msg::JobDone {
+            token,
+            seq,
+            job_id,
+            result,
+        };
+        i.job_done_waits.lock().unwrap().insert(
+            token,
+            JobDoneWait {
+                peer: gateway,
+                posted_ns: i.now_ns(),
+                resend: msg.clone(),
+                retry: Retry::new(&i.cfg),
+            },
+        );
+        i.post(gateway, &msg);
+    }
+
     /// Block until every put/accumulate this rank posted has been applied
     /// and acknowledged by its target.
     pub fn fence(&self) {
@@ -902,6 +1109,19 @@ impl Endpoint {
         while b.released < epoch {
             b = i.barrier_cv.wait(b).unwrap();
         }
+    }
+
+    /// Barrier protocol snapshot for diagnostics: `(next, released,
+    /// last_released, pending_enters, pending_counts)`. The counter
+    /// fields (`last_released`, `pending_counts`) are meaningful on
+    /// rank 0 only.
+    pub fn barrier_state(&self) -> (u64, u64, u64, Vec<u64>, Vec<(u64, usize)>) {
+        let b = self.inner.barrier.lock().unwrap();
+        let mut enters: Vec<u64> = b.enters.keys().copied().collect();
+        enters.sort_unstable();
+        let mut entered: Vec<(u64, usize)> = b.entered.iter().map(|(&e, s)| (e, s.len())).collect();
+        entered.sort_unstable();
+        (b.next, b.released, b.last_released, enters, entered)
     }
 
     /// Fence, then barrier: on return, every rank's writes are globally
@@ -939,6 +1159,10 @@ impl Endpoint {
             steal_chains_rx: s.steal_chains_rx.load(Ordering::Relaxed),
             steal_dry_rx: s.steal_dry_rx.load(Ordering::Relaxed),
             steal_donated: s.steal_donated.load(Ordering::Relaxed),
+            job_submits: s.job_submits.load(Ordering::Relaxed),
+            job_polls: s.job_polls.load(Ordering::Relaxed),
+            job_dones: s.job_dones.load(Ordering::Relaxed),
+            job_served: s.job_served.load(Ordering::Relaxed),
         }
     }
 
@@ -956,8 +1180,28 @@ impl Endpoint {
 
     /// Stop the progress thread. Call only when no rank still needs this
     /// rank's shard (i.e. after a final barrier).
+    ///
+    /// The counter rank additionally drains barrier-release
+    /// confirmations first: a peer whose release frame was lost recovers
+    /// by re-sending its enter, which only works while rank 0's progress
+    /// thread is alive to answer. Tearing down before every rank
+    /// confirmed the newest release would strand such a peer in its
+    /// final barrier forever. The drain is bounded so a crashed peer
+    /// cannot pin the teardown.
     pub fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let i = &self.inner;
+        if i.rank == 0 && !i.shutdown.load(Ordering::SeqCst) {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let mut b = i.barrier.lock().unwrap();
+            while b.ack_epoch > 0 && b.acked.len() < i.nranks && Instant::now() < deadline {
+                let (g, _) = i
+                    .barrier_cv
+                    .wait_timeout(b, Duration::from_millis(10))
+                    .unwrap();
+                b = g;
+            }
+        }
+        i.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.thread.lock().unwrap().take() {
             let _ = h.join();
         }
@@ -1213,6 +1457,21 @@ impl Inner {
                 resend.push((sw.peer, sw.resend.clone()));
             }
         }
+        for sw in self.submits.lock().unwrap().values_mut() {
+            if sw.retry.due(now, cap) {
+                resend.push((sw.peer, sw.resend.clone()));
+            }
+        }
+        for sw in self.statuses.lock().unwrap().values_mut() {
+            if sw.retry.due(now, cap) {
+                resend.push((sw.peer, sw.resend.clone()));
+            }
+        }
+        for jw in self.job_done_waits.lock().unwrap().values_mut() {
+            if jw.retry.due(now, cap) {
+                resend.push((jw.peer, jw.resend.clone()));
+            }
+        }
         {
             let mut b = self.barrier.lock().unwrap();
             let released = b.released;
@@ -1220,6 +1479,20 @@ impl Inner {
             for (&epoch, r) in b.enters.iter_mut() {
                 if epoch > released && r.due(now, cap) {
                     resend.push((0, Msg::BarrierEnter { epoch, from }));
+                }
+            }
+            // Counter rank: re-release the newest epoch to every rank
+            // that has not confirmed receipt yet (the forward half of
+            // release recovery; the late-enter path is the reactive
+            // half).
+            if self.rank == 0 && b.ack_epoch > 0 && b.acked.len() < self.nranks {
+                let epoch = b.ack_epoch;
+                if b.release_retry.as_mut().is_some_and(|r| r.due(now, cap)) {
+                    for who in 0..self.nranks as u32 {
+                        if !b.acked.contains(&who) {
+                            resend.push((who as usize, Msg::BarrierRelease { epoch }));
+                        }
+                    }
                 }
             }
         }
@@ -1386,6 +1659,65 @@ impl Inner {
                 };
                 self.post(from, &Msg::StealReply { token, chains });
             }
+            Msg::Submit {
+                token,
+                seq,
+                job_id,
+                spec,
+            } => {
+                // Each (peer, seq) enqueues exactly once; a duplicate
+                // submit re-receives the recorded id, never a second
+                // enqueue (which would run — and bill — the job twice).
+                let id = {
+                    let mut dedup = self.dedup.lock().unwrap();
+                    let d = &mut dedup[from];
+                    if d.fresh(seq) {
+                        let h = self.job_handler.lock().unwrap().clone();
+                        let id = h.map_or(JOB_REJECTED, |h| h.submit(from, job_id, &spec));
+                        self.stats.job_served.fetch_add(1, Ordering::Relaxed);
+                        d.jobs.insert(seq, id);
+                        id
+                    } else {
+                        self.stats.dup_requests.fetch_add(1, Ordering::Relaxed);
+                        *d.jobs
+                            .get(&seq)
+                            .expect("duplicate submit without recorded id")
+                    }
+                };
+                self.post(from, &Msg::SubmitReply { token, job_id: id });
+            }
+            Msg::JobStatus { token, job_id } => {
+                // Read-only: a retransmitted poll simply asks again (and
+                // can only see a fresher state).
+                let h = self.job_handler.lock().unwrap().clone();
+                let (state, result) = h.map_or((0, 0), |h| h.status(job_id));
+                self.post(
+                    from,
+                    &Msg::JobStatusReply {
+                        token,
+                        job_id,
+                        state,
+                        result,
+                    },
+                );
+            }
+            Msg::JobDone {
+                token,
+                seq,
+                job_id,
+                result,
+            } => {
+                // The dedup gate keeps the gateway's completion count
+                // exact: a duplicated report must not mark a rank done
+                // twice.
+                if self.dedup_fresh(from, seq) {
+                    if let Some(h) = self.job_handler.lock().unwrap().clone() {
+                        h.done(from, job_id, result);
+                    }
+                    self.stats.job_served.fetch_add(1, Ordering::Relaxed);
+                }
+                self.post(from, &Msg::JobDoneAck { token });
+            }
             Msg::NxtValReset { token, seq } => {
                 if self.dedup_fresh(from, seq) {
                     self.counter.store(0, Ordering::Relaxed);
@@ -1412,6 +1744,13 @@ impl Inner {
                     if full {
                         b.entered.remove(&epoch);
                         b.last_released = b.last_released.max(epoch);
+                        // Collectives are serialized per rank, so any
+                        // enter for a later epoch proves receipt of this
+                        // release: confirmation only ever needs to track
+                        // the newest epoch.
+                        b.ack_epoch = epoch;
+                        b.acked.clear();
+                        b.release_retry = Some(Retry::new(&self.cfg));
                     }
                     full
                 };
@@ -1422,11 +1761,38 @@ impl Inner {
                 }
             }
             Msg::BarrierRelease { epoch } => {
+                {
+                    let mut b = self.barrier.lock().unwrap();
+                    b.released = b.released.max(epoch);
+                    let released = b.released;
+                    b.enters.retain(|&e, _| e > released);
+                    self.barrier_cv.notify_all();
+                }
+                // Confirm receipt (duplicates re-confirm): the counter
+                // rank re-releases until every rank acked and holds its
+                // teardown on the set, so a lost release frame cannot
+                // strand a waiter after rank 0 exits.
+                self.post(
+                    0,
+                    &Msg::BarrierAck {
+                        epoch,
+                        from: self.rank as u32,
+                    },
+                );
+            }
+            Msg::BarrierAck { epoch, from: who } => {
+                debug_assert_eq!(self.rank, 0, "barrier counter lives on rank 0");
                 let mut b = self.barrier.lock().unwrap();
-                b.released = b.released.max(epoch);
-                let released = b.released;
-                b.enters.retain(|&e, _| e > released);
-                self.barrier_cv.notify_all();
+                // Acks for superseded epochs are moot: entering a later
+                // barrier already proved the earlier release arrived.
+                if epoch == b.ack_epoch {
+                    b.acked.insert(who);
+                    if b.acked.len() == self.nranks {
+                        b.release_retry = None;
+                        // Wake a shutdown drain awaiting confirmation.
+                        self.barrier_cv.notify_all();
+                    }
+                }
             }
 
             // ---- requesting side: completions of our own posts ----
@@ -1493,6 +1859,40 @@ impl Inner {
                     t.0.push(row, class, sw.posted_ns, now);
                 }
                 (sw.cb)(chains);
+            }
+            Msg::SubmitReply { token, job_id } => {
+                let Some(sw) = self.submits.lock().unwrap().remove(&token) else {
+                    self.dup_reply();
+                    return;
+                };
+                let now = self.now_ns();
+                {
+                    let mut t = self.trace.lock().unwrap();
+                    let class = t.1.job[0];
+                    let row = WorkerId::new(self.rank as u32, self.cfg.comm_worker);
+                    t.0.push(row, class, sw.posted_ns, now);
+                }
+                (sw.cb)(job_id);
+            }
+            Msg::JobStatusReply {
+                token,
+                state,
+                result,
+                ..
+            } => match self.statuses.lock().unwrap().remove(&token) {
+                Some(sw) => (sw.cb)(state, result),
+                None => self.dup_reply(),
+            },
+            Msg::JobDoneAck { token } => {
+                let Some(jw) = self.job_done_waits.lock().unwrap().remove(&token) else {
+                    self.dup_reply();
+                    return;
+                };
+                let now = self.now_ns();
+                let mut t = self.trace.lock().unwrap();
+                let class = t.1.job[1];
+                let row = WorkerId::new(self.rank as u32, self.cfg.comm_worker);
+                t.0.push(row, class, jw.posted_ns, now);
             }
         }
     }

@@ -24,7 +24,7 @@
 use crate::stats::GaStats;
 use crate::GaGetCallback;
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Tile-cache tuning knobs.
@@ -76,6 +76,10 @@ struct CacheState {
     /// FIFO eviction order of Ready entries.
     order: VecDeque<Key>,
     bytes: usize,
+    /// Arrays whose entries survive the `sync` flush (epoch-tagged
+    /// retention for read-mostly operands). Invalidate-on-mutate still
+    /// applies to them unconditionally.
+    pinned: HashSet<usize>,
 }
 
 /// Outcome of a cache lookup; buffer and callback flow back to the
@@ -115,6 +119,7 @@ impl TileCache {
                 map: HashMap::new(),
                 order: VecDeque::new(),
                 bytes: 0,
+                pinned: HashSet::new(),
             }),
         })
     }
@@ -244,18 +249,70 @@ impl TileCache {
         }
     }
 
-    /// Drop everything — the `sync` boundary, where GA's relaxed model
-    /// makes every rank's mutations globally visible, so any cached
-    /// block may now be behind a third-party write.
+    /// Mark `array`'s entries as surviving the `sync` flush. The caller
+    /// asserts the array is read-mostly between epochs: mutations this
+    /// rank *sees* (its own Put/Acc/zero and incoming ones against its
+    /// shard) still invalidate pinned entries immediately, but a peer's
+    /// write to a *third* rank's shard stays invisible here until the
+    /// array is unpinned — pin only arrays with no such writes (the
+    /// CCSD input tensors between jobs), and gate with `verify_reads`
+    /// where in doubt.
+    pub(crate) fn pin_array(&self, array: usize) {
+        self.state.lock().pinned.insert(array);
+    }
+
+    /// Undo [`TileCache::pin_array`] and drop the array's entries (they
+    /// may be arbitrarily stale by the relaxed-model rules).
+    pub(crate) fn unpin_array(&self, array: usize) {
+        self.state.lock().pinned.remove(&array);
+        self.invalidate_array(array);
+    }
+
+    /// The `sync` boundary, where GA's relaxed model makes every rank's
+    /// mutations globally visible: drop every entry — except those of
+    /// pinned arrays, which the owner vouched stay coherent across
+    /// epochs (that retention is what lets repeat jobs over the same
+    /// operands start warm).
     pub(crate) fn flush(&self) {
         let mut st = self.state.lock();
-        let n = st.map.len() as u64;
-        st.map.clear();
-        st.order.clear();
-        st.bytes = 0;
+        if st.pinned.is_empty() {
+            let n = st.map.len() as u64;
+            st.map.clear();
+            st.order.clear();
+            st.bytes = 0;
+            drop(st);
+            if n > 0 {
+                self.stats.record_cache_invalidations(n);
+            }
+            return;
+        }
+        let CacheState {
+            map,
+            order,
+            bytes,
+            pinned,
+        } = &mut *st;
+        let before = map.len();
+        let mut dropped_bytes = 0usize;
+        map.retain(|&(a, _, l), slot| {
+            if pinned.contains(&a) {
+                return true;
+            }
+            if matches!(slot, Slot::Ready(_)) {
+                dropped_bytes += l * 8;
+            }
+            false
+        });
+        order.retain(|k| map.contains_key(k));
+        *bytes -= dropped_bytes;
+        let flushed = (before - map.len()) as u64;
+        let retained = map.len() as u64;
         drop(st);
-        if n > 0 {
-            self.stats.record_cache_invalidations(n);
+        if flushed > 0 {
+            self.stats.record_cache_invalidations(flushed);
+        }
+        if retained > 0 {
+            self.stats.record_cache_retained(retained);
         }
     }
 
@@ -377,6 +434,48 @@ mod tests {
             c.lookup((0, 30, 10), vec![0.0; 10], nop_cb()),
             Lookup::Hit { .. }
         ));
+    }
+
+    #[test]
+    fn pinned_arrays_survive_flush_but_not_mutation() {
+        let c = cache(1 << 20);
+        for (a, off) in [(1usize, 0usize), (1, 8), (2, 0)] {
+            let Lookup::Fill { fill, .. } = c.lookup((a, off, 4), vec![0.0; 4], nop_cb()) else {
+                panic!("miss expected");
+            };
+            c.complete(&fill, &[a as f64; 4]);
+        }
+        c.pin_array(1);
+        c.flush();
+        // Pinned array 1 stays warm; unpinned array 2 flushed.
+        assert!(matches!(
+            c.lookup((1, 0, 4), vec![0.0; 4], nop_cb()),
+            Lookup::Hit { .. }
+        ));
+        assert!(matches!(
+            c.lookup((1, 8, 4), vec![0.0; 4], nop_cb()),
+            Lookup::Hit { .. }
+        ));
+        assert!(matches!(
+            c.lookup((2, 0, 4), vec![0.0; 4], nop_cb()),
+            Lookup::Fill { .. }
+        ));
+        assert_eq!(c.resident_bytes(), 2 * 4 * 8);
+        assert_eq!(c.stats.cache_retained(), 2);
+        // Invalidate-on-mutate still applies to pinned entries.
+        c.invalidate_overlap(1, 0, 4);
+        assert!(matches!(
+            c.lookup((1, 0, 4), vec![0.0; 4], nop_cb()),
+            Lookup::Fill { .. }
+        ));
+        // Unpinning drops the remaining entries of the array.
+        c.unpin_array(1);
+        assert!(matches!(
+            c.lookup((1, 8, 4), vec![0.0; 4], nop_cb()),
+            Lookup::Fill { .. }
+        ));
+        c.flush();
+        assert_eq!(c.resident_bytes(), 0);
     }
 
     #[test]

@@ -138,6 +138,47 @@ impl Ga {
         }
     }
 
+    /// A second toolkit instance over the *same* endpoint, shard store,
+    /// tile cache and counters — how the service layer materializes one
+    /// workspace per cached plan while all of them run on a single
+    /// persistent rank daemon. The cache must be shared rather than
+    /// re-attached (the store's `attach_cache` is first-set-wins), so
+    /// invalidations and pins stay coherent across every instance.
+    /// Panics on a local-backend instance, which owns its segments and
+    /// cannot be shared this way.
+    pub fn dist_share(&self) -> Self {
+        match &self.backend {
+            Backend::Local { .. } => panic!("dist_share requires the distributed backend"),
+            Backend::Dist { ep, store, cache } => Self {
+                nodes: self.nodes,
+                backend: Backend::Dist {
+                    ep: ep.clone(),
+                    store: store.clone(),
+                    cache: cache.clone(),
+                },
+                stats: self.stats.clone(),
+            },
+        }
+    }
+
+    /// Mark an array read-mostly: its cached blocks survive `sync`
+    /// flushes (epoch retention, DESIGN.md §4.8). Mutations still
+    /// invalidate overlapping entries unconditionally, so pinning is
+    /// always *safe* — it only pays off for blocks nobody rewrites
+    /// between epochs. No-op in local mode, which has no cache.
+    pub fn pin_array(&self, h: GaHandle) {
+        if let Backend::Dist { cache, .. } = &self.backend {
+            cache.pin_array(h.0);
+        }
+    }
+
+    /// Undo [`Self::pin_array`] and drop the array's cached blocks.
+    pub fn unpin_array(&self, h: GaHandle) {
+        if let Backend::Dist { cache, .. } = &self.backend {
+            cache.unpin_array(h.0);
+        }
+    }
+
     /// Number of logical nodes.
     pub fn nnodes(&self) -> usize {
         self.nodes

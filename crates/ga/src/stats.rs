@@ -22,6 +22,7 @@ pub struct GaStats {
     cache_hit_bytes: AtomicU64,
     remote_get_bytes: AtomicU64,
     stale_reads: AtomicU64,
+    cache_retained: AtomicU64,
 }
 
 impl GaStats {
@@ -112,6 +113,9 @@ impl GaStats {
     pub(crate) fn record_stale_read(&self) {
         self.stale_reads.fetch_add(1, Ordering::Relaxed);
     }
+    pub(crate) fn record_cache_retained(&self, n: u64) {
+        self.cache_retained.fetch_add(n, Ordering::Relaxed);
+    }
 
     /// Gets served entirely from the local tile cache.
     pub fn cache_hits(&self) -> u64 {
@@ -144,5 +148,10 @@ impl GaStats {
     /// shard (must stay zero; counted only in `verify_reads` mode).
     pub fn stale_reads(&self) -> u64 {
         self.stale_reads.load(Ordering::Relaxed)
+    }
+    /// Entries of pinned (read-mostly) arrays that survived a sync
+    /// flush, summed over flushes — the epoch-retention payoff.
+    pub fn cache_retained(&self) -> u64 {
+        self.cache_retained.load(Ordering::Relaxed)
     }
 }

@@ -1,0 +1,506 @@
+//! The persistent per-rank daemon: a `JobHandler` over the comm engine,
+//! an ordinal-ordered executor, and the in-process client handle.
+//!
+//! One [`RankDaemon`] per rank turns the formerly one-shot collective
+//! driver into a service. Rank 0 hosts the [`Gateway`]; tenants submit
+//! word-encoded [`JobSpec`]s to it (in-process on rank 0, `Submit`
+//! active messages elsewhere), the gateway assigns ids and dispatches
+//! admitted jobs to every rank tagged with a collective *ordinal*, and
+//! each rank's executor runs jobs strictly in ordinal order. That strict
+//! order is what makes multi-tenancy safe on a collective substrate:
+//! barriers, array creation, and syncs are shared per endpoint, so jobs
+//! must execute serially and identically ordered on every rank — the
+//! admission controller provides concurrency *bounding* and fairness at
+//! the dispatch level, not intra-rank parallel jobs.
+//!
+//! Everything that makes repeat submissions cheap survives between
+//! jobs: the endpoint and its progress thread, the shard store and its
+//! arrays, the tile pool, the tile cache (with plan workspaces' input
+//! tensors pinned across sync flushes), and the plan cache itself.
+
+use crate::gateway::{Dispatch, Gateway, JobMeta};
+use crate::plan::{CachedPlan, PlanCache, PlanKey};
+use crate::spec::{JobSpec, JobState, KIND_HALT, KIND_JOB, SPEC_WORDS};
+use ccsd::{DistRank, StealConfig, StealSummary};
+use comm::{CommConfig, Endpoint, JobHandler, Transport, JOB_REJECTED};
+use global_arrays::{DistStore, Ga, GaStats, TileCacheConfig};
+use parsec_rt::TilePool;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::AtomicU64;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
+use tce::TileSpace;
+
+/// Service-layer tuning for one rank.
+#[derive(Debug, Clone)]
+pub struct SvcConfig {
+    /// Comm engine configuration (eager threshold, in-flight caps).
+    pub comm: CommConfig,
+    /// Tile-cache configuration (capacity, `verify_reads`).
+    pub cache: TileCacheConfig,
+    /// Cross-rank steal tuning applied to every job's run.
+    pub steal: StealConfig,
+    /// Jobs dispatched-but-not-done the gateway allows at once.
+    pub max_open: usize,
+    /// Tenant admission weights (unlisted tenants weigh 1). Must be
+    /// identical on every rank: the weight also picks the job's
+    /// priority band, and graphs must agree across ranks.
+    pub weights: Vec<(u32, u64)>,
+}
+
+impl Default for SvcConfig {
+    fn default() -> Self {
+        Self {
+            comm: CommConfig::default(),
+            cache: TileCacheConfig::default(),
+            steal: StealConfig::default(),
+            max_open: 2,
+            weights: Vec::new(),
+        }
+    }
+}
+
+/// Per-job, per-rank execution record: what this rank spent on one job,
+/// scoped by job id (counter deltas around the run).
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    pub job_id: u64,
+    pub ordinal: u64,
+    pub tenant: u32,
+    pub variant: u64,
+    /// Whether the plan cache already held this geometry.
+    pub plan_hit: bool,
+    /// Nanoseconds of collective plan building this job paid (zero on
+    /// a plan hit with a warm graph).
+    pub build_ns: u64,
+    /// Nanoseconds executing the graph (reset, run, settle).
+    pub run_ns: u64,
+    /// Rank 0 reports the energy; members record `None`.
+    pub energy: Option<f64>,
+    /// GA activity delta: gets posted, remote bytes moved.
+    pub ga_gets: u64,
+    pub ga_remote_bytes: u64,
+    /// Tile-cache delta: hits+joins vs misses during this job.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Comm delta: request retransmissions during this job.
+    pub comm_retries: u64,
+    /// The run's cross-rank steal activity.
+    pub steal: StealSummary,
+}
+
+/// Ordinal-ordered dispatch buffer between the progress thread (which
+/// receives frames in arrival order) and the executor (which must run
+/// them in ordinal order).
+struct ExecQueue {
+    frames: Mutex<BTreeMap<u64, (u64, Vec<u64>)>>,
+    cv: Condvar,
+}
+
+impl ExecQueue {
+    fn new() -> Self {
+        Self {
+            frames: Mutex::new(BTreeMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Bank a dispatch frame `[ordinal, kind, ...spec]` under its
+    /// ordinal. Re-banking an ordinal is a no-op (the comm dedup layer
+    /// already filters duplicates; this is belt-and-suspenders).
+    fn enqueue(&self, job_id: u64, words: &[u64]) {
+        assert!(words.len() >= 2, "dispatch frame too short");
+        let mut q = self.frames.lock().unwrap();
+        q.entry(words[0]).or_insert((job_id, words.to_vec()));
+        self.cv.notify_all();
+    }
+
+    /// Block until the frame for `ordinal` arrives and take it.
+    /// Reordered arrivals simply wait here for the gap to fill (the
+    /// retry machinery guarantees it eventually does).
+    fn pop(&self, ordinal: u64) -> (u64, Vec<u64>) {
+        let mut q = self.frames.lock().unwrap();
+        loop {
+            if let Some(f) = q.remove(&ordinal) {
+                return f;
+            }
+            let (guard, timed_out) = self.cv.wait_timeout(q, Duration::from_secs(30)).unwrap();
+            q = guard;
+            assert!(
+                !timed_out.timed_out(),
+                "executor starved: dispatch ordinal {ordinal} never arrived"
+            );
+        }
+    }
+}
+
+/// The `comm::JobHandler` installed on every rank's endpoint. Routes
+/// tenant submissions into the gateway (rank 0), dispatch frames into
+/// the executor queue, and completion reports back into the gateway.
+struct Handler {
+    ep: Weak<Endpoint>,
+    gateway: Option<Arc<Gateway>>,
+    exec: Arc<ExecQueue>,
+}
+
+impl Handler {
+    /// Deliver gateway dispatches: enqueue locally (rank 0 is a member
+    /// too) and post `Submit` AMs to every other rank. Acks are
+    /// irrelevant — the seq/retry machinery guarantees delivery.
+    fn issue(&self, dispatches: Vec<Dispatch>) {
+        let Some(ep) = self.ep.upgrade() else { return };
+        for d in dispatches {
+            self.exec.enqueue(d.job_id, &d.words);
+            for r in 1..ep.nranks() {
+                ep.submit_async(r, d.job_id, d.words.clone(), Box::new(|_| {}));
+            }
+        }
+    }
+
+    /// Rank 0's own completion path (no AM: the gateway is local).
+    fn done_local(&self, job_id: u64, result: u64) {
+        let gw = self.gateway.as_ref().expect("done_local off rank 0");
+        let d = gw.record_done(0, job_id, result);
+        self.issue(d);
+    }
+}
+
+impl JobHandler for Handler {
+    fn submit(&self, _from: usize, job_id: u64, spec: &[u64]) -> u64 {
+        if job_id == JOB_REJECTED {
+            // Tenant submission: only the gateway rank can admit.
+            let Some(gw) = &self.gateway else {
+                return JOB_REJECTED;
+            };
+            let (id, dispatches) = gw.submit(spec);
+            self.issue(dispatches);
+            id.unwrap_or(JOB_REJECTED)
+        } else {
+            // Gateway dispatch: bank it for the executor.
+            self.exec.enqueue(job_id, spec);
+            job_id
+        }
+    }
+
+    fn status(&self, job_id: u64) -> (u8, u64) {
+        self.gateway
+            .as_ref()
+            .map_or((JobState::Unknown as u8, 0), |gw| gw.status(job_id))
+    }
+
+    fn done(&self, from: usize, job_id: u64, result: u64) {
+        if let Some(gw) = &self.gateway {
+            let d = gw.record_done(from, job_id, result);
+            self.issue(d);
+        }
+    }
+}
+
+/// One rank of the job service: persistent endpoint, plan cache, and
+/// the ordinal-ordered executor loop.
+pub struct RankDaemon {
+    ep: Arc<Endpoint>,
+    /// Root toolkit instance; plans attach via [`Ga::dist_share`] so
+    /// all workspaces share one store, cache, and counter set.
+    root: Ga,
+    pool: Arc<TilePool>,
+    /// One monotone steal-epoch sequence across every plan's runs (see
+    /// `DistRank::run_epoch`).
+    run_epoch: Arc<AtomicU64>,
+    plans: PlanCache,
+    gateway: Option<Arc<Gateway>>,
+    exec: Arc<ExecQueue>,
+    handler: Arc<Handler>,
+    weights: HashMap<u32, u64>,
+    scfg: StealConfig,
+    records: Mutex<Vec<JobRecord>>,
+}
+
+impl RankDaemon {
+    /// Collectively bring up the daemon on this rank's transport. The
+    /// job handler is live before this returns, so tenants may submit
+    /// immediately; nothing executes until [`RankDaemon::run`].
+    pub fn new(transport: Box<dyn Transport>, cfg: SvcConfig) -> Self {
+        let (rank, nranks) = (transport.rank(), transport.nranks());
+        let store = DistStore::new(rank, nranks);
+        let ep = Endpoint::spawn(transport, store.clone(), cfg.comm);
+        let root = Ga::init_dist_cfg(ep.clone(), store, cfg.cache);
+        let gateway =
+            (rank == 0).then(|| Arc::new(Gateway::new(nranks, cfg.max_open, &cfg.weights)));
+        let exec = Arc::new(ExecQueue::new());
+        let handler = Arc::new(Handler {
+            ep: Arc::downgrade(&ep),
+            gateway: gateway.clone(),
+            exec: exec.clone(),
+        });
+        ep.set_job_handler(Some(handler.clone()));
+        // No rank returns (and so no tenant can submit) until every
+        // rank's handler is live — otherwise an early Submit AM would
+        // find no service and record a rejection for its sequence.
+        ep.barrier();
+        Self {
+            ep,
+            root,
+            pool: Arc::new(TilePool::default()),
+            run_epoch: Arc::new(AtomicU64::new(0)),
+            plans: PlanCache::default(),
+            gateway,
+            exec,
+            handler,
+            weights: cfg.weights.iter().copied().collect(),
+            scfg: cfg.steal,
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+
+    /// Ranks in the service.
+    pub fn nranks(&self) -> usize {
+        self.ep.nranks()
+    }
+
+    /// The underlying endpoint (stats, traces).
+    pub fn endpoint(&self) -> &Arc<Endpoint> {
+        &self.ep
+    }
+
+    /// Shared GA counters (one set across every plan's workspace).
+    pub fn ga_stats(&self) -> &GaStats {
+        self.root.stats()
+    }
+
+    /// Plan-cache `(hits, misses, graph_builds)`.
+    pub fn plan_stats(&self) -> (u64, u64, u64) {
+        self.plans.stats()
+    }
+
+    /// The gateway, on rank 0.
+    pub fn gateway(&self) -> Option<&Arc<Gateway>> {
+        self.gateway.as_ref()
+    }
+
+    /// Gateway-side job table (rank 0), for reporting.
+    pub fn job_report(&self) -> Vec<JobMeta> {
+        self.gateway.as_ref().map_or(Vec::new(), |g| g.report())
+    }
+
+    /// Per-job execution records on this rank, ordinal order.
+    pub fn records(&self) -> Vec<JobRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// A client handle for threads on this rank (rank 0 clients talk to
+    /// the gateway in-process; elsewhere every call is an AM to rank 0).
+    pub fn client(&self) -> Client {
+        Client {
+            ep: self.ep.clone(),
+            handler: self.handler.clone(),
+            gateway: self.gateway.clone(),
+        }
+    }
+
+    /// The executor loop: run dispatched jobs in ordinal order until
+    /// the halt frame. Collective in aggregate — every rank's loop
+    /// executes the same jobs in the same order.
+    pub fn run(&self) {
+        let mut ordinal = 0u64;
+        loop {
+            let (job_id, words) = self.exec.pop(ordinal);
+            ordinal += 1;
+            match words[1] {
+                KIND_HALT => return,
+                KIND_JOB => self.execute(job_id, words[0], &words[2..]),
+                k => panic!("unknown dispatch kind {k}"),
+            }
+        }
+    }
+
+    /// Execute one admitted job and report completion to the gateway.
+    fn execute(&self, job_id: u64, ordinal: u64, spec_words: &[u64]) {
+        assert_eq!(spec_words.len(), SPEC_WORDS, "dispatch spec malformed");
+        let spec = JobSpec::decode(spec_words).expect("gateway dispatched an undecodable spec");
+        let key = PlanKey {
+            kernels: spec_words[4],
+            occ: spec.space.occ_tiles_per_spin,
+            virt: spec.space.virt_tiles_per_spin,
+            tile: spec.space.tile_size,
+            spread: spec.space.size_spread,
+            irreps: spec.space.irreps,
+            seed: spec.space.seed,
+        };
+        let build_t = Instant::now();
+        let (plan, hit) = self.plans.get_or_build(key, || {
+            let space = TileSpace::build(&spec.space);
+            let drank = Arc::new(DistRank::attach(
+                self.ep.clone(),
+                self.root.dist_share(),
+                &space,
+                &spec.kernels,
+                self.pool.clone(),
+                self.run_epoch.clone(),
+            ));
+            // The workspace inputs are read-mostly for the plan's whole
+            // life: fills happen once at attach, every job only reads
+            // them and rewrites the output tensor. Pin them so their
+            // cached blocks survive the sync flushes between (and
+            // inside) jobs — the warm-cache half of plan reuse.
+            let ws = drank.workspace();
+            ws.ga.pin_array(ws.t2);
+            ws.ga.pin_array(ws.v);
+            ws.ga.pin_array(ws.v_oo);
+            Arc::new(CachedPlan::new(drank, build_t.elapsed().as_nanos() as u64))
+        });
+        // Tenant weight doubles as the priority band: heavier tenants'
+        // graphs get larger reader/gemm offsets, the same lever the
+        // variant wirings use to favor operand delivery.
+        let band = (self.weights.get(&spec.tenant).copied().unwrap_or(1) - 1) as i64;
+        let mut cfg = spec.variant.cfg();
+        cfg.reader_offset += band;
+        cfg.gemm_offset += band;
+        let graph = plan.graph(
+            spec.variant.id(),
+            spec.prefetch,
+            band,
+            cfg,
+            self.plans.graph_builds_counter(),
+        );
+        let build_ns = build_t.elapsed().as_nanos() as u64;
+
+        // Scope this job's counters: deltas around the run.
+        let ga = self.root.stats();
+        let c0 = self.ep.stats();
+        let (g0, rb0, ch0, cj0, cm0) = (
+            ga.gets(),
+            ga.remote_bytes(),
+            ga.cache_hits(),
+            ga.cache_joins(),
+            ga.cache_misses(),
+        );
+        let run_t = Instant::now();
+        let run = plan
+            .drank
+            .run_variant_graph(&graph, cfg, spec.threads.max(1), self.scfg);
+        let run_ns = run_t.elapsed().as_nanos() as u64;
+        let c1 = self.ep.stats();
+        self.records.lock().unwrap().push(JobRecord {
+            job_id,
+            ordinal,
+            tenant: spec.tenant,
+            variant: spec.variant.id(),
+            plan_hit: hit,
+            build_ns,
+            run_ns,
+            energy: run.energy,
+            ga_gets: ga.gets() - g0,
+            ga_remote_bytes: ga.remote_bytes() - rb0,
+            cache_hits: (ga.cache_hits() + ga.cache_joins()) - (ch0 + cj0),
+            cache_misses: ga.cache_misses() - cm0,
+            comm_retries: c1.retries - c0.retries,
+            steal: run.steal,
+        });
+        let result = run.energy.map_or(0, f64::to_bits);
+        if self.rank() == 0 {
+            self.handler.done_local(job_id, result);
+        } else {
+            self.ep.job_done_async(0, job_id, result);
+        }
+    }
+
+    /// Collective teardown after [`RankDaemon::run`] returns: detach
+    /// the handler, hold for every rank, stop the progress engine.
+    pub fn finish(&self) {
+        self.ep.set_job_handler(None);
+        self.ep.barrier();
+        self.ep.shutdown();
+    }
+}
+
+/// A tenant-side handle: submit jobs, poll status, wait for results.
+/// Cheap to clone per tenant thread.
+#[derive(Clone)]
+pub struct Client {
+    ep: Arc<Endpoint>,
+    handler: Arc<Handler>,
+    gateway: Option<Arc<Gateway>>,
+}
+
+impl Client {
+    /// Submit a job; returns its id, or `None` if the gateway refused
+    /// (halted or malformed spec). On rank 0 the gateway is called
+    /// in-process; elsewhere this is a `Submit` AM riding the
+    /// seq/retry/dedup machinery.
+    pub fn submit(&self, spec: &JobSpec) -> Option<u64> {
+        let words = spec.encode();
+        if let Some(gw) = &self.gateway {
+            let (id, dispatches) = gw.submit(&words);
+            self.handler.issue(dispatches);
+            return id;
+        }
+        let (tx, rx) = mpsc::channel();
+        self.ep.submit_async(
+            0,
+            JOB_REJECTED,
+            words,
+            Box::new(move |id| {
+                let _ = tx.send(id);
+            }),
+        );
+        let id = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("submit reply lost: progress engine dead or gateway unreachable");
+        (id != JOB_REJECTED).then_some(id)
+    }
+
+    /// One status poll: `(state, energy-bits)`.
+    pub fn status(&self, job_id: u64) -> (JobState, u64) {
+        if let Some(gw) = &self.gateway {
+            let (s, r) = gw.status(job_id);
+            return (JobState::from_u8(s), r);
+        }
+        let (tx, rx) = mpsc::channel();
+        self.ep.job_status_async(
+            0,
+            job_id,
+            Box::new(move |s, r| {
+                let _ = tx.send((s, r));
+            }),
+        );
+        let (s, r) = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("status reply lost: progress engine dead or gateway unreachable");
+        (JobState::from_u8(s), r)
+    }
+
+    /// Poll until the job completes; returns its energy. Panics after
+    /// `timeout` — a service test should never wait forever.
+    pub fn wait(&self, job_id: u64, timeout: Duration) -> f64 {
+        let t0 = Instant::now();
+        loop {
+            let (state, bits) = self.status(job_id);
+            if state == JobState::Done {
+                return f64::from_bits(bits);
+            }
+            assert!(
+                t0.elapsed() < timeout,
+                "job {job_id} not done after {timeout:?} (state {state:?})"
+            );
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+
+    /// Ask the gateway to drain and halt every rank's executor (rank 0
+    /// clients only — shutdown is the service owner's call).
+    pub fn halt(&self) {
+        let gw = self
+            .gateway
+            .as_ref()
+            .expect("halt() is a rank-0 (service owner) operation");
+        let d = gw.halt();
+        self.handler.issue(d);
+    }
+}

@@ -1,0 +1,393 @@
+//! The rank-0 admission controller: job table, per-tenant queues, and
+//! weighted-fair dispatch.
+//!
+//! The gateway is deliberately pure state: it never touches the wire.
+//! Every mutating entry point returns the [`Dispatch`] frames the caller
+//! must deliver (to its own executor and, via `Submit` active messages,
+//! to every member rank), so the same logic serves the in-process rank-0
+//! client and the progress-thread `JobHandler` without lock-ordering
+//! surprises.
+//!
+//! Admission is two-level. Jobs are always *accepted* (queued per
+//! tenant); at most `max_open` are *open* (dispatched, not yet reported
+//! done by every rank) at a time. When a slot frees, the next job comes
+//! from the tenant with the smallest weighted dispatch count
+//! `dispatched / weight` — start-time weighted fairness: a tenant with
+//! weight 2 gets two dispatches for every one of a weight-1 tenant under
+//! sustained contention, while an idle tenant's backlog never starves.
+
+use crate::spec::{JobSpec, JobState, KIND_HALT, KIND_JOB};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One frame the caller must deliver to every rank (its own executor
+/// included): the job-id to dispatch under and the `[ordinal, kind,
+/// ...spec]` words.
+#[derive(Debug, Clone)]
+pub struct Dispatch {
+    /// Id the member ranks will report under.
+    pub job_id: u64,
+    /// Full dispatch frame, ready for `Endpoint::submit_async`.
+    pub words: Vec<u64>,
+}
+
+/// Gateway's record of one job, exposed for reporting.
+#[derive(Debug, Clone)]
+pub struct JobMeta {
+    pub job_id: u64,
+    pub tenant: u32,
+    pub state: JobState,
+    /// Collective execution ordinal (valid once dispatched).
+    pub ordinal: u64,
+    /// Energy bits from rank 0's execution (valid once done).
+    pub energy_bits: u64,
+    /// Nanoseconds since gateway creation at each transition; zero
+    /// until the transition happens.
+    pub submitted_ns: u64,
+    pub dispatched_ns: u64,
+    pub done_ns: u64,
+}
+
+struct TenantQ {
+    weight: u64,
+    queue: VecDeque<u64>, // job ids, FIFO within the tenant
+    dispatched: u64,
+}
+
+struct GwState {
+    tenants: HashMap<u32, TenantQ>,
+    jobs: HashMap<u64, JobMeta>,
+    specs: HashMap<u64, Vec<u64>>, // queued jobs' encoded specs
+    done_ranks: HashMap<u64, u64>, // bitmask of ranks that reported
+    next_id: u64,
+    next_ordinal: u64,
+    open: usize,
+    halted: bool,
+    halt_sent: bool,
+}
+
+/// The admission controller (constructed on rank 0 only).
+pub struct Gateway {
+    nranks: usize,
+    max_open: usize,
+    epoch: Instant,
+    st: Mutex<GwState>,
+}
+
+impl Gateway {
+    /// Controller for `nranks` member ranks, at most `max_open` jobs
+    /// open concurrently, with explicit tenant `weights` (unlisted
+    /// tenants weigh 1).
+    pub fn new(nranks: usize, max_open: usize, weights: &[(u32, u64)]) -> Self {
+        let tenants = weights
+            .iter()
+            .map(|&(t, w)| {
+                (
+                    t,
+                    TenantQ {
+                        weight: w.max(1),
+                        queue: VecDeque::new(),
+                        dispatched: 0,
+                    },
+                )
+            })
+            .collect();
+        Self {
+            nranks,
+            max_open: max_open.max(1),
+            epoch: Instant::now(),
+            st: Mutex::new(GwState {
+                tenants,
+                jobs: HashMap::new(),
+                specs: HashMap::new(),
+                done_ranks: HashMap::new(),
+                next_id: 1,
+                next_ordinal: 0,
+                open: 0,
+                halted: false,
+                halt_sent: false,
+            }),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Admission weight of `tenant` (1 unless configured otherwise).
+    pub fn weight_of(&self, tenant: u32) -> u64 {
+        self.st
+            .lock()
+            .unwrap()
+            .tenants
+            .get(&tenant)
+            .map_or(1, |q| q.weight)
+    }
+
+    /// Accept a tenant submission (already word-encoded, straight off
+    /// the wire). Returns the assigned job id — or `None` for frames
+    /// that do not decode, which the comm layer reports as rejected —
+    /// plus any dispatches unlocked by free slots.
+    pub fn submit(&self, words: &[u64]) -> (Option<u64>, Vec<Dispatch>) {
+        let Some(spec) = JobSpec::decode(words) else {
+            return (None, Vec::new());
+        };
+        let now = self.now_ns();
+        let mut st = self.st.lock().unwrap();
+        if st.halted {
+            return (None, Vec::new()); // draining for shutdown
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.jobs.insert(
+            id,
+            JobMeta {
+                job_id: id,
+                tenant: spec.tenant,
+                state: JobState::Queued,
+                ordinal: 0,
+                energy_bits: 0,
+                submitted_ns: now,
+                dispatched_ns: 0,
+                done_ns: 0,
+            },
+        );
+        st.specs.insert(id, words.to_vec());
+        st.tenants
+            .entry(spec.tenant)
+            .or_insert_with(|| TenantQ {
+                weight: 1,
+                queue: VecDeque::new(),
+                dispatched: 0,
+            })
+            .queue
+            .push_back(id);
+        let out = self.pump(&mut st);
+        (Some(id), out)
+    }
+
+    /// Record one rank's completion report. When the last rank reports,
+    /// the job closes, its slot frees, and the next queued job (if any)
+    /// is dispatched.
+    pub fn record_done(&self, from: usize, job_id: u64, result: u64) -> Vec<Dispatch> {
+        let now = self.now_ns();
+        let mut st = self.st.lock().unwrap();
+        let Some(meta) = st.jobs.get_mut(&job_id) else {
+            return Vec::new(); // unknown id: stale or hostile, ignore
+        };
+        if meta.state != JobState::Running {
+            return Vec::new(); // late duplicate after completion
+        }
+        if from == 0 {
+            meta.energy_bits = result;
+        }
+        let mask = st.done_ranks.entry(job_id).or_insert(0);
+        let bit = 1u64 << from;
+        if *mask & bit != 0 {
+            return Vec::new(); // dedup normally absorbs these; be safe
+        }
+        *mask |= bit;
+        if mask.count_ones() as usize == self.nranks {
+            st.done_ranks.remove(&job_id);
+            let meta = st.jobs.get_mut(&job_id).unwrap();
+            meta.state = JobState::Done;
+            meta.done_ns = now;
+            st.open -= 1;
+            return self.pump(&mut st);
+        }
+        Vec::new()
+    }
+
+    /// State + result of a job (`Unknown` for ids never assigned).
+    pub fn status(&self, job_id: u64) -> (u8, u64) {
+        let st = self.st.lock().unwrap();
+        st.jobs
+            .get(&job_id)
+            .map_or((JobState::Unknown as u8, 0), |m| {
+                (m.state as u8, m.energy_bits)
+            })
+    }
+
+    /// Begin an orderly shutdown: no further submissions are accepted,
+    /// and once every queued job has been dispatched, a halt frame goes
+    /// out after them in ordinal order.
+    pub fn halt(&self) -> Vec<Dispatch> {
+        let mut st = self.st.lock().unwrap();
+        st.halted = true;
+        self.pump(&mut st)
+    }
+
+    /// All job records, submission order.
+    pub fn report(&self) -> Vec<JobMeta> {
+        let st = self.st.lock().unwrap();
+        let mut out: Vec<JobMeta> = st.jobs.values().cloned().collect();
+        out.sort_by_key(|m| m.job_id);
+        out
+    }
+
+    /// Dispatch as many queued jobs as free slots allow, weighted-fair
+    /// across tenants, then the halt frame if draining finished.
+    fn pump(&self, st: &mut GwState) -> Vec<Dispatch> {
+        let mut out = Vec::new();
+        loop {
+            if st.open >= self.max_open {
+                break;
+            }
+            // Weighted start-time fairness: smallest dispatched/weight
+            // among tenants with queued work; tenant id breaks ties
+            // deterministically.
+            let Some(&tenant) = st
+                .tenants
+                .iter()
+                .filter(|(_, q)| !q.queue.is_empty())
+                .min_by(|(ta, qa), (tb, qb)| {
+                    let ka = (qa.dispatched * qb.weight, *ta);
+                    let kb = (qb.dispatched * qa.weight, *tb);
+                    ka.cmp(&kb)
+                })
+                .map(|(t, _)| t)
+            else {
+                break;
+            };
+            let q = st.tenants.get_mut(&tenant).unwrap();
+            let id = q.queue.pop_front().unwrap();
+            q.dispatched += 1;
+            let ordinal = st.next_ordinal;
+            st.next_ordinal += 1;
+            st.open += 1;
+            let spec = st.specs.remove(&id).expect("queued job lost its spec");
+            let meta = st.jobs.get_mut(&id).unwrap();
+            meta.state = JobState::Running;
+            meta.ordinal = ordinal;
+            meta.dispatched_ns = self.now_ns();
+            let mut words = vec![ordinal, KIND_JOB];
+            words.extend_from_slice(&spec);
+            out.push(Dispatch { job_id: id, words });
+        }
+        let drained = st.tenants.values().all(|q| q.queue.is_empty());
+        if st.halted && !st.halt_sent && drained {
+            st.halt_sent = true;
+            let ordinal = st.next_ordinal;
+            st.next_ordinal += 1;
+            out.push(Dispatch {
+                job_id: u64::MAX - 1,
+                words: vec![ordinal, KIND_HALT],
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{JobSpec, Variant};
+    use tce::{scale, Kernel};
+
+    fn spec(tenant: u32) -> Vec<u64> {
+        JobSpec {
+            tenant,
+            space: scale::tiny(),
+            kernels: vec![Kernel::T2_7],
+            variant: Variant::V5,
+            threads: 1,
+            prefetch: false,
+        }
+        .encode()
+    }
+
+    #[test]
+    fn admission_bounds_open_jobs_and_dispatches_in_order() {
+        let gw = Gateway::new(2, 1, &[]);
+        let (id1, d1) = gw.submit(&spec(0));
+        let (id2, d2) = gw.submit(&spec(0));
+        assert_eq!((id1, id2), (Some(1), Some(2)));
+        assert_eq!(d1.len(), 1, "slot free: dispatch immediately");
+        assert!(d2.is_empty(), "slot busy: queued");
+        assert_eq!(gw.status(1).0, JobState::Running as u8);
+        assert_eq!(gw.status(2).0, JobState::Queued as u8);
+        // Half-done: still open.
+        assert!(gw.record_done(0, 1, 42f64.to_bits()).is_empty());
+        // Fully done: job 2 dispatched with the next ordinal.
+        let d = gw.record_done(1, 1, 0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].job_id, 2);
+        assert_eq!(d[0].words[0], 1, "ordinals are consecutive");
+        assert_eq!(gw.status(1), (JobState::Done as u8, 42f64.to_bits()));
+        // Duplicate done reports after completion are no-ops.
+        assert!(gw.record_done(1, 1, 0).is_empty());
+        assert_eq!(gw.status(3).0, JobState::Unknown as u8);
+    }
+
+    #[test]
+    fn dispatch_is_weighted_fair_across_tenants() {
+        let gw = Gateway::new(1, 1, &[(1, 2), (2, 1)]);
+        // Fill both queues while the single slot is busy.
+        let (_, d) = gw.submit(&spec(1));
+        assert_eq!(d.len(), 1);
+        for _ in 0..5 {
+            gw.submit(&spec(1));
+            gw.submit(&spec(2));
+        }
+        // Drain: complete whatever is open, record which tenant got it.
+        let mut order = Vec::new();
+        let mut next = vec![d[0].clone()];
+        while let Some(d) = next.pop() {
+            let meta = gw
+                .report()
+                .into_iter()
+                .find(|m| m.job_id == d.job_id)
+                .unwrap();
+            order.push(meta.tenant);
+            next = gw.record_done(0, d.job_id, 0);
+            assert!(next.len() <= 1);
+        }
+        // Weight 2:1 — in every 3 consecutive dispatches after the
+        // first, tenant 1 appears twice as often as tenant 2 overall.
+        let t1 = order.iter().filter(|&&t| t == 1).count();
+        let t2 = order.iter().filter(|&&t| t == 2).count();
+        assert_eq!(t1, 6);
+        assert_eq!(t2, 5);
+        // Prefix fairness: tenant 2 is never more than one dispatch
+        // ahead of its weighted share.
+        let mut seen = (0u64, 0u64);
+        for t in &order {
+            if *t == 1 {
+                seen.0 += 1
+            } else {
+                seen.1 += 1
+            }
+            assert!(seen.1 <= seen.0 + 1, "weight-1 tenant ran ahead: {order:?}");
+        }
+    }
+
+    #[test]
+    fn halt_drains_queues_then_emits_the_halt_frame() {
+        let gw = Gateway::new(1, 2, &[]);
+        gw.submit(&spec(0));
+        gw.submit(&spec(0));
+        gw.submit(&spec(0));
+        let d = gw.halt();
+        assert!(d.is_empty(), "job 3 still queued: halt waits");
+        assert!(gw.submit(&spec(0)).0.is_none(), "halted: no new work");
+        // Job 1's completion frees a slot: job 3 dispatches, the
+        // queues drain, and the halt frame follows in the same pump —
+        // its larger ordinal already serializes it after job 3 on
+        // every executor.
+        let d = gw.record_done(0, 1, 0);
+        assert_eq!(d.len(), 2, "job 3 dispatch plus the halt frame");
+        assert_eq!(d[0].job_id, 3);
+        assert_eq!(d[1].words[1], KIND_HALT);
+        assert_eq!(d[1].words[0], 3, "halt ordinal follows the jobs");
+        assert!(gw.record_done(0, 2, 0).is_empty(), "halt already sent");
+        assert!(gw.record_done(0, 3, 0).is_empty());
+    }
+
+    #[test]
+    fn undecodable_submissions_are_rejected() {
+        let gw = Gateway::new(1, 1, &[]);
+        let (id, d) = gw.submit(&[1, 2, 3]);
+        assert!(id.is_none() && d.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! The job service layer: persistent rank daemons, a plan cache, and
+//! multi-tenant admission over the comm engine (DESIGN.md §4.8).
+//!
+//! The paper's driver model — build the problem, run the iterations,
+//! tear everything down — wastes exactly the work a chemistry campaign
+//! repeats: inspection, Global Array materialization, and graph
+//! construction recur for every molecule a tenant revisits. This crate
+//! turns each rank into a long-lived daemon instead:
+//!
+//! * [`spec`] — [`JobSpec`]: one CCSD iteration request (tile geometry,
+//!   kernels, variant, threads) and its flat word encoding for the
+//!   `Submit` active message;
+//! * [`gateway`] — the rank-0 [`Gateway`]: job table, bounded open-job
+//!   admission, and weighted-fair dispatch across tenants;
+//! * [`plan`] — the per-rank [`PlanCache`]: inspection + workspace +
+//!   task graphs keyed by (geometry, kernels, variant), kept warm with
+//!   the tile cache's pinned input tensors across jobs;
+//! * [`daemon`] — [`RankDaemon`]: the `JobHandler` wired into the comm
+//!   engine, the ordinal-ordered executor, and the tenant [`Client`].
+//!
+//! Job control traffic (submit / status / done) rides the same
+//! per-peer-sequence, retry, dedup machinery as every other mutating
+//! active message, so the service survives the chaos schedules that
+//! the transport-level fault tests throw at it.
+
+pub mod daemon;
+pub mod gateway;
+pub mod plan;
+pub mod spec;
+
+pub use daemon::{Client, JobRecord, RankDaemon, SvcConfig};
+pub use gateway::{Dispatch, Gateway, JobMeta};
+pub use plan::{CachedPlan, PlanCache, PlanKey};
+pub use spec::{JobSpec, JobState, Variant, KIND_HALT, KIND_JOB, SPEC_WORDS};

@@ -1,0 +1,155 @@
+//! The per-rank plan cache: inspection, workspace, and task graphs kept
+//! warm across job submissions.
+//!
+//! Building a job's execution plan is the expensive prologue of every
+//! CCSD iteration: inspect the tile space into chain metadata,
+//! collectively create and fill the Global Arrays, and wire the task
+//! graph. None of it depends on anything but the tile geometry, the
+//! kernel set, and (for the graph) the variant — so a persistent daemon
+//! caches plans keyed exactly that way, and a repeat submission skips
+//! straight to execution. Workspace arrays (and the tile cache's pinned
+//! entries for them) stay resident between jobs, which is the service
+//! layer's whole reason to exist: the second tenant to ask about a
+//! molecule pays only the compute.
+//!
+//! Cache coherence across ranks is by construction: every rank executes
+//! jobs in the same ordinal order, lookups are deterministic, and plan
+//! construction is collective — so all ranks hit and miss in lockstep,
+//! and the collective calls inside a miss (array creation, fills, sync)
+//! line up. The cache is unbounded by design; its size is the number of
+//! distinct (geometry, kernels) pairs the service has seen, each pinned
+//! deliberately so arrays keep their handles (handles are
+//! allocation-order indices and can never be reused).
+
+use ccsd::{DistRank, VariantCfg};
+use ptg::TaskGraph;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What makes two jobs share a plan: geometry and kernel set. The
+/// variant is keyed one level down, on the cached graphs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Kernel bitmask, in the wire order of `spec::KERNEL_ORDER`.
+    pub kernels: u64,
+    /// The full tile geometry, field for field.
+    pub occ: usize,
+    pub virt: usize,
+    pub tile: usize,
+    pub spread: usize,
+    pub irreps: u8,
+    pub seed: u64,
+}
+
+/// One cached plan: the attached problem instance (inspection +
+/// workspace over the daemon's shared endpoint) and its built graphs.
+pub struct CachedPlan {
+    /// The problem instance; jobs run through
+    /// [`DistRank::run_variant_graph`].
+    pub drank: Arc<DistRank>,
+    /// Built task graphs keyed `(variant id, prefetch, priority band)`
+    /// — stateless descriptions, safe to rerun.
+    graphs: Mutex<HashMap<(u64, bool, i64), Arc<TaskGraph>>>,
+    /// Wall nanoseconds the collective build took (the cost a hit
+    /// skips).
+    pub build_ns: u64,
+}
+
+impl CachedPlan {
+    /// Wrap a freshly attached instance.
+    pub fn new(drank: Arc<DistRank>, build_ns: u64) -> Self {
+        Self {
+            drank,
+            graphs: Mutex::new(HashMap::new()),
+            build_ns,
+        }
+    }
+
+    /// The graph for `(variant, prefetch, band)`, building it on first
+    /// use. `cfg` must already carry the band's priority offsets.
+    pub fn graph(
+        &self,
+        variant: u64,
+        prefetch: bool,
+        band: i64,
+        cfg: VariantCfg,
+        built: &AtomicU64,
+    ) -> Arc<TaskGraph> {
+        let mut g = self.graphs.lock().unwrap();
+        g.entry((variant, prefetch, band))
+            .or_insert_with(|| {
+                built.fetch_add(1, Ordering::Relaxed);
+                Arc::new(self.drank.build_run_graph(cfg, prefetch))
+            })
+            .clone()
+    }
+}
+
+/// The rank's plan cache with hit/miss accounting.
+pub struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Arc<CachedPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Graphs built (a plan hit can still build a graph when the
+    /// variant or band is new for that plan).
+    graph_builds: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            graph_builds: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PlanCache {
+    /// Look up `key`, building and inserting via `build` on a miss.
+    /// Returns the plan and whether it was a hit. The build runs under
+    /// the cache lock — correct here because one executor thread per
+    /// rank is the only caller, and the build's collectives must not
+    /// interleave with another lookup anyway.
+    pub fn get_or_build(
+        &self,
+        key: PlanKey,
+        build: impl FnOnce() -> Arc<CachedPlan>,
+    ) -> (Arc<CachedPlan>, bool) {
+        let mut map = self.map.lock().unwrap();
+        if let Some(plan) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (plan.clone(), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = build();
+        map.insert(key, plan.clone());
+        (plan, false)
+    }
+
+    /// Graph-build counter handle (threaded into [`CachedPlan::graph`]).
+    pub fn graph_builds_counter(&self) -> &AtomicU64 {
+        &self.graph_builds
+    }
+
+    /// `(hits, misses, graph_builds)` so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.graph_builds.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Distinct plans resident.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when no plan has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

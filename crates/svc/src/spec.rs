@@ -1,0 +1,244 @@
+//! Job specifications: what a tenant submits, and the flat word encoding
+//! that rides the `Submit` active message.
+//!
+//! The comm layer treats a job spec as an opaque `Vec<u64>`; this module
+//! owns the two framings layered on top of it:
+//!
+//! * a **tenant spec** — the fields of [`JobSpec`], produced by
+//!   [`JobSpec::encode`] and sent to the gateway with
+//!   `job_id == JOB_REJECTED`;
+//! * a **dispatch frame** — `[ordinal, kind, ...tenant spec]`, produced
+//!   by the gateway when it admits a job and sent to every member rank
+//!   with the assigned job id. The ordinal fixes the collective
+//!   execution order (rank executors run jobs strictly by ordinal, so
+//!   every rank performs the same collectives in the same sequence no
+//!   matter how the frames arrive).
+
+use ccsd::VariantCfg;
+use tce::{Kernel, SpaceConfig};
+
+/// Dispatch frame kind: an admitted job follows.
+pub const KIND_JOB: u64 = 0;
+/// Dispatch frame kind: orderly daemon halt — the executor exits after
+/// every earlier ordinal has run.
+pub const KIND_HALT: u64 = 1;
+
+/// The five variant wirings of Section IV-A, as a wire-stable id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    V1,
+    V2,
+    V3,
+    V4,
+    V5,
+}
+
+impl Variant {
+    /// Wire id, 1-based to keep zero invalid.
+    pub fn id(self) -> u64 {
+        match self {
+            Variant::V1 => 1,
+            Variant::V2 => 2,
+            Variant::V3 => 3,
+            Variant::V4 => 4,
+            Variant::V5 => 5,
+        }
+    }
+
+    /// Inverse of [`Variant::id`].
+    pub fn from_id(id: u64) -> Option<Self> {
+        Some(match id {
+            1 => Variant::V1,
+            2 => Variant::V2,
+            3 => Variant::V3,
+            4 => Variant::V4,
+            5 => Variant::V5,
+            _ => return None,
+        })
+    }
+
+    /// The graph wiring this variant requests.
+    pub fn cfg(self) -> VariantCfg {
+        match self {
+            Variant::V1 => VariantCfg::v1(),
+            Variant::V2 => VariantCfg::v2(),
+            Variant::V3 => VariantCfg::v3(),
+            Variant::V4 => VariantCfg::v4(),
+            Variant::V5 => VariantCfg::v5(),
+        }
+    }
+}
+
+/// Lifecycle of a job as reported by the gateway, wire-stable as `u8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// The gateway has no record of this id.
+    Unknown = 0,
+    /// Accepted, waiting for an admission slot.
+    Queued = 1,
+    /// Dispatched to every rank; executors are (or will be) running it.
+    Running = 2,
+    /// Every rank reported completion; the result is final.
+    Done = 3,
+}
+
+impl JobState {
+    /// Inverse of the `as u8` cast used on the wire.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => JobState::Queued,
+            2 => JobState::Running,
+            3 => JobState::Done,
+            _ => JobState::Unknown,
+        }
+    }
+}
+
+/// One CCSD iteration request: which molecule surrogate (tile
+/// geometry), which kernels and variant wiring, and how to run it.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Submitting tenant; maps to an admission weight and, through the
+    /// weight, to a priority band in the task graph.
+    pub tenant: u32,
+    /// Tile geometry — the "molecule" of this job. Jobs sharing a
+    /// geometry (and kernels) share a cached plan.
+    pub space: SpaceConfig,
+    /// Subroutines to inspect and execute, e.g. `icsd_t2_7`.
+    pub kernels: Vec<Kernel>,
+    /// Graph wiring (v1..v5).
+    pub variant: Variant,
+    /// Worker threads per rank for this job.
+    pub threads: usize,
+    /// Route reader bodies through the asynchronous prefetch pipeline.
+    pub prefetch: bool,
+}
+
+/// Canonical kernel order behind the wire bitmask.
+const KERNEL_ORDER: [Kernel; 2] = [Kernel::T2_7, Kernel::T2_2];
+
+fn kernel_mask(kernels: &[Kernel]) -> u64 {
+    let mut m = 0;
+    for k in kernels {
+        let bit = KERNEL_ORDER
+            .iter()
+            .position(|o| o == k)
+            .expect("kernel missing from wire order");
+        m |= 1 << bit;
+    }
+    m
+}
+
+fn kernels_from_mask(mask: u64) -> Option<Vec<Kernel>> {
+    if mask == 0 || mask >> KERNEL_ORDER.len() != 0 {
+        return None;
+    }
+    Some(
+        KERNEL_ORDER
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .collect(),
+    )
+}
+
+/// Words in an encoded tenant spec.
+pub const SPEC_WORDS: usize = 11;
+
+impl JobSpec {
+    /// Flat word encoding (see [`SPEC_WORDS`]); the exact inverse of
+    /// [`JobSpec::decode`].
+    pub fn encode(&self) -> Vec<u64> {
+        vec![
+            self.tenant as u64,
+            self.variant.id(),
+            self.threads as u64,
+            self.prefetch as u64,
+            kernel_mask(&self.kernels),
+            self.space.occ_tiles_per_spin as u64,
+            self.space.virt_tiles_per_spin as u64,
+            self.space.tile_size as u64,
+            self.space.size_spread as u64,
+            self.space.irreps as u64,
+            self.space.seed,
+        ]
+    }
+
+    /// Decode a tenant spec, rejecting malformed frames (wrong length,
+    /// unknown variant, empty kernel set, zero-size geometry) — a
+    /// gateway must never panic on wire input.
+    pub fn decode(words: &[u64]) -> Option<Self> {
+        if words.len() != SPEC_WORDS {
+            return None;
+        }
+        let variant = Variant::from_id(words[1])?;
+        let kernels = kernels_from_mask(words[4])?;
+        if words[2] == 0 || words[5] == 0 || words[6] == 0 || words[7] == 0 || words[9] == 0 {
+            return None;
+        }
+        Some(Self {
+            tenant: words[0] as u32,
+            variant,
+            threads: words[2] as usize,
+            prefetch: words[3] != 0,
+            kernels,
+            space: SpaceConfig {
+                occ_tiles_per_spin: words[5] as usize,
+                virt_tiles_per_spin: words[6] as usize,
+                tile_size: words[7] as usize,
+                size_spread: words[8] as usize,
+                irreps: words[9] as u8,
+                seed: words[10],
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce::scale;
+
+    #[test]
+    fn spec_roundtrips_through_words() {
+        let spec = JobSpec {
+            tenant: 7,
+            space: scale::small(),
+            kernels: vec![Kernel::T2_7, Kernel::T2_2],
+            variant: Variant::V2,
+            threads: 3,
+            prefetch: true,
+        };
+        let words = spec.encode();
+        assert_eq!(words.len(), SPEC_WORDS);
+        let back = JobSpec::decode(&words).unwrap();
+        assert_eq!(back.tenant, 7);
+        assert_eq!(back.variant, Variant::V2);
+        assert_eq!(back.threads, 3);
+        assert!(back.prefetch);
+        assert_eq!(back.kernels, spec.kernels);
+        assert_eq!(back.space.seed, spec.space.seed);
+        assert_eq!(back.space.tile_size, spec.space.tile_size);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_not_panicked() {
+        let spec = JobSpec {
+            tenant: 0,
+            space: scale::tiny(),
+            kernels: vec![Kernel::T2_7],
+            variant: Variant::V5,
+            threads: 1,
+            prefetch: false,
+        };
+        let good = spec.encode();
+        assert!(JobSpec::decode(&good).is_some());
+        assert!(JobSpec::decode(&good[..SPEC_WORDS - 1]).is_none(), "short");
+        for (i, bad_val) in [(1, 9), (2, 0), (4, 0), (4, 1 << 63), (9, 0)] {
+            let mut w = good.clone();
+            w[i] = bad_val;
+            assert!(JobSpec::decode(&w).is_none(), "word {i} = {bad_val}");
+        }
+    }
+}

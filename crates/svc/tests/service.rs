@@ -1,0 +1,281 @@
+//! End-to-end service-layer tests: persistent rank daemons over 4
+//! loopback ranks serving a stream of multi-tenant jobs, plus a chaos
+//! schedule that drops, duplicates and reorders the job-control AMs.
+//!
+//! The clean run is the acceptance shape of the PR: two jobs sharing a
+//! tile geometry must hit the plan cache (the second skips inspection,
+//! array materialization, and graph build) while every job still
+//! reproduces the serial reference energy to 1e-12; a third job with a
+//! distinct geometry builds its own plan beside the first without
+//! disturbing it; and a fourth job arrives over the wire from a tenant
+//! on a non-gateway rank.
+
+use comm::fault::{FaultPlan, FaultTransport};
+use comm::{CommConfig, Transport};
+use global_arrays::TileCacheConfig;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::time::Duration;
+use svc::{JobSpec, JobState, RankDaemon, SvcConfig, Variant};
+use tce::{scale, Kernel, SpaceConfig, TileSpace};
+use tensor_kernels::rel_diff;
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn reference(cfg: &SpaceConfig) -> f64 {
+    let space = TileSpace::build(cfg);
+    let ws = tce::build_workspace(&space, 1);
+    ccsd::verify::reference_energy(&ws)
+}
+
+fn spec(tenant: u32, space: SpaceConfig, variant: Variant) -> JobSpec {
+    JobSpec {
+        tenant,
+        space,
+        kernels: vec![Kernel::T2_7],
+        variant,
+        threads: 2,
+        prefetch: true,
+    }
+}
+
+struct RankOut {
+    plan_hits: u64,
+    plan_misses: u64,
+    graph_builds: u64,
+    cache_retained: u64,
+    stale_reads: u64,
+    retries: u64,
+    records: Vec<svc::JobRecord>,
+    /// Driver results (rank 0: the three in-process energies; rank 1:
+    /// the AM-submitted energy).
+    energies: Vec<f64>,
+}
+
+#[test]
+fn four_rank_service_reuses_plans_across_tenants() {
+    let e_tiny = reference(&scale::tiny());
+    let e_small = reference(&scale::small());
+    // Rank 0's driver tells rank 1's tenant when to submit over the
+    // wire; rank 1's tenant reports its energy back so rank 0 can halt.
+    let (go_tx, go_rx) = mpsc::channel::<()>();
+    let (e4_tx, e4_rx) = mpsc::channel::<f64>();
+    let (mut go_tx, mut go_rx) = (Some(go_tx), Some(go_rx));
+    let (mut e4_tx, mut e4_rx) = (Some(e4_tx), Some(e4_rx));
+    let handles: Vec<_> = comm::loopback(4)
+        .into_iter()
+        .map(|t| {
+            let r = t.rank();
+            let (go_tx, go_rx) = (
+                (r == 0).then(|| go_tx.take().unwrap()),
+                (r == 1).then(|| go_rx.take().unwrap()),
+            );
+            let (e4_tx, e4_rx) = (
+                (r == 1).then(|| e4_tx.take().unwrap()),
+                (r == 0).then(|| e4_rx.take().unwrap()),
+            );
+            std::thread::spawn(move || {
+                let daemon = RankDaemon::new(Box::new(t), SvcConfig::default());
+                let client = daemon.client();
+                let driver = std::thread::spawn(move || match r {
+                    0 => {
+                        let id1 = client.submit(&spec(1, scale::tiny(), Variant::V5)).unwrap();
+                        let e1 = client.wait(id1, TIMEOUT);
+                        // Same geometry, different tenant and variant:
+                        // plan hit, fresh graph.
+                        let id2 = client.submit(&spec(2, scale::tiny(), Variant::V3)).unwrap();
+                        let e2 = client.wait(id2, TIMEOUT);
+                        // Distinct geometry: a second plan beside the first.
+                        let id3 = client
+                            .submit(&spec(1, scale::small(), Variant::V5))
+                            .unwrap();
+                        let e3 = client.wait(id3, TIMEOUT);
+                        assert_eq!(client.status(id1).0, JobState::Done);
+                        go_tx.unwrap().send(()).unwrap();
+                        let e4 = e4_rx.unwrap().recv_timeout(TIMEOUT).unwrap();
+                        client.halt();
+                        vec![e1, e2, e3, e4]
+                    }
+                    1 => {
+                        go_rx.unwrap().recv_timeout(TIMEOUT).unwrap();
+                        // The full AM path: Submit to the gateway, status
+                        // polls over the wire, from a non-gateway rank.
+                        let id4 = client.submit(&spec(2, scale::tiny(), Variant::V5)).unwrap();
+                        let e4 = client.wait(id4, TIMEOUT);
+                        e4_tx.unwrap().send(e4).unwrap();
+                        vec![e4]
+                    }
+                    _ => Vec::new(),
+                });
+                daemon.run();
+                let energies = driver.join().unwrap();
+                let (plan_hits, plan_misses, graph_builds) = daemon.plan_stats();
+                let out = RankOut {
+                    plan_hits,
+                    plan_misses,
+                    graph_builds,
+                    cache_retained: daemon.ga_stats().cache_retained(),
+                    stale_reads: daemon.ga_stats().stale_reads(),
+                    retries: daemon.endpoint().stats().retries,
+                    records: daemon.records(),
+                    energies,
+                };
+                daemon.finish();
+                out
+            })
+        })
+        .collect();
+    let outs: Vec<RankOut> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Energies: every job reproduces its geometry's reference.
+    let [e1, e2, e3, e4] = outs[0].energies[..] else {
+        panic!("rank 0 driver must report four energies")
+    };
+    for (e, e_ref, what) in [
+        (e1, e_tiny, "job 1 (tiny, v5)"),
+        (e2, e_tiny, "job 2 (tiny, v3, plan hit)"),
+        (e3, e_small, "job 3 (small, v5)"),
+        (e4, e_tiny, "job 4 (tiny, v5, remote tenant)"),
+    ] {
+        assert!(rel_diff(e, e_ref) < 1e-12, "{what}: {e} vs {e_ref}");
+    }
+    assert_eq!(outs[1].energies, vec![e4], "both waiters saw one result");
+
+    for (r, out) in outs.iter().enumerate() {
+        // Plan cache: tiny built once, small once; jobs 2 and 4 hit.
+        assert_eq!(
+            (out.plan_misses, out.plan_hits),
+            (2, 2),
+            "rank {r} plan cache"
+        );
+        // Graphs: (tiny,v5) built once and reused by job 4; (tiny,v3)
+        // and (small,v5) once each.
+        assert_eq!(out.graph_builds, 3, "rank {r} graph builds");
+        let hits: Vec<bool> = out.records.iter().map(|j| j.plan_hit).collect();
+        assert_eq!(hits, [false, true, false, true], "rank {r} hit pattern");
+        // The latency effect: a plan hit with a warm graph skips the
+        // collective build entirely.
+        let miss_ns = out.records[0].build_ns;
+        let hit_ns = out.records[3].build_ns;
+        assert!(
+            hit_ns * 10 < miss_ns,
+            "rank {r}: hit build {hit_ns}ns not ≪ miss build {miss_ns}ns"
+        );
+        // Epoch retention: pinned input tensors kept cache entries
+        // across the sync flushes between jobs.
+        assert!(out.cache_retained > 0, "rank {r}: nothing retained");
+        assert_eq!(out.stale_reads, 0, "rank {r}: stale cached reads");
+        assert_eq!(out.retries, 0, "rank {r}: clean wire must not retry");
+        // Per-job scoping: the hit job still moved data and its record
+        // carries its own counters.
+        assert!(out.records[3].run_ns > 0);
+        assert_eq!(out.records[3].tenant, 2);
+    }
+}
+
+/// Fast retries so injected losses recover in milliseconds.
+fn chaos_cfg() -> CommConfig {
+    CommConfig {
+        eager_threshold: 1024,
+        retry_timeout: Duration::from_millis(20),
+        retry_backoff_max: Duration::from_millis(80),
+        ..CommConfig::default()
+    }
+}
+
+#[test]
+fn service_survives_dropped_and_reordered_job_control() {
+    let seed = 0x5E47_1CE0_0001u64;
+    let replay =
+        format!("service chaos seed {seed:#x} — replay: FaultPlan::named(\"service\", {seed:#x})");
+    let e_tiny = reference(&scale::tiny());
+    let (go_tx, go_rx) = mpsc::channel::<()>();
+    let (e3_tx, e3_rx) = mpsc::channel::<f64>();
+    let (mut go_tx, mut go_rx) = (Some(go_tx), Some(go_rx));
+    let (mut e3_tx, mut e3_rx) = (Some(e3_tx), Some(e3_rx));
+    let handles: Vec<_> = comm::loopback(3)
+        .into_iter()
+        .map(|t| {
+            let r = t.rank();
+            let plan = FaultPlan::named("service", seed.wrapping_add(r as u64)).unwrap();
+            let ft = FaultTransport::new(Box::new(t), plan);
+            let armed = ft.armed_handle();
+            let (go_tx, go_rx) = (
+                (r == 0).then(|| go_tx.take().unwrap()),
+                (r == 1).then(|| go_rx.take().unwrap()),
+            );
+            let (e3_tx, e3_rx) = (
+                (r == 1).then(|| e3_tx.take().unwrap()),
+                (r == 0).then(|| e3_rx.take().unwrap()),
+            );
+            std::thread::spawn(move || {
+                let cfg = SvcConfig {
+                    comm: chaos_cfg(),
+                    // Paranoia mode: every cache hit is checked against
+                    // the owners' live shards (epoch retention must
+                    // never serve stale data, even under faults).
+                    cache: TileCacheConfig {
+                        verify_reads: true,
+                        ..TileCacheConfig::default()
+                    },
+                    ..SvcConfig::default()
+                };
+                let daemon = RankDaemon::new(Box::new(ft), cfg);
+                let client = daemon.client();
+                let driver = std::thread::spawn(move || match r {
+                    0 => {
+                        let id1 = client.submit(&spec(1, scale::tiny(), Variant::V5)).unwrap();
+                        let e1 = client.wait(id1, TIMEOUT);
+                        let id2 = client.submit(&spec(2, scale::tiny(), Variant::V5)).unwrap();
+                        let e2 = client.wait(id2, TIMEOUT);
+                        go_tx.unwrap().send(()).unwrap();
+                        let e3 = e3_rx.unwrap().recv_timeout(TIMEOUT).unwrap();
+                        client.halt();
+                        vec![e1, e2, e3]
+                    }
+                    1 => {
+                        go_rx.unwrap().recv_timeout(TIMEOUT).unwrap();
+                        let id3 = client.submit(&spec(1, scale::tiny(), Variant::V5)).unwrap();
+                        let e3 = client.wait(id3, TIMEOUT);
+                        e3_tx.unwrap().send(e3).unwrap();
+                        vec![e3]
+                    }
+                    _ => Vec::new(),
+                });
+                daemon.run();
+                let energies = driver.join().unwrap();
+                let (hits, misses, _) = daemon.plan_stats();
+                let out = (
+                    energies,
+                    hits,
+                    misses,
+                    daemon.ga_stats().stale_reads(),
+                    daemon.endpoint().stats().retries,
+                    daemon.records().len(),
+                );
+                // Injection stays armed through every job and the halt
+                // frames; only the final teardown runs clean.
+                armed.store(false, Ordering::SeqCst);
+                daemon.finish();
+                out
+            })
+        })
+        .collect();
+    let outs: Vec<_> = handles
+        .into_iter()
+        .map(|h| {
+            h.join()
+                .unwrap_or_else(|_| panic!("rank panicked: {replay}"))
+        })
+        .collect();
+    for e in &outs[0].0 {
+        assert!(rel_diff(*e, e_tiny) < 1e-12, "energy {e} drifted: {replay}");
+    }
+    for (r, out) in outs.iter().enumerate() {
+        assert_eq!((out.1, out.2), (2, 1), "rank {r} plan cache: {replay}");
+        assert_eq!(out.3, 0, "rank {r} served stale cached reads: {replay}");
+        assert_eq!(out.5, 3, "rank {r} must execute all three jobs: {replay}");
+    }
+    let retries: u64 = outs.iter().map(|o| o.4).sum();
+    assert!(retries > 0, "chaos schedule never forced a retry: {replay}");
+}

@@ -197,7 +197,7 @@ pub fn comm_overlap(trace: &Trace) -> BTreeMap<u32, NodeOverlap> {
                 .entry(s.who.node)
                 .or_default()
                 .push((s.begin, s.end, retrans)),
-            ActivityKind::Steal | ActivityKind::Runtime => {}
+            ActivityKind::Steal | ActivityKind::Job | ActivityKind::Runtime => {}
         }
     }
     for v in compute.values_mut() {

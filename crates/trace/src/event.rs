@@ -46,6 +46,12 @@ pub enum ActivityKind {
     /// overlap analyses count it as scheduling, and the spans make load-
     /// balancing activity visible on the comm row of the Gantt chart.
     Steal,
+    /// Service-layer job control round trips (submit posted to id
+    /// assigned, completion report posted to acknowledged). Scheduling
+    /// traffic like [`ActivityKind::Steal`]: excluded from both compute
+    /// and communication in the overlap analyses, but visible on the
+    /// comm row so multi-tenant control-plane activity can be audited.
+    Job,
     /// Runtime bookkeeping (scheduling, inspection, NXTVAL, locks).
     Runtime,
 }
@@ -214,6 +220,7 @@ impl Trace {
                 ActivityKind::Comm { eager: true, .. } => "comm-eager",
                 ActivityKind::Comm { eager: false, .. } => "comm-rndv",
                 ActivityKind::Steal => "steal",
+                ActivityKind::Job => "job",
                 ActivityKind::Runtime => "runtime",
             };
             write!(
