@@ -53,22 +53,32 @@ echo "==> comm chaos matrix (4 ranks x 4 workers over sockets, every fault sched
 # cached read under faults (the cache runs with verify_reads here too).
 cargo run -q --release -p bench-harness --bin comm_bench -- --chaos --seed c0ffee00
 
-echo "==> service smoke (4-rank socket daemons, 2 tenants, 4 jobs)"
+echo "==> service smoke (4-rank socket daemons, 2-gang configuration, 2 tenants, 4 jobs)"
 # Persistent per-rank daemons serve a multi-tenant job stream over real
-# sockets. The binary gates on every job's energy matching the
-# single-process reference to 1e-12, plan-cache hits on repeat
-# geometries (with the measured hit-vs-miss build-time gap), per-rank
-# job counts, weighted-fair dispatch, and — on the clean mesh — zero
-# retries and zero verified-stale cached reads.
-cargo run -q --release -p bench-harness --bin service_bench -- --smoke
+# sockets in the gang-scheduled configuration: two 2-rank-gang jobs run
+# concurrently on disjoint rank subsets, then two full-mesh jobs. The
+# binary gates on every job's energy matching the single-process
+# reference to 1e-12, well-formed gang fields (non-empty in-mesh masks
+# of the requested size, dense per-gang ordinals), per-rank job counts
+# and plan-cache hits exactly as the gang-scoped plan keys predict, and
+# — on the clean mesh — zero retries and zero verified-stale cached
+# reads. The printed gang masks double-check the 2-gang shape below.
+smoke_out=$(cargo run -q --release -p bench-harness --bin service_bench -- --smoke)
+echo "$smoke_out"
+echo "$smoke_out" | grep -q "SERVICE SMOKE OK" || { echo "service smoke failed"; exit 1; }
+echo "$smoke_out" | grep -q "gangs 0b[01]*/0b[01]*" || { echo "gang fields malformed in smoke output"; exit 1; }
+echo "$smoke_out" | grep -q "0 retries, 0 stale reads" || { echo "smoke not clean"; exit 1; }
 
 echo "==> BENCH_service.json well-formed"
 if [ -f BENCH_service.json ]; then
     if command -v jq >/dev/null 2>&1; then
-        jq -e '.throughput_jobs_per_sec and .plan_cache.hit_rate and (.tenants | length > 0)' \
+        jq -e '.baseline.throughput_jobs_per_sec and .gangs.throughput_jobs_per_sec
+               and .gangs.plan_cache.hit_rate and (.gangs.plan_cache | has("evictions"))
+               and .gang_win.jobs_per_sec_gain and .gang_win.small_job_p50_speedup
+               and (.baseline.tenants | length > 0) and (.gangs.tenants | length > 0)' \
             BENCH_service.json >/dev/null
     else
-        python3 -c "import json,sys; d=json.load(open(sys.argv[1])); d['throughput_jobs_per_sec']; d['plan_cache']['hit_rate']; assert d['tenants']" BENCH_service.json
+        python3 -c "import json,sys; d=json.load(open(sys.argv[1])); d['baseline']['throughput_jobs_per_sec']; d['gangs']['plan_cache']['evictions']; d['gang_win']['jobs_per_sec_gain']; d['gang_win']['small_job_p50_speedup']; assert d['baseline']['tenants'] and d['gangs']['tenants']" BENCH_service.json
     fi
     echo "    BENCH_service.json OK"
 fi

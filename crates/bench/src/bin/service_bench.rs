@@ -4,30 +4,41 @@
 //! connected by the TCP mesh transport, brings up one [`svc::RankDaemon`]
 //! per rank, and drives sustained multi-tenant load through the rank-0
 //! gateway: two tenants (admission weights 2:1) submit their whole job
-//! mix open-loop, the admission controller dispatches weighted-fair, and
-//! every rank's executor runs the stream in collective ordinal order.
-//! The job mix repeats one primary tile geometry and ends each tenant on
-//! a shared secondary geometry, so the per-rank plan cache is exercised
-//! exactly as the service intends: two cold builds, every other job a
-//! warm hit that skips inspection, array materialization, and graph
-//! construction. Aggregates land in `BENCH_service.json`: throughput,
-//! p50/p99 job latency, queue wait, plan-cache hit rate, the measured
-//! build-time effect of a plan hit, and per-tenant fairness shares.
+//! mix open-loop, the admission controller packs each job onto a rank
+//! gang and dispatches weighted-fair, and every rank's executor runs its
+//! frames in dispatch-seq order.
+//!
+//! The benchmark is a **gang sweep** over one mixed workload — mostly
+//! small-geometry jobs with a large job every third submission per
+//! tenant:
+//!
+//! * *baseline*: every job requests the full mesh (one global gang, so
+//!   the mesh serializes the whole stream);
+//! * *gangs*: small jobs request `--gangs`-rank gangs (default 2), so
+//!   two small jobs run side by side on disjoint rank subsets while the
+//!   large jobs still take the whole mesh.
+//!
+//! Both configurations land in `BENCH_service.json` — throughput,
+//! latency and queue-wait percentiles, the small-job p50 the gang
+//! packing exists to improve, per-rank utilization, plan-cache
+//! hit/miss/eviction counters — plus a `gang_win` block comparing them.
 //!
 //! ```text
-//! service_bench [--ranks R] [--scale S] [--jobs N] [--threads T] [--port P]
-//! service_bench --smoke     # 4 ranks, 2 tenants, 4 tiny jobs, CI gates
+//! service_bench [--ranks R] [--scale S] [--jobs N] [--threads T] [--port P] [--gangs G]
+//! service_bench --smoke     # 4 ranks, two 2-rank-gang jobs + two full-mesh jobs, CI gates
 //! ```
 //!
-//! `--smoke` is the CI gate: every job's energy must match the
-//! single-process reference to 1e-12, the healthy mesh must show zero
-//! recovery activity (no retries, no timeouts, no dups), the cache runs
-//! in `verify_reads` paranoia mode with zero stale reads tolerated, and
-//! the plan cache must demonstrably hit (one cold build, three warm
-//! submissions).
+//! `--smoke` is the CI gate: a deterministic 2-gang configuration (two
+//! concurrent 2-rank-gang jobs, then two full-mesh jobs) where every
+//! job's energy must match the single-process reference to 1e-12, the
+//! healthy mesh must show zero recovery activity, the cache runs in
+//! `verify_reads` paranoia mode with zero stale reads tolerated, every
+//! dispatched gang mask must be well-formed, and the plan cache must
+//! hit exactly as the per-gang scoping predicts.
 
 use bench_harness::{arg_value, has_flag};
 use comm::SocketTransport;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -54,36 +65,40 @@ fn reference(cfg: &SpaceConfig) -> f64 {
     ccsd::verify::reference_energy(&ws)
 }
 
-/// The two-tenant job mix. Tenant 1 (weight 2) and tenant 2 (weight 1)
-/// split `jobs` by weight; every job runs the primary geometry except
-/// each tenant's last, which runs the shared secondary geometry — so
-/// exactly two submissions are plan-cache misses and the rest are hits,
-/// and the second secondary submission hits a plan the *other* tenant
-/// built. Variants alternate v5/v3 per tenant to keep the graph cache
-/// honest (same plan, distinct wirings).
+/// The two-tenant mixed workload: tenant 1 (weight 2) and tenant 2
+/// (weight 1) split `jobs` by weight; every third job per tenant runs
+/// the large `primary` geometry on the full mesh, the rest run the
+/// `small` geometry requesting a `gang`-rank gang (`0` = full mesh, the
+/// single-global-gang baseline). Variants alternate v5/v3 per tenant to
+/// keep the graph cache honest (same plan, distinct wirings). Each spec
+/// is paired with its expected reference energy.
 fn job_mix(
     jobs: usize,
     primary: &SpaceConfig,
-    secondary: &SpaceConfig,
+    small: &SpaceConfig,
+    e_primary: f64,
+    e_small: f64,
     threads: usize,
-) -> Vec<Vec<JobSpec>> {
+    gang: usize,
+) -> Vec<Vec<(JobSpec, f64)>> {
     let n1 = (jobs * 2).div_ceil(3).max(1);
     let n2 = (jobs - n1).max(1);
     [(1u32, n1), (2u32, n2)]
         .into_iter()
         .map(|(tenant, n)| {
             (0..n)
-                .map(|i| JobSpec {
-                    tenant,
-                    space: if i + 1 == n {
-                        secondary.clone()
-                    } else {
-                        primary.clone()
-                    },
-                    kernels: vec![tce::Kernel::T2_7],
-                    variant: if i % 2 == 0 { Variant::V5 } else { Variant::V3 },
-                    threads,
-                    prefetch: true,
+                .map(|i| {
+                    let big = i % 3 == 2;
+                    let spec = JobSpec {
+                        tenant,
+                        space: if big { primary.clone() } else { small.clone() },
+                        kernels: vec![tce::Kernel::T2_7],
+                        variant: if i % 2 == 0 { Variant::V5 } else { Variant::V3 },
+                        threads,
+                        prefetch: true,
+                        ranks: if big { 0 } else { gang },
+                    };
+                    (spec, if big { e_primary } else { e_small })
                 })
                 .collect()
         })
@@ -96,6 +111,7 @@ fn job_mix(
 struct RankOut {
     plan_hits: u64,
     plan_misses: u64,
+    plan_evictions: u64,
     graph_builds: u64,
     jobs_run: u64,
     retries: u64,
@@ -106,6 +122,7 @@ struct RankOut {
     cache_retained: u64,
     stale_reads: u64,
     ga_remote_bytes: u64,
+    steal_prefetched_bytes: u64,
 }
 
 fn collect(daemon: &RankDaemon) -> RankOut {
@@ -115,6 +132,7 @@ fn collect(daemon: &RankDaemon) -> RankOut {
     RankOut {
         plan_hits,
         plan_misses,
+        plan_evictions: daemon.plan_evictions(),
         graph_builds,
         jobs_run: daemon.records().len() as u64,
         retries: s.retries,
@@ -125,14 +143,20 @@ fn collect(daemon: &RankDaemon) -> RankOut {
         cache_retained: ga.cache_retained(),
         stale_reads: ga.stale_reads(),
         ga_remote_bytes: ga.remote_bytes(),
+        steal_prefetched_bytes: daemon
+            .records()
+            .iter()
+            .map(|j| j.steal.prefetched_bytes)
+            .sum(),
     }
 }
 
 fn write_fragment(path: &Path, o: &RankOut) {
     let s = format!(
-        "plan_hits {}\nplan_misses {}\ngraph_builds {}\njobs_run {}\nretries {}\ntimeouts {}\ndups {}\ncache_hits {}\ncache_misses {}\ncache_retained {}\nstale_reads {}\nga_remote_bytes {}\n",
+        "plan_hits {}\nplan_misses {}\nplan_evictions {}\ngraph_builds {}\njobs_run {}\nretries {}\ntimeouts {}\ndups {}\ncache_hits {}\ncache_misses {}\ncache_retained {}\nstale_reads {}\nga_remote_bytes {}\nsteal_prefetched_bytes {}\n",
         o.plan_hits,
         o.plan_misses,
+        o.plan_evictions,
         o.graph_builds,
         o.jobs_run,
         o.retries,
@@ -143,6 +167,7 @@ fn write_fragment(path: &Path, o: &RankOut) {
         o.cache_retained,
         o.stale_reads,
         o.ga_remote_bytes,
+        o.steal_prefetched_bytes,
     );
     std::fs::write(path, s).expect("write fragment");
 }
@@ -155,6 +180,7 @@ fn parse_fragment(text: &str) -> RankOut {
         match key {
             "plan_hits" => o.plan_hits = v,
             "plan_misses" => o.plan_misses = v,
+            "plan_evictions" => o.plan_evictions = v,
             "graph_builds" => o.graph_builds = v,
             "jobs_run" => o.jobs_run = v,
             "retries" => o.retries = v,
@@ -165,6 +191,7 @@ fn parse_fragment(text: &str) -> RankOut {
             "cache_retained" => o.cache_retained = v,
             "stale_reads" => o.stale_reads = v,
             "ga_remote_bytes" => o.ga_remote_bytes = v,
+            "steal_prefetched_bytes" => o.steal_prefetched_bytes = v,
             other => panic!("unknown fragment key `{other}`"),
         }
     }
@@ -209,26 +236,20 @@ fn svc_config(smoke: bool) -> SvcConfig {
 }
 
 /// One tenant's driver thread: submit the whole mix open-loop (the
-/// admission controller owns pacing), then wait each job out. Returns
-/// `(job_id, energy, expected reference)` per job.
-fn drive_tenant(
-    client: Client,
-    specs: Vec<JobSpec>,
-    e_primary: f64,
-    e_secondary: f64,
-) -> Vec<(u64, f64, f64)> {
-    let n = specs.len();
-    let ids: Vec<(u64, f64)> = specs
+/// admission controller owns pacing and packing), then wait each job
+/// out. Returns `(job_id, energy, expected reference, requested ranks)`
+/// per job.
+fn drive_tenant(client: Client, specs: Vec<(JobSpec, f64)>) -> Vec<(u64, f64, f64, usize)> {
+    let ids: Vec<(u64, f64, usize)> = specs
         .into_iter()
-        .enumerate()
-        .map(|(i, s)| {
-            let e_ref = if i + 1 == n { e_secondary } else { e_primary };
+        .map(|(s, e_ref)| {
+            let ranks = s.ranks;
             let id = client.submit(&s).expect("gateway rejected a bench job");
-            (id, e_ref)
+            (id, e_ref, ranks)
         })
         .collect();
     ids.into_iter()
-        .map(|(id, e_ref)| (id, client.wait(id, WAIT), e_ref))
+        .map(|(id, e_ref, ranks)| (id, client.wait(id, WAIT), e_ref, ranks))
         .collect()
 }
 
@@ -251,33 +272,29 @@ fn percentile_ms(sorted: &[u64], p: f64) -> f64 {
     sorted[idx] as f64 / 1e6
 }
 
-fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
-    let smoke = has_flag(args, "--smoke");
-    let scale =
-        arg_value(args, "--scale").unwrap_or_else(|| if smoke { "tiny" } else { "medium" }.into());
-    let jobs: usize = arg_value(args, "--jobs")
-        .map(|v| v.parse().unwrap())
-        .unwrap_or(if smoke { 4 } else { 12 });
-    let threads: usize = arg_value(args, "--threads")
-        .map(|v| v.parse().unwrap())
-        .unwrap_or(2);
-    let primary = scale_of(&scale);
-    let secondary = if smoke {
-        primary.clone()
-    } else {
-        scale_of("small")
-    };
+/// Everything one service bring-up produces, gate- and report-ready.
+struct RunOut {
+    /// Per job: `(id, energy, reference, requested ranks)`.
+    results: Vec<(u64, f64, f64, usize)>,
+    report: Vec<svc::JobMeta>,
+    /// Rank 0's own execution records (plan-effect measurement).
+    records: Vec<svc::JobRecord>,
+    per_rank: Vec<RankOut>,
+    /// Gateway per-rank busy fraction over the run.
+    utilization: Vec<f64>,
+}
 
-    // In-process ground truth before any socket work.
-    let e_primary = reference(&primary);
-    let e_secondary = if smoke {
-        e_primary
-    } else {
-        reference(&secondary)
-    };
-    eprintln!("# reference energy ({scale}): {e_primary:.15}");
-
-    let dir = std::env::temp_dir().join(format!("service_bench_{}", std::process::id()));
+/// Bring up a full `ranks`-process service on `port`, drive `mixes`
+/// (one submission thread per inner vec — a single vec keeps the
+/// submission order deterministic), tear everything down, and fold in
+/// every rank's counters.
+fn run_service(
+    ranks: usize,
+    port: u16,
+    smoke: bool,
+    mixes: Vec<Vec<(JobSpec, f64)>>,
+) -> Result<RunOut, String> {
+    let dir = std::env::temp_dir().join(format!("service_bench_{}_{port}", std::process::id()));
     std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
     let exe = std::env::current_exe().map_err(|e| e.to_string())?;
     let mut children = Vec::new();
@@ -297,29 +314,36 @@ fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
     let transport = SocketTransport::connect(0, ranks, port, Duration::from_secs(60))
         .map_err(|e| format!("rank 0: mesh connect failed: {e}"))?;
     let daemon = RankDaemon::new(Box::new(transport), svc_config(smoke));
-    let mix = job_mix(jobs, &primary, &secondary, threads);
-    let drivers: Vec<_> = mix
+    let drivers: Vec<_> = mixes
         .into_iter()
         .map(|specs| {
             let client = daemon.client();
-            std::thread::spawn(move || drive_tenant(client, specs, e_primary, e_secondary))
+            std::thread::spawn(move || drive_tenant(client, specs))
         })
         .collect();
     let halter = {
         let client = daemon.client();
         std::thread::spawn(move || {
-            let results: Vec<Vec<(u64, f64, f64)>> =
+            let results: Vec<Vec<(u64, f64, f64, usize)>> =
                 drivers.into_iter().map(|d| d.join().unwrap()).collect();
             client.halt();
             results
         })
     };
     daemon.run();
-    let results = halter.join().map_err(|_| "tenant driver panicked")?;
+    let results: Vec<(u64, f64, f64, usize)> = halter
+        .join()
+        .map_err(|_| "tenant driver panicked")?
+        .into_iter()
+        .flatten()
+        .collect();
     let out0 = collect(&daemon);
     let report = daemon.job_report();
     let records = daemon.records();
-    let weights: Vec<(u32, u64)> = svc_config(smoke).weights;
+    let utilization = daemon
+        .gateway()
+        .expect("rank 0 hosts the gateway")
+        .utilization();
 
     // Collective teardown before reaping: the children block in their
     // own `finish()` barrier until rank 0 enters it.
@@ -339,23 +363,40 @@ fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
         per_rank.push(parse_fragment(&text));
     }
     let _ = std::fs::remove_dir_all(&dir);
+    Ok(RunOut {
+        results,
+        report,
+        records,
+        per_rank,
+        utilization,
+    })
+}
 
-    // ---- gates ----------------------------------------------------
+/// Correctness gates one configuration must clear, independent of which
+/// gangs the packer actually chose: 1e-12 energies, a healthy mesh with
+/// zero recovery activity and zero stale reads, well-formed gang fields
+/// on every job (non-empty in-mesh mask of exactly the requested size,
+/// dense per-gang ordinals), and per-rank plan-cache/jobs-run counters
+/// matching what the dispatched gang assignment predicts: a rank runs
+/// exactly the jobs whose mask includes it and builds one plan per
+/// distinct `(gang mask, geometry)` pair it served.
+fn gate_run(label: &str, run: &RunOut, ranks: usize) -> Result<f64, String> {
+    let jobs = run.results.len();
     let mut worst: f64 = 0.0;
-    for (id, e, e_ref) in results.iter().flatten() {
+    for (id, e, e_ref, _) in &run.results {
         let d = tensor_kernels::rel_diff(*e, *e_ref);
         worst = worst.max(d);
         if d >= 1e-12 {
             return Err(format!(
-                "job {id}: energy {e} vs reference {e_ref} ({d:.2e})"
+                "{label}: job {id}: energy {e} vs reference {e_ref} ({d:.2e})"
             ));
         }
     }
-    let sum = |f: &dyn Fn(&RankOut) -> u64| per_rank.iter().map(f).sum::<u64>();
+    let sum = |f: &dyn Fn(&RankOut) -> u64| run.per_rank.iter().map(f).sum::<u64>();
     let recovery = sum(&|o| o.retries + o.timeouts + o.dups);
     if recovery != 0 {
         return Err(format!(
-            "healthy mesh showed recovery activity ({} retries, {} timeouts, {} dups) — \
+            "{label}: healthy mesh showed recovery activity ({} retries, {} timeouts, {} dups) — \
              retry timers must never fire without faults",
             sum(&|o| o.retries),
             sum(&|o| o.timeouts),
@@ -364,52 +405,89 @@ fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
     }
     let stale = sum(&|o| o.stale_reads);
     if stale != 0 {
-        return Err(format!("{stale} cached reads observed stale data"));
+        return Err(format!("{label}: {stale} cached reads observed stale data"));
     }
-    for (r, o) in per_rank.iter().enumerate() {
-        if o.jobs_run != jobs as u64 {
-            return Err(format!("rank {r} executed {} of {jobs} jobs", o.jobs_run));
-        }
-        // Two geometries in the mix (one in smoke): the plan cache must
-        // build each exactly once per rank and hit everywhere else.
-        let want_misses = if smoke { 1 } else { 2 };
-        if o.plan_misses != want_misses || o.plan_hits != jobs as u64 - want_misses {
+    if run.report.len() != jobs || !run.report.iter().all(|m| m.state == svc::JobState::Done) {
+        return Err(format!(
+            "{label}: gateway closed {} of {jobs} jobs",
+            run.report.len()
+        ));
+    }
+
+    // Gang well-formedness against what each job asked for.
+    let full = if ranks == 64 {
+        u64::MAX
+    } else {
+        (1u64 << ranks) - 1
+    };
+    let want_size: HashMap<u64, u32> = run
+        .results
+        .iter()
+        .map(|&(id, _, _, req)| {
+            let size = if req == 0 || req > ranks { ranks } else { req };
+            (id, size as u32)
+        })
+        .collect();
+    let geom: HashMap<u64, u64> = run
+        .results
+        .iter()
+        .map(|&(id, _, e_ref, _)| (id, e_ref.to_bits()))
+        .collect();
+    let mut ordinals: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for m in &run.report {
+        let g = m.gang_mask;
+        if g == 0 || g & !full != 0 || g.count_ones() != want_size[&m.job_id] {
             return Err(format!(
-                "rank {r}: plan cache {}h/{}m, expected {}h/{want_misses}m — \
-                 repeat submissions are not reusing plans",
-                o.plan_hits,
-                o.plan_misses,
-                jobs as u64 - want_misses,
+                "{label}: job {} requested {} ranks but ran on malformed gang {g:#b}",
+                m.job_id, want_size[&m.job_id]
+            ));
+        }
+        ordinals.entry(g).or_default().push(m.ordinal);
+    }
+    for (g, mut ords) in ordinals {
+        ords.sort_unstable();
+        if ords.iter().enumerate().any(|(i, &o)| o != i as u64) {
+            return Err(format!(
+                "{label}: gang {g:#b} ordinals not dense from zero: {ords:?}"
             ));
         }
     }
 
-    // ---- aggregates ------------------------------------------------
-    let done = |m: &svc::JobMeta| m.state == svc::JobState::Done;
-    if !report.iter().all(done) || report.len() != jobs {
-        return Err(format!("gateway closed {} of {jobs} jobs", report.len()));
+    // Per-rank execution and plan-cache counters, predicted from the
+    // actual gang assignment.
+    for (r, o) in run.per_rank.iter().enumerate() {
+        let mine: Vec<&svc::JobMeta> = run
+            .report
+            .iter()
+            .filter(|m| m.gang_mask >> r & 1 == 1)
+            .collect();
+        let plans: HashSet<(u64, u64)> = mine
+            .iter()
+            .map(|m| (m.gang_mask, geom[&m.job_id]))
+            .collect();
+        let (want_jobs, want_misses) = (mine.len() as u64, plans.len() as u64);
+        if o.jobs_run != want_jobs {
+            return Err(format!(
+                "{label}: rank {r} executed {} jobs, its gangs carried {want_jobs}",
+                o.jobs_run
+            ));
+        }
+        if o.plan_misses != want_misses || o.plan_hits != want_jobs - want_misses {
+            return Err(format!(
+                "{label}: rank {r}: plan cache {}h/{}m, expected {}h/{want_misses}m — \
+                 repeat submissions are not reusing gang-scoped plans",
+                o.plan_hits,
+                o.plan_misses,
+                want_jobs - want_misses,
+            ));
+        }
     }
-    let t_first = report.iter().map(|m| m.submitted_ns).min().unwrap_or(0);
-    let t_last = report.iter().map(|m| m.done_ns).max().unwrap_or(0);
-    let span_s = (t_last.saturating_sub(t_first)) as f64 / 1e9;
-    let jobs_per_sec = if span_s > 0.0 {
-        jobs as f64 / span_s
-    } else {
-        0.0
-    };
-    let mut lat: Vec<u64> = report.iter().map(|m| m.done_ns - m.submitted_ns).collect();
-    lat.sort_unstable();
-    let mut qwait: Vec<u64> = report
-        .iter()
-        .map(|m| m.dispatched_ns - m.submitted_ns)
-        .collect();
-    qwait.sort_unstable();
 
-    // The plan-cache effect, measured on rank 0's own records: a hit
-    // job's build phase (lookup + graph reuse) against a miss job's
-    // (inspection, array materialization, fills, graph build).
+    // The plan-cache effect on rank 0's own records: a hit job's build
+    // phase must be far cheaper than a miss's collective build.
     let build_avg = |hit: bool| {
-        let v: Vec<u64> = records
+        let v: Vec<u64> = run
+            .records
             .iter()
             .filter(|j| j.plan_hit == hit)
             .map(|j| j.build_ns)
@@ -421,87 +499,263 @@ fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
         }
     };
     let (miss_build, hit_build) = (build_avg(false), build_avg(true));
-    if hit_build * 5.0 >= miss_build {
+    if hit_build > 0.0 && miss_build > 0.0 && hit_build * 5.0 >= miss_build {
         return Err(format!(
-            "plan hits are not cheap: hit build {:.3} ms vs miss build {:.3} ms",
+            "{label}: plan hits are not cheap: hit build {:.3} ms vs miss build {:.3} ms",
             hit_build / 1e6,
             miss_build / 1e6
         ));
     }
+    Ok(worst)
+}
 
-    // Per-tenant shares: dispatch counts against the weighted ideal.
-    let total_w: u64 = weights.iter().map(|&(_, w)| w).sum();
-    let mut tenant_rows = Vec::new();
-    for &(tenant, weight) in &weights {
-        let mut tl: Vec<u64> = report
+/// Headline numbers of one configuration: `(jobs/sec, small-job p50 ms,
+/// JSON object)`. Also prints the human summary.
+fn config_stats(
+    label: &str,
+    run: &RunOut,
+    gang: usize,
+    e_small: f64,
+    weights: &[(u32, u64)],
+) -> (f64, f64, String) {
+    let jobs = run.results.len();
+    let t_first = run.report.iter().map(|m| m.submitted_ns).min().unwrap_or(0);
+    let t_last = run.report.iter().map(|m| m.done_ns).max().unwrap_or(0);
+    let span_s = (t_last.saturating_sub(t_first)) as f64 / 1e9;
+    let jobs_per_sec = if span_s > 0.0 {
+        jobs as f64 / span_s
+    } else {
+        0.0
+    };
+    let lat_of = |ids: &HashSet<u64>| {
+        let mut v: Vec<u64> = run
+            .report
             .iter()
-            .filter(|m| m.tenant == tenant)
+            .filter(|m| ids.contains(&m.job_id))
             .map(|m| m.done_ns - m.submitted_ns)
             .collect();
-        tl.sort_unstable();
+        v.sort_unstable();
+        v
+    };
+    let all: HashSet<u64> = run.results.iter().map(|r| r.0).collect();
+    let small: HashSet<u64> = run
+        .results
+        .iter()
+        .filter(|r| r.2 == e_small)
+        .map(|r| r.0)
+        .collect();
+    let large: HashSet<u64> = all.difference(&small).copied().collect();
+    let (lat, lat_s, lat_l) = (lat_of(&all), lat_of(&small), lat_of(&large));
+    let mut qwait: Vec<u64> = run
+        .report
+        .iter()
+        .map(|m| m.dispatched_ns - m.submitted_ns)
+        .collect();
+    qwait.sort_unstable();
+
+    let sum = |f: &dyn Fn(&RankOut) -> u64| run.per_rank.iter().map(f).sum::<u64>();
+    let (hits, misses, builds, evictions) = (
+        sum(&|o| o.plan_hits),
+        sum(&|o| o.plan_misses),
+        sum(&|o| o.graph_builds),
+        sum(&|o| o.plan_evictions),
+    );
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let build_avg = |hit: bool| {
+        let v: Vec<u64> = run
+            .records
+            .iter()
+            .filter(|j| j.plan_hit == hit)
+            .map(|j| j.build_ns)
+            .collect();
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        }
+    };
+    let (miss_build, hit_build) = (build_avg(false), build_avg(true));
+    let util: Vec<String> = run.utilization.iter().map(|u| format!("{u:.4}")).collect();
+
+    let total_w: u64 = weights.iter().map(|&(_, w)| w).sum();
+    let mut tenant_rows = Vec::new();
+    for &(tenant, weight) in weights {
+        let tids: HashSet<u64> = run
+            .report
+            .iter()
+            .filter(|m| m.tenant == tenant)
+            .map(|m| m.job_id)
+            .collect();
+        let tl = lat_of(&tids);
         let n = tl.len();
         let share = n as f64 / jobs as f64;
         let ideal = weight as f64 / total_w as f64;
-        println!(
-            "tenant {tenant} (weight {weight}): {n} jobs, share {share:.3} (weighted ideal {ideal:.3}), p50 {:.1} ms, p99 {:.1} ms",
-            percentile_ms(&tl, 50.0),
-            percentile_ms(&tl, 99.0),
-        );
         tenant_rows.push(format!(
-            "    {{\"tenant\": {tenant}, \"weight\": {weight}, \"jobs\": {n}, \"share\": {share:.6}, \"weighted_ideal\": {ideal:.6}, \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}}}}",
+            "      {{\"tenant\": {tenant}, \"weight\": {weight}, \"jobs\": {n}, \"share\": {share:.6}, \"weighted_ideal\": {ideal:.6}, \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}}}}",
             percentile_ms(&tl, 50.0),
             percentile_ms(&tl, 99.0),
         ));
     }
 
-    let (hits, misses, builds) = (
-        sum(&|o| o.plan_hits),
-        sum(&|o| o.plan_misses),
-        sum(&|o| o.graph_builds),
-    );
-    let hit_rate = hits as f64 / (hits + misses) as f64;
+    let small_p50 = percentile_ms(&lat_s, 50.0);
     println!(
-        "{jobs} jobs over {ranks} ranks: {jobs_per_sec:.2} jobs/s  latency p50 {:.1} ms p99 {:.1} ms  queue wait p50 {:.1} ms",
+        "[{label}] {jobs} jobs: {jobs_per_sec:.2} jobs/s  latency p50 {:.1} ms p99 {:.1} ms  \
+         queue wait p50 {:.1} ms  small-job p50 {small_p50:.1} ms ({} jobs)",
         percentile_ms(&lat, 50.0),
         percentile_ms(&lat, 99.0),
         percentile_ms(&qwait, 50.0),
+        lat_s.len(),
     );
     println!(
-        "plan cache: hit rate {hit_rate:.3} ({hits} hits / {misses} misses, {builds} graph builds)  hit build {:.2} ms vs miss build {:.2} ms ({:.0}x)",
+        "[{label}] plan cache: hit rate {hit_rate:.3} ({hits}h/{misses}m, {builds} graph builds, \
+         {evictions} evictions)  hit build {:.2} ms vs miss build {:.2} ms  utilization [{}]",
         hit_build / 1e6,
         miss_build / 1e6,
-        miss_build / hit_build.max(1.0),
+        util.join(", "),
     );
-    println!(
-        "warm cache: {} tile hits, {} retained across syncs, {} stale (verify {})",
-        sum(&|o| o.cache_hits),
-        sum(&|o| o.cache_retained),
-        stale,
-        smoke,
-    );
-
-    if smoke {
-        println!(
-            "SERVICE SMOKE OK: {jobs} jobs, 2 tenants, worst rel diff {worst:.2e}, \
-             0 retries, 0 stale reads, {hits} plan hits"
-        );
-        return Ok(());
-    }
 
     let json = format!(
-        "{{\n  \"ranks\": {ranks},\n  \"scale\": \"{scale}\",\n  \"secondary_scale\": \"small\",\n  \"jobs\": {jobs},\n  \"threads_per_job\": {threads},\n  \"max_open\": 2,\n  \"reference_energy\": {e_primary:.17e},\n  \"worst_energy_rel_diff\": {worst:.3e},\n  \"throughput_jobs_per_sec\": {jobs_per_sec:.4},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}},\n  \"queue_wait_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}},\n  \"plan_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"graph_builds\": {builds}, \"hit_rate\": {hit_rate:.6}}},\n  \"plan_effect\": {{\"miss_build_ms\": {:.3}, \"hit_build_ms\": {:.3}, \"build_speedup\": {:.1}}},\n  \"tile_cache\": {{\"hits\": {}, \"misses\": {}, \"retained\": {}}},\n  \"ga_remote_bytes\": {},\n  \"recovery\": {{\"retries\": 0, \"timeouts\": 0, \"dups\": 0}},\n  \"tenants\": [\n{}\n  ]\n}}\n",
+        "{{\n    \"gang_size\": {gang},\n    \"jobs\": {jobs},\n    \"throughput_jobs_per_sec\": {jobs_per_sec:.4},\n    \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}},\n    \"queue_wait_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}},\n    \"small_jobs\": {{\"count\": {}, \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}}}},\n    \"large_jobs\": {{\"count\": {}, \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}}}},\n    \"plan_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}, \"graph_builds\": {builds}, \"hit_rate\": {hit_rate:.6}}},\n    \"plan_effect\": {{\"miss_build_ms\": {:.3}, \"hit_build_ms\": {:.3}}},\n    \"tile_cache\": {{\"hits\": {}, \"misses\": {}, \"retained\": {}}},\n    \"ga_remote_bytes\": {},\n    \"steal_prefetched_bytes\": {},\n    \"rank_utilization\": [{}],\n    \"recovery\": {{\"retries\": 0, \"timeouts\": 0, \"dups\": 0}},\n    \"tenants\": [\n{}\n    ]\n  }}",
         percentile_ms(&lat, 50.0),
         percentile_ms(&lat, 99.0),
         percentile_ms(&qwait, 50.0),
         percentile_ms(&qwait, 99.0),
+        lat_s.len(),
+        small_p50,
+        percentile_ms(&lat_s, 99.0),
+        lat_l.len(),
+        percentile_ms(&lat_l, 50.0),
+        percentile_ms(&lat_l, 99.0),
         miss_build / 1e6,
         hit_build / 1e6,
-        miss_build / hit_build.max(1.0),
         sum(&|o| o.cache_hits),
         sum(&|o| o.cache_misses),
         sum(&|o| o.cache_retained),
         sum(&|o| o.ga_remote_bytes),
+        sum(&|o| o.steal_prefetched_bytes),
+        util.join(", "),
         tenant_rows.join(",\n"),
+    );
+    (jobs_per_sec, small_p50, json)
+}
+
+/// The deterministic smoke mix, driven from a single thread so the
+/// packing is reproducible: two 2-rank-gang tiny jobs submitted
+/// back-to-back (they pack onto disjoint gangs and run concurrently),
+/// then one full-mesh job per tenant.
+fn smoke_mix(e_tiny: f64, threads: usize) -> Vec<Vec<(JobSpec, f64)>> {
+    let spec = |tenant: u32, ranks: usize, variant| {
+        (
+            JobSpec {
+                tenant,
+                space: tce::scale::tiny(),
+                kernels: vec![tce::Kernel::T2_7],
+                variant,
+                threads,
+                prefetch: true,
+                ranks,
+            },
+            e_tiny,
+        )
+    };
+    vec![vec![
+        spec(1, 2, Variant::V5),
+        spec(2, 2, Variant::V5),
+        spec(1, 0, Variant::V3),
+        spec(2, 0, Variant::V5),
+    ]]
+}
+
+fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
+    let smoke = has_flag(args, "--smoke");
+    let threads: usize = arg_value(args, "--threads")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(2);
+    let weights = svc_config(smoke).weights;
+
+    if smoke {
+        let e_tiny = reference(&tce::scale::tiny());
+        eprintln!("# reference energy (tiny): {e_tiny:.15}");
+        let run = run_service(ranks, port, true, smoke_mix(e_tiny, threads))?;
+        let worst = gate_run("smoke", &run, ranks)?;
+        let masks: Vec<u64> = run.report.iter().map(|m| m.gang_mask).collect();
+        let sub: Vec<u64> = masks
+            .iter()
+            .filter(|m| m.count_ones() == 2)
+            .copied()
+            .collect();
+        if sub.len() != 2 {
+            return Err(format!(
+                "smoke: expected two 2-rank-gang jobs, got {masks:?}"
+            ));
+        }
+        let sum = |f: &dyn Fn(&RankOut) -> u64| run.per_rank.iter().map(f).sum::<u64>();
+        println!(
+            "SERVICE SMOKE OK: {} jobs, 2 tenants, gangs {:#b}/{:#b}, worst rel diff {worst:.2e}, \
+             0 retries, 0 stale reads, {} plan hits",
+            run.results.len(),
+            sub[0],
+            sub[1],
+            sum(&|o| o.plan_hits),
+        );
+        return Ok(());
+    }
+
+    let scale = arg_value(args, "--scale").unwrap_or_else(|| "medium".into());
+    let jobs: usize = arg_value(args, "--jobs")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(12);
+    let gang: usize = arg_value(args, "--gangs")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(2);
+    let primary = scale_of(&scale);
+    let small = scale_of("small");
+    // In-process ground truth before any socket work.
+    let e_primary = reference(&primary);
+    let e_small = if scale == "small" {
+        e_primary
+    } else {
+        reference(&small)
+    };
+    eprintln!("# reference energies: {scale} {e_primary:.15}, small {e_small:.15}");
+
+    // The sweep: one global gang (every job full-mesh), then small jobs
+    // on `gang`-rank gangs. Fresh mesh per configuration on disjoint
+    // port windows.
+    let base_run = run_service(
+        ranks,
+        port,
+        false,
+        job_mix(jobs, &primary, &small, e_primary, e_small, threads, 0),
+    )?;
+    let base_worst = gate_run("baseline", &base_run, ranks)?;
+    let gang_run = run_service(
+        ranks,
+        port + 64,
+        false,
+        job_mix(jobs, &primary, &small, e_primary, e_small, threads, gang),
+    )?;
+    let gang_worst = gate_run("gangs", &gang_run, ranks)?;
+
+    let (base_jps, base_sp50, base_json) =
+        config_stats("baseline", &base_run, ranks, e_small, &weights);
+    let (gang_jps, gang_sp50, gang_json) = config_stats(
+        &format!("{gang}-rank gangs"),
+        &gang_run,
+        gang,
+        e_small,
+        &weights,
+    );
+    let jps_gain = gang_jps / base_jps.max(f64::MIN_POSITIVE);
+    let sp50_speedup = base_sp50 / gang_sp50.max(f64::MIN_POSITIVE);
+    println!(
+        "gang win: {jps_gain:.2}x jobs/sec ({base_jps:.2} -> {gang_jps:.2}), \
+         {sp50_speedup:.2}x small-job p50 ({base_sp50:.1} ms -> {gang_sp50:.1} ms)"
+    );
+
+    let json = format!(
+        "{{\n  \"ranks\": {ranks},\n  \"scale\": \"{scale}\",\n  \"small_scale\": \"small\",\n  \"jobs\": {jobs},\n  \"threads_per_job\": {threads},\n  \"max_open\": 2,\n  \"reference_energy\": {e_primary:.17e},\n  \"worst_energy_rel_diff\": {:.3e},\n  \"baseline\": {base_json},\n  \"gangs\": {gang_json},\n  \"gang_win\": {{\"jobs_per_sec_gain\": {jps_gain:.4}, \"small_job_p50_speedup\": {sp50_speedup:.4}}}\n}}\n",
+        base_worst.max(gang_worst),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;

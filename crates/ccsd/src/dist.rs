@@ -14,10 +14,10 @@
 //! order, like an SPMD MPI program.
 
 use crate::ctx::VariantCfg;
-use crate::steal::{ChainSource, StealConfig, StealSummary};
+use crate::steal::{ChainSource, PrefetchFn, StealConfig, StealSummary};
 use crate::variants::{build_graph_dist, build_graph_external};
 use comm::{CommConfig, Endpoint, Transport};
-use global_arrays::{DistStore, Ga, TileCacheConfig};
+use global_arrays::{DistStore, Ga, GangView, TileCacheConfig};
 use parsec_rt::{CoarseRuntime, NativeReport, NativeRuntime, SchedPolicy, TilePool};
 use ptg::TaskGraph;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,9 +26,10 @@ use tce::{Inspection, Kernel, TileSpace, Workspace};
 
 /// Outcome of one collective variant execution on one rank.
 pub struct DistRun {
-    /// The correlation-energy surrogate, computed on rank 0 only (the
-    /// other ranks return `None`); gathered over the wire from every
-    /// rank's output shard.
+    /// The correlation-energy surrogate, computed on the gang leader
+    /// only — logical node 0, i.e. rank 0 for a full-mesh run — (the
+    /// other members return `None`); gathered over the wire from every
+    /// member's output shard.
     pub energy: Option<f64>,
     /// This rank's engine report (worker spans on the shared comm
     /// timeline, tagged with this rank's node id).
@@ -116,7 +117,10 @@ impl DistRank {
         pool: Arc<TilePool>,
         run_epoch: Arc<AtomicU64>,
     ) -> Self {
-        let ins = Arc::new(tce::inspect_kernels(space, ep.nranks(), kernels));
+        // Inspection is over the *gang's* logical nodes, not the mesh:
+        // a job gang of 2 on a 4-rank daemon shards its tensors 2 ways,
+        // and every collective below scopes to the gang's members.
+        let ins = Arc::new(tce::inspect_kernels(space, ga.nnodes(), kernels));
         let ws = Arc::new(tce::build_workspace_on(ga, space, kernels));
         // Fills are one-sided puts into local shards; the sync makes
         // every tensor globally visible before anyone reads.
@@ -138,6 +142,22 @@ impl DistRank {
     /// Ranks in the job.
     pub fn nranks(&self) -> usize {
         self.ep.nranks()
+    }
+
+    /// The gang this instance's workspace is scoped to (the full mesh
+    /// unless attached over a [`Ga::dist_share_gang`] view).
+    fn view(&self) -> &GangView {
+        self.ws
+            .ga
+            .gang_view()
+            .expect("DistRank runs the distributed backend")
+    }
+
+    /// This rank's gang-logical node index: chain placement, graph
+    /// filtering, and the steal ring all use this, so a job on ranks
+    /// {2,3} executes identically to one on ranks {0,1}.
+    fn my_node(&self) -> usize {
+        self.view().my_node
     }
 
     /// The communication endpoint (stats, latencies, trace spans).
@@ -196,9 +216,33 @@ impl DistRank {
             cfg,
             Some(self.ws.clone()),
             self.pool.clone(),
-            Some(self.rank()),
+            Some(self.my_node()),
             prefetch,
         )
+    }
+
+    /// Operand prefetcher for granted steal chains: warms the tile
+    /// cache for every GEMM operand of the chain through
+    /// [`Ga::prefetch`] (misses start coalescable fills; the worker that
+    /// later expands the grant joins them instead of paying a cold
+    /// fetch) and reports the bytes requested. Runs on the comm thread
+    /// inside the steal-reply callback, so the transfers are in flight
+    /// before any worker wakes — which is also why it must use the
+    /// non-delivering prefetch entry point and never a blocking get.
+    fn grant_prefetcher(&self) -> PrefetchFn {
+        let ws = self.ws.clone();
+        let ins = self.ins.clone();
+        Box::new(move |l1: i64| {
+            let mut bytes = 0u64;
+            for g in &ins.chains[l1 as usize].gemms {
+                let (a, _) = ws.tensor(g.a_tensor);
+                let (b, _) = ws.tensor(g.b_tensor);
+                ws.ga.prefetch(a, g.a_offset, g.a_len, 0);
+                ws.ga.prefetch(b, g.b_offset, g.b_len, 0);
+                bytes += ((g.a_len + g.b_len) * 8) as u64;
+            }
+            bytes
+        })
     }
 
     /// Collectively execute a prebuilt graph (see
@@ -214,17 +258,26 @@ impl DistRank {
     ) -> DistRun {
         self.reset_output();
         let epoch = self.run_epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        let source = ChainSource::new(self.ep.clone(), self.ins.clone(), cfg, scfg, epoch);
+        let source = ChainSource::new(
+            self.ep.clone(),
+            self.ins.clone(),
+            cfg,
+            scfg,
+            epoch,
+            self.view().clone(),
+            Some(self.grant_prefetcher()),
+        );
         // The comm thread donates from the same ledger the workers claim
         // from: thief and victim roles share one object.
         self.ep.set_steal_handler(Some(source.clone()));
         // A probe that lands before the victim installs its handler is
         // answered dry, and dry is sticky — a full ledger would be
-        // skipped for the whole run. Barrier so every handler is live
+        // skipped for the whole run. Barrier (gang-scoped: only this
+        // job's members probe each other) so every handler is live
         // before any rank's engine starts probing. (The symmetric
         // teardown race is benign: a rank that finished its run has a
         // drained ledger, so its dry answer is truthful.)
-        self.ep.barrier();
+        self.ep.barrier_gang(self.view().mask);
         let policy = if cfg.priorities {
             SchedPolicy::PriorityFifo
         } else {
@@ -232,7 +285,7 @@ impl DistRank {
         };
         let report = NativeRuntime::new(threads)
             .policy(policy)
-            .node(self.rank() as u32)
+            .node(self.my_node() as u32)
             .epoch(self.ep.epoch())
             .source(source.clone())
             .run(graph);
@@ -252,7 +305,7 @@ impl DistRank {
             cfg,
             Some(self.ws.clone()),
             self.pool.clone(),
-            Some(self.rank()),
+            Some(self.my_node()),
             false,
         );
         let policy = if cfg.priorities {
@@ -265,13 +318,15 @@ impl DistRank {
     }
 
     /// Post-run collective: flush outstanding accumulates everywhere,
-    /// compute the energy on rank 0 (remote shards gathered over the
-    /// wire), and hold the other ranks back until it is read — their
-    /// next `reset_output` would otherwise clear shards mid-gather.
+    /// compute the energy on the gang leader (remote shards gathered
+    /// over the wire), and hold the other members back until it is read
+    /// — their next `reset_output` would otherwise clear shards
+    /// mid-gather. Gang-scoped throughout, so concurrent jobs on
+    /// disjoint gangs settle independently.
     fn settle(&self, report: NativeReport, steal: StealSummary) -> DistRun {
         self.ws.ga.sync();
-        let energy = (self.rank() == 0).then(|| tce::energy(&self.ws));
-        self.ep.barrier();
+        let energy = (self.my_node() == 0).then(|| tce::energy(&self.ws));
+        self.ep.barrier_gang(self.view().mask);
         DistRun {
             energy,
             report,

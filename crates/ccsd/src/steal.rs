@@ -24,11 +24,18 @@
 use crate::ctx::VariantCfg;
 use crate::variants::{DFILL, READ_A, READ_B};
 use comm::Endpoint;
+use global_arrays::GangView;
 use parsec_rt::{IdleGate, SourcePoll, WorkSource};
 use ptg::TaskKey;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use tce::Inspection;
+
+/// Operand-prefetch hook for granted steal chains: given a chain index,
+/// issue asynchronous gets for its operand blocks (warming the tile
+/// cache before the chain's reader tasks run) and return the bytes
+/// requested. Installed by the layer that owns the workspace.
+pub type PrefetchFn = Box<dyn Fn(i64) -> u64 + Send + Sync>;
 
 /// Tuning knobs of the cross-rank steal protocol.
 #[derive(Debug, Clone, Copy)]
@@ -97,6 +104,10 @@ pub struct StealSummary {
     /// Probes answered with zero chains; each marks its victim dry, so
     /// `probes_sent - dry_replies` is the number of granted probes.
     pub dry_replies: u64,
+    /// Operand bytes requested by the grant-time prefetcher (async gets
+    /// for the first granted chain's blocks, issued before the chain's
+    /// reader tasks execute).
+    pub prefetched_bytes: u64,
 }
 
 /// Operand + output footprint of chain `l1`: what a thief must move (or
@@ -236,6 +247,13 @@ pub struct ChainSource {
     cfg: VariantCfg,
     scfg: StealConfig,
     epoch: u64,
+    /// The job's rank gang: ledger partitioning, the victim ring, and
+    /// wire targets all work in gang-logical node indices, so a job
+    /// running on ranks {2,3} steals exactly as one on ranks {0,1}.
+    view: GangView,
+    /// Grant-time operand prefetcher (warms the tile cache for the first
+    /// granted chain before its reader tasks run).
+    prefetch: Option<PrefetchFn>,
     ledger: Arc<ChainLedger>,
     state: Mutex<SourceState>,
     gate: Mutex<Option<Arc<IdleGate>>>,
@@ -243,36 +261,41 @@ pub struct ChainSource {
     stolen_bytes: AtomicU64,
     probes_sent: AtomicU64,
     dry_replies: AtomicU64,
+    prefetched_bytes: AtomicU64,
     /// Self-reference so `poll(&self)` can hand the steal callback an
     /// owning clone (the engine holds us as `Arc<dyn WorkSource>`).
     weak: Weak<ChainSource>,
 }
 
 impl ChainSource {
-    /// Source for one collective run at `epoch` (the per-rank run
-    /// counter; victims in a different run answer dry).
+    /// Source for one collective run at `epoch` (the globally-unique run
+    /// ordinal; victims in a different run — including every rank of a
+    /// *different* gang's job — answer dry).
     pub fn new(
         ep: Arc<Endpoint>,
         ins: Arc<Inspection>,
         cfg: VariantCfg,
         scfg: StealConfig,
         epoch: u64,
+        view: GangView,
+        prefetch: Option<PrefetchFn>,
     ) -> Arc<Self> {
-        let nranks = ep.nranks();
-        let rank = ep.rank();
-        let ledger = Arc::new(ChainLedger::new(&ins, rank, nranks));
+        let nodes = view.members.len();
+        let ledger = Arc::new(ChainLedger::new(&ins, view.my_node, nodes));
         Arc::new_cyclic(|weak| Self {
             ep,
             ins,
             cfg,
             scfg,
             epoch,
+            view,
+            prefetch,
             ledger,
             state: Mutex::new(SourceState {
                 granted: Vec::new(),
                 inflight: 0,
-                dry: vec![false; nranks],
-                probing: vec![false; nranks],
+                dry: vec![false; nodes],
+                probing: vec![false; nodes],
                 first_poll_done: false,
             }),
             gate: Mutex::new(None),
@@ -280,6 +303,7 @@ impl ChainSource {
             stolen_bytes: AtomicU64::new(0),
             probes_sent: AtomicU64::new(0),
             dry_replies: AtomicU64::new(0),
+            prefetched_bytes: AtomicU64::new(0),
             weak: weak.clone(),
         })
     }
@@ -294,6 +318,7 @@ impl ChainSource {
             stolen_bytes: self.stolen_bytes.load(Ordering::Relaxed),
             probes_sent: self.probes_sent.load(Ordering::Relaxed),
             dry_replies: self.dry_replies.load(Ordering::Relaxed),
+            prefetched_bytes: self.prefetched_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -305,21 +330,24 @@ impl ChainSource {
         out
     }
 
-    /// Nearest peer on the rank ring not yet known dry and not already
-    /// being probed (fan-out never doubles up on one victim).
+    /// Nearest peer on the *gang-logical* node ring not yet known dry
+    /// and not already being probed (fan-out never doubles up on one
+    /// victim). A solo gang has no ring and never probes.
     fn next_victim(&self, st: &SourceState) -> Option<usize> {
-        let (rank, nranks) = (self.ep.rank(), self.ep.nranks());
-        (1..nranks)
-            .map(|d| (rank + d) % nranks)
+        let (me, nodes) = (self.view.my_node, self.view.members.len());
+        (1..nodes)
+            .map(|d| (me + d) % nodes)
             .find(|&p| !st.dry[p] && !st.probing[p])
     }
 
-    /// Post a StealRequest to `victim`; the reply lands on the comm
-    /// thread, which banks the grant and wakes the parked workers.
+    /// Post a StealRequest to logical node `victim` (wire target is the
+    /// gang member's real rank); the reply lands on the comm thread,
+    /// which banks the grant, prefetches the first granted chain's
+    /// operands, and wakes the parked workers.
     fn post_steal(&self, victim: usize) {
         let this = self.weak.upgrade().expect("source polled while alive");
         self.ep.steal_async(
-            victim,
+            self.view.members[victim],
             self.epoch,
             self.scfg.limit,
             Box::new(move |chains: Vec<u64>| {
@@ -340,6 +368,14 @@ impl ChainSource {
                     st.granted.extend(chains.iter().map(|&c| c as i64));
                 }
                 drop(st);
+                // Warm the tile cache for the head of the grant before any
+                // worker wakes to expand it: by the time the chain's reader
+                // tasks run, their operand gets coalesce onto (or hit) the
+                // transfers posted here.
+                if let (Some(pf), Some(&head)) = (this.prefetch.as_ref(), chains.first()) {
+                    let bytes = pf(head as i64);
+                    this.prefetched_bytes.fetch_add(bytes, Ordering::Relaxed);
+                }
                 if let Some(g) = this.gate.lock().unwrap().clone() {
                     g.notify_all();
                 }
@@ -415,8 +451,16 @@ impl comm::StealHandler for ChainSource {
         if epoch != self.epoch {
             return Vec::new(); // thief is in a different collective run
         }
+        // The wire hands us the thief's *real* rank; locality scoring
+        // wants its gang-logical node. A non-member thief (stale probe
+        // from another gang's job) is answered dry — epochs are globally
+        // unique so the epoch check already rejects it, but a second
+        // fence costs nothing.
+        let Some(node) = self.view.members.iter().position(|&r| r == thief) else {
+            return Vec::new();
+        };
         self.ledger
-            .donate(&self.ins, thief, limit as usize)
+            .donate(&self.ins, node, limit as usize)
             .into_iter()
             .map(|l1| l1 as u64)
             .collect()

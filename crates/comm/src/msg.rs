@@ -126,17 +126,21 @@ pub enum Msg {
     NxtValReset { token: u64, seq: u64 },
     /// Reset applied.
     ResetAck { token: u64 },
-    /// Rank `from` entered barrier `epoch` (sent to rank 0).
-    BarrierEnter { epoch: u64, from: u32 },
-    /// All ranks entered barrier `epoch` (broadcast by rank 0).
-    BarrierRelease { epoch: u64 },
-    /// Rank `from` confirms receipt of the release of `epoch` (sent to
-    /// rank 0). Releases are fire-and-forget on their first posting; the
-    /// counter rank keeps re-releasing to unconfirmed ranks from its
-    /// retry sweep and holds its own teardown until every rank has
-    /// acked, so a lost release cannot strand a waiter against a dead
-    /// counter (see `Endpoint::shutdown`).
-    BarrierAck { epoch: u64, from: u32 },
+    /// Rank `from` entered barrier `epoch` of the rank group `gang` (a
+    /// bitmask of participating ranks; sent to the group's leader — its
+    /// lowest member rank). `gang == full mesh` is the classic global
+    /// barrier counted on rank 0.
+    BarrierEnter { epoch: u64, from: u32, gang: u64 },
+    /// All members of `gang` entered barrier `epoch` (broadcast by the
+    /// group leader to the members).
+    BarrierRelease { epoch: u64, gang: u64 },
+    /// Rank `from` confirms receipt of the release of `epoch` in group
+    /// `gang` (sent to the group leader). Releases are fire-and-forget
+    /// on their first posting; the counter rank keeps re-releasing to
+    /// unconfirmed members from its retry sweep and holds its own
+    /// teardown until every member has acked, so a lost release cannot
+    /// strand a waiter against a dead counter (see `Endpoint::shutdown`).
+    BarrierAck { epoch: u64, from: u32, gang: u64 },
     /// Batched read: several same-destination gets packed into one frame.
     /// `token` identifies the whole batch — it retries, dedups and
     /// completes as a single unit; parts are matched to their requests by
@@ -546,19 +550,22 @@ impl Msg {
                 w.u8(T_RESET_ACK);
                 w.u64(*token);
             }
-            Msg::BarrierEnter { epoch, from } => {
+            Msg::BarrierEnter { epoch, from, gang } => {
                 w.u8(T_BARRIER_ENTER);
                 w.u64(*epoch);
                 w.u32(*from);
+                w.u64(*gang);
             }
-            Msg::BarrierRelease { epoch } => {
+            Msg::BarrierRelease { epoch, gang } => {
                 w.u8(T_BARRIER_RELEASE);
                 w.u64(*epoch);
+                w.u64(*gang);
             }
-            Msg::BarrierAck { epoch, from } => {
+            Msg::BarrierAck { epoch, from, gang } => {
                 w.u8(T_BARRIER_ACK);
                 w.u64(*epoch);
                 w.u32(*from);
+                w.u64(*gang);
             }
             Msg::MultiGet { token, parts } => {
                 w.u8(T_MULTI_GET);
@@ -741,11 +748,16 @@ impl Msg {
             T_BARRIER_ENTER => Msg::BarrierEnter {
                 epoch: r.u64()?,
                 from: r.u32()?,
+                gang: r.u64()?,
             },
-            T_BARRIER_RELEASE => Msg::BarrierRelease { epoch: r.u64()? },
+            T_BARRIER_RELEASE => Msg::BarrierRelease {
+                epoch: r.u64()?,
+                gang: r.u64()?,
+            },
             T_BARRIER_ACK => Msg::BarrierAck {
                 epoch: r.u64()?,
                 from: r.u32()?,
+                gang: r.u64()?,
             },
             T_MULTI_GET => {
                 let token = r.u64()?;
@@ -902,9 +914,20 @@ mod tests {
                 token: 7,
                 data: vec![1.5, -2.5],
             },
-            Msg::BarrierEnter { epoch: 3, from: 2 },
-            Msg::BarrierRelease { epoch: 3 },
-            Msg::BarrierAck { epoch: 3, from: 2 },
+            Msg::BarrierEnter {
+                epoch: 3,
+                from: 2,
+                gang: 0b1111,
+            },
+            Msg::BarrierRelease {
+                epoch: 3,
+                gang: 0b0011,
+            },
+            Msg::BarrierAck {
+                epoch: 3,
+                from: 2,
+                gang: 0b1100,
+            },
         ];
         for m in msgs {
             assert_eq!(Msg::decode(&m.encode()).unwrap(), m);

@@ -515,18 +515,47 @@ struct JobDoneWait {
     retry: Retry,
 }
 
+/// The full-mesh gang mask: one bit per rank. This is the group the
+/// plain [`Endpoint::barrier`] collective runs over; smaller masks name
+/// job gangs (disjoint rank subsets running concurrently).
+pub fn full_mask(nranks: usize) -> u64 {
+    debug_assert!(nranks <= 64);
+    if nranks == 64 {
+        u64::MAX
+    } else {
+        (1u64 << nranks) - 1
+    }
+}
+
+/// The gang's leader: its lowest member rank, which hosts the barrier
+/// counter (and the gang's NXTVAL counter / energy gather at the layers
+/// above).
+pub fn mask_leader(mask: u64) -> usize {
+    debug_assert_ne!(mask, 0);
+    mask.trailing_zeros() as usize
+}
+
+/// Member ranks of a gang mask, ascending.
+pub fn mask_members(mask: u64) -> impl Iterator<Item = usize> {
+    (0..64usize).filter(move |r| mask & (1u64 << r) != 0)
+}
+
+/// One rank group's barrier protocol state. Every gang mask gets its own
+/// independent epoch chain and its own counter rank (the group leader),
+/// so concurrent jobs on disjoint gangs never serialize through a shared
+/// barrier counter.
 #[derive(Default)]
-struct BarrierState {
+struct BarrierGroup {
     next: u64,
     released: u64,
     /// Local barrier entries awaiting release, with retransmit state.
     enters: HashMap<u64, Retry>,
-    /// Rank 0 only: distinct ranks seen per pending epoch.
+    /// Leader only: distinct ranks seen per pending epoch.
     entered: HashMap<u64, HashSet<u32>>,
-    /// Rank 0 only: highest epoch already released; a late re-entry for
+    /// Leader only: highest epoch already released; a late re-entry for
     /// it means the release frame was lost — resend to that rank alone.
     last_released: u64,
-    /// Rank 0 only: the epoch of the newest release awaiting
+    /// Leader only: the epoch of the newest release awaiting
     /// confirmation, and the ranks that acked it. The sweep re-releases
     /// to the unconfirmed rest, and shutdown drains the set before
     /// stopping the progress thread — otherwise a lost release strands
@@ -535,6 +564,14 @@ struct BarrierState {
     ack_epoch: u64,
     acked: HashSet<u32>,
     release_retry: Option<Retry>,
+}
+
+/// Barrier state across every gang this rank participates in (or counts
+/// for), keyed by gang mask. The full-mesh mask reproduces the classic
+/// single-counter protocol.
+#[derive(Default)]
+struct BarrierState {
+    groups: HashMap<u64, BarrierGroup>,
 }
 
 /// Interned communication class ids of an endpoint trace, indexed
@@ -1088,40 +1125,72 @@ impl Endpoint {
         }
     }
 
-    /// Collective barrier over all ranks (counter on rank 0).
+    /// Collective barrier over all ranks (counter on rank 0 — the
+    /// full-mesh gang's leader).
     pub fn barrier(&self) {
+        self.barrier_gang(full_mask(self.inner.nranks));
+    }
+
+    /// Collective barrier over the member ranks of `gang` (a bitmask);
+    /// the counter lives on the gang's leader (lowest member). The
+    /// calling rank must be a member. A single-member gang is already
+    /// synchronized and returns immediately.
+    pub fn barrier_gang(&self, gang: u64) {
         let i = &self.inner;
+        debug_assert_ne!(
+            gang & (1u64 << i.rank),
+            0,
+            "rank {} entered barrier of gang {gang:#b} it is not a member of",
+            i.rank
+        );
+        if gang.count_ones() <= 1 {
+            return;
+        }
+        let leader = mask_leader(gang);
         let epoch = {
             let mut b = i.barrier.lock().unwrap();
-            b.next += 1;
-            let epoch = b.next;
-            b.enters.insert(epoch, Retry::new(&i.cfg));
+            let g = b.groups.entry(gang).or_default();
+            g.next += 1;
+            let epoch = g.next;
+            g.enters.insert(epoch, Retry::new(&i.cfg));
             epoch
         };
         i.post(
-            0,
+            leader,
             &Msg::BarrierEnter {
                 epoch,
                 from: i.rank as u32,
+                gang,
             },
         );
         let mut b = i.barrier.lock().unwrap();
-        while b.released < epoch {
+        while b.groups.get(&gang).map_or(0, |g| g.released) < epoch {
             b = i.barrier_cv.wait(b).unwrap();
         }
     }
 
-    /// Barrier protocol snapshot for diagnostics: `(next, released,
+    /// Barrier protocol snapshot for diagnostics: one row per gang
+    /// group this rank has state for — `(gang mask, next, released,
     /// last_released, pending_enters, pending_counts)`. The counter
-    /// fields (`last_released`, `pending_counts`) are meaningful on
-    /// rank 0 only.
-    pub fn barrier_state(&self) -> (u64, u64, u64, Vec<u64>, Vec<(u64, usize)>) {
+    /// fields (`last_released`, `pending_counts`) are meaningful on the
+    /// gang's leader only.
+    #[allow(clippy::type_complexity)]
+    pub fn barrier_state(&self) -> Vec<(u64, u64, u64, u64, Vec<u64>, Vec<(u64, usize)>)> {
         let b = self.inner.barrier.lock().unwrap();
-        let mut enters: Vec<u64> = b.enters.keys().copied().collect();
-        enters.sort_unstable();
-        let mut entered: Vec<(u64, usize)> = b.entered.iter().map(|(&e, s)| (e, s.len())).collect();
-        entered.sort_unstable();
-        (b.next, b.released, b.last_released, enters, entered)
+        let mut rows: Vec<_> = b
+            .groups
+            .iter()
+            .map(|(&mask, g)| {
+                let mut enters: Vec<u64> = g.enters.keys().copied().collect();
+                enters.sort_unstable();
+                let mut entered: Vec<(u64, usize)> =
+                    g.entered.iter().map(|(&e, s)| (e, s.len())).collect();
+                entered.sort_unstable();
+                (mask, g.next, g.released, g.last_released, enters, entered)
+            })
+            .collect();
+        rows.sort_unstable_by_key(|r| r.0);
+        rows
     }
 
     /// Fence, then barrier: on return, every rank's writes are globally
@@ -1129,6 +1198,15 @@ impl Endpoint {
     pub fn sync(&self) {
         self.fence();
         self.barrier();
+    }
+
+    /// Fence, then a gang-scoped barrier: the job-scoped GA `sync`.
+    /// The fence is rank-local (all of this rank's outstanding posts),
+    /// which is conservative but correct when the rank serves several
+    /// gangs.
+    pub fn sync_gang(&self, gang: u64) {
+        self.fence();
+        self.barrier_gang(gang);
     }
 
     /// Counters snapshot.
@@ -1181,19 +1259,27 @@ impl Endpoint {
     /// Stop the progress thread. Call only when no rank still needs this
     /// rank's shard (i.e. after a final barrier).
     ///
-    /// The counter rank additionally drains barrier-release
-    /// confirmations first: a peer whose release frame was lost recovers
-    /// by re-sending its enter, which only works while rank 0's progress
-    /// thread is alive to answer. Tearing down before every rank
-    /// confirmed the newest release would strand such a peer in its
-    /// final barrier forever. The drain is bounded so a crashed peer
-    /// cannot pin the teardown.
+    /// A counter rank additionally drains barrier-release confirmations
+    /// first, for every gang it leads: a peer whose release frame was
+    /// lost recovers by re-sending its enter, which only works while the
+    /// leader's progress thread is alive to answer. Tearing down before
+    /// every member confirmed the newest release would strand such a
+    /// peer in its final barrier forever. The drain is bounded so a
+    /// crashed peer cannot pin the teardown.
     pub fn shutdown(&self) {
         let i = &self.inner;
-        if i.rank == 0 && !i.shutdown.load(Ordering::SeqCst) {
+        if !i.shutdown.load(Ordering::SeqCst) {
             let deadline = Instant::now() + Duration::from_secs(5);
             let mut b = i.barrier.lock().unwrap();
-            while b.ack_epoch > 0 && b.acked.len() < i.nranks && Instant::now() < deadline {
+            loop {
+                let pending = b.groups.iter().any(|(&mask, g)| {
+                    mask_leader(mask) == i.rank
+                        && g.ack_epoch > 0
+                        && g.acked.len() < mask.count_ones() as usize
+                });
+                if !pending || Instant::now() >= deadline {
+                    break;
+                }
                 let (g, _) = i
                     .barrier_cv
                     .wait_timeout(b, Duration::from_millis(10))
@@ -1474,23 +1560,29 @@ impl Inner {
         }
         {
             let mut b = self.barrier.lock().unwrap();
-            let released = b.released;
             let from = self.rank as u32;
-            for (&epoch, r) in b.enters.iter_mut() {
-                if epoch > released && r.due(now, cap) {
-                    resend.push((0, Msg::BarrierEnter { epoch, from }));
+            for (&gang, g) in b.groups.iter_mut() {
+                let leader = mask_leader(gang);
+                let released = g.released;
+                for (&epoch, r) in g.enters.iter_mut() {
+                    if epoch > released && r.due(now, cap) {
+                        resend.push((leader, Msg::BarrierEnter { epoch, from, gang }));
+                    }
                 }
-            }
-            // Counter rank: re-release the newest epoch to every rank
-            // that has not confirmed receipt yet (the forward half of
-            // release recovery; the late-enter path is the reactive
-            // half).
-            if self.rank == 0 && b.ack_epoch > 0 && b.acked.len() < self.nranks {
-                let epoch = b.ack_epoch;
-                if b.release_retry.as_mut().is_some_and(|r| r.due(now, cap)) {
-                    for who in 0..self.nranks as u32 {
-                        if !b.acked.contains(&who) {
-                            resend.push((who as usize, Msg::BarrierRelease { epoch }));
+                // Counter rank: re-release the newest epoch to every
+                // member that has not confirmed receipt yet (the forward
+                // half of release recovery; the late-enter path is the
+                // reactive half).
+                if leader == self.rank
+                    && g.ack_epoch > 0
+                    && g.acked.len() < gang.count_ones() as usize
+                {
+                    let epoch = g.ack_epoch;
+                    if g.release_retry.as_mut().is_some_and(|r| r.due(now, cap)) {
+                        for who in mask_members(gang) {
+                            if !g.acked.contains(&(who as u32)) {
+                                resend.push((who, Msg::BarrierRelease { epoch, gang }));
+                            }
                         }
                     }
                 }
@@ -1724,73 +1816,96 @@ impl Inner {
                 }
                 self.post(from, &Msg::ResetAck { token });
             }
-            Msg::BarrierEnter { epoch, from: who } => {
-                debug_assert_eq!(self.rank, 0, "barrier counter lives on rank 0");
+            Msg::BarrierEnter {
+                epoch,
+                from: who,
+                gang,
+            } => {
+                debug_assert_eq!(
+                    self.rank,
+                    mask_leader(gang),
+                    "barrier counter lives on the gang leader"
+                );
+                let members = gang.count_ones() as usize;
                 let full = {
                     let mut b = self.barrier.lock().unwrap();
-                    if epoch <= b.last_released {
+                    let g = b.groups.entry(gang).or_default();
+                    if epoch <= g.last_released {
                         // Late retransmission: the release toward `who`
                         // was lost. Re-release to that rank alone.
                         self.stats.dup_requests.fetch_add(1, Ordering::Relaxed);
                         drop(b);
-                        self.post(who as usize, &Msg::BarrierRelease { epoch });
+                        self.post(who as usize, &Msg::BarrierRelease { epoch, gang });
                         return;
                     }
-                    let set = b.entered.entry(epoch).or_default();
+                    let set = g.entered.entry(epoch).or_default();
                     if !set.insert(who) {
                         self.stats.dup_requests.fetch_add(1, Ordering::Relaxed);
                     }
-                    let full = set.len() == self.nranks;
+                    let full = set.len() == members;
                     if full {
-                        b.entered.remove(&epoch);
-                        b.last_released = b.last_released.max(epoch);
-                        // Collectives are serialized per rank, so any
-                        // enter for a later epoch proves receipt of this
-                        // release: confirmation only ever needs to track
-                        // the newest epoch.
-                        b.ack_epoch = epoch;
-                        b.acked.clear();
-                        b.release_retry = Some(Retry::new(&self.cfg));
+                        g.entered.remove(&epoch);
+                        g.last_released = g.last_released.max(epoch);
+                        // Collectives are serialized per rank within a
+                        // gang, so any enter for a later epoch proves
+                        // receipt of this release: confirmation only
+                        // ever needs to track the newest epoch.
+                        g.ack_epoch = epoch;
+                        g.acked.clear();
+                        g.release_retry = Some(Retry::new(&self.cfg));
                     }
                     full
                 };
                 if full {
-                    for r in 0..self.nranks {
-                        self.post(r, &Msg::BarrierRelease { epoch });
+                    for r in mask_members(gang) {
+                        self.post(r, &Msg::BarrierRelease { epoch, gang });
                     }
                 }
             }
-            Msg::BarrierRelease { epoch } => {
+            Msg::BarrierRelease { epoch, gang } => {
                 {
                     let mut b = self.barrier.lock().unwrap();
-                    b.released = b.released.max(epoch);
-                    let released = b.released;
-                    b.enters.retain(|&e, _| e > released);
+                    let g = b.groups.entry(gang).or_default();
+                    g.released = g.released.max(epoch);
+                    let released = g.released;
+                    g.enters.retain(|&e, _| e > released);
                     self.barrier_cv.notify_all();
                 }
                 // Confirm receipt (duplicates re-confirm): the counter
-                // rank re-releases until every rank acked and holds its
-                // teardown on the set, so a lost release frame cannot
-                // strand a waiter after rank 0 exits.
+                // rank re-releases until every member acked and holds
+                // its teardown on the set, so a lost release frame
+                // cannot strand a waiter after the leader exits.
                 self.post(
-                    0,
+                    mask_leader(gang),
                     &Msg::BarrierAck {
                         epoch,
                         from: self.rank as u32,
+                        gang,
                     },
                 );
             }
-            Msg::BarrierAck { epoch, from: who } => {
-                debug_assert_eq!(self.rank, 0, "barrier counter lives on rank 0");
+            Msg::BarrierAck {
+                epoch,
+                from: who,
+                gang,
+            } => {
+                debug_assert_eq!(
+                    self.rank,
+                    mask_leader(gang),
+                    "barrier counter lives on the gang leader"
+                );
                 let mut b = self.barrier.lock().unwrap();
-                // Acks for superseded epochs are moot: entering a later
-                // barrier already proved the earlier release arrived.
-                if epoch == b.ack_epoch {
-                    b.acked.insert(who);
-                    if b.acked.len() == self.nranks {
-                        b.release_retry = None;
-                        // Wake a shutdown drain awaiting confirmation.
-                        self.barrier_cv.notify_all();
+                if let Some(g) = b.groups.get_mut(&gang) {
+                    // Acks for superseded epochs are moot: entering a
+                    // later barrier already proved the earlier release
+                    // arrived.
+                    if epoch == g.ack_epoch {
+                        g.acked.insert(who);
+                        if g.acked.len() == gang.count_ones() as usize {
+                            g.release_retry = None;
+                            // Wake a shutdown drain awaiting confirmation.
+                            self.barrier_cv.notify_all();
+                        }
                     }
                 }
             }

@@ -90,8 +90,12 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 19 => Msg::BarrierEnter {
                     epoch: len,
                     from: array,
+                    gang: offset,
                 },
-                20 => Msg::BarrierRelease { epoch: len },
+                20 => Msg::BarrierRelease {
+                    epoch: len,
+                    gang: offset,
+                },
                 // Batched frames carry 0..=4 parts, including the empty
                 // edge case the progress engine never sends but the
                 // decoder must still round-trip, not reject.

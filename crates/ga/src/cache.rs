@@ -272,7 +272,10 @@ impl TileCache {
     /// mutations globally visible: drop every entry — except those of
     /// pinned arrays, which the owner vouched stay coherent across
     /// epochs (that retention is what lets repeat jobs over the same
-    /// operands start warm).
+    /// operands start warm). The production sync path is the scoped
+    /// [`TileCache::flush_scope`]; this whole-cache variant remains for
+    /// the unit tests.
+    #[cfg(test)]
     pub(crate) fn flush(&self) {
         let mut st = self.state.lock();
         if st.pinned.is_empty() {
@@ -307,6 +310,47 @@ impl TileCache {
         *bytes -= dropped_bytes;
         let flushed = (before - map.len()) as u64;
         let retained = map.len() as u64;
+        drop(st);
+        if flushed > 0 {
+            self.stats.record_cache_invalidations(flushed);
+        }
+        if retained > 0 {
+            self.stats.record_cache_retained(retained);
+        }
+    }
+
+    /// The gang-scoped `sync` boundary: as [`TileCache::flush`], but
+    /// restricted to arrays of one gang's id namespace. A gang's sync
+    /// makes only *that* gang's mutations globally visible, so flushing
+    /// another concurrent gang's entries here would be both needless and
+    /// a cross-job perturbation (the cross-invalidation hazard the
+    /// namespaced ids exist to prevent).
+    pub(crate) fn flush_scope(&self, tag: u32) {
+        let mut st = self.state.lock();
+        let CacheState {
+            map,
+            order,
+            bytes,
+            pinned,
+        } = &mut *st;
+        let mut dropped_bytes = 0usize;
+        let (mut flushed, mut retained) = (0u64, 0u64);
+        map.retain(|&(a, _, l), slot| {
+            if crate::distga::ns_tag(a) != tag {
+                return true; // another gang's scope: untouched
+            }
+            if pinned.contains(&a) {
+                retained += 1;
+                return true;
+            }
+            if matches!(slot, Slot::Ready(_)) {
+                dropped_bytes += l * 8;
+            }
+            flushed += 1;
+            false
+        });
+        order.retain(|k| map.contains_key(k));
+        *bytes -= dropped_bytes;
         drop(st);
         if flushed > 0 {
             self.stats.record_cache_invalidations(flushed);

@@ -8,15 +8,46 @@
 
 use crate::cache::TileCache;
 use crate::dist::Distribution;
-use crate::GaGetCallback;
+use crate::{GaGetCallback, GangView};
 use comm::{Endpoint, ShardStore, WireSlice};
 use parking_lot::{Condvar as PlCondvar, Mutex};
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
+
+/// Array ids are namespaced by gang tag: `id = (tag << NS_SHIFT) | idx`,
+/// where `idx` is the allocation ordinal *within* that gang's namespace.
+/// Tag 0 is the full mesh (the PR-8 layout, so single-gang runs are
+/// bit-identical); a job gang's tag packs its leader rank and size.
+/// Concurrent gangs therefore can never collide on an array id, which is
+/// what makes allocation-order handles safe when disjoint jobs create
+/// arrays at unrelated times.
+pub(crate) const NS_SHIFT: u32 = 18;
+
+/// Namespace tag of an array id.
+pub(crate) fn ns_tag(h: usize) -> u32 {
+    (h >> NS_SHIFT) as u32
+}
 
 struct DistArray {
     dist: Distribution,
-    /// This rank's owned slice, indexed by `global - range_of(rank).start`.
+    /// Global offset of this rank's shard (the gang-logical node's owned
+    /// range start — precomputed because the store does not know which
+    /// logical node this rank is within each array's gang).
+    base: usize,
+    /// This rank's owned slice, indexed by `global - base`.
     shard: Mutex<Vec<f64>>,
+}
+
+#[derive(Default)]
+struct StoreState {
+    arrays: HashMap<u32, Arc<DistArray>>,
+    /// Next allocation ordinal per namespace tag.
+    next_idx: HashMap<u32, u32>,
+    /// Destroyed ids (plan-cache eviction). Kept as tombstones so a late
+    /// or duplicated wire request against a destroyed array is answered
+    /// with zeros / dropped instead of waiting 30s for a create that
+    /// will never come.
+    destroyed: HashSet<u32>,
 }
 
 /// Rank-local shards of every created array. The comm progress engine
@@ -24,8 +55,7 @@ struct DistArray {
 /// [`crate::Ga`] another (for local fast paths).
 pub struct DistStore {
     rank: usize,
-    nranks: usize,
-    arrays: Mutex<Vec<Arc<DistArray>>>,
+    state: Mutex<StoreState>,
     created: PlCondvar,
     /// The owning `Ga`'s tile cache, attached at `init_dist_cfg`. Every
     /// shard mutation — the local fast paths *and* incoming `Put`/`Acc`
@@ -40,8 +70,7 @@ impl DistStore {
         assert!(rank < nranks, "rank {rank} out of range for {nranks}");
         Arc::new(Self {
             rank,
-            nranks,
-            arrays: Mutex::new(Vec::new()),
+            state: Mutex::new(StoreState::default()),
             created: PlCondvar::new(),
             cache: OnceLock::new(),
         })
@@ -56,56 +85,102 @@ impl DistStore {
         self.rank
     }
 
-    /// Allocate the local shard of a `len`-element array; returns its
-    /// index. Collective by convention: every rank creates the same
-    /// arrays in the same order.
-    pub(crate) fn create(&self, len: usize) -> usize {
-        let dist = Distribution::new(len, self.nranks);
-        let shard = Mutex::new(vec![0.0; dist.range_of(self.rank).len()]);
-        let mut arrays = self.arrays.lock();
-        arrays.push(Arc::new(DistArray { dist, shard }));
+    /// Allocate the local shard of a `len`-element array distributed
+    /// over a gang of `nodes` logical nodes, of which this rank is
+    /// `my_node`. Collective over the gang's members: each member
+    /// allocates the next id in the `tag` namespace, so members agree on
+    /// ids as long as they process the gang's jobs in the same order.
+    pub(crate) fn create_gang(&self, tag: u32, len: usize, nodes: usize, my_node: usize) -> usize {
+        let dist = Distribution::new(len, nodes);
+        let r = dist.range_of(my_node);
+        let base = r.start;
+        let shard = Mutex::new(vec![0.0; r.len()]);
+        let mut st = self.state.lock();
+        let idx = st.next_idx.entry(tag).or_insert(0);
+        assert!(*idx < (1 << NS_SHIFT), "namespace {tag} exhausted");
+        let id = ((tag as usize) << NS_SHIFT) | *idx as usize;
+        *idx += 1;
+        st.arrays
+            .insert(id as u32, Arc::new(DistArray { dist, base, shard }));
         self.created.notify_all();
-        arrays.len() - 1
+        id
     }
 
-    fn array(&self, h: usize) -> Arc<DistArray> {
-        let mut arrays = self.arrays.lock();
-        // Creates are collective by convention but not synchronized: a
-        // remote request can reach the progress thread before this
-        // rank's application thread has made the matching `create`.
-        // The request itself proves the create is coming, so wait for
-        // it rather than indexing past the end.
-        while arrays.len() <= h {
+    /// Drop the array's shard and tombstone its id (plan-cache
+    /// eviction). Safe only after every gang member has passed the
+    /// settle barrier of every job that used the array; late *wire*
+    /// traffic against the id (chaos duplicates) is served zeros or
+    /// dropped via the tombstone.
+    pub fn destroy(&self, h: usize) {
+        {
+            let mut st = self.state.lock();
+            st.arrays.remove(&(h as u32));
+            st.destroyed.insert(h as u32);
+        }
+        self.created.notify_all();
+        if let Some(c) = self.cache.get() {
+            c.invalidate_array(h);
+        }
+    }
+
+    /// `None` means destroyed. A missing id that is not tombstoned is
+    /// awaited: creates are collective by convention but not
+    /// synchronized, so a remote request can reach the progress thread
+    /// before this rank's application thread has made the matching
+    /// `create`. The request itself proves the create is coming.
+    fn array(&self, h: usize) -> Option<Arc<DistArray>> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(a) = st.arrays.get(&(h as u32)) {
+                return Some(a.clone());
+            }
+            if st.destroyed.contains(&(h as u32)) {
+                return None;
+            }
             if self
                 .created
-                .wait_for(&mut arrays, std::time::Duration::from_secs(30))
+                .wait_for(&mut st, std::time::Duration::from_secs(30))
                 .timed_out()
             {
                 panic!(
                     "array {h} never created on rank {} ({} exist)",
                     self.rank,
-                    arrays.len()
+                    st.arrays.len()
                 );
             }
         }
-        arrays[h].clone()
+    }
+
+    /// As [`Self::array`], for application paths that must never touch a
+    /// destroyed array (only late wire duplicates legitimately can).
+    fn live(&self, h: usize) -> Arc<DistArray> {
+        self.array(h)
+            .unwrap_or_else(|| panic!("array {h} used after destroy on rank {}", self.rank))
     }
 
     pub(crate) fn dist_of(&self, h: usize) -> Distribution {
-        self.array(h).dist.clone()
+        self.live(h).dist.clone()
     }
 
     /// Copy the locally-owned global range `[offset, offset+out.len())`
-    /// into `out`. The range must lie inside this rank's shard.
+    /// into `out`. The range must lie inside this rank's shard. A
+    /// destroyed array reads as zeros (late duplicate gets after a plan
+    /// eviction).
     pub(crate) fn read_local(&self, h: usize, offset: usize, out: &mut [f64]) {
-        let a = self.array(h);
-        let s = a.dist.range_of(self.rank).start;
-        out.copy_from_slice(&a.shard.lock()[offset - s..offset - s + out.len()]);
+        match self.array(h) {
+            Some(a) => {
+                let s = a.base;
+                out.copy_from_slice(&a.shard.lock()[offset - s..offset - s + out.len()]);
+            }
+            None => out.fill(0.0),
+        }
     }
 
     pub(crate) fn write_local(&self, h: usize, offset: usize, data: &[f64]) {
-        let a = self.array(h);
-        let s = a.dist.range_of(self.rank).start;
+        let Some(a) = self.array(h) else {
+            return; // destroyed: late duplicate is dropped
+        };
+        let s = a.base;
         a.shard.lock()[offset - s..offset - s + data.len()].copy_from_slice(data);
         // Invalidate *after* the shard holds the new value: a concurrent
         // reader either hits the doomed entry (pre-write value, allowed
@@ -117,8 +192,10 @@ impl DistStore {
     }
 
     pub(crate) fn acc_local(&self, h: usize, offset: usize, data: &[f64], alpha: f64) {
-        let a = self.array(h);
-        let s = a.dist.range_of(self.rank).start;
+        let Some(a) = self.array(h) else {
+            return; // destroyed: late duplicate is dropped
+        };
+        let s = a.base;
         {
             let mut shard = a.shard.lock();
             for (dst, x) in shard[offset - s..offset - s + data.len()]
@@ -134,7 +211,9 @@ impl DistStore {
     }
 
     pub(crate) fn zero_local(&self, h: usize) {
-        self.array(h).shard.lock().fill(0.0);
+        if let Some(a) = self.array(h) {
+            a.shard.lock().fill(0.0);
+        }
         if let Some(c) = self.cache.get() {
             c.invalidate_array(h);
         }
@@ -245,13 +324,14 @@ impl WaitSlot {
     }
 }
 
-/// Collective reset of the shared NXTVAL counter (owned by rank 0): a
-/// barrier brackets the owner's reset so no rank can draw a stale value
-/// on either side.
-pub(crate) fn nxtval_reset_collective(ep: &Endpoint) {
-    ep.barrier();
-    if ep.rank() == 0 {
-        ep.nxtval_reset(0);
+/// Collective reset of a gang's shared NXTVAL counter (owned by the gang
+/// leader): gang barriers bracket the leader's reset so no member can
+/// draw a stale value on either side. Disjoint gangs have distinct
+/// leaders, so concurrent jobs never share a counter.
+pub(crate) fn nxtval_reset_collective(ep: &Endpoint, view: &GangView) {
+    ep.barrier_gang(view.mask);
+    if view.my_node == 0 {
+        ep.nxtval_reset(view.members[0]);
     }
-    ep.barrier();
+    ep.barrier_gang(view.mask);
 }

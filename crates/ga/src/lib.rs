@@ -61,6 +61,60 @@ pub type GaGetCallback = Box<dyn FnOnce(Vec<f64>) + Send>;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GaHandle(usize);
 
+/// A gang-scoped view of the mesh: the rank subset one job runs on, in
+/// gang-logical node numbering. All distribution arithmetic below runs
+/// in logical node indices `0..members.len()`; only the wire hop
+/// translates a logical owner to its real rank (`members[node]`). The
+/// full mesh is the identity view (tag 0), which reproduces the PR-8
+/// layout bit for bit.
+#[derive(Clone)]
+pub struct GangView {
+    /// Array-id namespace tag: 0 for the full mesh, else
+    /// `(leader_rank << 7) | gang_size` — unique per live gang shape, so
+    /// concurrent gangs can never collide on an array id.
+    pub tag: u32,
+    /// Real rank of each gang-logical node, ascending.
+    pub members: Arc<Vec<usize>>,
+    /// This rank's gang-logical node index.
+    pub my_node: usize,
+    /// Member bitmask, the gang-barrier group key.
+    pub mask: u64,
+}
+
+impl GangView {
+    /// The identity view: every rank, logical == real.
+    pub fn full(rank: usize, nranks: usize) -> Self {
+        Self {
+            tag: 0,
+            members: Arc::new((0..nranks).collect()),
+            my_node: rank,
+            mask: comm::full_mask(nranks),
+        }
+    }
+
+    /// The view of gang `mask` as seen from `rank` (which must be a
+    /// member). The full mask folds onto the identity view so
+    /// single-gang configurations keep the tag-0 namespace.
+    pub fn from_mask(rank: usize, nranks: usize, mask: u64) -> Self {
+        if mask == comm::full_mask(nranks) {
+            return Self::full(rank, nranks);
+        }
+        let members: Vec<usize> = comm::mask_members(mask).collect();
+        assert!(members.len() < 128, "gang size exceeds the tag encoding");
+        let tag = ((members[0] as u32) << 7) | members.len() as u32;
+        let my_node = members
+            .iter()
+            .position(|&r| r == rank)
+            .unwrap_or_else(|| panic!("rank {rank} is not a member of gang {mask:#b}"));
+        Self {
+            tag,
+            members: Arc::new(members),
+            my_node,
+            mask,
+        }
+    }
+}
+
 /// One block-distributed array: node `i` owns the contiguous slice
 /// `[chunk*i, chunk*(i+1))` (last node takes the remainder), mirroring
 /// GA's default regular distribution.
@@ -81,11 +135,12 @@ enum Backend {
         nxtval: AtomicI64,
     },
     /// Only this rank's shards live here; other ranks are reached through
-    /// the comm endpoint, and `NXTVAL` lives on rank 0.
+    /// the comm endpoint, and `NXTVAL` lives on the gang leader.
     Dist {
         ep: Arc<comm::Endpoint>,
         store: Arc<DistStore>,
         cache: Arc<TileCache>,
+        view: GangView,
     },
 }
 
@@ -131,9 +186,15 @@ impl Ga {
         let stats = Arc::new(GaStats::default());
         let cache = TileCache::new(cache_cfg, stats.clone());
         store.attach_cache(cache.clone());
+        let view = GangView::full(ep.rank(), ep.nranks());
         Self {
             nodes: ep.nranks(),
-            backend: Backend::Dist { ep, store, cache },
+            backend: Backend::Dist {
+                ep,
+                store,
+                cache,
+                view,
+            },
             stats,
         }
     }
@@ -149,15 +210,57 @@ impl Ga {
     pub fn dist_share(&self) -> Self {
         match &self.backend {
             Backend::Local { .. } => panic!("dist_share requires the distributed backend"),
-            Backend::Dist { ep, store, cache } => Self {
+            Backend::Dist {
+                ep,
+                store,
+                cache,
+                view,
+            } => Self {
                 nodes: self.nodes,
                 backend: Backend::Dist {
                     ep: ep.clone(),
                     store: store.clone(),
                     cache: cache.clone(),
+                    view: view.clone(),
                 },
                 stats: self.stats.clone(),
             },
+        }
+    }
+
+    /// As [`Self::dist_share`], but scoped to the gang `mask`: arrays
+    /// created through the returned instance are distributed over the
+    /// gang's members only (gang-logical node indices, namespaced ids),
+    /// `sync` is a gang barrier plus a scope-local cache flush, and
+    /// `NXTVAL` lives on the gang leader. The calling rank must be a
+    /// member.
+    pub fn dist_share_gang(&self, mask: u64) -> Self {
+        match &self.backend {
+            Backend::Local { .. } => panic!("dist_share_gang requires the distributed backend"),
+            Backend::Dist {
+                ep, store, cache, ..
+            } => {
+                let view = GangView::from_mask(ep.rank(), ep.nranks(), mask);
+                Self {
+                    nodes: view.members.len(),
+                    backend: Backend::Dist {
+                        ep: ep.clone(),
+                        store: store.clone(),
+                        cache: cache.clone(),
+                        view,
+                    },
+                    stats: self.stats.clone(),
+                }
+            }
+        }
+    }
+
+    /// The gang view this instance is scoped to (identity on the full
+    /// mesh; `None` in local mode).
+    pub fn gang_view(&self) -> Option<&GangView> {
+        match &self.backend {
+            Backend::Local { .. } => None,
+            Backend::Dist { view, .. } => Some(view),
         }
     }
 
@@ -224,7 +327,20 @@ impl Ga {
                 arrays.push(Arc::new(Array { dist, segments }));
                 GaHandle(arrays.len() - 1)
             }
-            Backend::Dist { store, .. } => GaHandle(store.create(len)),
+            Backend::Dist { store, view, .. } => {
+                GaHandle(store.create_gang(view.tag, len, view.members.len(), view.my_node))
+            }
+        }
+    }
+
+    /// Drop the array's shard and cached blocks and tombstone its id
+    /// (plan-cache eviction). Distributed mode only; collective over the
+    /// owning gang by the same convention as [`Self::create`]. Late wire
+    /// duplicates against the id read zeros instead of hanging.
+    pub fn destroy(&self, h: GaHandle) {
+        if let Backend::Dist { store, cache, .. } = &self.backend {
+            cache.unpin_array(h.0);
+            store.destroy(h.0);
         }
     }
 
@@ -292,11 +408,11 @@ impl Ga {
                 }
                 self.stats.record_locality(out.len() * 8, 0);
             }
-            Backend::Dist { ep, store, .. } => {
+            Backend::Dist { store, view, .. } => {
                 let dist = store.dist_of(h.0);
-                let rank = ep.rank();
+                let me = view.my_node;
                 let pieces = dist.owners_of(offset, out.len());
-                if pieces.iter().all(|(node, _)| *node == rank) {
+                if pieces.iter().all(|(node, _)| *node == me) {
                     // Entirely this rank's shard: straight memcpy, no
                     // buffer hand-off, no cache involvement.
                     for (_, range) in &pieces {
@@ -357,6 +473,45 @@ impl Ga {
         }
     }
 
+    /// Warm the tile cache for a later read of `[offset, offset+len)`:
+    /// a miss starts the coalescable fill, a hit or in-flight fill (or
+    /// an all-local / uncached range) is left alone. Nothing is
+    /// delivered, so the `verify_reads` oracle is skipped — which is
+    /// what makes this, unlike [`Ga::get_async`], safe to call from the
+    /// progress thread (a blocking verify there would deadlock against
+    /// the replies only that thread can deliver).
+    pub fn prefetch(&self, h: GaHandle, offset: usize, len: usize, prio: i64) {
+        let Backend::Dist {
+            store, cache, view, ..
+        } = &self.backend
+        else {
+            return; // local backend: every read is already a memcpy
+        };
+        if !cache.enabled() {
+            return; // nowhere to park the bytes: fetching would waste wire
+        }
+        let dist = store.dist_of(h.0);
+        let pieces = dist.owners_of(offset, len);
+        if pieces.iter().all(|(node, _)| *node == view.my_node) {
+            return;
+        }
+        match cache.lookup((h.0, offset, len), vec![0.0; len], Box::new(|_| {})) {
+            Lookup::Hit { .. } | Lookup::Joined => {}
+            Lookup::Fill { fill, buf, cb } => {
+                let cache = cache.clone();
+                let final_cb: GaGetCallback = Box::new(move |assembled: Vec<f64>| {
+                    let waiters = cache.complete(&fill, &assembled);
+                    for mut w in waiters {
+                        w.buf.copy_from_slice(&assembled);
+                        (w.cb)(w.buf);
+                    }
+                    cb(assembled);
+                });
+                self.fetch_assemble(h, offset, buf, prio, final_cb, &pieces);
+            }
+        }
+    }
+
     /// Distributed read of `[offset, offset+buf.len())` through the tile
     /// cache: all-local ranges short-circuit; cached blocks are served
     /// from memory; concurrent readers of one uncached block coalesce
@@ -369,16 +524,19 @@ impl Ga {
         prio: i64,
         cb: GaGetCallback,
     ) {
-        let Backend::Dist { ep, store, cache } = &self.backend else {
+        let Backend::Dist {
+            store, cache, view, ..
+        } = &self.backend
+        else {
             unreachable!("dist_fetch on local backend")
         };
         let len = buf.len();
         let dist = store.dist_of(h.0);
-        let rank = ep.rank();
+        let me = view.my_node;
         let pieces = dist.owners_of(offset, len);
         let remote_b: usize = pieces
             .iter()
-            .filter(|(node, _)| *node != rank)
+            .filter(|(node, _)| *node != me)
             .map(|(_, r)| r.len() * 8)
             .sum();
         if remote_b == 0 {
@@ -445,14 +603,17 @@ impl Ga {
         cb: GaGetCallback,
         pieces: &[(NodeId, Range<usize>)],
     ) {
-        let Backend::Dist { ep, store, .. } = &self.backend else {
+        let Backend::Dist {
+            ep, store, view, ..
+        } = &self.backend
+        else {
             unreachable!("fetch_assemble on local backend")
         };
-        let rank = ep.rank();
+        let me = view.my_node;
         let (mut local_b, mut remote_b) = (0, 0);
         let mut remote = Vec::new();
         for (node, range) in pieces {
-            if *node == rank {
+            if *node == me {
                 store.read_local(
                     h.0,
                     range.start,
@@ -475,7 +636,7 @@ impl Ga {
             let asm = asm.clone();
             let at = range.start - offset;
             ep.get_async(
-                node,
+                view.members[node],
                 h.0 as u32,
                 range.start,
                 range.len(),
@@ -495,14 +656,17 @@ impl Ga {
         len: usize,
         pieces: &[(NodeId, Range<usize>)],
     ) -> Vec<f64> {
-        let Backend::Dist { ep, store, .. } = &self.backend else {
+        let Backend::Dist {
+            ep, store, view, ..
+        } = &self.backend
+        else {
             unreachable!("fetch_fresh_blocking on local backend")
         };
-        let rank = ep.rank();
+        let me = view.my_node;
         let mut out = vec![0.0; len];
         let mut waits = Vec::new();
         for (node, range) in pieces {
-            if *node == rank {
+            if *node == me {
                 store.read_local(
                     h.0,
                     range.start,
@@ -511,7 +675,7 @@ impl Ga {
             } else {
                 let slot = WaitSlot::new();
                 ep.get_async(
-                    *node,
+                    view.members[*node],
                     h.0 as u32,
                     range.start,
                     range.len(),
@@ -541,7 +705,12 @@ impl Ga {
                 }
                 self.stats.record_locality(data.len() * 8, 0);
             }
-            Backend::Dist { ep, store, cache } => {
+            Backend::Dist {
+                ep,
+                store,
+                cache,
+                view,
+            } => {
                 // Invalidate before the pieces go out so this rank never
                 // serves its own pre-write copy from cache again
                 // (read-your-writes; DESIGN.md §4.6). Local pieces also
@@ -549,15 +718,15 @@ impl Ga {
                 // *incoming* puts from other ranks.
                 cache.invalidate_overlap(h.0, offset, data.len());
                 let dist = store.dist_of(h.0);
-                let rank = ep.rank();
+                let me = view.my_node;
                 let (mut local_b, mut remote_b) = (0, 0);
                 for (node, range) in dist.owners_of(offset, data.len()) {
                     let src = &data[range.start - offset..range.end - offset];
-                    if node == rank {
+                    if node == me {
                         store.write_local(h.0, range.start, src);
                         local_b += range.len() * 8;
                     } else {
-                        ep.put(node, h.0 as u32, range.start, src);
+                        ep.put(view.members[node], h.0 as u32, range.start, src);
                         remote_b += range.len() * 8;
                     }
                 }
@@ -574,17 +743,19 @@ impl Ga {
     pub fn put_collective(&self, h: GaHandle, offset: usize, data: &[f64]) {
         match &self.backend {
             Backend::Local { .. } => self.put(h, offset, data),
-            Backend::Dist { ep, store, cache } => {
+            Backend::Dist {
+                store, cache, view, ..
+            } => {
                 // The collective write mutates every rank's shard, but
                 // only the local piece generates an invalidation hook —
                 // drop the whole range here so cached copies of the
                 // remotely-rewritten pieces cannot survive.
                 cache.invalidate_overlap(h.0, offset, data.len());
                 let dist = store.dist_of(h.0);
-                let rank = ep.rank();
+                let me = view.my_node;
                 let mut written = 0;
                 for (node, range) in dist.owners_of(offset, data.len()) {
-                    if node == rank {
+                    if node == me {
                         store.write_local(
                             h.0,
                             range.start,
@@ -617,18 +788,23 @@ impl Ga {
                 }
                 self.stats.record_locality(data.len() * 8, 0);
             }
-            Backend::Dist { ep, store, cache } => {
+            Backend::Dist {
+                ep,
+                store,
+                cache,
+                view,
+            } => {
                 cache.invalidate_overlap(h.0, offset, data.len());
                 let dist = store.dist_of(h.0);
-                let rank = ep.rank();
+                let me = view.my_node;
                 let (mut local_b, mut remote_b) = (0, 0);
                 for (node, range) in dist.owners_of(offset, data.len()) {
                     let src = &data[range.start - offset..range.end - offset];
-                    if node == rank {
+                    if node == me {
                         store.acc_local(h.0, range.start, src, alpha);
                         local_b += range.len() * 8;
                     } else {
-                        ep.acc(node, h.0 as u32, range.start, src, alpha);
+                        ep.acc(view.members[node], h.0 as u32, range.start, src, alpha);
                         remote_b += range.len() * 8;
                     }
                 }
@@ -660,13 +836,18 @@ impl Ga {
                 }
                 self.stats.record_locality(src.len() * 8, 0);
             }
-            Backend::Dist { ep, store, cache } => {
+            Backend::Dist {
+                ep,
+                store,
+                cache,
+                view,
+            } => {
                 cache.invalidate_overlap(h.0, begin, end - begin);
-                if node == ep.rank() {
+                if node == view.my_node {
                     store.acc_local(h.0, begin, src, alpha);
                     self.stats.record_locality(src.len() * 8, 0);
                 } else {
-                    ep.acc(node, h.0 as u32, begin, src, alpha);
+                    ep.acc(view.members[node], h.0 as u32, begin, src, alpha);
                     self.stats.record_locality(0, src.len() * 8);
                 }
             }
@@ -721,28 +902,35 @@ impl Ga {
         self.stats.record_nxtval();
         match &self.backend {
             Backend::Local { nxtval, .. } => nxtval.fetch_add(1, Ordering::Relaxed),
-            Backend::Dist { ep, .. } => ep.nxtval(0),
+            Backend::Dist { ep, view, .. } => ep.nxtval(view.members[0]),
         }
     }
 
     /// Reset the NXTVAL counter (done between the seven work levels).
-    /// Collective in distributed mode: barriers bracket the owner's reset
-    /// so no rank can draw a stale value on either side.
+    /// Collective in distributed mode — over the gang: barriers bracket
+    /// the leader's reset so no member can draw a stale value on either
+    /// side.
     pub fn nxtval_reset(&self) {
         match &self.backend {
             Backend::Local { nxtval, .. } => nxtval.store(0, Ordering::Relaxed),
-            Backend::Dist { ep, .. } => distga::nxtval_reset_collective(ep),
+            Backend::Dist { ep, view, .. } => distga::nxtval_reset_collective(ep, view),
         }
     }
 
-    /// Fence this rank's outstanding writes, then barrier — GA's `sync`.
-    /// No-op in local mode, where every operation is immediately visible.
-    /// The sync boundary is where GA's relaxed model makes third-party
-    /// mutations visible, so the tile cache is flushed wholesale here.
+    /// Fence this rank's outstanding writes, then a gang barrier — GA's
+    /// `sync`, scoped to this instance's gang. No-op in local mode,
+    /// where every operation is immediately visible. The sync boundary
+    /// is where GA's relaxed model makes third-party mutations visible,
+    /// so the gang's slice of the tile cache is flushed here (other
+    /// concurrent gangs' entries are untouched — their coherence epochs
+    /// are their own syncs).
     pub fn sync(&self) {
-        if let Backend::Dist { ep, cache, .. } = &self.backend {
-            ep.sync();
-            cache.flush();
+        if let Backend::Dist {
+            ep, cache, view, ..
+        } = &self.backend
+        {
+            ep.sync_gang(view.mask);
+            cache.flush_scope(view.tag);
         }
     }
 }

@@ -5,13 +5,14 @@
 //! driver into a service. Rank 0 hosts the [`Gateway`]; tenants submit
 //! word-encoded [`JobSpec`]s to it (in-process on rank 0, `Submit`
 //! active messages elsewhere), the gateway assigns ids and dispatches
-//! admitted jobs to every rank tagged with a collective *ordinal*, and
-//! each rank's executor runs jobs strictly in ordinal order. That strict
-//! order is what makes multi-tenancy safe on a collective substrate:
-//! barriers, array creation, and syncs are shared per endpoint, so jobs
-//! must execute serially and identically ordered on every rank — the
-//! admission controller provides concurrency *bounding* and fairness at
-//! the dispatch level, not intra-rank parallel jobs.
+//! admitted jobs to a packed rank **gang** with per-member dispatch
+//! *seqs*, and each rank's executor runs its frames strictly in seq
+//! order. That per-gang strict order is what makes multi-tenancy safe
+//! on a collective substrate: barriers, array namespaces, and syncs are
+//! scoped per gang, all members of a gang see its jobs in one relative
+//! order, and jobs on *disjoint* gangs execute concurrently on their
+//! own ranks — the admission controller provides gang packing,
+//! concurrency bounding, and fairness at the dispatch level.
 //!
 //! Everything that makes repeat submissions cheap survives between
 //! jobs: the endpoint and its progress thread, the shard store and its
@@ -19,7 +20,7 @@
 //! tensors pinned across sync flushes), and the plan cache itself.
 
 use crate::gateway::{Dispatch, Gateway, JobMeta};
-use crate::plan::{CachedPlan, PlanCache, PlanKey};
+use crate::plan::{CachedPlan, PlanCache, PlanCacheConfig, PlanKey};
 use crate::spec::{JobSpec, JobState, KIND_HALT, KIND_JOB, SPEC_WORDS};
 use ccsd::{DistRank, StealConfig, StealSummary};
 use comm::{CommConfig, Endpoint, JobHandler, Transport, JOB_REJECTED};
@@ -41,6 +42,8 @@ pub struct SvcConfig {
     pub cache: TileCacheConfig,
     /// Cross-rank steal tuning applied to every job's run.
     pub steal: StealConfig,
+    /// Plan-cache residency budget (per gang mask; default unbounded).
+    pub plan_cache: PlanCacheConfig,
     /// Jobs dispatched-but-not-done the gateway allows at once.
     pub max_open: usize,
     /// Tenant admission weights (unlisted tenants weigh 1). Must be
@@ -55,6 +58,7 @@ impl Default for SvcConfig {
             comm: CommConfig::default(),
             cache: TileCacheConfig::default(),
             steal: StealConfig::default(),
+            plan_cache: PlanCacheConfig::default(),
             max_open: 2,
             weights: Vec::new(),
         }
@@ -66,7 +70,10 @@ impl Default for SvcConfig {
 #[derive(Debug, Clone)]
 pub struct JobRecord {
     pub job_id: u64,
+    /// Per-gang execution ordinal.
     pub ordinal: u64,
+    /// Rank gang the job ran on.
+    pub gang_mask: u64,
     pub tenant: u32,
     pub variant: u64,
     /// Whether the plan cache already held this geometry.
@@ -76,7 +83,7 @@ pub struct JobRecord {
     pub build_ns: u64,
     /// Nanoseconds executing the graph (reset, run, settle).
     pub run_ns: u64,
-    /// Rank 0 reports the energy; members record `None`.
+    /// The gang leader reports the energy; other members record `None`.
     pub energy: Option<f64>,
     /// GA activity delta: gets posted, remote bytes moved.
     pub ga_gets: u64,
@@ -90,12 +97,15 @@ pub struct JobRecord {
     pub steal: StealSummary,
 }
 
-/// Ordinal-ordered dispatch buffer between the progress thread (which
+/// Seq-ordered dispatch buffer between the progress thread (which
 /// receives frames in arrival order) and the executor (which must run
-/// them in ordinal order).
+/// them in this rank's dispatch-seq order).
 struct ExecQueue {
     frames: Mutex<BTreeMap<u64, (u64, Vec<u64>)>>,
     cv: Condvar,
+    /// `(job id, gang mask)` of the last frame the executor finished,
+    /// for the starvation report.
+    last_done: Mutex<Option<(u64, u64)>>,
 }
 
 impl ExecQueue {
@@ -103,12 +113,13 @@ impl ExecQueue {
         Self {
             frames: Mutex::new(BTreeMap::new()),
             cv: Condvar::new(),
+            last_done: Mutex::new(None),
         }
     }
 
-    /// Bank a dispatch frame `[ordinal, kind, ...spec]` under its
-    /// ordinal. Re-banking an ordinal is a no-op (the comm dedup layer
-    /// already filters duplicates; this is belt-and-suspenders).
+    /// Bank a dispatch frame `[seq, kind, ...]` under its seq.
+    /// Re-banking a seq is a no-op (the comm dedup layer already
+    /// filters duplicates; this is belt-and-suspenders).
     fn enqueue(&self, job_id: u64, words: &[u64]) {
         assert!(words.len() >= 2, "dispatch frame too short");
         let mut q = self.frames.lock().unwrap();
@@ -116,21 +127,49 @@ impl ExecQueue {
         self.cv.notify_all();
     }
 
-    /// Block until the frame for `ordinal` arrives and take it.
-    /// Reordered arrivals simply wait here for the gap to fill (the
-    /// retry machinery guarantees it eventually does).
-    fn pop(&self, ordinal: u64) -> (u64, Vec<u64>) {
+    /// Record the executor finishing a frame (starvation diagnostics).
+    fn note_done(&self, job_id: u64, gang: u64) {
+        *self.last_done.lock().unwrap() = Some((job_id, gang));
+    }
+
+    /// Block until the frame for `seq` arrives and take it. Reordered
+    /// arrivals simply wait here for the gap to fill (the retry
+    /// machinery guarantees it eventually does). A 30-second gap is a
+    /// control-plane failure: panic with everything a human needs —
+    /// which jobs/gangs *are* banked, what ran last, and the state of
+    /// every barrier group on this endpoint (a stuck gang collective is
+    /// the usual culprit).
+    fn pop(&self, seq: u64, ep: &Endpoint) -> (u64, Vec<u64>) {
         let mut q = self.frames.lock().unwrap();
         loop {
-            if let Some(f) = q.remove(&ordinal) {
+            if let Some(f) = q.remove(&seq) {
                 return f;
             }
             let (guard, timed_out) = self.cv.wait_timeout(q, Duration::from_secs(30)).unwrap();
             q = guard;
-            assert!(
-                !timed_out.timed_out(),
-                "executor starved: dispatch ordinal {ordinal} never arrived"
-            );
+            if timed_out.timed_out() {
+                let queued: Vec<(u64, u64, u64)> = q
+                    .iter()
+                    .map(|(s, (id, w))| {
+                        let gang = if w.len() > 2 && w[1] == KIND_JOB {
+                            w[2]
+                        } else {
+                            0
+                        };
+                        (*s, *id, gang)
+                    })
+                    .collect();
+                let last = *self.last_done.lock().unwrap();
+                panic!(
+                    "executor starved on rank {}: dispatch seq {seq} never arrived; \
+                     banked frames (seq, job, gang mask): {queued:?}; \
+                     last completed (job, gang mask): {last:?}; \
+                     barrier groups (mask, next, released, last_release_ms, \
+                     pending enters, pending counts): {:?}",
+                    ep.rank(),
+                    ep.barrier_state(),
+                );
+            }
         }
     }
 }
@@ -145,15 +184,20 @@ struct Handler {
 }
 
 impl Handler {
-    /// Deliver gateway dispatches: enqueue locally (rank 0 is a member
-    /// too) and post `Submit` AMs to every other rank. Acks are
+    /// Deliver gateway dispatches: each frame goes to its member rank —
+    /// enqueued locally for rank 0 (the gateway host is a member too
+    /// when the gang includes it), `Submit` AMs elsewhere. Acks are
     /// irrelevant — the seq/retry machinery guarantees delivery.
     fn issue(&self, dispatches: Vec<Dispatch>) {
         let Some(ep) = self.ep.upgrade() else { return };
+        let me = ep.rank();
         for d in dispatches {
-            self.exec.enqueue(d.job_id, &d.words);
-            for r in 1..ep.nranks() {
-                ep.submit_async(r, d.job_id, d.words.clone(), Box::new(|_| {}));
+            for (r, words) in d.frames {
+                if r == me {
+                    self.exec.enqueue(d.job_id, &words);
+                } else {
+                    ep.submit_async(r, d.job_id, words, Box::new(|_| {}));
+                }
             }
         }
     }
@@ -244,7 +288,7 @@ impl RankDaemon {
             root,
             pool: Arc::new(TilePool::default()),
             run_epoch: Arc::new(AtomicU64::new(0)),
-            plans: PlanCache::default(),
+            plans: PlanCache::new(cfg.plan_cache),
             gateway,
             exec,
             handler,
@@ -279,6 +323,11 @@ impl RankDaemon {
         self.plans.stats()
     }
 
+    /// Plans evicted under the residency budget so far.
+    pub fn plan_evictions(&self) -> u64 {
+        self.plans.evictions()
+    }
+
     /// The gateway, on rank 0.
     pub fn gateway(&self) -> Option<&Arc<Gateway>> {
         self.gateway.as_ref()
@@ -304,27 +353,34 @@ impl RankDaemon {
         }
     }
 
-    /// The executor loop: run dispatched jobs in ordinal order until
-    /// the halt frame. Collective in aggregate — every rank's loop
-    /// executes the same jobs in the same order.
+    /// The executor loop: run dispatched jobs in this rank's seq order
+    /// until the halt frame. Collective per gang — all members of a
+    /// gang execute that gang's jobs in the same relative order, while
+    /// disjoint gangs proceed concurrently on their own ranks.
     pub fn run(&self) {
-        let mut ordinal = 0u64;
+        let mut seq = 0u64;
         loop {
-            let (job_id, words) = self.exec.pop(ordinal);
-            ordinal += 1;
+            let (job_id, words) = self.exec.pop(seq, &self.ep);
+            seq += 1;
             match words[1] {
                 KIND_HALT => return,
-                KIND_JOB => self.execute(job_id, words[0], &words[2..]),
+                KIND_JOB => {
+                    let (gang, ordinal) = (words[2], words[3]);
+                    self.execute(job_id, gang, ordinal, &words[4..]);
+                    self.exec.note_done(job_id, gang);
+                }
                 k => panic!("unknown dispatch kind {k}"),
             }
         }
     }
 
-    /// Execute one admitted job and report completion to the gateway.
-    fn execute(&self, job_id: u64, ordinal: u64, spec_words: &[u64]) {
+    /// Execute one admitted job on its gang and report completion to
+    /// the gateway.
+    fn execute(&self, job_id: u64, gang: u64, ordinal: u64, spec_words: &[u64]) {
         assert_eq!(spec_words.len(), SPEC_WORDS, "dispatch spec malformed");
         let spec = JobSpec::decode(spec_words).expect("gateway dispatched an undecodable spec");
         let key = PlanKey {
+            gang,
             kernels: spec_words[4],
             occ: spec.space.occ_tiles_per_spin,
             virt: spec.space.virt_tiles_per_spin,
@@ -338,7 +394,7 @@ impl RankDaemon {
             let space = TileSpace::build(&spec.space);
             let drank = Arc::new(DistRank::attach(
                 self.ep.clone(),
-                self.root.dist_share(),
+                self.root.dist_share_gang(gang),
                 &space,
                 &spec.kernels,
                 self.pool.clone(),
@@ -390,6 +446,7 @@ impl RankDaemon {
         self.records.lock().unwrap().push(JobRecord {
             job_id,
             ordinal,
+            gang_mask: gang,
             tenant: spec.tenant,
             variant: spec.variant.id(),
             plan_hit: hit,

@@ -1,35 +1,48 @@
-//! The rank-0 admission controller: job table, per-tenant queues, and
-//! weighted-fair dispatch.
+//! The rank-0 admission controller: job table, per-tenant queues,
+//! weighted-fair dispatch, and gang packing.
 //!
 //! The gateway is deliberately pure state: it never touches the wire.
 //! Every mutating entry point returns the [`Dispatch`] frames the caller
 //! must deliver (to its own executor and, via `Submit` active messages,
-//! to every member rank), so the same logic serves the in-process rank-0
-//! client and the progress-thread `JobHandler` without lock-ordering
-//! surprises.
+//! to the other member ranks), so the same logic serves the in-process
+//! rank-0 client and the progress-thread `JobHandler` without
+//! lock-ordering surprises.
 //!
 //! Admission is two-level. Jobs are always *accepted* (queued per
-//! tenant); at most `max_open` are *open* (dispatched, not yet reported
-//! done by every rank) at a time. When a slot frees, the next job comes
-//! from the tenant with the smallest weighted dispatch count
-//! `dispatched / weight` — start-time weighted fairness: a tenant with
-//! weight 2 gets two dispatches for every one of a weight-1 tenant under
-//! sustained contention, while an idle tenant's backlog never starves.
+//! tenant); a job is *dispatched* when a **gang** for it can be packed:
+//! a contiguous window of `spec.ranks` currently-idle ranks (contiguous
+//! windows keep the gang leader the lowest member and never fragment the
+//! mesh into interleaved jobs). Jobs on disjoint gangs run concurrently
+//! — a 4-rank mesh executes two 2-rank jobs side by side — subject to
+//! the global `max_open` bound. Candidate selection is weighted-fair
+//! across tenants (smallest `dispatched / weight` first, the same
+//! start-time fairness as before); within the chosen tenant the largest
+//! *placeable* job wins (first-fit-decreasing: pack the big job while
+//! the window exists, backfill small ones around it), ties broken FIFO.
+//!
+//! Every dispatch carries, per member rank, that rank's next dispatch
+//! **seq** — all assigned under the gateway lock, so any two ranks
+//! sharing two gangs observe those gangs' jobs in one consistent order
+//! (a total order restricted to each rank). Executors run their frames
+//! strictly by seq; jobs on one gang additionally get a per-gang
+//! *ordinal* for reporting and plan-scope accounting.
 
 use crate::spec::{JobSpec, JobState, KIND_HALT, KIND_JOB};
+use comm::{full_mask, mask_members};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// One frame the caller must deliver to every rank (its own executor
-/// included): the job-id to dispatch under and the `[ordinal, kind,
-/// ...spec]` words.
+/// One admitted job's delivery set: the job-id the member ranks will
+/// report under, and one `[seq, kind, gang mask, gang ordinal, ...spec]`
+/// frame per member rank (halt dispatches carry `[seq, KIND_HALT]` for
+/// every rank).
 #[derive(Debug, Clone)]
 pub struct Dispatch {
     /// Id the member ranks will report under.
     pub job_id: u64,
-    /// Full dispatch frame, ready for `Endpoint::submit_async`.
-    pub words: Vec<u64>,
+    /// `(member rank, frame words)`, ready for `Endpoint::submit_async`.
+    pub frames: Vec<(usize, Vec<u64>)>,
 }
 
 /// Gateway's record of one job, exposed for reporting.
@@ -38,9 +51,11 @@ pub struct JobMeta {
     pub job_id: u64,
     pub tenant: u32,
     pub state: JobState,
-    /// Collective execution ordinal (valid once dispatched).
+    /// Rank gang the job was packed onto (valid once dispatched).
+    pub gang_mask: u64,
+    /// Per-gang execution ordinal (valid once dispatched).
     pub ordinal: u64,
-    /// Energy bits from rank 0's execution (valid once done).
+    /// Energy bits from the gang leader's execution (valid once done).
     pub energy_bits: u64,
     /// Nanoseconds since gateway creation at each transition; zero
     /// until the transition happens.
@@ -61,7 +76,17 @@ struct GwState {
     specs: HashMap<u64, Vec<u64>>, // queued jobs' encoded specs
     done_ranks: HashMap<u64, u64>, // bitmask of ranks that reported
     next_id: u64,
-    next_ordinal: u64,
+    /// Next dispatch seq per rank: each rank's executor runs its frames
+    /// strictly in this order.
+    next_seq: Vec<u64>,
+    /// Next per-gang ordinal, keyed by gang mask.
+    gang_ordinals: HashMap<u64, u64>,
+    /// Ranks occupied by open jobs; packing only uses idle ranks, so a
+    /// rank hosts at most one running job at a time (its gang slot).
+    busy: u64,
+    /// Per-rank busy nanoseconds accumulated over closed jobs, for the
+    /// utilization report.
+    busy_ns: Vec<u64>,
     open: usize,
     halted: bool,
     halt_sent: bool,
@@ -75,11 +100,20 @@ pub struct Gateway {
     st: Mutex<GwState>,
 }
 
+/// Lowest contiguous window of `size` idle ranks, as a mask.
+fn place(size: usize, busy: u64, nranks: usize) -> Option<u64> {
+    let window = full_mask(size);
+    (0..=nranks - size)
+        .map(|s| window << s)
+        .find(|m| m & busy == 0)
+}
+
 impl Gateway {
     /// Controller for `nranks` member ranks, at most `max_open` jobs
     /// open concurrently, with explicit tenant `weights` (unlisted
     /// tenants weigh 1).
     pub fn new(nranks: usize, max_open: usize, weights: &[(u32, u64)]) -> Self {
+        assert!(nranks <= 64, "gang masks are u64");
         let tenants = weights
             .iter()
             .map(|&(t, w)| {
@@ -103,7 +137,10 @@ impl Gateway {
                 specs: HashMap::new(),
                 done_ranks: HashMap::new(),
                 next_id: 1,
-                next_ordinal: 0,
+                next_seq: vec![0; nranks],
+                gang_ordinals: HashMap::new(),
+                busy: 0,
+                busy_ns: vec![0; nranks],
                 open: 0,
                 halted: false,
                 halt_sent: false,
@@ -123,6 +160,15 @@ impl Gateway {
             .tenants
             .get(&tenant)
             .map_or(1, |q| q.weight)
+    }
+
+    /// Gang size a spec's `ranks` request resolves to on this mesh.
+    fn gang_size(&self, requested: usize) -> usize {
+        if requested == 0 || requested > self.nranks {
+            self.nranks
+        } else {
+            requested
+        }
     }
 
     /// Accept a tenant submission (already word-encoded, straight off
@@ -146,6 +192,7 @@ impl Gateway {
                 job_id: id,
                 tenant: spec.tenant,
                 state: JobState::Queued,
+                gang_mask: 0,
                 ordinal: 0,
                 energy_bits: 0,
                 submitted_ns: now,
@@ -167,9 +214,9 @@ impl Gateway {
         (Some(id), out)
     }
 
-    /// Record one rank's completion report. When the last rank reports,
-    /// the job closes, its slot frees, and the next queued job (if any)
-    /// is dispatched.
+    /// Record one member rank's completion report. When the last member
+    /// reports, the job closes, its gang's ranks free, and any queued
+    /// jobs that now pack are dispatched.
     pub fn record_done(&self, from: usize, job_id: u64, result: u64) -> Vec<Dispatch> {
         let now = self.now_ns();
         let mut st = self.st.lock().unwrap();
@@ -179,20 +226,30 @@ impl Gateway {
         if meta.state != JobState::Running {
             return Vec::new(); // late duplicate after completion
         }
-        if from == 0 {
+        let gang = meta.gang_mask;
+        let bit = 1u64 << from;
+        if gang & bit == 0 {
+            return Vec::new(); // report from a rank outside the gang
+        }
+        // The gang leader (lowest member) computed the energy.
+        if from == gang.trailing_zeros() as usize {
             meta.energy_bits = result;
         }
         let mask = st.done_ranks.entry(job_id).or_insert(0);
-        let bit = 1u64 << from;
         if *mask & bit != 0 {
             return Vec::new(); // dedup normally absorbs these; be safe
         }
         *mask |= bit;
-        if mask.count_ones() as usize == self.nranks {
+        if *mask == gang {
             st.done_ranks.remove(&job_id);
             let meta = st.jobs.get_mut(&job_id).unwrap();
             meta.state = JobState::Done;
             meta.done_ns = now;
+            let span = now - meta.dispatched_ns;
+            for r in mask_members(gang) {
+                st.busy_ns[r] += span;
+            }
+            st.busy &= !gang;
             st.open -= 1;
             return self.pump(&mut st);
         }
@@ -210,8 +267,8 @@ impl Gateway {
     }
 
     /// Begin an orderly shutdown: no further submissions are accepted,
-    /// and once every queued job has been dispatched, a halt frame goes
-    /// out after them in ordinal order.
+    /// and once every queued job has been dispatched, halt frames go
+    /// out to every rank after its jobs in seq order.
     pub fn halt(&self) -> Vec<Dispatch> {
         let mut st = self.st.lock().unwrap();
         st.halted = true;
@@ -226,53 +283,98 @@ impl Gateway {
         out
     }
 
-    /// Dispatch as many queued jobs as free slots allow, weighted-fair
-    /// across tenants, then the halt frame if draining finished.
+    /// Per-rank utilization over `[0, now]`: busy nanoseconds of closed
+    /// jobs divided by wall nanoseconds since the gateway came up.
+    pub fn utilization(&self) -> Vec<f64> {
+        let wall = self.now_ns().max(1) as f64;
+        let st = self.st.lock().unwrap();
+        st.busy_ns.iter().map(|&b| b as f64 / wall).collect()
+    }
+
+    /// Dispatch every queued job a gang can currently be packed for,
+    /// weighted-fair across tenants, then the halt frames if draining
+    /// finished.
     fn pump(&self, st: &mut GwState) -> Vec<Dispatch> {
         let mut out = Vec::new();
         loop {
             if st.open >= self.max_open {
                 break;
             }
-            // Weighted start-time fairness: smallest dispatched/weight
-            // among tenants with queued work; tenant id breaks ties
-            // deterministically.
-            let Some(&tenant) = st
-                .tenants
-                .iter()
-                .filter(|(_, q)| !q.queue.is_empty())
-                .min_by(|(ta, qa), (tb, qb)| {
-                    let ka = (qa.dispatched * qb.weight, *ta);
-                    let kb = (qb.dispatched * qa.weight, *tb);
-                    ka.cmp(&kb)
-                })
-                .map(|(t, _)| t)
-            else {
+            // Weighted start-time fairness across tenants that have at
+            // least one placeable job; within a tenant, the largest
+            // placeable job (first-fit-decreasing), FIFO on ties.
+            let mut pick: Option<(u32, usize, u64, usize)> = None; // tenant, qpos, mask, size
+            for (&tenant, q) in st.tenants.iter() {
+                let Some((qpos, mask, size)) = q
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, id)| {
+                        let size = self.gang_size(st.specs[id][11] as usize);
+                        place(size, st.busy, self.nranks).map(|m| (i, m, size))
+                    })
+                    .max_by(|a, b| {
+                        (a.2, std::cmp::Reverse(a.0)).cmp(&(b.2, std::cmp::Reverse(b.0)))
+                    })
+                else {
+                    continue;
+                };
+                let better = match &pick {
+                    None => true,
+                    Some((pt, _, _, _)) => {
+                        let (qa, qb) = (&st.tenants[&tenant], &st.tenants[pt]);
+                        let ka = (qa.dispatched * qb.weight, tenant);
+                        let kb = (qb.dispatched * qa.weight, *pt);
+                        ka < kb
+                    }
+                };
+                if better {
+                    pick = Some((tenant, qpos, mask, size));
+                }
+            }
+            let Some((tenant, qpos, mask, _)) = pick else {
                 break;
             };
             let q = st.tenants.get_mut(&tenant).unwrap();
-            let id = q.queue.pop_front().unwrap();
+            let id = q.queue.remove(qpos).unwrap();
             q.dispatched += 1;
-            let ordinal = st.next_ordinal;
-            st.next_ordinal += 1;
+            let ordinal = {
+                let o = st.gang_ordinals.entry(mask).or_insert(0);
+                let v = *o;
+                *o += 1;
+                v
+            };
+            st.busy |= mask;
             st.open += 1;
             let spec = st.specs.remove(&id).expect("queued job lost its spec");
             let meta = st.jobs.get_mut(&id).unwrap();
             meta.state = JobState::Running;
+            meta.gang_mask = mask;
             meta.ordinal = ordinal;
             meta.dispatched_ns = self.now_ns();
-            let mut words = vec![ordinal, KIND_JOB];
-            words.extend_from_slice(&spec);
-            out.push(Dispatch { job_id: id, words });
+            let mut frames = Vec::new();
+            for r in mask_members(mask) {
+                let seq = st.next_seq[r];
+                st.next_seq[r] += 1;
+                let mut words = vec![seq, KIND_JOB, mask, ordinal];
+                words.extend_from_slice(&spec);
+                frames.push((r, words));
+            }
+            out.push(Dispatch { job_id: id, frames });
         }
         let drained = st.tenants.values().all(|q| q.queue.is_empty());
         if st.halted && !st.halt_sent && drained {
             st.halt_sent = true;
-            let ordinal = st.next_ordinal;
-            st.next_ordinal += 1;
+            let frames = (0..self.nranks)
+                .map(|r| {
+                    let seq = st.next_seq[r];
+                    st.next_seq[r] += 1;
+                    (r, vec![seq, KIND_HALT])
+                })
+                .collect();
             out.push(Dispatch {
                 job_id: u64::MAX - 1,
-                words: vec![ordinal, KIND_HALT],
+                frames,
             });
         }
         out
@@ -285,7 +387,7 @@ mod tests {
     use crate::spec::{JobSpec, Variant};
     use tce::{scale, Kernel};
 
-    fn spec(tenant: u32) -> Vec<u64> {
+    fn spec_ranks(tenant: u32, ranks: usize) -> Vec<u64> {
         JobSpec {
             tenant,
             space: scale::tiny(),
@@ -293,8 +395,18 @@ mod tests {
             variant: Variant::V5,
             threads: 1,
             prefetch: false,
+            ranks,
         }
         .encode()
+    }
+
+    fn spec(tenant: u32) -> Vec<u64> {
+        spec_ranks(tenant, 0)
+    }
+
+    /// The single frame set of a full-mesh dispatch, checked for shape.
+    fn frame_of(d: &Dispatch, rank: usize) -> &[u64] {
+        &d.frames.iter().find(|(r, _)| *r == rank).unwrap().1
     }
 
     #[test]
@@ -304,20 +416,75 @@ mod tests {
         let (id2, d2) = gw.submit(&spec(0));
         assert_eq!((id1, id2), (Some(1), Some(2)));
         assert_eq!(d1.len(), 1, "slot free: dispatch immediately");
+        assert_eq!(d1[0].frames.len(), 2, "one frame per member rank");
+        assert_eq!(frame_of(&d1[0], 0)[..4], [0, KIND_JOB, 0b11, 0]);
+        assert_eq!(frame_of(&d1[0], 1)[..4], [0, KIND_JOB, 0b11, 0]);
         assert!(d2.is_empty(), "slot busy: queued");
         assert_eq!(gw.status(1).0, JobState::Running as u8);
         assert_eq!(gw.status(2).0, JobState::Queued as u8);
         // Half-done: still open.
         assert!(gw.record_done(0, 1, 42f64.to_bits()).is_empty());
-        // Fully done: job 2 dispatched with the next ordinal.
+        // Fully done: job 2 dispatched with the next seq and ordinal.
         let d = gw.record_done(1, 1, 0);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].job_id, 2);
-        assert_eq!(d[0].words[0], 1, "ordinals are consecutive");
+        assert_eq!(
+            frame_of(&d[0], 0)[..4],
+            [1, KIND_JOB, 0b11, 1],
+            "seqs and gang ordinals are consecutive"
+        );
         assert_eq!(gw.status(1), (JobState::Done as u8, 42f64.to_bits()));
         // Duplicate done reports after completion are no-ops.
         assert!(gw.record_done(1, 1, 0).is_empty());
         assert_eq!(gw.status(3).0, JobState::Unknown as u8);
+    }
+
+    #[test]
+    fn disjoint_gangs_dispatch_concurrently() {
+        let gw = Gateway::new(4, 4, &[]);
+        let (_, d1) = gw.submit(&spec_ranks(0, 2));
+        let (_, d2) = gw.submit(&spec_ranks(0, 2));
+        let (_, d3) = gw.submit(&spec_ranks(0, 4));
+        // Two 2-rank gangs pack side by side; the 4-rank job waits.
+        assert_eq!(frame_of(&d1[0], 0)[2], 0b0011);
+        assert_eq!(frame_of(&d2[0], 2)[2], 0b1100);
+        assert!(d3.is_empty(), "mesh full: 4-rank job queued");
+        assert_eq!(gw.status(1).0, JobState::Running as u8);
+        assert_eq!(gw.status(2).0, JobState::Running as u8);
+        // Gang 2's members report done (leader is rank 2).
+        assert!(gw.record_done(3, 2, 0).is_empty());
+        let d = gw.record_done(2, 2, 7f64.to_bits());
+        assert_eq!(gw.status(2), (JobState::Done as u8, 7f64.to_bits()));
+        assert!(d.is_empty(), "job 3 needs the whole mesh: still queued");
+        // Gang 1 closes too: the 4-rank job finally packs.
+        gw.record_done(0, 1, 0.5f64.to_bits());
+        let d = gw.record_done(1, 1, 0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].job_id, 3);
+        assert_eq!(frame_of(&d[0], 0)[2], 0b1111);
+        // Rank 0 ran job 1 (seq 0), so job 3 is its seq 1; rank 2 ran
+        // job 2 (seq 0), so job 3 is its seq 1 as well — but rank
+        // orderings are independent chains.
+        assert_eq!(frame_of(&d[0], 0)[0], 1);
+        assert_eq!(frame_of(&d[0], 2)[0], 1);
+        // Per-gang ordinals: first job on mask 0b1111.
+        assert_eq!(frame_of(&d[0], 0)[3], 0);
+        // A report from a rank outside the gang is ignored.
+        let meta = gw.report().into_iter().find(|m| m.job_id == 3).unwrap();
+        assert_eq!(meta.gang_mask, 0b1111);
+    }
+
+    #[test]
+    fn energy_comes_from_the_gang_leader() {
+        let gw = Gateway::new(4, 4, &[]);
+        // Occupy ranks 0-1 so the next job lands on gang {2,3}.
+        gw.submit(&spec_ranks(0, 2));
+        let (_, d) = gw.submit(&spec_ranks(0, 2));
+        assert_eq!(frame_of(&d[0], 2)[2], 0b1100);
+        // Rank 3's report carries garbage energy; rank 2 (leader) wins.
+        gw.record_done(3, 2, 999f64.to_bits());
+        gw.record_done(2, 2, 5f64.to_bits());
+        assert_eq!(gw.status(2), (JobState::Done as u8, 5f64.to_bits()));
     }
 
     #[test]
@@ -369,19 +536,22 @@ mod tests {
         gw.submit(&spec(0));
         gw.submit(&spec(0));
         let d = gw.halt();
-        assert!(d.is_empty(), "job 3 still queued: halt waits");
+        assert!(d.is_empty(), "jobs still queued: halt waits");
         assert!(gw.submit(&spec(0)).0.is_none(), "halted: no new work");
-        // Job 1's completion frees a slot: job 3 dispatches, the
-        // queues drain, and the halt frame follows in the same pump —
-        // its larger ordinal already serializes it after job 3 on
-        // every executor.
+        // A rank hosts one gang slot at a time, so the single rank
+        // serializes the queue regardless of max_open.
         let d = gw.record_done(0, 1, 0);
-        assert_eq!(d.len(), 2, "job 3 dispatch plus the halt frame");
+        assert_eq!(d.len(), 1, "rank freed: next job only");
+        assert_eq!(d[0].job_id, 2);
+        // The last queued job's dispatch drains the queues, so the halt
+        // frames follow in the same pump — their larger seqs already
+        // serialize them after job 3 on every executor.
+        let d = gw.record_done(0, 2, 0);
+        assert_eq!(d.len(), 2, "job 3 dispatch plus the halt dispatch");
         assert_eq!(d[0].job_id, 3);
-        assert_eq!(d[1].words[1], KIND_HALT);
-        assert_eq!(d[1].words[0], 3, "halt ordinal follows the jobs");
-        assert!(gw.record_done(0, 2, 0).is_empty(), "halt already sent");
-        assert!(gw.record_done(0, 3, 0).is_empty());
+        assert_eq!(frame_of(&d[1], 0)[1], KIND_HALT);
+        assert_eq!(frame_of(&d[1], 0)[0], 3, "halt seq follows the jobs");
+        assert!(gw.record_done(0, 3, 0).is_empty(), "halt already sent");
     }
 
     #[test]

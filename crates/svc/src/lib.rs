@@ -11,12 +11,15 @@
 //!   kernels, variant, threads) and its flat word encoding for the
 //!   `Submit` active message;
 //! * [`gateway`] — the rank-0 [`Gateway`]: job table, bounded open-job
-//!   admission, and weighted-fair dispatch across tenants;
+//!   admission, weighted-fair dispatch across tenants, and gang packing
+//!   (jobs sized from `JobSpec::ranks` land on disjoint contiguous rank
+//!   windows and execute concurrently);
 //! * [`plan`] — the per-rank [`PlanCache`]: inspection + workspace +
-//!   task graphs keyed by (geometry, kernels, variant), kept warm with
-//!   the tile cache's pinned input tensors across jobs;
+//!   task graphs keyed by (gang, geometry, kernels, variant), kept warm
+//!   with the tile cache's pinned input tensors across jobs and bounded
+//!   by an LRU residency budget ([`plan::PlanCacheConfig`]);
 //! * [`daemon`] — [`RankDaemon`]: the `JobHandler` wired into the comm
-//!   engine, the ordinal-ordered executor, and the tenant [`Client`].
+//!   engine, the seq-ordered executor, and the tenant [`Client`].
 //!
 //! Job control traffic (submit / status / done) rides the same
 //! per-peer-sequence, retry, dedup machinery as every other mutating
@@ -30,5 +33,5 @@ pub mod spec;
 
 pub use daemon::{Client, JobRecord, RankDaemon, SvcConfig};
 pub use gateway::{Dispatch, Gateway, JobMeta};
-pub use plan::{CachedPlan, PlanCache, PlanKey};
+pub use plan::{CachedPlan, PlanCache, PlanCacheConfig, PlanKey};
 pub use spec::{JobSpec, JobState, Variant, KIND_HALT, KIND_JOB, SPEC_WORDS};

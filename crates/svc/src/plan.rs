@@ -1,25 +1,30 @@
 //! The per-rank plan cache: inspection, workspace, and task graphs kept
-//! warm across job submissions.
+//! warm across job submissions — now gang-scoped and bounded.
 //!
 //! Building a job's execution plan is the expensive prologue of every
 //! CCSD iteration: inspect the tile space into chain metadata,
 //! collectively create and fill the Global Arrays, and wire the task
 //! graph. None of it depends on anything but the tile geometry, the
-//! kernel set, and (for the graph) the variant — so a persistent daemon
-//! caches plans keyed exactly that way, and a repeat submission skips
-//! straight to execution. Workspace arrays (and the tile cache's pinned
-//! entries for them) stay resident between jobs, which is the service
-//! layer's whole reason to exist: the second tenant to ask about a
-//! molecule pays only the compute.
+//! kernel set, the **gang** it is sharded over, and (for the graph) the
+//! variant — so a persistent daemon caches plans keyed exactly that way,
+//! and a repeat submission skips straight to execution. Workspace arrays
+//! (and the tile cache's pinned entries for them) stay resident between
+//! jobs, which is the service layer's whole reason to exist: the second
+//! tenant to ask about a molecule pays only the compute.
 //!
-//! Cache coherence across ranks is by construction: every rank executes
-//! jobs in the same ordinal order, lookups are deterministic, and plan
-//! construction is collective — so all ranks hit and miss in lockstep,
-//! and the collective calls inside a miss (array creation, fills, sync)
-//! line up. The cache is unbounded by design; its size is the number of
-//! distinct (geometry, kernels) pairs the service has seen, each pinned
-//! deliberately so arrays keep their handles (handles are
-//! allocation-order indices and can never be reused).
+//! Cache coherence across ranks is by construction: all members of a
+//! gang execute that gang's jobs in the same relative order (the
+//! gateway assigns every seq of a dispatch under one lock), lookups are
+//! deterministic, and plan construction is collective over the gang —
+//! so the gang's members hit, miss, **and evict** in lockstep, and the
+//! collective calls inside a miss (array creation, fills, sync) line
+//! up. That is why eviction is scoped *per gang mask*: a mask's members
+//! share exactly the mask's lookup sequence, while an eviction policy
+//! over the whole per-rank cache would act on sequences that differ
+//! between ranks (rank 0 never sees gang `{2,3}`'s lookups) and
+//! diverge. Evicting destroys the plan's arrays — handles are
+//! allocation-order ids and are never reused; the store tombstones them
+//! so a late chaos duplicate reads zeros instead of hanging.
 
 use ccsd::{DistRank, VariantCfg};
 use ptg::TaskGraph;
@@ -27,10 +32,25 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// What makes two jobs share a plan: geometry and kernel set. The
+/// Residency budget for the plan cache. Both limits are **per gang
+/// mask** (the unit over which eviction decisions replicate across
+/// ranks); `0` means unbounded. The just-inserted plan is never evicted,
+/// so a budget of 1 entry degenerates to "no reuse across geometries"
+/// rather than thrashing the current job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanCacheConfig {
+    /// Maximum resident plans per gang mask (`0` = unbounded).
+    pub max_entries: usize,
+    /// Maximum workspace bytes per gang mask (`0` = unbounded).
+    pub max_bytes: u64,
+}
+
+/// What makes two jobs share a plan: gang, geometry and kernel set. The
 /// variant is keyed one level down, on the cached graphs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
+    /// Gang mask the workspace is sharded over.
+    pub gang: u64,
     /// Kernel bitmask, in the wire order of `spec::KERNEL_ORDER`.
     pub kernels: u64,
     /// The full tile geometry, field for field.
@@ -54,15 +74,23 @@ pub struct CachedPlan {
     /// Wall nanoseconds the collective build took (the cost a hit
     /// skips).
     pub build_ns: u64,
+    /// Global bytes of the workspace's four tensors (every rank computes
+    /// the same value, so byte-budget evictions agree).
+    pub bytes: u64,
 }
 
 impl CachedPlan {
     /// Wrap a freshly attached instance.
     pub fn new(drank: Arc<DistRank>, build_ns: u64) -> Self {
+        let ws = drank.workspace();
+        let bytes = 8
+            * (ws.t2_layout.len() + ws.v_layout.len() + ws.v_oo_layout.len() + ws.i2_layout.len())
+                as u64;
         Self {
             drank,
             graphs: Mutex::new(HashMap::new()),
             build_ns,
+            bytes,
         }
     }
 
@@ -84,13 +112,34 @@ impl CachedPlan {
             })
             .clone()
     }
+
+    /// Release the plan's workspace arrays: shards dropped, ids
+    /// tombstoned, pinned cache entries freed. Only the evictor calls
+    /// this, after the plan's last job has fully settled on this rank.
+    fn destroy(&self) {
+        let ws = self.drank.workspace();
+        for h in [ws.t2, ws.v, ws.v_oo, ws.i2] {
+            ws.ga.destroy(h);
+        }
+    }
 }
 
-/// The rank's plan cache with hit/miss accounting.
+/// One gang mask's residency bookkeeping: keys in recency order (least
+/// recent first) and resident workspace bytes.
+#[derive(Default)]
+struct MaskLru {
+    recency: Vec<PlanKey>,
+    bytes: u64,
+}
+
+/// The rank's plan cache with hit/miss/eviction accounting.
 pub struct PlanCache {
+    cfg: PlanCacheConfig,
     map: Mutex<HashMap<PlanKey, Arc<CachedPlan>>>,
+    lru: Mutex<HashMap<u64, MaskLru>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     /// Graphs built (a plan hit can still build a graph when the
     /// variant or band is new for that plan).
     graph_builds: AtomicU64,
@@ -98,35 +147,66 @@ pub struct PlanCache {
 
 impl Default for PlanCache {
     fn default() -> Self {
-        Self {
-            map: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            graph_builds: AtomicU64::new(0),
-        }
+        Self::new(PlanCacheConfig::default())
     }
 }
 
 impl PlanCache {
+    /// Cache bounded by `cfg` (the default config is unbounded).
+    pub fn new(cfg: PlanCacheConfig) -> Self {
+        Self {
+            cfg,
+            map: Mutex::new(HashMap::new()),
+            lru: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            graph_builds: AtomicU64::new(0),
+        }
+    }
+
     /// Look up `key`, building and inserting via `build` on a miss.
     /// Returns the plan and whether it was a hit. The build runs under
     /// the cache lock — correct here because one executor thread per
     /// rank is the only caller, and the build's collectives must not
-    /// interleave with another lookup anyway.
+    /// interleave with another lookup anyway. A miss that pushes the
+    /// key's gang over its entry or byte budget evicts that gang's
+    /// least-recently-used plans (destroying their arrays) until it
+    /// fits — deterministically, so every member of the gang evicts the
+    /// same plans at the same point in its job sequence.
     pub fn get_or_build(
         &self,
         key: PlanKey,
         build: impl FnOnce() -> Arc<CachedPlan>,
     ) -> (Arc<CachedPlan>, bool) {
         let mut map = self.map.lock().unwrap();
+        let mut lru = self.lru.lock().unwrap();
+        let bucket = lru.entry(key.gang).or_default();
         if let Some(plan) = map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            let pos = bucket.recency.iter().position(|k| *k == key).unwrap();
+            let k = bucket.recency.remove(pos);
+            bucket.recency.push(k);
             return (plan.clone(), true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let plan = build();
+        bucket.bytes += plan.bytes;
+        bucket.recency.push(key.clone());
         map.insert(key, plan.clone());
+        while bucket.recency.len() > 1 && self.over_budget(bucket) {
+            let victim = bucket.recency.remove(0);
+            let evicted = map.remove(&victim).expect("lru key lost its plan");
+            bucket.bytes -= evicted.bytes;
+            evicted.destroy();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
         (plan, false)
+    }
+
+    fn over_budget(&self, bucket: &MaskLru) -> bool {
+        (self.cfg.max_entries > 0 && bucket.recency.len() > self.cfg.max_entries)
+            || (self.cfg.max_bytes > 0 && bucket.bytes > self.cfg.max_bytes)
     }
 
     /// Graph-build counter handle (threaded into [`CachedPlan::graph`]).
@@ -141,6 +221,11 @@ impl PlanCache {
             self.misses.load(Ordering::Relaxed),
             self.graph_builds.load(Ordering::Relaxed),
         )
+    }
+
+    /// Plans evicted (and their arrays destroyed) so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Distinct plans resident.

@@ -7,12 +7,15 @@
 //! * a **tenant spec** — the fields of [`JobSpec`], produced by
 //!   [`JobSpec::encode`] and sent to the gateway with
 //!   `job_id == JOB_REJECTED`;
-//! * a **dispatch frame** — `[ordinal, kind, ...tenant spec]`, produced
-//!   by the gateway when it admits a job and sent to every member rank
-//!   with the assigned job id. The ordinal fixes the collective
-//!   execution order (rank executors run jobs strictly by ordinal, so
-//!   every rank performs the same collectives in the same sequence no
-//!   matter how the frames arrive).
+//! * a **dispatch frame** — `[seq, kind, gang mask, gang ordinal,
+//!   ...tenant spec]`, produced by the gateway when it admits a job and
+//!   sent to each rank of the job's gang with the assigned job id. The
+//!   `seq` is that *rank's* dispatch sequence number (each rank executes
+//!   its frames strictly by seq, so any two ranks sharing a gang see
+//!   that gang's jobs in the same relative order — the gateway assigns
+//!   all seqs of one dispatch under one lock); the gang mask names the
+//!   member ranks, and the gang ordinal counts the mask's jobs for
+//!   reporting. Halt frames are `[seq, KIND_HALT]`.
 
 use ccsd::VariantCfg;
 use tce::{Kernel, SpaceConfig};
@@ -112,6 +115,9 @@ pub struct JobSpec {
     pub threads: usize,
     /// Route reader bodies through the asynchronous prefetch pipeline.
     pub prefetch: bool,
+    /// Ranks requested: the gang size the gateway packs this job onto.
+    /// `0` (or anything at least the mesh size) means the full mesh.
+    pub ranks: usize,
 }
 
 /// Canonical kernel order behind the wire bitmask.
@@ -144,7 +150,7 @@ fn kernels_from_mask(mask: u64) -> Option<Vec<Kernel>> {
 }
 
 /// Words in an encoded tenant spec.
-pub const SPEC_WORDS: usize = 11;
+pub const SPEC_WORDS: usize = 12;
 
 impl JobSpec {
     /// Flat word encoding (see [`SPEC_WORDS`]); the exact inverse of
@@ -162,6 +168,7 @@ impl JobSpec {
             self.space.size_spread as u64,
             self.space.irreps as u64,
             self.space.seed,
+            self.ranks as u64,
         ]
     }
 
@@ -191,6 +198,7 @@ impl JobSpec {
                 irreps: words[9] as u8,
                 seed: words[10],
             },
+            ranks: words[11] as usize,
         })
     }
 }
@@ -209,6 +217,7 @@ mod tests {
             variant: Variant::V2,
             threads: 3,
             prefetch: true,
+            ranks: 2,
         };
         let words = spec.encode();
         assert_eq!(words.len(), SPEC_WORDS);
@@ -217,6 +226,7 @@ mod tests {
         assert_eq!(back.variant, Variant::V2);
         assert_eq!(back.threads, 3);
         assert!(back.prefetch);
+        assert_eq!(back.ranks, 2);
         assert_eq!(back.kernels, spec.kernels);
         assert_eq!(back.space.seed, spec.space.seed);
         assert_eq!(back.space.tile_size, spec.space.tile_size);
@@ -231,6 +241,7 @@ mod tests {
             variant: Variant::V5,
             threads: 1,
             prefetch: false,
+            ranks: 0,
         };
         let good = spec.encode();
         assert!(JobSpec::decode(&good).is_some());

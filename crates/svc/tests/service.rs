@@ -11,12 +11,12 @@
 //! on a non-gateway rank.
 
 use comm::fault::{FaultPlan, FaultTransport};
-use comm::{CommConfig, Transport};
+use comm::{CommConfig, SocketTransport, Transport};
 use global_arrays::TileCacheConfig;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc;
 use std::time::Duration;
-use svc::{JobSpec, JobState, RankDaemon, SvcConfig, Variant};
+use svc::{JobSpec, JobState, PlanCacheConfig, RankDaemon, SvcConfig, Variant};
 use tce::{scale, Kernel, SpaceConfig, TileSpace};
 use tensor_kernels::rel_diff;
 
@@ -28,7 +28,7 @@ fn reference(cfg: &SpaceConfig) -> f64 {
     ccsd::verify::reference_energy(&ws)
 }
 
-fn spec(tenant: u32, space: SpaceConfig, variant: Variant) -> JobSpec {
+fn spec_on(tenant: u32, space: SpaceConfig, variant: Variant, ranks: usize) -> JobSpec {
     JobSpec {
         tenant,
         space,
@@ -36,7 +36,12 @@ fn spec(tenant: u32, space: SpaceConfig, variant: Variant) -> JobSpec {
         variant,
         threads: 2,
         prefetch: true,
+        ranks,
     }
+}
+
+fn spec(tenant: u32, space: SpaceConfig, variant: Variant) -> JobSpec {
+    spec_on(tenant, space, variant, 0)
 }
 
 struct RankOut {
@@ -277,5 +282,255 @@ fn service_survives_dropped_and_reordered_job_control() {
         assert_eq!(out.5, 3, "rank {r} must execute all three jobs: {replay}");
     }
     let retries: u64 = outs.iter().map(|o| o.4).sum();
+    assert!(retries > 0, "chaos schedule never forced a retry: {replay}");
+}
+
+/// A plan cache bounded to one resident plan must evict the LRU plan on
+/// every geometry change — destroying its workspace arrays — and still
+/// rebuild correctly when the evicted geometry comes back: same
+/// reference energies, no stale reads from the destroyed arrays' cached
+/// blocks, and both ranks evicting in lockstep.
+#[test]
+fn bounded_plan_cache_evicts_and_rebuilds() {
+    let e_tiny = reference(&scale::tiny());
+    let e_small = reference(&scale::small());
+    let handles: Vec<_> = comm::loopback(2)
+        .into_iter()
+        .map(|t| {
+            let r = t.rank();
+            std::thread::spawn(move || {
+                let cfg = SvcConfig {
+                    plan_cache: PlanCacheConfig {
+                        max_entries: 1,
+                        max_bytes: 0,
+                    },
+                    cache: TileCacheConfig {
+                        verify_reads: true,
+                        ..TileCacheConfig::default()
+                    },
+                    ..SvcConfig::default()
+                };
+                let daemon = RankDaemon::new(Box::new(t), cfg);
+                let client = daemon.client();
+                let driver = std::thread::spawn(move || {
+                    if r != 0 {
+                        return Vec::new();
+                    }
+                    // tiny → small (evicts tiny) → tiny (evicts small,
+                    // rebuilds from scratch).
+                    let energies = [scale::tiny(), scale::small(), scale::tiny()]
+                        .into_iter()
+                        .map(|space| {
+                            let id = client.submit(&spec(1, space, Variant::V5)).unwrap();
+                            client.wait(id, TIMEOUT)
+                        })
+                        .collect::<Vec<_>>();
+                    client.halt();
+                    energies
+                });
+                daemon.run();
+                let energies = driver.join().unwrap();
+                let (hits, misses, _) = daemon.plan_stats();
+                let out = (
+                    energies,
+                    hits,
+                    misses,
+                    daemon.plan_evictions(),
+                    daemon.ga_stats().stale_reads(),
+                );
+                daemon.finish();
+                out
+            })
+        })
+        .collect();
+    let outs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let [e1, e2, e3] = outs[0].0[..] else {
+        panic!("rank 0 driver must report three energies")
+    };
+    for (e, e_ref, what) in [
+        (e1, e_tiny, "tiny (fresh)"),
+        (e2, e_small, "small (evicts tiny)"),
+        (e3, e_tiny, "tiny (rebuilt after eviction)"),
+    ] {
+        assert!(rel_diff(e, e_ref) < 1e-12, "{what}: {e} vs {e_ref}");
+    }
+    for (r, out) in outs.iter().enumerate() {
+        assert_eq!((out.1, out.2), (0, 3), "rank {r}: every lookup must miss");
+        assert_eq!(out.3, 2, "rank {r}: each new geometry evicts the last");
+        assert_eq!(out.4, 0, "rank {r}: stale reads off destroyed arrays");
+    }
+}
+
+/// Two 2-rank-gang jobs over a real 4-rank TCP mesh: the gateway packs
+/// them onto disjoint gangs `{0,1}` and `{2,3}` and they execute
+/// concurrently — the driver-observed wall time for both is less than
+/// the sum of the two jobs' individual build+run times, while each gang
+/// still reproduces the serial reference energy and (with paranoid read
+/// verification on) serves zero stale cached bytes.
+#[test]
+fn four_rank_socket_gangs_run_concurrently() {
+    const RANKS: usize = 4;
+    let e_small = reference(&scale::small());
+    let base = 35200 + (std::process::id() % 400) as u16 * 8;
+    let handles: Vec<_> = (0..RANKS)
+        .map(|r| {
+            std::thread::spawn(move || {
+                let sock = SocketTransport::connect(r, RANKS, base, Duration::from_secs(30))
+                    .unwrap_or_else(|e| panic!("mesh failed: {e}"));
+                let cfg = SvcConfig {
+                    cache: TileCacheConfig {
+                        verify_reads: true,
+                        ..TileCacheConfig::default()
+                    },
+                    ..SvcConfig::default()
+                };
+                let daemon = RankDaemon::new(Box::new(sock), cfg);
+                let client = daemon.client();
+                let driver = std::thread::spawn(move || {
+                    if r != 0 {
+                        return (0u64, 0.0, 0.0);
+                    }
+                    // Both jobs open at once (max_open 2): first-fit
+                    // packing lands them on {0,1} and {2,3}.
+                    let t0 = std::time::Instant::now();
+                    let id1 = client
+                        .submit(&spec_on(1, scale::small(), Variant::V5, 2))
+                        .unwrap();
+                    let id2 = client
+                        .submit(&spec_on(2, scale::small(), Variant::V5, 2))
+                        .unwrap();
+                    let e1 = client.wait(id1, TIMEOUT);
+                    let e2 = client.wait(id2, TIMEOUT);
+                    let wall = t0.elapsed().as_nanos() as u64;
+                    client.halt();
+                    (wall, e1, e2)
+                });
+                daemon.run();
+                let (wall, e1, e2) = driver.join().unwrap();
+                let out = (
+                    wall,
+                    e1,
+                    e2,
+                    daemon.records(),
+                    daemon.ga_stats().stale_reads(),
+                );
+                daemon.finish();
+                out
+            })
+        })
+        .collect();
+    let outs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let (wall, e1, e2, ..) = outs[0];
+    assert!(
+        rel_diff(e1, e_small) < 1e-12,
+        "gang {{0,1}}: {e1} vs {e_small}"
+    );
+    assert!(
+        rel_diff(e2, e_small) < 1e-12,
+        "gang {{2,3}}: {e2} vs {e_small}"
+    );
+    for (r, out) in outs.iter().enumerate() {
+        let gang = if r < 2 { 0b0011 } else { 0b1100 };
+        let recs = &out.3;
+        assert_eq!(recs.len(), 1, "rank {r} must run exactly its gang's job");
+        assert_eq!(recs[0].gang_mask, gang, "rank {r} gang mask");
+        assert!(!recs[0].plan_hit, "rank {r}: first job on a gang is a miss");
+        assert_eq!(out.4, 0, "rank {r} served stale cached reads");
+    }
+    // The concurrency win itself: both jobs together took less wall
+    // time than running them one after the other would have (the sum of
+    // each gang leader's build + run time).
+    let serial_sum: u64 = [&outs[0].3[0], &outs[2].3[0]]
+        .iter()
+        .map(|rec| rec.build_ns + rec.run_ns)
+        .sum();
+    assert!(
+        wall < serial_sum,
+        "gangs did not overlap: wall {}ms vs serial sum {}ms",
+        wall / 1_000_000,
+        serial_sum / 1_000_000,
+    );
+}
+
+/// Chaos over the gang control plane: two concurrent 2-rank-gang jobs
+/// plus a queued full-mesh job behind them, with the fault schedule
+/// dropping/duplicating/reordering the dispatch AMs and the per-gang
+/// barrier traffic. Every job must still land on exactly its gang, in
+/// seq order, with reference energies and zero stale reads.
+#[test]
+fn gang_dispatch_and_barriers_survive_chaos() {
+    let seed = 0x5E47_1CE0_0002u64;
+    let replay =
+        format!("gang chaos seed {seed:#x} — replay: FaultPlan::named(\"service\", {seed:#x})");
+    let e_tiny = reference(&scale::tiny());
+    let handles: Vec<_> = comm::loopback(4)
+        .into_iter()
+        .map(|t| {
+            let r = t.rank();
+            let plan = FaultPlan::named("service", seed.wrapping_add(r as u64)).unwrap();
+            let ft = FaultTransport::new(Box::new(t), plan);
+            let armed = ft.armed_handle();
+            std::thread::spawn(move || {
+                let cfg = SvcConfig {
+                    comm: chaos_cfg(),
+                    cache: TileCacheConfig {
+                        verify_reads: true,
+                        ..TileCacheConfig::default()
+                    },
+                    ..SvcConfig::default()
+                };
+                let daemon = RankDaemon::new(Box::new(ft), cfg);
+                let client = daemon.client();
+                let driver = std::thread::spawn(move || {
+                    if r != 0 {
+                        return Vec::new();
+                    }
+                    // Two gang jobs fill the mesh; the full-mesh job
+                    // queues until both gangs drain.
+                    let id1 = client
+                        .submit(&spec_on(1, scale::tiny(), Variant::V5, 2))
+                        .unwrap();
+                    let id2 = client
+                        .submit(&spec_on(2, scale::tiny(), Variant::V5, 2))
+                        .unwrap();
+                    let id3 = client.submit(&spec(1, scale::tiny(), Variant::V3)).unwrap();
+                    let e1 = client.wait(id1, TIMEOUT);
+                    let e2 = client.wait(id2, TIMEOUT);
+                    let e3 = client.wait(id3, TIMEOUT);
+                    client.halt();
+                    vec![e1, e2, e3]
+                });
+                daemon.run();
+                let energies = driver.join().unwrap();
+                let out = (
+                    energies,
+                    daemon.records(),
+                    daemon.ga_stats().stale_reads(),
+                    daemon.endpoint().stats().retries,
+                );
+                armed.store(false, Ordering::SeqCst);
+                daemon.finish();
+                out
+            })
+        })
+        .collect();
+    let outs: Vec<_> = handles
+        .into_iter()
+        .map(|h| {
+            h.join()
+                .unwrap_or_else(|_| panic!("rank panicked: {replay}"))
+        })
+        .collect();
+    for e in &outs[0].0 {
+        assert!(rel_diff(*e, e_tiny) < 1e-12, "energy {e} drifted: {replay}");
+    }
+    for (r, out) in outs.iter().enumerate() {
+        let gang = if r < 2 { 0b0011u64 } else { 0b1100 };
+        let masks: Vec<u64> = out.1.iter().map(|j| j.gang_mask).collect();
+        assert_eq!(masks, [gang, 0b1111], "rank {r} gang sequence: {replay}");
+        assert_eq!(out.2, 0, "rank {r} served stale reads: {replay}");
+    }
+    let retries: u64 = outs.iter().map(|o| o.3).sum();
     assert!(retries > 0, "chaos schedule never forced a retry: {replay}");
 }
