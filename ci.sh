@@ -45,12 +45,17 @@ echo "==> comm smoke (4 ranks x 4 workers over sockets, v1..v5 + fused v5 vs sin
 # get bytes == endpoint requested get bytes).
 cargo run -q --release -p bench-harness --bin comm_bench -- --smoke --threads 4 --reps 1
 
-echo "==> comm chaos matrix (4 ranks x 4 workers over sockets, every fault schedule + clean control, fixed seeds)"
+echo "==> comm chaos matrix (4 ranks x 4 workers over sockets, fault schedules + kill/restart matrix, fixed seeds)"
 # The 4-rank loopback matrix (7 schedules x 2 variants, plus comm-level
 # chaos) already ran under `cargo test`; this adds the real-socket pass.
-# Fixed seed so a red run replays exactly; fails on energy divergence,
-# any recovery activity in the clean control, or any verified-stale
-# cached read under faults (the cache runs with verify_reads here too).
+# The same invocation also runs the kill/restart death matrix: four
+# scripted death schedules (mid-gemm, mid-barrier, mid-submit, and
+# kill-then-restart) where the survivors' failure detector must confirm
+# the victim's death — plus a clean control that must show zero detector
+# false positives and zero recovery activity. Fixed seed so a red run
+# replays exactly; fails on energy divergence, any recovery activity in
+# the clean control, or any verified-stale cached read under faults
+# (the cache runs with verify_reads here too).
 cargo run -q --release -p bench-harness --bin comm_bench -- --chaos --seed c0ffee00
 
 echo "==> service smoke (4-rank socket daemons, 2-gang configuration, 2 tenants, 4 jobs)"
@@ -69,16 +74,34 @@ echo "$smoke_out" | grep -q "SERVICE SMOKE OK" || { echo "service smoke failed";
 echo "$smoke_out" | grep -q "gangs 0b[01]*/0b[01]*" || { echo "gang fields malformed in smoke output"; exit 1; }
 echo "$smoke_out" | grep -q "0 retries, 0 stale reads" || { echo "smoke not clean"; exit 1; }
 
+echo "==> service recovery gate (4-rank socket daemons, rank 3 killed mid-stream, checkpoint + replay gates)"
+# The kill-mid-run survival story over real OS processes: rank 3's
+# transport goes dark at a scripted frame index while six full-mesh
+# jobs stream through the service. Every survivor's detector must
+# confirm the death, the gateway must fence the victim and requeue the
+# jobs caught on the broken mesh, the replays must match their per-job
+# reference energies to 1e-12 with zero stale reads, and job-boundary
+# checkpoints must land on disk. The printed --kill-at/--seed pair
+# replays a red run exactly; the run amends the `recovery` block of
+# BENCH_service.json checked below.
+rec_out=$(cargo run -q --release -p bench-harness --bin service_bench -- --recovery)
+echo "$rec_out"
+echo "$rec_out" | grep -q "RECOVERY OK" || { echo "service recovery gate failed"; exit 1; }
+
 echo "==> BENCH_service.json well-formed"
 if [ -f BENCH_service.json ]; then
     if command -v jq >/dev/null 2>&1; then
         jq -e '.baseline.throughput_jobs_per_sec and .gangs.throughput_jobs_per_sec
                and .gangs.plan_cache.hit_rate and (.gangs.plan_cache | has("evictions"))
                and .gang_win.jobs_per_sec_gain and .gang_win.small_job_p50_speedup
-               and (.baseline.tenants | length > 0) and (.gangs.tenants | length > 0)' \
+               and (.baseline.tenants | length > 0) and (.gangs.tenants | length > 0)
+               and .recovery.requeued_jobs >= 1 and .recovery.confirmed_deaths >= 1
+               and .recovery.checkpoint_bytes > 0 and .recovery.stale_reads == 0
+               and (.recovery | has("time_to_detect_ms") and has("time_to_recover_ms")
+                    and has("replayed_chains"))' \
             BENCH_service.json >/dev/null
     else
-        python3 -c "import json,sys; d=json.load(open(sys.argv[1])); d['baseline']['throughput_jobs_per_sec']; d['gangs']['plan_cache']['evictions']; d['gang_win']['jobs_per_sec_gain']; d['gang_win']['small_job_p50_speedup']; assert d['baseline']['tenants'] and d['gangs']['tenants']" BENCH_service.json
+        python3 -c "import json,sys; d=json.load(open(sys.argv[1])); d['baseline']['throughput_jobs_per_sec']; d['gangs']['plan_cache']['evictions']; d['gang_win']['jobs_per_sec_gain']; d['gang_win']['small_job_p50_speedup']; assert d['baseline']['tenants'] and d['gangs']['tenants']; r=d['recovery']; assert r['requeued_jobs'] >= 1 and r['confirmed_deaths'] >= 1 and r['checkpoint_bytes'] > 0 and r['stale_reads'] == 0; r['time_to_detect_ms']; r['time_to_recover_ms']; r['replayed_chains']" BENCH_service.json
     fi
     echo "    BENCH_service.json OK"
 fi

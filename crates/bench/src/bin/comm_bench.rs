@@ -23,7 +23,12 @@
 //! [`comm::FaultTransport`] over the real socket mesh with fixed seeds:
 //! each schedule must terminate and reproduce the reference energy, the
 //! clean control must show zero recovery activity, and the failure
-//! message carries the seed so a red run replays exactly.
+//! message carries the seed so a red run replays exactly. `--chaos`
+//! then runs the **kill matrix**: every scripted death schedule kills
+//! the highest rank mid-run and gates that all four processes still
+//! terminate (via detector poison-release), that the survivors confirm
+//! the death, and that a detector armed on a healthy mesh shows zero
+//! false positives and an unchanged energy.
 
 use bench_harness::{arg_value, has_flag};
 use ccsd::{verify, DistRank, StealConfig, VariantCfg};
@@ -60,6 +65,11 @@ struct RunOut {
     dup_replies: u64,
     /// Faults injected by the local wrapper (chaos mode only).
     injected: u64,
+    /// Failure-detector activity (kill matrix only; the clean control
+    /// runs with the detector armed and is gated to all-zero).
+    suspects: u64,
+    confirmed_deaths: u64,
+    rejoins: u64,
     /// Tile-cache effectiveness (hits/joins never touch the wire).
     cache_hits: u64,
     cache_joins: u64,
@@ -384,6 +394,123 @@ fn run_rank_chaos(rank: usize, ranks: usize, port: u16, schedule: &str, seed: u6
     }
 }
 
+/// One rank of a death-schedule run: the victim (highest rank) runs the
+/// named kill plan, every other rank a clean plan off the same base
+/// seed, and the failure detector is armed on all of them. No energy
+/// gate here — a dead gang member poisons the collective result by
+/// design (the energy-through-death headline lives in the service
+/// layer's fence-and-requeue path, `service_bench --recovery`); the
+/// parent gates termination, survivor-side detection, and the
+/// detector-armed clean control instead. The injector stays armed
+/// through teardown: the kill *is* the scenario, and the detector's
+/// poison-release is what must let every rank out of the final barrier.
+fn run_rank_kill(rank: usize, ranks: usize, port: u16, schedule: &str, seed: u64) -> RunOut {
+    let space = tce::TileSpace::build(&tce::scale::tiny());
+    let sock = SocketTransport::connect(rank, ranks, port, Duration::from_secs(60))
+        .unwrap_or_else(|e| panic!("rank {rank}: mesh connect failed: {e}"));
+    let victim = ranks - 1;
+    let plan = if rank == victim && schedule != "clean" {
+        FaultPlan::named(schedule, seed)
+            .unwrap_or_else(|| panic!("unknown death schedule `{schedule}`"))
+    } else {
+        FaultPlan::clean(seed.wrapping_add(rank as u64))
+    };
+    let ft = FaultTransport::new(Box::new(sock), plan);
+    let injected = ft.counters();
+    // The clean control keeps the production retry timers (the gate is
+    // that they never fire on a healthy mesh); kill runs use chaos-speed
+    // timers so ops blocked on the corpse turn around in milliseconds
+    // once the detector aborts them.
+    let cfg = comm::CommConfig {
+        eager_threshold: 1024,
+        retry_timeout: if schedule == "clean" {
+            comm::CommConfig::default().retry_timeout
+        } else {
+            Duration::from_millis(20)
+        },
+        retry_backoff_max: if schedule == "clean" {
+            comm::CommConfig::default().retry_backoff_max
+        } else {
+            Duration::from_millis(80)
+        },
+        suspect_after: Some(Duration::from_millis(100)),
+        dead_after: Duration::from_millis(500),
+        ..comm::CommConfig::default()
+    };
+    // Cache verification stays off in kill runs: a poisoned run reads
+    // zeros from the corpse by design, and re-verified hits would count
+    // those as stale. The clean control re-verifies every hit.
+    let cache_cfg = global_arrays::TileCacheConfig {
+        verify_reads: schedule == "clean",
+        ..global_arrays::TileCacheConfig::default()
+    };
+    let dr = DistRank::with_configs(Box::new(ft), &space, &[tce::Kernel::T2_7], cfg, cache_cfg);
+    // Enough back-to-back runs that every scripted kill index (the
+    // largest is 400 arrivals; a tiny run delivers a few dozen per
+    // rank) lands inside live workload traffic rather than in the
+    // teardown tail. Runs after the death abort fast: every collective
+    // toward the corpse poison-releases as soon as the dead mask is set.
+    let iters = if schedule == "clean" { 2 } else { 20 };
+    let mut energy = None;
+    for i in 0..iters {
+        let run = dr.run_variant(VariantCfg::v5(), 2, true);
+        if i == 0 {
+            energy = run.energy;
+        }
+        // Stop issuing collectives at the first confirmed death: every
+        // further run would be poisoned anyway, and — critically — a
+        // scripted Restart readmits the victim with its collective
+        // epochs far behind the survivors'. Once everyone is alive
+        // again nothing poison-releases, so a live-but-desynced
+        // barrier would block forever. Fencing the workload at the
+        // first death keeps a rejoin purely observational, mirroring
+        // the service layer (sticky gateway fence, re-plan on the
+        // survivors).
+        if dr.endpoint().dead_mask() != 0 {
+            break;
+        }
+    }
+    if schedule == "kill_restart" {
+        // Linger until the restarted rank is readmitted: survivors keep
+        // probing the corpse at a slow cadence, the scripted Restart
+        // eventually lets those pings through, and the pong handshake
+        // clears the dead mask on both sides. Observing the rejoin here
+        // instead of racing it against teardown makes the rejoin gate
+        // deterministic.
+        let t0 = Instant::now();
+        while dr.endpoint().dead_mask() != 0 && t0.elapsed() < Duration::from_secs(30) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    let s = dr.endpoint().stats();
+    let stale = dr.workspace().ga.stats().stale_reads();
+    if schedule == "clean" {
+        dr.finish();
+    } else {
+        // No clean collective teardown on a mesh that saw a death: the
+        // sync inside `finish` needs matching barrier epochs on every
+        // rank, and after a kill (or a mid-run readmission) those are
+        // gone for good. Shut the engine down directly — terminating
+        // without the victim is exactly the behavior under test.
+        dr.endpoint().shutdown();
+    }
+    RunOut {
+        name: schedule.to_string(),
+        energy,
+        threads: 2,
+        timeouts: s.timeouts,
+        retries: s.retries,
+        dup_requests: s.dup_requests,
+        dup_replies: s.dup_replies,
+        injected: injected.total(),
+        suspects: s.suspects,
+        confirmed_deaths: s.confirmed_deaths,
+        rejoins: s.rejoins,
+        stale_reads: stale,
+        ..RunOut::default()
+    }
+}
+
 /// Flat line-oriented fragment format (internal to the bench; only the
 /// aggregate is JSON).
 fn write_fragment(path: &Path, outs: &[RunOut]) {
@@ -412,6 +539,9 @@ fn write_fragment(path: &Path, outs: &[RunOut]) {
             ("dup_requests", o.dup_requests),
             ("dup_replies", o.dup_replies),
             ("injected", o.injected),
+            ("suspects", o.suspects),
+            ("confirmed_deaths", o.confirmed_deaths),
+            ("rejoins", o.rejoins),
             ("cache_hits", o.cache_hits),
             ("cache_joins", o.cache_joins),
             ("cache_misses", o.cache_misses),
@@ -473,6 +603,9 @@ fn parse_fragment(text: &str) -> Vec<RunOut> {
             "dup_requests" => o.dup_requests = val.parse().unwrap(),
             "dup_replies" => o.dup_replies = val.parse().unwrap(),
             "injected" => o.injected = val.parse().unwrap(),
+            "suspects" => o.suspects = val.parse().unwrap(),
+            "confirmed_deaths" => o.confirmed_deaths = val.parse().unwrap(),
+            "rejoins" => o.rejoins = val.parse().unwrap(),
             "cache_hits" => o.cache_hits = val.parse().unwrap(),
             "cache_joins" => o.cache_joins = val.parse().unwrap(),
             "cache_misses" => o.cache_misses = val.parse().unwrap(),
@@ -522,6 +655,15 @@ fn child(rank: usize, ranks: usize, port: u16, args: &[String]) {
             .parse()
             .unwrap();
         let out = run_rank_chaos(rank, ranks, port, &schedule, seed);
+        write_fragment(&dir.join(format!("rank{rank}.txt")), &[out]);
+        return;
+    }
+    if let Some(schedule) = arg_value(args, "--kill-schedule") {
+        let seed: u64 = arg_value(args, "--chaos-seed")
+            .expect("kill child needs --chaos-seed")
+            .parse()
+            .unwrap();
+        let out = run_rank_kill(rank, ranks, port, &schedule, seed);
         write_fragment(&dir.join(format!("rank{rank}.txt")), &[out]);
         return;
     }
@@ -632,6 +774,29 @@ fn parent(ranks: usize, port: u16, args: &[String]) -> Result<(), String> {
 /// the paper's correctness claim under an unreliable network: every
 /// schedule terminates and reproduces the reference energy to 1e-12,
 /// and the clean control shows zero recovery activity.
+/// Wait for every child of one schedule, reporting the first failure
+/// only after all of them have exited. Early-returning on the first bad
+/// status would orphan the rest of the mesh — still dialing, still
+/// holding listener ports — and poison the next schedule's connect.
+fn reap(children: Vec<(usize, std::process::Child)>, replay: &str) -> Result<(), String> {
+    let mut err = None;
+    for (r, mut ch) in children {
+        match ch.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                err.get_or_insert(format!("rank {r} exited with {status}; {replay}"));
+            }
+            Err(e) => {
+                err.get_or_insert(format!("rank {r}: {e}; {replay}"));
+            }
+        }
+    }
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
 fn chaos(ranks: usize, args: &[String]) -> Result<(), String> {
     let seed_base: u64 = arg_value(args, "--seed")
         .map(|v| {
@@ -639,12 +804,16 @@ fn chaos(ranks: usize, args: &[String]) -> Result<(), String> {
             u64::from_str_radix(v, 16).or_else(|_| v.parse()).unwrap()
         })
         .unwrap_or(0xC0FF_EE00);
-    // Own port range, one window of `ranks` ports per schedule: listener
-    // ports are not reused across schedules, so lingering TIME_WAIT
-    // connections from the previous mesh cannot fail the next bind.
+    // Own port range, one window of `ranks` ports per schedule:
+    // listener ports are not reused across schedules, so lingering
+    // TIME_WAIT connections from the previous mesh cannot fail the next
+    // bind. The whole range must sit BELOW the kernel's ephemeral port
+    // span (32768+ on Linux): every dial in the mesh draws an ephemeral
+    // source port, and a listener bind that aliases one stalls for a
+    // minute and then dies with EADDRINUSE.
     let base_port: u16 = arg_value(args, "--port")
         .map(|v| v.parse().unwrap())
-        .unwrap_or_else(|| 36000 + (std::process::id() % 256) as u16 * 64);
+        .unwrap_or_else(|| 18000 + (std::process::id() % 90) as u16 * 64);
 
     let space = tce::TileSpace::build(&tce::scale::tiny());
     let ws = tce::build_workspace(&space, 1);
@@ -676,12 +845,7 @@ fn chaos(ranks: usize, args: &[String]) -> Result<(), String> {
             children.push((r, cmd.spawn().map_err(|e| format!("spawn rank {r}: {e}"))?));
         }
         let out0 = run_rank_chaos(0, ranks, port, schedule, seed);
-        for (r, mut ch) in children {
-            let status = ch.wait().map_err(|e| e.to_string())?;
-            if !status.success() {
-                return Err(format!("rank {r} exited with {status}; {replay}"));
-            }
-        }
+        reap(children, &replay)?;
         let mut outs = vec![out0];
         for r in 1..ranks {
             let path = dir.join(format!("rank{r}.txt"));
@@ -729,8 +893,98 @@ fn chaos(ranks: usize, args: &[String]) -> Result<(), String> {
             ));
         }
     }
+    // ---- the kill matrix: scripted rank deaths over the live mesh ----
+    //
+    // Every death schedule (plus a detector-armed clean control) gets a
+    // fresh 4-rank socket mesh; the highest rank is the victim. The
+    // gates are the failure-model claims: every rank **terminates**
+    // (the detector's poison-release is the only way out of a barrier
+    // with a corpse in it), the survivors confirm the death, the
+    // restart schedule produces a rejoin, and the armed detector on a
+    // healthy mesh shows zero suspects, zero deaths, and an unchanged
+    // 1e-12 energy. Each line prints the seed that replays it.
+    let mut kill_schedules: Vec<&str> = FaultPlan::death_schedule_names().to_vec();
+    kill_schedules.push("clean");
+    let victim = ranks - 1;
+    for (i, schedule) in kill_schedules.iter().enumerate() {
+        // Offset past the fault-schedule seed range so no kill run ever
+        // shares dice with a fault run of the same base seed.
+        let seed = seed_base
+            .wrapping_add(0x00D0_0000)
+            .wrapping_add((i as u64) << 8);
+        let port = base_port + ((schedules.len() + i) * ranks) as u16;
+        let replay = format!(
+            "kill schedule `{schedule}` seed {seed:#x} (replay: comm_bench --chaos --seed {seed_base:x})"
+        );
+        let mut children = Vec::new();
+        for r in 1..ranks {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.args(["--rank", &r.to_string()])
+                .args(["--ranks", &ranks.to_string()])
+                .args(["--port", &port.to_string()])
+                .args(["--kill-schedule", schedule])
+                .args(["--chaos-seed", &seed.to_string()])
+                .args(["--dir", &dir.display().to_string()]);
+            children.push((r, cmd.spawn().map_err(|e| format!("spawn rank {r}: {e}"))?));
+        }
+        let out0 = run_rank_kill(0, ranks, port, schedule, seed);
+        reap(children, &replay)?;
+        let mut outs = vec![out0];
+        for r in 1..ranks {
+            let path = dir.join(format!("rank{r}.txt"));
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            outs.extend(parse_fragment(&text));
+        }
+        let survivors = &outs[..victim];
+        let sum = |f: &dyn Fn(&RunOut) -> u64| outs.iter().map(f).sum::<u64>();
+        let deaths: u64 = survivors.iter().map(|o| o.confirmed_deaths).sum();
+        let suspects: u64 = survivors.iter().map(|o| o.suspects).sum();
+        let rejoins = sum(&|o| o.rejoins);
+        let injected = sum(&|o| o.injected);
+        println!(
+            "{schedule:>12} seed {seed:#012x}: {injected} frames blackholed  {suspects} suspects  {deaths} deaths confirmed by survivors  {rejoins} rejoins  all {ranks} ranks terminated"
+        );
+        if *schedule == "clean" {
+            let energy = outs[0].energy.ok_or("rank 0 must report an energy")?;
+            let d = tensor_kernels::rel_diff(e_ref, energy);
+            if d >= 1e-12 {
+                return Err(format!(
+                    "armed detector perturbed a healthy run: energy {energy} vs {e_ref} ({d:.2e}); {replay}"
+                ));
+            }
+            let all_suspects = sum(&|o| o.suspects);
+            let all_deaths = sum(&|o| o.confirmed_deaths);
+            let recovery = sum(&|o| o.timeouts + o.retries + o.dup_requests + o.dup_replies);
+            let stale = sum(&|o| o.stale_reads);
+            if all_suspects + all_deaths + recovery + stale != 0 {
+                return Err(format!(
+                    "armed detector on a healthy mesh must be pure bookkeeping: \
+                     {all_suspects} suspects, {all_deaths} deaths, {recovery} recovery events, \
+                     {stale} stale reads; {replay}"
+                ));
+            }
+        } else {
+            if deaths == 0 {
+                return Err(format!(
+                    "no survivor confirmed the victim's death; {replay}"
+                ));
+            }
+            if injected == 0 {
+                return Err(format!("the kill never fired; {replay}"));
+            }
+            if *schedule == "kill_restart" && rejoins == 0 {
+                return Err(format!(
+                    "the restarted rank was never welcomed back; {replay}"
+                ));
+            }
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
-    println!("CHAOS OK: every schedule reproduced the reference energy");
+    println!(
+        "CHAOS OK: every fault schedule reproduced the reference energy; \
+         every death schedule terminated with the victim detected"
+    );
     Ok(())
 }
 

@@ -91,6 +91,19 @@ pub enum FaultEvent {
     /// sleeps `pause` once — the receiving rank goes dark while traffic
     /// keeps arriving.
     Stall { at: u64, pause: Duration },
+    /// When the global inbound counter reaches `at`, the rank owning
+    /// this transport *dies*: every inbound and outbound frame is
+    /// silently discarded from then on (arrival indices keep counting
+    /// while dead, so a later [`FaultEvent::Restart`] still fires). The
+    /// failure detector on the surviving ranks must notice the silence;
+    /// the dead rank's own detector must notice it hears no one, so its
+    /// blocked operations abort and its threads terminate.
+    Kill { at: u64 },
+    /// When the global inbound counter reaches `at` (list after the
+    /// matching [`FaultEvent::Kill`], with a larger index), the dead
+    /// rank rejoins: frames flow again, and the first one a survivor
+    /// receives clears its dead mark.
+    Restart { at: u64 },
 }
 
 /// A seeded fault schedule: per-frame fault probabilities plus scripted
@@ -152,12 +165,55 @@ impl FaultPlan {
         ]
     }
 
+    /// The scripted death schedules. Unlike [`FaultPlan::schedule_names`]
+    /// these are *not* energy-gated collectively (a dead gang member
+    /// poisons the collective result by design); the kill harness gates
+    /// termination, survivor-side detection counters, and replay
+    /// determinism instead, while the energy-through-death headline
+    /// lives in the service layer's fence-and-requeue path.
+    ///
+    /// Each plan is for the **victim** rank's transport; survivors run
+    /// [`FaultPlan::clean`] with the same seed. The kill indices are
+    /// arrival counts, so each name lands in a different phase of the
+    /// distributed CCSD run: early (mid-submit), mid (inside the GEMM
+    /// data exchange), late (inside the end-of-iteration barrier).
+    pub fn death_schedule_names() -> &'static [&'static str] {
+        &["kill_gemm", "kill_barrier", "kill_submit", "kill_restart"]
+    }
+
     /// Look up a named schedule. Probabilities are tuned so small-scale
     /// CCSD runs with millisecond retry timeouts terminate in seconds
     /// while still forcing many recoveries.
     pub fn named(name: &str, seed: u64) -> Option<Self> {
         let base = Self::clean(seed);
         Some(match name {
+            // ---- death schedules (victim-rank plans) ----
+            "kill_gemm" => Self {
+                events: vec![FaultEvent::Kill { at: 150 }],
+                ..base
+            },
+            "kill_barrier" => Self {
+                events: vec![FaultEvent::Kill { at: 400 }],
+                ..base
+            },
+            "kill_submit" => Self {
+                events: vec![FaultEvent::Kill { at: 25 }],
+                ..base
+            },
+            "kill_restart" => Self {
+                // The dark window must outlast the survivors' `dead_after`
+                // verdict even under heavy retry traffic (retries keep the
+                // victim's arrival counter climbing while it is dark): a
+                // restart that beats the detector is just a long stall.
+                // After the deaths are confirmed the counter advances only
+                // by the survivors' slow probes, so the revival lands a
+                // few seconds later, well inside their rejoin linger.
+                events: vec![
+                    FaultEvent::Kill { at: 100 },
+                    FaultEvent::Restart { at: 400 },
+                ],
+                ..base
+            },
             "clean" => base,
             "drop" => Self {
                 drop_p: 0.05,
@@ -237,6 +293,8 @@ pub struct FaultCounters {
     pub duplicated: AtomicU64,
     pub delayed: AtomicU64,
     pub reordered: AtomicU64,
+    /// Frames discarded (either direction) while the rank was dead.
+    pub killed_frames: AtomicU64,
 }
 
 impl FaultCounters {
@@ -246,6 +304,7 @@ impl FaultCounters {
             + self.duplicated.load(Ordering::Relaxed)
             + self.delayed.load(Ordering::Relaxed)
             + self.reordered.load(Ordering::Relaxed)
+            + self.killed_frames.load(Ordering::Relaxed)
     }
 }
 
@@ -273,6 +332,8 @@ pub struct FaultTransport {
     state: Mutex<FaultState>,
     counters: Arc<FaultCounters>,
     armed: Arc<AtomicBool>,
+    /// True while the rank is inside a Kill..Restart dark window.
+    killed: Arc<AtomicBool>,
 }
 
 impl FaultTransport {
@@ -293,6 +354,7 @@ impl FaultTransport {
             }),
             counters: Arc::new(FaultCounters::default()),
             armed: Arc::new(AtomicBool::new(true)),
+            killed: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -311,6 +373,35 @@ impl FaultTransport {
     /// stays orderly.
     pub fn armed_handle(&self) -> Arc<AtomicBool> {
         self.armed.clone()
+    }
+
+    /// Shared handle observing whether the rank is currently dead (inside
+    /// a `Kill..Restart` dark window). Updated as frames pass through, so
+    /// it flips within one frame of the scripted index.
+    pub fn killed_handle(&self) -> Arc<AtomicBool> {
+        self.killed.clone()
+    }
+
+    /// Is the rank dark at global arrival index `global`? A `Kill` whose
+    /// index has been reached turns the lights off; a later `Restart`
+    /// (listed after it) turns them back on.
+    fn dark(&self, global: u64) -> bool {
+        let mut dark = false;
+        for e in &self.plan.events {
+            match e {
+                FaultEvent::Kill { at } if global >= *at => dark = true,
+                FaultEvent::Restart { at } if global >= *at => dark = false,
+                _ => {}
+            }
+        }
+        dark
+    }
+
+    /// Recompute and publish the dark flag; returns it.
+    fn update_dark(&self, global: u64) -> bool {
+        let dark = self.dark(global);
+        self.killed.store(dark, Ordering::SeqCst);
+        dark
     }
 
     /// Dice for one frame: a pure function of the plan seed, the sender,
@@ -361,6 +452,15 @@ impl Transport for FaultTransport {
         self.inner.nranks()
     }
     fn send(&self, to: usize, frame: Vec<u8>) {
+        // A dead rank says nothing (self-sends exempt, as on receive:
+        // they never leave the process the dark window models losing).
+        if to != self.inner.rank() && self.armed.load(Ordering::SeqCst) {
+            let global = self.state.lock().unwrap().global;
+            if self.update_dark(global) {
+                self.counters.killed_frames.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
         self.inner.send(to, frame);
     }
 
@@ -429,6 +529,13 @@ impl Transport for FaultTransport {
                 if fire {
                     std::thread::sleep(pause);
                 }
+            }
+            // A dead rank hears nothing — but keeps counting arrivals, so
+            // a scripted Restart still fires once enough traffic (peer
+            // pings included) has washed over the corpse.
+            if self.update_dark(global) {
+                self.counters.killed_frames.fetch_add(1, Ordering::Relaxed);
+                continue;
             }
             if self.partitioned(from, idx) {
                 self.counters.dropped.fetch_add(1, Ordering::Relaxed);
@@ -523,8 +630,58 @@ mod tests {
             let p = FaultPlan::named(name, 1).unwrap_or_else(|| panic!("schedule {name}"));
             assert_eq!(p.seed, 1);
         }
+        for name in FaultPlan::death_schedule_names() {
+            let p = FaultPlan::named(name, 2).unwrap_or_else(|| panic!("schedule {name}"));
+            assert!(
+                p.events
+                    .iter()
+                    .any(|e| matches!(e, FaultEvent::Kill { .. })),
+                "death schedule {name} must script a kill"
+            );
+        }
         assert!(FaultPlan::named("clean", 9).is_some());
         assert!(FaultPlan::named("no-such", 9).is_none());
+    }
+
+    /// A Kill..Restart window silences both directions exactly between
+    /// its indices, arrivals keep counting while dead, and the killed
+    /// handle tracks the window.
+    #[test]
+    fn kill_window_silences_both_directions_then_restarts() {
+        let mut ranks = loopback(2);
+        let plan = FaultPlan {
+            events: vec![FaultEvent::Kill { at: 4 }, FaultEvent::Restart { at: 8 }],
+            ..FaultPlan::clean(0)
+        };
+        let r1 = FaultTransport::new(Box::new(ranks.pop().unwrap()), plan);
+        let r0 = ranks.pop().unwrap();
+        let c = r1.counters();
+        let killed = r1.killed_handle();
+        let mut got = Vec::new();
+        for i in 0..12u8 {
+            r0.send(1, vec![i]);
+            // Outbound while dark must be discarded, not delivered late.
+            r1.send(0, vec![100 + i]);
+            if let Some((_, f)) = r1.recv_timeout(Duration::from_millis(20)) {
+                got.push(f[0]);
+            }
+            if i == 5 {
+                assert!(killed.load(Ordering::SeqCst), "inside the dark window");
+            }
+        }
+        // Arrival indices are 1-based (global is bumped before the
+        // check): frames 1..=3 arrive, 4..=7 die, 8.. arrive again.
+        assert_eq!(got, vec![0, 1, 2, 7, 8, 9, 10, 11]);
+        assert!(!killed.load(Ordering::SeqCst), "restarted");
+        let mut echoed = Vec::new();
+        while let Some((_, f)) = r0.recv_timeout(Duration::from_millis(20)) {
+            echoed.push(f[0]);
+        }
+        assert!(
+            !echoed.contains(&104) && !echoed.contains(&106),
+            "frames sent while dead must be lost, got {echoed:?}"
+        );
+        assert!(c.killed_frames.load(Ordering::Relaxed) >= 4);
     }
 
     #[test]

@@ -34,9 +34,9 @@ pub mod transport;
 pub use fault::{FaultCounters, FaultEvent, FaultPlan, FaultTransport, SplitMix64};
 pub use msg::{CodecError, GetSpec, Msg, ReplyView, WireSlice};
 pub use progress::{
-    full_mask, mask_leader, mask_members, CommConfig, CommStatsSnap, Endpoint, GetCallback,
-    JobHandler, ShardStore, StatusCallback, StealCallback, StealHandler, SubmitCallback,
-    JOB_REJECTED,
+    full_mask, mask_leader, mask_members, CommConfig, CommStatsSnap, Endpoint, FailureHandler,
+    GetCallback, JobHandler, ShardStore, StatusCallback, StealCallback, StealHandler,
+    SubmitCallback, JOB_REJECTED,
 };
 pub use socket::SocketTransport;
 pub use transport::{loopback, LoopbackTransport, Transport};

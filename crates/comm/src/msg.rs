@@ -205,6 +205,15 @@ pub enum Msg {
     },
     /// Ack for a [`Msg::JobDone`].
     JobDoneAck { token: u64 },
+    /// Liveness probe toward a peer with no recent traffic: the failure
+    /// detector piggybacks on every received frame, so pings are only
+    /// sent on idle links once a peer turns suspect. Idempotent and
+    /// unsequenced — a duplicate ping just draws another pong.
+    Ping { token: u64 },
+    /// Answer to a [`Msg::Ping`]; any received frame clears suspicion,
+    /// this one just exists so an otherwise-silent peer has something
+    /// to say.
+    Pong { token: u64 },
 }
 
 /// One read range inside a [`Msg::MultiGet`] frame.
@@ -247,6 +256,8 @@ const T_JOB_STATUS_REPLY: u8 = 29;
 const T_JOB_DONE: u8 = 30;
 const T_JOB_DONE_ACK: u8 = 31;
 const T_BARRIER_ACK: u8 = 32;
+const T_PING: u8 = 33;
+const T_PONG: u8 = 34;
 
 /// A borrowed view of one payload inside a received frame: either raw
 /// little-endian `f64` bytes still sitting in the frame buffer, or an
@@ -658,6 +669,14 @@ impl Msg {
                 w.u8(T_JOB_DONE_ACK);
                 w.u64(*token);
             }
+            Msg::Ping { token } => {
+                w.u8(T_PING);
+                w.u64(*token);
+            }
+            Msg::Pong { token } => {
+                w.u8(T_PONG);
+                w.u64(*token);
+            }
         }
         w.0
     }
@@ -849,6 +868,8 @@ impl Msg {
                 result: r.u64()?,
             },
             T_JOB_DONE_ACK => Msg::JobDoneAck { token: r.u64()? },
+            T_PING => Msg::Ping { token: r.u64()? },
+            T_PONG => Msg::Pong { token: r.u64()? },
             t => return Err(CodecError::UnknownTag(t)),
         };
         if r.pos != body.len() {
@@ -1070,6 +1091,15 @@ mod tests {
         ];
         for m in msgs {
             assert_eq!(Msg::decode(&m.encode()).unwrap(), m);
+            assert!(Msg::reply_view(&m.encode()).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        for m in [Msg::Ping { token: 21 }, Msg::Pong { token: 21 }] {
+            assert_eq!(Msg::decode(&m.encode()).unwrap(), m);
+            // Liveness frames are not get replies: the fast path skips them.
             assert!(Msg::reply_view(&m.encode()).unwrap().is_none());
         }
     }

@@ -84,6 +84,19 @@ pub struct CommConfig {
     /// KiB). Batched replies are always inline — this cap bounds the
     /// frame where the rendezvous protocol would otherwise pace it.
     pub max_batch_bytes: usize,
+    /// Failure detector: a peer silent for this long turns *suspect* and
+    /// gets pinged (liveness piggybacks on every received frame, so only
+    /// idle links are probed). `None` — the default — disables the
+    /// detector entirely: no per-peer bookkeeping, no pings, zero
+    /// overhead on a healthy mesh.
+    pub suspect_after: Option<Duration>,
+    /// A suspect peer still silent after this much total silence is
+    /// declared *dead*: every pending operation toward it aborts (gets
+    /// complete with zeros, fences release, barriers over gangs
+    /// containing it poison-release) and the registered
+    /// [`FailureHandler`] fires. Must exceed `suspect_after` by enough
+    /// ping round trips to keep false positives implausible.
+    pub dead_after: Duration,
 }
 
 impl Default for CommConfig {
@@ -97,6 +110,8 @@ impl Default for CommConfig {
             locality_order: true,
             max_batch_parts: 8,
             max_batch_bytes: 256 * 1024,
+            suspect_after: None,
+            dead_after: Duration::from_secs(2),
         }
     }
 }
@@ -156,6 +171,21 @@ pub trait JobHandler: Send + Sync {
     fn done(&self, from: usize, job_id: u64, result: u64);
 }
 
+/// Observer of failure-detector verdicts. Registered per endpoint (the
+/// `svc` layer installs one on the gateway rank to fence dead ranks and
+/// requeue their jobs). Callbacks run on the progress thread, after the
+/// detector has already aborted every pending operation toward the rank
+/// — so the handler may post new operations but must not block on
+/// collectives.
+pub trait FailureHandler: Send + Sync {
+    /// `rank` was silent past [`CommConfig::dead_after`] and is now
+    /// confirmed dead. Its bit is already set in [`Endpoint::dead_mask`].
+    fn on_death(&self, rank: usize);
+    /// A frame arrived from a rank previously confirmed dead: it
+    /// rejoined. Its dead-mask bit is already cleared.
+    fn on_rejoin(&self, _rank: usize) {}
+}
+
 /// Operation counters, all frames and payloads.
 #[derive(Debug, Default)]
 struct CommStats {
@@ -187,6 +217,11 @@ struct CommStats {
     job_polls: AtomicU64,
     job_dones: AtomicU64,
     job_served: AtomicU64,
+    suspects: AtomicU64,
+    confirmed_deaths: AtomicU64,
+    pings_tx: AtomicU64,
+    rejoins: AtomicU64,
+    aborted_ops: AtomicU64,
 }
 
 /// Point-in-time copy of a rank's communication counters.
@@ -249,6 +284,20 @@ pub struct CommStatsSnap {
     /// Fresh (non-duplicate) job control requests this rank's handler
     /// served (gateway/member side).
     pub job_served: u64,
+    /// Suspicion episodes the failure detector opened (a peer fell
+    /// silent past `suspect_after`). An idle-but-healthy link clears
+    /// with one ping round trip.
+    pub suspects: u64,
+    /// Peers this rank declared dead (silent past `dead_after`).
+    pub confirmed_deaths: u64,
+    /// Liveness pings sent toward suspect or dead peers.
+    pub pings_tx: u64,
+    /// Dead peers that spoke again and were readmitted.
+    pub rejoins: u64,
+    /// Pending operations aborted because their target died (gets
+    /// completed with zeros, acks force-completed, collective waits
+    /// poison-released, ...).
+    pub aborted_ops: u64,
 }
 
 /// Deadline state of one retryable in-flight request.
@@ -574,6 +623,31 @@ struct BarrierState {
     groups: HashMap<u64, BarrierGroup>,
 }
 
+/// Failure-detector bookkeeping, allocated only when
+/// [`CommConfig::suspect_after`] is set. Liveness is piggybacked: any
+/// received frame from a peer refreshes `last_rx`, so pings only flow on
+/// links that have gone quiet.
+struct Liveness {
+    /// Last receive instant per peer (own index unused).
+    last_rx: Vec<Instant>,
+    /// Peers inside an open suspicion episode (counted once per episode).
+    suspect: Vec<bool>,
+    /// Last probe instant per peer, rate-limiting pings across scans.
+    last_ping: Vec<Instant>,
+}
+
+impl Liveness {
+    fn new(nranks: usize) -> Self {
+        let now = Instant::now();
+        Self {
+            last_rx: vec![now; nranks],
+            suspect: vec![false; nranks],
+            // Far past, so the first suspicion pings immediately.
+            last_ping: vec![now - Duration::from_secs(3600); nranks],
+        }
+    }
+}
+
 /// Interned communication class ids of an endpoint trace, indexed
 /// `[retransmitted][eager]`.
 struct TraceIds {
@@ -670,6 +744,12 @@ struct Inner {
     statuses: Mutex<HashMap<u64, StatusWait>>,
     job_done_waits: Mutex<HashMap<u64, JobDoneWait>>,
     job_handler: Mutex<Option<Arc<dyn JobHandler>>>,
+    /// `None` when the failure detector is disabled (the default).
+    liveness: Option<Mutex<Liveness>>,
+    /// Confirmed-dead peers as a bitmask, readable lock-free from
+    /// application threads (the daemon checks it after every run).
+    dead_mask: AtomicU64,
+    failure_handler: Mutex<Option<Arc<dyn FailureHandler>>>,
     outstanding: Mutex<u64>,
     fence_cv: Condvar,
     barrier: Mutex<BarrierState>,
@@ -694,6 +774,7 @@ impl Endpoint {
         cfg: CommConfig,
     ) -> Arc<Self> {
         let (rank, nranks) = (transport.rank(), transport.nranks());
+        let cfg_liveness = cfg.suspect_after.is_some();
         let inner = Arc::new(Inner {
             transport,
             store,
@@ -719,6 +800,9 @@ impl Endpoint {
             statuses: Mutex::new(HashMap::new()),
             job_done_waits: Mutex::new(HashMap::new()),
             job_handler: Mutex::new(None),
+            liveness: cfg_liveness.then(|| Mutex::new(Liveness::new(nranks))),
+            dead_mask: AtomicU64::new(0),
+            failure_handler: Mutex::new(None),
             outstanding: Mutex::new(0),
             fence_cv: Condvar::new(),
             barrier: Mutex::new(BarrierState::default()),
@@ -1068,6 +1152,32 @@ impl Endpoint {
         i.post(gateway, &msg);
     }
 
+    /// Register the failure-detector observer. Verdicts fire on the
+    /// progress thread; see [`FailureHandler`]. A no-op (verdicts are
+    /// still tracked in [`Endpoint::dead_mask`] and the counters) when
+    /// no handler is installed.
+    pub fn set_failure_handler(&self, h: Arc<dyn FailureHandler>) {
+        *self.inner.failure_handler.lock().unwrap() = Some(h);
+    }
+
+    /// Bitmask of peers this rank's detector has confirmed dead (empty
+    /// when the detector is disabled). A rank that rejoins clears its
+    /// bit.
+    pub fn dead_mask(&self) -> u64 {
+        self.inner.dead_mask.load(Ordering::SeqCst)
+    }
+
+    /// Current value of this rank's local NXTVAL counter (checkpointed
+    /// by the GA layer).
+    pub fn local_counter(&self) -> i64 {
+        self.inner.counter.load(Ordering::SeqCst)
+    }
+
+    /// Overwrite this rank's local NXTVAL counter (checkpoint restore).
+    pub fn set_local_counter(&self, v: i64) {
+        self.inner.counter.store(v, Ordering::SeqCst);
+    }
+
     /// Poll `gateway` for the state of `job_id`. Non-blocking: `cb` runs
     /// on the progress thread with `(state, result bits)`. Idempotent
     /// (no sequence number), but retried like a get until the reply
@@ -1241,6 +1351,11 @@ impl Endpoint {
             job_polls: s.job_polls.load(Ordering::Relaxed),
             job_dones: s.job_dones.load(Ordering::Relaxed),
             job_served: s.job_served.load(Ordering::Relaxed),
+            suspects: s.suspects.load(Ordering::Relaxed),
+            confirmed_deaths: s.confirmed_deaths.load(Ordering::Relaxed),
+            pings_tx: s.pings_tx.load(Ordering::Relaxed),
+            rejoins: s.rejoins.load(Ordering::Relaxed),
+            aborted_ops: s.aborted_ops.load(Ordering::Relaxed),
         }
     }
 
@@ -1463,6 +1578,11 @@ impl Inner {
             self.stats
                 .bytes_rx
                 .fetch_add(body.len() as u64, Ordering::Relaxed);
+            // Liveness piggybacks on every received frame; a frame from a
+            // confirmed-dead peer readmits it.
+            if from != self.rank {
+                self.note_rx(from);
+            }
             // Data-bearing get replies take the zero-copy path: the
             // payload is delivered as a borrowed view of `body` and
             // copied once, straight into the reader's buffer.
@@ -1479,10 +1599,288 @@ impl Inner {
         }
     }
 
+    /// Record a received frame from `from` in the failure detector:
+    /// refresh its liveness, close any open suspicion episode, and
+    /// readmit it if it was confirmed dead.
+    fn note_rx(&self, from: usize) {
+        let Some(lv) = &self.liveness else { return };
+        let rejoined = {
+            let mut lv = lv.lock().unwrap();
+            lv.last_rx[from] = Instant::now();
+            lv.suspect[from] = false;
+            let bit = 1u64 << from;
+            if self.dead_mask.load(Ordering::SeqCst) & bit != 0 {
+                self.dead_mask.fetch_and(!bit, Ordering::SeqCst);
+                self.stats.rejoins.fetch_add(1, Ordering::Relaxed);
+                true
+            } else {
+                false
+            }
+        };
+        if rejoined {
+            let h = self.failure_handler.lock().unwrap().clone();
+            if let Some(h) = h {
+                h.on_rejoin(from);
+            }
+        }
+    }
+
+    /// The failure-detector scan, sharing `check_timeouts`'s throttle.
+    /// Silence past `suspect_after` opens a suspicion episode and pings
+    /// the peer; silence past `dead_after` confirms death: the dead-mask
+    /// bit is published, everything pending toward the peer aborts, and
+    /// the failure handler fires (after every engine lock is released).
+    /// Dead peers keep being probed at a slow cadence so a restarted
+    /// rank is noticed and readmitted.
+    fn check_liveness(&self) {
+        let Some(lv) = &self.liveness else { return };
+        let Some(suspect_after) = self.cfg.suspect_after else {
+            return;
+        };
+        let now = Instant::now();
+        let ping_every = (suspect_after / 2).max(Duration::from_millis(1));
+        let mut pings: Vec<usize> = Vec::new();
+        let mut deaths: Vec<usize> = Vec::new();
+        {
+            let mut lv = lv.lock().unwrap();
+            let dead = self.dead_mask.load(Ordering::SeqCst);
+            for p in 0..self.nranks {
+                if p == self.rank {
+                    continue;
+                }
+                if dead & (1u64 << p) != 0 {
+                    if now.duration_since(lv.last_ping[p]) >= suspect_after {
+                        lv.last_ping[p] = now;
+                        pings.push(p);
+                    }
+                    continue;
+                }
+                let silent = now.duration_since(lv.last_rx[p]);
+                if silent >= self.cfg.dead_after {
+                    lv.suspect[p] = false;
+                    deaths.push(p);
+                } else if silent >= suspect_after {
+                    if !lv.suspect[p] {
+                        lv.suspect[p] = true;
+                        self.stats.suspects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if now.duration_since(lv.last_ping[p]) >= ping_every {
+                        lv.last_ping[p] = now;
+                        pings.push(p);
+                    }
+                }
+            }
+            for &p in &deaths {
+                self.dead_mask.fetch_or(1u64 << p, Ordering::SeqCst);
+                self.stats.confirmed_deaths.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for &p in &pings {
+            self.stats.pings_tx.fetch_add(1, Ordering::Relaxed);
+            let token = self.token.fetch_add(1, Ordering::Relaxed);
+            self.post(p, &Msg::Ping { token });
+        }
+        // Abort toward every *currently* dead peer, not just the newly
+        // deceased: operations posted after the verdict are swept up by
+        // the next scan instead of retrying forever.
+        let dead = self.dead_mask.load(Ordering::SeqCst);
+        if dead != 0 {
+            for p in mask_members(dead) {
+                self.abort_toward(p);
+            }
+        }
+        if !deaths.is_empty() {
+            let h = self.failure_handler.lock().unwrap().clone();
+            if let Some(h) = h {
+                for &p in &deaths {
+                    h.on_death(p);
+                }
+            }
+        }
+    }
+
+    /// Abort every pending operation targeting the dead peer `p`, so the
+    /// application threads blocked on them unblock and the layers above
+    /// decide what to replay: gets complete with zeroed payloads (their
+    /// consumers are re-executed from a checkpoint, never trusted),
+    /// put/acc posters are released and the fence count decremented,
+    /// NXTVAL waiters receive an `i64::MAX` sentinel ("no more work"),
+    /// steal waiters a dry grant, submit waiters [`JOB_REJECTED`],
+    /// status waiters state 0 (unknown), and every barrier over a gang
+    /// containing `p` poison-releases its local waiters. The seq gaps
+    /// the aborted mutating ops leave are tolerated by the server's
+    /// out-of-order dedup frontier. Callbacks run with no engine lock
+    /// held.
+    fn abort_toward(&self, p: usize) {
+        let bit = 1u64 << p;
+        let mut aborted: u64 = 0;
+        let mut get_cbs: Vec<(Vec<GetCallback>, usize)> = Vec::new();
+        {
+            let mut tbl = self.gets.lock().unwrap();
+            let tokens: Vec<u64> = tbl
+                .by_token
+                .iter()
+                .filter(|(_, pg)| pg.peer == p)
+                .map(|(&t, _)| t)
+                .collect();
+            for t in tokens {
+                let pg = tbl.by_token.remove(&t).unwrap();
+                let key = (pg.peer, pg.array, pg.offset, pg.len);
+                if tbl.by_key.get(&key) == Some(&t) {
+                    tbl.by_key.remove(&key);
+                }
+                aborted += 1;
+                get_cbs.push((pg.cbs, pg.len as usize));
+            }
+            self.batches.lock().unwrap().retain(|_, b| b.peer != p);
+            let mut gs = self.get_state.lock().unwrap();
+            gs[p].inflight = 0;
+            gs[p].queue.clear();
+        }
+        let acks: Vec<AckWait> = {
+            let mut acks = self.acks.lock().unwrap();
+            let tokens: Vec<u64> = acks
+                .iter()
+                .filter(|(_, a)| a.peer == p)
+                .map(|(&t, _)| t)
+                .collect();
+            tokens
+                .into_iter()
+                .map(|t| {
+                    self.rndv_out.lock().unwrap().remove(&t);
+                    aborted += 1;
+                    acks.remove(&t).unwrap()
+                })
+                .collect()
+        };
+        for a in acks {
+            if a.kind != AckKind::Reset {
+                let mut n = self.outstanding.lock().unwrap();
+                *n -= 1;
+                if *n == 0 {
+                    self.fence_cv.notify_all();
+                }
+            }
+            if let Some(w) = a.waiter {
+                w.set();
+            }
+        }
+        {
+            let mut vals = self.vals.lock().unwrap();
+            let tokens: Vec<u64> = vals
+                .iter()
+                .filter(|(_, v)| v.peer == p)
+                .map(|(&t, _)| t)
+                .collect();
+            for t in tokens {
+                let nv = vals.remove(&t).unwrap();
+                aborted += 1;
+                *nv.slot.0.lock().unwrap() = Some(i64::MAX);
+                nv.slot.1.notify_all();
+            }
+        }
+        let mut steal_cbs = Vec::new();
+        {
+            let mut steals = self.steals.lock().unwrap();
+            let tokens: Vec<u64> = steals
+                .iter()
+                .filter(|(_, s)| s.peer == p)
+                .map(|(&t, _)| t)
+                .collect();
+            for t in tokens {
+                aborted += 1;
+                steal_cbs.push(steals.remove(&t).unwrap().cb);
+            }
+        }
+        let mut submit_cbs = Vec::new();
+        {
+            let mut submits = self.submits.lock().unwrap();
+            let tokens: Vec<u64> = submits
+                .iter()
+                .filter(|(_, s)| s.peer == p)
+                .map(|(&t, _)| t)
+                .collect();
+            for t in tokens {
+                aborted += 1;
+                submit_cbs.push(submits.remove(&t).unwrap().cb);
+            }
+        }
+        let mut status_cbs = Vec::new();
+        {
+            let mut statuses = self.statuses.lock().unwrap();
+            let tokens: Vec<u64> = statuses
+                .iter()
+                .filter(|(_, s)| s.peer == p)
+                .map(|(&t, _)| t)
+                .collect();
+            for t in tokens {
+                aborted += 1;
+                status_cbs.push(statuses.remove(&t).unwrap().cb);
+            }
+        }
+        {
+            let mut jd = self.job_done_waits.lock().unwrap();
+            let before = jd.len();
+            jd.retain(|_, w| w.peer != p);
+            aborted += (before - jd.len()) as u64;
+        }
+        self.rndv_serve
+            .lock()
+            .unwrap()
+            .retain(|&(from, _), _| from != p);
+        {
+            let mut b = self.barrier.lock().unwrap();
+            let mut poisoned = false;
+            for (&gang, g) in b.groups.iter_mut() {
+                if gang & bit == 0 {
+                    continue;
+                }
+                let pending = g.released < g.next || !g.enters.is_empty() || !g.entered.is_empty();
+                if !pending {
+                    continue;
+                }
+                aborted += 1;
+                poisoned = true;
+                g.released = g.next;
+                g.enters.clear();
+                g.entered.clear();
+                g.release_retry = None;
+                // Forget release confirmations too: the dead member will
+                // never ack, and shutdown's drain must not wait on it.
+                g.ack_epoch = 0;
+                g.acked.clear();
+            }
+            if poisoned {
+                self.barrier_cv.notify_all();
+            }
+        }
+        if aborted > 0 {
+            self.stats.aborted_ops.fetch_add(aborted, Ordering::Relaxed);
+        }
+        for (cbs, len) in get_cbs {
+            let zeros = vec![0.0f64; len];
+            for cb in cbs {
+                cb(WireSlice::F64(&zeros));
+            }
+        }
+        for cb in steal_cbs {
+            cb(Vec::new());
+        }
+        for cb in submit_cbs {
+            cb(JOB_REJECTED);
+        }
+        for cb in status_cbs {
+            cb(0, 0);
+        }
+    }
+
     /// Retransmit every pending request whose deadline expired. Clones
     /// are collected under each lock and sent after release, so a slow
     /// transport write never blocks application threads posting ops.
     fn check_timeouts(&self) {
+        // The failure detector runs first, so the resend sweeps below see
+        // tables already purged of operations toward dead peers.
+        self.check_liveness();
         let now = Instant::now();
         let cap = self.cfg.retry_backoff_max;
         let mut resend: Vec<(usize, Msg)> = Vec::new();
@@ -1884,6 +2282,9 @@ impl Inner {
                     },
                 );
             }
+            Msg::Ping { token } => self.post(from, &Msg::Pong { token }),
+            // The pong's work was done by `note_rx` on arrival.
+            Msg::Pong { .. } => {}
             Msg::BarrierAck {
                 epoch,
                 from: who,

@@ -79,7 +79,27 @@ impl SocketTransport {
     ) -> std::io::Result<Self> {
         assert!(rank < nranks, "rank {rank} out of range for {nranks}");
         let deadline = Instant::now() + timeout;
-        let listener = TcpListener::bind(("127.0.0.1", base_port + rank as u16))?;
+        // Retry the bind too: the previous mesh on this port range may
+        // have just torn down, and its TIME_WAIT sockets (or a straggler
+        // still draining) make a fresh listener bind fail with
+        // EADDRINUSE for up to a minute. That is start-up skew of the
+        // same kind the dial loop below already rides out.
+        let listener = loop {
+            match TcpListener::bind(("127.0.0.1", base_port + rank as u16)) {
+                Ok(l) => break l,
+                Err(e) if Instant::now() >= deadline => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::AddrInUse,
+                        format!(
+                            "rank {rank} could not bind 127.0.0.1:{} within {:.1?}: {e}",
+                            base_port + rank as u16,
+                            timeout
+                        ),
+                    ));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        };
         let inbox = Arc::new(Inbox::new());
         let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..nranks).map(|_| None).collect();
 

@@ -1,0 +1,245 @@
+//! Checkpoint/restore oracle: random Put/Acc interleavings over a
+//! 4-rank loopback mesh, a checkpoint at a random epoch, a simulated
+//! crash (every shard scrambled, caches poisoned with the garbage),
+//! restore, and a deterministic replay of the tail — the final shards
+//! must equal the no-crash model vector, and the restored NXTVAL
+//! counter must hand the replayed tail exactly the values the original
+//! tail drew. Acc is not idempotent, so this only holds if restore
+//! lands on *exactly* the checkpointed epoch and the cache serves none
+//! of the pre-crash bytes.
+
+use global_arrays::{Checkpointer, DistStore, Ga, TileCacheConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const RANKS: usize = 4;
+const LEN: usize = 64;
+
+/// A unique scratch directory per test run (no tempdir crate in the
+/// workspace); callers best-effort remove it.
+fn fresh_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "ga_ckpt_{tag}_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Run `f(rank_ga)` on `n` ranks (threads over loopback); results in
+/// rank order. Same harness as the cache-coherence suite.
+fn run_ranks<T: Send + 'static>(
+    n: usize,
+    f: impl Fn(Arc<Ga>) -> T + Send + Sync + 'static,
+) -> Vec<T> {
+    let f = Arc::new(f);
+    let handles: Vec<_> = comm::loopback(n)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, t)| {
+            let f = f.clone();
+            std::thread::spawn(move || {
+                let store = DistStore::new(rank, n);
+                let cfg = comm::CommConfig {
+                    eager_threshold: 256,
+                    retry_timeout: Duration::from_millis(20),
+                    retry_backoff_max: Duration::from_millis(80),
+                    ..comm::CommConfig::default()
+                };
+                let ep = comm::Endpoint::spawn(Box::new(t), store.clone(), cfg);
+                let ga = Arc::new(Ga::init_dist_cfg(
+                    ep.clone(),
+                    store,
+                    TileCacheConfig::default(),
+                ));
+                let out = f(ga.clone());
+                ga.sync();
+                ep.shutdown();
+                out
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// One mutation round: `writer` applies `op` (0 = Put, 1 = Acc with
+/// alpha 1.0) of `val` over `[off, off+len)`; every rank then draws one
+/// NXTVAL and checks the post-sync array against the model.
+#[derive(Debug, Clone, Copy)]
+struct Round {
+    writer: usize,
+    op: usize,
+    off: usize,
+    len: usize,
+    val: f64,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn restore_plus_replayed_tail_matches_no_crash_oracle(
+        raw in prop::collection::vec(
+            (0usize..RANKS, 0usize..2, 0usize..LEN, 1usize..LEN, 1u32..50),
+            1..6,
+        ),
+        ckpt_pick in 0usize..16,
+    ) {
+        let rounds: Vec<Round> = raw
+            .iter()
+            .map(|&(writer, op, off_raw, len_raw, val)| {
+                let off = off_raw % LEN;
+                let len = 1 + len_raw % (LEN - off);
+                Round { writer, op, off, len, val: val as f64 }
+            })
+            .collect();
+        // Checkpoint after `k` rounds (possibly 0 = initial state, or
+        // all of them = empty tail).
+        let k = ckpt_pick % (rounds.len() + 1);
+        // Lockstep model: array state after each round.
+        let init: Vec<f64> = (0..LEN).map(|x| x as f64).collect();
+        let mut model = init.clone();
+        let mut states: Vec<Vec<f64>> = Vec::new();
+        for r in &rounds {
+            for x in &mut model[r.off..r.off + r.len] {
+                if r.op == 0 { *x = r.val; } else { *x += r.val; }
+            }
+            states.push(model.clone());
+        }
+        let at_k: Vec<f64> = if k == 0 { init.clone() } else { states[k - 1].clone() };
+        let fin: Vec<f64> = states.last().cloned().unwrap();
+        let dir = fresh_dir("oracle");
+        let (rounds, states) = (Arc::new(rounds), Arc::new(states));
+        let (init, at_k, fin) = (Arc::new(init), Arc::new(at_k), Arc::new(fin));
+        let dir2 = dir.clone();
+        let results = run_ranks(RANKS, move |ga| {
+            let hh = ga.create(LEN);
+            ga.put_collective(hh, 0, &init);
+            ga.sync();
+            let ep = ga.endpoint().unwrap().clone();
+            let ck = Checkpointer::new(&dir2, ga.rank()).unwrap();
+            let apply = |i: usize, draws: &mut Vec<i64>| {
+                let r = &rounds[i];
+                if ga.rank() == r.writer {
+                    let data = vec![r.val; r.len];
+                    if r.op == 0 { ga.put(hh, r.off, &data); } else { ga.acc(hh, r.off, &data, 1.0); }
+                }
+                draws.push(ga.nxtval());
+                ga.sync();
+                assert_eq!(ga.get(hh, 0, LEN), states[i], "round {i} diverged from model");
+                // All reads complete before the next round's writer
+                // mutates (sync orders writes, not subsequent reads).
+                ep.barrier();
+            };
+            let mut head_draws = Vec::new();
+            for i in 0..k {
+                apply(i, &mut head_draws);
+            }
+            // Epoch boundary: everyone quiesced (barrier inside apply,
+            // or the post-init sync when k == 0), image on disk before
+            // the tail mutates anything.
+            ga.checkpoint(&ck, k as u64).unwrap();
+            ep.barrier();
+            let mut tail1 = Vec::new();
+            for i in k..rounds.len() {
+                apply(i, &mut tail1);
+            }
+            assert_eq!(ga.get(hh, 0, LEN), *fin, "no-crash run diverged");
+            // Crash: scramble every shard and poison the caches with the
+            // garbage, so a missed invalidation on restore is caught.
+            ep.barrier();
+            ga.put_collective(hh, 0, &vec![-1234.5; LEN]);
+            ga.sync();
+            assert!(ga.get(hh, 0, LEN).iter().all(|&v| v == -1234.5));
+            ep.barrier();
+            // Restore and verify the epoch-k cut, then replay the tail.
+            let epoch = ga.restore(&ck).unwrap();
+            assert_eq!(epoch, k as u64, "restored wrong epoch");
+            ep.barrier();
+            assert_eq!(ga.get(hh, 0, LEN), *at_k, "restore missed the epoch-k state");
+            // Epoch-k reads done before replay mutates.
+            ep.barrier();
+            let mut tail2 = Vec::new();
+            for i in k..rounds.len() {
+                apply(i, &mut tail2);
+            }
+            assert_eq!(ga.get(hh, 0, LEN), *fin, "replayed tail diverged from no-crash oracle");
+            (tail1, tail2)
+        });
+        // The restored NXTVAL counter must hand the replayed tail the
+        // same value set the original tail drew (order across ranks is
+        // scheduling, the multiset is the contract).
+        let mut t1: Vec<i64> = Vec::new();
+        let mut t2: Vec<i64> = Vec::new();
+        for (a, b) in results {
+            t1.extend(a);
+            t2.extend(b);
+        }
+        t1.sort_unstable();
+        t2.sort_unstable();
+        prop_assert_eq!(t1, t2, "replayed NXTVAL draws diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Single-rank roundtrip through the spill file: mutate, checkpoint,
+/// mutate again, restore — the first state comes back, the allocation
+/// cursor survives (so post-restore creates agree with peers), and the
+/// counters add up.
+#[test]
+fn spill_file_roundtrip_restores_shards_and_counter() {
+    let dir = fresh_dir("roundtrip");
+    let dir2 = dir.clone();
+    run_ranks(1, move |ga| {
+        let h = ga.create(LEN);
+        ga.put(h, 0, &vec![3.25; LEN]);
+        for _ in 0..5 {
+            ga.nxtval();
+        }
+        let ck = Checkpointer::new(&dir2, 0).unwrap();
+        assert!(!ck.exists());
+        let bytes = ga.checkpoint(&ck, 7).unwrap();
+        assert!(bytes > (LEN * 8) as u64, "image must contain the shard");
+        assert!(ck.exists());
+        ga.put(h, 0, &vec![-1.0; LEN]);
+        ga.nxtval();
+        let epoch = ga.restore(&ck).unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(ga.get(h, 0, LEN), vec![3.25; LEN]);
+        assert_eq!(ga.nxtval(), 5, "counter must resume from the image");
+        // The cursor came back too: the next create gets the next id.
+        let h2 = ga.create(LEN);
+        assert_ne!(h, h2);
+        assert_eq!((ck.checkpoints(), ck.restores()), (1, 1));
+        assert_eq!(ck.bytes_written(), bytes);
+        ck.clear().unwrap();
+        assert!(!ck.exists());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Images are rank-stamped and integrity-checked: restoring another
+/// rank's image or a corrupted file must fail loudly, never serve wrong
+/// shards silently.
+#[test]
+fn wrong_rank_or_corrupt_image_is_rejected() {
+    use global_arrays::ckpt::{decode_into, encode};
+    let s0 = DistStore::new(0, 2);
+    let s1 = DistStore::new(1, 2);
+    let img = encode(&s0, 3, 0);
+    assert!(decode_into(&s1, &img).unwrap_err().contains("for rank 0"));
+    let mut bad = img.clone();
+    bad[0] ^= 0xFF;
+    assert!(decode_into(&s0, &bad).unwrap_err().contains("magic"));
+    let truncated = &img[..img.len() - 4];
+    assert!(decode_into(&s0, truncated)
+        .unwrap_err()
+        .contains("truncated"));
+    // The intact image still decodes after the failed attempts.
+    assert_eq!(decode_into(&s0, &img).unwrap(), (3, 0));
+}

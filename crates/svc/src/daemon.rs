@@ -50,6 +50,19 @@ pub struct SvcConfig {
     /// identical on every rank: the weight also picks the job's
     /// priority band, and graphs must agree across ranks.
     pub weights: Vec<(u32, u64)>,
+    /// How long the executor waits on a missing dispatch seq with a
+    /// *later* seq already banked before declaring the control plane
+    /// broken. An idle executor (empty queue — e.g. a fenced rank that
+    /// simply receives no work) waits forever.
+    pub starve_timeout: Duration,
+    /// How long a client waits for a submit/status reply AM before
+    /// declaring the gateway unreachable.
+    pub reply_timeout: Duration,
+    /// When set, every rank spills an epoch-aligned checkpoint of its
+    /// shard store (and NXTVAL counter) to this directory at each job
+    /// boundary, so a restarted rank can restore instead of rejoining
+    /// cold.
+    pub ckpt_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SvcConfig {
@@ -61,6 +74,9 @@ impl Default for SvcConfig {
             plan_cache: PlanCacheConfig::default(),
             max_open: 2,
             weights: Vec::new(),
+            starve_timeout: Duration::from_secs(30),
+            reply_timeout: Duration::from_secs(60),
+            ckpt_dir: None,
         }
     }
 }
@@ -134,20 +150,24 @@ impl ExecQueue {
 
     /// Block until the frame for `seq` arrives and take it. Reordered
     /// arrivals simply wait here for the gap to fill (the retry
-    /// machinery guarantees it eventually does). A 30-second gap is a
+    /// machinery guarantees it eventually does). Starvation is only
+    /// *provable* when a frame with a **later** seq is banked while
+    /// `seq` never arrives — an empty queue is just an idle executor
+    /// (a fenced rank receives no work, possibly for a long time) and
+    /// waits indefinitely. A proven gap outliving `starve` is a
     /// control-plane failure: panic with everything a human needs —
     /// which jobs/gangs *are* banked, what ran last, and the state of
     /// every barrier group on this endpoint (a stuck gang collective is
     /// the usual culprit).
-    fn pop(&self, seq: u64, ep: &Endpoint) -> (u64, Vec<u64>) {
+    fn pop(&self, seq: u64, ep: &Endpoint, starve: Duration) -> (u64, Vec<u64>) {
         let mut q = self.frames.lock().unwrap();
         loop {
             if let Some(f) = q.remove(&seq) {
                 return f;
             }
-            let (guard, timed_out) = self.cv.wait_timeout(q, Duration::from_secs(30)).unwrap();
+            let (guard, timed_out) = self.cv.wait_timeout(q, starve).unwrap();
             q = guard;
-            if timed_out.timed_out() {
+            if timed_out.timed_out() && q.keys().any(|&s| s > seq) {
                 let queued: Vec<(u64, u64, u64)> = q
                     .iter()
                     .map(|(s, (id, w))| {
@@ -241,6 +261,29 @@ impl JobHandler for Handler {
     }
 }
 
+/// Recovery orchestration, driven by the comm failure detector on the
+/// gateway rank: a confirmed death fences the rank and requeues its
+/// gangs' jobs (re-dispatching them onto live ranks immediately when a
+/// gang packs); a rejoin unfences it. Non-gateway ranks do nothing here
+/// — their side of recovery is the poisoned-run suppression in
+/// [`RankDaemon::execute`]. Called from the progress thread: both paths
+/// only post asynchronous sends, never block on collectives.
+impl comm::FailureHandler for Handler {
+    fn on_death(&self, rank: usize) {
+        if let Some(gw) = &self.gateway {
+            let d = gw.fence_rank(rank);
+            self.issue(d);
+        }
+    }
+
+    fn on_rejoin(&self, rank: usize) {
+        if let Some(gw) = &self.gateway {
+            let d = gw.unfence_rank(rank);
+            self.issue(d);
+        }
+    }
+}
+
 /// One rank of the job service: persistent endpoint, plan cache, and
 /// the ordinal-ordered executor loop.
 pub struct RankDaemon {
@@ -259,6 +302,13 @@ pub struct RankDaemon {
     weights: HashMap<u32, u64>,
     scfg: StealConfig,
     records: Mutex<Vec<JobRecord>>,
+    starve_timeout: Duration,
+    reply_timeout: Duration,
+    /// Job-boundary shard checkpointing (when `SvcConfig::ckpt_dir`).
+    ckpt: Option<global_arrays::Checkpointer>,
+    /// Runs whose gang lost a member mid-run: result suppressed, plan
+    /// purged; the gateway re-dispatches the job elsewhere.
+    poisoned_runs: AtomicU64,
 }
 
 impl RankDaemon {
@@ -279,6 +329,15 @@ impl RankDaemon {
             exec: exec.clone(),
         });
         ep.set_job_handler(Some(handler.clone()));
+        // The same handler drives recovery: on the gateway rank a
+        // confirmed death fences + requeues, a rejoin unfences. (A
+        // no-op on other ranks, and entirely inert unless the detector
+        // is enabled via `CommConfig::suspect_after`.)
+        ep.set_failure_handler(handler.clone());
+        let ckpt = cfg
+            .ckpt_dir
+            .as_ref()
+            .map(|d| global_arrays::Checkpointer::new(d, rank).expect("checkpoint dir unusable"));
         // No rank returns (and so no tenant can submit) until every
         // rank's handler is live — otherwise an early Submit AM would
         // find no service and record a rejection for its sequence.
@@ -295,6 +354,10 @@ impl RankDaemon {
             weights: cfg.weights.iter().copied().collect(),
             scfg: cfg.steal,
             records: Mutex::new(Vec::new()),
+            starve_timeout: cfg.starve_timeout,
+            reply_timeout: cfg.reply_timeout,
+            ckpt,
+            poisoned_runs: AtomicU64::new(0),
         }
     }
 
@@ -328,6 +391,11 @@ impl RankDaemon {
         self.plans.evictions()
     }
 
+    /// Plans purged after poisoned runs so far.
+    pub fn plan_purges(&self) -> u64 {
+        self.plans.purges()
+    }
+
     /// The gateway, on rank 0.
     pub fn gateway(&self) -> Option<&Arc<Gateway>> {
         self.gateway.as_ref()
@@ -350,7 +418,19 @@ impl RankDaemon {
             ep: self.ep.clone(),
             handler: self.handler.clone(),
             gateway: self.gateway.clone(),
+            reply_timeout: self.reply_timeout,
         }
+    }
+
+    /// Runs suppressed because a gang member died mid-run.
+    pub fn poisoned_runs(&self) -> u64 {
+        self.poisoned_runs
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The job-boundary checkpointer, when configured.
+    pub fn checkpointer(&self) -> Option<&global_arrays::Checkpointer> {
+        self.ckpt.as_ref()
     }
 
     /// The executor loop: run dispatched jobs in this rank's seq order
@@ -360,7 +440,7 @@ impl RankDaemon {
     pub fn run(&self) {
         let mut seq = 0u64;
         loop {
-            let (job_id, words) = self.exec.pop(seq, &self.ep);
+            let (job_id, words) = self.exec.pop(seq, &self.ep, self.starve_timeout);
             seq += 1;
             match words[1] {
                 KIND_HALT => return,
@@ -368,6 +448,14 @@ impl RankDaemon {
                     let (gang, ordinal) = (words[2], words[3]);
                     self.execute(job_id, gang, ordinal, &words[4..]);
                     self.exec.note_done(job_id, gang);
+                    if let Some(ck) = &self.ckpt {
+                        // Job boundary = checkpoint epoch: this rank is
+                        // quiesced (one gang slot per rank), so the
+                        // image is a consistent cut of its shards.
+                        // Best-effort — a full spill disk must not
+                        // take the service down.
+                        let _ = self.root.checkpoint(ck, seq);
+                    }
                 }
                 k => panic!("unknown dispatch kind {k}"),
             }
@@ -390,7 +478,7 @@ impl RankDaemon {
             seed: spec.space.seed,
         };
         let build_t = Instant::now();
-        let (plan, hit) = self.plans.get_or_build(key, || {
+        let (plan, hit) = self.plans.get_or_build(key.clone(), || {
             let space = TileSpace::build(&spec.space);
             let drank = Arc::new(DistRank::attach(
                 self.ep.clone(),
@@ -442,6 +530,21 @@ impl RankDaemon {
             .drank
             .run_variant_graph(&graph, cfg, spec.threads.max(1), self.scfg);
         let run_ns = run_t.elapsed().as_nanos() as u64;
+        // A gang member died during (or before) this run: the detector
+        // poison-released its collectives and completed blocked gets
+        // with zeros, so both the result and the plan's workspace (plus
+        // the pinned cache entries over it) are garbage. Suppress the
+        // completion report — the gateway has requeued (or will
+        // requeue) the job onto live ranks — and purge the plan so a
+        // later job on this gang mask rebuilds from clean fills. Every
+        // surviving member sees the same dead mask after its run and
+        // purges in lockstep.
+        if self.ep.dead_mask() & gang != 0 {
+            self.plans.purge(&key);
+            self.poisoned_runs
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return;
+        }
         let c1 = self.ep.stats();
         self.records.lock().unwrap().push(JobRecord {
             job_id,
@@ -484,9 +587,16 @@ pub struct Client {
     ep: Arc<Endpoint>,
     handler: Arc<Handler>,
     gateway: Option<Arc<Gateway>>,
+    reply_timeout: Duration,
 }
 
 impl Client {
+    /// The in-process gateway handle (rank 0 clients only): direct
+    /// access for service-owner operations like fencing a rank.
+    pub fn gateway(&self) -> Option<&Arc<Gateway>> {
+        self.gateway.as_ref()
+    }
+
     /// Submit a job; returns its id, or `None` if the gateway refused
     /// (halted or malformed spec). On rank 0 the gateway is called
     /// in-process; elsewhere this is a `Submit` AM riding the
@@ -508,7 +618,7 @@ impl Client {
             }),
         );
         let id = rx
-            .recv_timeout(Duration::from_secs(60))
+            .recv_timeout(self.reply_timeout)
             .expect("submit reply lost: progress engine dead or gateway unreachable");
         (id != JOB_REJECTED).then_some(id)
     }
@@ -528,7 +638,7 @@ impl Client {
             }),
         );
         let (s, r) = rx
-            .recv_timeout(Duration::from_secs(60))
+            .recv_timeout(self.reply_timeout)
             .expect("status reply lost: progress engine dead or gateway unreachable");
         (JobState::from_u8(s), r)
     }

@@ -73,7 +73,7 @@ struct TenantQ {
 struct GwState {
     tenants: HashMap<u32, TenantQ>,
     jobs: HashMap<u64, JobMeta>,
-    specs: HashMap<u64, Vec<u64>>, // queued jobs' encoded specs
+    specs: HashMap<u64, Vec<u64>>, // open jobs' specs (kept until Done for requeue)
     done_ranks: HashMap<u64, u64>, // bitmask of ranks that reported
     next_id: u64,
     /// Next dispatch seq per rank: each rank's executor runs its frames
@@ -84,6 +84,18 @@ struct GwState {
     /// Ranks occupied by open jobs; packing only uses idle ranks, so a
     /// rank hosts at most one running job at a time (its gang slot).
     busy: u64,
+    /// Ranks the failure detector confirmed dead (or the operator
+    /// fenced): never packed into new gangs until unfenced.
+    fenced: u64,
+    /// Jobs pulled back from a fenced gang and requeued.
+    requeued: u64,
+    /// Requeued job ids, in requeue order (recovery reporting).
+    requeued_ids: Vec<u64>,
+    /// Gateway-clock nanoseconds of the first fence (0 = never).
+    first_fence_ns: u64,
+    /// Longest dispatch-to-fence span among requeued jobs: run time
+    /// before the death plus the detector's declaration latency.
+    detect_span_ns: u64,
     /// Per-rank busy nanoseconds accumulated over closed jobs, for the
     /// utilization report.
     busy_ns: Vec<u64>,
@@ -140,6 +152,11 @@ impl Gateway {
                 next_seq: vec![0; nranks],
                 gang_ordinals: HashMap::new(),
                 busy: 0,
+                fenced: 0,
+                requeued: 0,
+                requeued_ids: Vec::new(),
+                first_fence_ns: 0,
+                detect_span_ns: 0,
                 busy_ns: vec![0; nranks],
                 open: 0,
                 halted: false,
@@ -162,13 +179,28 @@ impl Gateway {
             .map_or(1, |q| q.weight)
     }
 
-    /// Gang size a spec's `ranks` request resolves to on this mesh.
-    fn gang_size(&self, requested: usize) -> usize {
-        if requested == 0 || requested > self.nranks {
+    /// Gang size a spec's `ranks` request resolves to on this mesh,
+    /// clamped to the largest contiguous window of unfenced ranks — a
+    /// full-mesh request must still be schedulable after a rank dies,
+    /// on the shrunken mesh that remains.
+    fn gang_size(&self, requested: usize, fenced: u64) -> usize {
+        let full = if requested == 0 || requested > self.nranks {
             self.nranks
         } else {
             requested
+        };
+        let (mut best, mut run) = (0usize, 0usize);
+        for r in 0..self.nranks {
+            if fenced & (1 << r) == 0 {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
         }
+        // All ranks fenced: leave the request at 1 so it simply stays
+        // queued (place() finds no window) instead of packing nothing.
+        full.min(best).max(1)
     }
 
     /// Accept a tenant submission (already word-encoded, straight off
@@ -242,6 +274,7 @@ impl Gateway {
         *mask |= bit;
         if *mask == gang {
             st.done_ranks.remove(&job_id);
+            st.specs.remove(&job_id);
             let meta = st.jobs.get_mut(&job_id).unwrap();
             meta.state = JobState::Done;
             meta.done_ns = now;
@@ -254,6 +287,93 @@ impl Gateway {
             return self.pump(&mut st);
         }
         Vec::new()
+    }
+
+    /// Fence `rank` after a confirmed death: it is never packed into a
+    /// new gang, and every *running* job whose gang contains it is
+    /// pulled back to the **front** of its tenant queue (state
+    /// [`JobState::Requeued`]) and re-dispatched as soon as a gang of
+    /// live ranks can be packed — possibly a smaller one than the spec
+    /// requested, if the mesh shrank (`gang_size` clamps to the largest
+    /// unfenced window). Survivors of the broken gang finish their
+    /// poison-released runs and either suppress the report daemon-side
+    /// (the run observed the death) or have it ignored here (the job is
+    /// no longer `Running`). Idempotent per rank; returns the unlocked
+    /// re-dispatches.
+    pub fn fence_rank(&self, rank: usize) -> Vec<Dispatch> {
+        let now = self.now_ns();
+        let mut st = self.st.lock().unwrap();
+        let bit = 1u64 << rank;
+        if st.fenced & bit != 0 {
+            return Vec::new();
+        }
+        st.fenced |= bit;
+        if st.first_fence_ns == 0 {
+            st.first_fence_ns = now;
+        }
+        let mut victims: Vec<u64> = st
+            .jobs
+            .values()
+            .filter(|m| m.state == JobState::Running && m.gang_mask & bit != 0)
+            .map(|m| m.job_id)
+            .collect();
+        victims.sort_unstable();
+        // push_front in reverse id order keeps the victims FIFO among
+        // themselves at the head of their queues.
+        for &id in victims.iter().rev() {
+            let meta = st.jobs.get_mut(&id).unwrap();
+            meta.state = JobState::Requeued;
+            let (gang, tenant) = (meta.gang_mask, meta.tenant);
+            let span = now.saturating_sub(meta.dispatched_ns);
+            meta.gang_mask = 0;
+            st.done_ranks.remove(&id);
+            st.busy &= !gang;
+            st.open -= 1;
+            st.requeued += 1;
+            st.requeued_ids.push(id);
+            st.detect_span_ns = st.detect_span_ns.max(span);
+            let q = st.tenants.get_mut(&tenant).unwrap();
+            q.queue.push_front(id);
+            // The aborted dispatch no longer counts against the
+            // tenant's fair share.
+            q.dispatched = q.dispatched.saturating_sub(1);
+        }
+        self.pump(&mut st)
+    }
+
+    /// Unfence `rank` (it rejoined): it may be packed into new gangs
+    /// again. Returns any dispatches the regrown mesh unlocks.
+    pub fn unfence_rank(&self, rank: usize) -> Vec<Dispatch> {
+        let mut st = self.st.lock().unwrap();
+        if st.fenced & (1u64 << rank) == 0 {
+            return Vec::new();
+        }
+        st.fenced &= !(1u64 << rank);
+        self.pump(&mut st)
+    }
+
+    /// Currently fenced ranks, as a mask.
+    pub fn fenced(&self) -> u64 {
+        self.st.lock().unwrap().fenced
+    }
+
+    /// Jobs pulled off a broken gang and requeued so far.
+    pub fn requeued_jobs(&self) -> u64 {
+        self.st.lock().unwrap().requeued
+    }
+
+    /// Recovery timeline for reporting: gateway-clock nanoseconds of
+    /// the first fence (0 = no fence yet), the longest dispatch-to-fence
+    /// span among requeued jobs (an upper bound on detection: run time
+    /// before the death plus the detector's declaration latency), and
+    /// the requeued job ids in requeue order.
+    pub fn recovery_meta(&self) -> (u64, u64, Vec<u64>) {
+        let st = self.st.lock().unwrap();
+        (
+            st.first_fence_ns,
+            st.detect_span_ns,
+            st.requeued_ids.clone(),
+        )
     }
 
     /// State + result of a job (`Unknown` for ids never assigned).
@@ -310,8 +430,8 @@ impl Gateway {
                     .iter()
                     .enumerate()
                     .filter_map(|(i, id)| {
-                        let size = self.gang_size(st.specs[id][11] as usize);
-                        place(size, st.busy, self.nranks).map(|m| (i, m, size))
+                        let size = self.gang_size(st.specs[id][11] as usize, st.fenced);
+                        place(size, st.busy | st.fenced, self.nranks).map(|m| (i, m, size))
                     })
                     .max_by(|a, b| {
                         (a.2, std::cmp::Reverse(a.0)).cmp(&(b.2, std::cmp::Reverse(b.0)))
@@ -346,7 +466,14 @@ impl Gateway {
             };
             st.busy |= mask;
             st.open += 1;
-            let spec = st.specs.remove(&id).expect("queued job lost its spec");
+            // The spec stays in the table until the job closes: a rank
+            // death mid-run requeues the job, and the re-dispatch needs
+            // the words again.
+            let spec = st
+                .specs
+                .get(&id)
+                .cloned()
+                .expect("queued job lost its spec");
             let meta = st.jobs.get_mut(&id).unwrap();
             meta.state = JobState::Running;
             meta.gang_mask = mask;
@@ -552,6 +679,65 @@ mod tests {
         assert_eq!(frame_of(&d[1], 0)[1], KIND_HALT);
         assert_eq!(frame_of(&d[1], 0)[0], 3, "halt seq follows the jobs");
         assert!(gw.record_done(0, 3, 0).is_empty(), "halt already sent");
+    }
+
+    #[test]
+    fn fencing_requeues_running_jobs_onto_live_ranks() {
+        let gw = Gateway::new(4, 2, &[]);
+        let (id, d) = gw.submit(&spec_ranks(7, 2));
+        let id = id.unwrap();
+        assert_eq!(frame_of(&d[0], 0)[2], 0b0011, "packed on {{0,1}}");
+        // Rank 1 dies mid-run: the job is pulled back and immediately
+        // re-packed on the surviving window {2,3} with fresh seqs.
+        let d = gw.fence_rank(1);
+        assert_eq!(d.len(), 1, "requeued job re-dispatches at once");
+        assert_eq!(d[0].job_id, id);
+        assert_eq!(frame_of(&d[0], 2)[2], 0b1100, "repacked on {{2,3}}");
+        assert_eq!(gw.fenced(), 0b0010);
+        assert_eq!(gw.requeued_jobs(), 1);
+        assert_eq!(gw.status(id).0, JobState::Running as u8);
+        // A late report from the broken gang's survivor is ignored (rank
+        // 0 is outside the new gang).
+        assert!(gw.record_done(0, id, 1f64.to_bits()).is_empty());
+        // The re-run completes normally; the new leader's energy wins.
+        gw.record_done(3, id, 0);
+        gw.record_done(2, id, 9f64.to_bits());
+        assert_eq!(gw.status(id), (JobState::Done as u8, 9f64.to_bits()));
+        // Fencing again is idempotent.
+        assert!(gw.fence_rank(1).is_empty());
+        assert_eq!(gw.requeued_jobs(), 1);
+    }
+
+    #[test]
+    fn full_mesh_requests_clamp_to_the_shrunken_mesh() {
+        let gw = Gateway::new(4, 1, &[]);
+        assert!(gw.fence_rank(3).is_empty(), "no running jobs to requeue");
+        // A full-mesh job must still be schedulable on the 3 live ranks.
+        let (_, d) = gw.submit(&spec(0));
+        assert_eq!(d.len(), 1, "clamped job dispatches");
+        assert_eq!(frame_of(&d[0], 0)[2], 0b0111, "largest unfenced window");
+        gw.record_done(0, 1, 0);
+        gw.record_done(1, 1, 0);
+        gw.record_done(2, 1, 0);
+        // The rank rejoins: the next full-mesh job uses all four again.
+        let d = gw.unfence_rank(3);
+        assert!(d.is_empty());
+        assert_eq!(gw.fenced(), 0);
+        let (_, d) = gw.submit(&spec(0));
+        assert_eq!(frame_of(&d[0], 0)[2], 0b1111);
+    }
+
+    #[test]
+    fn fencing_every_rank_parks_the_queue_until_rejoin() {
+        let gw = Gateway::new(2, 1, &[]);
+        gw.fence_rank(0);
+        gw.fence_rank(1);
+        let (id, d) = gw.submit(&spec(0));
+        assert!(d.is_empty(), "no live window: job waits");
+        assert_eq!(gw.status(id.unwrap()).0, JobState::Queued as u8);
+        let d = gw.unfence_rank(0);
+        assert_eq!(d.len(), 1, "one live rank is enough after the clamp");
+        assert_eq!(frame_of(&d[0], 0)[2], 0b01);
     }
 
     #[test]

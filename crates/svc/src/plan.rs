@@ -140,6 +140,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    purges: AtomicU64,
     /// Graphs built (a plan hit can still build a graph when the
     /// variant or band is new for that plan).
     graph_builds: AtomicU64,
@@ -161,6 +162,7 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            purges: AtomicU64::new(0),
             graph_builds: AtomicU64::new(0),
         }
     }
@@ -207,6 +209,36 @@ impl PlanCache {
     fn over_budget(&self, bucket: &MaskLru) -> bool {
         (self.cfg.max_entries > 0 && bucket.recency.len() > self.cfg.max_entries)
             || (self.cfg.max_bytes > 0 && bucket.bytes > self.cfg.max_bytes)
+    }
+
+    /// Drop (and destroy) the plan for `key`, if resident. Called when
+    /// a run over the plan was poisoned by a gang member's death: the
+    /// detector completed its blocked gets with zeros, so the plan's
+    /// workspace — and the pinned cache entries over it — may hold
+    /// garbage. Every surviving member of the gang observes the same
+    /// dead mask after the run and purges in lockstep, preserving the
+    /// cache-coherence-by-construction invariant. Returns whether a
+    /// plan was dropped.
+    pub fn purge(&self, key: &PlanKey) -> bool {
+        let mut map = self.map.lock().unwrap();
+        let mut lru = self.lru.lock().unwrap();
+        let Some(plan) = map.remove(key) else {
+            return false;
+        };
+        if let Some(bucket) = lru.get_mut(&key.gang) {
+            if let Some(pos) = bucket.recency.iter().position(|k| k == key) {
+                bucket.recency.remove(pos);
+            }
+            bucket.bytes = bucket.bytes.saturating_sub(plan.bytes);
+        }
+        plan.destroy();
+        self.purges.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Plans purged after poisoned runs so far.
+    pub fn purges(&self) -> u64 {
+        self.purges.load(Ordering::Relaxed)
     }
 
     /// Graph-build counter handle (threaded into [`CachedPlan::graph`]).

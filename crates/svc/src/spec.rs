@@ -83,6 +83,10 @@ pub enum JobState {
     Running = 2,
     /// Every rank reported completion; the result is final.
     Done = 3,
+    /// The job's gang lost a member to a confirmed rank death; the job
+    /// is back at the front of its tenant queue waiting to be re-packed
+    /// onto live ranks.
+    Requeued = 4,
 }
 
 impl JobState {
@@ -92,6 +96,7 @@ impl JobState {
             1 => JobState::Queued,
             2 => JobState::Running,
             3 => JobState::Done,
+            4 => JobState::Requeued,
             _ => JobState::Unknown,
         }
     }

@@ -534,3 +534,416 @@ fn gang_dispatch_and_barriers_survive_chaos() {
     let retries: u64 = outs.iter().map(|o| o.3).sum();
     assert!(retries > 0, "chaos schedule never forced a retry: {replay}");
 }
+
+// ---------------------------------------------------------------------------
+// Gang-packing invariants: property tests over the pure gateway
+// ---------------------------------------------------------------------------
+
+mod packing {
+    use comm::mask_members;
+    use proptest::prelude::*;
+    use std::collections::{HashMap, VecDeque};
+    use svc::{Dispatch, Gateway, JobSpec, JobState, Variant, KIND_JOB};
+    use tce::{scale, Kernel};
+
+    const NR: usize = 4;
+
+    fn spec_words(tenant: u32, ranks: usize) -> Vec<u64> {
+        JobSpec {
+            tenant,
+            space: scale::tiny(),
+            kernels: vec![Kernel::T2_7],
+            variant: Variant::V5,
+            threads: 1,
+            prefetch: false,
+            ranks,
+        }
+        .encode()
+    }
+
+    /// Checks every dispatch the gateway hands back: per-rank seq
+    /// chains must stay contiguous (a hole would starve that rank's
+    /// executor forever), gang masks must be contiguous non-empty
+    /// windows with exactly one frame per member, and per-gang ordinals
+    /// must count up from zero.
+    struct Absorber {
+        next_seq: Vec<u64>,
+        ordinals: HashMap<u64, u64>,
+        /// `(job id, gang mask)` of dispatched-but-uncompleted jobs, in
+        /// dispatch order.
+        open: VecDeque<(u64, u64)>,
+        /// Tenant of every dispatch, in dispatch order (re-dispatches
+        /// of a requeued job count again).
+        tenants: Vec<u32>,
+    }
+
+    impl Absorber {
+        fn new() -> Self {
+            Self {
+                next_seq: vec![0; NR],
+                ordinals: HashMap::new(),
+                open: VecDeque::new(),
+                tenants: Vec::new(),
+            }
+        }
+
+        fn absorb(&mut self, gw: &Gateway, ds: Vec<Dispatch>) -> Result<(), TestCaseError> {
+            for d in ds {
+                let mask = d.frames[0].1[2];
+                prop_assert!(mask != 0, "empty gang dispatched");
+                let w = mask >> mask.trailing_zeros();
+                prop_assert_eq!(w & (w + 1), 0, "gang mask {:#b} not contiguous", mask);
+                let members: Vec<usize> = mask_members(mask).collect();
+                let mut franks: Vec<usize> = d.frames.iter().map(|(r, _)| *r).collect();
+                franks.sort_unstable();
+                prop_assert_eq!(&franks, &members, "one frame per gang member");
+                for (r, words) in &d.frames {
+                    prop_assert_eq!(words[0], self.next_seq[*r], "rank {} seq hole", r);
+                    self.next_seq[*r] += 1;
+                    prop_assert_eq!(words[1], KIND_JOB);
+                    prop_assert_eq!(words[2], mask);
+                    prop_assert_eq!(words[3], self.ordinals.get(&mask).copied().unwrap_or(0));
+                }
+                *self.ordinals.entry(mask).or_insert(0) += 1;
+                let meta = gw
+                    .report()
+                    .into_iter()
+                    .find(|m| m.job_id == d.job_id)
+                    .expect("dispatched job must be in the table");
+                self.tenants.push(meta.tenant);
+                self.open.push_back((d.job_id, mask));
+            }
+            Ok(())
+        }
+
+        /// Complete the oldest open job: every member reports done.
+        fn complete_front(&mut self, gw: &Gateway) -> Result<(), TestCaseError> {
+            if let Some((id, mask)) = self.open.pop_front() {
+                for r in mask_members(mask) {
+                    let ds = gw.record_done(r, id, 0);
+                    self.absorb(gw, ds)?;
+                }
+            }
+            Ok(())
+        }
+    }
+
+    /// The running set the gateway reports: disjoint contiguous gangs
+    /// on unfenced ranks, bounded by `max_open`.
+    fn check_running(gw: &Gateway, max_open: usize) -> Result<(), TestCaseError> {
+        let fenced = gw.fenced();
+        let running: Vec<u64> = gw
+            .report()
+            .into_iter()
+            .filter(|m| m.state == JobState::Running)
+            .map(|m| m.gang_mask)
+            .collect();
+        prop_assert!(running.len() <= max_open, "open bound violated");
+        let mut union = 0u64;
+        for &m in &running {
+            prop_assert_eq!(m & union, 0, "overlapping gangs: {:#b} in {:?}", m, running);
+            prop_assert_eq!(m & fenced, 0, "gang {:#b} overlaps fenced {:#b}", m, fenced);
+            union |= m;
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random interleavings of submit / complete / fence / unfence
+        /// against the first-fit-decreasing packer: no overlapping or
+        /// non-contiguous gangs, no gang on a fenced rank, no seq hole
+        /// on any rank, `max_open` respected — and once every rank is
+        /// unfenced and everything completes, every job ends `Done`.
+        #[test]
+        fn packing_invariants_hold_under_random_interleavings(
+            ops in prop::collection::vec((0usize..8, 0usize..8usize, 1usize..6), 1..40),
+            max_open in 1usize..5,
+        ) {
+            let gw = Gateway::new(NR, max_open, &[(1, 2), (2, 1)]);
+            let mut ab = Absorber::new();
+            for &(kind, arg, size) in &ops {
+                match kind {
+                    // Submits dominate the mix so queues actually fill.
+                    0..=3 => {
+                        let tenant = 1 + (arg % 3) as u32;
+                        let (id, ds) = gw.submit(&spec_words(tenant, size % (NR + 2)));
+                        prop_assert!(id.is_some());
+                        ab.absorb(&gw, ds)?;
+                    }
+                    4 | 5 => ab.complete_front(&gw)?,
+                    6 => {
+                        let r = arg % NR;
+                        let ds = gw.fence_rank(r);
+                        // Jobs whose gang lost the rank are no longer
+                        // open under their old dispatch.
+                        ab.open.retain(|(_, m)| m & (1 << r) == 0);
+                        ab.absorb(&gw, ds)?;
+                    }
+                    _ => {
+                        let ds = gw.unfence_rank(arg % NR);
+                        ab.absorb(&gw, ds)?;
+                    }
+                }
+                check_running(&gw, max_open)?;
+            }
+            // Heal the mesh and drain: everything must finish.
+            for r in 0..NR {
+                let ds = gw.unfence_rank(r);
+                ab.absorb(&gw, ds)?;
+            }
+            while !ab.open.is_empty() {
+                ab.complete_front(&gw)?;
+                check_running(&gw, max_open)?;
+            }
+            for m in gw.report() {
+                prop_assert_eq!(
+                    m.state as u8, JobState::Done as u8,
+                    "job {} stranded in {:?}", m.job_id, m.state
+                );
+            }
+        }
+
+        /// Weighted-fair dispatch survives kill/complete interleavings:
+        /// with tenants weighted 2:1 and queues kept saturated, the
+        /// weight-1 tenant never runs ahead of its share by more than
+        /// one dispatch plus one per requeue (a requeued job's aborted
+        /// dispatch is refunded, so its re-dispatch legitimately
+        /// repeats the tenant).
+        #[test]
+        fn weighted_shares_survive_kill_interleavings(
+            churn in prop::collection::vec((0usize..NR, any::<bool>()), 0..12),
+            n in 3usize..8,
+        ) {
+            let gw = Gateway::new(NR, 1, &[(1, 2), (2, 1)]);
+            let mut ab = Absorber::new();
+            for _ in 0..n {
+                let (_, ds) = gw.submit(&spec_words(1, 0));
+                ab.absorb(&gw, ds)?;
+                let (_, ds) = gw.submit(&spec_words(2, 0));
+                ab.absorb(&gw, ds)?;
+            }
+            for &(r, fence) in &churn {
+                if fence {
+                    let ds = gw.fence_rank(r);
+                    ab.open.retain(|(_, m)| m & (1 << r) == 0);
+                    ab.absorb(&gw, ds)?;
+                } else {
+                    let ds = gw.unfence_rank(r);
+                    ab.absorb(&gw, ds)?;
+                }
+                ab.complete_front(&gw)?;
+            }
+            for r in 0..NR {
+                let ds = gw.unfence_rank(r);
+                ab.absorb(&gw, ds)?;
+            }
+            while !ab.open.is_empty() {
+                ab.complete_front(&gw)?;
+            }
+            let slack = gw.requeued_jobs();
+            let (mut t1, mut t2) = (0u64, 0u64);
+            for &t in &ab.tenants {
+                if t == 1 { t1 += 1 } else { t2 += 1 }
+                prop_assert!(
+                    t2 <= t1 + 1 + slack,
+                    "weight-1 tenant ran ahead: {:?} (requeues {})", ab.tenants, slack
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery: starvation regression and the kill-mid-run requeue path
+// ---------------------------------------------------------------------------
+
+/// Regression for the executor starvation panic: a fenced (but alive)
+/// rank receives no work for much longer than `starve_timeout` — an
+/// empty queue is an *idle* executor, not a starved one, and must wait
+/// quietly until the halt frame arrives. (Starvation only panics on a
+/// provable seq hole: a later frame banked while an earlier seq never
+/// arrives.)
+#[test]
+fn fenced_rank_idles_without_tripping_the_starvation_panic() {
+    let e_tiny = reference(&scale::tiny());
+    let handles: Vec<_> = comm::loopback(2)
+        .into_iter()
+        .map(|t| {
+            let r = t.rank();
+            std::thread::spawn(move || {
+                let cfg = SvcConfig {
+                    starve_timeout: Duration::from_millis(200),
+                    ..SvcConfig::default()
+                };
+                let daemon = RankDaemon::new(Box::new(t), cfg);
+                let client = daemon.client();
+                let driver = std::thread::spawn(move || {
+                    if r != 0 {
+                        return 0.0;
+                    }
+                    let gw = client.gateway().expect("rank 0 hosts the gateway");
+                    assert!(gw.fence_rank(1).is_empty(), "nothing running yet");
+                    // Rank 1 now idles with an empty queue. Hold the
+                    // mesh well past several starve timeouts before the
+                    // job (clamped onto rank 0 alone) and the halt give
+                    // it any frames.
+                    std::thread::sleep(Duration::from_millis(700));
+                    let id = client.submit(&spec(1, scale::tiny(), Variant::V5)).unwrap();
+                    let e = client.wait(id, TIMEOUT);
+                    client.halt();
+                    e
+                });
+                daemon.run();
+                let e = driver.join().unwrap();
+                let recs = daemon.records();
+                daemon.finish();
+                (e, recs)
+            })
+        })
+        .collect();
+    let outs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(rel_diff(outs[0].0, e_tiny) < 1e-12, "fenced-mesh energy");
+    assert_eq!(outs[0].1.len(), 1);
+    assert_eq!(outs[0].1[0].gang_mask, 0b01, "job clamped onto rank 0");
+    assert!(outs[1].1.is_empty(), "fenced rank must run nothing");
+}
+
+/// The tentpole end-to-end: a rank is killed while a 2-rank job is
+/// running on its gang. The survivors' detectors confirm the death and
+/// poison-release the broken gang's collectives; the surviving member
+/// suppresses its garbage result and purges the poisoned plan; the
+/// gateway fences the dead rank, requeues the job, and re-dispatches it
+/// onto live ranks — where it completes with the exact reference
+/// energy, as if the death had never happened.
+#[test]
+fn mid_run_rank_kill_requeues_and_recovers_the_job() {
+    const RANKS: usize = 4;
+    const VICTIM: usize = 3;
+    let seed = 0xDEAD_0001u64;
+    let replay = format!(
+        "recovery seed {seed:#x} — replay: FaultEvent::Kill{{at:1}} on rank {VICTIM}, armed at dispatch"
+    );
+    let e_tiny = reference(&scale::tiny());
+    let e_small = reference(&scale::small());
+    // The kill switch: rank 3's transport carries Kill{at:1} but starts
+    // disarmed (frames flow). Rank 0's driver arms it the moment the
+    // doomed job is dispatched, which blacks the rank out mid-job.
+    let mut kill_switch: Option<std::sync::Arc<std::sync::atomic::AtomicBool>> = None;
+    let transports: Vec<Box<dyn Transport>> = comm::loopback(RANKS)
+        .into_iter()
+        .map(|t| {
+            let r = t.rank();
+            let plan = if r == VICTIM {
+                FaultPlan {
+                    events: vec![comm::fault::FaultEvent::Kill { at: 1 }],
+                    ..FaultPlan::clean(seed)
+                }
+            } else {
+                FaultPlan::clean(seed.wrapping_add(r as u64))
+            };
+            let ft = FaultTransport::new(Box::new(t), plan);
+            let armed = ft.armed_handle();
+            armed.store(false, Ordering::SeqCst);
+            if r == VICTIM {
+                kill_switch = Some(armed);
+            }
+            Box::new(ft) as Box<dyn Transport>
+        })
+        .collect();
+    let kill_switch = kill_switch.unwrap();
+    let mut handles = Vec::new();
+    for t in transports {
+        let r = t.rank();
+        let kill = kill_switch.clone();
+        handles.push(std::thread::spawn(move || {
+            let cfg = SvcConfig {
+                comm: CommConfig {
+                    suspect_after: Some(Duration::from_millis(60)),
+                    dead_after: Duration::from_millis(250),
+                    ..chaos_cfg()
+                },
+                starve_timeout: Duration::from_secs(5),
+                ..SvcConfig::default()
+            };
+            let daemon = RankDaemon::new(t, cfg);
+            let client = daemon.client();
+            let driver = std::thread::spawn(move || {
+                if r != 0 {
+                    return (0.0, 0.0);
+                }
+                // Job 1 packs on {0,1}; job 2 (the doomed one) on {2,3}.
+                let id1 = client
+                    .submit(&spec_on(1, scale::tiny(), Variant::V5, 2))
+                    .unwrap();
+                let id2 = client
+                    .submit(&spec_on(2, scale::small(), Variant::V5, 2))
+                    .unwrap();
+                // The gateway marked job 2 Running under the submit
+                // lock, so the kill lands mid-job by construction.
+                kill.store(true, Ordering::SeqCst);
+                let e1 = client.wait(id1, TIMEOUT);
+                let e2 = client.wait(id2, TIMEOUT);
+                client.halt();
+                (e1, e2)
+            });
+            daemon.run();
+            let (e1, e2) = driver.join().unwrap();
+            let gw_stats = daemon.gateway().map(|gw| (gw.fenced(), gw.requeued_jobs()));
+            let detect = daemon.endpoint().stats();
+            let out = (
+                (e1, e2),
+                gw_stats,
+                daemon.records(),
+                daemon.poisoned_runs(),
+                daemon.plan_purges(),
+                (detect.confirmed_deaths, detect.suspects),
+            );
+            daemon.finish();
+            out
+        }));
+        if r == VICTIM {
+            // The victim's daemon thread never halts (its mesh goes
+            // dark); leak it like a dead process and join the rest.
+            handles.pop();
+        }
+    }
+    let outs: Vec<_> = handles
+        .into_iter()
+        .map(|h| {
+            h.join()
+                .unwrap_or_else(|_| panic!("survivor panicked: {replay}"))
+        })
+        .collect();
+    let (e1, e2) = outs[0].0;
+    assert!(
+        rel_diff(e1, e_tiny) < 1e-12,
+        "job 1 on the live gang drifted: {e1} vs {e_tiny}: {replay}"
+    );
+    assert!(
+        rel_diff(e2, e_small) < 1e-12,
+        "recovered job energy {e2} vs {e_small}: {replay}"
+    );
+    // Gateway: the victim is fenced and the doomed job was requeued.
+    let (fenced, requeued) = outs[0].1.expect("rank 0 hosts the gateway");
+    assert_eq!(fenced, 1 << VICTIM, "victim not fenced: {replay}");
+    assert_eq!(requeued, 1, "doomed job not requeued once: {replay}");
+    // Ranks 0 and 1 ran job 1 and the recovered job 2, both on {0,1}.
+    for (r, out) in outs.iter().enumerate().take(2) {
+        let masks: Vec<u64> = out.2.iter().map(|j| j.gang_mask).collect();
+        assert_eq!(masks, [0b0011, 0b0011], "rank {r} gang sequence: {replay}");
+        assert_eq!(out.3, 0, "rank {r} run was not poisoned: {replay}");
+    }
+    // Rank 2 survived its broken gang: the poisoned run was suppressed
+    // (no record, no report) and its plan purged.
+    assert_eq!(outs[2].2.len(), 0, "rank 2 must record no result: {replay}");
+    assert_eq!(outs[2].3, 1, "rank 2 poisoned run not suppressed: {replay}");
+    assert_eq!(outs[2].4, 1, "rank 2 poisoned plan not purged: {replay}");
+    // Every survivor's detector confirmed the death.
+    for (r, out) in outs.iter().enumerate() {
+        let (deaths, suspects) = out.5;
+        assert!(deaths >= 1, "rank {r} never confirmed the death: {replay}");
+        assert!(suspects >= 1, "rank {r} never suspected: {replay}");
+    }
+}
